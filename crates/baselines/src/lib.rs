@@ -1,0 +1,38 @@
+//! # phom-baselines
+//!
+//! The comparison methods of §6 of *Graph Homomorphism Revisited for Graph
+//! Matching* (Fan et al., VLDB 2010), reimplemented:
+//!
+//! * [`simulation`] — graph simulation (Henzinger–Henzinger–Kopke \[17\]),
+//!   edge-to-edge relational matching;
+//! * [`subiso`] — subgraph isomorphism (Ullmann-style backtracking);
+//! * [`mcs`] — maximum common induced subgraph with a wall-clock budget,
+//!   standing in for `cdkMCS` \[1\] (see DESIGN.md §4 for the
+//!   substitution rationale);
+//! * [`flooding`] — similarity flooding (Melnik et al. \[21\]), the "SF"
+//!   baseline, plus the shared injective matching extractor;
+//! * [`blondel`] — Blondel et al. vertex similarity \[6\];
+//! * [`features`] — bag-of-paths feature similarity (Joshi et al. \[18\]),
+//!   the feature-based comparison the paper's Conclusion names as future
+//!   work;
+//! * [`edit`] — graph edit distance (Zeng et al. \[31\]), the remaining
+//!   structure-based measure of §2's survey, as a budgeted exact A\*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blondel;
+pub mod edit;
+pub mod features;
+pub mod flooding;
+pub mod mcs;
+pub mod simulation;
+pub mod subiso;
+
+pub use blondel::blondel_similarity;
+pub use edit::{beam_edit_distance, ged_similarity, graph_edit_distance, EditResult};
+pub use features::{bag_jaccard, feature_similarity, path_features};
+pub use flooding::{extract_matching, flooding_match_quality, similarity_flooding, FloodingConfig};
+pub use mcs::{maximum_common_subgraph, McsResult};
+pub use simulation::{graph_simulation, simulates_by_label, SimulationResult};
+pub use subiso::{is_subgraph_isomorphic, subgraph_isomorphism};

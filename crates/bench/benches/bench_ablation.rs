@@ -1,0 +1,182 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * A1 — Appendix B partitioning of `G1` on/off;
+//! * A2 — Appendix B compression of `G2+` on/off (on a cycle-heavy data
+//!   graph where compression actually bites);
+//! * A3 — naive product-graph algorithm vs direct `compMaxCard`;
+//! * A4 — `greedyMatch` pivot-selection strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_core::{
+    comp_max_card, match_graphs, naive_max_card, AlgoConfig, MatcherConfig, Selection,
+};
+use phom_graph::{DiGraph, NodeId};
+use phom_sim::NodeWeights;
+use phom_workloads::{generate_instance, SyntheticConfig, SyntheticInstance};
+
+fn instance(m: usize) -> SyntheticInstance {
+    generate_instance(
+        &SyntheticConfig {
+            m,
+            noise: 0.10,
+            seed: 7,
+        },
+        1,
+    )
+}
+
+/// Adds extra back edges to make the data graph SCC-heavy so that the
+/// Appendix-B compression has cliques to collapse.
+fn cyclify(g: &DiGraph<u32>) -> DiGraph<u32> {
+    let mut out = g.clone();
+    let n = g.node_count();
+    for i in (0..n.saturating_sub(7)).step_by(7) {
+        // Close a small cycle every 7 nodes.
+        out.add_edge(NodeId((i + 6) as u32), NodeId(i as u32));
+    }
+    out
+}
+
+fn ablation_partition(c: &mut Criterion) {
+    let inst = instance(200);
+    let mat = inst.similarity_matrix();
+    let weights = NodeWeights::uniform(inst.g1.node_count());
+    let mut group = c.benchmark_group("ablation_partition_g1");
+    group.sample_size(10);
+    for partition in [false, true] {
+        group.bench_function(BenchmarkId::from_parameter(partition), |b| {
+            b.iter(|| {
+                match_graphs(
+                    &inst.g1,
+                    &inst.g2,
+                    &mat,
+                    &weights,
+                    &MatcherConfig {
+                        partition_g1: partition,
+                        compress_g2: false,
+                        xi: 0.75,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_compress(c: &mut Criterion) {
+    let inst = instance(200);
+    let g2 = cyclify(&inst.g2);
+    let mat = inst.similarity_matrix(); // same label model applies
+    let weights = NodeWeights::uniform(inst.g1.node_count());
+    let mut group = c.benchmark_group("ablation_compress_g2");
+    group.sample_size(10);
+    for compress in [false, true] {
+        group.bench_function(BenchmarkId::from_parameter(compress), |b| {
+            b.iter(|| {
+                match_graphs(
+                    &inst.g1,
+                    &g2,
+                    &mat,
+                    &weights,
+                    &MatcherConfig {
+                        partition_g1: false,
+                        compress_g2: compress,
+                        xi: 0.75,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_naive_vs_direct(c: &mut Criterion) {
+    // Small m: the naive algorithm materializes an O((n1·n2)^2) product
+    // graph and cannot go far beyond this.
+    let inst = instance(40);
+    let mat = inst.similarity_matrix();
+    let mut group = c.benchmark_group("ablation_naive_vs_direct");
+    group.sample_size(10);
+    group.bench_function("direct_compMaxCard", |b| {
+        b.iter(|| {
+            comp_max_card(
+                &inst.g1,
+                &inst.g2,
+                &mat,
+                &AlgoConfig {
+                    xi: 0.75,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("naive_product_graph", |b| {
+        b.iter(|| naive_max_card(&inst.g1, &inst.g2, &mat, 0.75, false))
+    });
+    group.finish();
+}
+
+fn ablation_selection(c: &mut Criterion) {
+    let inst = instance(200);
+    let mat = inst.similarity_matrix();
+    let mut group = c.benchmark_group("ablation_pivot_selection");
+    group.sample_size(10);
+    for (name, selection) in [
+        ("max_good", Selection::MaxGood),
+        ("first_active", Selection::FirstActive),
+        ("min_good", Selection::MinGood),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                comp_max_card(
+                    &inst.g1,
+                    &inst.g2,
+                    &mat,
+                    &AlgoConfig {
+                        xi: 0.75,
+                        selection,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_prefilter(c: &mut Criterion) {
+    let inst = instance(200);
+    let mat = inst.similarity_matrix();
+    let weights = NodeWeights::uniform(inst.g1.node_count());
+    let mut group = c.benchmark_group("ablation_ac_prefilter");
+    group.sample_size(10);
+    for prefilter in [false, true] {
+        group.bench_function(BenchmarkId::from_parameter(prefilter), |b| {
+            b.iter(|| {
+                match_graphs(
+                    &inst.g1,
+                    &inst.g2,
+                    &mat,
+                    &weights,
+                    &MatcherConfig {
+                        prefilter,
+                        xi: 0.75,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_partition,
+    ablation_compress,
+    ablation_naive_vs_direct,
+    ablation_selection,
+    ablation_prefilter
+);
+criterion_main!(benches);

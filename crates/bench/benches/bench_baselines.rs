@@ -1,0 +1,89 @@
+//! Benches of the §6 comparison methods: graph simulation, similarity
+//! flooding, Blondel vertex similarity, subgraph isomorphism, and the MCS
+//! stand-in — on the same synthetic instances the p-hom algorithms run on,
+//! so the Table 3 / Fig. 6 efficiency comparison can be read directly from
+//! `cargo bench` output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_baselines::{
+    blondel_similarity, graph_simulation, maximum_common_subgraph, similarity_flooding,
+    subgraph_isomorphism, FloodingConfig,
+};
+use phom_core::{comp_max_card, AlgoConfig};
+use phom_workloads::{generate_instance, SyntheticConfig, SyntheticInstance};
+use std::time::Duration;
+
+fn instance(m: usize) -> SyntheticInstance {
+    generate_instance(
+        &SyntheticConfig {
+            m,
+            noise: 0.10,
+            seed: 2010,
+        },
+        1,
+    )
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_vs_phom");
+    group.sample_size(10);
+    for &m in &[50usize, 150] {
+        let inst = instance(m);
+        let mat = inst.similarity_matrix();
+
+        group.bench_function(BenchmarkId::new("compMaxCard", m), |b| {
+            b.iter(|| {
+                comp_max_card(
+                    &inst.g1,
+                    &inst.g2,
+                    &mat,
+                    &AlgoConfig {
+                        xi: 0.75,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("graphSimulation", m), |b| {
+            b.iter(|| graph_simulation(&inst.g1, &inst.g2, &mat, 0.75))
+        });
+        group.bench_function(BenchmarkId::new("similarityFlooding", m), |b| {
+            b.iter(|| {
+                similarity_flooding(
+                    &inst.g1,
+                    &inst.g2,
+                    &mat,
+                    &FloodingConfig {
+                        seed_floor: 0.05,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("blondel", m), |b| {
+            b.iter(|| blondel_similarity(&inst.g1, &inst.g2, 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_comparators(c: &mut Criterion) {
+    // Exact methods only make sense tiny; this is precisely the Table 3
+    // story (cdkMCS could not cope with skeletons 1).
+    let mut group = c.benchmark_group("exact_comparators");
+    group.sample_size(10);
+    let inst = instance(15);
+    let mat = inst.similarity_matrix();
+    group.bench_function("subgraph_isomorphism_m15", |b| {
+        b.iter(|| subgraph_isomorphism(&inst.g1, &inst.g2, &mat, 0.75))
+    });
+    group.bench_function("mcs_budgeted_m15", |b| {
+        b.iter(|| {
+            maximum_common_subgraph(&inst.g1, &inst.g2, &mat, 0.75, Duration::from_millis(50))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_exact_comparators);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for Fig. 6 (a)/(b)/(c): matching time of the four
+//! algorithms on the §6 synthetic workload, swept over size, noise, and
+//! threshold. Absolute numbers differ from the paper's 2010 hardware; the
+//! *shape* (linear-ish growth in m and noise, flat in ξ) is the target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_bench::{ALGORITHMS, ALGORITHM_NAMES};
+use phom_core::{match_graphs, MatcherConfig};
+use phom_sim::NodeWeights;
+use phom_workloads::{generate_instance, SyntheticConfig};
+
+fn bench_sweep(
+    c: &mut Criterion,
+    group_name: &str,
+    settings: &[(usize, f64, f64)], // (m, noise, xi)
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &(m, noise, xi) in settings {
+        let inst = generate_instance(
+            &SyntheticConfig {
+                m,
+                noise,
+                seed: 2010,
+            },
+            1,
+        );
+        let mat = inst.similarity_matrix();
+        let weights = NodeWeights::uniform(m);
+        for (name, algorithm) in ALGORITHM_NAMES.iter().zip(ALGORITHMS) {
+            let id = BenchmarkId::new(*name, format!("m{m}_n{:.0}_x{:.2}", noise * 100.0, xi));
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    match_graphs(
+                        &inst.g1,
+                        &inst.g2,
+                        &mat,
+                        &weights,
+                        &MatcherConfig {
+                            algorithm,
+                            xi,
+                            ..Default::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig6a_size(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig6a_size",
+        &[(100, 0.10, 0.75), (200, 0.10, 0.75), (300, 0.10, 0.75)],
+    );
+}
+
+fn fig6b_noise(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig6b_noise",
+        &[(200, 0.02, 0.75), (200, 0.10, 0.75), (200, 0.20, 0.75)],
+    );
+}
+
+fn fig6c_threshold(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig6c_threshold",
+        &[(200, 0.10, 0.5), (200, 0.10, 0.75), (200, 0.10, 1.0)],
+    );
+}
+
+criterion_group!(benches, fig6a_size, fig6b_noise, fig6c_threshold);
+criterion_main!(benches);

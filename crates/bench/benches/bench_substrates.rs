@@ -1,0 +1,100 @@
+//! Micro-benches of the substrate kernels the matching algorithms lean on:
+//! transitive closure (the dominant setup cost of `compMaxCard`), Tarjan
+//! SCC, the Ramsey / CliqueRemoval machinery, and the bitset primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_graph::{tarjan_scc, BitSet, DiGraph, NodeId, TransitiveClosure};
+use phom_wis::{max_independent_set, ramsey_all, UGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_digraph(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(i as u32);
+    }
+    let mut added = 0usize;
+    while added < m {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b && g.add_edge(NodeId(a as u32), NodeId(b as u32)) {
+            added += 1;
+        }
+    }
+    g
+}
+
+fn random_ugraph(n: usize, density: f64, seed: u64) -> UGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = UGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.random::<f64>() < density {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitive_closure");
+    group.sample_size(10);
+    for &(n, m) in &[(500usize, 2_000usize), (1_000, 4_000), (2_000, 8_000)] {
+        let g = random_digraph(n, m, 1);
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_m{m}")), |b| {
+            b.iter(|| TransitiveClosure::new(&g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tarjan_scc");
+    group.sample_size(20);
+    for &(n, m) in &[(1_000usize, 4_000usize), (5_000, 20_000)] {
+        let g = random_digraph(n, m, 2);
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_m{m}")), |b| {
+            b.iter(|| tarjan_scc(&g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wis_kernels");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let g = random_ugraph(n, 0.1, 3);
+        group.bench_function(BenchmarkId::new("ramsey", n), |b| b.iter(|| ramsey_all(&g)));
+        group.bench_function(BenchmarkId::new("clique_removal", n), |b| {
+            b.iter(|| max_independent_set(&g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset");
+    let mut a = BitSet::new(100_000);
+    let mut b = BitSet::new(100_000);
+    for i in (0..100_000).step_by(3) {
+        a.insert(i);
+    }
+    for i in (0..100_000).step_by(7) {
+        b.insert(i);
+    }
+    group.bench_function("union_100k", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.union_with(&b);
+            x.count()
+        })
+    });
+    group.bench_function("iter_100k", |bch| bch.iter(|| a.iter().sum::<usize>()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure, bench_scc, bench_wis, bench_bitset);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for Table 3's scalability columns: one version-pair
+//! match per site category, on skeletons 1 (α = 0.2) and skeletons 2
+//! (top-20), plus the shingle-matrix construction those runs depend on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_bench::{ALGORITHMS, ALGORITHM_NAMES};
+use phom_core::{match_graphs, MatcherConfig};
+use phom_sim::NodeWeights;
+use phom_workloads::{
+    generate_archive, shingle_matrix, skeleton_alpha, skeleton_top_k, SiteCategory, SiteSpec,
+};
+
+fn bench_site(c: &mut Criterion, cat: SiteCategory) {
+    let archive = generate_archive(&SiteSpec::test_scale(cat, 2010));
+    let cases = [
+        (
+            "skel1",
+            skeleton_alpha(&archive.versions[0], 0.2).graph,
+            skeleton_alpha(&archive.versions[1], 0.2).graph,
+        ),
+        (
+            "skel2",
+            skeleton_top_k(&archive.versions[0], 20).graph,
+            skeleton_top_k(&archive.versions[1], 20).graph,
+        ),
+    ];
+
+    let mut group = c.benchmark_group(format!("table3_{}", cat.site_name().replace(' ', "")));
+    group.sample_size(10);
+    for (skel_name, pattern, data) in &cases {
+        let mat = shingle_matrix(pattern, data, 3);
+        let weights = NodeWeights::uniform(pattern.node_count());
+        for (name, algorithm) in ALGORITHM_NAMES.iter().zip(ALGORITHMS) {
+            group.bench_function(BenchmarkId::new(*name, skel_name), |b| {
+                b.iter(|| {
+                    match_graphs(
+                        pattern,
+                        data,
+                        &mat,
+                        &weights,
+                        &MatcherConfig {
+                            algorithm,
+                            xi: 0.75,
+                            ..Default::default()
+                        },
+                    )
+                })
+            });
+        }
+        group.bench_function(BenchmarkId::new("shingle_matrix", skel_name), |b| {
+            b.iter(|| shingle_matrix(pattern, data, 3))
+        });
+    }
+    group.finish();
+}
+
+fn table3_sites(c: &mut Criterion) {
+    for cat in SiteCategory::ALL {
+        bench_site(c, cat);
+    }
+}
+
+criterion_group!(benches, table3_sites);
+criterion_main!(benches);

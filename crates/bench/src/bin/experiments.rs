@@ -1,0 +1,293 @@
+//! `experiments` — regenerates every table and figure of §6.
+//!
+//! ```sh
+//! cargo run -p phom-bench --release --bin experiments -- all
+//! cargo run -p phom-bench --release --bin experiments -- table3 --scale paper
+//! cargo run -p phom-bench --release --bin experiments -- fig5b --seed 7
+//! ```
+//!
+//! Experiment ids: `table2`, `table3`, `fig5a`, `fig5b`, `fig5c`,
+//! `fig6a`, `fig6b`, `fig6c`, `all`. Default scale is `small` (seconds);
+//! `--scale paper` reproduces the published parameter ranges.
+
+use phom_bench::{
+    ext_ged_rows, ext_restart_rows, ext_spam_rows, ext_stretch_rows, fig5_series, fig6_series,
+    table2_rows, table3_rows, Scale, Sweep, ALGORITHM_NAMES,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_owned();
+    let mut scale = Scale::Small;
+    let mut seed = 2010u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("paper") => scale = Scale::Paper,
+                Some("small") => scale = Scale::Small,
+                other => {
+                    eprintln!("unknown scale {other:?} (small|paper)");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => {
+                seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            id if !id.starts_with('-') => experiment = id.to_owned(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("# p-hom experiments — scale {scale:?}, seed {seed}\n");
+    let run_all = experiment == "all";
+    let mut ran = false;
+
+    if run_all || experiment == "table2" {
+        ran = true;
+        run_table2(scale, seed);
+    }
+    if run_all || experiment == "table3" {
+        ran = true;
+        run_table3(scale, seed);
+    }
+    for (id, sweep) in [
+        ("fig5a", Sweep::Size),
+        ("fig5b", Sweep::Noise),
+        ("fig5c", Sweep::Threshold),
+    ] {
+        if run_all || experiment == id {
+            ran = true;
+            run_fig5(id, sweep, scale, seed);
+        }
+    }
+    for (id, sweep) in [
+        ("fig6a", Sweep::Size),
+        ("fig6b", Sweep::Noise),
+        ("fig6c", Sweep::Threshold),
+    ] {
+        if run_all || experiment == id {
+            ran = true;
+            run_fig6(id, sweep, scale, seed);
+        }
+    }
+
+    if run_all || experiment == "ext" {
+        ran = true;
+        run_ext(scale, seed);
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown experiment {experiment:?}; use one of: table2 table3 \
+             fig5a fig5b fig5c fig6a fig6b fig6c ext all"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The extension studies (not in the paper): stretch-bound spectrum,
+/// restart ablation, and graph edit distance as an extra comparator.
+fn run_ext(scale: Scale, seed: u64) {
+    println!("## ExtA — stretch-bound spectrum (k = 1 is edge-to-edge; 0 = unbounded)\n");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "k", "qualCard", "accuracy", "time"
+    );
+    for row in ext_stretch_rows(scale, seed) {
+        let k = if row.k == 0 {
+            "inf".to_owned()
+        } else {
+            row.k.to_string()
+        };
+        println!(
+            "{:>10} {:>10.3} {:>9.0}% {:>9.2}s",
+            k, row.qual_card, row.accuracy_pct, row.seconds
+        );
+    }
+    println!();
+
+    println!("## ExtB — randomized restarts (1-1, stretch bound k=2, noise 30%)\n");
+    println!("{:>10} {:>10} {:>10}", "restarts", "qualCard", "time");
+    for row in ext_restart_rows(scale, seed) {
+        println!(
+            "{:>10} {:>10.4} {:>9.2}s",
+            row.restarts, row.qual_card, row.seconds
+        );
+    }
+    println!();
+
+    println!("## ExtC — graph edit distance as a comparator (top-20 skeletons)\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "site", "p-hom acc", "GED acc", "GED t/o", "p-hom s", "GED s"
+    );
+    for row in ext_ged_rows(scale, seed) {
+        let ged_acc = match row.ged_accuracy_pct {
+            Some(a) => format!("{a:.0}%"),
+            None => "N/A".to_owned(),
+        };
+        println!(
+            "{:<8} {:>11.0}% {:>12} {:>12} {:>9.2}s {:>9.2}s",
+            row.site,
+            row.phom_accuracy_pct,
+            ged_acc,
+            row.ged_timeouts,
+            row.phom_seconds,
+            row.ged_seconds
+        );
+    }
+    println!();
+
+    println!("## ExtE — spam detection by campaign-template matching\n");
+    println!(
+        "{:>8} {:>14} {:>10} {:>14} {:>10}",
+        "wrapper%", "p-hom recall", "p-hom FP", "k=1 recall", "k=1 FP"
+    );
+    for row in ext_spam_rows(scale, seed) {
+        println!(
+            "{:>7.0}% {:>9}/{:<4} {:>10} {:>9}/{:<4} {:>10}",
+            row.wrapper_rate * 100.0,
+            row.phom_recall,
+            row.spam_total,
+            row.phom_false_positives,
+            row.k1_recall,
+            row.spam_total,
+            row.k1_false_positives
+        );
+    }
+    println!();
+}
+
+fn run_table2(scale: Scale, seed: u64) {
+    println!("## Table 2 — Web graphs and skeletons (simulated archives)\n");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}   {:>14} {:>14}",
+        "site", "|V|", "|E|", "avgDeg", "maxDeg", "skel1 |V|/|E|", "skel2 |V|/|E|"
+    );
+    for row in table2_rows(scale, seed) {
+        println!(
+            "{:<8} {:>8} {:>8} {:>8.2} {:>8}   {:>6}/{:<7} {:>6}/{:<7}",
+            row.site,
+            row.nodes,
+            row.edges,
+            row.avg_deg,
+            row.max_deg,
+            row.skel1.0,
+            row.skel1.1,
+            row.skel2.0,
+            row.skel2.1
+        );
+    }
+    println!();
+}
+
+fn run_table3(scale: Scale, seed: u64) {
+    println!("## Table 3 — accuracy (%) and total time (s) on simulated sites\n");
+    let rows = table3_rows(scale, seed);
+    for skeleton in ["skeletons 1", "skeletons 2"] {
+        println!("### {skeleton}\n");
+        println!(
+            "{:<16} {:>16} {:>16} {:>16}",
+            "method", "site 1", "site 2", "site 3"
+        );
+        let mut methods: Vec<String> = ALGORITHM_NAMES.iter().map(|s| s.to_string()).collect();
+        methods.push("SF".into());
+        methods.push("cdkMCS*".into());
+        for method in &methods {
+            let mut cells = Vec::new();
+            for site in ["site 1", "site 2", "site 3"] {
+                let row = rows
+                    .iter()
+                    .find(|r| &r.method == method && r.site == site && r.skeleton == skeleton)
+                    .expect("row exists");
+                let acc = match row.accuracy_pct {
+                    Some(a) => format!("{a:>4.0}%"),
+                    None => " N/A".to_owned(),
+                };
+                cells.push(format!("{acc} {:>8.3}s", row.seconds));
+            }
+            println!(
+                "{:<16} {:>16} {:>16} {:>16}",
+                method, cells[0], cells[1], cells[2]
+            );
+        }
+        println!();
+    }
+    println!("(cdkMCS*: exact MCS stand-in with a wall-clock budget; N/A = did");
+    println!(" not run to completion, as in the paper.)\n");
+}
+
+fn fmt_x(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{:.0}", x.round())
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn run_fig5(id: &str, sweep: Sweep, scale: Scale, seed: u64) {
+    let axis = match sweep {
+        Sweep::Size => "m",
+        Sweep::Noise => "noise%",
+        Sweep::Threshold => "xi",
+    };
+    println!("## Fig. 5{} — accuracy vs {axis}\n", &id[4..]);
+    println!(
+        "{:>8} {:>8} {:>14} {:>16} {:>13} {:>15}",
+        axis,
+        "|V2|",
+        ALGORITHM_NAMES[0],
+        ALGORITHM_NAMES[1],
+        ALGORITHM_NAMES[2],
+        ALGORITHM_NAMES[3]
+    );
+    for p in fig5_series(sweep, scale, seed) {
+        println!(
+            "{:>8} {:>8} {:>13.0}% {:>15.0}% {:>12.0}% {:>14.0}%",
+            fmt_x(p.x),
+            p.avg_v2,
+            p.accuracy_pct[0],
+            p.accuracy_pct[1],
+            p.accuracy_pct[2],
+            p.accuracy_pct[3]
+        );
+    }
+    println!();
+}
+
+fn run_fig6(id: &str, sweep: Sweep, scale: Scale, seed: u64) {
+    let axis = match sweep {
+        Sweep::Size => "m",
+        Sweep::Noise => "noise%",
+        Sweep::Threshold => "xi",
+    };
+    println!("## Fig. 6{} — batch time (s) vs {axis}\n", &id[4..]);
+    println!(
+        "{:>8} {:>14} {:>16} {:>13} {:>15} {:>17}",
+        axis,
+        ALGORITHM_NAMES[0],
+        ALGORITHM_NAMES[1],
+        ALGORITHM_NAMES[2],
+        ALGORITHM_NAMES[3],
+        "graphSimulation"
+    );
+    for p in fig6_series(sweep, scale, seed) {
+        println!(
+            "{:>8} {:>13.3}s {:>15.3}s {:>12.3}s {:>14.3}s {:>16.3}s",
+            fmt_x(p.x),
+            p.seconds[0],
+            p.seconds[1],
+            p.seconds[2],
+            p.seconds[3],
+            p.seconds[4]
+        );
+    }
+    println!();
+}

@@ -1,0 +1,762 @@
+//! Experiment definitions: one function per table/figure of §6, returning
+//! structured rows so the binary can print them and the benches can time
+//! their kernels.
+
+use parking_lot::Mutex;
+use phom_baselines::{flooding_match_quality, maximum_common_subgraph, FloodingConfig};
+use phom_core::{match_graphs, Algorithm, MatcherConfig};
+use phom_graph::DiGraph;
+use phom_sim::{NodeWeights, SimMatrix};
+use phom_workloads::{
+    generate_archive, generate_batch, shingle_matrix, skeleton_alpha, skeleton_top_k, SiteCategory,
+    SiteSpec, SyntheticConfig,
+};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// The paper's match criterion: a mapping of quality ≥ 0.75 is a match.
+pub const MATCH_THRESHOLD: f64 = 0.75;
+/// The paper's similarity threshold in both experiment sets.
+pub const DEFAULT_XI: f64 = 0.75;
+/// Shingle window for Web-page similarity.
+pub const SHINGLE_WINDOW: usize = 3;
+
+/// Display names of the four algorithms, Table 3 order.
+pub const ALGORITHM_NAMES: [&str; 4] = [
+    "compMaxCard",
+    "compMaxCard1-1",
+    "compMaxSim",
+    "compMaxSim1-1",
+];
+
+/// The four algorithms in Table 3 order.
+pub const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::MaxCard,
+    Algorithm::MaxCard1to1,
+    Algorithm::MaxSim,
+    Algorithm::MaxSim1to1,
+];
+
+/// Experiment scale: `Small` finishes in seconds (CI-friendly); `Paper`
+/// reproduces the published parameter ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down workloads (~1/20 site size, m ≤ 300, 5 variants).
+    Small,
+    /// The paper's workloads (Table 2 sizes, m ≤ 800, 15 variants).
+    Paper,
+}
+
+impl Scale {
+    fn site_spec(self, cat: SiteCategory, seed: u64) -> SiteSpec {
+        match self {
+            Scale::Small => SiteSpec::test_scale(cat, seed),
+            Scale::Paper => SiteSpec::paper_scale(cat, seed),
+        }
+    }
+
+    fn synthetic_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![100, 200, 300],
+            Scale::Paper => vec![100, 200, 300, 400, 500, 600, 700, 800],
+        }
+    }
+
+    fn batch_size(self) -> usize {
+        match self {
+            Scale::Small => 5,
+            Scale::Paper => 15,
+        }
+    }
+
+    fn fixed_m(self) -> usize {
+        match self {
+            Scale::Small => 200,
+            Scale::Paper => 500,
+        }
+    }
+
+    fn mcs_budget(self) -> Duration {
+        match self {
+            Scale::Small => Duration::from_secs(2),
+            Scale::Paper => Duration::from_secs(3),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2: Web graphs and skeletons.
+// ---------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// "site 1" .. "site 3".
+    pub site: &'static str,
+    /// `|V|` of version 0.
+    pub nodes: usize,
+    /// `|E|` of version 0.
+    pub edges: usize,
+    /// `avgDeg(G)`.
+    pub avg_deg: f64,
+    /// `maxDeg(G)`.
+    pub max_deg: usize,
+    /// Skeleton-1 (`α = 0.2`) nodes/edges.
+    pub skel1: (usize, usize),
+    /// Skeleton-2 (top-20) nodes/edges.
+    pub skel2: (usize, usize),
+}
+
+/// Regenerates Table 2: per-site graph statistics and skeleton sizes.
+pub fn table2_rows(scale: Scale, seed: u64) -> Vec<Table2Row> {
+    SiteCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let archive = generate_archive(&scale.site_spec(cat, seed));
+            let v0 = &archive.versions[0];
+            let s1 = skeleton_alpha(v0, 0.2);
+            let s2 = skeleton_top_k(v0, 20);
+            Table2Row {
+                site: cat.site_name(),
+                nodes: v0.node_count(),
+                edges: v0.edge_count(),
+                avg_deg: v0.avg_degree(),
+                max_deg: v0.max_degree(),
+                skel1: (s1.graph.node_count(), s1.graph.edge_count()),
+                skel2: (s2.graph.node_count(), s2.graph.edge_count()),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 3: accuracy and scalability on (simulated) real-life data.
+// ---------------------------------------------------------------------
+
+/// Accuracy/time of one method on one site+skeleton setting.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Method name (ours, "SF", or "cdkMCS").
+    pub method: String,
+    /// "site 1" .. "site 3".
+    pub site: &'static str,
+    /// "skeletons 1" or "skeletons 2".
+    pub skeleton: &'static str,
+    /// Percentage of the later versions matched (quality ≥ 0.75);
+    /// `None` = did not run to completion (the paper's `N/A`).
+    pub accuracy_pct: Option<f64>,
+    /// Total wall-clock seconds over all versions.
+    pub seconds: f64,
+}
+
+fn site_skeletons(
+    scale: Scale,
+    cat: SiteCategory,
+    seed: u64,
+) -> (
+    Vec<DiGraph<phom_workloads::Page>>,
+    Vec<DiGraph<phom_workloads::Page>>,
+) {
+    let archive = generate_archive(&scale.site_spec(cat, seed));
+    let s1 = archive
+        .versions
+        .iter()
+        .map(|v| skeleton_alpha(v, 0.2).graph)
+        .collect();
+    let s2 = archive
+        .versions
+        .iter()
+        .map(|v| skeleton_top_k(v, 20).graph)
+        .collect();
+    (s1, s2)
+}
+
+fn accuracy_of_algorithm(
+    skeletons: &[DiGraph<phom_workloads::Page>],
+    algorithm: Algorithm,
+) -> (f64, f64) {
+    let pattern = &skeletons[0];
+    let weights = NodeWeights::uniform(pattern.node_count());
+    let started = Instant::now();
+    let hits = Mutex::new(0usize);
+    crossbeam::scope(|scope| {
+        for later in &skeletons[1..] {
+            let hits = &hits;
+            let weights = &weights;
+            scope.spawn(move |_| {
+                let mat = shingle_matrix(pattern, later, SHINGLE_WINDOW);
+                let out = match_graphs(
+                    pattern,
+                    later,
+                    &mat,
+                    weights,
+                    &MatcherConfig {
+                        algorithm,
+                        xi: DEFAULT_XI,
+                        ..Default::default()
+                    },
+                );
+                let q = if algorithm.similarity() {
+                    out.qual_sim
+                } else {
+                    out.qual_card
+                };
+                if q >= MATCH_THRESHOLD {
+                    *hits.lock() += 1;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let accuracy = 100.0 * hits.into_inner() as f64 / (skeletons.len() - 1) as f64;
+    (accuracy, started.elapsed().as_secs_f64())
+}
+
+fn accuracy_of_sf(skeletons: &[DiGraph<phom_workloads::Page>]) -> (f64, f64) {
+    let pattern = &skeletons[0];
+    let started = Instant::now();
+    let hits = Mutex::new(0usize);
+    crossbeam::scope(|scope| {
+        for later in &skeletons[1..] {
+            let hits = &hits;
+            scope.spawn(move |_| {
+                let seed_mat = shingle_matrix(pattern, later, SHINGLE_WINDOW);
+                let q = flooding_match_quality(
+                    pattern,
+                    later,
+                    &seed_mat,
+                    DEFAULT_XI,
+                    &FloodingConfig {
+                        seed_floor: 0.05,
+                        ..Default::default()
+                    },
+                );
+                if q >= MATCH_THRESHOLD {
+                    *hits.lock() += 1;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let accuracy = 100.0 * hits.into_inner() as f64 / (skeletons.len() - 1) as f64;
+    (accuracy, started.elapsed().as_secs_f64())
+}
+
+fn accuracy_of_mcs(
+    skeletons: &[DiGraph<phom_workloads::Page>],
+    budget: Duration,
+) -> (Option<f64>, f64) {
+    let pattern = &skeletons[0];
+    let started = Instant::now();
+    let state = Mutex::new((0usize, false)); // (hits, any_timeout)
+    crossbeam::scope(|scope| {
+        for later in &skeletons[1..] {
+            let state = &state;
+            scope.spawn(move |_| {
+                let mat = shingle_matrix(pattern, later, SHINGLE_WINDOW);
+                let r = maximum_common_subgraph(pattern, later, &mat, DEFAULT_XI, budget);
+                let mut s = state.lock();
+                s.1 |= r.timed_out;
+                if r.qual_card >= MATCH_THRESHOLD {
+                    s.0 += 1;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let (hits, any_timeout) = state.into_inner();
+    let seconds = started.elapsed().as_secs_f64();
+    if any_timeout && hits == 0 {
+        (None, seconds) // the paper's "N/A": did not run to completion
+    } else {
+        (
+            Some(100.0 * hits as f64 / (skeletons.len() - 1) as f64),
+            seconds,
+        )
+    }
+}
+
+/// Regenerates Table 3: accuracy + time of the four algorithms, SF, and
+/// the MCS stand-in, on skeletons 1 and 2 of all three sites.
+pub fn table3_rows(scale: Scale, seed: u64) -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for cat in SiteCategory::ALL {
+        let (s1, s2) = site_skeletons(scale, cat, seed);
+        for (skel_name, skels) in [("skeletons 1", &s1), ("skeletons 2", &s2)] {
+            for (name, algorithm) in ALGORITHM_NAMES.iter().zip(ALGORITHMS) {
+                let (acc, secs) = accuracy_of_algorithm(skels, algorithm);
+                rows.push(Table3Row {
+                    method: (*name).to_owned(),
+                    site: cat.site_name(),
+                    skeleton: skel_name,
+                    accuracy_pct: Some(acc),
+                    seconds: secs,
+                });
+            }
+            let (acc, secs) = accuracy_of_sf(skels);
+            rows.push(Table3Row {
+                method: "SF".into(),
+                site: cat.site_name(),
+                skeleton: skel_name,
+                accuracy_pct: Some(acc),
+                seconds: secs,
+            });
+            // cdkMCS stand-in: skeletons 1 are beyond it (N/A), like the
+            // paper; skeletons 2 (20 nodes) are attempted with the budget.
+            let (acc, secs) = accuracy_of_mcs(skels, scale.mcs_budget());
+            rows.push(Table3Row {
+                method: "cdkMCS*".into(),
+                site: cat.site_name(),
+                skeleton: skel_name,
+                accuracy_pct: acc,
+                seconds: secs,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figures 5 and 6: synthetic accuracy and scalability sweeps.
+// ---------------------------------------------------------------------
+
+/// Which parameter a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sweep {
+    /// Fig. 5(a)/6(a): pattern size `m` (noise 10%, ξ 0.75).
+    Size,
+    /// Fig. 5(b)/6(b): noise % (m fixed, ξ 0.75).
+    Noise,
+    /// Fig. 5(c)/6(c): threshold ξ (m fixed, noise 10%).
+    Threshold,
+}
+
+/// One accuracy point of Fig. 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Point {
+    /// The swept parameter value (m, noise%, or ξ·100).
+    pub x: f64,
+    /// Mean `|V2|` across the batch.
+    pub avg_v2: usize,
+    /// Accuracy % per algorithm, Table 3 order.
+    pub accuracy_pct: [f64; 4],
+}
+
+/// One timing point of Fig. 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Point {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Seconds per algorithm, Table 3 order, then `graphSimulation` last.
+    pub seconds: [f64; 5],
+}
+
+fn sweep_settings(sweep: Sweep, scale: Scale) -> Vec<(usize, f64, f64)> {
+    // (m, noise, xi) triples.
+    match sweep {
+        Sweep::Size => scale
+            .synthetic_sizes()
+            .into_iter()
+            .map(|m| (m, 0.10, DEFAULT_XI))
+            .collect(),
+        Sweep::Noise => {
+            let m = scale.fixed_m();
+            (1..=10).map(|k| (m, 0.02 * k as f64, DEFAULT_XI)).collect()
+        }
+        Sweep::Threshold => {
+            let m = scale.fixed_m();
+            (0..=5).map(|k| (m, 0.10, 0.5 + 0.1 * k as f64)).collect()
+        }
+    }
+}
+
+fn sweep_x(sweep: Sweep, setting: (usize, f64, f64)) -> f64 {
+    match sweep {
+        Sweep::Size => setting.0 as f64,
+        Sweep::Noise => setting.1 * 100.0,
+        Sweep::Threshold => setting.2,
+    }
+}
+
+/// Regenerates Fig. 5(a)/(b)/(c): accuracy of the four algorithms.
+pub fn fig5_series(sweep: Sweep, scale: Scale, seed: u64) -> Vec<Fig5Point> {
+    sweep_settings(sweep, scale)
+        .into_iter()
+        .map(|setting| {
+            let (m, noise, xi) = setting;
+            let cfg = SyntheticConfig { m, noise, seed };
+            let batch = generate_batch(&cfg, scale.batch_size());
+            let weights = NodeWeights::uniform(m);
+            let hits = Mutex::new([0usize; 4]);
+            let v2_sum = Mutex::new(0usize);
+            crossbeam::scope(|scope| {
+                for inst in &batch {
+                    let hits = &hits;
+                    let v2_sum = &v2_sum;
+                    let weights = &weights;
+                    scope.spawn(move |_| {
+                        *v2_sum.lock() += inst.g2.node_count();
+                        let mat = inst.similarity_matrix();
+                        for (i, algorithm) in ALGORITHMS.into_iter().enumerate() {
+                            let out = match_graphs(
+                                &inst.g1,
+                                &inst.g2,
+                                &mat,
+                                weights,
+                                &MatcherConfig {
+                                    algorithm,
+                                    xi,
+                                    ..Default::default()
+                                },
+                            );
+                            let q = if algorithm.similarity() {
+                                out.qual_sim
+                            } else {
+                                out.qual_card
+                            };
+                            if q >= MATCH_THRESHOLD {
+                                hits.lock()[i] += 1;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+            let hits = hits.into_inner();
+            let denom = batch.len() as f64;
+            Fig5Point {
+                x: sweep_x(sweep, setting),
+                avg_v2: v2_sum.into_inner() / batch.len(),
+                accuracy_pct: [
+                    100.0 * hits[0] as f64 / denom,
+                    100.0 * hits[1] as f64 / denom,
+                    100.0 * hits[2] as f64 / denom,
+                    100.0 * hits[3] as f64 / denom,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 6(a)/(b)/(c): wall-clock time of the four algorithms
+/// plus `graphSimulation`, summed across the batch.
+pub fn fig6_series(sweep: Sweep, scale: Scale, seed: u64) -> Vec<Fig6Point> {
+    sweep_settings(sweep, scale)
+        .into_iter()
+        .map(|setting| {
+            let (m, noise, xi) = setting;
+            let cfg = SyntheticConfig { m, noise, seed };
+            let batch = generate_batch(&cfg, scale.batch_size());
+            let weights = NodeWeights::uniform(m);
+            // Precompute matrices so only matching is timed.
+            let mats: Vec<SimMatrix> = batch.iter().map(|inst| inst.similarity_matrix()).collect();
+
+            let mut seconds = [0.0f64; 5];
+            for (i, algorithm) in ALGORITHMS.into_iter().enumerate() {
+                let started = Instant::now();
+                for (inst, mat) in batch.iter().zip(mats.iter()) {
+                    let _ = match_graphs(
+                        &inst.g1,
+                        &inst.g2,
+                        mat,
+                        &weights,
+                        &MatcherConfig {
+                            algorithm,
+                            xi,
+                            ..Default::default()
+                        },
+                    );
+                }
+                seconds[i] = started.elapsed().as_secs_f64();
+            }
+            let started = Instant::now();
+            for (inst, mat) in batch.iter().zip(mats.iter()) {
+                let _ = phom_baselines::graph_simulation(&inst.g1, &inst.g2, mat, xi);
+            }
+            seconds[4] = started.elapsed().as_secs_f64();
+
+            Fig6Point {
+                x: sweep_x(sweep, setting),
+                seconds,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Extension experiments (not in the paper; DESIGN.md S30–S35).
+// ---------------------------------------------------------------------
+
+/// One row of the stretch-bound ablation: quality and time of
+/// `compMaxCard` when pattern edges may stretch to at most `k` data
+/// edges (`k = 0` encodes "unbounded").
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtStretchRow {
+    /// Hop bound (`0` = unbounded p-hom).
+    pub k: usize,
+    /// Mean `qualCard` over the batch.
+    pub qual_card: f64,
+    /// Fraction of the batch matched at the 0.75 criterion.
+    pub accuracy_pct: f64,
+    /// Total matching seconds over the batch (closure included).
+    pub seconds: f64,
+}
+
+/// ExtA: the edge-to-edge → p-hom spectrum on the §6 synthetic workload.
+/// `k = 1` is graph homomorphism with similarity; the paper's noise model
+/// rewrites edges into paths of ≤ 6 edges, so quality saturates there.
+pub fn ext_stretch_rows(scale: Scale, seed: u64) -> Vec<ExtStretchRow> {
+    use phom_core::bounded::comp_max_card_bounded;
+    use phom_core::{comp_max_card, AlgoConfig};
+
+    let m = scale.fixed_m();
+    let cfg = SyntheticConfig {
+        m,
+        noise: 0.10,
+        seed,
+    };
+    let batch = generate_batch(&cfg, scale.batch_size());
+    let mats: Vec<SimMatrix> = batch.iter().map(|i| i.similarity_matrix()).collect();
+    let acfg = AlgoConfig {
+        xi: DEFAULT_XI,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 3, 6, 0] {
+        let started = Instant::now();
+        let mut quals = Vec::with_capacity(batch.len());
+        for (inst, mat) in batch.iter().zip(mats.iter()) {
+            let mapping = if k == 0 {
+                comp_max_card(&inst.g1, &inst.g2, mat, &acfg)
+            } else {
+                comp_max_card_bounded(&inst.g1, &inst.g2, mat, &acfg, k)
+            };
+            quals.push(mapping.qual_card());
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        let matched = quals.iter().filter(|&&q| q >= MATCH_THRESHOLD).count();
+        rows.push(ExtStretchRow {
+            k,
+            qual_card: quals.iter().sum::<f64>() / quals.len() as f64,
+            accuracy_pct: 100.0 * matched as f64 / quals.len() as f64,
+            seconds,
+        });
+    }
+    rows
+}
+
+/// One row of the restart ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtRestartRow {
+    /// Number of restarts.
+    pub restarts: usize,
+    /// Mean `qualCard` over the batch.
+    pub qual_card: f64,
+    /// Total seconds over the batch.
+    pub seconds: f64,
+}
+
+/// ExtB: best-of-restarts quality/cost trade in the *partial-match*
+/// regime: 1-1 matching under a tight stretch bound (`k = 2`), where the
+/// noise-inserted paths break many pattern edges, the optimum is a strict
+/// subgraph, and greedy tie-breaking has real room to err.
+pub fn ext_restart_rows(scale: Scale, seed: u64) -> Vec<ExtRestartRow> {
+    use phom_core::restarts::{comp_max_card_restarts_with, RestartConfig};
+    use phom_core::AlgoConfig;
+    use phom_graph::TransitiveClosure;
+
+    let m = scale.fixed_m();
+    let cfg = SyntheticConfig {
+        m,
+        noise: 0.30,
+        seed,
+    };
+    let batch = generate_batch(&cfg, scale.batch_size());
+    let mats: Vec<SimMatrix> = batch.iter().map(|i| i.similarity_matrix()).collect();
+    let closures: Vec<TransitiveClosure> = batch
+        .iter()
+        .map(|i| TransitiveClosure::bounded(&i.g2, 2))
+        .collect();
+    let acfg = AlgoConfig {
+        xi: DEFAULT_XI,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    for restarts in [1usize, 4, 8] {
+        let rcfg = RestartConfig {
+            restarts,
+            seed,
+            threads: 1,
+        };
+        let started = Instant::now();
+        let mut quals = Vec::with_capacity(batch.len());
+        for ((inst, mat), closure) in batch.iter().zip(mats.iter()).zip(closures.iter()) {
+            let mapping = comp_max_card_restarts_with(&inst.g1, closure, mat, &acfg, true, &rcfg);
+            quals.push(mapping.qual_card());
+        }
+        rows.push(ExtRestartRow {
+            restarts,
+            qual_card: quals.iter().sum::<f64>() / quals.len() as f64,
+            seconds: started.elapsed().as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// One row of the comparator extension: GED vs p-hom on top-k skeletons.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtGedRow {
+    /// Site name ("site 1" ..).
+    pub site: &'static str,
+    /// p-hom accuracy (% of versions matched), always completes.
+    pub phom_accuracy_pct: f64,
+    /// GED-similarity accuracy, `None` when every run timed out.
+    pub ged_accuracy_pct: Option<f64>,
+    /// GED runs (out of the version count) that exhausted their budget.
+    pub ged_timeouts: usize,
+    /// p-hom seconds (total).
+    pub phom_seconds: f64,
+    /// GED seconds (total, budget-capped).
+    pub ged_seconds: f64,
+}
+
+/// ExtC: graph edit distance as an extra Table-3-style comparator on the
+/// top-20 skeletons. GED is exact and budgeted like `cdkMCS*`; the
+/// expected shape is "accurate when it finishes, explodes as skeletons
+/// grow" — the same story the paper tells for MCS.
+pub fn ext_ged_rows(scale: Scale, seed: u64) -> Vec<ExtGedRow> {
+    use phom_baselines::graph_edit_distance;
+    use phom_core::{comp_max_card, AlgoConfig};
+
+    let budget = scale.mcs_budget();
+    let acfg = AlgoConfig {
+        xi: 0.5,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for cat in [
+        SiteCategory::OnlineStore,
+        SiteCategory::Organization,
+        SiteCategory::Newspaper,
+    ] {
+        let spec = scale.site_spec(cat, seed ^ cat as u64);
+        let archive = generate_archive(&spec);
+        let skel: Vec<_> = archive
+            .versions
+            .iter()
+            .map(|g| skeleton_top_k(g, 20).graph)
+            .collect();
+        let pattern = &skel[0];
+
+        let mut phom_matches = 0usize;
+        let mut ged_matches = 0usize;
+        let mut ged_timeouts = 0usize;
+        let mut phom_seconds = 0.0f64;
+        let mut ged_seconds = 0.0f64;
+        let later = &skel[1..];
+        for version in later {
+            let mat = shingle_matrix(pattern, version, SHINGLE_WINDOW);
+            let t0 = Instant::now();
+            let q = comp_max_card(pattern, version, &mat, &acfg).qual_card();
+            phom_seconds += t0.elapsed().as_secs_f64();
+            phom_matches += usize::from(q >= MATCH_THRESHOLD);
+
+            let t1 = Instant::now();
+            let ged = graph_edit_distance(pattern, version, &mat, 0.5, budget);
+            ged_seconds += t1.elapsed().as_secs_f64();
+            if ged.timed_out {
+                ged_timeouts += 1;
+            } else {
+                ged_matches += usize::from(ged.similarity >= MATCH_THRESHOLD);
+            }
+        }
+        let n = later.len();
+        rows.push(ExtGedRow {
+            site: cat.site_name(),
+            phom_accuracy_pct: 100.0 * phom_matches as f64 / n as f64,
+            ged_accuracy_pct: if ged_timeouts == n {
+                None
+            } else {
+                Some(100.0 * ged_matches as f64 / (n - ged_timeouts) as f64)
+            },
+            ged_timeouts,
+            phom_seconds,
+            ged_seconds,
+        });
+    }
+    rows
+}
+
+/// One row of the spam-detection extension study.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtSpamRow {
+    /// Wrapper-insertion probability (edge → path disguises).
+    pub wrapper_rate: f64,
+    /// p-hom detector: spam variants flagged, out of `spam_total`.
+    pub phom_recall: usize,
+    /// p-hom detector: ham messages wrongly flagged.
+    pub phom_false_positives: usize,
+    /// Edge-to-edge (k = 1) detector: spam variants flagged.
+    pub k1_recall: usize,
+    /// Edge-to-edge detector: ham messages wrongly flagged.
+    pub k1_false_positives: usize,
+    /// Number of spam variants (= number of ham messages) in the mailbox.
+    pub spam_total: usize,
+}
+
+/// ExtE: spam detection by campaign-template matching (the eMailSift
+/// application of §1). Sweeping the wrapper rate shows the paper's core
+/// claim in a second domain: the more containment edges become paths,
+/// the more edge-to-edge matching misses, while p-hom recall holds.
+pub fn ext_spam_rows(scale: Scale, seed: u64) -> Vec<ExtSpamRow> {
+    use phom_core::bounded::comp_max_card_bounded;
+    use phom_core::{comp_max_card, AlgoConfig};
+    use phom_workloads::{email_matrix, generate_campaign, CampaignConfig};
+
+    let (spam, ham) = match scale {
+        Scale::Small => (8, 8),
+        Scale::Paper => (25, 25),
+    };
+    let acfg = AlgoConfig {
+        xi: 0.4,
+        ..Default::default()
+    };
+    let flag_at = MATCH_THRESHOLD;
+
+    [0.2, 0.6, 1.0]
+        .into_iter()
+        .map(|wrapper_rate| {
+            let cfg = CampaignConfig {
+                wrapper_rate,
+                seed,
+                ..Default::default()
+            };
+            let inst = generate_campaign(&cfg, spam, ham);
+            let mut row = ExtSpamRow {
+                wrapper_rate,
+                phom_recall: 0,
+                phom_false_positives: 0,
+                k1_recall: 0,
+                k1_false_positives: 0,
+                spam_total: spam,
+            };
+            for (msg, is_spam) in &inst.mailbox {
+                let mat = email_matrix(&inst.template, msg);
+                let phom_hit =
+                    comp_max_card(&inst.template, msg, &mat, &acfg).qual_card() >= flag_at;
+                let k1_hit = comp_max_card_bounded(&inst.template, msg, &mat, &acfg, 1).qual_card()
+                    >= flag_at;
+                if *is_spam {
+                    row.phom_recall += usize::from(phom_hit);
+                    row.k1_recall += usize::from(k1_hit);
+                } else {
+                    row.phom_false_positives += usize::from(phom_hit);
+                    row.k1_false_positives += usize::from(k1_hit);
+                }
+            }
+            row
+        })
+        .collect()
+}

@@ -1,0 +1,19 @@
+//! # phom-bench
+//!
+//! Experiment harness regenerating every table and figure of §6 of
+//! *Graph Homomorphism Revisited for Graph Matching* (VLDB 2010).
+//!
+//! The [`exp`] module holds the workload/measurement logic shared by the
+//! `experiments` binary (`cargo run -p phom-bench --release --bin
+//! experiments -- <id>`) and the Criterion benches (`cargo bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+
+pub use exp::{
+    ext_ged_rows, ext_restart_rows, ext_spam_rows, ext_stretch_rows, fig5_series, fig6_series,
+    table2_rows, table3_rows, ExtGedRow, ExtRestartRow, ExtSpamRow, ExtStretchRow, Fig5Point,
+    Fig6Point, Scale, Sweep, Table2Row, Table3Row, ALGORITHMS, ALGORITHM_NAMES,
+};

@@ -1,0 +1,108 @@
+//! The quality guarantees of Theorems 4.3 and 5.1 as executable
+//! quantities: what the approximation algorithms are *entitled* to return
+//! on a given instance, and hardness-side context for interpreting it.
+
+/// The Theorem 5.1 guarantee factor `O(log²(n₁n₂) / (n₁n₂))` (constant 1,
+/// the form the paper states): any of the four algorithms returns a
+/// solution of quality at least `guarantee_factor(n1, n2) · OPT`
+/// (asymptotically; trivially clamped into `(0, 1]`).
+pub fn guarantee_factor(n1: usize, n2: usize) -> f64 {
+    let n = (n1 * n2) as f64;
+    if n <= 1.0 {
+        return 1.0;
+    }
+    (n.log2().powi(2) / n).min(1.0)
+}
+
+/// The inapproximability ceiling of Theorem 4.3: no PTIME algorithm can
+/// guarantee quality `≥ n₁^{ε-1} · OPT` for any fixed `ε > 0`
+/// (unless P = NP). Returns `n1^(eps-1)` for context displays.
+pub fn hardness_ceiling(n1: usize, eps: f64) -> f64 {
+    assert!((0.0..1.0).contains(&eps), "epsilon must be in [0, 1)");
+    if n1 <= 1 {
+        return 1.0;
+    }
+    (n1 as f64).powf(eps - 1.0)
+}
+
+/// Appendix B's observation about when exact solving beats approximating:
+/// `log²n/n` is maximal at `n = e²  ≈ 7.39` and decreasing beyond it, so
+/// for product graphs of at most this many nodes "it is affordable to use
+/// an exact algorithm". Returns `true` when the instance is in the
+/// exact-friendly regime (we use a pragmatically larger cutoff: the
+/// branch-and-bound oracle is fine into the hundreds of product nodes).
+pub fn prefer_exact(candidate_pairs: usize) -> bool {
+    candidate_pairs <= 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{comp_max_card, AlgoConfig};
+    use crate::exact::{exact_optimum, Objective};
+    use phom_graph::{gnm_random, DiGraph, NodeId};
+    use phom_sim::{NodeWeights, SimMatrix};
+
+    #[test]
+    fn factor_is_monotone_decreasing_past_e_squared() {
+        let mut prev = guarantee_factor(2, 4); // n = 8 > e^2
+        for n2 in 5..40 {
+            let next = guarantee_factor(2, n2);
+            assert!(next <= prev + 1e-12, "n2={n2}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn factor_edge_cases() {
+        assert_eq!(guarantee_factor(0, 10), 1.0);
+        assert_eq!(guarantee_factor(1, 1), 1.0);
+        assert!(guarantee_factor(100, 100) > 0.0);
+        assert!(guarantee_factor(100, 100) < 0.02);
+    }
+
+    #[test]
+    fn hardness_ceiling_shrinks_with_n() {
+        assert!(hardness_ceiling(10, 0.1) > hardness_ceiling(1000, 0.1));
+        assert_eq!(hardness_ceiling(1, 0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn hardness_rejects_bad_eps() {
+        hardness_ceiling(10, 1.5);
+    }
+
+    /// The actual Proposition 5.2 check: on a batch of random instances
+    /// the approximation meets (in practice: vastly exceeds) its
+    /// guaranteed fraction of the exact optimum.
+    #[test]
+    fn approximation_meets_guarantee_on_random_instances() {
+        for seed in 0..20u64 {
+            let g1 = gnm_random(6, 10, seed * 2 + 1);
+            let g2 = gnm_random(8, 16, seed * 2 + 2);
+            // Label space of 3 values for candidate diversity.
+            let relabel = |g: &DiGraph<u32>| g.map_labels(|_, &l| (l % 3) as u8);
+            let (g1, g2) = (relabel(&g1), relabel(&g2));
+            let mat = SimMatrix::label_equality(&g1, &g2);
+            let w = NodeWeights::uniform(g1.node_count());
+            let exact = exact_optimum(&g1, &g2, &mat, 0.5, false, Objective::Cardinality, &w);
+            let approx = comp_max_card(&g1, &g2, &mat, &AlgoConfig::default());
+            let bound = guarantee_factor(g1.node_count(), g2.node_count());
+            assert!(
+                approx.len() as f64 + 1e-9 >= bound * exact.len() as f64,
+                "seed {seed}: approx {} < {} * exact {}",
+                approx.len(),
+                bound,
+                exact.len()
+            );
+            let _ = NodeId(0);
+        }
+    }
+
+    #[test]
+    fn prefer_exact_threshold() {
+        assert!(prefer_exact(10));
+        assert!(!prefer_exact(1000));
+    }
+}

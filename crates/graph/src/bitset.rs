@@ -1,0 +1,393 @@
+//! A fixed-capacity bitset used throughout the crate for reachability
+//! matrices, visited sets, and candidate sets.
+//!
+//! The set is backed by a boxed slice of `u64` words. Capacity is fixed at
+//! construction; all indices must be `< len()`. This is deliberately a small,
+//! dependency-free substrate (the reachability matrix `H2` of the paper's
+//! algorithm `compMaxCard` stores one `BitSet` row per node of `G2+`).
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-size set of bits.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Box<[u64]>,
+    /// Number of addressable bits.
+    len: usize,
+}
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl BitSet {
+    /// Creates a bitset able to hold `len` bits, all initially zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; word_count(len)].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Creates a bitset of `len` bits with every bit set.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self {
+            words: vec![!0u64; word_count(len)].into_boxed_slice(),
+            len,
+        };
+        s.clear_tail();
+        s
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set holds zero addressable bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (keeps counts honest).
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Sets bit `i`; returns whether the bit was previously unset.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Clears bit `i`; returns whether the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Sets all bits to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: removes every bit set in `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// True when `self` and `other` share at least one set bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True when every bit of `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over set bit indices.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a bitset sized to the maximum index + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_zero());
+        assert!(!s.contains(0));
+        assert!(!s.contains(129));
+    }
+
+    #[test]
+    fn full_sets_exactly_len_bits() {
+        for len in [0, 1, 63, 64, 65, 128, 130] {
+            let s = BitSet::full(len);
+            assert_eq!(s.count(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "second insert reports not fresh");
+        assert!(s.contains(7));
+        assert!(s.remove(7));
+        assert!(!s.remove(7), "second remove reports absent");
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn insert_across_word_boundary() {
+        let mut s = BitSet::new(200);
+        for i in [0, 63, 64, 65, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.count(), 7);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        let s = BitSet::new(10);
+        s.contains(10);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(65);
+        b.insert(2);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 65]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![65]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let a: BitSet = [1usize, 5, 9].into_iter().collect();
+        let b: BitSet = [1usize, 3, 5, 9].into_iter().collect();
+        // from_iter sizes differ; resize via explicit construction instead.
+        let mut a2 = BitSet::new(10);
+        for i in a.iter() {
+            a2.insert(i);
+        }
+        assert!(a2.is_subset(&b));
+        assert!(!b.is_subset(&a2));
+        assert!(a2.intersects(&b));
+        let empty = BitSet::new(10);
+        assert!(!empty.intersects(&b));
+        assert!(empty.is_subset(&b));
+    }
+
+    #[test]
+    fn first_returns_lowest() {
+        let mut s = BitSet::new(300);
+        assert_eq!(s.first(), None);
+        s.insert(250);
+        assert_eq!(s.first(), Some(250));
+        s.insert(70);
+        assert_eq!(s.first(), Some(70));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::full(100);
+        s.clear();
+        assert!(s.is_zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_iter_matches_contains(indices in proptest::collection::vec(0usize..256, 0..64)) {
+            let mut s = BitSet::new(256);
+            for &i in &indices {
+                s.insert(i);
+            }
+            let from_iter: Vec<usize> = s.iter().collect();
+            let from_scan: Vec<usize> = (0..256).filter(|&i| s.contains(i)).collect();
+            prop_assert_eq!(from_iter, from_scan);
+            prop_assert_eq!(s.count(), s.iter().count());
+        }
+
+        #[test]
+        fn prop_union_is_commutative_and_superset(
+            xs in proptest::collection::vec(0usize..128, 0..40),
+            ys in proptest::collection::vec(0usize..128, 0..40),
+        ) {
+            let mut a = BitSet::new(128);
+            let mut b = BitSet::new(128);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+            let mut ab = a.clone();
+            ab.union_with(&b);
+            let mut ba = b.clone();
+            ba.union_with(&a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert!(a.is_subset(&ab));
+            prop_assert!(b.is_subset(&ab));
+        }
+
+        #[test]
+        fn prop_demorgan_difference(
+            xs in proptest::collection::vec(0usize..128, 0..40),
+            ys in proptest::collection::vec(0usize..128, 0..40),
+        ) {
+            let mut a = BitSet::new(128);
+            let mut b = BitSet::new(128);
+            for &x in &xs { a.insert(x); }
+            for &y in &ys { b.insert(y); }
+            // |a| = |a ∩ b| + |a \ b|
+            let mut inter = a.clone();
+            inter.intersect_with(&b);
+            let mut diff = a.clone();
+            diff.difference_with(&b);
+            prop_assert_eq!(a.count(), inter.count() + diff.count());
+            prop_assert!(!inter.intersects(&diff));
+        }
+    }
+}

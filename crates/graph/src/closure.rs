@@ -1,0 +1,430 @@
+//! Transitive closure `G+` of a directed graph (Nuutila-style [22]):
+//! SCC condensation first, then one bitset union pass over the condensation
+//! DAG in reverse-topological component order.
+//!
+//! The closure is **proper**: `reaches(u, v)` holds iff there is a
+//! *nonempty* path from `u` to `v` — exactly the `H2[u1][u2]` adjacency
+//! matrix of algorithm `compMaxCard` (Fig. 3, lines 5–7). In particular a
+//! node reaches itself only when it lies on a cycle (or has a self-loop).
+
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, NodeId};
+use crate::scc::{tarjan_scc, SccResult};
+
+/// Reachability matrix of `G+`, stored as one bitset row per SCC
+/// (all members of an SCC reach the same node set).
+#[derive(Debug, Clone)]
+pub struct TransitiveClosure {
+    /// `comp[v]` = SCC id of node `v`.
+    comp: Vec<u32>,
+    /// `rows[c]` = nodes reachable from any member of component `c` via a
+    /// nonempty path.
+    rows: Vec<BitSet>,
+    node_count: usize,
+}
+
+impl TransitiveClosure {
+    /// Computes the closure of `g`.
+    pub fn new<L>(g: &DiGraph<L>) -> Self {
+        let scc = tarjan_scc(g);
+        Self::from_scc(g, &scc)
+    }
+
+    /// Computes the **hop-bounded** closure of `g`: `reaches(u, v)` holds
+    /// iff there is a nonempty path `u ⇝ v` of length at most `k` edges.
+    ///
+    /// Matching against a bounded closure yields the fixed-length
+    /// path-matching semantics of Zou et al. \[32\] (§2 of the paper):
+    /// `k = 1` degenerates to plain edge-to-edge graph homomorphism, and
+    /// any `k ≥ n` coincides with the full closure. Unlike the unbounded
+    /// closure, SCC members do *not* share reachable sets under a hop
+    /// bound, so rows are stored per node (one breadth-first layering per
+    /// source, `O(k·(n + m))` each with early exit on a stable frontier).
+    pub fn bounded<L>(g: &DiGraph<L>, k: usize) -> Self {
+        let n = g.node_count();
+        let comp: Vec<u32> = (0..n as u32).collect();
+        let mut rows = Vec::with_capacity(n);
+        let mut frontier: Vec<NodeId> = Vec::new();
+        let mut next: Vec<NodeId> = Vec::new();
+        for v in g.nodes() {
+            let mut row = BitSet::new(n);
+            frontier.clear();
+            frontier.push(v);
+            for _ in 0..k {
+                next.clear();
+                for &x in &frontier {
+                    for &w in g.post(x) {
+                        if row.insert(w.index()) {
+                            next.push(w);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            rows.push(row);
+        }
+        Self {
+            comp,
+            rows,
+            node_count: n,
+        }
+    }
+
+    /// Computes the closure of `g` reusing an existing SCC decomposition.
+    pub fn from_scc<L>(g: &DiGraph<L>, scc: &SccResult) -> Self {
+        let n = g.node_count();
+        let c = scc.count();
+        let comp: Vec<u32> = (0..n)
+            .map(|v| scc.component_of(NodeId(v as u32)) as u32)
+            .collect();
+
+        // Tarjan ids are reverse-topological: every cross edge goes from a
+        // higher component id to a lower one, so ascending order visits
+        // sinks first and each row only depends on already-finished rows.
+        let mut rows: Vec<BitSet> = Vec::with_capacity(c);
+        for cid in 0..c {
+            let mut row = BitSet::new(n);
+            let mut cyclic = scc.members(cid).len() > 1;
+            for &v in scc.members(cid) {
+                for &w in g.post(v) {
+                    let d = scc.component_of(w);
+                    if d == cid {
+                        cyclic = true; // self-loop or intra-SCC edge
+                    } else {
+                        debug_assert!(d < cid, "tarjan numbering invariant");
+                        row.insert(w.index());
+                        row.union_with(&rows[d]);
+                        // Include all members of d (an acyclic component's
+                        // own row does not contain its members).
+                        for &m in scc.members(d) {
+                            row.insert(m.index());
+                        }
+                    }
+                }
+            }
+            if cyclic {
+                for &m in scc.members(cid) {
+                    row.insert(m.index());
+                }
+            }
+            rows.push(row);
+        }
+
+        Self {
+            comp,
+            rows,
+            node_count: n,
+        }
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// True iff there is a nonempty path `from ⇝ to`.
+    #[inline]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.rows[self.comp[from.index()] as usize].contains(to.index())
+    }
+
+    /// The full set of nodes reachable from `v` via nonempty paths.
+    pub fn reachable_set(&self, v: NodeId) -> &BitSet {
+        &self.rows[self.comp[v.index()] as usize]
+    }
+
+    /// Number of `(u, v)` pairs with a nonempty path — `|E+|`.
+    pub fn edge_count(&self) -> usize {
+        (0..self.node_count)
+            .map(|v| self.rows[self.comp[v] as usize].count())
+            .sum()
+    }
+
+    /// Materializes the closure graph `G+` (same nodes/labels, one edge per
+    /// reachable pair). Quadratic output; intended for small graphs
+    /// (the symmetric-matching Remark of §3.2 applies it to patterns).
+    pub fn to_graph<L: Clone>(&self, g: &DiGraph<L>) -> DiGraph<L> {
+        let mut h = DiGraph::with_capacity(g.node_count());
+        for v in g.nodes() {
+            h.add_node(g.label(v).clone());
+        }
+        for v in g.nodes() {
+            for w in self.reachable_set(v).iter() {
+                h.add_edge(v, NodeId(w as u32));
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+
+    /// Brute-force nonempty-path reachability by DFS from each successor.
+    fn slow_reaches<L>(g: &DiGraph<L>, from: NodeId, to: NodeId) -> bool {
+        let mut seen = vec![false; g.node_count()];
+        let mut stack: Vec<NodeId> = g.post(from).to_vec();
+        while let Some(v) = stack.pop() {
+            if v == to {
+                return true;
+            }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.extend_from_slice(g.post(v));
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn path_graph_closure() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let tc = TransitiveClosure::new(&g);
+        assert!(tc.reaches(NodeId(0), NodeId(1)));
+        assert!(tc.reaches(NodeId(0), NodeId(2)));
+        assert!(tc.reaches(NodeId(1), NodeId(2)));
+        assert!(!tc.reaches(NodeId(2), NodeId(0)));
+        assert!(!tc.reaches(NodeId(0), NodeId(0)), "closure is proper");
+        assert_eq!(tc.edge_count(), 3);
+    }
+
+    #[test]
+    fn cycle_members_reach_themselves() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b"), ("b", "a")]);
+        let tc = TransitiveClosure::new(&g);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(tc.reaches(NodeId(i), NodeId(j)), "{i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_reaches_itself() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a);
+        g.add_edge(a, b);
+        let tc = TransitiveClosure::new(&g);
+        assert!(tc.reaches(a, a));
+        assert!(tc.reaches(a, b));
+        assert!(!tc.reaches(b, b));
+    }
+
+    #[test]
+    fn cycle_reaching_tail() {
+        // cycle {a,b} -> c -> d
+        let g = graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
+        );
+        let tc = TransitiveClosure::new(&g);
+        assert!(tc.reaches(NodeId(0), NodeId(3)));
+        assert!(tc.reaches(NodeId(0), NodeId(0)));
+        assert!(!tc.reaches(NodeId(2), NodeId(2)));
+        assert!(!tc.reaches(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn to_graph_materializes_closure_edges() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let tc = TransitiveClosure::new(&g);
+        let gp = tc.to_graph(&g);
+        assert_eq!(gp.edge_count(), 3);
+        assert!(gp.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(gp.label(NodeId(2)), "c");
+    }
+
+    #[test]
+    fn closure_matches_dfs_on_fixed_tricky_graph() {
+        // Two interlocking cycles plus a DAG tail and an isolated node.
+        let g = graph_from_labels(
+            &["a", "b", "c", "d", "e", "f", "iso"],
+            &[
+                ("a", "b"),
+                ("b", "c"),
+                ("c", "a"),
+                ("c", "d"),
+                ("d", "e"),
+                ("e", "d"),
+                ("e", "f"),
+            ],
+        );
+        let tc = TransitiveClosure::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    tc.reaches(u, v),
+                    slow_reaches(&g, u, v),
+                    "mismatch {u:?}->{v:?}"
+                );
+            }
+        }
+    }
+
+    /// Brute-force ≤k-hop nonempty-path reachability by depth-limited BFS.
+    fn slow_reaches_bounded<L>(g: &DiGraph<L>, from: NodeId, to: NodeId, k: usize) -> bool {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut frontier = vec![from];
+        for d in 1..=k {
+            let mut next = Vec::new();
+            for x in frontier {
+                for &w in g.post(x) {
+                    if w == to {
+                        return true;
+                    }
+                    if dist[w.index()] > d {
+                        dist[w.index()] = d;
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn bounded_one_hop_is_edge_relation() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let tc = TransitiveClosure::bounded(&g, 1);
+        assert!(tc.reaches(NodeId(0), NodeId(1)));
+        assert!(!tc.reaches(NodeId(0), NodeId(2)), "two hops exceed k=1");
+        assert!(tc.reaches(NodeId(1), NodeId(2)));
+        assert_eq!(tc.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn bounded_zero_hops_reaches_nothing() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b"), ("b", "a")]);
+        let tc = TransitiveClosure::bounded(&g, 0);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert!(!tc.reaches(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cycle_self_reach_needs_cycle_length() {
+        // 3-cycle: a node reaches itself only once k >= 3.
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c"), ("c", "a")]);
+        assert!(!TransitiveClosure::bounded(&g, 2).reaches(NodeId(0), NodeId(0)));
+        assert!(TransitiveClosure::bounded(&g, 3).reaches(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn bounded_large_k_equals_full_closure() {
+        let g = graph_from_labels(
+            &["a", "b", "c", "d", "e"],
+            &[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e")],
+        );
+        let full = TransitiveClosure::new(&g);
+        let bounded = TransitiveClosure::bounded(&g, g.node_count());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(full.reaches(u, v), bounded.reaches(u, v), "{u:?}->{v:?}");
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = DiGraph<u32>> {
+            (
+                1usize..20,
+                proptest::collection::vec((0usize..20, 0usize..20), 0..60),
+            )
+                .prop_map(|(n, raw_edges)| {
+                    let mut g = DiGraph::with_capacity(n);
+                    for i in 0..n {
+                        g.add_node(i as u32);
+                    }
+                    for (a, b) in raw_edges {
+                        g.add_edge(NodeId((a % n) as u32), NodeId((b % n) as u32));
+                    }
+                    g
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_closure_equals_dfs_reachability(g in arb_graph()) {
+                let tc = TransitiveClosure::new(&g);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(
+                            tc.reaches(u, v),
+                            slow_reaches(&g, u, v),
+                            "mismatch {:?}->{:?}", u, v
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_bounded_matches_depth_limited_bfs(g in arb_graph(), k in 0usize..6) {
+                let tc = TransitiveClosure::bounded(&g, k);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(
+                            tc.reaches(u, v),
+                            slow_reaches_bounded(&g, u, v, k),
+                            "mismatch {:?}->{:?} k={}", u, v, k
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_bounded_is_monotone_in_k(g in arb_graph(), k in 0usize..5) {
+                let lo = TransitiveClosure::bounded(&g, k);
+                let hi = TransitiveClosure::bounded(&g, k + 1);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        if lo.reaches(u, v) {
+                            prop_assert!(hi.reaches(u, v), "k+1 lost {:?}->{:?}", u, v);
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_bounded_at_n_equals_full(g in arb_graph()) {
+                let full = TransitiveClosure::new(&g);
+                let bounded = TransitiveClosure::bounded(&g, g.node_count());
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(full.reaches(u, v), bounded.reaches(u, v));
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_closure_is_transitive(g in arb_graph()) {
+                let tc = TransitiveClosure::new(&g);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        if !tc.reaches(u, v) { continue; }
+                        for w in g.nodes() {
+                            if tc.reaches(v, w) {
+                                prop_assert!(tc.reaches(u, w));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Weakly connected components (Appendix B, "Partitioning graph G1").
+//!
+//! After dropping pattern nodes with no candidate match, `G1` may fall apart
+//! into pairwise disconnected components; Proposition 1 lets the matcher run
+//! on each component independently and union the results.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Weakly connected components of `g`.
+///
+/// Returns one `Vec<NodeId>` per component, members in ascending id order,
+/// components ordered by their smallest member.
+pub fn weakly_connected_components<L>(g: &DiGraph<L>) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+
+    for root in g.nodes() {
+        if comp[root.index()] != usize::MAX {
+            continue;
+        }
+        comp[root.index()] = count;
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            for &w in g.post(v).iter().chain(g.prev(v).iter()) {
+                if comp[w.index()] == usize::MAX {
+                    comp[w.index()] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+    for v in g.nodes() {
+        out[comp[v.index()]].push(v);
+    }
+    out
+}
+
+/// True when `g` is weakly connected (or empty).
+pub fn is_weakly_connected<L>(g: &DiGraph<L>) -> bool {
+    weakly_connected_components(g).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert!(weakly_connected_components(&g).is_empty());
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // a -> b, c -> b : weakly one component despite no directed path a~c.
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("c", "b")]);
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn fig_10a_partition() {
+        // Fig. 10(a): removing C from G1 leaves components {A,B,D},
+        // {E} and {F,G}. We build the already-reduced graph here.
+        let g = graph_from_labels(
+            &["A", "B", "D", "E", "F", "G"],
+            &[("A", "B"), ("B", "D"), ("F", "G")],
+        );
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 1, "singleton component E");
+        assert_eq!(comps[2].len(), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut g: DiGraph<u8> = DiGraph::new();
+        for i in 0..4 {
+            g.add_node(i);
+        }
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(!is_weakly_connected(&g));
+    }
+}

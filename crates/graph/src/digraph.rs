@@ -1,0 +1,399 @@
+//! The node-labeled directed graph `G = (V, E, L)` of the paper (§3.1).
+//!
+//! Nodes are dense `u32` indices wrapped in [`NodeId`]; each node carries a
+//! label of type `L` (the paper uses page content / URL strings). Both
+//! forward and reverse adjacency are maintained because the matching
+//! algorithms need `prev` and `post` lists (algorithm `compMaxCard`,
+//! data structure *(c)*).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node inside one [`DiGraph`]. Dense: `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`, for direct slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A node-labeled directed graph.
+///
+/// Self-loops are allowed (the product-graph reduction of Theorem 5.1 cares
+/// about them); parallel edges are collapsed.
+#[derive(Clone)]
+pub struct DiGraph<L> {
+    labels: Vec<L>,
+    out: Vec<Vec<NodeId>>,
+    inc: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl<L> Default for DiGraph<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L> DiGraph<L> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self {
+            labels: Vec::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates an empty graph with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(n),
+            out: Vec::with_capacity(n),
+            inc: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node with `label`, returning its id.
+    pub fn add_node(&mut self, label: L) -> NodeId {
+        let id = NodeId(u32::try_from(self.labels.len()).expect("more than u32::MAX nodes"));
+        self.labels.push(label);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Adds the edge `(from, to)` if absent. Returns `true` when inserted.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.index() < self.labels.len(), "from out of range");
+        assert!(to.index() < self.labels.len(), "to out of range");
+        if self.out[from.index()].contains(&to) {
+            return false;
+        }
+        self.out[from.index()].push(to);
+        self.inc[to.index()].push(from);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Number of nodes, `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges, `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterator over all node ids, `0..n`.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(v, succs)| succs.iter().map(move |&u| (NodeId(v as u32), u)))
+    }
+
+    /// The label `L(v)`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> &L {
+        &self.labels[v.index()]
+    }
+
+    /// Mutable access to the label `L(v)`.
+    pub fn label_mut(&mut self, v: NodeId) -> &mut L {
+        &mut self.labels[v.index()]
+    }
+
+    /// Successors of `v` ("children": nodes with an edge from `v`).
+    #[inline]
+    pub fn post(&self, v: NodeId) -> &[NodeId] {
+        &self.out[v.index()]
+    }
+
+    /// Predecessors of `v` ("parents": nodes with an edge to `v`).
+    #[inline]
+    pub fn prev(&self, v: NodeId) -> &[NodeId] {
+        &self.inc[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inc[v.index()].len()
+    }
+
+    /// Total degree (in + out) of `v`, as used by the skeleton rule of §6.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// True when the edge `(from, to)` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out[from.index()].contains(&to)
+    }
+
+    /// True when `v` has an edge to itself.
+    pub fn has_self_loop(&self, v: NodeId) -> bool {
+        self.has_edge(v, v)
+    }
+
+    /// Average total degree `avgDeg(G)` (0.0 for the empty graph). §6 uses
+    /// `2|E|/|V|` since each edge contributes to one in- and one out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Maximum total degree `maxDeg(G)` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Maps labels, preserving structure.
+    pub fn map_labels<M, F: FnMut(NodeId, &L) -> M>(&self, mut f: F) -> DiGraph<M> {
+        let mut g = DiGraph::with_capacity(self.node_count());
+        for v in self.nodes() {
+            g.add_node(f(v, self.label(v)));
+        }
+        for (a, b) in self.edges() {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// The subgraph induced by `keep` (nodes are renumbered densely in
+    /// ascending order of their old ids). Returns the subgraph and the map
+    /// `new -> old`.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<NodeId>) -> (DiGraph<L>, Vec<NodeId>)
+    where
+        L: Clone,
+    {
+        let mut old_of_new: Vec<NodeId> = Vec::with_capacity(keep.len());
+        let mut new_of_old: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        let mut g = DiGraph::with_capacity(keep.len());
+        for &v in keep {
+            let nv = g.add_node(self.label(v).clone());
+            new_of_old[v.index()] = Some(nv);
+            old_of_new.push(v);
+        }
+        for &v in keep {
+            let nv = new_of_old[v.index()].expect("just inserted");
+            for &w in self.post(v) {
+                if let Some(nw) = new_of_old[w.index()] {
+                    g.add_edge(nv, nw);
+                }
+            }
+        }
+        (g, old_of_new)
+    }
+
+    /// Reverses every edge, preserving labels.
+    pub fn reversed(&self) -> DiGraph<L>
+    where
+        L: Clone,
+    {
+        let mut g = DiGraph::with_capacity(self.node_count());
+        for v in self.nodes() {
+            g.add_node(self.label(v).clone());
+        }
+        for (a, b) in self.edges() {
+            g.add_edge(b, a);
+        }
+        g
+    }
+}
+
+impl<L: fmt::Debug> fmt::Debug for DiGraph<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DiGraph(|V|={}, |E|={})",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for v in self.nodes() {
+            writeln!(f, "  {v:?} [{:?}] -> {:?}", self.label(v), self.post(v))?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples: builds a
+/// graph from string labels and label-pair edges.
+///
+/// # Panics
+/// Panics if an edge mentions an unknown label or labels are duplicated.
+pub fn graph_from_labels(labels: &[&str], edges: &[(&str, &str)]) -> DiGraph<String> {
+    let mut g = DiGraph::with_capacity(labels.len());
+    let mut ids = std::collections::HashMap::with_capacity(labels.len());
+    for &l in labels {
+        let id = g.add_node(l.to_owned());
+        let dup = ids.insert(l.to_owned(), id);
+        assert!(dup.is_none(), "duplicate label {l:?}");
+    }
+    for &(a, b) in edges {
+        let &ia = ids.get(a).unwrap_or_else(|| panic!("unknown label {a:?}"));
+        let &ib = ids.get(b).unwrap_or_else(|| panic!("unknown label {b:?}"));
+        g.add_edge(ia, ib);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<String> {
+        graph_from_labels(
+            &["A", "B", "C", "D"],
+            &[("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+        )
+    }
+
+    #[test]
+    fn add_node_assigns_dense_ids() {
+        let mut g: DiGraph<&str> = DiGraph::new();
+        assert_eq!(g.add_node("x"), NodeId(0));
+        assert_eq!(g.add_node("y"), NodeId(1));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(*g.label(NodeId(1)), "y");
+    }
+
+    #[test]
+    fn add_edge_deduplicates() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b), "parallel edge collapsed");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn post_and_prev_are_consistent() {
+        let g = diamond();
+        let a = NodeId(0);
+        let d = NodeId(3);
+        assert_eq!(g.post(a), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.prev(d), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn self_loops_allowed() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let a = g.add_node(());
+        assert!(g.add_edge(a, a));
+        assert!(g.has_self_loop(a));
+        assert_eq!(g.degree(a), 2, "self loop counts once in and once out");
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let g = diamond();
+        let mut e: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_statistics_match_section6_definitions() {
+        let g = diamond();
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+        let empty: DiGraph<()> = DiGraph::new();
+        assert_eq!(empty.avg_degree(), 0.0);
+        assert_eq!(empty.max_degree(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_and_keeps_internal_edges() {
+        let g = diamond();
+        let keep: BTreeSet<NodeId> = [NodeId(0), NodeId(1), NodeId(3)].into_iter().collect();
+        let (h, old) = g.induced_subgraph(&keep);
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(old, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        // Edges A->B and B->D survive; A->C and C->D are dropped.
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.has_edge(NodeId(0), NodeId(1)));
+        assert!(h.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(h.label(NodeId(2)), "D");
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond();
+        let r = g.reversed();
+        assert!(r.has_edge(NodeId(1), NodeId(0)));
+        assert!(!r.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(r.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn map_labels_preserves_structure() {
+        let g = diamond();
+        let h = g.map_labels(|_, l| l.len());
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert_eq!(*h.label(NodeId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown label")]
+    fn graph_from_labels_rejects_unknown_edge_endpoint() {
+        graph_from_labels(&["A"], &[("A", "Z")]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Graphviz DOT export and import, used by the examples to visualize
+//! patterns, data graphs, and the mappings found between them, and by
+//! the CLI to interoperate with Graphviz-producing tools.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Renders `g` in DOT format with `label(v)` as the node label.
+pub fn to_dot<L: Display>(name: &str, g: &DiGraph<L>) -> String {
+    to_dot_with(name, g, |v, l| format!("{l} ({v})"), |_, _| None)
+}
+
+/// Renders `g` in DOT with custom node text and optional edge attributes.
+///
+/// `node_text(v, label)` produces the displayed text; `edge_attr(a, b)`
+/// may return e.g. `Some("style=dashed".into())`.
+pub fn to_dot_with<L>(
+    name: &str,
+    g: &DiGraph<L>,
+    node_text: impl Fn(NodeId, &L) -> String,
+    edge_attr: impl Fn(NodeId, NodeId) -> Option<String>,
+) -> String {
+    let mut s = String::with_capacity(64 + 32 * (g.node_count() + g.edge_count()));
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=TB; node [shape=box];");
+    for v in g.nodes() {
+        let text = node_text(v, g.label(v)).replace('"', "\\\"");
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", v.0, text);
+    }
+    for (a, b) in g.edges() {
+        match edge_attr(a, b) {
+            Some(attr) => {
+                let _ = writeln!(s, "  n{} -> n{} [{attr}];", a.0, b.0);
+            }
+            None => {
+                let _ = writeln!(s, "  n{} -> n{};", a.0, b.0);
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Error from [`from_dot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Display for DotParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DOT parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DotParseError {}
+
+/// Parses the line-oriented DOT subset that [`to_dot`] emits (and that
+/// most generators produce): one `digraph` block with one statement per
+/// line — `id [label="text"];` node lines and `a -> b;` edge lines
+/// (edge attributes are ignored). Nodes first referenced by an edge get
+/// their id as their label. Not a general DOT parser: subgraphs,
+/// multi-statement lines, and HTML labels are rejected or ignored.
+pub fn from_dot(text: &str) -> Result<DiGraph<String>, DotParseError> {
+    let mut g: DiGraph<String> = DiGraph::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut seen_header = false;
+
+    let err = |line: usize, message: &str| DotParseError {
+        line,
+        message: message.to_owned(),
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
+            continue;
+        }
+        if !seen_header {
+            if line.starts_with("digraph") && line.ends_with('{') {
+                seen_header = true;
+                continue;
+            }
+            return Err(err(line_no, "expected `digraph <name> {`"));
+        }
+        if line == "}" {
+            break;
+        }
+        // Global attribute lines like `rankdir=TB; node [shape=box];`.
+        if line.starts_with("rankdir")
+            || line.starts_with("node [")
+            || line.starts_with("edge [")
+            || line.starts_with("graph [")
+        {
+            continue;
+        }
+        let stmt = line.trim_end_matches(';').trim();
+        if let Some((a, b)) = stmt.split_once("->") {
+            let a = a.trim();
+            // Strip optional edge attributes: `b [color=red]`.
+            let b = b.split('[').next().unwrap_or("").trim();
+            if a.is_empty() || b.is_empty() {
+                return Err(err(line_no, "malformed edge statement"));
+            }
+            let mut node_of = |name: &str, g: &mut DiGraph<String>| -> NodeId {
+                *ids.entry(name.to_owned())
+                    .or_insert_with(|| g.add_node(name.to_owned()))
+            };
+            let ia = node_of(a, &mut g);
+            let ib = node_of(b, &mut g);
+            g.add_edge(ia, ib);
+        } else {
+            // Node statement: `id` or `id [label="text" ...]`.
+            let (name, attrs) = match stmt.split_once('[') {
+                Some((n, rest)) => (n.trim(), Some(rest)),
+                None => (stmt, None),
+            };
+            if name.is_empty() {
+                return Err(err(line_no, "empty node id"));
+            }
+            let label = attrs
+                .and_then(|a| a.split("label=\"").nth(1))
+                .and_then(|rest| {
+                    // Take up to the first unescaped quote.
+                    let mut out = String::new();
+                    let mut chars = rest.chars();
+                    while let Some(c) = chars.next() {
+                        match c {
+                            '\\' => {
+                                if let Some(n) = chars.next() {
+                                    out.push(n);
+                                }
+                            }
+                            '"' => return Some(out),
+                            _ => out.push(c),
+                        }
+                    }
+                    None
+                })
+                .unwrap_or_else(|| name.to_owned());
+            match ids.get(name) {
+                Some(&id) => *g.label_mut(id) = label,
+                None => {
+                    let id = g.add_node(label);
+                    ids.insert(name.to_owned(), id);
+                }
+            }
+        }
+    }
+    if !seen_header {
+        return Err(err(1, "no digraph block found"));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let dot = to_dot("t", &g);
+        assert!(dot.starts_with("digraph t {"));
+        assert!(dot.contains("n0 [label=\"a (0)\"];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut g: DiGraph<String> = DiGraph::new();
+        g.add_node("say \"hi\"".into());
+        let dot = to_dot("q", &g);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn custom_edge_attributes_rendered() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let dot = to_dot_with("t", &g, |_, l| l.clone(), |_, _| Some("color=red".into()));
+        assert!(dot.contains("n0 -> n1 [color=red];"));
+    }
+
+    #[test]
+    fn from_dot_round_trips_to_dot_topology() {
+        let g = graph_from_labels(
+            &["hub", "a", "b", "c"],
+            &[("hub", "a"), ("hub", "b"), ("a", "c"), ("b", "c")],
+        );
+        let parsed = from_dot(&to_dot_with("t", &g, |_, l| l.clone(), |_, _| None))
+            .expect("parses own output");
+        assert_eq!(parsed.node_count(), g.node_count());
+        assert_eq!(parsed.edge_count(), g.edge_count());
+        // Labels survive (node ids are renumbered by first reference).
+        let labels: std::collections::BTreeSet<&str> =
+            parsed.nodes().map(|v| parsed.label(v).as_str()).collect();
+        assert_eq!(labels, ["hub", "a", "b", "c"].into_iter().collect());
+        // Topology survives: hub reaches c in 2 hops in both.
+        let tc = crate::closure::TransitiveClosure::new(&parsed);
+        let hub = parsed.nodes().find(|&v| parsed.label(v) == "hub").unwrap();
+        let c = parsed.nodes().find(|&v| parsed.label(v) == "c").unwrap();
+        assert!(tc.reaches(hub, c));
+    }
+
+    #[test]
+    fn from_dot_parses_bare_edge_list() {
+        let g = from_dot("digraph g {\n  a -> b;\n  b -> c;\n}\n").expect("parses");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(NodeId(0)), "a", "edge-referenced ids become labels");
+    }
+
+    #[test]
+    fn from_dot_handles_edge_attributes_and_escapes() {
+        let text = "digraph g {\n  n0 [label=\"say \\\"hi\\\"\"];\n  n0 -> n1 [style=dashed];\n}";
+        let g = from_dot(text).expect("parses");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.label(NodeId(0)), "say \"hi\"");
+    }
+
+    #[test]
+    fn from_dot_rejects_garbage() {
+        assert!(
+            from_dot("graph g { a -- b; }").is_err(),
+            "undirected rejected"
+        );
+        assert!(from_dot("").is_err(), "no block");
+        let err = from_dot("not dot at all").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Random and structured graph generators shared by tests, property
+//! strategies, and benches (`G(n, m)` digraphs, DAGs, paths, cycles,
+//! preferential-attachment graphs).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Minimal xorshift64* RNG so the substrate crate stays dependency-free;
+/// good enough for workload generation, not for cryptography.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the generator (zero is mapped to a fixed nonzero seed).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// `G(n, m)`: `n` nodes labeled `0..n`, `m` distinct random edges
+/// (no self-loops; `m` is capped at `n(n-1)`).
+pub fn gnm_random(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
+    let mut rng = XorShift64::new(seed);
+    let mut g = DiGraph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(i as u32);
+    }
+    if n < 2 {
+        return g;
+    }
+    let target = m.min(n * (n - 1));
+    let mut guard = 0usize;
+    while g.edge_count() < target && guard < 100 * target.max(1) {
+        guard += 1;
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    g
+}
+
+/// Random DAG: like `G(n, m)` but every edge goes from a lower to a higher
+/// node id (the paper's hardness results already hold on DAGs).
+pub fn random_dag(n: usize, m: usize, seed: u64) -> DiGraph<u32> {
+    let mut rng = XorShift64::new(seed);
+    let mut g = DiGraph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(i as u32);
+    }
+    if n < 2 {
+        return g;
+    }
+    let target = m.min(n * (n - 1) / 2);
+    let mut guard = 0usize;
+    while g.edge_count() < target && guard < 100 * target.max(1) {
+        guard += 1;
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            g.add_edge(NodeId(lo as u32), NodeId(hi as u32));
+        }
+    }
+    g
+}
+
+/// Directed path `0 -> 1 -> .. -> n-1`.
+pub fn path(n: usize) -> DiGraph<u32> {
+    let mut g = DiGraph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(i as u32);
+    }
+    for i in 1..n {
+        g.add_edge(NodeId((i - 1) as u32), NodeId(i as u32));
+    }
+    g
+}
+
+/// Directed cycle over `n ≥ 1` nodes (a self-loop when `n == 1`).
+pub fn cycle(n: usize) -> DiGraph<u32> {
+    let mut g = path(n);
+    if n >= 1 {
+        g.add_edge(NodeId((n - 1) as u32), NodeId(0));
+    }
+    g
+}
+
+/// Directed `rows × cols` grid DAG: node `(r, c)` has id `r·cols + c`
+/// and edges right `(r, c) -> (r, c+1)` and down `(r, c) -> (r+1, c)`.
+/// Shortest-path distance between reachable cells equals Manhattan
+/// distance, which makes grids the canonical fixture for hop-bounded
+/// reachability tests.
+pub fn grid(rows: usize, cols: usize) -> DiGraph<u32> {
+    let mut g = DiGraph::with_capacity(rows * cols);
+    for i in 0..rows * cols {
+        g.add_node(i as u32);
+    }
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Preferential attachment: each new node links to `k` existing nodes
+/// chosen with probability proportional to their current degree — yields
+/// the heavy-tailed hub structure of Web graphs.
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> DiGraph<u32> {
+    let mut rng = XorShift64::new(seed);
+    let mut g = DiGraph::with_capacity(n);
+    if n == 0 {
+        return g;
+    }
+    g.add_node(0);
+    // Endpoint pool: node id appears once per incident edge + once flat.
+    let mut pool: Vec<u32> = vec![0];
+    for i in 1..n {
+        let v = g.add_node(i as u32);
+        for _ in 0..k.min(i) {
+            let target = pool[rng.below(pool.len())];
+            if g.add_edge(v, NodeId(target)) {
+                pool.push(target);
+                pool.push(v.0);
+            }
+        }
+        pool.push(v.0);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::tarjan_scc;
+
+    #[test]
+    fn grid_shape_and_edge_count() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // right edges: 3 rows × 3, down edges: 2 × 4.
+        assert_eq!(g.edge_count(), 9 + 8);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 12, "grid is a DAG");
+        // Corner degrees.
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.out_degree(NodeId(11)), 0);
+    }
+
+    #[test]
+    fn grid_bounded_reachability_is_manhattan_distance() {
+        // On the grid DAG a cell (r2, c2) is ≤k-hop reachable from
+        // (r1, c1) iff r2 ≥ r1, c2 ≥ c1, and the Manhattan distance is
+        // in [1, k] — the closed form the bounded closure must match.
+        let (rows, cols) = (4usize, 5usize);
+        let g = grid(rows, cols);
+        for k in 0..=(rows + cols) {
+            let tc = crate::closure::TransitiveClosure::bounded(&g, k);
+            for r1 in 0..rows {
+                for c1 in 0..cols {
+                    for r2 in 0..rows {
+                        for c2 in 0..cols {
+                            let from = NodeId((r1 * cols + c1) as u32);
+                            let to = NodeId((r2 * cols + c2) as u32);
+                            let dist = (r2 as isize - r1 as isize) + (c2 as isize - c1 as isize);
+                            let expected = r2 >= r1 && c2 >= c1 && dist >= 1 && dist as usize <= k;
+                            assert_eq!(
+                                tc.reaches(from, to),
+                                expected,
+                                "({r1},{c1})->({r2},{c2}) at k={k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_respects_counts() {
+        let g = gnm_random(50, 200, 7);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+        for (a, b) in g.edges() {
+            assert_ne!(a, b, "no self-loops");
+        }
+    }
+
+    #[test]
+    fn gnm_is_deterministic() {
+        let a = gnm_random(30, 100, 5);
+        let b = gnm_random(30, 100, 5);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gnm_caps_impossible_edge_counts() {
+        let g = gnm_random(3, 100, 1);
+        assert_eq!(g.edge_count(), 6, "3 nodes host at most 6 directed edges");
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        let g = random_dag(40, 150, 11);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), g.node_count(), "every SCC is a singleton");
+        for (a, b) in g.edges() {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5);
+        assert_eq!(p.edge_count(), 4);
+        let c = cycle(5);
+        assert_eq!(c.edge_count(), 5);
+        assert_eq!(tarjan_scc(&c).count(), 1);
+        let loop1 = cycle(1);
+        assert!(loop1.has_self_loop(NodeId(0)));
+    }
+
+    #[test]
+    fn preferential_attachment_grows_hubs() {
+        let g = preferential_attachment(300, 2, 3);
+        assert_eq!(g.node_count(), 300);
+        // Heavy tail: the max degree should far exceed the mean.
+        let max = g.max_degree() as f64;
+        assert!(
+            max >= 3.0 * g.avg_degree(),
+            "max {max} vs avg {}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn xorshift_unit_in_range() {
+        let mut rng = XorShift64::new(42);
+        for _ in 0..1000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+        // Zero seed does not lock up.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+}

@@ -1,0 +1,43 @@
+//! # phom-graph
+//!
+//! Directed, node-labeled graph substrate for the `p-hom` workspace — the
+//! graph model of *Graph Homomorphism Revisited for Graph Matching*
+//! (Fan et al., VLDB 2010), §3.1, together with the graph algorithms the
+//! matching algorithms lean on:
+//!
+//! * [`DiGraph`]: adjacency-list digraph with labels and reverse edges;
+//! * [`BitSet`]: fixed-capacity bitset (reachability rows, candidate sets);
+//! * [`tarjan_scc`]: strongly connected components (iterative Tarjan);
+//! * [`TransitiveClosure`]: the proper closure `G+` (Nuutila-style via SCC
+//!   condensation), i.e. the `H2` adjacency matrix of algorithm
+//!   `compMaxCard`;
+//! * [`compress_closure`]: the `G2*` compression of Appendix B;
+//! * [`weakly_connected_components`]: the `G1` partitioning of Appendix B;
+//! * traversal helpers, DOT export, and text/binary serialization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod closure;
+pub mod components;
+pub mod condense;
+pub mod digraph;
+pub mod dot;
+pub mod generators;
+pub mod metrics;
+pub mod scc;
+pub mod serialize;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use closure::TransitiveClosure;
+pub use components::{is_weakly_connected, weakly_connected_components};
+pub use condense::{compress_closure, condensation, CompressedGraph};
+pub use digraph::{graph_from_labels, DiGraph, NodeId};
+pub use dot::{from_dot, to_dot, DotParseError};
+pub use generators::{
+    cycle, gnm_random, grid, path, preferential_attachment, random_dag, XorShift64,
+};
+pub use metrics::{degree_histogram, graph_metrics, top_degree_nodes, GraphMetrics};
+pub use scc::{tarjan_scc, SccResult};

@@ -1,0 +1,133 @@
+//! Graph statistics used by the experiment harness (Table 2 columns) and
+//! the `phom stats` CLI: degree distributions, density, reciprocity.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Summary statistics of a digraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// `avgDeg` (total degree).
+    pub avg_degree: f64,
+    /// `maxDeg` (total degree).
+    pub max_degree: usize,
+    /// Edge density `|E| / (|V|·(|V|-1))` (0 for graphs with < 2 nodes).
+    pub density: f64,
+    /// Fraction of edges whose reverse edge also exists.
+    pub reciprocity: f64,
+    /// Nodes with no incident edges.
+    pub isolated: usize,
+}
+
+/// Computes [`GraphMetrics`] in one pass.
+pub fn graph_metrics<L>(g: &DiGraph<L>) -> GraphMetrics {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let density = if n < 2 {
+        0.0
+    } else {
+        m as f64 / (n * (n - 1)) as f64
+    };
+    let reciprocal = g.edges().filter(|&(a, b)| g.has_edge(b, a)).count();
+    let reciprocity = if m == 0 {
+        0.0
+    } else {
+        reciprocal as f64 / m as f64
+    };
+    let isolated = g.nodes().filter(|&v| g.degree(v) == 0).count();
+    GraphMetrics {
+        nodes: n,
+        edges: m,
+        avg_degree: g.avg_degree(),
+        max_degree: g.max_degree(),
+        density,
+        reciprocity,
+        isolated,
+    }
+}
+
+/// Degree histogram in logarithmic buckets: `hist[k]` counts nodes with
+/// total degree in `[2^k, 2^{k+1})`; bucket 0 additionally holds degree-0
+/// and degree-1 nodes.
+pub fn degree_histogram<L>(g: &DiGraph<L>) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for v in g.nodes() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// The `k` highest-total-degree nodes, descending (ties by id) — the
+/// selector behind the top-k skeletons of §6.
+pub fn top_degree_nodes<L>(g: &DiGraph<L>, k: usize) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+
+    fn sample() -> DiGraph<String> {
+        graph_from_labels(
+            &["hub", "a", "b", "iso"],
+            &[("hub", "a"), ("hub", "b"), ("a", "hub")],
+        )
+    }
+
+    #[test]
+    fn metrics_basics() {
+        let m = graph_metrics(&sample());
+        assert_eq!(m.nodes, 4);
+        assert_eq!(m.edges, 3);
+        assert_eq!(m.max_degree, 3, "hub: out-degree 2 + in-degree 1");
+        assert_eq!(m.isolated, 1);
+        // 1 reciprocal pair (hub->a, a->hub): 2 of 3 edges reciprocated.
+        assert!((m.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.density - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g: DiGraph<String> = DiGraph::new();
+        let m = graph_metrics(&g);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.density, 0.0);
+        assert_eq!(m.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log_degree() {
+        let g = sample();
+        let h = degree_histogram(&g);
+        // iso: degree 0 -> bucket 0; a: degree 2 -> bucket 1; b: 1 -> 0;
+        // hub: 3 -> bucket 1.
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 2);
+        assert_eq!(h.iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn top_degree_selects_hub_first() {
+        let g = sample();
+        let top = top_degree_nodes(&g, 2);
+        assert_eq!(top[0], NodeId(0));
+        assert_eq!(top.len(), 2);
+        assert_eq!(top_degree_nodes(&g, 100).len(), 4, "k larger than |V|");
+    }
+}

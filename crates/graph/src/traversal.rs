@@ -1,0 +1,172 @@
+//! Breadth-first / depth-first traversal helpers shared by the matching
+//! algorithms, the baselines, and the workload generators.
+
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, NodeId};
+
+/// Nodes reachable from `start` by a (possibly empty) path, as a bitset.
+pub fn reachable_from<L>(g: &DiGraph<L>, start: NodeId) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![start];
+    seen.insert(start.index());
+    while let Some(v) = stack.pop() {
+        for &w in g.post(v) {
+            if seen.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// True when a **nonempty** path `from ⇝ to` exists (the edge-to-path
+/// condition of p-hom); `from == to` requires a cycle through `from`.
+pub fn has_nonempty_path<L>(g: &DiGraph<L>, from: NodeId, to: NodeId) -> bool {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack: Vec<NodeId> = g.post(from).to_vec();
+    for &w in g.post(from) {
+        seen.insert(w.index());
+    }
+    while let Some(v) = stack.pop() {
+        if v == to {
+            return true;
+        }
+        for &w in g.post(v) {
+            if seen.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// BFS order from `start` (ties broken by adjacency order).
+pub fn bfs_order<L>(g: &DiGraph<L>, start: NodeId) -> Vec<NodeId> {
+    let mut seen = BitSet::new(g.node_count());
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    seen.insert(start.index());
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.post(v) {
+            if seen.insert(w.index()) {
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// One shortest (fewest edges) nonempty path `from ⇝ to`, as the node list
+/// `[from, .., to]`, or `None`. Used by examples to *exhibit* the witness
+/// path behind an edge-to-path mapping.
+pub fn shortest_nonempty_path<L>(g: &DiGraph<L>, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = BitSet::new(n);
+    let mut queue = std::collections::VecDeque::new();
+    for &w in g.post(from) {
+        if seen.insert(w.index()) {
+            parent[w.index()] = Some(from);
+            queue.push_back(w);
+        }
+    }
+    // Direct edge fast path (covers from == to with a self-loop).
+    if g.has_edge(from, to) {
+        return Some(vec![from, to]);
+    }
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            let mut path = vec![v];
+            let mut cur = v;
+            while let Some(p) = parent[cur.index()] {
+                path.push(p);
+                if p == from {
+                    break;
+                }
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in g.post(v) {
+            if seen.insert(w.index()) {
+                parent[w.index()] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+
+    fn sample() -> DiGraph<String> {
+        graph_from_labels(
+            &["a", "b", "c", "d", "x"],
+            &[("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")],
+        )
+    }
+
+    #[test]
+    fn reachable_from_includes_start() {
+        let g = sample();
+        let r = reachable_from(&g, NodeId(0));
+        assert!(r.contains(0));
+        assert!(r.contains(3));
+        assert!(!r.contains(4), "x is unreachable");
+    }
+
+    #[test]
+    fn nonempty_path_excludes_trivial_self() {
+        let g = sample();
+        assert!(!has_nonempty_path(&g, NodeId(0), NodeId(0)));
+        assert!(has_nonempty_path(&g, NodeId(0), NodeId(3)));
+        assert!(!has_nonempty_path(&g, NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn nonempty_path_via_cycle_to_self() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b"), ("b", "a")]);
+        assert!(has_nonempty_path(&g, NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn bfs_order_visits_level_by_level() {
+        let g = sample();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order[0], NodeId(0));
+        assert_eq!(order.len(), 4);
+        let pos_b = order.iter().position(|&v| v == NodeId(1)).unwrap();
+        let pos_d = order.iter().position(|&v| v == NodeId(3)).unwrap();
+        assert!(pos_b < pos_d);
+    }
+
+    #[test]
+    fn shortest_path_found_and_minimal() {
+        let g = sample();
+        let p = shortest_nonempty_path(&g, NodeId(0), NodeId(3)).expect("path exists");
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(3)));
+        assert_eq!(p.len(), 3, "a -> c -> d beats a -> b -> c -> d");
+    }
+
+    #[test]
+    fn shortest_path_none_when_unreachable() {
+        let g = sample();
+        assert!(shortest_nonempty_path(&g, NodeId(3), NodeId(0)).is_none());
+        assert!(shortest_nonempty_path(&g, NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn shortest_path_self_loop() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a);
+        assert_eq!(shortest_nonempty_path(&g, a, a), Some(vec![a, a]));
+    }
+}

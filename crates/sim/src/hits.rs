@@ -1,0 +1,132 @@
+//! HITS (Kleinberg hubs & authorities) power iteration. The paper uses
+//! hub/authority status in two places: as node weights for `qualSim`
+//! (§3.3) and for choosing "important" skeleton nodes (§3.1).
+
+use phom_graph::{DiGraph, NodeId};
+
+/// Normalized hub and authority scores (each vector sums to 1 for non-empty
+/// graphs with at least one edge; isolated graphs get uniform scores).
+#[derive(Debug, Clone)]
+pub struct HitsScores {
+    /// Hub score per node (links *to* good authorities).
+    pub hub: Vec<f64>,
+    /// Authority score per node (linked *from* good hubs).
+    pub authority: Vec<f64>,
+}
+
+/// Runs `iterations` rounds of the HITS mutual-reinforcement update with
+/// L1 normalization.
+pub fn hits_scores<L>(g: &DiGraph<L>, iterations: usize) -> HitsScores {
+    let n = g.node_count();
+    if n == 0 {
+        return HitsScores {
+            hub: Vec::new(),
+            authority: Vec::new(),
+        };
+    }
+    let mut hub = vec![1.0 / n as f64; n];
+    let mut auth = vec![1.0 / n as f64; n];
+
+    for _ in 0..iterations {
+        // auth(v) = sum of hub(p) over predecessors p.
+        for v in g.nodes() {
+            auth[v.index()] = g.prev(v).iter().map(|p| hub[p.index()]).sum();
+        }
+        normalize(&mut auth, n);
+        // hub(v) = sum of auth(s) over successors s.
+        for v in g.nodes() {
+            hub[v.index()] = g.post(v).iter().map(|s| auth[s.index()]).sum();
+        }
+        normalize(&mut hub, n);
+    }
+
+    HitsScores {
+        hub,
+        authority: auth,
+    }
+}
+
+fn normalize(xs: &mut [f64], n: usize) {
+    let sum: f64 = xs.iter().sum();
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        xs.fill(1.0 / n as f64);
+    }
+}
+
+/// The `k` nodes with the highest combined hub+authority score, descending
+/// (ties broken by node id). One of the "important node" selectors for
+/// skeleton construction.
+pub fn top_hits_nodes<L>(g: &DiGraph<L>, iterations: usize, k: usize) -> Vec<NodeId> {
+    let s = hits_scores(g, iterations);
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.sort_by(|&a, &b| {
+        let sa = s.hub[a.index()] + s.authority[a.index()];
+        let sb = s.hub[b.index()] + s.authority[b.index()];
+        sb.partial_cmp(&sa).expect("finite").then(a.cmp(&b))
+    });
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<()> = DiGraph::new();
+        let s = hits_scores(&g, 10);
+        assert!(s.hub.is_empty());
+        assert!(s.authority.is_empty());
+    }
+
+    #[test]
+    fn star_hub_and_authorities() {
+        let g = graph_from_labels(
+            &["hub", "a", "b", "c"],
+            &[("hub", "a"), ("hub", "b"), ("hub", "c")],
+        );
+        let s = hits_scores(&g, 30);
+        assert!(s.hub[0] > 0.9, "center is the dominant hub: {}", s.hub[0]);
+        assert!(s.authority[0] < 1e-9, "center receives no links");
+        for i in 1..4 {
+            assert!(s.authority[i] > 0.3);
+            assert!(s.hub[i] < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")],
+        );
+        let s = hits_scores(&g, 25);
+        let hs: f64 = s.hub.iter().sum();
+        let as_: f64 = s.authority.iter().sum();
+        assert!((hs - 1.0).abs() < 1e-9);
+        assert!((as_ - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edgeless_graph_uniform() {
+        let g = graph_from_labels(&["a", "b"], &[]);
+        let s = hits_scores(&g, 5);
+        assert!((s.hub[0] - 0.5).abs() < 1e-12);
+        assert!((s.authority[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_nodes_ranked_by_combined_score() {
+        let g = graph_from_labels(&["hub", "a", "b", "iso"], &[("hub", "a"), ("hub", "b")]);
+        let top = top_hits_nodes(&g, 20, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], NodeId(0), "hub first");
+        assert_ne!(top[1], NodeId(3), "isolated node never ranks");
+    }
+}

@@ -1,0 +1,209 @@
+//! MinHash sketches for shingle resemblance (Broder [8] — the same paper
+//! the shingling of §3.1 comes from introduced min-wise hashing).
+//!
+//! Computing exact Jaccard between all `|V1| × |V2|` page pairs is the
+//! dominant cost of the Exp-1 pipeline on large skeletons; a `k`-hash
+//! sketch estimates it in `O(k)` per pair with standard error
+//! `≈ 1/√k`, which is what a production deployment of the paper's
+//! matcher would use.
+
+use crate::matrix::SimMatrix;
+use phom_graph::DiGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A fixed-size MinHash signature of a token stream's shingle set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHashSketch {
+    sig: Vec<u64>,
+}
+
+/// Mixes a shingle hash with the `i`-th hash function (splitmix finalizer
+/// over a seeded lane).
+#[inline]
+fn lane_hash(shingle: u64, lane: u64) -> u64 {
+    let mut x = shingle ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+impl MinHashSketch {
+    /// Sketches the `w`-shingle set of `tokens` with `k` hash lanes.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `w == 0`.
+    pub fn new<T: Hash>(tokens: &[T], w: usize, k: usize) -> Self {
+        assert!(k > 0, "sketch needs at least one lane");
+        assert!(w > 0, "shingle width must be positive");
+        let mut sig = vec![u64::MAX; k];
+        if tokens.is_empty() {
+            return Self { sig };
+        }
+        let width = w.min(tokens.len());
+        for window in tokens.windows(width) {
+            let mut h = DefaultHasher::new();
+            for t in window {
+                t.hash(&mut h);
+            }
+            let shingle = h.finish();
+            for (lane, slot) in sig.iter_mut().enumerate() {
+                let v = lane_hash(shingle, lane as u64);
+                if v < *slot {
+                    *slot = v;
+                }
+            }
+        }
+        Self { sig }
+    }
+
+    /// Number of hash lanes.
+    pub fn lanes(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Estimates the Jaccard resemblance of the underlying shingle sets:
+    /// the fraction of agreeing lanes. Two empty sketches estimate 1.
+    ///
+    /// # Panics
+    /// Panics when the lane counts differ.
+    pub fn estimate_jaccard(&self, other: &MinHashSketch) -> f64 {
+        assert_eq!(self.sig.len(), other.sig.len(), "lane count mismatch");
+        let agree = self
+            .sig
+            .iter()
+            .zip(other.sig.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.sig.len() as f64
+    }
+}
+
+/// Builds a [`SimMatrix`] from MinHash sketches of the graphs' label
+/// token streams: sketch every page once (`O((n1+n2)·k)`), then estimate
+/// every pair in `O(k)` — the scalable substitute for the exact shingle
+/// matrix on large skeletons. `token_of` extracts each node's token
+/// stream; `w` is the shingle width, `k` the sketch lanes (standard
+/// error ≈ `1/√k`).
+pub fn minhash_matrix<L, T: Hash>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mut tokens_of: impl FnMut(&L) -> Vec<T>,
+    w: usize,
+    k: usize,
+) -> SimMatrix {
+    let sk1: Vec<MinHashSketch> = g1
+        .nodes()
+        .map(|v| MinHashSketch::new(&tokens_of(g1.label(v)), w, k))
+        .collect();
+    let sk2: Vec<MinHashSketch> = g2
+        .nodes()
+        .map(|u| MinHashSketch::new(&tokens_of(g2.label(u)), w, k))
+        .collect();
+    SimMatrix::from_fn(g1.node_count(), g2.node_count(), |v, u| {
+        sk1[v.index()].estimate_jaccard(&sk2[u.index()])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shingle::shingle_similarity;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_streams_estimate_one() {
+        let t: Vec<u32> = (0..40).collect();
+        let a = MinHashSketch::new(&t, 3, 64);
+        let b = MinHashSketch::new(&t, 3, 64);
+        assert_eq!(a.estimate_jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_streams_estimate_near_zero() {
+        let a: Vec<u32> = (0..40).collect();
+        let b: Vec<u32> = (1000..1040).collect();
+        let sa = MinHashSketch::new(&a, 3, 128);
+        let sb = MinHashSketch::new(&b, 3, 128);
+        assert!(sa.estimate_jaccard(&sb) < 0.05);
+    }
+
+    #[test]
+    fn empty_sketches_are_identical() {
+        let e: Vec<u32> = Vec::new();
+        let a = MinHashSketch::new(&e, 3, 16);
+        let b = MinHashSketch::new(&e, 3, 16);
+        assert_eq!(a.estimate_jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        // Two streams sharing half their content.
+        let a: Vec<u32> = (0..60).collect();
+        let b: Vec<u32> = (30..90).collect();
+        let exact = shingle_similarity(&a, &b, 3);
+        let sa = MinHashSketch::new(&a, 3, 256);
+        let sb = MinHashSketch::new(&b, 3, 256);
+        let est = sa.estimate_jaccard(&sb);
+        assert!(
+            (est - exact).abs() < 0.12,
+            "estimate {est} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn minhash_matrix_tracks_exact_shingle_matrix() {
+        use phom_graph::{graph_from_labels, NodeId};
+        let g1 = graph_from_labels(&["books fiction novels stories tales"], &[]);
+        let g2 = graph_from_labels(
+            &[
+                "books fiction novels stories plays",
+                "cameras lenses tripods flashes bags",
+            ],
+            &[],
+        );
+        let tok = |l: &String| -> Vec<String> { l.split_whitespace().map(str::to_owned).collect() };
+        let m = minhash_matrix(&g1, &g2, tok, 2, 256);
+        assert_eq!(m.n1(), 1);
+        assert_eq!(m.n2(), 2);
+        let near = m.score(NodeId(0), NodeId(0));
+        let far = m.score(NodeId(0), NodeId(1));
+        // Exact Jaccard of the near pair's 2-shingle sets is 3/5.
+        assert!((near - 0.6).abs() < 0.15, "near estimate {near}");
+        assert!(far < 0.05, "far estimate {far}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn mismatched_lanes_panic() {
+        let a = MinHashSketch::new(&[1u32], 2, 8);
+        let b = MinHashSketch::new(&[1u32], 2, 16);
+        let _ = a.estimate_jaccard(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimate_in_unit_interval(
+            a in proptest::collection::vec(0u16..50, 0..30),
+            b in proptest::collection::vec(0u16..50, 0..30),
+        ) {
+            let sa = MinHashSketch::new(&a, 2, 32);
+            let sb = MinHashSketch::new(&b, 2, 32);
+            let e = sa.estimate_jaccard(&sb);
+            prop_assert!((0.0..=1.0).contains(&e));
+            // Symmetry.
+            prop_assert_eq!(e, sb.estimate_jaccard(&sa));
+        }
+
+        #[test]
+        fn prop_self_estimate_is_one(
+            a in proptest::collection::vec(0u16..50, 1..30),
+        ) {
+            let s = MinHashSketch::new(&a, 3, 16);
+            prop_assert_eq!(s.estimate_jaccard(&s), 1.0);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! PageRank — an alternative source of the `w(v)` node-importance weights
+//! of the `qualSim` metric (§3.3 names hubs, authorities and degree as
+//! examples of "important" nodes; PageRank is the other standard
+//! importance score for Web graphs and completes the family next to
+//! [`crate::hits`]).
+//!
+//! Damped power iteration with uniform teleport. Dangling nodes (no
+//! out-edges) redistribute their mass uniformly, so the scores stay a
+//! probability distribution at every iteration.
+
+use phom_graph::{DiGraph, NodeId};
+
+/// Configuration for the PageRank power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (probability of following a link).
+    pub damping: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Stop early when the L1 change between iterations drops below this.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Computes PageRank scores for every node. The result sums to 1 (it is
+/// the stationary distribution of the damped random surfer), and is the
+/// uniform distribution for an empty edge set.
+///
+/// ```
+/// use phom_graph::graph_from_labels;
+/// use phom_sim::{pagerank, PageRankConfig};
+///
+/// let g = graph_from_labels(
+///     &["hub", "x", "y"],
+///     &[("x", "hub"), ("y", "hub")],
+/// );
+/// let pr = pagerank(&g, &PageRankConfig::default());
+/// assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// assert!(pr[0] > pr[1]); // the endorsed hub ranks highest
+/// ```
+pub fn pagerank<L>(g: &DiGraph<L>, cfg: &PageRankConfig) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        (0.0..1.0).contains(&cfg.damping) || cfg.damping == 0.0 || cfg.damping < 1.0,
+        "damping must be in [0, 1)"
+    );
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+
+    for _ in 0..cfg.max_iterations {
+        // Teleport mass plus dangling-node mass, spread uniformly.
+        let dangling: f64 = g
+            .nodes()
+            .filter(|&v| g.out_degree(v) == 0)
+            .map(|v| rank[v.index()])
+            .sum();
+        let base = (1.0 - cfg.damping) * uniform + cfg.damping * dangling * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for v in g.nodes() {
+            let deg = g.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = cfg.damping * rank[v.index()] / deg as f64;
+            for &w in g.post(v) {
+                next[w.index()] += share;
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < cfg.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// The `k` nodes with the highest PageRank, descending (ties by id) —
+/// a skeleton-selection alternative to [`crate::hits::top_hits_nodes`].
+pub fn top_pagerank_nodes<L>(g: &DiGraph<L>, cfg: &PageRankConfig, k: usize) -> Vec<NodeId> {
+    let scores = pagerank(g, cfg);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by(|a, b| {
+        scores[b.index()]
+            .partial_cmp(&scores[a.index()])
+            .expect("pagerank scores are finite")
+            .then(a.cmp(b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    fn total(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_scores() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_share_mass_uniformly() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        for i in 0..4 {
+            g.add_node(i);
+        }
+        let r = pagerank(&g, &PageRankConfig::default());
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-9);
+        }
+        assert!((total(&r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_sum_to_one_with_dangling_nodes() {
+        // b is dangling.
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("c", "a")]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        assert!((total(&r) - 1.0).abs() < 1e-9, "sum = {}", total(&r));
+    }
+
+    #[test]
+    fn sink_of_a_chain_outranks_its_source() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        assert!(r[2] > r[0], "chain sink accumulates rank: {r:?}");
+    }
+
+    #[test]
+    fn hub_pointed_to_by_everyone_ranks_first() {
+        let g = graph_from_labels(
+            &["hub", "x", "y", "z"],
+            &[("x", "hub"), ("y", "hub"), ("z", "hub"), ("hub", "x")],
+        );
+        let top = top_pagerank_nodes(&g, &PageRankConfig::default(), 1);
+        assert_eq!(top, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c"), ("c", "a")]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        for &x in &r {
+            assert!((x - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates_and_orders() {
+        let g = graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("c", "b"), ("d", "b"), ("a", "c")],
+        );
+        let top = top_pagerank_nodes(&g, &PageRankConfig::default(), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], NodeId(1), "b collects three links");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = DiGraph<u32>> {
+            (
+                1usize..15,
+                proptest::collection::vec((0usize..15, 0usize..15), 0..40),
+            )
+                .prop_map(|(n, raw)| {
+                    let mut g = DiGraph::with_capacity(n);
+                    for i in 0..n {
+                        g.add_node(i as u32);
+                    }
+                    for (a, b) in raw {
+                        g.add_edge(NodeId((a % n) as u32), NodeId((b % n) as u32));
+                    }
+                    g
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_pagerank_is_a_distribution(g in arb_graph()) {
+                let r = pagerank(&g, &PageRankConfig::default());
+                prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                prop_assert!(r.iter().all(|&x| x > 0.0), "teleport keeps all > 0");
+            }
+
+            #[test]
+            fn prop_pagerank_deterministic(g in arb_graph()) {
+                let a = pagerank(&g, &PageRankConfig::default());
+                let b = pagerank(&g, &PageRankConfig::default());
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! w-shingling and Jaccard resemblance (Broder et al. [8]) — the textual
+//! node-similarity measure the paper uses for Web pages: `mat(v, u)` is the
+//! shingle resemblance of the pages' contents (§3.1, §6).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// The shingle set of a token stream: hashes of every `w`-token window.
+///
+/// A document shorter than `w` tokens contributes its single full window
+/// (so non-empty documents never produce empty shingle sets).
+pub fn shingles<T: Hash>(tokens: &[T], w: usize) -> HashSet<u64> {
+    assert!(w > 0, "shingle width must be positive");
+    let mut out = HashSet::new();
+    if tokens.is_empty() {
+        return out;
+    }
+    let width = w.min(tokens.len());
+    for window in tokens.windows(width) {
+        let mut h = DefaultHasher::new();
+        for t in window {
+            t.hash(&mut h);
+        }
+        out.insert(h.finish());
+    }
+    out
+}
+
+/// Jaccard resemblance `|A ∩ B| / |A ∪ B|` of two shingle sets.
+/// Two empty sets are defined as identical (resemblance 1).
+pub fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// End-to-end shingle similarity of two token streams with window `w`.
+pub fn shingle_similarity<T: Hash>(a: &[T], b: &[T], w: usize) -> f64 {
+    jaccard(&shingles(a, w), &shingles(b, w))
+}
+
+/// Tokenizes whitespace-separated text (the "page content" labels of the
+/// Web-archive workloads).
+pub fn tokenize(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+/// Shingle similarity of two whitespace-tokenized texts.
+pub fn text_similarity(a: &str, b: &str, w: usize) -> f64 {
+    shingle_similarity(&tokenize(a), &tokenize(b), w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let s = text_similarity("the quick brown fox", "the quick brown fox", 2);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_texts_have_similarity_zero() {
+        let s = text_similarity("alpha beta gamma", "one two three", 2);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_strictly_between() {
+        let s = text_similarity(
+            "books categories school arts audio",
+            "books categories school music video",
+            2,
+        );
+        assert!(s > 0.0 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn short_document_uses_full_window() {
+        let sh = shingles(&["only"], 4);
+        assert_eq!(sh.len(), 1);
+        assert!((text_similarity("only", "only", 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_documents_are_identical() {
+        assert_eq!(text_similarity("", "", 3), 1.0);
+        assert_eq!(text_similarity("", "words here now", 3), 0.0);
+    }
+
+    #[test]
+    fn window_size_matters() {
+        // Same bag of words, different order: unigram shingles identical,
+        // bigram shingles not.
+        let a = "a b c d";
+        let b = "d c b a";
+        assert!((text_similarity(a, b, 1) - 1.0).abs() < 1e-12);
+        assert!(text_similarity(a, b, 2) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shingle width")]
+    fn zero_width_rejected() {
+        shingles(&["x"], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_similarity_in_unit_interval(
+            a in proptest::collection::vec("[a-f]{1,3}", 0..20),
+            b in proptest::collection::vec("[a-f]{1,3}", 0..20),
+            w in 1usize..5,
+        ) {
+            let s = shingle_similarity(&a, &b, w);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn prop_similarity_is_symmetric(
+            a in proptest::collection::vec("[a-f]{1,3}", 0..20),
+            b in proptest::collection::vec("[a-f]{1,3}", 0..20),
+            w in 1usize..5,
+        ) {
+            prop_assert_eq!(shingle_similarity(&a, &b, w), shingle_similarity(&b, &a, w));
+        }
+
+        #[test]
+        fn prop_self_similarity_is_one(
+            a in proptest::collection::vec("[a-f]{1,3}", 1..20),
+            w in 1usize..5,
+        ) {
+            prop_assert!((shingle_similarity(&a, &a, w) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! tf–idf cosine similarity — a second textual `mat()` generator next to
+//! [`crate::shingle`].
+//!
+//! §3.1 of the paper says the similarity matrix "can be generated in a
+//! variety of ways"; shingling weights all regions equally, while tf–idf
+//! cosine discounts boilerplate tokens that appear on every page (site
+//! chrome, navigation) and is the standard alternative for page-content
+//! similarity. Both produce values in `[0, 1]`, so they are drop-in
+//! interchangeable as `mat()` sources.
+
+use crate::matrix::SimMatrix;
+use phom_graph::DiGraph;
+use std::collections::HashMap;
+
+/// A tf–idf vector space over a closed corpus of documents.
+///
+/// Build it once over *all* documents that will be compared (idf depends
+/// on the whole corpus), then ask for pairwise cosines.
+#[derive(Debug, Clone)]
+pub struct TfIdfCorpus {
+    /// Sparse tf–idf vectors, one per document, keyed by term id.
+    vectors: Vec<HashMap<u32, f64>>,
+    /// Per-vector Euclidean norms (cached for cosine).
+    norms: Vec<f64>,
+}
+
+impl TfIdfCorpus {
+    /// Builds the corpus from whitespace-tokenized documents.
+    ///
+    /// Uses raw term frequency and smoothed idf
+    /// `ln(1 + N / df(t))`, which keeps every weight positive so
+    /// identical documents always have cosine exactly 1.
+    pub fn build<S: AsRef<str>>(documents: &[S]) -> Self {
+        let n_docs = documents.len();
+        let mut term_ids: HashMap<String, u32> = HashMap::new();
+        let mut term_counts: Vec<HashMap<u32, f64>> = Vec::with_capacity(n_docs);
+        let mut doc_freq: HashMap<u32, usize> = HashMap::new();
+
+        for doc in documents {
+            let mut counts: HashMap<u32, f64> = HashMap::new();
+            for token in doc.as_ref().split_whitespace() {
+                let next_id = term_ids.len() as u32;
+                let id = *term_ids.entry(token.to_string()).or_insert(next_id);
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+            for &t in counts.keys() {
+                *doc_freq.entry(t).or_insert(0) += 1;
+            }
+            term_counts.push(counts);
+        }
+
+        let mut vectors = Vec::with_capacity(n_docs);
+        let mut norms = Vec::with_capacity(n_docs);
+        for counts in term_counts {
+            let mut vec: HashMap<u32, f64> = HashMap::with_capacity(counts.len());
+            for (t, tf) in counts {
+                let df = doc_freq[&t] as f64;
+                let idf = (1.0 + n_docs as f64 / df).ln();
+                vec.insert(t, tf * idf);
+            }
+            let norm = vec.values().map(|w| w * w).sum::<f64>().sqrt();
+            vectors.push(vec);
+            norms.push(norm);
+        }
+        Self { vectors, norms }
+    }
+
+    /// Number of documents in the corpus.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Cosine similarity of documents `i` and `j`, in `[0, 1]`.
+    /// Two empty documents are defined as identical (1.0); an empty and a
+    /// non-empty document are dissimilar (0.0).
+    pub fn cosine(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.vectors[i], &self.vectors[j]);
+        let (na, nb) = (self.norms[i], self.norms[j]);
+        if na == 0.0 && nb == 0.0 {
+            return 1.0;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        // Iterate the smaller vector.
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(t, wa)| large.get(t).map(|wb| wa * wb))
+            .sum();
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Builds a [`SimMatrix`] between two graphs whose labels are page text,
+/// using tf–idf cosine over the joint corpus (pattern pages first, data
+/// pages second, so idf reflects both sites).
+///
+/// ```
+/// use phom_graph::{graph_from_labels, NodeId};
+/// use phom_sim::tfidf_matrix;
+///
+/// let g1 = graph_from_labels(&["nav books sale"], &[]);
+/// let g2 = graph_from_labels(&["nav books discount", "nav cameras"], &[]);
+/// let mat = tfidf_matrix(&g1, &g2);
+/// // The book pages share a distinctive term; the camera page only
+/// // shares the site-wide "nav" boilerplate.
+/// assert!(mat.score(NodeId(0), NodeId(0)) > mat.score(NodeId(0), NodeId(1)));
+/// ```
+pub fn tfidf_matrix<L: AsRef<str>>(g1: &DiGraph<L>, g2: &DiGraph<L>) -> SimMatrix {
+    let n1 = g1.node_count();
+    let docs: Vec<&str> = g1
+        .nodes()
+        .map(|v| g1.label(v).as_ref())
+        .chain(g2.nodes().map(|u| g2.label(u).as_ref()))
+        .collect();
+    let corpus = TfIdfCorpus::build(&docs);
+    SimMatrix::from_fn(n1, g2.node_count(), |v, u| {
+        corpus.cosine(v.index(), n1 + u.index())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    #[test]
+    fn identical_documents_have_cosine_one() {
+        let c = TfIdfCorpus::build(&["books and music", "books and music"]);
+        assert!((c.cosine(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_have_cosine_zero() {
+        let c = TfIdfCorpus::build(&["alpha beta", "gamma delta"]);
+        assert_eq!(c.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_documents_edge_cases() {
+        let c = TfIdfCorpus::build(&["", "", "words here"]);
+        assert_eq!(c.cosine(0, 1), 1.0, "two empty docs are identical");
+        assert_eq!(c.cosine(0, 2), 0.0, "empty vs non-empty");
+    }
+
+    #[test]
+    fn shared_boilerplate_is_discounted() {
+        // "menu" appears everywhere (low idf); the distinctive terms decide.
+        let c = TfIdfCorpus::build(&[
+            "menu books fiction",
+            "menu books novels",
+            "menu cameras lenses",
+        ]);
+        assert!(
+            c.cosine(0, 1) > c.cosine(0, 2),
+            "book pages more alike than book vs camera"
+        );
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let c = TfIdfCorpus::build(&["a b c d", "c d e", "a e"]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.cosine(i, j) - c.cosine(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tfidf_matrix_spans_both_graphs() {
+        let g1 = graph_from_labels(
+            &["books fiction", "music cds"],
+            &[("books fiction", "music cds")],
+        );
+        let g2 = graph_from_labels(
+            &["books fiction", "cameras", "music cds vinyl"],
+            &[("books fiction", "cameras")],
+        );
+        let m = tfidf_matrix(&g1, &g2);
+        assert_eq!(m.n1(), 2);
+        assert_eq!(m.n2(), 3);
+        assert!((m.score(phom_graph::NodeId(0), phom_graph::NodeId(0)) - 1.0).abs() < 1e-12);
+        assert!(m.score(phom_graph::NodeId(1), phom_graph::NodeId(2)) > 0.3);
+        assert_eq!(m.score(phom_graph::NodeId(0), phom_graph::NodeId(1)), 0.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_docs() -> impl Strategy<Value = Vec<String>> {
+            proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 0..10).prop_map(|toks| {
+                    toks.iter()
+                        .map(|t| format!("t{t}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }),
+                2..8,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn prop_cosine_in_unit_interval(docs in arb_docs()) {
+                let c = TfIdfCorpus::build(&docs);
+                for i in 0..docs.len() {
+                    for j in 0..docs.len() {
+                        let s = c.cosine(i, j);
+                        prop_assert!((0.0..=1.0).contains(&s));
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_self_cosine_is_one(docs in arb_docs()) {
+                let c = TfIdfCorpus::build(&docs);
+                for i in 0..docs.len() {
+                    prop_assert!((c.cosine(i, i) - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

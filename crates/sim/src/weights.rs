@@ -1,0 +1,151 @@
+//! Node weights `w(v)` for the maximum-overall-similarity metric
+//! `qualSim` (§3.3): "indicating relative importance of v, e.g., whether v
+//! is a hub, authority, or a node with a high degree."
+
+use crate::hits::hits_scores;
+use crate::pagerank::{pagerank, PageRankConfig};
+use phom_graph::{DiGraph, NodeId};
+
+/// Per-node weights of the pattern graph `G1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeWeights {
+    w: Vec<f64>,
+}
+
+impl NodeWeights {
+    /// Uniform weight 1 for every node (the setting of the paper's
+    /// experiments, §6).
+    pub fn uniform(n: usize) -> Self {
+        Self { w: vec![1.0; n] }
+    }
+
+    /// Explicit per-node weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn from_vec(w: Vec<f64>) -> Self {
+        assert!(
+            w.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self { w }
+    }
+
+    /// Degree-based weights: `1 + deg(v)` (high-degree nodes matter more).
+    pub fn by_degree<L>(g: &DiGraph<L>) -> Self {
+        Self {
+            w: g.nodes().map(|v| 1.0 + g.degree(v) as f64).collect(),
+        }
+    }
+
+    /// HITS-based weights: `1 + hub(v) + authority(v)`, normalized scores
+    /// from [`hits_scores`]. Captures the "hub or authority" importance
+    /// notion of §3.3 / Blondel et al. [6].
+    pub fn by_hits<L>(g: &DiGraph<L>, iterations: usize) -> Self {
+        let scores = hits_scores(g, iterations);
+        Self {
+            w: g.nodes()
+                .map(|v| 1.0 + scores.hub[v.index()] + scores.authority[v.index()])
+                .collect(),
+        }
+    }
+
+    /// PageRank-based weights: `1 + n·pr(v)` (so the average weight is 2
+    /// and isolated-node corpora stay uniform). The PageRank emphasis on
+    /// link-endorsed pages complements the hub/authority emphasis of
+    /// [`NodeWeights::by_hits`].
+    pub fn by_pagerank<L>(g: &DiGraph<L>, cfg: &PageRankConfig) -> Self {
+        let n = g.node_count() as f64;
+        let pr = pagerank(g, cfg);
+        Self {
+            w: pr.into_iter().map(|x| 1.0 + n * x).collect(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Weight of node `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.w[v.index()]
+    }
+
+    /// Total weight `Σ_v w(v)` — the denominator of `qualSim`.
+    pub fn total(&self) -> f64 {
+        self.w.iter().sum()
+    }
+
+    /// Raw slice access.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    #[test]
+    fn pagerank_weights_favor_endorsed_nodes() {
+        let g = graph_from_labels(
+            &["hub", "x", "y", "z"],
+            &[("x", "hub"), ("y", "hub"), ("z", "hub")],
+        );
+        let w = NodeWeights::by_pagerank(&g, &PageRankConfig::default());
+        assert_eq!(w.len(), 4);
+        assert!(w.get(NodeId(0)) > w.get(NodeId(1)), "hub outweighs leaves");
+        assert!(w.as_slice().iter().all(|&x| x >= 1.0));
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let w = NodeWeights::uniform(4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.get(NodeId(3)), 1.0);
+        assert_eq!(w.total(), 4.0);
+    }
+
+    #[test]
+    fn degree_weights_favor_hubs() {
+        let g = graph_from_labels(
+            &["hub", "a", "b", "c"],
+            &[("hub", "a"), ("hub", "b"), ("hub", "c")],
+        );
+        let w = NodeWeights::by_degree(&g);
+        assert_eq!(w.get(NodeId(0)), 4.0);
+        assert_eq!(w.get(NodeId(1)), 2.0);
+    }
+
+    #[test]
+    fn hits_weights_exceed_baseline() {
+        let g = graph_from_labels(
+            &["hub", "auth1", "auth2"],
+            &[("hub", "auth1"), ("hub", "auth2")],
+        );
+        let w = NodeWeights::by_hits(&g, 20);
+        assert!(w.get(NodeId(0)) > 1.0, "hub gets hub mass");
+        assert!(w.get(NodeId(1)) > 1.0, "authority gets authority mass");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        NodeWeights::from_vec(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn example_3_3_weights() {
+        // w(v) = 1 except w(v2) = 6; total 10 over 5 nodes.
+        let w = NodeWeights::from_vec(vec![1.0, 1.0, 6.0, 1.0, 1.0]);
+        assert_eq!(w.total(), 10.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Min-degree greedy independent set — a simple comparison baseline for the
+//! Ramsey-based algorithms (used by the ablation benches).
+
+use crate::ugraph::UGraph;
+use phom_graph::BitSet;
+
+/// Greedy independent set: repeatedly take a remaining vertex of minimum
+/// residual degree and delete its neighborhood.
+pub fn greedy_independent_set(g: &UGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut remaining = BitSet::full(n);
+    let mut result = Vec::new();
+    while remaining.first().is_some() {
+        // Pick min residual degree.
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in remaining.iter() {
+            let mut nb = g.neighbors(v).clone();
+            nb.intersect_with(&remaining);
+            let d = nb.count();
+            if d < best_deg {
+                best_deg = d;
+                best = v;
+            }
+        }
+        result.push(best);
+        remaining.remove(best);
+        remaining.difference_with(g.neighbors(best));
+    }
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_on_star_takes_leaves() {
+        let mut g = UGraph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        let is = greedy_independent_set(&g);
+        assert_eq!(is, vec![1, 2, 3, 4]);
+        assert!(g.is_independent_set(&is));
+    }
+
+    #[test]
+    fn greedy_on_edgeless_takes_all() {
+        let g = UGraph::new(4);
+        assert_eq!(greedy_independent_set(&g).len(), 4);
+    }
+
+    #[test]
+    fn greedy_result_is_maximal() {
+        let mut g = UGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        let is = greedy_independent_set(&g);
+        assert!(g.is_independent_set(&is));
+        // Maximality: every vertex outside the set has a neighbor inside.
+        for v in 0..6 {
+            if !is.contains(&v) {
+                assert!(
+                    is.iter().any(|&u| g.has_edge(u, v)),
+                    "vertex {v} could be added"
+                );
+            }
+        }
+    }
+}

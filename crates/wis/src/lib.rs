@@ -1,0 +1,34 @@
+//! # phom-wis
+//!
+//! Independent-set and clique approximation algorithms used by the
+//! approximation framework of *Graph Homomorphism Revisited for Graph
+//! Matching* (Fan et al., VLDB 2010):
+//!
+//! * [`ramsey`] — the `Ramsey` procedure of Boppana–Halldórsson \[7\]
+//!   (paper Fig. 9), returning a clique and an independent set at once;
+//! * [`clique_removal`] / [`is_removal`] — the `O(log² n / n)`
+//!   approximations for maximum independent set / maximum clique that the
+//!   naive product-graph algorithms of §5 invoke, and that `compMaxCard`
+//!   simulates directly on the matching lists (Proposition 5.2);
+//! * [`weighted_independent_set`] — Halldórsson's \[16\] weight-grouping
+//!   reduction to the unweighted kernel, mirrored by `compMaxSim`;
+//! * exact branch-and-bound oracles for both problems (test ground truth).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod ramsey;
+pub mod removal;
+pub mod ugraph;
+pub mod weighted;
+
+pub use greedy::greedy_independent_set;
+pub use ramsey::{ramsey, ramsey_all, RamseyResult};
+pub use removal::{
+    clique_removal, exact_max_independent_set, is_removal, max_clique, max_independent_set,
+};
+pub use ugraph::UGraph;
+pub use weighted::{
+    exact_weighted_independent_set, total_weight, weighted_independent_set, WeightedIsResult,
+};

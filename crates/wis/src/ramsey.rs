@@ -1,0 +1,228 @@
+//! The `Ramsey` procedure of Boppana–Halldórsson [7] (paper Fig. 9):
+//! simultaneously grows a clique and an independent set by recursing on the
+//! neighbors and non-neighbors of a pivot vertex.
+//!
+//! `Ramsey(G)` guarantees `|C| · |I| ≥ (log n / 2)²` on an `n`-vertex
+//! graph, which is what powers the `O(log² n / n)` approximation bound of
+//! `CliqueRemoval` / `ISRemoval` — and, through the simulation argument of
+//! Proposition 5.2, of `compMaxCard` itself.
+
+use crate::ugraph::UGraph;
+use phom_graph::BitSet;
+
+/// Result of one `Ramsey` call: a clique and an independent set of the
+/// induced subgraph it was called on.
+#[derive(Debug, Clone, Default)]
+pub struct RamseyResult {
+    /// Vertices forming a clique.
+    pub clique: Vec<usize>,
+    /// Vertices forming an independent set.
+    pub independent: Vec<usize>,
+}
+
+/// Runs `Ramsey` on the subgraph of `g` induced by `subset`.
+///
+/// Iterative formulation of the recursion in Fig. 9 (explicit stack), so
+/// deep product graphs cannot overflow the call stack. Pivot choice: lowest
+/// vertex id in the subset (deterministic).
+pub fn ramsey(g: &UGraph, subset: &BitSet) -> RamseyResult {
+    // Frames mirror the two recursive calls of Fig. 9:
+    //   (C1, I1) := Ramsey(N(v));  (C2, I2) := Ramsey(~N(v));
+    //   I := max(I1, I2 ∪ {v});    C := max(C1 ∪ {v}, C2).
+    enum State {
+        /// Evaluate a subset; pivot not chosen yet.
+        Enter(BitSet),
+        /// First child (neighbors) done; value on the result stack.
+        AfterNeighbors { pivot: usize, non_neighbors: BitSet },
+        /// Both children done; combine the top two results.
+        Combine { pivot: usize },
+    }
+
+    let mut work: Vec<State> = vec![State::Enter(subset.clone())];
+    let mut results: Vec<RamseyResult> = Vec::new();
+
+    while let Some(state) = work.pop() {
+        match state {
+            State::Enter(s) => {
+                let Some(pivot) = s.first() else {
+                    results.push(RamseyResult::default());
+                    continue;
+                };
+                let mut neighbors = s.clone();
+                neighbors.intersect_with(g.neighbors(pivot));
+                let mut non_neighbors = s;
+                non_neighbors.difference_with(g.neighbors(pivot));
+                non_neighbors.remove(pivot);
+
+                work.push(State::AfterNeighbors {
+                    pivot,
+                    non_neighbors,
+                });
+                work.push(State::Enter(neighbors));
+            }
+            State::AfterNeighbors {
+                pivot,
+                non_neighbors,
+            } => {
+                work.push(State::Combine { pivot });
+                work.push(State::Enter(non_neighbors));
+            }
+            State::Combine { pivot } => {
+                let r2 = results.pop().expect("second child result");
+                let r1 = results.pop().expect("first child result");
+
+                let mut clique1 = r1.clique;
+                clique1.push(pivot);
+                let clique = if clique1.len() >= r2.clique.len() {
+                    clique1
+                } else {
+                    r2.clique
+                };
+
+                let mut indep2 = r2.independent;
+                indep2.push(pivot);
+                let independent = if r1.independent.len() > indep2.len() {
+                    r1.independent
+                } else {
+                    indep2
+                };
+
+                results.push(RamseyResult {
+                    clique,
+                    independent,
+                });
+            }
+        }
+    }
+
+    let mut r = results.pop().expect("root result");
+    debug_assert!(results.is_empty());
+    r.clique.sort_unstable();
+    r.independent.sort_unstable();
+    r
+}
+
+/// Convenience: `Ramsey` on the whole vertex set of `g`.
+pub fn ramsey_all(g: &UGraph) -> RamseyResult {
+    ramsey(g, &BitSet::full(g.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_gives_empty_sets() {
+        let g = UGraph::new(0);
+        let r = ramsey_all(&g);
+        assert!(r.clique.is_empty());
+        assert!(r.independent.is_empty());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = UGraph::new(1);
+        let r = ramsey_all(&g);
+        assert_eq!(r.clique, vec![0]);
+        assert_eq!(r.independent, vec![0]);
+    }
+
+    #[test]
+    fn edgeless_graph_all_independent() {
+        let g = UGraph::new(6);
+        let r = ramsey_all(&g);
+        assert_eq!(r.independent.len(), 6, "whole vertex set is independent");
+        assert_eq!(r.clique.len(), 1);
+    }
+
+    #[test]
+    fn complete_graph_all_clique() {
+        let mut g = UGraph::new(5);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                g.add_edge(a, b);
+            }
+        }
+        let r = ramsey_all(&g);
+        assert_eq!(r.clique.len(), 5);
+        assert_eq!(r.independent.len(), 1);
+    }
+
+    #[test]
+    fn outputs_are_always_valid() {
+        // Path graph 0-1-2-3-4.
+        let mut g = UGraph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        let r = ramsey_all(&g);
+        assert!(g.is_clique(&r.clique));
+        assert!(g.is_independent_set(&r.independent));
+        assert!(r.independent.len() >= 2);
+    }
+
+    #[test]
+    fn respects_subset_restriction() {
+        let mut g = UGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let subset: BitSet = {
+            let mut s = BitSet::new(6);
+            s.insert(0);
+            s.insert(1);
+            s
+        };
+        let r = ramsey(&g, &subset);
+        for &v in r.clique.iter().chain(r.independent.iter()) {
+            assert!(subset.contains(v), "vertex {v} escaped the subset");
+        }
+        assert_eq!(r.clique.len(), 2, "0-1 edge is a clique");
+        assert_eq!(r.independent.len(), 1);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_ugraph() -> impl Strategy<Value = UGraph> {
+            (
+                2usize..24,
+                proptest::collection::vec((0usize..24, 0usize..24), 0..120),
+            )
+                .prop_map(|(n, raw)| {
+                    let mut g = UGraph::new(n);
+                    for (a, b) in raw {
+                        let (a, b) = (a % n, b % n);
+                        if a != b {
+                            g.add_edge(a, b);
+                        }
+                    }
+                    g
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_ramsey_outputs_valid(g in arb_ugraph()) {
+                let r = ramsey_all(&g);
+                prop_assert!(g.is_clique(&r.clique));
+                prop_assert!(g.is_independent_set(&r.independent));
+                prop_assert!(!r.clique.is_empty());
+                prop_assert!(!r.independent.is_empty());
+            }
+
+            #[test]
+            fn prop_ramsey_product_bound(g in arb_ugraph()) {
+                // |C| * |I| >= (log2(n)/2)^2  [7]; we check the floor-y
+                // integer version conservatively.
+                let r = ramsey_all(&g);
+                let n = g.len() as f64;
+                let bound = (n.log2() / 2.0).powi(2).floor() as usize;
+                prop_assert!(
+                    r.clique.len() * r.independent.len() >= bound.max(1),
+                    "|C|={} |I|={} bound={}", r.clique.len(), r.independent.len(), bound
+                );
+            }
+        }
+    }
+}

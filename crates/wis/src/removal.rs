@@ -1,0 +1,222 @@
+//! `CliqueRemoval` and its dual `ISRemoval` (paper Fig. 9, after
+//! Boppana–Halldórsson [7]).
+//!
+//! * `CliqueRemoval` approximates a **maximum independent set** within
+//!   `O(log² n / n)`: run `Ramsey`, remove the returned clique, repeat;
+//!   return the largest independent set seen.
+//! * `ISRemoval` approximates a **maximum clique** the same way with the
+//!   roles swapped — it is the algorithm `compMaxCard` simulates on the
+//!   product graph (Proposition 5.2).
+
+use crate::ramsey::ramsey;
+use crate::ugraph::UGraph;
+use phom_graph::BitSet;
+
+/// Approximates a maximum independent set of `g` restricted to `subset`.
+pub fn clique_removal(g: &UGraph, subset: &BitSet) -> Vec<usize> {
+    let mut remaining = subset.clone();
+    let mut best: Vec<usize> = Vec::new();
+    while !remaining.is_zero() {
+        let r = ramsey(g, &remaining);
+        if r.independent.len() > best.len() {
+            best = r.independent;
+        }
+        for v in r.clique {
+            remaining.remove(v);
+        }
+    }
+    best
+}
+
+/// Approximates a maximum independent set of the whole graph.
+///
+/// ```
+/// use phom_wis::{max_independent_set, UGraph};
+///
+/// // A 4-path: the optimal independent set is its two endpoints + ...
+/// let mut g = UGraph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// let is = max_independent_set(&g);
+/// assert!(is.len() >= 2);
+/// for (i, &a) in is.iter().enumerate() {
+///     for &b in &is[i + 1..] {
+///         assert!(!g.has_edge(a, b), "independent sets have no edges");
+///     }
+/// }
+/// ```
+pub fn max_independent_set(g: &UGraph) -> Vec<usize> {
+    clique_removal(g, &BitSet::full(g.len()))
+}
+
+/// Approximates a maximum clique of `g` restricted to `subset`
+/// (algorithm `ISRemoval`, Fig. 9).
+pub fn is_removal(g: &UGraph, subset: &BitSet) -> Vec<usize> {
+    let mut remaining = subset.clone();
+    let mut best: Vec<usize> = Vec::new();
+    while !remaining.is_zero() {
+        let r = ramsey(g, &remaining);
+        if r.clique.len() > best.len() {
+            best = r.clique;
+        }
+        for v in r.independent {
+            remaining.remove(v);
+        }
+    }
+    best
+}
+
+/// Approximates a maximum clique of the whole graph.
+pub fn max_clique(g: &UGraph) -> Vec<usize> {
+    is_removal(g, &BitSet::full(g.len()))
+}
+
+/// Exact maximum independent set by branch and bound — ground truth for
+/// tests and for the exact-vs-approximate experiments. Exponential; only
+/// call on small graphs (≲ 40 vertices).
+pub fn exact_max_independent_set(g: &UGraph) -> Vec<usize> {
+    fn go(g: &UGraph, remaining: &BitSet, current: &mut Vec<usize>, best: &mut Vec<usize>) {
+        if current.len() + remaining.count() <= best.len() {
+            return; // bound
+        }
+        let Some(v) = remaining.first() else {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        };
+        // Branch 1: take v.
+        let mut with_v = remaining.clone();
+        with_v.remove(v);
+        with_v.difference_with(g.neighbors(v));
+        current.push(v);
+        go(g, &with_v, current, best);
+        current.pop();
+        // Branch 2: skip v.
+        let mut without_v = remaining.clone();
+        without_v.remove(v);
+        go(g, &without_v, current, best);
+    }
+
+    let mut best = Vec::new();
+    let mut current = Vec::new();
+    go(g, &BitSet::full(g.len()), &mut current, &mut best);
+    best.sort_unstable();
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> UGraph {
+        let mut g = UGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn independent_set_of_even_cycle() {
+        let g = cycle(8);
+        let is = max_independent_set(&g);
+        assert!(g.is_independent_set(&is));
+        assert!(is.len() >= 3, "C8 has a size-4 IS; approximation finds >=3");
+        assert_eq!(exact_max_independent_set(&g).len(), 4);
+    }
+
+    #[test]
+    fn clique_of_k4_plus_pendant() {
+        let mut g = UGraph::new(5);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b);
+            }
+        }
+        g.add_edge(3, 4);
+        let c = max_clique(&g);
+        assert!(g.is_clique(&c));
+        assert!(c.len() >= 3);
+    }
+
+    #[test]
+    fn edgeless_graph_whole_set() {
+        let g = UGraph::new(7);
+        assert_eq!(max_independent_set(&g).len(), 7);
+        assert_eq!(max_clique(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UGraph::new(0);
+        assert!(max_independent_set(&g).is_empty());
+        assert!(max_clique(&g).is_empty());
+        assert!(exact_max_independent_set(&g).is_empty());
+    }
+
+    #[test]
+    fn exact_on_petersen_graph() {
+        // Petersen graph: alpha = 4, omega = 2.
+        let mut g = UGraph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        assert_eq!(exact_max_independent_set(&g).len(), 4);
+        let approx = max_independent_set(&g);
+        assert!(g.is_independent_set(&approx));
+        assert!(approx.len() >= 2);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_ugraph() -> impl Strategy<Value = UGraph> {
+            (
+                2usize..16,
+                proptest::collection::vec((0usize..16, 0usize..16), 0..60),
+            )
+                .prop_map(|(n, raw)| {
+                    let mut g = UGraph::new(n);
+                    for (a, b) in raw {
+                        let (a, b) = (a % n, b % n);
+                        if a != b {
+                            g.add_edge(a, b);
+                        }
+                    }
+                    g
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_approx_is_valid_and_at_most_exact(g in arb_ugraph()) {
+                let approx = max_independent_set(&g);
+                prop_assert!(g.is_independent_set(&approx));
+                let exact = exact_max_independent_set(&g);
+                prop_assert!(approx.len() <= exact.len());
+                prop_assert!(!exact.is_empty());
+            }
+
+            #[test]
+            fn prop_clique_valid(g in arb_ugraph()) {
+                let c = max_clique(&g);
+                prop_assert!(g.is_clique(&c));
+                prop_assert!(!c.is_empty());
+            }
+
+            #[test]
+            fn prop_is_on_g_equals_clique_on_complement(g in arb_ugraph()) {
+                // alpha(G) == omega(complement(G)); the approximations need
+                // not be equal, but validity must transfer.
+                let comp = g.complement();
+                let is = max_independent_set(&g);
+                prop_assert!(comp.is_clique(&is));
+            }
+        }
+    }
+}

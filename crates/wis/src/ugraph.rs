@@ -1,0 +1,182 @@
+//! Undirected graph with bitset adjacency — the representation the
+//! independent-set algorithms of [7, 16] operate on. Product graphs
+//! (Theorem 5.1) are dense, so adjacency rows are bitsets.
+
+use phom_graph::BitSet;
+
+/// A simple undirected graph on `0..n` vertices. Self-loops are rejected
+/// (the complement product graph `Gc` of Theorem 5.1 "allows no
+/// self-loops").
+#[derive(Debug, Clone)]
+pub struct UGraph {
+    adj: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl UGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the undirected edge `{a, b}`; returns `true` when inserted.
+    ///
+    /// # Panics
+    /// Panics on a self-loop or out-of-range endpoint.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert_ne!(a, b, "self-loops are not allowed in UGraph");
+        if self.adj[a].insert(b) {
+            self.adj[b].insert(a);
+            self.edge_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when `{a, b}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(b)
+    }
+
+    /// Neighbor set of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &BitSet {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count()
+    }
+
+    /// The complement graph (no self-loops), as used by the AFP-reduction
+    /// of Theorem 5.1: `e ∈ Ec` iff `e ∉ E`.
+    pub fn complement(&self) -> UGraph {
+        let n = self.len();
+        let mut g = UGraph::new(n);
+        for v in 0..n {
+            let mut row = BitSet::full(n);
+            row.difference_with(&self.adj[v]);
+            row.remove(v);
+            g.adj[v] = row;
+        }
+        g.edge_count = n * n.saturating_sub(1) / 2 - self.edge_count;
+        g
+    }
+
+    /// True when `set` is an independent set (pairwise non-adjacent).
+    pub fn is_independent_set(&self, set: &[usize]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if a == b || self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when `set` is a clique (pairwise adjacent).
+    pub fn is_clique(&self, set: &[usize]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if a == b || !self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_is_symmetric_and_dedups() {
+        let mut g = UGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "reverse is the same undirected edge");
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = UGraph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn complement_of_triangle_plus_isolated() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let c = g.complement();
+        assert_eq!(c.edge_count(), 3, "node 3 connects to everyone");
+        assert!(!c.has_edge(0, 1));
+        assert!(c.has_edge(3, 0));
+        assert!(c.has_edge(3, 1));
+        assert!(c.has_edge(3, 2));
+        for v in 0..4 {
+            assert!(!c.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn independent_set_and_clique_checks() {
+        let mut g = UGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_independent_set(&[0, 1]));
+        assert!(g.is_independent_set(&[0, 3, 4]));
+        assert!(g.is_independent_set(&[]));
+        assert!(g.is_clique(&[4]));
+        assert!(!g.is_independent_set(&[3, 3]), "duplicates rejected");
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let mut g = UGraph::new(6);
+        g.add_edge(0, 3);
+        g.add_edge(2, 5);
+        g.add_edge(1, 4);
+        let cc = g.complement().complement();
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert_eq!(g.has_edge(a, b), cc.has_edge(a, b));
+                }
+            }
+        }
+        assert_eq!(g.edge_count(), cc.edge_count());
+    }
+}

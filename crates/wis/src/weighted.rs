@@ -1,0 +1,259 @@
+//! Weighted maximum independent set after Halldórsson [16] — the algorithm
+//! `compMaxSim` borrows its weight-grouping trick from (paper §5):
+//!
+//! 1. drop vertices with weight `< W/n` (they cannot matter much),
+//! 2. partition the remainder into `⌈log₂ n⌉` geometric weight groups
+//!    `[W/2^i, W/2^{i-1})`,
+//! 3. run the unweighted `CliqueRemoval` kernel on each group's induced
+//!    subgraph,
+//! 4. return the group solution with the largest total weight.
+
+use crate::removal::clique_removal;
+use crate::ugraph::UGraph;
+use phom_graph::BitSet;
+
+/// Result of the weighted independent set approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIsResult {
+    /// The chosen independent set.
+    pub set: Vec<usize>,
+    /// Sum of weights of the chosen vertices.
+    pub weight: f64,
+}
+
+/// Sum of `weights` over `set`.
+pub fn total_weight(set: &[usize], weights: &[f64]) -> f64 {
+    set.iter().map(|&v| weights[v]).sum()
+}
+
+/// Approximates a maximum-weight independent set of `g`.
+///
+/// # Panics
+/// Panics if `weights.len() != g.len()` or any weight is negative/NaN.
+pub fn weighted_independent_set(g: &UGraph, weights: &[f64]) -> WeightedIsResult {
+    assert_eq!(weights.len(), g.len(), "one weight per vertex");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let n = g.len();
+    if n == 0 {
+        return WeightedIsResult {
+            set: Vec::new(),
+            weight: 0.0,
+        };
+    }
+    let w_max = weights.iter().cloned().fold(0.0f64, f64::max);
+    if w_max == 0.0 {
+        // All weights zero: any single vertex is as good as anything.
+        return WeightedIsResult {
+            set: vec![0],
+            weight: 0.0,
+        };
+    }
+
+    let cutoff = w_max / n as f64;
+    let groups = (n as f64).log2().ceil().max(1.0) as u32;
+
+    let mut best = WeightedIsResult {
+        set: Vec::new(),
+        weight: f64::NEG_INFINITY,
+    };
+    for i in 1..=groups {
+        let lo = w_max / 2f64.powi(i as i32);
+        let hi = w_max / 2f64.powi(i as i32 - 1);
+        let mut subset = BitSet::new(n);
+        let mut any = false;
+        for (v, &w) in weights.iter().enumerate() {
+            // Group i holds weights in [W/2^i, W/2^{i-1}]; the top group
+            // includes W itself, and everything below the cutoff is dropped.
+            let in_group = if i == 1 { w >= lo } else { w >= lo && w < hi };
+            if in_group && w >= cutoff {
+                subset.insert(v);
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let set = clique_removal(g, &subset);
+        let weight = total_weight(&set, weights);
+        if weight > best.weight {
+            best = WeightedIsResult { set, weight };
+        }
+    }
+
+    if best.weight == f64::NEG_INFINITY {
+        // Everything fell below the cutoff (possible only for tiny n with
+        // extreme weight skew): fall back to the single heaviest vertex.
+        let (v, &w) = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("n > 0");
+        return WeightedIsResult {
+            set: vec![v],
+            weight: w,
+        };
+    }
+    best.set.sort_unstable();
+    best
+}
+
+/// Exact maximum-weight independent set by branch and bound (test oracle;
+/// exponential, keep inputs small).
+pub fn exact_weighted_independent_set(g: &UGraph, weights: &[f64]) -> WeightedIsResult {
+    assert_eq!(weights.len(), g.len());
+    fn go(
+        g: &UGraph,
+        weights: &[f64],
+        remaining: &BitSet,
+        current: &mut Vec<usize>,
+        current_w: f64,
+        best: &mut (Vec<usize>, f64),
+    ) {
+        let optimistic: f64 = remaining.iter().map(|v| weights[v]).sum();
+        if current_w + optimistic <= best.1 {
+            return;
+        }
+        let Some(v) = remaining.first() else {
+            if current_w > best.1 {
+                *best = (current.clone(), current_w);
+            }
+            return;
+        };
+        let mut with_v = remaining.clone();
+        with_v.remove(v);
+        with_v.difference_with(g.neighbors(v));
+        current.push(v);
+        go(g, weights, &with_v, current, current_w + weights[v], best);
+        current.pop();
+        let mut without_v = remaining.clone();
+        without_v.remove(v);
+        go(g, weights, &without_v, current, current_w, best);
+    }
+
+    let mut best = (Vec::new(), 0.0);
+    let mut current = Vec::new();
+    go(
+        g,
+        weights,
+        &BitSet::full(g.len()),
+        &mut current,
+        0.0,
+        &mut best,
+    );
+    best.0.sort_unstable();
+    WeightedIsResult {
+        set: best.0,
+        weight: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_heavy_vertex_over_many_light_neighbors() {
+        // Star: center 0 with weight 10, leaves weight 1 each.
+        let mut g = UGraph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        let weights = [10.0, 1.0, 1.0, 1.0, 1.0];
+        let r = weighted_independent_set(&g, &weights);
+        assert!(g.is_independent_set(&r.set));
+        assert!(r.weight >= 10.0, "heavy center dominates 4 light leaves");
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_cardinality() {
+        let mut g = UGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(4, 5);
+        let weights = [1.0; 6];
+        let r = weighted_independent_set(&g, &weights);
+        assert_eq!(r.set.len(), 3, "one endpoint per edge");
+        assert!((r.weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_handled() {
+        let g = UGraph::new(3);
+        let r = weighted_independent_set(&g, &[0.0, 0.0, 0.0]);
+        assert_eq!(r.weight, 0.0);
+        assert!(!r.set.is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UGraph::new(0);
+        let r = weighted_independent_set(&g, &[]);
+        assert!(r.set.is_empty());
+        assert_eq!(r.weight, 0.0);
+    }
+
+    #[test]
+    fn exact_oracle_simple() {
+        // Triangle with weights 1, 2, 3: exact picks vertex 2 (weight 3).
+        let mut g = UGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let r = exact_weighted_independent_set(&g, &[1.0, 2.0, 3.0]);
+        assert_eq!(r.set, vec![2]);
+        assert!((r.weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per vertex")]
+    fn weight_length_mismatch_panics() {
+        let g = UGraph::new(2);
+        weighted_independent_set(&g, &[1.0]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_weighted() -> impl Strategy<Value = (UGraph, Vec<f64>)> {
+            (
+                2usize..12,
+                proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+            )
+                .prop_flat_map(|(n, raw)| {
+                    let mut g = UGraph::new(n);
+                    for (a, b) in raw {
+                        let (a, b) = (a % n, b % n);
+                        if a != b {
+                            g.add_edge(a, b);
+                        }
+                    }
+                    proptest::collection::vec(0.01f64..10.0, n).prop_map(move |w| (g.clone(), w))
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_valid_and_bounded_by_exact((g, w) in arb_weighted()) {
+                let approx = weighted_independent_set(&g, &w);
+                prop_assert!(g.is_independent_set(&approx.set));
+                let exact = exact_weighted_independent_set(&g, &w);
+                prop_assert!(approx.weight <= exact.weight + 1e-9);
+                // Halldórsson guarantee is asymptotic; sanity-check a loose
+                // concrete floor: at least max-weight-vertex / 2 ... not
+                // guaranteed by theory per se, so only check positivity.
+                prop_assert!(approx.weight > 0.0);
+            }
+
+            #[test]
+            fn prop_weight_equals_sum((g, w) in arb_weighted()) {
+                let r = weighted_independent_set(&g, &w);
+                let sum = total_weight(&r.set, &w);
+                prop_assert!((r.weight - sum).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Email-structure workloads for spam detection — the third application
+//! domain the paper's introduction motivates (eMailSift \[3\]: "email
+//! classification based on structure and content").
+//!
+//! An *email* is a DAG of structural parts (headers, MIME sections,
+//! paragraphs, links, attachments) labeled with token streams; edges are
+//! containment/order. A *spam campaign* mass-mails variants of one
+//! template, disguised to evade signature filters:
+//!
+//! * **wrapper insertion** — a containment edge becomes a **path**
+//!   through inserted wrapper parts (nested multiparts, forwarded
+//!   envelopes) — exactly p-hom's edge-to-path case;
+//! * **token churn** — part contents are paraphrased, so label equality
+//!   fails but shingle similarity stays high;
+//! * **junk attachment** — random extra parts bolted on to dilute
+//!   signatures.
+//!
+//! Legitimate mail ("ham") has its own structure, unrelated to the
+//! template. Detection = a high-`qualCard` p-hom mapping from the
+//! campaign template into the message.
+
+use phom_graph::{DiGraph, NodeId};
+use phom_sim::{shingle_similarity, SimMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A structural email part: a kind tag plus a content token stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Part {
+    /// Structural role ("subject", "para", "link", ...).
+    pub kind: &'static str,
+    /// Content tokens (synthetic word ids).
+    pub tokens: Vec<u32>,
+}
+
+/// An email as a containment/order DAG of [`Part`]s.
+pub type EmailGraph = DiGraph<Part>;
+
+/// Parameters for campaign generation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Paragraphs in the template body.
+    pub paragraphs: usize,
+    /// Links embedded in the template (the payload a filter hunts).
+    pub links: usize,
+    /// Probability a containment edge gains a wrapper part per variant.
+    pub wrapper_rate: f64,
+    /// Fraction of each part's tokens rewritten per variant.
+    pub churn: f64,
+    /// Junk parts attached per variant, as a fraction of template size.
+    pub junk: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            paragraphs: 4,
+            links: 2,
+            wrapper_rate: 0.4,
+            churn: 0.1,
+            junk: 0.3,
+            seed: 3,
+        }
+    }
+}
+
+/// One generated spam-detection instance: a campaign template plus a
+/// labeled mailbox of spam variants and ham messages.
+#[derive(Debug, Clone)]
+pub struct CampaignInstance {
+    /// The campaign template (the pattern `G1`).
+    pub template: EmailGraph,
+    /// Messages with ground-truth labels: `true` = spam variant.
+    pub mailbox: Vec<(EmailGraph, bool)>,
+}
+
+fn fresh_tokens(rng: &mut SmallRng, n: usize, vocab: u32) -> Vec<u32> {
+    (0..n).map(|_| rng.random_range(0..vocab)).collect()
+}
+
+/// Builds the campaign template: root → subject + body; body → paragraphs
+/// in order; some paragraphs carry links.
+fn build_template(cfg: &CampaignConfig, rng: &mut SmallRng) -> EmailGraph {
+    let mut g: EmailGraph = DiGraph::new();
+    let root = g.add_node(Part {
+        kind: "root",
+        tokens: fresh_tokens(rng, 4, 500),
+    });
+    let subject = g.add_node(Part {
+        kind: "subject",
+        tokens: fresh_tokens(rng, 8, 500),
+    });
+    let body = g.add_node(Part {
+        kind: "body",
+        tokens: fresh_tokens(rng, 4, 500),
+    });
+    g.add_edge(root, subject);
+    g.add_edge(root, body);
+    let mut paras = Vec::new();
+    for _ in 0..cfg.paragraphs {
+        let p = g.add_node(Part {
+            kind: "para",
+            tokens: fresh_tokens(rng, 16, 500),
+        });
+        g.add_edge(body, p);
+        paras.push(p);
+    }
+    // Order edges chain the paragraphs (reading order).
+    for w in paras.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    for i in 0..cfg.links {
+        let carrier = paras[i % paras.len()];
+        let l = g.add_node(Part {
+            kind: "link",
+            tokens: fresh_tokens(rng, 6, 500),
+        });
+        g.add_edge(carrier, l);
+    }
+    g
+}
+
+/// Derives one disguised spam variant from the template.
+fn spam_variant(template: &EmailGraph, cfg: &CampaignConfig, rng: &mut SmallRng) -> EmailGraph {
+    let mut g: EmailGraph = DiGraph::with_capacity(template.node_count());
+    // Copy nodes with token churn.
+    for v in template.nodes() {
+        let mut part = template.label(v).clone();
+        for t in part.tokens.iter_mut() {
+            if rng.random::<f64>() < cfg.churn {
+                *t = rng.random_range(0..500);
+            }
+        }
+        g.add_node(part);
+    }
+    // Copy edges, sometimes through an inserted wrapper part.
+    for (a, b) in template.edges() {
+        if rng.random::<f64>() < cfg.wrapper_rate {
+            let w = g.add_node(Part {
+                kind: "wrapper",
+                tokens: fresh_tokens(rng, 3, 500),
+            });
+            g.add_edge(a, w);
+            g.add_edge(w, b);
+        } else {
+            g.add_edge(a, b);
+        }
+    }
+    // Junk attachments hang off random parts.
+    let junk_count = ((template.node_count() as f64) * cfg.junk).round() as usize;
+    let n0 = template.node_count() as u32;
+    for _ in 0..junk_count {
+        let host = NodeId(rng.random_range(0..n0));
+        let j = g.add_node(Part {
+            kind: "junk",
+            tokens: fresh_tokens(rng, 10, 500),
+        });
+        g.add_edge(host, j);
+    }
+    g
+}
+
+/// Generates a legitimate message of comparable size: same part kinds
+/// (every mailbox message has a root, subject, body, paragraphs) but a
+/// disjoint vocabulary range, so structural roles align while content
+/// similarity stays low — the realistic hard case for a filter.
+fn ham_email(cfg: &CampaignConfig, rng: &mut SmallRng) -> EmailGraph {
+    let vocab_base = 10_000u32; // disjoint from campaign vocabulary
+    let mut fresh = |n: usize| -> Vec<u32> {
+        (0..n)
+            .map(|_| vocab_base + rng.random_range(0..500))
+            .collect()
+    };
+    let mut g: EmailGraph = DiGraph::new();
+    let root = g.add_node(Part {
+        kind: "root",
+        tokens: fresh(4),
+    });
+    let subject = g.add_node(Part {
+        kind: "subject",
+        tokens: fresh(8),
+    });
+    let body = g.add_node(Part {
+        kind: "body",
+        tokens: fresh(4),
+    });
+    g.add_edge(root, subject);
+    g.add_edge(root, body);
+    let n_paras = cfg.paragraphs.max(1);
+    let mut prev: Option<NodeId> = None;
+    for _ in 0..n_paras {
+        let p = g.add_node(Part {
+            kind: "para",
+            tokens: fresh(16),
+        });
+        g.add_edge(body, p);
+        if let Some(q) = prev {
+            g.add_edge(q, p);
+        }
+        prev = Some(p);
+    }
+    g
+}
+
+/// Generates a campaign instance: the template, `spam` disguised
+/// variants, and `ham` unrelated messages, shuffled deterministically.
+///
+/// ```
+/// use phom_workloads::{generate_campaign, CampaignConfig};
+///
+/// let inst = generate_campaign(&CampaignConfig::default(), 3, 2);
+/// assert_eq!(inst.mailbox.len(), 5);
+/// assert_eq!(inst.mailbox.iter().filter(|(_, spam)| *spam).count(), 3);
+/// ```
+pub fn generate_campaign(cfg: &CampaignConfig, spam: usize, ham: usize) -> CampaignInstance {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let template = build_template(cfg, &mut rng);
+    let mut mailbox = Vec::with_capacity(spam + ham);
+    for _ in 0..spam {
+        mailbox.push((spam_variant(&template, cfg, &mut rng), true));
+    }
+    for _ in 0..ham {
+        mailbox.push((ham_email(cfg, &mut rng), false));
+    }
+    // Deterministic interleave so consumers cannot rely on ordering.
+    mailbox.sort_by_key(|(g, _)| g.node_count());
+    CampaignInstance { template, mailbox }
+}
+
+/// The `mat()` for template-vs-message matching: same-kind parts are
+/// compared by 2-shingle resemblance of their token streams; different
+/// kinds score 0 (a subject never matches a link). Wrapper parts are
+/// transparent to matching because they only appear *inside* image
+/// paths, never as images of template parts.
+pub fn email_matrix(template: &EmailGraph, message: &EmailGraph) -> SimMatrix {
+    SimMatrix::from_fn(template.node_count(), message.node_count(), |v, u| {
+        let a = template.label(v);
+        let b = message.label(u);
+        if a.kind != b.kind {
+            return 0.0;
+        }
+        shingle_similarity(&a.tokens, &b.tokens, 2)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_core::{comp_max_card, AlgoConfig};
+
+    fn classify(template: &EmailGraph, msg: &EmailGraph, xi: f64, threshold: f64) -> bool {
+        let mat = email_matrix(template, msg);
+        let cfg = AlgoConfig {
+            xi,
+            ..Default::default()
+        };
+        comp_max_card(template, msg, &mat, &cfg).qual_card() >= threshold
+    }
+
+    #[test]
+    fn template_is_a_dag_with_expected_parts() {
+        let cfg = CampaignConfig::default();
+        let inst = generate_campaign(&cfg, 1, 0);
+        let t = &inst.template;
+        assert_eq!(
+            t.nodes().filter(|&v| t.label(v).kind == "para").count(),
+            cfg.paragraphs
+        );
+        assert_eq!(
+            t.nodes().filter(|&v| t.label(v).kind == "link").count(),
+            cfg.links
+        );
+        let scc = phom_graph::tarjan_scc(t);
+        assert_eq!(scc.count(), t.node_count(), "acyclic");
+    }
+
+    #[test]
+    fn spam_variants_match_the_template() {
+        let cfg = CampaignConfig::default();
+        let inst = generate_campaign(&cfg, 8, 0);
+        for (msg, is_spam) in &inst.mailbox {
+            assert!(is_spam);
+            assert!(
+                classify(&inst.template, msg, 0.4, 0.75),
+                "a campaign variant must be flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn ham_does_not_match_the_template() {
+        let cfg = CampaignConfig::default();
+        let inst = generate_campaign(&cfg, 0, 8);
+        for (msg, is_spam) in &inst.mailbox {
+            assert!(!is_spam);
+            assert!(
+                !classify(&inst.template, msg, 0.4, 0.75),
+                "legitimate mail must not be flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CampaignConfig::default();
+        let a = generate_campaign(&cfg, 3, 3);
+        let b = generate_campaign(&cfg, 3, 3);
+        assert_eq!(a.template.node_count(), b.template.node_count());
+        for ((ga, la), (gb, lb)) in a.mailbox.iter().zip(b.mailbox.iter()) {
+            assert_eq!(la, lb);
+            assert_eq!(ga.node_count(), gb.node_count());
+            assert_eq!(ga.edge_count(), gb.edge_count());
+        }
+    }
+
+    #[test]
+    fn wrappers_force_edge_to_path_matching() {
+        // With wrapper_rate = 1 every containment edge is stretched, so
+        // edge-to-edge matching (bounded k = 1) must fail while p-hom
+        // still flags the variant.
+        let cfg = CampaignConfig {
+            wrapper_rate: 1.0,
+            churn: 0.0,
+            junk: 0.0,
+            ..Default::default()
+        };
+        let inst = generate_campaign(&cfg, 1, 0);
+        let (msg, _) = &inst.mailbox[0];
+        let mat = email_matrix(&inst.template, msg);
+        let acfg = AlgoConfig {
+            xi: 0.5,
+            ..Default::default()
+        };
+        let k1 = phom_core::comp_max_card_bounded(&inst.template, msg, &mat, &acfg, 1);
+        let unb = comp_max_card(&inst.template, msg, &mat, &acfg);
+        assert!(unb.qual_card() >= 0.99, "p-hom sees through wrappers");
+        assert!(
+            k1.qual_card() < unb.qual_card(),
+            "edge-to-edge must lose nodes to wrappers"
+        );
+    }
+}

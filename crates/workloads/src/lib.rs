@@ -1,0 +1,39 @@
+//! # phom-workloads
+//!
+//! Workload generators reproducing the experimental inputs of §6 of
+//! *Graph Homomorphism Revisited for Graph Matching* (Fan et al., VLDB
+//! 2010):
+//!
+//! * [`synthetic`] — the Exp-2 generator: pattern `G1` (`m` nodes, `4m`
+//!   edges), noisy `G2` (edge→path and attached-subgraph noise), and the
+//!   grouped label-similarity model;
+//! * [`websim`] — simulated Web-site archives standing in for the Stanford
+//!   WebBase crawls of Exp-1 (three site categories with
+//!   category-specific churn across 11 versions);
+//! * [`skeleton`] — the `α`-rule and top-k skeleton extraction of §6;
+//! * [`plagiarism`] — program-dependence-graph workloads for the
+//!   plagiarism-detection application the paper's introduction motivates
+//!   (GPlag \[20\]);
+//! * [`email`] — email-structure workloads for the spam-detection
+//!   application (eMailSift \[3\]): campaign templates, disguised
+//!   variants, ham.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod email;
+pub mod plagiarism;
+pub mod skeleton;
+pub mod synthetic;
+pub mod websim;
+
+pub use email::{email_matrix, generate_campaign, CampaignConfig, CampaignInstance, EmailGraph};
+pub use plagiarism::{PdgConfig, PlagiarismInstance, Stmt};
+pub use skeleton::{skeleton_alpha, skeleton_top_k, Skeleton};
+pub use synthetic::{
+    derive_data_graph, generate_batch, generate_instance, generate_pattern, LabelPool,
+    SyntheticConfig, SyntheticInstance,
+};
+pub use websim::{
+    generate_archive, shingle_matrix, Churn, Page, SiteArchive, SiteCategory, SiteGraph, SiteSpec,
+};

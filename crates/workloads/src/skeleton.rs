@@ -1,0 +1,115 @@
+//! Skeleton extraction (§6, Exp-1): real site graphs are too large to
+//! match directly, so the paper matches *skeletons* — subgraphs induced by
+//! "important" nodes:
+//!
+//! * **Skeletons 1** (`α`-rule): keep `v` with
+//!   `deg(v) ≥ avgDeg(G) + α · maxDeg(G)` (the paper fixes `α = 0.2`);
+//! * **Skeletons 2** (top-k): keep the `k` highest-degree nodes (the paper
+//!   uses `k = 20` to accommodate `cdkMCS`).
+
+use phom_graph::{DiGraph, NodeId};
+use std::collections::BTreeSet;
+
+/// A skeleton: the induced subgraph plus the original ids of its nodes.
+#[derive(Debug, Clone)]
+pub struct Skeleton<L> {
+    /// The induced subgraph.
+    pub graph: DiGraph<L>,
+    /// `original[new]` = id of the node in the source graph.
+    pub original: Vec<NodeId>,
+}
+
+/// The `α`-rule skeleton of §6.
+pub fn skeleton_alpha<L: Clone>(g: &DiGraph<L>, alpha: f64) -> Skeleton<L> {
+    let threshold = g.avg_degree() + alpha * g.max_degree() as f64;
+    let keep: BTreeSet<NodeId> = g
+        .nodes()
+        .filter(|&v| g.degree(v) as f64 >= threshold)
+        .collect();
+    let (graph, original) = g.induced_subgraph(&keep);
+    Skeleton { graph, original }
+}
+
+/// The top-`k`-degree skeleton of §6 (ties broken by node id).
+pub fn skeleton_top_k<L: Clone>(g: &DiGraph<L>, k: usize) -> Skeleton<L> {
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    nodes.truncate(k);
+    let keep: BTreeSet<NodeId> = nodes.into_iter().collect();
+    let (graph, original) = g.induced_subgraph(&keep);
+    Skeleton { graph, original }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    fn hub_graph() -> DiGraph<String> {
+        // hub has degree 5; chain nodes have degree <= 2.
+        graph_from_labels(
+            &["hub", "a", "b", "c", "d", "e", "t1", "t2"],
+            &[
+                ("hub", "a"),
+                ("hub", "b"),
+                ("hub", "c"),
+                ("hub", "d"),
+                ("hub", "e"),
+                ("t1", "t2"),
+            ],
+        )
+    }
+
+    #[test]
+    fn alpha_rule_keeps_high_degree_nodes() {
+        let g = hub_graph();
+        // avgDeg = 2*6/8 = 1.5; maxDeg = 5; alpha 0.5 -> threshold 4.
+        let s = skeleton_alpha(&g, 0.5);
+        assert_eq!(s.graph.node_count(), 1);
+        assert_eq!(s.original, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn alpha_zero_keeps_above_average() {
+        let g = hub_graph();
+        let s = skeleton_alpha(&g, 0.0);
+        // threshold = avgDeg = 1.5: keeps hub only (leaves have degree 1,
+        // t1/t2 degree 1).
+        assert_eq!(s.graph.node_count(), 1);
+    }
+
+    #[test]
+    fn top_k_selects_highest_degrees() {
+        let g = hub_graph();
+        let s = skeleton_top_k(&g, 3);
+        assert_eq!(s.graph.node_count(), 3);
+        assert_eq!(s.original[0], NodeId(0), "hub kept");
+    }
+
+    #[test]
+    fn top_k_larger_than_graph_keeps_all() {
+        let g = hub_graph();
+        let s = skeleton_top_k(&g, 100);
+        assert_eq!(s.graph.node_count(), g.node_count());
+        assert_eq!(s.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn skeleton_preserves_induced_edges() {
+        let g = graph_from_labels(
+            &["a", "b", "c"],
+            &[("a", "b"), ("b", "c"), ("a", "c"), ("c", "a")],
+        );
+        // All nodes have degree >= 2; top-2 keeps a and c (degree 3 each).
+        let s = skeleton_top_k(&g, 2);
+        assert_eq!(s.graph.node_count(), 2);
+        assert_eq!(s.graph.edge_count(), 2, "a<->c edges survive");
+    }
+
+    #[test]
+    fn empty_graph_skeletons() {
+        let g: DiGraph<String> = DiGraph::new();
+        assert_eq!(skeleton_alpha(&g, 0.2).graph.node_count(), 0);
+        assert_eq!(skeleton_top_k(&g, 5).graph.node_count(), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The synthetic workload generator of §6, Exp-2:
+//!
+//! * pattern `G1`: `m` nodes, `4m` random edges;
+//! * data `G2`: a copy of `G1` with noise — each edge replaced, with
+//!   probability `noise%`, by a path of 1–5 fresh nodes; each node, with
+//!   probability `noise%`, sprouting an attached subgraph of ≤ 10 nodes;
+//! * labels: drawn from a pool of `5m` distinct labels split into
+//!   `√(5m)` groups; labels in different groups are totally different,
+//!   labels in the same group get a random similarity in `[0, 1]`
+//!   (a label is identical to itself: similarity 1).
+//!
+//! Instances are fully determined by `(m, noise, seed)` so every
+//! experiment is reproducible.
+
+use phom_graph::{DiGraph, NodeId};
+use phom_sim::SimMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A label from the synthetic pool: just an index into `0..5m`.
+pub type Label = u32;
+
+/// Parameters of one synthetic instance (§6 Exp-2 defaults:
+/// `noise = 0.10`, 15 data graphs per pattern).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// `m`: number of pattern nodes.
+    pub m: usize,
+    /// Noise rate in `[0, 1]` (the paper's `noise%`).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The label-similarity model of §6: `5m` labels in `√(5m)` groups.
+#[derive(Debug, Clone)]
+pub struct LabelPool {
+    pool_size: u32,
+    group_count: u32,
+    seed: u64,
+}
+
+impl LabelPool {
+    /// Pool for pattern size `m`.
+    pub fn new(m: usize, seed: u64) -> Self {
+        let pool_size = (5 * m).max(1) as u32;
+        let group_count = (pool_size as f64).sqrt().ceil().max(1.0) as u32;
+        Self {
+            pool_size,
+            group_count,
+            seed,
+        }
+    }
+
+    /// Number of distinct labels (`5m`).
+    pub fn len(&self) -> u32 {
+        self.pool_size
+    }
+
+    /// True when the pool is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.pool_size == 0
+    }
+
+    /// The group of a label.
+    pub fn group(&self, label: Label) -> u32 {
+        label % self.group_count
+    }
+
+    /// Similarity of two labels: 1 for equal labels, a deterministic
+    /// pseudo-random value in `[0, 1]` within a group, 0 across groups.
+    pub fn similarity(&self, a: Label, b: Label) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        if self.group(a) != self.group(b) {
+            return 0.0;
+        }
+        // Symmetric deterministic hash -> [0, 1).
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((lo as u64) << 32 | hi as u64);
+        // SplitMix64 finalizer.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Random label.
+    pub fn sample(&self, rng: &mut SmallRng) -> Label {
+        rng.random_range(0..self.pool_size)
+    }
+}
+
+/// One generated instance: the pattern, one noisy data graph, and the pool
+/// that scores their labels.
+#[derive(Debug, Clone)]
+pub struct SyntheticInstance {
+    /// The pattern `G1`.
+    pub g1: DiGraph<Label>,
+    /// The noisy data graph `G2`.
+    pub g2: DiGraph<Label>,
+    /// The shared label pool.
+    pub pool: LabelPool,
+}
+
+impl SyntheticInstance {
+    /// The similarity matrix `mat()` between `g1` and `g2` under the
+    /// pool's label model.
+    pub fn similarity_matrix(&self) -> SimMatrix {
+        SimMatrix::from_fn(self.g1.node_count(), self.g2.node_count(), |v, u| {
+            self.pool.similarity(*self.g1.label(v), *self.g2.label(u))
+        })
+    }
+}
+
+/// Generates the pattern `G1`: `m` nodes, `4m` distinct random edges
+/// (no self-loops; fewer edges when `m` is too small to host `4m`).
+pub fn generate_pattern(cfg: &SyntheticConfig) -> (DiGraph<Label>, LabelPool) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let pool = LabelPool::new(cfg.m, cfg.seed ^ 0x00C0_FFEE);
+    let mut g = DiGraph::with_capacity(cfg.m);
+    for _ in 0..cfg.m {
+        let l = pool.sample(&mut rng);
+        g.add_node(l);
+    }
+    let max_edges = cfg.m.saturating_mul(cfg.m.saturating_sub(1));
+    let target = (4 * cfg.m).min(max_edges);
+    let mut attempts = 0usize;
+    while g.edge_count() < target && attempts < 100 * target.max(1) {
+        attempts += 1;
+        let a = rng.random_range(0..cfg.m) as u32;
+        let b = rng.random_range(0..cfg.m) as u32;
+        if a != b {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    (g, pool)
+}
+
+/// Derives one noisy `G2` from the pattern per §6's construction.
+/// `variant` diversifies the 15 data graphs generated per pattern.
+pub fn derive_data_graph(
+    g1: &DiGraph<Label>,
+    pool: &LabelPool,
+    cfg: &SyntheticConfig,
+    variant: u64,
+) -> DiGraph<Label> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (variant.wrapping_mul(0x5851_F42D)));
+    // Start as a copy of G1 (same labels, same node ids).
+    let mut g2 = DiGraph::with_capacity(g1.node_count() * 2);
+    for v in g1.nodes() {
+        g2.add_node(*g1.label(v));
+    }
+
+    // (a) Edge noise: with prob noise, replace the edge by a path through
+    // 1..=5 fresh nodes; otherwise copy the edge.
+    for (a, b) in g1.edges() {
+        if rng.random::<f64>() < cfg.noise {
+            let hops = rng.random_range(1..=5usize);
+            let mut prev = a;
+            for _ in 0..hops {
+                let mid = g2.add_node(pool.sample(&mut rng));
+                g2.add_edge(prev, mid);
+                prev = mid;
+            }
+            g2.add_edge(prev, b);
+        } else {
+            g2.add_edge(a, b);
+        }
+    }
+
+    // (b) Node noise: with prob noise, attach a random subgraph of at most
+    // 10 nodes (a small random tree with extra edges).
+    for v in g1.nodes() {
+        if rng.random::<f64>() < cfg.noise {
+            let size = rng.random_range(1..=10usize);
+            let mut members = Vec::with_capacity(size);
+            for _ in 0..size {
+                members.push(g2.add_node(pool.sample(&mut rng)));
+            }
+            g2.add_edge(v, members[0]);
+            for i in 1..members.len() {
+                let parent = members[rng.random_range(0..i)];
+                g2.add_edge(parent, members[i]);
+            }
+            // A couple of extra internal edges.
+            for _ in 0..(size / 3) {
+                let x = members[rng.random_range(0..size)];
+                let y = members[rng.random_range(0..size)];
+                if x != y {
+                    g2.add_edge(x, y);
+                }
+            }
+        }
+    }
+    g2
+}
+
+/// Generates a full instance (pattern + one data graph).
+pub fn generate_instance(cfg: &SyntheticConfig, variant: u64) -> SyntheticInstance {
+    let (g1, pool) = generate_pattern(cfg);
+    let g2 = derive_data_graph(&g1, &pool, cfg, variant);
+    SyntheticInstance { g1, g2, pool }
+}
+
+/// Generates the paper's per-setting batch: one pattern and `count` data
+/// graphs (the paper uses 15).
+pub fn generate_batch(cfg: &SyntheticConfig, count: usize) -> Vec<SyntheticInstance> {
+    let (g1, pool) = generate_pattern(cfg);
+    (0..count)
+        .map(|i| SyntheticInstance {
+            g1: g1.clone(),
+            g2: derive_data_graph(&g1, &pool, cfg, i as u64 + 1),
+            pool: pool.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(m: usize, noise: f64) -> SyntheticConfig {
+        SyntheticConfig { m, noise, seed: 42 }
+    }
+
+    #[test]
+    fn pattern_has_m_nodes_and_4m_edges() {
+        let (g1, _) = generate_pattern(&cfg(50, 0.1));
+        assert_eq!(g1.node_count(), 50);
+        assert_eq!(g1.edge_count(), 200);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_instance(&cfg(30, 0.1), 3);
+        let b = generate_instance(&cfg(30, 0.1), 3);
+        assert_eq!(a.g1.node_count(), b.g1.node_count());
+        assert_eq!(a.g2.node_count(), b.g2.node_count());
+        let ea: Vec<_> = a.g2.edges().collect();
+        let eb: Vec<_> = b.g2.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn variants_differ() {
+        let a = generate_instance(&cfg(30, 0.2), 1);
+        let b = generate_instance(&cfg(30, 0.2), 2);
+        let ea: Vec<_> = a.g2.edges().collect();
+        let eb: Vec<_> = b.g2.edges().collect();
+        assert_ne!(ea, eb, "different variants produce different noise");
+    }
+
+    #[test]
+    fn zero_noise_copies_pattern() {
+        let inst = generate_instance(&cfg(40, 0.0), 1);
+        assert_eq!(inst.g2.node_count(), inst.g1.node_count());
+        assert_eq!(inst.g2.edge_count(), inst.g1.edge_count());
+        for v in inst.g1.nodes() {
+            assert_eq!(inst.g1.label(v), inst.g2.label(v));
+        }
+    }
+
+    #[test]
+    fn noise_grows_data_graph() {
+        let inst = generate_instance(&cfg(100, 0.2), 1);
+        assert!(inst.g2.node_count() > inst.g1.node_count());
+        // Paper's envelope: m=500, noise 2..20% gave |V2| in [650, 2100];
+        // proportionally m=100 noise 20% lands roughly in [150, 450].
+        assert!(inst.g2.node_count() < 5 * inst.g1.node_count());
+    }
+
+    #[test]
+    fn label_pool_properties() {
+        let pool = LabelPool::new(100, 7);
+        assert_eq!(pool.len(), 500);
+        // Self-similarity 1.
+        assert_eq!(pool.similarity(3, 3), 1.0);
+        // Symmetry.
+        assert_eq!(pool.similarity(3, 25), pool.similarity(25, 3));
+        // Cross-group zero.
+        let (a, b) = (0u32, 1u32);
+        if pool.group(a) != pool.group(b) {
+            assert_eq!(pool.similarity(a, b), 0.0);
+        }
+        // In-range.
+        for x in 0..40u32 {
+            for y in 0..40u32 {
+                let s = pool.similarity(x, y);
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_copy_matches_at_full_quality() {
+        // With zero noise the data graph equals the pattern, so the
+        // matcher must achieve qualCard 1 (sanity link to phom-core once
+        // integrated; here: similarity matrix diagonal is 1).
+        let inst = generate_instance(&cfg(20, 0.0), 1);
+        let mat = inst.similarity_matrix();
+        for v in inst.g1.nodes() {
+            assert_eq!(mat.score(v, v), 1.0);
+        }
+    }
+
+    #[test]
+    fn batch_shares_pattern() {
+        let batch = generate_batch(&cfg(20, 0.1), 4);
+        assert_eq!(batch.len(), 4);
+        let e0: Vec<_> = batch[0].g1.edges().collect();
+        for inst in &batch {
+            let e: Vec<_> = inst.g1.edges().collect();
+            assert_eq!(e, e0);
+        }
+    }
+
+    #[test]
+    fn tiny_m_does_not_hang() {
+        let (g1, _) = generate_pattern(&cfg(1, 0.5));
+        assert_eq!(g1.node_count(), 1);
+        assert_eq!(g1.edge_count(), 0, "no self-loops possible");
+    }
+}

@@ -1,0 +1,572 @@
+//! Simulated Web-site archives — the substitute for the Stanford WebBase
+//! crawls of §6, Exp-1 (see DESIGN.md §4 for the substitution rationale).
+//!
+//! A *site* is a hierarchical page graph (home page → hub/category pages →
+//! content pages, plus cross links) whose pages carry token streams for
+//! shingle similarity. An *archive* is a sequence of versions of the same
+//! site, each derived from the previous one with category-specific churn:
+//! online newspapers (site 3) churn hardest, international organizations
+//! (site 2) barely move, online stores (site 1) sit in between — matching
+//! the accuracy ordering the paper observed (site 2 ≥ site 1 > site 3).
+
+use phom_graph::{DiGraph, NodeId};
+use phom_sim::{shingle_similarity, SimMatrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three real-life site categories of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteCategory {
+    /// Site 1: online store (20k pages, 42k links in the paper).
+    OnlineStore,
+    /// Site 2: international organization (5.4k pages, 33.1k links).
+    Organization,
+    /// Site 3: online newspaper (7k pages, 16.8k links) — fast churn.
+    Newspaper,
+}
+
+impl SiteCategory {
+    /// All three categories in Table 2 order.
+    pub const ALL: [SiteCategory; 3] = [
+        SiteCategory::OnlineStore,
+        SiteCategory::Organization,
+        SiteCategory::Newspaper,
+    ];
+
+    /// Short display name ("site 1" .. "site 3").
+    pub fn site_name(self) -> &'static str {
+        match self {
+            SiteCategory::OnlineStore => "site 1",
+            SiteCategory::Organization => "site 2",
+            SiteCategory::Newspaper => "site 3",
+        }
+    }
+}
+
+/// Per-version churn rates.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Churn {
+    /// Probability a page's content is rewritten between versions.
+    pub content: f64,
+    /// Fraction of a rewritten page's specific tokens that change.
+    pub rewrite: f64,
+    /// Probability an edge is replaced by a path via a redirect page.
+    pub edge_to_path: f64,
+    /// Probability a page sprouts a new small subtree.
+    pub attach: f64,
+    /// Probability a leaf page is deleted.
+    pub delete_leaf: f64,
+}
+
+impl Churn {
+    /// Category-specific churn (newspapers change fastest — §6: "a typical
+    /// feature of site 3 ... is its timeliness").
+    pub fn for_category(cat: SiteCategory) -> Self {
+        match cat {
+            SiteCategory::OnlineStore => Self {
+                content: 0.12,
+                rewrite: 0.10,
+                edge_to_path: 0.030,
+                attach: 0.020,
+                delete_leaf: 0.010,
+            },
+            SiteCategory::Organization => Self {
+                content: 0.04,
+                rewrite: 0.10,
+                edge_to_path: 0.010,
+                attach: 0.010,
+                delete_leaf: 0.004,
+            },
+            SiteCategory::Newspaper => Self {
+                content: 0.16,
+                rewrite: 0.10,
+                edge_to_path: 0.060,
+                attach: 0.050,
+                delete_leaf: 0.040,
+            },
+        }
+    }
+}
+
+/// Specification of one simulated site archive.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Category (drives churn and naming).
+    pub category: SiteCategory,
+    /// Page count of the initial version.
+    pub nodes: usize,
+    /// Link count target of the initial version.
+    pub edges: usize,
+    /// Fanout of the biggest hub, the home page (drives `maxDeg`).
+    pub hub_fanout: usize,
+    /// Number of section hubs (drives the skeleton-1 size: hubs are the
+    /// nodes whose degree clears the `avgDeg + α·maxDeg` bar).
+    pub hub_count: usize,
+    /// Links from each hub into the hub core (drives skeleton-1 density).
+    pub hub_core_out: usize,
+    /// Probability a content page links back to its section hub
+    /// (lifts hub in-degree above the skeleton threshold).
+    pub backlink_prob: f64,
+    /// Number of archived versions (the paper keeps 11).
+    pub versions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SiteSpec {
+    /// Table 2 scale: the node/edge/degree envelope of the paper's crawls.
+    pub fn paper_scale(category: SiteCategory, seed: u64) -> Self {
+        match category {
+            SiteCategory::OnlineStore => Self {
+                category,
+                nodes: 20_000,
+                edges: 42_000,
+                hub_fanout: 500,
+                hub_count: 250,
+                hub_core_out: 42,
+                backlink_prob: 0.10,
+                versions: 11,
+                seed,
+            },
+            SiteCategory::Organization => Self {
+                category,
+                nodes: 5_400,
+                edges: 33_114,
+                hub_fanout: 640,
+                hub_count: 44,
+                hub_core_out: 5,
+                backlink_prob: 0.60,
+                versions: 11,
+                seed,
+            },
+            SiteCategory::Newspaper => Self {
+                category,
+                nodes: 7_000,
+                edges: 16_800,
+                hub_fanout: 495,
+                hub_count: 142,
+                hub_core_out: 22,
+                backlink_prob: 0.30,
+                versions: 11,
+                seed,
+            },
+        }
+    }
+
+    /// A scaled-down spec (~1/20) for tests and quick runs, preserving the
+    /// degree structure.
+    pub fn test_scale(category: SiteCategory, seed: u64) -> Self {
+        let full = Self::paper_scale(category, seed);
+        Self {
+            nodes: full.nodes / 20,
+            edges: full.edges / 20,
+            hub_fanout: full.hub_fanout / 10,
+            hub_count: (full.hub_count / 10).max(4),
+            hub_core_out: (full.hub_core_out / 3).max(2),
+            versions: 5,
+            ..full
+        }
+    }
+}
+
+/// A Web page: stable URL-ish identity plus a token stream (its content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// Stable page id across versions (for diagnostics only — matching
+    /// never looks at it).
+    pub id: u32,
+    /// Content tokens (topic prefix + page-specific suffix).
+    pub tokens: Vec<u32>,
+}
+
+impl std::fmt::Display for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page{}", self.id)
+    }
+}
+
+/// One site version.
+pub type SiteGraph = DiGraph<Page>;
+
+/// A simulated archive: version 0 is the oldest (the pattern in Exp-1).
+#[derive(Debug, Clone)]
+pub struct SiteArchive {
+    /// The spec that produced this archive.
+    pub spec: SiteSpec,
+    /// The versions, oldest first.
+    pub versions: Vec<SiteGraph>,
+}
+
+const TOPIC_TOKENS: usize = 20;
+const PAGE_TOKENS: usize = 30;
+
+struct Gen {
+    rng: SmallRng,
+    next_token: u32,
+    next_page: u32,
+}
+
+impl Gen {
+    fn fresh_token(&mut self) -> u32 {
+        self.next_token += 1;
+        self.next_token
+    }
+    fn fresh_page_id(&mut self) -> u32 {
+        self.next_page += 1;
+        self.next_page
+    }
+}
+
+/// Generates the full archive for `spec`.
+pub fn generate_archive(spec: &SiteSpec) -> SiteArchive {
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(spec.seed),
+        next_token: 0,
+        next_page: 0,
+    };
+    let churn = Churn::for_category(spec.category);
+    let v0 = generate_initial(spec, &mut g);
+    let mut versions = Vec::with_capacity(spec.versions);
+    versions.push(v0);
+    for _ in 1..spec.versions {
+        let next = evolve(versions.last().expect("nonempty"), &churn, &mut g);
+        versions.push(next);
+    }
+    SiteArchive {
+        spec: *spec,
+        versions,
+    }
+}
+
+/// Builds version 0 with an explicit two-tier degree structure:
+/// node 0 is the home page (`hub_fanout` out-links), nodes `1..=hub_count`
+/// are section hubs (one topic each; dense hub core of `hub_core_out`
+/// links; backlinks from their pages), and the rest are content pages.
+/// The hub tier is exactly what the α-rule skeleton of §6 extracts.
+fn generate_initial(spec: &SiteSpec, g: &mut Gen) -> SiteGraph {
+    let n = spec.nodes.max(4);
+    let hub_count = spec.hub_count.clamp(1, n - 2);
+    let topic_prefix: Vec<Vec<u32>> = (0..hub_count)
+        .map(|_| (0..TOPIC_TOKENS).map(|_| g.fresh_token()).collect())
+        .collect();
+
+    let mut site = DiGraph::with_capacity(n);
+    let mut topic_of: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Home gets topic 0; hub i (1..=hub_count) owns topic i-1; pages
+        // are assigned randomly.
+        let topic = if i == 0 {
+            0
+        } else if i <= hub_count {
+            i - 1
+        } else {
+            // Round-robin: equal topic sizes keep hub degrees deterministic,
+            // so the top-20 degree ranking stays stable across versions.
+            (i - hub_count - 1) % hub_count
+        };
+        let mut tokens = topic_prefix[topic].clone();
+        for _ in 0..PAGE_TOKENS {
+            tokens.push(g.fresh_token());
+        }
+        site.add_node(Page {
+            id: g.fresh_page_id(),
+            tokens,
+        });
+        topic_of.push(topic);
+    }
+
+    let home = NodeId(0);
+    let hub_of_topic = |t: usize| NodeId((t + 1) as u32);
+
+    // (a) Every content page hangs off its section hub; backlinks with
+    // probability `backlink_prob` lift hub in-degree.
+    for (i, &topic) in topic_of.iter().enumerate().skip(hub_count + 1) {
+        let page = NodeId(i as u32);
+        let hub = hub_of_topic(topic);
+        site.add_edge(hub, page);
+        if g.rng.random::<f64>() < spec.backlink_prob {
+            site.add_edge(page, hub);
+        }
+    }
+
+    // (b) Home links to all hubs, then to random pages up to its fanout.
+    for k in 0..hub_count {
+        site.add_edge(home, hub_of_topic(k));
+    }
+    let mut guard = 0usize;
+    while site.out_degree(home) < spec.hub_fanout.min(n - 1) && guard < 20 * n {
+        guard += 1;
+        let p = NodeId(g.rng.random_range(1..n) as u32);
+        site.add_edge(home, p);
+    }
+
+    // (c) Dense hub core (nav bars): each hub links to `hub_core_out`
+    // random other hubs — this is what keeps the skeleton connected when
+    // individual links churn into redirect paths.
+    if hub_count > 1 {
+        for k in 0..hub_count {
+            let h = hub_of_topic(k);
+            let mut added = 0usize;
+            let mut guard = 0usize;
+            while added < spec.hub_core_out.min(hub_count - 1) && guard < 50 * spec.hub_core_out {
+                guard += 1;
+                let other = hub_of_topic(g.rng.random_range(0..hub_count));
+                if other != h && site.add_edge(h, other) {
+                    added += 1;
+                }
+            }
+        }
+    }
+
+    // (d) Super-hub tier: the first ~30 hubs get extra fanout with a
+    // clear rank separation (~hub_fanout·0.6/30 per rank). Real sites'
+    // top-degree pages (home, main sections, archives) are far apart in
+    // degree, which is what keeps the top-20 skeleton *stable* across
+    // versions; without this tier the top-20 membership reshuffles under
+    // churn and Exp-1 accuracy on skeletons 2 collapses.
+    let superhub_count = hub_count.min(30);
+    let nominal: usize = (0..superhub_count)
+        .map(|k| {
+            (spec.hub_fanout * 3 * (superhub_count - k)) / (5 * superhub_count)
+                + spec.hub_fanout / 10
+        })
+        .sum();
+    let remaining = spec.edges.saturating_sub(site.edge_count());
+    // Scale the tier down when the edge budget cannot host it in full.
+    let scale_num = (remaining * 9 / 10).min(nominal.max(1));
+    for k in 0..superhub_count {
+        let h = hub_of_topic(k);
+        let raw = (spec.hub_fanout * 3 * (superhub_count - k)) / (5 * superhub_count)
+            + spec.hub_fanout / 10;
+        let extra = raw * scale_num / nominal.max(1);
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < extra && guard < 30 * extra.max(1) {
+            guard += 1;
+            let p = NodeId(g.rng.random_range(1..n) as u32);
+            if p != h && site.add_edge(h, p) {
+                added += 1;
+            }
+        }
+    }
+
+    // (e) Random cross links fill the remaining edge budget.
+    let mut attempts = 0usize;
+    while site.edge_count() < spec.edges && attempts < 50 * spec.edges {
+        attempts += 1;
+        let a = g.rng.random_range(0..n) as u32;
+        let b = g.rng.random_range(0..n) as u32;
+        if a != b {
+            site.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    site
+}
+
+/// Derives the next version: content rewrites, leaf deletions, edge→path
+/// redirects, and freshly attached subtrees.
+fn evolve(prev: &SiteGraph, churn: &Churn, g: &mut Gen) -> SiteGraph {
+    let n = prev.node_count();
+    // Decide deletions (leaves only, never the home page).
+    let deleted: Vec<bool> = prev
+        .nodes()
+        .map(|v| {
+            v.index() != 0 && prev.out_degree(v) == 0 && g.rng.random::<f64>() < churn.delete_leaf
+        })
+        .collect();
+
+    let mut next = DiGraph::with_capacity(n);
+    let mut new_id: Vec<Option<NodeId>> = vec![None; n];
+    for v in prev.nodes() {
+        if deleted[v.index()] {
+            continue;
+        }
+        let page = prev.label(v);
+        let mut tokens = page.tokens.clone();
+        if g.rng.random::<f64>() < churn.content {
+            // Rewrite a *contiguous block* of the page-specific suffix —
+            // the edit pattern of real page updates, and what keeps
+            // shingle similarity a smooth function of edit volume.
+            let suffix_start = tokens.len().saturating_sub(PAGE_TOKENS);
+            let block = ((churn.rewrite * PAGE_TOKENS as f64).ceil() as usize).max(1);
+            let span = tokens.len() - suffix_start;
+            if span > 0 {
+                let offset = g.rng.random_range(0..span);
+                for k in 0..block.min(span - offset) {
+                    tokens[suffix_start + offset + k] = g.fresh_token();
+                }
+            }
+        }
+        new_id[v.index()] = Some(next.add_node(Page {
+            id: page.id,
+            tokens,
+        }));
+    }
+
+    // Copy edges, occasionally via a redirect page.
+    for (a, b) in prev.edges() {
+        let (Some(na), Some(nb)) = (new_id[a.index()], new_id[b.index()]) else {
+            continue;
+        };
+        if g.rng.random::<f64>() < churn.edge_to_path {
+            let hops = g.rng.random_range(1..=2usize);
+            let mut cur = na;
+            for _ in 0..hops {
+                let tokens: Vec<u32> = (0..PAGE_TOKENS).map(|_| g.fresh_token()).collect();
+                let mid = next.add_node(Page {
+                    id: g.fresh_page_id(),
+                    tokens,
+                });
+                next.add_edge(cur, mid);
+                cur = mid;
+            }
+            next.add_edge(cur, nb);
+        } else {
+            next.add_edge(na, nb);
+        }
+    }
+
+    // Attach new subtrees.
+    for v in prev.nodes() {
+        let Some(nv) = new_id[v.index()] else {
+            continue;
+        };
+        if g.rng.random::<f64>() < churn.attach {
+            let size = g.rng.random_range(1..=4usize);
+            let mut parent = nv;
+            for _ in 0..size {
+                let tokens: Vec<u32> = (0..PAGE_TOKENS).map(|_| g.fresh_token()).collect();
+                let child = next.add_node(Page {
+                    id: g.fresh_page_id(),
+                    tokens,
+                });
+                next.add_edge(parent, child);
+                parent = child;
+            }
+        }
+    }
+    next
+}
+
+/// Shingle-similarity matrix between two site (sub)graphs (§3.1: `mat` is
+/// the textual similarity of page contents based on shingles \[8\]).
+pub fn shingle_matrix(g1: &SiteGraph, g2: &SiteGraph, window: usize) -> SimMatrix {
+    SimMatrix::from_fn(g1.node_count(), g2.node_count(), |v, u| {
+        shingle_similarity(&g1.label(v).tokens, &g2.label(u).tokens, window)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(cat: SiteCategory) -> SiteSpec {
+        SiteSpec {
+            category: cat,
+            nodes: 300,
+            edges: 700,
+            hub_fanout: 40,
+            hub_count: 8,
+            hub_core_out: 4,
+            backlink_prob: 0.2,
+            versions: 4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn archive_has_requested_versions() {
+        let a = generate_archive(&tiny_spec(SiteCategory::OnlineStore));
+        assert_eq!(a.versions.len(), 4);
+        assert_eq!(a.versions[0].node_count(), 300);
+    }
+
+    #[test]
+    fn initial_version_hits_edge_target_and_hub_degree() {
+        let spec = tiny_spec(SiteCategory::OnlineStore);
+        let a = generate_archive(&spec);
+        let v0 = &a.versions[0];
+        assert!(
+            v0.edge_count() >= spec.edges * 9 / 10,
+            "{}",
+            v0.edge_count()
+        );
+        assert!(v0.max_degree() >= spec.hub_fanout, "{}", v0.max_degree());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_archive(&tiny_spec(SiteCategory::Newspaper));
+        let b = generate_archive(&tiny_spec(SiteCategory::Newspaper));
+        for (va, vb) in a.versions.iter().zip(b.versions.iter()) {
+            assert_eq!(va.node_count(), vb.node_count());
+            assert_eq!(va.edge_count(), vb.edge_count());
+        }
+    }
+
+    #[test]
+    fn newspaper_churns_more_than_organization() {
+        let news = generate_archive(&tiny_spec(SiteCategory::Newspaper));
+        let org = generate_archive(&tiny_spec(SiteCategory::Organization));
+        // Compare content drift of the home page's topic block between the
+        // first and last versions via average per-page similarity of
+        // surviving pages.
+        let drift = |a: &SiteArchive| -> f64 {
+            let first = &a.versions[0];
+            let last = a.versions.last().expect("versions");
+            // Match by stable page id.
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for v in first.nodes().take(100) {
+                let pid = first.label(v).id;
+                if let Some(u) = last.nodes().find(|&u| last.label(u).id == pid) {
+                    sum += shingle_similarity(&first.label(v).tokens, &last.label(u).tokens, 3);
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                0.0
+            } else {
+                sum / count as f64
+            }
+        };
+        let news_sim = drift(&news);
+        let org_sim = drift(&org);
+        assert!(
+            news_sim < org_sim,
+            "newspaper must drift more: news {news_sim} vs org {org_sim}"
+        );
+    }
+
+    #[test]
+    fn versions_preserve_most_pages() {
+        let a = generate_archive(&tiny_spec(SiteCategory::OnlineStore));
+        let first = a.versions[0].node_count() as f64;
+        let last = a.versions.last().expect("versions").node_count() as f64;
+        assert!(
+            last > first * 0.8,
+            "site does not collapse: {last} vs {first}"
+        );
+    }
+
+    #[test]
+    fn shingle_matrix_diagonal_high_for_same_version() {
+        let a = generate_archive(&tiny_spec(SiteCategory::Organization));
+        let v0 = &a.versions[0];
+        let m = shingle_matrix(v0, v0, 3);
+        for v in v0.nodes().take(20) {
+            assert_eq!(m.score(v, v), 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_scale_specs_match_table2() {
+        let s1 = SiteSpec::paper_scale(SiteCategory::OnlineStore, 1);
+        assert_eq!((s1.nodes, s1.edges), (20_000, 42_000));
+        let s2 = SiteSpec::paper_scale(SiteCategory::Organization, 1);
+        assert_eq!((s2.nodes, s2.edges), (5_400, 33_114));
+        let s3 = SiteSpec::paper_scale(SiteCategory::Newspaper, 1);
+        assert_eq!((s3.nodes, s3.edges), (7_000, 16_800));
+    }
+}

@@ -1,0 +1,96 @@
+//! Plagiarism detection on program dependence graphs — the GPlag-style
+//! application the paper's introduction motivates.
+//!
+//! Generates an original program, a disguised copy (statement insertion,
+//! splitting, dead code), and an innocent program; the p-hom matcher
+//! separates them by `qualCard`.
+//!
+//! ```sh
+//! cargo run --release --example plagiarism_detection
+//! ```
+
+use phom::prelude::*;
+use phom::workloads::plagiarism::Stmt;
+use phom::workloads::plagiarism::{generate_innocent, generate_instance, PdgConfig};
+
+fn main() {
+    let cfg = PdgConfig {
+        statements: 120,
+        disguise: 0.35,
+        dead_code: 0.3,
+        seed: 2026,
+    };
+    let inst = generate_instance(&cfg);
+    let innocent = generate_innocent(&cfg);
+
+    println!(
+        "original: {} stmts / {} deps;  suspect: {} / {};  innocent: {} / {}",
+        inst.original.node_count(),
+        inst.original.edge_count(),
+        inst.suspect.node_count(),
+        inst.suspect.edge_count(),
+        innocent.node_count(),
+        innocent.edge_count()
+    );
+
+    let weights = NodeWeights::uniform(inst.original.node_count());
+    // greedy_extend: the post-pass completion documented in DESIGN.md —
+    // it recovers statements whose dependences the greedy search skipped.
+    let mcfg = MatcherConfig {
+        xi: 0.5,
+        greedy_extend: true,
+        ..Default::default()
+    };
+
+    let mat_suspect = inst.similarity_matrix();
+    let hit = match_graphs(&inst.original, &inst.suspect, &mat_suspect, &weights, &mcfg);
+
+    let mat_innocent =
+        SimMatrix::from_fn(inst.original.node_count(), innocent.node_count(), |v, u| {
+            inst.original.label(v).similarity(*innocent.label(u))
+        });
+    let miss = match_graphs(&inst.original, &innocent, &mat_innocent, &weights, &mcfg);
+
+    println!(
+        "\nmatch original -> suspect:   qualCard = {:.2}",
+        hit.qual_card
+    );
+    println!(
+        "match original -> innocent:  qualCard = {:.2}",
+        miss.qual_card
+    );
+
+    let s = stretch_stats(&inst.original, &inst.suspect, &hit.mapping);
+    println!(
+        "\nsuspect witness paths: {} dependence edges matched, {} direct, \
+         mean stretch {:.2} (stretch > 1 = inserted statements detected)",
+        s.edges, s.direct, s.mean_stretch
+    );
+
+    let verdict = |q: f64| if q >= 0.75 { "PLAGIARISM" } else { "clean" };
+    println!("\nverdicts at threshold 0.75:");
+    println!("  suspect:  {}", verdict(hit.qual_card));
+    println!("  innocent: {}", verdict(miss.qual_card));
+
+    // Show a couple of witness paths through inserted statements.
+    println!("\nsample stretched dependences (edge ==> path in suspect):");
+    let ws = edge_witnesses(&inst.original, &inst.suspect, &hit.mapping).expect("valid");
+    for w in ws.iter().filter(|w| w.path.len() > 2).take(5) {
+        let kinds: Vec<String> = w
+            .path
+            .iter()
+            .map(|&x| format!("{:?}", inst.suspect.label(x)))
+            .collect();
+        println!(
+            "  ({:?} -> {:?})  ==>  {}",
+            inst.original.label(w.from),
+            inst.original.label(w.to),
+            kinds.join("/")
+        );
+    }
+    let _ = Stmt::Assign;
+    assert!(
+        hit.qual_card > miss.qual_card,
+        "detector separates the cases"
+    );
+}

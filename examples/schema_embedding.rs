@@ -1,0 +1,86 @@
+//! Schema embedding: the information-preserving special case of
+//! 1-1 p-hom (Fan & Bohannon [14], §2 of the paper).
+//!
+//! A source XML-ish schema is embedded into a richer target schema. A
+//! plain 1-1 p-hom mapping only asks that every schema edge become a
+//! path; an *embedding* additionally requires the image paths of a
+//! node's distinct out-edges to diverge at their first step, so a
+//! document stored under the target schema can be navigated back without
+//! ambiguity.
+//!
+//! ```sh
+//! cargo run --example schema_embedding
+//! ```
+
+use phom::core::embedding::{check_schema_embedding, find_schema_embedding, EmbeddingViolation};
+use phom::prelude::*;
+
+fn main() {
+    // Source schema: an order document with two distinct child edges.
+    let source = graph_from_labels(
+        &["order", "customer", "items"],
+        &[("order", "customer"), ("order", "items")],
+    );
+
+    // Target A: a normalized warehouse schema — customer data and item
+    // lists hang off *different* header sections, so the two source
+    // edges embed into paths that diverge immediately.
+    let target_good = graph_from_labels(
+        &["order", "parties", "body", "customer", "items"],
+        &[
+            ("order", "parties"),
+            ("order", "body"),
+            ("parties", "customer"),
+            ("body", "items"),
+        ],
+    );
+
+    // Target B: everything was folded under one envelope element — both
+    // source edges are forced through (order, envelope), so navigation
+    // can no longer tell them apart. 1-1 p-hom still holds!
+    let target_bad = graph_from_labels(
+        &["order", "envelope", "customer", "items"],
+        &[
+            ("order", "envelope"),
+            ("envelope", "customer"),
+            ("envelope", "items"),
+        ],
+    );
+
+    let xi = 0.9;
+    for (name, target) in [
+        ("normalized target", &target_good),
+        ("enveloped target", &target_bad),
+    ] {
+        let mat = matrix_from_label_fn(&source, target, |a, b| if a == b { 1.0 } else { 0.0 });
+
+        let phom = decide_phom(&source, target, &mat, xi, true);
+        println!("{name}: 1-1 p-hom mapping exists: {}", phom.is_some());
+
+        match find_schema_embedding(&source, target, &mat, xi) {
+            Some(embedding) => {
+                println!("  schema embedding found:");
+                for (v, u) in embedding.pairs() {
+                    println!("    {} -> {}", source.label(v), target.label(u));
+                }
+                assert!(check_schema_embedding(&source, target, &embedding, &mat, xi).is_ok());
+            }
+            None => {
+                println!("  no schema embedding exists");
+                if let Some(m) = phom {
+                    let why = check_schema_embedding(&source, target, &m, &mat, xi)
+                        .expect_err("p-hom mapping is not an embedding");
+                    if let EmbeddingViolation::NotDivergent { v } = why {
+                        println!(
+                            "  the p-hom witness collides at node {:?} ({}): both out-edges\n  \
+                             must route through the same first hop",
+                            v,
+                            source.label(v)
+                        );
+                    }
+                }
+            }
+        }
+        println!();
+    }
+}

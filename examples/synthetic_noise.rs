@@ -1,0 +1,81 @@
+//! Synthetic-noise study — a compact version of Exp-2 (§6): how accuracy
+//! degrades as edge→path / attached-subgraph noise grows.
+//!
+//! ```sh
+//! cargo run --release --example synthetic_noise
+//! ```
+
+use phom::prelude::*;
+use std::time::Instant;
+
+const MATCH_THRESHOLD: f64 = 0.75;
+
+fn main() {
+    let m = 100; // pattern size (the paper sweeps 100..800)
+    let batch_size = 10; // data graphs per setting (the paper uses 15)
+    let xi = 0.75;
+
+    println!("pattern m = {m}, {batch_size} data graphs per noise level, xi = {xi}");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>10}",
+        "noise%", "|V2|", "card accuracy", "sim accuracy", "time"
+    );
+
+    for noise_pct in [2, 6, 10, 14, 18] {
+        let cfg = SyntheticConfig {
+            m,
+            noise: noise_pct as f64 / 100.0,
+            seed: 7,
+        };
+        let batch = generate_batch(&cfg, batch_size);
+        let weights = NodeWeights::uniform(m);
+
+        let started = Instant::now();
+        let mut card_hits = 0usize;
+        let mut sim_hits = 0usize;
+        let mut v2_total = 0usize;
+        for inst in &batch {
+            v2_total += inst.g2.node_count();
+            let mat = inst.similarity_matrix();
+            let card = match_graphs(
+                &inst.g1,
+                &inst.g2,
+                &mat,
+                &weights,
+                &MatcherConfig {
+                    algorithm: Algorithm::MaxCard,
+                    xi,
+                    ..Default::default()
+                },
+            );
+            if card.qual_card >= MATCH_THRESHOLD {
+                card_hits += 1;
+            }
+            let sim = match_graphs(
+                &inst.g1,
+                &inst.g2,
+                &mat,
+                &weights,
+                &MatcherConfig {
+                    algorithm: Algorithm::MaxSim,
+                    xi,
+                    ..Default::default()
+                },
+            );
+            if sim.qual_sim >= MATCH_THRESHOLD {
+                sim_hits += 1;
+            }
+        }
+        println!(
+            "{:>6} {:>8} {:>13.0}% {:>13.0}% {:>9.2}s",
+            noise_pct,
+            v2_total / batch_size,
+            100.0 * card_hits as f64 / batch_size as f64,
+            100.0 * sim_hits as f64 / batch_size as f64,
+            started.elapsed().as_secs_f64(),
+        );
+    }
+
+    println!("\nExpected shape (paper, Fig. 5b): accuracy is sensitive to noise but");
+    println!("stays above ~50% even at 20% noise.");
+}

@@ -1,0 +1,402 @@
+//! `phom` — command-line graph matcher.
+//!
+//! ```sh
+//! phom match    <pattern.graph> <data.graph> [--xi F] [--algorithm card|card11|sim|sim11]
+//!               [--exact] [--witness] [--dot] [--max-stretch K] [--restarts R]
+//! phom decide   <pattern.graph> <data.graph> [--xi F] [--one-to-one] [--max-stretch K]
+//! phom stats    <file.graph>
+//! phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]
+//! ```
+//!
+//! Graph files use the text format of `phom_graph::serialize`
+//! (`node <id> <label>` / `edge <from> <to>` lines; `#` comments).
+//! Node similarity is label equality unless `--text-sim W` is given, in
+//! which case labels are treated as whitespace-tokenized page content and
+//! compared with `W`-shingles.
+
+use phom::graph::serialize::from_text;
+use phom::prelude::*;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: phom <match|decide|stats> <files..> [flags]; see --help");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!(
+            "phom — p-homomorphism graph matching (Fan et al., VLDB 2010)\n\n\
+             phom match    <pattern> <data> [--xi F] [--algorithm card|card11|sim|sim11]\n\
+             \x20                           [--text-sim W] [--exact] [--witness] [--dot]\n\
+             \x20                           [--max-stretch K] [--restarts R]\n\
+             phom decide   <pattern> <data> [--xi F] [--one-to-one] [--text-sim W]\n\
+             \x20                           [--max-stretch K]\n\
+             phom stats    <file>\n\
+             phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match args[0].as_str() {
+        "match" => cmd_match(&args[1..]),
+        "decide" => cmd_decide(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        other => fail(&format!("unknown command {other:?}")),
+    }
+}
+
+struct Flags {
+    xi: f64,
+    algorithm: Algorithm,
+    one_to_one: bool,
+    text_sim: Option<usize>,
+    exact: bool,
+    witness: bool,
+    dot: bool,
+    max_stretch: Option<usize>,
+    restarts: Option<usize>,
+    nodes: usize,
+    noise: f64,
+    seed: u64,
+    files: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        xi: 0.75,
+        algorithm: Algorithm::MaxCard,
+        one_to_one: false,
+        text_sim: None,
+        exact: false,
+        witness: false,
+        dot: false,
+        max_stretch: None,
+        restarts: None,
+        nodes: 100,
+        noise: 0.1,
+        seed: 2010,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--xi" => {
+                f.xi = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--xi needs a number in [0,1]")?;
+            }
+            "--algorithm" => {
+                f.algorithm = match it.next().map(String::as_str) {
+                    Some("card") => Algorithm::MaxCard,
+                    Some("card11") => Algorithm::MaxCard1to1,
+                    Some("sim") => Algorithm::MaxSim,
+                    Some("sim11") => Algorithm::MaxSim1to1,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                };
+            }
+            "--text-sim" => {
+                f.text_sim = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--text-sim needs a window size")?,
+                );
+            }
+            "--max-stretch" => {
+                f.max_stretch = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-stretch needs a positive hop count")?,
+                );
+            }
+            "--restarts" => {
+                f.restarts = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--restarts needs a positive count")?,
+                );
+            }
+            "--nodes" => {
+                f.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--nodes needs a positive count")?;
+            }
+            "--noise" => {
+                f.noise = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--noise needs a rate in [0,1]")?;
+            }
+            "--seed" => {
+                f.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--one-to-one" => f.one_to_one = true,
+            "--exact" => f.exact = true,
+            "--witness" => f.witness = true,
+            "--dot" => f.dot = true,
+            other if !other.starts_with('-') => f.files.push(other.to_owned()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(f)
+}
+
+fn load(path: &str) -> Result<DiGraph<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // DOT interop: accept Graphviz files by extension or header sniff.
+    if path.ends_with(".dot") || text.trim_start().starts_with("digraph") {
+        return phom::graph::from_dot(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_matrix(g1: &DiGraph<String>, g2: &DiGraph<String>, f: &Flags) -> SimMatrix {
+    match f.text_sim {
+        Some(w) => matrix_from_label_fn(g1, g2, |a, b| text_similarity(a, b, w)),
+        None => SimMatrix::label_equality(g1, g2),
+    }
+}
+
+fn cmd_match(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let [p1, p2] = f.files.as_slice() else {
+        return fail("match needs exactly two graph files");
+    };
+    let (g1, g2) = match (load(p1), load(p2)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let mat = build_matrix(&g1, &g2, &f);
+    let weights = NodeWeights::uniform(g1.node_count());
+
+    let mapping = if f.exact {
+        if f.max_stretch.is_some() || f.restarts.is_some() {
+            return fail("--exact does not combine with --max-stretch / --restarts");
+        }
+        let objective = if f.algorithm.similarity() {
+            Objective::Similarity
+        } else {
+            Objective::Cardinality
+        };
+        exact_optimum(
+            &g1,
+            &g2,
+            &mat,
+            f.xi,
+            f.algorithm.injective(),
+            objective,
+            &weights,
+        )
+    } else if f.max_stretch.is_some() || f.restarts.is_some() {
+        // Extension paths: stretch-bounded reachability and/or
+        // best-of-restarts, composed through a shared closure.
+        let closure = match f.max_stretch {
+            Some(k) => Stretch::AtMost(k).closure_of(&g2),
+            None => Stretch::Unbounded.closure_of(&g2),
+        };
+        let cfg = AlgoConfig {
+            xi: f.xi,
+            ..Default::default()
+        };
+        let rcfg = RestartConfig {
+            restarts: f.restarts.unwrap_or(1).max(1),
+            ..Default::default()
+        };
+        if f.algorithm.similarity() {
+            phom::core::comp_max_sim_restarts_with(
+                &g1,
+                &closure,
+                &mat,
+                &weights,
+                &cfg,
+                f.algorithm.injective(),
+                &rcfg,
+            )
+        } else {
+            phom::core::comp_max_card_restarts_with(
+                &g1,
+                &closure,
+                &mat,
+                &cfg,
+                f.algorithm.injective(),
+                &rcfg,
+            )
+        }
+    } else {
+        match_graphs(
+            &g1,
+            &g2,
+            &mat,
+            &weights,
+            &MatcherConfig {
+                algorithm: f.algorithm,
+                xi: f.xi,
+                ..Default::default()
+            },
+        )
+        .mapping
+    };
+
+    println!(
+        "qualCard = {:.4}   qualSim = {:.4}   mapped {}/{} nodes",
+        mapping.qual_card(),
+        mapping.qual_sim(&weights, &mat),
+        mapping.len(),
+        g1.node_count()
+    );
+    for (v, u) in mapping.pairs() {
+        println!(
+            "  {} -> {}   (mat {:.2})",
+            g1.label(v),
+            g2.label(u),
+            mat.score(v, u)
+        );
+    }
+    if f.witness {
+        match edge_witnesses(&g1, &g2, &mapping) {
+            Ok(ws) => {
+                for w in ws {
+                    let path: Vec<&str> = w.path.iter().map(|&x| g2.label(x).as_str()).collect();
+                    println!(
+                        "  edge ({} -> {})  ==>  {}",
+                        g1.label(w.from),
+                        g1.label(w.to),
+                        path.join("/")
+                    );
+                }
+            }
+            Err((a, b)) => {
+                eprintln!("internal error: edge ({a:?},{b:?}) lacks a witness");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if f.dot {
+        println!("{}", phom::graph::dot::to_dot("pattern", &g1));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_decide(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let [p1, p2] = f.files.as_slice() else {
+        return fail("decide needs exactly two graph files");
+    };
+    let (g1, g2) = match (load(p1), load(p2)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let mat = build_matrix(&g1, &g2, &f);
+    let decision = match f.max_stretch {
+        Some(k) => decide_phom_bounded(&g1, &g2, &mat, f.xi, f.one_to_one, k),
+        None => decide_phom(&g1, &g2, &mat, f.xi, f.one_to_one),
+    };
+    match decision {
+        Some(m) => {
+            println!(
+                "YES: pattern is {}p-hom to data",
+                if f.one_to_one { "1-1 " } else { "" }
+            );
+            for (v, u) in m.pairs() {
+                println!("  {} -> {}", g1.label(v), g2.label(u));
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("NO");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `phom generate`: writes a §6-style synthetic instance — a pattern
+/// graph and a noisy data graph derived from it — to two files in the
+/// text format `match`/`decide` read back.
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let [p_out, d_out] = f.files.as_slice() else {
+        return fail("generate needs two output paths (pattern, data)");
+    };
+    if !(0.0..=1.0).contains(&f.noise) {
+        return fail("--noise must be in [0,1]");
+    }
+    let cfg = SyntheticConfig {
+        m: f.nodes,
+        noise: f.noise,
+        seed: f.seed,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let to_named = |g: &DiGraph<phom::workloads::synthetic::Label>| -> DiGraph<String> {
+        g.map_labels(|_, l| format!("L{l}"))
+    };
+    for (path, g) in [(p_out, &inst.g1), (d_out, &inst.g2)] {
+        let text = phom::graph::serialize::to_text(&to_named(g));
+        if let Err(e) = std::fs::write(path, text) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    println!(
+        "wrote pattern ({} nodes, {} edges) -> {p_out}",
+        inst.g1.node_count(),
+        inst.g1.edge_count()
+    );
+    println!(
+        "wrote data    ({} nodes, {} edges) -> {d_out}",
+        inst.g2.node_count(),
+        inst.g2.edge_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let [path] = f.files.as_slice() else {
+        return fail("stats needs exactly one graph file");
+    };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let scc = tarjan_scc(&g);
+    let comps = weakly_connected_components(&g);
+    let m = phom::graph::metrics::graph_metrics(&g);
+    println!("|V| = {}", m.nodes);
+    println!("|E| = {}", m.edges);
+    println!("avgDeg = {:.3}", m.avg_degree);
+    println!("maxDeg = {}", m.max_degree);
+    println!("density = {:.5}", m.density);
+    println!("reciprocity = {:.3}", m.reciprocity);
+    println!("isolated nodes = {}", m.isolated);
+    println!("SCCs = {}", scc.count());
+    println!("weakly connected components = {}", comps.len());
+    let closure = TransitiveClosure::new(&g);
+    println!("|E+| (closure edges) = {}", closure.edge_count());
+    let hist = phom::graph::metrics::degree_histogram(&g);
+    let rendered: Vec<String> = hist
+        .iter()
+        .enumerate()
+        .map(|(k, c)| format!("2^{k}:{c}"))
+        .collect();
+    println!("degree histogram (log buckets) = {}", rendered.join(" "));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! # p-hom
+//!
+//! A faithful, production-quality Rust implementation of
+//! **"Graph Homomorphism Revisited for Graph Matching"**
+//! (Wenfei Fan, Jianzhong Li, Shuai Ma, Hongzhi Wang, Yinghui Wu —
+//! PVLDB 3(1): 1161–1172, VLDB 2010).
+//!
+//! The paper relaxes graph homomorphism / subgraph isomorphism for graph
+//! matching: **p-homomorphism** maps *edges to paths* and replaces label
+//! equality with a *node-similarity matrix* plus threshold; **1-1 p-hom**
+//! adds injectivity. Two metrics quantify partial matches — maximum
+//! cardinality (`qualCard`) and maximum overall similarity (`qualSim`) —
+//! and four NP-complete optimization problems (CPH, CPH¹⁻¹, SPH, SPH¹⁻¹)
+//! get `O(log²(n₁n₂)/(n₁n₂))`-quality approximation algorithms.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`graph`] | digraph substrate: SCC, transitive closure, condensation, bitsets |
+//! | [`wis`] | Ramsey / CliqueRemoval / weighted independent set (Boppana–Halldórsson) |
+//! | [`sim`] | similarity matrices, shingles, MinHash, tf–idf, HITS, PageRank, node weights |
+//! | [`core`] | p-hom & 1-1 p-hom: decision, `compMaxCard`/`compMaxSim` families, product-graph reductions, hardness gadgets, Appendix-B optimizations, bounded-stretch matching, restarts, enumeration, schema embedding |
+//! | [`baselines`] | graph simulation, subgraph isomorphism, MCS, graph edit distance, similarity flooding, Blondel |
+//! | [`workloads`] | §6 synthetic generator, Web-archive simulator, skeletons, PDG plagiarism, email campaigns |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use phom::prelude::*;
+//!
+//! // Pattern: an edge (books -> textbooks).
+//! let g1 = graph_from_labels(&["books", "textbooks"], &[("books", "textbooks")]);
+//! // Data: the same reachable through a category page.
+//! let g2 = graph_from_labels(
+//!     &["books", "categories", "school"],
+//!     &[("books", "categories"), ("categories", "school")],
+//! );
+//! let mat = matrix_from_label_fn(&g1, &g2, |a, b| match (a, b) {
+//!     ("books", "books") => 1.0,
+//!     ("textbooks", "school") => 0.8,
+//!     _ => 0.0,
+//! });
+//!
+//! // Edge-to-edge notions fail, p-hom succeeds:
+//! assert!(!is_subgraph_isomorphic(&g1, &g2));
+//! let outcome = match_graphs(
+//!     &g1, &g2, &mat,
+//!     &NodeWeights::uniform(2),
+//!     &MatcherConfig { xi: 0.75, ..Default::default() },
+//! );
+//! assert_eq!(outcome.qual_card, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use phom_baselines as baselines;
+pub use phom_core as core;
+pub use phom_graph as graph;
+pub use phom_sim as sim;
+pub use phom_wis as wis;
+pub use phom_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use phom_baselines::{
+        blondel_similarity, extract_matching, feature_similarity, flooding_match_quality,
+        graph_simulation, is_subgraph_isomorphic, maximum_common_subgraph, similarity_flooding,
+        subgraph_isomorphism, FloodingConfig,
+    };
+    pub use phom_baselines::{ged_similarity, graph_edit_distance, EditResult};
+    pub use phom_core::{ac_prefilter_matrix, edge_witnesses, stretch_stats, StretchStats};
+    pub use phom_core::{
+        check_schema_embedding, comp_max_card_bounded, comp_max_card_restarts,
+        comp_max_sim_restarts, decide_phom_bounded, enumerate_phom_mappings, find_schema_embedding,
+        minimal_stretch, verify_phom_bounded, EmbeddingViolation, RestartConfig, Stretch,
+    };
+    pub use phom_core::{
+        comp_max_card, comp_max_card_1_1, comp_max_sim, comp_max_sim_1_1, decide_phom,
+        exact_optimum, match_graphs, match_mutual, match_paths, naive_max_card, naive_max_sim,
+        verify_phom, AlgoConfig, Algorithm, MatchOutcome, MatcherConfig, Objective, PHomMapping,
+        ProductGraph, Selection,
+    };
+    pub use phom_graph::{
+        compress_closure, graph_from_labels, tarjan_scc, weakly_connected_components, BitSet,
+        DiGraph, NodeId, TransitiveClosure,
+    };
+    pub use phom_sim::{
+        hits_scores, matrix_from_label_fn, text_similarity, NodeWeights, SimMatrix,
+        SimMatrixBuilder,
+    };
+    pub use phom_wis::{
+        clique_removal, max_clique, max_independent_set, ramsey_all, weighted_independent_set,
+        UGraph,
+    };
+    pub use phom_workloads::{
+        email_matrix, generate_archive, generate_batch, generate_campaign, generate_instance,
+        shingle_matrix, skeleton_alpha, skeleton_top_k, CampaignConfig, SiteCategory, SiteSpec,
+        SyntheticConfig,
+    };
+}

@@ -1,0 +1,342 @@
+//! Integration tests for the `phom` CLI binary (text-format I/O, exit
+//! codes, mapping output).
+
+use std::io::Write;
+use std::process::Command;
+
+fn phom_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_phom"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("phom-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(content.as_bytes()).expect("write");
+    path
+}
+
+const PATTERN: &str = "node 0 books\nnode 1 textbooks\nedge 0 1\n";
+const DATA: &str = "\
+node 0 books
+node 1 categories
+node 2 textbooks
+edge 0 1
+edge 1 2
+";
+
+#[test]
+fn decide_answers_yes_with_mapping() {
+    let p = write_temp("pattern.graph", PATTERN);
+    let d = write_temp("data.graph", DATA);
+    let out = phom_bin()
+        .args([
+            "decide",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--xi",
+            "0.9",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("YES"));
+    assert!(stdout.contains("textbooks -> textbooks"));
+}
+
+#[test]
+fn decide_answers_no_on_reversed_data() {
+    let p = write_temp("pattern2.graph", PATTERN);
+    let d = write_temp("data2.graph", "node 0 books\nnode 1 textbooks\nedge 1 0\n");
+    let out = phom_bin()
+        .args(["decide", p.to_str().unwrap(), d.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NO"));
+}
+
+#[test]
+fn match_reports_quality_and_pairs() {
+    let p = write_temp("pattern3.graph", PATTERN);
+    let d = write_temp("data3.graph", DATA);
+    let out = phom_bin()
+        .args(["match", p.to_str().unwrap(), d.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qualCard = 1.0000"), "{stdout}");
+    assert!(stdout.contains("mapped 2/2 nodes"));
+}
+
+#[test]
+fn match_with_witness_shows_path() {
+    let p = write_temp("pattern4.graph", PATTERN);
+    let d = write_temp("data4.graph", DATA);
+    let out = phom_bin()
+        .args([
+            "match",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--witness",
+        ])
+        .output()
+        .expect("run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("books/categories/textbooks"),
+        "witness path rendered: {stdout}"
+    );
+}
+
+#[test]
+fn match_exact_flag_works() {
+    let p = write_temp("pattern5.graph", PATTERN);
+    let d = write_temp("data5.graph", DATA);
+    let out = phom_bin()
+        .args([
+            "match",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--exact",
+            "--algorithm",
+            "card11",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mapped 2/2"));
+}
+
+#[test]
+fn stats_prints_graph_summary() {
+    let d = write_temp("stats.graph", DATA);
+    let out = phom_bin()
+        .args(["stats", d.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|V| = 3"));
+    assert!(stdout.contains("|E| = 2"));
+    assert!(stdout.contains("|E+| (closure edges) = 3"));
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let out = phom_bin()
+        .args(["stats", "/nonexistent/file.graph"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn malformed_graph_rejected() {
+    let bad = write_temp("bad.graph", "node 5 hello\n");
+    let out = phom_bin()
+        .args(["stats", bad.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected node id"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = phom_bin().arg("--help").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("p-homomorphism"));
+}
+
+#[test]
+fn text_sim_mode_matches_fuzzy_labels() {
+    // Labels as page content: shingle similarity instead of equality.
+    let p = write_temp(
+        "fuzzy_p.graph",
+        "node 0 rust systems programming language\nnode 1 graph matching algorithms survey\nedge 0 1\n",
+    );
+    let d = write_temp(
+        "fuzzy_d.graph",
+        "node 0 rust systems programming language book\nnode 1 hub page\nnode 2 graph matching algorithms survey notes\nedge 0 1\nedge 1 2\n",
+    );
+    let out = phom_bin()
+        .args([
+            "match",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--text-sim",
+            "2",
+            "--xi",
+            "0.4",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mapped 2/2"), "{stdout}");
+}
+
+#[test]
+fn decide_with_stretch_bound_flips_answer() {
+    // The pattern edge needs a 2-hop path in the data: k=1 says NO,
+    // k=2 says YES.
+    let p = write_temp("pattern_k.graph", PATTERN);
+    let d = write_temp("data_k.graph", DATA);
+    let tight = phom_bin()
+        .args([
+            "decide",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--xi",
+            "0.9",
+            "--max-stretch",
+            "1",
+        ])
+        .output()
+        .expect("run");
+    assert!(!tight.status.success());
+    assert!(String::from_utf8_lossy(&tight.stdout).contains("NO"));
+
+    let loose = phom_bin()
+        .args([
+            "decide",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--xi",
+            "0.9",
+            "--max-stretch",
+            "2",
+        ])
+        .output()
+        .expect("run");
+    assert!(loose.status.success(), "{loose:?}");
+    assert!(String::from_utf8_lossy(&loose.stdout).contains("YES"));
+}
+
+#[test]
+fn match_with_restarts_reports_full_quality() {
+    let p = write_temp("pattern_r.graph", PATTERN);
+    let d = write_temp("data_r.graph", DATA);
+    let out = phom_bin()
+        .args([
+            "match",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--xi",
+            "0.9",
+            "--restarts",
+            "4",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("qualCard = 1.0000"));
+}
+
+#[test]
+fn exact_rejects_extension_flags() {
+    let p = write_temp("pattern_x.graph", PATTERN);
+    let d = write_temp("data_x.graph", DATA);
+    let out = phom_bin()
+        .args([
+            "match",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--exact",
+            "--restarts",
+            "3",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--exact"));
+}
+
+#[test]
+fn generate_roundtrips_through_match() {
+    let dir = std::env::temp_dir().join("phom-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let p = dir.join("gen_pattern.graph");
+    let d = dir.join("gen_data.graph");
+    let gen = phom_bin()
+        .args([
+            "generate",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--nodes",
+            "20",
+            "--noise",
+            "0.1",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("run");
+    assert!(gen.status.success(), "{gen:?}");
+    assert!(String::from_utf8_lossy(&gen.stdout).contains("wrote pattern"));
+
+    // The generated pair must be matchable by construction.
+    let out = phom_bin()
+        .args([
+            "match",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--xi",
+            "0.75",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let qual: f64 = stdout
+        .split("qualCard = ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse qualCard");
+    assert!(qual >= 0.75, "generated instance should match: {qual}");
+}
+
+#[test]
+fn generate_rejects_bad_noise() {
+    let dir = std::env::temp_dir().join("phom-cli-tests");
+    let p = dir.join("bad_p.graph");
+    let d = dir.join("bad_d.graph");
+    let out = phom_bin()
+        .args([
+            "generate",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--noise",
+            "1.5",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn dot_input_is_accepted() {
+    let p = write_temp("pattern.dot", "digraph p {\n  books -> textbooks;\n}\n");
+    let d = write_temp(
+        "data.dot",
+        "digraph d {\n  books -> categories;\n  categories -> textbooks;\n}\n",
+    );
+    let out = phom_bin()
+        .args([
+            "decide",
+            p.to_str().unwrap(),
+            d.to_str().unwrap(),
+            "--xi",
+            "0.9",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("YES"));
+}

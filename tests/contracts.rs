@@ -1,0 +1,92 @@
+//! API-contract tests: the public constructors and matchers assert their
+//! documented preconditions instead of silently mis-computing. Each test
+//! pins one panic message so contract changes are deliberate.
+
+use phom::prelude::*;
+
+#[test]
+#[should_panic(expected = "similarity")]
+fn sim_matrix_rejects_out_of_range_scores() {
+    let mut m = SimMatrix::new(1, 1);
+    m.set(NodeId(0), NodeId(0), 1.5);
+}
+
+#[test]
+#[should_panic(expected = "mat rows must cover G1")]
+fn matcher_rejects_undersized_matrix() {
+    let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+    let g2 = graph_from_labels(&["a"], &[]);
+    let mat = SimMatrix::new(1, 1); // wrong: G1 has 2 nodes
+    let w = NodeWeights::uniform(2);
+    let _ = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "weights must cover G1")]
+fn matcher_rejects_undersized_weights() {
+    let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+    let g2 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+    let mat = SimMatrix::label_equality(&g1, &g2);
+    let w = NodeWeights::uniform(1); // wrong: G1 has 2 nodes
+    let _ = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "assigned twice")]
+fn mapping_rejects_double_assignment() {
+    let mut m = PHomMapping::empty(1);
+    m.set(NodeId(0), NodeId(0));
+    m.set(NodeId(0), NodeId(1));
+}
+
+#[test]
+#[should_panic(expected = "weights must be finite")]
+fn node_weights_reject_nan() {
+    let _ = NodeWeights::from_vec(vec![1.0, f64::NAN]);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn digraph_rejects_dangling_edge() {
+    let mut g: DiGraph<u32> = DiGraph::new();
+    let a = g.add_node(0);
+    g.add_edge(a, NodeId(7));
+}
+
+#[test]
+#[should_panic(expected = "at least one restart")]
+fn restart_config_requires_one_run() {
+    let g = graph_from_labels(&["a"], &[]);
+    let mat = SimMatrix::label_equality(&g, &g);
+    let _ = phom::core::comp_max_card_restarts(
+        &g,
+        &g,
+        &mat,
+        &AlgoConfig::default(),
+        false,
+        &phom::core::RestartConfig {
+            restarts: 0,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+#[should_panic(expected = "beam width")]
+fn beam_ged_requires_positive_width() {
+    let g = graph_from_labels(&["a"], &[]);
+    let mat = SimMatrix::label_equality(&g, &g);
+    let _ = phom::baselines::beam_edit_distance(&g, &g, &mat, 1.0, 0);
+}
+
+#[test]
+#[should_panic(expected = "duplicate label")]
+fn graph_from_labels_rejects_duplicates() {
+    let _ = graph_from_labels(&["x", "x"], &[]);
+}
+
+#[test]
+#[should_panic(expected = "shingle width")]
+fn shingles_reject_zero_window() {
+    let _ = phom::sim::shingles(&[1u32, 2, 3], 0);
+}

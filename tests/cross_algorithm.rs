@@ -1,0 +1,258 @@
+//! Integration: cross-algorithm consistency on the §6 synthetic workload —
+//! the four approximation algorithms, the naive product-graph algorithms,
+//! the exact oracle, and the baselines must tell a coherent story.
+
+use phom::prelude::*;
+
+#[test]
+fn all_algorithms_valid_on_synthetic_instances() {
+    for seed in [1u64, 2, 3] {
+        let cfg = SyntheticConfig {
+            m: 40,
+            noise: 0.1,
+            seed,
+        };
+        let inst = generate_instance(&cfg, 1);
+        let mat = inst.similarity_matrix();
+        let weights = NodeWeights::uniform(inst.g1.node_count());
+        let closure = TransitiveClosure::new(&inst.g2);
+        for algorithm in [
+            Algorithm::MaxCard,
+            Algorithm::MaxCard1to1,
+            Algorithm::MaxSim,
+            Algorithm::MaxSim1to1,
+        ] {
+            let out = match_graphs(
+                &inst.g1,
+                &inst.g2,
+                &mat,
+                &weights,
+                &MatcherConfig {
+                    algorithm,
+                    xi: 0.75,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                verify_phom(
+                    &inst.g1,
+                    &out.mapping,
+                    &mat,
+                    0.75,
+                    &closure,
+                    algorithm.injective()
+                ),
+                Ok(()),
+                "seed {seed} algorithm {algorithm:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_noise_matches_fully() {
+    // With zero noise G2 == G1; every algorithm must achieve quality >=
+    // the paper's 0.75 criterion (the identity is available at sim 1.0).
+    let cfg = SyntheticConfig {
+        m: 60,
+        noise: 0.0,
+        seed: 9,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let mat = inst.similarity_matrix();
+    let weights = NodeWeights::uniform(inst.g1.node_count());
+    for algorithm in [Algorithm::MaxCard, Algorithm::MaxCard1to1] {
+        let out = match_graphs(
+            &inst.g1,
+            &inst.g2,
+            &mat,
+            &weights,
+            &MatcherConfig {
+                algorithm,
+                xi: 0.75,
+                ..Default::default()
+            },
+        );
+        assert!(
+            out.qual_card >= 0.75,
+            "{algorithm:?} found only {}",
+            out.qual_card
+        );
+    }
+}
+
+#[test]
+fn naive_and_direct_agree_on_small_instances() {
+    // Same approximation guarantee, same product-graph structure
+    // underneath: on small instances both must produce valid, non-trivial
+    // mappings of comparable size.
+    let cfg = SyntheticConfig {
+        m: 12,
+        noise: 0.1,
+        seed: 4,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let mat = inst.similarity_matrix();
+    let direct = comp_max_card(
+        &inst.g1,
+        &inst.g2,
+        &mat,
+        &AlgoConfig {
+            xi: 0.75,
+            ..Default::default()
+        },
+    );
+    let naive = naive_max_card(&inst.g1, &inst.g2, &mat, 0.75, false);
+    let closure = TransitiveClosure::new(&inst.g2);
+    assert_eq!(
+        verify_phom(&inst.g1, &direct, &mat, 0.75, &closure, false),
+        Ok(())
+    );
+    assert_eq!(
+        verify_phom(&inst.g1, &naive, &mat, 0.75, &closure, false),
+        Ok(())
+    );
+    // Both should map most of the pattern on light noise.
+    assert!(direct.len() >= inst.g1.node_count() / 2);
+    assert!(naive.len() >= inst.g1.node_count() / 2);
+}
+
+#[test]
+fn exact_dominates_approximations_on_small_instances() {
+    let cfg = SyntheticConfig {
+        m: 8,
+        noise: 0.2,
+        seed: 5,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let mat = inst.similarity_matrix();
+    let weights = NodeWeights::uniform(inst.g1.node_count());
+    let exact = exact_optimum(
+        &inst.g1,
+        &inst.g2,
+        &mat,
+        0.75,
+        false,
+        Objective::Cardinality,
+        &weights,
+    );
+    let approx = comp_max_card(
+        &inst.g1,
+        &inst.g2,
+        &mat,
+        &AlgoConfig {
+            xi: 0.75,
+            ..Default::default()
+        },
+    );
+    assert!(approx.len() <= exact.len());
+    // Proposition 5.2 bound (loose check): the approximation achieves at
+    // least ~log^2(P)/P of the optimum; on these tiny instances it should
+    // in fact be close — assert at least half.
+    assert!(
+        2 * approx.len() >= exact.len(),
+        "approx {} vs exact {}",
+        approx.len(),
+        exact.len()
+    );
+}
+
+#[test]
+fn simulation_is_stricter_than_phom_on_noisy_data() {
+    // Edge→path noise specifically defeats edge-to-edge simulation while
+    // p-hom absorbs it (the paper's core motivation).
+    let cfg = SyntheticConfig {
+        m: 30,
+        noise: 0.3,
+        seed: 6,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let mat = inst.similarity_matrix();
+    let sim = phom::baselines::graph_simulation(&inst.g1, &inst.g2, &mat, 0.75);
+    let phom_out = match_graphs(
+        &inst.g1,
+        &inst.g2,
+        &mat,
+        &NodeWeights::uniform(inst.g1.node_count()),
+        &MatcherConfig {
+            xi: 0.75,
+            ..Default::default()
+        },
+    );
+    assert!(
+        phom_out.qual_card >= sim.coverage() - 1e-9,
+        "p-hom ({}) must cover at least what simulation covers ({})",
+        phom_out.qual_card,
+        sim.coverage()
+    );
+}
+
+#[test]
+fn greedy_extension_is_monotone_across_workloads() {
+    for seed in [11u64, 12] {
+        let cfg = SyntheticConfig {
+            m: 30,
+            noise: 0.15,
+            seed,
+        };
+        let inst = generate_instance(&cfg, 1);
+        let mat = inst.similarity_matrix();
+        let weights = NodeWeights::uniform(inst.g1.node_count());
+        let base = match_graphs(
+            &inst.g1,
+            &inst.g2,
+            &mat,
+            &weights,
+            &MatcherConfig {
+                xi: 0.75,
+                greedy_extend: false,
+                ..Default::default()
+            },
+        );
+        let ext = match_graphs(
+            &inst.g1,
+            &inst.g2,
+            &mat,
+            &weights,
+            &MatcherConfig {
+                xi: 0.75,
+                greedy_extend: true,
+                ..Default::default()
+            },
+        );
+        assert!(ext.qual_card >= base.qual_card - 1e-12, "seed {seed}");
+    }
+}
+
+#[test]
+fn symmetric_matching_on_synthetic_pair() {
+    let cfg = SyntheticConfig {
+        m: 20,
+        noise: 0.05,
+        seed: 21,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let mat = inst.similarity_matrix();
+    let w1 = NodeWeights::uniform(inst.g1.node_count());
+    let w2 = NodeWeights::uniform(inst.g2.node_count());
+    let out = match_mutual(
+        &inst.g1,
+        &inst.g2,
+        &mat,
+        &w1,
+        &w2,
+        &MatcherConfig {
+            xi: 0.75,
+            ..Default::default()
+        },
+    );
+    // Forward: the pattern is nearly intact in G2.
+    assert!(
+        out.forward.qual_card >= 0.7,
+        "forward {}",
+        out.forward.qual_card
+    );
+    // Backward is harder (noise nodes have no pre-image); symmetric score
+    // is the min and thus bounded by the backward direction.
+    assert!(out.symmetric_quality(false) <= out.backward.qual_card + 1e-12);
+}

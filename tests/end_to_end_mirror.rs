@@ -1,0 +1,162 @@
+//! Integration: the full Exp-1 mirror-detection pipeline — archive
+//! generation → skeleton extraction → shingle similarity → matching —
+//! across crates (`workloads` + `sim` + `core` + `baselines`).
+
+use phom::baselines::{flooding_match_quality, FloodingConfig};
+use phom::prelude::*;
+
+const XI: f64 = 0.75;
+const MATCH_THRESHOLD: f64 = 0.75;
+
+fn pipeline_accuracy(category: SiteCategory, algorithm: Algorithm) -> f64 {
+    let spec = SiteSpec::test_scale(category, 99);
+    let archive = generate_archive(&spec);
+    let skeletons: Vec<_> = archive
+        .versions
+        .iter()
+        .map(|v| skeleton_alpha(v, 0.2))
+        .collect();
+    let pattern = &skeletons[0].graph;
+    let weights = NodeWeights::uniform(pattern.node_count());
+    let mut hits = 0usize;
+    for later in &skeletons[1..] {
+        let mat = shingle_matrix(pattern, &later.graph, 3);
+        let out = match_graphs(
+            pattern,
+            &later.graph,
+            &mat,
+            &weights,
+            &MatcherConfig {
+                algorithm,
+                xi: XI,
+                ..Default::default()
+            },
+        );
+        let q = if algorithm.similarity() {
+            out.qual_sim
+        } else {
+            out.qual_card
+        };
+        if q >= MATCH_THRESHOLD {
+            hits += 1;
+        }
+    }
+    hits as f64 / (skeletons.len() - 1) as f64
+}
+
+#[test]
+fn organization_sites_match_well() {
+    // Site 2 (slow churn) was the easiest in Table 3 (100% accuracy).
+    let acc = pipeline_accuracy(SiteCategory::Organization, Algorithm::MaxCard);
+    assert!(acc >= 0.75, "organization accuracy {acc}");
+}
+
+#[test]
+fn newspapers_are_hardest() {
+    // The ordering the paper observed: newspapers churn hardest.
+    let org = pipeline_accuracy(SiteCategory::Organization, Algorithm::MaxCard);
+    let news = pipeline_accuracy(SiteCategory::Newspaper, Algorithm::MaxCard);
+    assert!(
+        news <= org,
+        "newspaper accuracy ({news}) must not exceed organization accuracy ({org})"
+    );
+}
+
+#[test]
+fn mappings_on_real_pipeline_are_valid() {
+    let spec = SiteSpec::test_scale(SiteCategory::OnlineStore, 5);
+    let archive = generate_archive(&spec);
+    let s0 = skeleton_alpha(&archive.versions[0], 0.2);
+    let s1 = skeleton_alpha(&archive.versions[1], 0.2);
+    let mat = shingle_matrix(&s0.graph, &s1.graph, 3);
+    let weights = NodeWeights::uniform(s0.graph.node_count());
+    let closure = TransitiveClosure::new(&s1.graph);
+    for algorithm in [
+        Algorithm::MaxCard,
+        Algorithm::MaxCard1to1,
+        Algorithm::MaxSim,
+        Algorithm::MaxSim1to1,
+    ] {
+        let out = match_graphs(
+            &s0.graph,
+            &s1.graph,
+            &mat,
+            &weights,
+            &MatcherConfig {
+                algorithm,
+                xi: XI,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            verify_phom(
+                &s0.graph,
+                &out.mapping,
+                &mat,
+                XI,
+                &closure,
+                algorithm.injective()
+            ),
+            Ok(()),
+            "{algorithm:?}"
+        );
+    }
+}
+
+#[test]
+fn identical_versions_match_perfectly() {
+    // Matching a version against itself must give qualCard 1 for every
+    // algorithm (shingle similarity is 1 on the diagonal).
+    let spec = SiteSpec::test_scale(SiteCategory::Organization, 3);
+    let archive = generate_archive(&spec);
+    let s0 = skeleton_alpha(&archive.versions[0], 0.2);
+    let mat = shingle_matrix(&s0.graph, &s0.graph, 3);
+    let weights = NodeWeights::uniform(s0.graph.node_count());
+    let out = match_graphs(
+        &s0.graph,
+        &s0.graph,
+        &mat,
+        &weights,
+        &MatcherConfig {
+            xi: XI,
+            ..Default::default()
+        },
+    );
+    assert!((out.qual_card - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn top_k_skeletons_also_work() {
+    let spec = SiteSpec::test_scale(SiteCategory::OnlineStore, 5);
+    let archive = generate_archive(&spec);
+    let s0 = skeleton_top_k(&archive.versions[0], 20);
+    let s1 = skeleton_top_k(&archive.versions[1], 20);
+    assert_eq!(s0.graph.node_count(), 20);
+    let mat = shingle_matrix(&s0.graph, &s1.graph, 3);
+    let weights = NodeWeights::uniform(20);
+    let out = match_graphs(
+        &s0.graph,
+        &s1.graph,
+        &mat,
+        &weights,
+        &MatcherConfig {
+            xi: XI,
+            ..Default::default()
+        },
+    );
+    assert!(
+        out.qual_card > 0.0,
+        "some hub pages persist across versions"
+    );
+}
+
+#[test]
+fn sf_baseline_runs_on_pipeline() {
+    let spec = SiteSpec::test_scale(SiteCategory::Organization, 3);
+    let archive = generate_archive(&spec);
+    let s0 = skeleton_alpha(&archive.versions[0], 0.2);
+    let s1 = skeleton_alpha(&archive.versions[1], 0.2);
+    let seed = shingle_matrix(&s0.graph, &s1.graph, 3);
+    let q = flooding_match_quality(&s0.graph, &s1.graph, &seed, XI, &FloodingConfig::default());
+    assert!((0.0..=1.0).contains(&q));
+}

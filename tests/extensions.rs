@@ -1,0 +1,275 @@
+//! Integration tests for the extension modules, spanning crates:
+//! bounded-stretch matching (`core::bounded`), randomized restarts
+//! (`core::restarts`), mapping enumeration, schema embedding, graph edit
+//! distance, PageRank weights, and tf–idf similarity — all exercised on
+//! the §6-style workload generators rather than toy fixtures.
+
+use phom::baselines::edit::graph_edit_distance;
+use phom::core::bounded::{comp_max_card_bounded, minimal_stretch};
+use phom::core::embedding::find_schema_embedding;
+use phom::core::enumerate::enumerate_phom_mappings;
+use phom::core::restarts::{comp_max_card_restarts, RestartConfig};
+use phom::prelude::*;
+use phom::sim::{tfidf_matrix, PageRankConfig};
+use std::time::Duration;
+
+fn synthetic_instance(m: usize, noise: f64) -> (DiGraph<u32>, DiGraph<u32>, SimMatrix) {
+    let cfg = SyntheticConfig {
+        m,
+        noise,
+        seed: 0xE87,
+    };
+    let inst = generate_instance(&cfg, 1);
+    let mat = inst.similarity_matrix();
+    (inst.g1, inst.g2, mat)
+}
+
+#[test]
+fn bounded_quality_is_monotone_on_synthetic_workload() {
+    let (g1, g2, mat) = synthetic_instance(60, 0.15);
+    let cfg = AlgoConfig {
+        xi: 0.75,
+        ..Default::default()
+    };
+    let mut last = 0.0f64;
+    // Noise replaces edges with paths of 1..=5 nodes, so quality should
+    // climb as the stretch bound admits longer reroutes and plateau by
+    // k ≈ 6 (path of 5 inserted nodes = 6 edges).
+    let mut quals = Vec::new();
+    for k in [1usize, 2, 4, 8, g2.node_count()] {
+        let q = comp_max_card_bounded(&g1, &g2, &mat, &cfg, k).qual_card();
+        quals.push((k, q));
+        last = last.max(q);
+    }
+    assert!(
+        quals.windows(2).all(|w| w[1].1 >= w[0].1 - 0.10),
+        "quality should (weakly) rise with k: {quals:?}"
+    );
+    let (_, q_full) = *quals.last().expect("nonempty");
+    assert!(
+        q_full >= 0.9,
+        "unbounded p-hom matches the instance: {q_full}"
+    );
+}
+
+#[test]
+fn minimal_stretch_reflects_injected_path_noise() {
+    let (g1, g2, mat) = synthetic_instance(40, 0.2);
+    let cfg = AlgoConfig {
+        xi: 0.75,
+        ..Default::default()
+    };
+    let m = comp_max_card(&g1, &g2, &mat, &cfg);
+    let k = minimal_stretch(&g1, &g2, &m, &mat, cfg.xi).expect("valid mapping");
+    // Edge -> path-of-(1..=5)-nodes noise yields stretches in [1, 6].
+    assert!((1..=6).contains(&k), "stretch {k} outside the noise model");
+}
+
+#[test]
+fn restarts_dominate_single_run_on_synthetic_workload() {
+    let (g1, g2, mat) = synthetic_instance(50, 0.2);
+    let cfg = AlgoConfig {
+        xi: 0.75,
+        ..Default::default()
+    };
+    let single = comp_max_card(&g1, &g2, &mat, &cfg).qual_card();
+    let multi = comp_max_card_restarts(
+        &g1,
+        &g2,
+        &mat,
+        &cfg,
+        false,
+        &RestartConfig {
+            restarts: 6,
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .qual_card();
+    assert!(
+        multi >= single,
+        "best-of-6 ({multi}) below single run ({single})"
+    );
+}
+
+#[test]
+fn enumeration_agrees_with_decision_on_store_example() {
+    let g1 = graph_from_labels(&["books", "textbooks"], &[("books", "textbooks")]);
+    let g2 = graph_from_labels(
+        &["books", "categories", "school"],
+        &[("books", "categories"), ("categories", "school")],
+    );
+    let mat = matrix_from_label_fn(&g1, &g2, |a, b| match (a, b) {
+        ("books", "books") => 1.0,
+        ("textbooks", "school") | ("textbooks", "categories") => 0.8,
+        _ => 0.0,
+    });
+    let all = enumerate_phom_mappings(&g1, &g2, &mat, 0.75, false, usize::MAX);
+    // books -> books; textbooks -> categories or school: two mappings.
+    assert_eq!(all.len(), 2);
+    assert!(decide_phom(&g1, &g2, &mat, 0.75, false).is_some());
+}
+
+#[test]
+fn schema_embedding_on_tfidf_similarity() {
+    // Label text deliberately shares boilerplate ("page nav") so plain
+    // equality fails but tf-idf cosine still pairs the right nodes.
+    let g1 = graph_from_labels(
+        &[
+            "page nav order form",
+            "page nav customer record",
+            "page nav item list",
+        ],
+        &[
+            ("page nav order form", "page nav customer record"),
+            ("page nav order form", "page nav item list"),
+        ],
+    );
+    let g2 = graph_from_labels(
+        &[
+            "page nav order form entry",
+            "page nav customer record detail",
+            "page nav item list table",
+        ],
+        &[
+            (
+                "page nav order form entry",
+                "page nav customer record detail",
+            ),
+            ("page nav order form entry", "page nav item list table"),
+        ],
+    );
+    let mat = tfidf_matrix(&g1, &g2);
+    let m = find_schema_embedding(&g1, &g2, &mat, 0.6).expect("embeds");
+    assert_eq!(m.len(), 3);
+    assert!(m.is_injective());
+}
+
+#[test]
+fn ged_confirms_archive_versions_are_close() {
+    // Two consecutive versions of a simulated site skeleton should be
+    // much closer (lower GED) than two different sites.
+    let spec_a = SiteSpec {
+        versions: 2,
+        ..SiteSpec::test_scale(SiteCategory::Organization, 11)
+    };
+    let spec_b = SiteSpec {
+        versions: 2,
+        seed: 77,
+        ..SiteSpec::test_scale(SiteCategory::Newspaper, 77)
+    };
+    let arch_a = generate_archive(&spec_a);
+    let arch_b = generate_archive(&spec_b);
+    let tiny = |g: &DiGraph<_>| {
+        skeleton_top_k(g, 8)
+            .graph
+            .map_labels(|_, l| format!("{l:?}"))
+    };
+    let a0 = tiny(&arch_a.versions[0]);
+    let a1 = tiny(&arch_a.versions[1]);
+    let b0 = tiny(&arch_b.versions[0]);
+
+    let budget = Duration::from_secs(10);
+    let mat_aa = SimMatrix::label_equality(&a0, &a1);
+    let mat_ab = SimMatrix::label_equality(&a0, &b0);
+    let d_same = graph_edit_distance(&a0, &a1, &mat_aa, 1.0, budget);
+    let d_diff = graph_edit_distance(&a0, &b0, &mat_ab, 1.0, budget);
+    assert!(
+        d_same.similarity >= d_diff.similarity,
+        "same-site versions ({}) should not be farther than cross-site ({})",
+        d_same.similarity,
+        d_diff.similarity
+    );
+}
+
+#[test]
+fn pagerank_weights_change_qual_sim_ranking() {
+    let (g1, g2, mat) = synthetic_instance(40, 0.1);
+    let cfg = AlgoConfig {
+        xi: 0.75,
+        ..Default::default()
+    };
+    let w_uniform = NodeWeights::uniform(g1.node_count());
+    let w_pr = NodeWeights::by_pagerank(&g1, &PageRankConfig::default());
+    let m = comp_max_sim(&g1, &g2, &mat, &w_pr, &cfg);
+    // Both scorings stay in [0, 1] and the mapping is valid under either.
+    let q_pr = m.qual_sim(&w_pr, &mat);
+    let q_un = m.qual_sim(&w_uniform, &mat);
+    assert!((0.0..=1.0).contains(&q_pr));
+    assert!((0.0..=1.0).contains(&q_un));
+    let closure = TransitiveClosure::new(&g2);
+    verify_phom(&g1, &m, &mat, cfg.xi, &closure, false).expect("valid");
+}
+
+#[test]
+fn bounded_and_restarts_compose_through_shared_closure() {
+    let (g1, g2, mat) = synthetic_instance(40, 0.15);
+    let cfg = AlgoConfig {
+        xi: 0.75,
+        ..Default::default()
+    };
+    let closure = phom::core::Stretch::AtMost(3).closure_of(&g2);
+    let rcfg = RestartConfig {
+        restarts: 4,
+        ..Default::default()
+    };
+    let m = phom::core::comp_max_card_restarts_with(&g1, &closure, &mat, &cfg, false, &rcfg);
+    // Validity under the same bounded semantics.
+    phom::core::verify_phom_bounded(&g1, &g2, &m, &mat, cfg.xi, false, 3).expect("valid at k=3");
+}
+
+#[test]
+fn minimal_stretch_equals_witness_max_stretch() {
+    // Both are defined via shortest witness paths, from independent
+    // implementations (bounded closure vs BFS witness extraction).
+    let (g1, g2, mat) = synthetic_instance(30, 0.2);
+    let cfg = AlgoConfig {
+        xi: 0.75,
+        ..Default::default()
+    };
+    let m = comp_max_card(&g1, &g2, &mat, &cfg);
+    let stats = stretch_stats(&g1, &g2, &m);
+    if stats.edges > 0 {
+        assert_eq!(
+            minimal_stretch(&g1, &g2, &m, &mat, cfg.xi),
+            Some(stats.max_stretch),
+            "two shortest-path definitions must agree"
+        );
+    }
+}
+
+#[test]
+fn matcher_config_extensions_compose_with_appendix_b() {
+    // max_stretch + restarts + partitioning in one match_graphs call.
+    let (g1, g2, mat) = synthetic_instance(40, 0.2);
+    let w = NodeWeights::uniform(g1.node_count());
+    let out = match_graphs(
+        &g1,
+        &g2,
+        &mat,
+        &w,
+        &MatcherConfig {
+            xi: 0.75,
+            max_stretch: Some(3),
+            restarts: 3,
+            partition_g1: true,
+            ..Default::default()
+        },
+    );
+    phom::core::verify_phom_bounded(&g1, &g2, &out.mapping, &mat, 0.75, false, 3)
+        .expect("valid under the configured bound");
+}
+
+#[test]
+fn beam_ged_scales_where_exact_times_out() {
+    use phom::baselines::beam_edit_distance;
+    let (g1b, g2b, mat) = synthetic_instance(25, 0.1);
+    // Exact GED on 25+ node graphs dies instantly; beam answers fast and
+    // stays a valid upper bound.
+    let exact = graph_edit_distance(&g1b, &g2b, &mat, 0.75, Duration::from_millis(50));
+    let beam = beam_edit_distance(&g1b, &g2b, &mat, 0.75, 16);
+    assert!(exact.timed_out, "exact should exhaust a 50ms budget here");
+    let worst = g1b.node_count() + g2b.node_count() + g1b.edge_count() + g2b.edge_count();
+    assert!(beam.distance <= worst);
+    assert!((0.0..=1.0).contains(&beam.similarity));
+}

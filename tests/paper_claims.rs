@@ -1,0 +1,206 @@
+//! Integration: the paper's named claims and examples, verified across
+//! crate boundaries.
+
+use phom::core::reductions::{three_sat_to_phom, x3c_to_one_one_phom, Cnf3, Lit, X3cInstance};
+use phom::prelude::*;
+
+/// §3.2: "subgraph isomorphism is a special case of 1-1 p-hom" — every
+/// subgraph-isomorphic pair is also 1-1 p-hom (edges are length-1 paths).
+#[test]
+fn subiso_implies_one_one_phom() {
+    let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+    let g2 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("b", "c"), ("c", "d")]);
+    let mat = SimMatrix::label_equality(&g1, &g2);
+    assert!(is_subgraph_isomorphic(&g1, &g2));
+    assert!(decide_phom(&g1, &g2, &mat, 0.5, true).is_some());
+}
+
+/// §3.2: ... but not vice versa — 1-1 p-hom stretches edges.
+#[test]
+fn one_one_phom_does_not_imply_subiso() {
+    let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+    let g2 = graph_from_labels(&["a", "x", "b"], &[("a", "x"), ("x", "b")]);
+    let mat = SimMatrix::label_equality(&g1, &g2);
+    assert!(decide_phom(&g1, &g2, &mat, 0.5, true).is_some());
+    assert!(!is_subgraph_isomorphic(&g1, &g2));
+}
+
+/// §3.3: "the maximum common subgraph problem is a special case of
+/// CPH¹⁻¹" — the exact CPH¹⁻¹ optimum dominates the MCS size.
+#[test]
+fn mcs_lower_bounds_cph_1_1() {
+    let g1 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("b", "c"), ("c", "d")]);
+    let g2 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("c", "b"), ("c", "d")]);
+    let mat = SimMatrix::label_equality(&g1, &g2);
+    let mcs = maximum_common_subgraph(&g1, &g2, &mat, 0.5, std::time::Duration::from_secs(5));
+    assert!(!mcs.timed_out);
+    let w = NodeWeights::uniform(4);
+    let cph = exact_optimum(&g1, &g2, &mat, 0.5, true, Objective::Cardinality, &w);
+    assert!(
+        cph.len() >= mcs.mapping.len(),
+        "{} < {}",
+        cph.len(),
+        mcs.mapping.len()
+    );
+}
+
+/// Theorem 4.1(a) on the paper's own Fig. 7 instance, end to end through
+/// the public API.
+#[test]
+fn figure_7_reduction_roundtrip() {
+    let phi = Cnf3 {
+        num_vars: 4,
+        clauses: vec![
+            [Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+            [Lit::neg(1), Lit::pos(2), Lit::pos(3)],
+        ],
+    };
+    let inst = three_sat_to_phom(&phi);
+    let witness = decide_phom(&inst.g1, &inst.g2, &inst.mat, inst.xi, false).expect("sat");
+    assert!(phi.eval(&inst.decode_assignment(&witness)));
+}
+
+/// Theorem 4.1(b) on the paper's Fig. 8 instance.
+#[test]
+fn figure_8_reduction_roundtrip() {
+    let x3c = X3cInstance {
+        q: 2,
+        sets: vec![[0, 1, 2], [0, 1, 3], [3, 4, 5]],
+    };
+    let gadget = x3c_to_one_one_phom(&x3c);
+    let witness =
+        decide_phom(&gadget.g1, &gadget.g2, &gadget.mat, gadget.xi, true).expect("cover exists");
+    let mut cover = gadget.decode_cover(&witness);
+    cover.sort_unstable();
+    assert_eq!(cover, vec![0, 2]);
+}
+
+/// Theorem 5.1's reduction in executable form: the WIS solution on the
+/// complement product graph converts to a valid p-hom mapping via `g`.
+#[test]
+fn theorem_5_1_product_graph_pipeline() {
+    let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+    let g2 = graph_from_labels(&["a", "x", "b", "c"], &[("a", "x"), ("x", "b"), ("b", "c")]);
+    let mat = SimMatrix::label_equality(&g1, &g2);
+    let product = ProductGraph::build(&g1, &g2, &mat, 0.5, false);
+    let complement = product.complement();
+    let is = max_independent_set(&complement);
+    assert!(product.is_compatible_set(&is), "IS of Gc is a clique of G");
+    let mapping = product.extract_mapping(&is);
+    let closure = TransitiveClosure::new(&g2);
+    assert_eq!(
+        verify_phom(&g1, &mapping, &mat, 0.5, &closure, false),
+        Ok(())
+    );
+    assert_eq!(mapping.len(), 3, "full mapping recovered through WIS");
+}
+
+/// §3.2 Remark: symmetric (path-to-path) matching via the closure of G1.
+#[test]
+fn remark_symmetric_matching() {
+    // G1's closure adds a->c; G2 can still host it.
+    let g1 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+    let g2 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+    let mat = SimMatrix::label_equality(&g1, &g2);
+    let w = NodeWeights::uniform(3);
+    let out = match_paths(&g1, &g2, &mat, &w, &MatcherConfig::default());
+    assert!((out.qual_card - 1.0).abs() < 1e-12);
+}
+
+/// Example 3.3 numbers, through the public metric API.
+#[test]
+fn example_3_3_metric_values() {
+    let weights = NodeWeights::from_vec(vec![1.0, 1.0, 6.0, 1.0, 1.0]);
+    let mat = SimMatrixBuilder::new()
+        .pair(NodeId(0), NodeId(0), 1.0)
+        .pair(NodeId(3), NodeId(2), 1.0)
+        .pair(NodeId(4), NodeId(3), 1.0)
+        .pair(NodeId(2), NodeId(1), 1.0)
+        .pair(NodeId(1), NodeId(1), 0.6)
+        .build(5, 4);
+    let sigma_c = PHomMapping::from_pairs(
+        5,
+        [
+            (NodeId(0), NodeId(0)),
+            (NodeId(1), NodeId(1)),
+            (NodeId(3), NodeId(2)),
+            (NodeId(4), NodeId(3)),
+        ],
+    );
+    assert!((sigma_c.qual_card() - 0.8).abs() < 1e-12);
+    assert!((sigma_c.qual_sim(&weights, &mat) - 0.36).abs() < 1e-12);
+    let sigma_s = PHomMapping::from_pairs(5, [(NodeId(0), NodeId(0)), (NodeId(2), NodeId(1))]);
+    assert!((sigma_s.qual_sim(&weights, &mat) - 0.7).abs() < 1e-12);
+}
+
+/// The paper's headline: graphs that *no* conventional notion matches are
+/// matched by p-hom (Fig. 1 through the whole public stack).
+#[test]
+fn figure_1_headline_result() {
+    let gp = graph_from_labels(
+        &["A", "books", "audio", "textbooks", "abooks", "albums"],
+        &[
+            ("A", "books"),
+            ("A", "audio"),
+            ("books", "textbooks"),
+            ("books", "abooks"),
+            ("audio", "abooks"),
+            ("audio", "albums"),
+        ],
+    );
+    let g = graph_from_labels(
+        &[
+            "B",
+            "books",
+            "sports",
+            "digital",
+            "categories",
+            "booksets",
+            "school",
+            "arts",
+            "audiobooks",
+            "DVDs",
+            "CDs",
+            "features",
+            "genres",
+            "albums",
+        ],
+        &[
+            ("B", "books"),
+            ("B", "sports"),
+            ("B", "digital"),
+            ("books", "categories"),
+            ("books", "booksets"),
+            ("categories", "school"),
+            ("categories", "arts"),
+            ("categories", "audiobooks"),
+            ("digital", "DVDs"),
+            ("digital", "CDs"),
+            ("CDs", "features"),
+            ("CDs", "genres"),
+            ("features", "audiobooks"),
+            ("genres", "albums"),
+        ],
+    );
+    // Conventional: no.
+    assert!(!is_subgraph_isomorphic(&gp, &g));
+    assert!(!phom::baselines::simulates_by_label(&gp, &g));
+    // p-hom with mate(): yes, for any xi <= 0.6.
+    let mate = matrix_from_label_fn(&gp, &g, |a, b| match (a, b) {
+        ("A", "B") => 0.7,
+        ("audio", "digital") => 0.7,
+        ("books", "books") => 1.0,
+        ("abooks", "audiobooks") => 0.8,
+        ("books", "booksets") => 0.6,
+        ("textbooks", "school") => 0.6,
+        ("albums", "albums") => 0.85,
+        _ => 0.0,
+    });
+    assert!(decide_phom(&gp, &g, &mate, 0.6, false).is_some());
+    assert!(
+        decide_phom(&gp, &g, &mate, 0.6, true).is_some(),
+        "Example 3.2"
+    );
+    // ... but not above the similarity ceiling of mate()'s weakest pair.
+    assert!(decide_phom(&gp, &g, &mate, 0.61, false).is_none());
+}
