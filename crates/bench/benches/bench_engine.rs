@@ -1,0 +1,119 @@
+//! Benchmarks the engine's reason for existing: a 100-query batch over
+//! one data graph, cold (every `match_graphs` call rebuilds the closure
+//! and re-decides compression) versus prepared (one `PreparedGraph`
+//! shared by every query). Also times preparation itself and the
+//! steady-state cache-hit path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_core::{match_graphs, Algorithm, MatcherConfig};
+use phom_engine::{Engine, EngineConfig, PreparedGraph, Query, QueryConfig};
+use phom_graph::{DiGraph, NodeId};
+use phom_sim::SimMatrix;
+use phom_workloads::{generate_instance, synthetic::Label, SyntheticConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const BATCH: usize = 100;
+
+struct Fixture {
+    data: Arc<DiGraph<Label>>,
+    queries: Vec<Query<Label>>,
+}
+
+/// One data graph, 100 small-pattern queries (sliding windows of the
+/// template), restarts pinned to 1 so both paths run the identical
+/// matching kernel and differ only in preprocessing reuse.
+fn fixture(m: usize) -> Fixture {
+    let inst = generate_instance(
+        &SyntheticConfig {
+            m,
+            noise: 0.15,
+            seed: 42,
+        },
+        1,
+    );
+    let data = Arc::new(inst.g2.clone());
+    let pattern_nodes = (m / 5).clamp(4, 30);
+    let queries = (0..BATCH)
+        .map(|i| {
+            let lo = (i * 7) % (m - pattern_nodes);
+            let keep: BTreeSet<NodeId> =
+                (lo..lo + pattern_nodes).map(|x| NodeId(x as u32)).collect();
+            let pattern = Arc::new(inst.g1.induced_subgraph(&keep).0);
+            let mat = SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
+                inst.pool.similarity(*pattern.label(v), *data.label(u))
+            });
+            let mut q = Query::new(pattern, mat);
+            q.config = QueryConfig {
+                xi: 0.75,
+                algorithm: [
+                    Algorithm::MaxCard,
+                    Algorithm::MaxCard1to1,
+                    Algorithm::MaxSim,
+                    Algorithm::MaxSim1to1,
+                ][i % 4],
+                restarts: Some(1),
+                max_stretch: (i % 5 == 4).then_some(3),
+                force_plan: None,
+            };
+            q
+        })
+        .collect();
+    Fixture { data, queries }
+}
+
+fn bench_batch(c: &mut Criterion) {
+    for m in [100usize, 200] {
+        let fx = fixture(m);
+        let mut group = c.benchmark_group(format!("engine_batch_m{m}"));
+        group.sample_size(10);
+
+        group.bench_function(BenchmarkId::from_parameter("cold_per_query"), |b| {
+            b.iter(|| {
+                for q in &fx.queries {
+                    let weights = q.effective_weights();
+                    let cfg = MatcherConfig {
+                        algorithm: q.config.algorithm,
+                        xi: q.config.xi,
+                        max_stretch: q.config.max_stretch,
+                        restarts: 1,
+                        ..Default::default()
+                    };
+                    criterion::black_box(match_graphs(
+                        &q.pattern, &fx.data, &q.matrix, &weights, &cfg,
+                    ));
+                }
+            })
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("prepared_batch"), |b| {
+            b.iter(|| {
+                // Fresh engine per iteration: the one preparation is paid
+                // inside the measurement, amortized over the 100 queries.
+                let engine: Engine<Label> = Engine::new(EngineConfig {
+                    cache_capacity: 2,
+                    threads: 1,
+                });
+                criterion::black_box(engine.execute_batch(&fx.data, &fx.queries))
+            })
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("prepare_only"), |b| {
+            b.iter(|| criterion::black_box(PreparedGraph::new(Arc::clone(&fx.data))))
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("warm_cache_batch"), |b| {
+            let engine: Engine<Label> = Engine::new(EngineConfig {
+                cache_capacity: 2,
+                threads: 1,
+            });
+            engine.execute_batch(&fx.data, &fx.queries); // warm the cache
+            b.iter(|| criterion::black_box(engine.execute_batch(&fx.data, &fx.queries)))
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

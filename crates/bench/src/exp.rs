@@ -179,11 +179,11 @@ fn accuracy_of_algorithm(
     let weights = NodeWeights::uniform(pattern.node_count());
     let started = Instant::now();
     let hits = Mutex::new(0usize);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for later in &skeletons[1..] {
             let hits = &hits;
             let weights = &weights;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mat = shingle_matrix(pattern, later, SHINGLE_WINDOW);
                 let out = match_graphs(
                     pattern,
@@ -206,8 +206,7 @@ fn accuracy_of_algorithm(
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let accuracy = 100.0 * hits.into_inner() as f64 / (skeletons.len() - 1) as f64;
     (accuracy, started.elapsed().as_secs_f64())
 }
@@ -216,10 +215,10 @@ fn accuracy_of_sf(skeletons: &[DiGraph<phom_workloads::Page>]) -> (f64, f64) {
     let pattern = &skeletons[0];
     let started = Instant::now();
     let hits = Mutex::new(0usize);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for later in &skeletons[1..] {
             let hits = &hits;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let seed_mat = shingle_matrix(pattern, later, SHINGLE_WINDOW);
                 let q = flooding_match_quality(
                     pattern,
@@ -236,8 +235,7 @@ fn accuracy_of_sf(skeletons: &[DiGraph<phom_workloads::Page>]) -> (f64, f64) {
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let accuracy = 100.0 * hits.into_inner() as f64 / (skeletons.len() - 1) as f64;
     (accuracy, started.elapsed().as_secs_f64())
 }
@@ -249,10 +247,10 @@ fn accuracy_of_mcs(
     let pattern = &skeletons[0];
     let started = Instant::now();
     let state = Mutex::new((0usize, false)); // (hits, any_timeout)
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for later in &skeletons[1..] {
             let state = &state;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mat = shingle_matrix(pattern, later, SHINGLE_WINDOW);
                 let r = maximum_common_subgraph(pattern, later, &mat, DEFAULT_XI, budget);
                 let mut s = state.lock();
@@ -262,8 +260,7 @@ fn accuracy_of_mcs(
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let (hits, any_timeout) = state.into_inner();
     let seconds = started.elapsed().as_secs_f64();
     if any_timeout && hits == 0 {
@@ -389,12 +386,12 @@ pub fn fig5_series(sweep: Sweep, scale: Scale, seed: u64) -> Vec<Fig5Point> {
             let weights = NodeWeights::uniform(m);
             let hits = Mutex::new([0usize; 4]);
             let v2_sum = Mutex::new(0usize);
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for inst in &batch {
                     let hits = &hits;
                     let v2_sum = &v2_sum;
                     let weights = &weights;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         *v2_sum.lock() += inst.g2.node_count();
                         let mat = inst.similarity_matrix();
                         for (i, algorithm) in ALGORITHMS.into_iter().enumerate() {
@@ -420,8 +417,7 @@ pub fn fig5_series(sweep: Sweep, scale: Scale, seed: u64) -> Vec<Fig5Point> {
                         }
                     });
                 }
-            })
-            .expect("worker panicked");
+            });
             let hits = hits.into_inner();
             let denom = batch.len() as f64;
             Fig5Point {

@@ -231,10 +231,25 @@ pub fn exact_optimum<L>(
     objective: Objective,
     weights: &NodeWeights,
 ) -> PHomMapping {
-    assert_eq!(weights.len(), g1.node_count());
     let closure = TransitiveClosure::new(g2);
+    exact_optimum_with(g1, &closure, mat, xi, injective, objective, weights)
+}
+
+/// [`exact_optimum`] with a precomputed closure of `G2` — the entry point
+/// the prepared-graph engine uses so a batch of exact-planned queries
+/// shares one closure computation.
+pub fn exact_optimum_with<L>(
+    g1: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    mat: &SimMatrix,
+    xi: f64,
+    injective: bool,
+    objective: Objective,
+    weights: &NodeWeights,
+) -> PHomMapping {
+    assert_eq!(weights.len(), g1.node_count());
     let n1 = g1.node_count();
-    let search = Search::new(g1, &closure, mat, xi, injective);
+    let search = Search::new(g1, closure, mat, xi, injective);
 
     // Node gain when mapped: 1 for cardinality, max attainable weighted
     // similarity for the optimistic bound in similarity mode.

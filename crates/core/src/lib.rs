@@ -54,10 +54,13 @@ pub use bounded::{
 pub use bounds::{guarantee_factor, hardness_ceiling, prefer_exact};
 pub use embedding::{check_schema_embedding, find_schema_embedding, EmbeddingViolation};
 pub use enumerate::{enumerate_phom_mappings, enumerate_phom_mappings_with};
-pub use exact::{decide_phom, exact_optimum, Objective};
+pub use exact::{decide_phom, decide_phom_with, exact_optimum, exact_optimum_with, Objective};
 pub use mapping::{verify_phom, PHomMapping, Violation};
 pub use naive::{naive_max_card, naive_max_sim};
-pub use optimize::{match_graphs, Algorithm, MatchOutcome, MatchStats, MatcherConfig};
+pub use optimize::{
+    compression_worthwhile, match_graphs, match_graphs_prepared, Algorithm, CompressedClosure,
+    MatchOutcome, MatchStats, MatcherConfig, PreparedInputs,
+};
 pub use prefilter::{ac_prefilter, ac_prefilter_matrix, PrefilterStats};
 pub use product::ProductGraph;
 pub use restarts::{

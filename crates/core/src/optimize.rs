@@ -16,7 +16,8 @@
 use crate::algo::{comp_max_card_with, comp_max_sim_with, AlgoConfig, Selection};
 use crate::mapping::PHomMapping;
 use phom_graph::{
-    compress_closure, weakly_connected_components, DiGraph, NodeId, TransitiveClosure,
+    compress_closure, weakly_connected_components, CompressedGraph, DiGraph, NodeId,
+    TransitiveClosure,
 };
 use phom_sim::{NodeWeights, SimMatrix};
 use std::collections::BTreeSet;
@@ -124,6 +125,50 @@ pub struct MatchOutcome {
     pub stats: MatchStats,
 }
 
+/// A compressed data graph (`G2*`, Appendix B) together with the closure
+/// of the compressed graph — the pair a compressed matching run needs.
+#[derive(Debug, Clone)]
+pub struct CompressedClosure<L> {
+    /// The SCC-condensed data graph with member bags.
+    pub compressed: CompressedGraph<L>,
+    /// Transitive closure of [`CompressedClosure::compressed`].
+    pub closure: TransitiveClosure,
+}
+
+/// Borrowed, query-independent artifacts of one data graph, computed once
+/// and shared across many [`match_graphs_prepared`] calls (the engine's
+/// `PreparedGraph` holds the owning side).
+#[derive(Debug)]
+pub struct PreparedInputs<'a, L> {
+    /// Full proper closure of `G2`.
+    pub closure: &'a TransitiveClosure,
+    /// A hop-bounded closure `(k, closure)`; used when `cfg.max_stretch`
+    /// is exactly `k`, otherwise the bounded closure is rebuilt locally.
+    pub bounded: Option<(usize, &'a TransitiveClosure)>,
+    /// Compressed graph + closure; `None` means the preparer determined
+    /// compression unprofitable (see [`compression_worthwhile`]), and
+    /// compressed runs fall back to the full closure.
+    pub compressed: Option<&'a CompressedClosure<L>>,
+}
+
+// Manual impls: the struct holds only references, so it is `Copy` for
+// every `L` (derive would demand `L: Copy`).
+impl<L> Clone for PreparedInputs<'_, L> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<L> Copy for PreparedInputs<'_, L> {}
+
+/// Whether collapsing `original_nodes` data nodes into `compressed_nodes`
+/// SCC bags pays for the matrix-translation overhead of a compressed run
+/// (Appendix B). Compression only wins when the condensation removes at
+/// least ~10% of the nodes; (near-)acyclic graphs should skip it.
+pub fn compression_worthwhile(original_nodes: usize, compressed_nodes: usize) -> bool {
+    compressed_nodes * 10 <= original_nodes * 9
+}
+
 /// Runs the configured algorithm with the configured optimizations.
 /// (`L: Sync` because the restart extension may fan runs out to worker
 /// threads; label types are plain data in practice.)
@@ -134,9 +179,44 @@ pub fn match_graphs<L: Clone + Sync>(
     weights: &NodeWeights,
     cfg: &MatcherConfig,
 ) -> MatchOutcome {
+    match_graphs_inner(g1, g2, mat, weights, cfg, None)
+}
+
+/// [`match_graphs`] against precomputed data-graph artifacts: the closure
+/// (and optionally the bounded closure and compressed graph) are taken
+/// from `prep` instead of being rebuilt, so a batch of queries over one
+/// data graph pays the dominant preprocessing cost exactly once.
+pub fn match_graphs_prepared<L: Clone + Sync>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mat: &SimMatrix,
+    weights: &NodeWeights,
+    cfg: &MatcherConfig,
+    prep: PreparedInputs<'_, L>,
+) -> MatchOutcome {
+    match_graphs_inner(g1, g2, mat, weights, cfg, Some(prep))
+}
+
+fn match_graphs_inner<L: Clone + Sync>(
+    g1: &DiGraph<L>,
+    g2: &DiGraph<L>,
+    mat: &SimMatrix,
+    weights: &NodeWeights,
+    cfg: &MatcherConfig,
+    prep: Option<PreparedInputs<'_, L>>,
+) -> MatchOutcome {
+    use std::borrow::Cow;
+
     assert_eq!(mat.n1(), g1.node_count(), "mat rows must cover G1");
     assert_eq!(mat.n2(), g2.node_count(), "mat cols must cover G2");
     assert_eq!(weights.len(), g1.node_count(), "weights must cover G1");
+    if let Some(p) = &prep {
+        assert_eq!(
+            p.closure.node_count(),
+            g2.node_count(),
+            "prepared closure must cover G2"
+        );
+    }
 
     let mut stats = MatchStats {
         candidate_pairs: mat.candidate_pair_count(cfg.xi),
@@ -148,36 +228,27 @@ pub fn match_graphs<L: Clone + Sync>(
     // mat*(v, c) = max_{u ∈ members(c)} mat(v, u) and translate back.
     let injective = cfg.algorithm.injective();
     let use_compression = cfg.compress_g2 && !injective && cfg.max_stretch.is_none();
-    let build_closure = |g: &DiGraph<L>| match cfg.max_stretch {
-        Some(k) => TransitiveClosure::bounded(g, k),
-        None => TransitiveClosure::new(g),
-    };
 
     struct DataSide<'m> {
-        closure: TransitiveClosure,
-        mat: std::borrow::Cow<'m, SimMatrix>,
+        closure: Cow<'m, TransitiveClosure>,
+        mat: Cow<'m, SimMatrix>,
         /// For compressed runs: best original member per (v, compressed c).
         translate: Option<Vec<Vec<NodeId>>>,
         n2: usize,
     }
 
-    // Compression only pays when the condensation actually shrinks the
-    // graph; on (near-)acyclic data graphs the compressed run would just
-    // add matrix-translation overhead, so fall back adaptively.
-    let compressed = if use_compression {
-        let comp = compress_closure(g2);
-        if comp.graph.node_count() * 10 <= g2.node_count() * 9 {
-            Some(comp)
-        } else {
-            None
-        }
-    } else {
-        None
-    };
-
-    let data = if let Some(comp) = compressed {
+    /// Builds the compressed-space matrix and translation table for one
+    /// query (these depend on `G1`/`mat` and cannot be shared).
+    fn compressed_side<'m, L: Clone>(
+        g1: &DiGraph<L>,
+        g2_nodes: usize,
+        mat: &SimMatrix,
+        comp: &CompressedGraph<L>,
+        closure: Cow<'m, TransitiveClosure>,
+        stats: &mut MatchStats,
+    ) -> DataSide<'m> {
         let cn = comp.graph.node_count();
-        stats.compression = Some((g2.node_count(), cn));
+        stats.compression = Some((g2_nodes, cn));
         let mut cmat = SimMatrix::new(g1.node_count(), cn);
         let mut translate: Vec<Vec<NodeId>> = vec![Vec::new(); g1.node_count()];
         for v in g1.nodes() {
@@ -197,19 +268,65 @@ pub fn match_graphs<L: Clone + Sync>(
             translate[v.index()] = best;
         }
         DataSide {
-            closure: TransitiveClosure::new(&comp.graph),
-            mat: std::borrow::Cow::Owned(cmat),
+            closure,
+            mat: Cow::Owned(cmat),
             translate: Some(translate),
             n2: cn,
         }
+    }
+
+    // Compression only pays when the condensation actually shrinks the
+    // graph; on (near-)acyclic data graphs the compressed run would just
+    // add matrix-translation overhead, so fall back adaptively. A
+    // preparer makes that call once (`prep.compressed` is `None` when it
+    // declined); the unprepared path decides per call.
+    let data = if use_compression {
+        match prep {
+            Some(p) => p.compressed.map(|cc| {
+                compressed_side(
+                    g1,
+                    g2.node_count(),
+                    mat,
+                    &cc.compressed,
+                    Cow::Borrowed(&cc.closure),
+                    &mut stats,
+                )
+            }),
+            None => {
+                let comp = compress_closure(g2);
+                compression_worthwhile(g2.node_count(), comp.graph.node_count()).then(|| {
+                    let closure = TransitiveClosure::new(&comp.graph);
+                    compressed_side(
+                        g1,
+                        g2.node_count(),
+                        mat,
+                        &comp,
+                        Cow::Owned(closure),
+                        &mut stats,
+                    )
+                })
+            }
+        }
     } else {
+        None
+    };
+
+    let data = data.unwrap_or_else(|| {
+        let closure: Cow<'_, TransitiveClosure> = match (cfg.max_stretch, &prep) {
+            (Some(k), Some(p)) if p.bounded.is_some_and(|(pk, _)| pk == k) => {
+                Cow::Borrowed(p.bounded.expect("checked above").1)
+            }
+            (Some(k), _) => Cow::Owned(TransitiveClosure::bounded(g2, k)),
+            (None, Some(p)) => Cow::Borrowed(p.closure),
+            (None, None) => Cow::Owned(TransitiveClosure::new(g2)),
+        };
         DataSide {
-            closure: build_closure(g2),
-            mat: std::borrow::Cow::Borrowed(mat),
+            closure,
+            mat: Cow::Borrowed(mat),
             translate: None,
             n2: g2.node_count(),
         }
-    };
+    });
 
     // --- Future-work extension: arc-consistency prefiltering. ---
     let data = if cfg.prefilter {
@@ -661,6 +778,95 @@ mod tests {
         assert!(out.qual_sim <= 1.0);
     }
 
+    /// Builds the owning side of [`PreparedInputs`] the way an engine
+    /// would: full closure, compression when worthwhile, one bounded
+    /// closure.
+    fn prepare_for_test(
+        g2: &DiGraph<String>,
+        bound: Option<usize>,
+    ) -> (
+        TransitiveClosure,
+        Option<CompressedClosure<String>>,
+        Option<(usize, TransitiveClosure)>,
+    ) {
+        let closure = TransitiveClosure::new(g2);
+        let comp = phom_graph::compress_closure(g2);
+        let compressed =
+            compression_worthwhile(g2.node_count(), comp.graph.node_count()).then(|| {
+                CompressedClosure {
+                    closure: TransitiveClosure::new(&comp.graph),
+                    compressed: comp,
+                }
+            });
+        let bounded = bound.map(|k| (k, TransitiveClosure::bounded(g2, k)));
+        (closure, compressed, bounded)
+    }
+
+    #[test]
+    fn prepared_inputs_reproduce_unprepared_results() {
+        let (g1, g2, mat) = store_instance();
+        let w = NodeWeights::uniform(3);
+        for algorithm in [
+            Algorithm::MaxCard,
+            Algorithm::MaxCard1to1,
+            Algorithm::MaxSim,
+            Algorithm::MaxSim1to1,
+        ] {
+            for max_stretch in [None, Some(1), Some(2)] {
+                for restarts in [1, 3] {
+                    let cfg = MatcherConfig {
+                        algorithm,
+                        max_stretch,
+                        restarts,
+                        ..Default::default()
+                    };
+                    let plain = match_graphs(&g1, &g2, &mat, &w, &cfg);
+                    let (closure, compressed, bounded) = prepare_for_test(&g2, max_stretch);
+                    let prep = PreparedInputs {
+                        closure: &closure,
+                        bounded: bounded.as_ref().map(|(k, c)| (*k, c)),
+                        compressed: compressed.as_ref(),
+                    };
+                    let prepared = match_graphs_prepared(&g1, &g2, &mat, &w, &cfg, prep);
+                    assert_eq!(
+                        plain.mapping.pairs().collect::<Vec<_>>(),
+                        prepared.mapping.pairs().collect::<Vec<_>>(),
+                        "algorithm={algorithm:?} stretch={max_stretch:?} restarts={restarts}"
+                    );
+                    assert_eq!(plain.qual_card, prepared.qual_card);
+                    assert_eq!(plain.qual_sim, prepared.qual_sim);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_without_bounded_closure_rebuilds_locally() {
+        // A prepared view missing the *matching* bounded closure must
+        // still produce correct bounded results (local rebuild).
+        let g1 = graph_from_labels(&["a", "c"], &[("a", "c")]);
+        let g2 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let w = NodeWeights::uniform(2);
+        let closure = TransitiveClosure::new(&g2);
+        let wrong_k = TransitiveClosure::bounded(&g2, 5);
+        let prep = PreparedInputs {
+            closure: &closure,
+            bounded: Some((5, &wrong_k)), // query will ask for k = 1
+            compressed: None,
+        };
+        let cfg = MatcherConfig {
+            max_stretch: Some(1),
+            ..Default::default()
+        };
+        let out = match_graphs_prepared(&g1, &g2, &mat, &w, &cfg, prep);
+        assert!(
+            out.qual_card < 1.0,
+            "k=1 must not see the 2-hop path: {:?}",
+            out.mapping
+        );
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -753,6 +959,45 @@ mod tests {
                 // The equivalence claim is about *feasibility*: verifying
                 // validity (above) plus non-collapse:
                 prop_assert_eq!(plain.mapping.is_empty(), comp.mapping.is_empty());
+            }
+
+            /// Injecting precomputed artifacts must never change the
+            /// result: prepared and unprepared runs agree pair-for-pair
+            /// on every algorithm.
+            #[test]
+            fn prop_prepared_matches_unprepared((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let w = NodeWeights::uniform(g1.node_count());
+                let closure = TransitiveClosure::new(&g2);
+                let comp = phom_graph::compress_closure(&g2);
+                let compressed = compression_worthwhile(
+                    g2.node_count(),
+                    comp.graph.node_count(),
+                )
+                .then(|| CompressedClosure {
+                    closure: TransitiveClosure::new(&comp.graph),
+                    compressed: comp,
+                });
+                let prep = PreparedInputs {
+                    closure: &closure,
+                    bounded: None,
+                    compressed: compressed.as_ref(),
+                };
+                for algorithm in [
+                    Algorithm::MaxCard,
+                    Algorithm::MaxCard1to1,
+                    Algorithm::MaxSim,
+                    Algorithm::MaxSim1to1,
+                ] {
+                    let cfg = MatcherConfig { algorithm, ..Default::default() };
+                    let plain = match_graphs(&g1, &g2, &mat, &w, &cfg);
+                    let prepared = match_graphs_prepared(&g1, &g2, &mat, &w, &cfg, prep);
+                    prop_assert_eq!(
+                        plain.mapping.pairs().collect::<Vec<_>>(),
+                        prepared.mapping.pairs().collect::<Vec<_>>(),
+                        "algorithm={:?}", algorithm
+                    );
+                }
             }
         }
     }

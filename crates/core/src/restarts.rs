@@ -133,18 +133,17 @@ fn best_of<L: Sync>(
     } else {
         let mut out: Vec<Option<PHomMapping>> = vec![None; rcfg.restarts];
         let workers = rcfg.threads.min(rcfg.restarts);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (w, chunk) in out.chunks_mut(rcfg.restarts.div_ceil(workers)).enumerate() {
                 let run_one = &run_one;
                 let base = w * rcfg.restarts.div_ceil(workers);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(run_one(base + off));
                     }
                 });
             }
-        })
-        .expect("restart worker panicked");
+        });
         out.into_iter()
             .map(|m| m.expect("all restarts ran"))
             .collect()

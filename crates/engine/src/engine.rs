@@ -1,0 +1,559 @@
+//! The engine proper: an LRU cache of [`PreparedGraph`]s keyed by graph
+//! fingerprint, per-query execution against prepared artifacts, and a
+//! work-stealing batch executor over a scoped thread pool.
+
+use crate::planner::{plan_query, Plan, PlanKind, Query};
+use crate::prepared::PreparedGraph;
+use phom_core::{
+    exact_optimum_with, match_graphs_prepared, MatchOutcome, MatchStats, MatcherConfig, Objective,
+    PHomMapping,
+};
+use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_sim::{NodeWeights, SimMatrix};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Prepared graphs kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Batch worker threads; `0` = available parallelism.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 8,
+            threads: 0,
+        }
+    }
+}
+
+/// Monotone counters the engine keeps across its lifetime, snapshot via
+/// [`Engine::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Full preparations run (each computes the closure exactly once).
+    pub prepares: usize,
+    /// Prepared graphs served from the cache.
+    pub cache_hits: usize,
+    /// Queries executed.
+    pub queries: usize,
+    /// Queries routed to each strategy.
+    pub exact_plans: usize,
+    /// See [`EngineStats::exact_plans`].
+    pub approx_plans: usize,
+    /// See [`EngineStats::exact_plans`].
+    pub bounded_plans: usize,
+    /// See [`EngineStats::exact_plans`].
+    pub baseline_plans: usize,
+    /// Worker threads used by the most recent batch.
+    pub last_batch_workers: usize,
+    /// Workers observed simultaneously holding queries in the most
+    /// recent batch (the parallelism actually achieved at its start).
+    pub last_batch_peak_parallel: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    prepares: AtomicUsize,
+    cache_hits: AtomicUsize,
+    queries: AtomicUsize,
+    exact_plans: AtomicUsize,
+    approx_plans: AtomicUsize,
+    bounded_plans: AtomicUsize,
+    baseline_plans: AtomicUsize,
+    last_batch_workers: AtomicUsize,
+    last_batch_peak_parallel: AtomicUsize,
+}
+
+/// The result of one query: the matching outcome plus how the engine got
+/// there.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The matcher's outcome (mapping + quality metrics + run stats).
+    pub outcome: MatchOutcome,
+    /// The plan the query was routed to.
+    pub plan: Plan,
+    /// Wall-clock microseconds spent executing (excludes preparation).
+    pub micros: u128,
+}
+
+/// One batch's results plus the stats snapshot taken right after it.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query results, in input order.
+    pub results: Vec<QueryResult>,
+    /// Engine stats after the batch.
+    pub stats: EngineStats,
+}
+
+#[derive(Debug)]
+struct LruCache<L> {
+    map: HashMap<u64, (Arc<PreparedGraph<L>>, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<L> LruCache<L> {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<PreparedGraph<L>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|entry| {
+            entry.1 = tick;
+            Arc::clone(&entry.0)
+        })
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<PreparedGraph<L>>) {
+        self.tick += 1;
+        self.map.insert(key, (value, self.tick));
+        if self.map.len() > self.capacity {
+            if let Some(&evict) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&evict);
+            }
+        }
+    }
+}
+
+/// Structural fingerprint of a labeled digraph: node count, labels in id
+/// order, and the edge list. Two graphs with equal fingerprints are
+/// treated as the same prepared graph (64-bit key; collisions are
+/// astronomically unlikely for the workload sizes this serves).
+pub fn graph_fingerprint<L: Hash>(g: &DiGraph<L>) -> u64 {
+    let mut h = DefaultHasher::new();
+    g.node_count().hash(&mut h);
+    for v in g.nodes() {
+        g.label(v).hash(&mut h);
+    }
+    g.edge_count().hash(&mut h);
+    for (a, b) in g.edges() {
+        (a.0, b.0).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A long-lived matching engine: prepare a data graph once, answer many
+/// pattern queries against it, in parallel, with per-query planning.
+///
+/// ```
+/// use phom_engine::{Engine, Query};
+/// use phom_graph::graph_from_labels;
+/// use phom_sim::SimMatrix;
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(graph_from_labels(
+///     &["books", "cat", "school"],
+///     &[("books", "cat"), ("cat", "school")],
+/// ));
+/// let pattern = Arc::new(graph_from_labels(&["books", "school"], &[("books", "school")]));
+/// let mat = SimMatrix::label_equality(&pattern, &data);
+///
+/// let engine: Engine<String> = Engine::default();
+/// let batch = engine.execute_batch(&data, &[Query::new(pattern, mat)]);
+/// assert_eq!(batch.results[0].outcome.qual_card, 1.0);
+/// assert_eq!(batch.stats.prepares, 1);
+/// ```
+#[derive(Debug)]
+pub struct Engine<L> {
+    config: EngineConfig,
+    cache: Mutex<LruCache<L>>,
+    counters: Counters,
+}
+
+impl<L> Default for Engine<L> {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl<L> Engine<L> {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let capacity = config.cache_capacity;
+        Engine {
+            config,
+            cache: Mutex::new(LruCache::new(capacity)),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            prepares: c.prepares.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+            exact_plans: c.exact_plans.load(Ordering::Relaxed),
+            approx_plans: c.approx_plans.load(Ordering::Relaxed),
+            bounded_plans: c.bounded_plans.load(Ordering::Relaxed),
+            baseline_plans: c.baseline_plans.load(Ordering::Relaxed),
+            last_batch_workers: c.last_batch_workers.load(Ordering::Relaxed),
+            last_batch_peak_parallel: c.last_batch_peak_parallel.load(Ordering::Relaxed),
+        }
+    }
+
+    fn worker_count(&self, queries: usize) -> usize {
+        let hw = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        };
+        hw.min(queries).max(1)
+    }
+}
+
+impl<L: Clone + Hash> Engine<L> {
+    /// Returns the prepared form of `graph`, preparing it on a cache miss
+    /// (one closure computation) and serving it from the LRU thereafter.
+    pub fn prepare(&self, graph: &Arc<DiGraph<L>>) -> Arc<PreparedGraph<L>> {
+        let key = graph_fingerprint(graph);
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = cache.get(key) {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        // Prepare outside the lock: preparation is the expensive part and
+        // other graphs' lookups should not serialize behind it. A racing
+        // duplicate prepare for the *same* graph is benign (last insert
+        // wins; both Arcs are valid).
+        let prepared = Arc::new(PreparedGraph::new(Arc::clone(graph)));
+        self.counters.prepares.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.insert(key, Arc::clone(&prepared));
+        prepared
+    }
+}
+
+impl<L: Clone + Sync> Engine<L> {
+    /// Plans and executes one query against a prepared graph.
+    pub fn execute(&self, prepared: &PreparedGraph<L>, query: &Query<L>) -> QueryResult {
+        let plan = plan_query(query);
+        let started = Instant::now();
+        let weights = query.effective_weights();
+        let counter = match plan.kind {
+            PlanKind::Exact => &self.counters.exact_plans,
+            PlanKind::Approx => &self.counters.approx_plans,
+            PlanKind::Bounded => &self.counters.bounded_plans,
+            PlanKind::Baseline => &self.counters.baseline_plans,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+
+        let outcome = match plan.kind {
+            PlanKind::Exact => {
+                let objective = if query.config.algorithm.similarity() {
+                    Objective::Similarity
+                } else {
+                    Objective::Cardinality
+                };
+                // A stretch bound (reachable only via force_plan, since the
+                // planner routes bounded queries to Bounded) is honored by
+                // solving against the hop-bounded closure.
+                let bounded_arc = query
+                    .config
+                    .max_stretch
+                    .map(|k| prepared.bounded_closure(k));
+                let closure = bounded_arc.as_deref().unwrap_or_else(|| prepared.closure());
+                let mapping = exact_optimum_with(
+                    &*query.pattern,
+                    closure,
+                    &query.matrix,
+                    query.config.xi,
+                    query.config.algorithm.injective(),
+                    objective,
+                    &weights,
+                );
+                outcome_of(mapping, &query.matrix, &weights, query.config.xi)
+            }
+            PlanKind::Baseline => {
+                let mapping = baseline_assignment(
+                    &*query.pattern,
+                    prepared.closure(),
+                    &query.matrix,
+                    query.config.xi,
+                    query.config.algorithm.injective(),
+                );
+                outcome_of(mapping, &query.matrix, &weights, query.config.xi)
+            }
+            PlanKind::Approx | PlanKind::Bounded => {
+                let cfg = MatcherConfig {
+                    algorithm: query.config.algorithm,
+                    xi: query.config.xi,
+                    max_stretch: query.config.max_stretch,
+                    restarts: plan.restarts,
+                    ..Default::default()
+                };
+                // Hold the memoized bounded closure for the duration of
+                // the call; the borrowed view points into it.
+                let bounded_arc: Option<(usize, Arc<TransitiveClosure>)> = query
+                    .config
+                    .max_stretch
+                    .map(|k| (k, prepared.bounded_closure(k)));
+                let bounded_ref = bounded_arc.as_ref().map(|(k, c)| (*k, &**c));
+                match_graphs_prepared(
+                    &*query.pattern,
+                    prepared.graph(),
+                    &query.matrix,
+                    &weights,
+                    &cfg,
+                    prepared.inputs(bounded_ref),
+                )
+            }
+        };
+
+        QueryResult {
+            outcome,
+            plan,
+            micros: started.elapsed().as_micros(),
+        }
+    }
+}
+
+impl<L: Clone + Send + Sync + Hash> Engine<L> {
+    /// Prepares `graph` (or fetches it from the cache) and executes the
+    /// whole batch across the worker pool, returning per-query results in
+    /// input order plus a stats snapshot.
+    ///
+    /// Work distribution is stealing (a shared atomic index), so skewed
+    /// query costs do not idle workers. All workers synchronize on a
+    /// barrier after claiming their first query, which makes the achieved
+    /// start-of-batch parallelism observable in
+    /// [`EngineStats::last_batch_peak_parallel`].
+    pub fn execute_batch(&self, graph: &Arc<DiGraph<L>>, queries: &[Query<L>]) -> BatchOutcome {
+        let prepared = self.prepare(graph);
+        let workers = self.worker_count(queries.len());
+        self.counters
+            .last_batch_workers
+            .store(workers, Ordering::Relaxed);
+        self.counters
+            .last_batch_peak_parallel
+            .store(0, Ordering::Relaxed);
+
+        let results: Mutex<Vec<Option<QueryResult>>> =
+            Mutex::new((0..queries.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let in_flight = AtomicUsize::new(0);
+        let barrier = Barrier::new(workers);
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut first = true;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= queries.len() {
+                            if first {
+                                barrier.wait();
+                            }
+                            break;
+                        }
+                        let holding = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        self.counters
+                            .last_batch_peak_parallel
+                            .fetch_max(holding, Ordering::SeqCst);
+                        if first {
+                            // Rendezvous with every other worker while each
+                            // holds its first query: proves the batch is
+                            // actually concurrent before any work retires.
+                            barrier.wait();
+                            first = false;
+                        }
+                        let result = self.execute(&prepared, &queries[i]);
+                        let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
+                        slots[i] = Some(result);
+                        drop(slots);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+
+        let results = results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|r| r.expect("every query index was claimed by a worker"))
+            .collect();
+        BatchOutcome {
+            results,
+            stats: self.stats(),
+        }
+    }
+}
+
+/// Wraps a bare mapping in a [`MatchOutcome`] with the quality metrics
+/// the matcher would report.
+fn outcome_of(
+    mapping: PHomMapping,
+    mat: &SimMatrix,
+    weights: &NodeWeights,
+    xi: f64,
+) -> MatchOutcome {
+    let qual_card = mapping.qual_card();
+    let qual_sim = mapping.qual_sim(weights, mat);
+    MatchOutcome {
+        mapping,
+        qual_card,
+        qual_sim,
+        stats: MatchStats {
+            candidate_pairs: mat.candidate_pair_count(xi),
+            ..Default::default()
+        },
+    }
+}
+
+/// Best-candidate assignment for edgeless patterns: each pattern node
+/// independently takes its highest-scoring candidate at threshold `xi`
+/// (smallest id on ties, matching the Appendix-B singleton shortcut);
+/// injective mode claims data nodes greedily in pattern-id order.
+fn baseline_assignment<L>(
+    g1: &DiGraph<L>,
+    closure: &TransitiveClosure,
+    mat: &SimMatrix,
+    xi: f64,
+    injective: bool,
+) -> PHomMapping {
+    let mut mapping = PHomMapping::empty(g1.node_count());
+    let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for v in g1.nodes() {
+        let mut best: Option<(NodeId, f64)> = None;
+        for u in mat.candidates(v, xi) {
+            if g1.has_self_loop(v) && !closure.reaches(u, u) {
+                continue;
+            }
+            if injective && used.contains(&u) {
+                continue;
+            }
+            let s = mat.score(v, u);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((u, s));
+            }
+        }
+        if let Some((u, _)) = best {
+            mapping.set(v, u);
+            if injective {
+                used.insert(u);
+            }
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    fn data_graph() -> Arc<DiGraph<String>> {
+        Arc::new(graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "c"), ("c", "d")],
+        ))
+    }
+
+    fn simple_query(data: &DiGraph<String>) -> Query<String> {
+        let pattern = Arc::new(graph_from_labels(&["a", "c"], &[("a", "c")]));
+        let mat = SimMatrix::label_equality(&pattern, data);
+        Query::new(pattern, mat)
+    }
+
+    #[test]
+    fn cache_hits_skip_preparation() {
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let p1 = engine.prepare(&g);
+        let p2 = engine.prepare(&g);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // A structurally equal but distinct allocation also hits.
+        let g2 = data_graph();
+        let p3 = engine.prepare(&g2);
+        assert!(Arc::ptr_eq(&p1, &p3));
+        let stats = engine.stats();
+        assert_eq!(stats.prepares, 1);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let engine: Engine<String> = Engine::new(EngineConfig {
+            cache_capacity: 2,
+            threads: 1,
+        });
+        let mk = |tag: &str| Arc::new(graph_from_labels(&[tag, "x"], &[(tag, "x")]));
+        let (ga, gb, gc) = (mk("a"), mk("b"), mk("c"));
+        engine.prepare(&ga);
+        engine.prepare(&gb);
+        engine.prepare(&ga); // refresh a; b becomes LRU
+        engine.prepare(&gc); // evicts b
+        engine.prepare(&ga);
+        assert_eq!(engine.stats().prepares, 3, "a, b, c each prepared once");
+        engine.prepare(&gb); // miss: was evicted
+        assert_eq!(engine.stats().prepares, 4);
+    }
+
+    #[test]
+    fn execute_matches_direct_call() {
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let prepared = engine.prepare(&g);
+        let q = simple_query(&g);
+        let result = engine.execute(&prepared, &q);
+        assert_eq!(result.outcome.qual_card, 1.0, "a ⇝ c via 2-hop path");
+    }
+
+    #[test]
+    fn batch_returns_results_in_input_order() {
+        let engine: Engine<String> = Engine::new(EngineConfig {
+            cache_capacity: 4,
+            threads: 2,
+        });
+        let g = data_graph();
+        let queries: Vec<Query<String>> = (0..8).map(|_| simple_query(&g)).collect();
+        let batch = engine.execute_batch(&g, &queries);
+        assert_eq!(batch.results.len(), 8);
+        assert!(batch.results.iter().all(|r| r.outcome.qual_card == 1.0));
+        assert_eq!(batch.stats.prepares, 1, "one closure for the whole batch");
+        assert_eq!(batch.stats.queries, 8);
+        assert_eq!(batch.stats.last_batch_workers, 2);
+        assert!(batch.stats.last_batch_peak_parallel >= 2);
+    }
+
+    #[test]
+    fn baseline_assignment_respects_injectivity() {
+        let mut g: DiGraph<&str> = DiGraph::new();
+        g.add_node("x");
+        g.add_node("x");
+        let mut data: DiGraph<&str> = DiGraph::new();
+        data.add_node("x");
+        let mat = SimMatrix::label_equality(&g, &data);
+        let closure = TransitiveClosure::new(&data);
+        let free = baseline_assignment(&g, &closure, &mat, 0.5, false);
+        assert_eq!(free.qual_card(), 1.0, "both map to the one data node");
+        let inj = baseline_assignment(&g, &closure, &mat, 0.5, true);
+        assert_eq!(inj.qual_card(), 0.5, "only one may claim it");
+        assert!(inj.is_injective());
+    }
+}

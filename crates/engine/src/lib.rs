@@ -1,0 +1,60 @@
+//! # phom-engine
+//!
+//! A **prepared-graph matching engine** for the p-homomorphism algorithms
+//! of *Graph Homomorphism Revisited for Graph Matching* (Fan et al.,
+//! VLDB 2010).
+//!
+//! Every algorithm in `phom-core` pays the same dominant preprocessing
+//! cost — the transitive closure `G2+` (and, with Appendix B enabled, the
+//! compressed graph `G2*` plus *its* closure) — yet a service matching
+//! many patterns against the same data graph should pay it **once**, not
+//! per query. This crate separates the two concerns, in the spirit of
+//! factorized/prepared representations that a query engine then evaluates
+//! many queries over:
+//!
+//! * [`PreparedGraph`] — computes and holds the full closure, SCC data,
+//!   the Appendix-B compressed graph (when profitable), lazily memoized
+//!   hop-bounded closures, and degree-based data-node weights, all
+//!   behind `Arc` for zero-copy sharing across threads;
+//! * [`planner`] — routes each [`Query`] to `exact` branch-and-bound,
+//!   the greedy approximation (optionally with restarts), the
+//!   bounded-stretch variant, or a best-candidate baseline, using the
+//!   `phom_core::bounds::prefer_exact` cost model;
+//! * [`Engine`] — an LRU cache of prepared graphs keyed by structural
+//!   fingerprint, plus [`Engine::execute_batch`]: a work-stealing scoped
+//!   thread pool that fans a batch of queries out in parallel and
+//!   reports [`EngineStats`] (closures computed, cache hits, plans
+//!   chosen, achieved parallelism).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use phom_engine::{Engine, Query};
+//! use phom_graph::graph_from_labels;
+//! use phom_sim::SimMatrix;
+//! use std::sync::Arc;
+//!
+//! let data = Arc::new(graph_from_labels(
+//!     &["home", "cat", "item"],
+//!     &[("home", "cat"), ("cat", "item")],
+//! ));
+//! let pattern = Arc::new(graph_from_labels(&["home", "item"], &[("home", "item")]));
+//! let mat = SimMatrix::label_equality(&pattern, &data);
+//!
+//! let engine: Engine<String> = Engine::default();
+//! let batch = engine.execute_batch(&data, &[Query::new(pattern, mat)]);
+//! assert_eq!(batch.results[0].outcome.qual_card, 1.0);
+//! // The whole batch shared one preparation:
+//! assert_eq!(batch.stats.prepares, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod planner;
+pub mod prepared;
+
+pub use engine::{graph_fingerprint, BatchOutcome, Engine, EngineConfig, EngineStats, QueryResult};
+pub use planner::{plan_query, Plan, PlanKind, Query, QueryConfig};
+pub use prepared::{PrepareStats, PreparedGraph};

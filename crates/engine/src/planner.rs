@@ -1,0 +1,233 @@
+//! The query planner: inspects one [`Query`] (pattern size, stretch
+//! bound, injectivity, candidate-pair count) and routes it to the
+//! execution strategy the cost model prefers, mirroring Appendix B's
+//! observation that tiny product graphs are cheaper to solve *exactly*
+//! (`phom_core::bounds::prefer_exact`) while large ones need the greedy
+//! approximation with its Theorem 5.1 guarantee.
+
+use phom_core::{bounds, Algorithm};
+use phom_graph::DiGraph;
+use phom_sim::{NodeWeights, SimMatrix};
+use std::sync::Arc;
+
+/// Per-query knobs (the pattern-side half of a
+/// [`phom_core::MatcherConfig`], plus planner hints).
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Similarity threshold `ξ`.
+    pub xi: f64,
+    /// Which of the four Table-1 problems to solve.
+    pub algorithm: Algorithm,
+    /// Bounded-stretch matching: image paths of at most this many edges.
+    pub max_stretch: Option<usize>,
+    /// Randomized restarts; `None` lets the planner choose.
+    pub restarts: Option<usize>,
+    /// Bypass the planner and force a strategy. `PlanKind::Baseline` is
+    /// only sound for edgeless patterns (the planner never picks it
+    /// otherwise); forcing it on a pattern with edges may return an
+    /// invalid p-hom mapping.
+    pub force_plan: Option<PlanKind>,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            xi: 0.5,
+            algorithm: Algorithm::MaxCard,
+            max_stretch: None,
+            restarts: None,
+            force_plan: None,
+        }
+    }
+}
+
+/// One pattern query against a prepared data graph.
+#[derive(Debug, Clone)]
+pub struct Query<L> {
+    /// The pattern `G1`.
+    pub pattern: Arc<DiGraph<L>>,
+    /// Node-similarity matrix (`pattern.node_count()` ×
+    /// `data.node_count()`).
+    pub matrix: SimMatrix,
+    /// `qualSim` weights over the pattern; `None` = uniform.
+    pub weights: Option<NodeWeights>,
+    /// Query configuration.
+    pub config: QueryConfig,
+}
+
+impl<L> Query<L> {
+    /// A query with default configuration.
+    pub fn new(pattern: Arc<DiGraph<L>>, matrix: SimMatrix) -> Self {
+        Query {
+            pattern,
+            matrix,
+            weights: None,
+            config: QueryConfig::default(),
+        }
+    }
+
+    /// The weights to score `qualSim` with (uniform when unset).
+    pub fn effective_weights(&self) -> NodeWeights {
+        self.weights
+            .clone()
+            .unwrap_or_else(|| NodeWeights::uniform(self.pattern.node_count()))
+    }
+}
+
+/// The execution strategy a query was routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Branch-and-bound exact optimum (tiny candidate sets only).
+    Exact,
+    /// The paper's greedy approximation (`compMaxCard`/`compMaxSim`
+    /// via the Appendix-B matcher), possibly with restarts.
+    Approx,
+    /// Approximation against the hop-bounded closure (stretch bound).
+    Bounded,
+    /// Independent best-candidate assignment — the degenerate strategy
+    /// for edgeless patterns, where p-hom imposes no path constraints.
+    Baseline,
+}
+
+impl PlanKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::Exact => "exact",
+            PlanKind::Approx => "approx",
+            PlanKind::Bounded => "bounded",
+            PlanKind::Baseline => "baseline",
+        }
+    }
+}
+
+/// A routing decision plus the planner's rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Plan {
+    /// Chosen strategy.
+    pub kind: PlanKind,
+    /// Restarts the executor should run (1 = the paper's algorithm).
+    pub restarts: usize,
+    /// Human-readable rationale (for engine stats / EXPLAIN output).
+    pub reason: &'static str,
+}
+
+/// Candidate-pair count below which restarts are cheap enough to be the
+/// default for unbounded approximate plans.
+const RESTART_FRIENDLY_PAIRS: usize = 2_048;
+
+fn pick_restarts(requested: Option<usize>, candidate_pairs: usize) -> usize {
+    requested.unwrap_or(if candidate_pairs <= RESTART_FRIENDLY_PAIRS {
+        4
+    } else {
+        1
+    })
+}
+
+/// Routes a query. Deterministic in the query alone (the prepared data
+/// graph's artifacts do not change the choice, only its cost).
+pub fn plan_query<L>(query: &Query<L>) -> Plan {
+    let candidate_pairs = query.matrix.candidate_pair_count(query.config.xi);
+    let restarts = pick_restarts(query.config.restarts, candidate_pairs);
+    if let Some(kind) = query.config.force_plan {
+        return Plan {
+            kind,
+            restarts,
+            reason: "forced by query config",
+        };
+    }
+    if query.config.max_stretch.is_some() {
+        return Plan {
+            kind: PlanKind::Bounded,
+            restarts,
+            reason: "stretch bound requires the hop-bounded closure",
+        };
+    }
+    if query.pattern.edge_count() == 0 {
+        return Plan {
+            kind: PlanKind::Baseline,
+            restarts: 1,
+            reason: "edgeless pattern: no path constraints to satisfy",
+        };
+    }
+    if bounds::prefer_exact(candidate_pairs) {
+        return Plan {
+            kind: PlanKind::Exact,
+            restarts: 1,
+            reason: "tiny candidate set: exact branch-and-bound is affordable",
+        };
+    }
+    Plan {
+        kind: PlanKind::Approx,
+        restarts,
+        reason: "greedy approximation with the Theorem 5.1 guarantee",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+
+    fn query_for(n_labels: usize, edges: &[(&str, &str)]) -> Query<String> {
+        let labels: Vec<String> = (0..n_labels).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        let g1 = Arc::new(graph_from_labels(&refs, edges));
+        // Dense all-ones matrix against a 40-node data side: candidate
+        // count = n_labels * 40.
+        let matrix = SimMatrix::from_fn(n_labels, 40, |_, _| 1.0);
+        Query::new(g1, matrix)
+    }
+
+    #[test]
+    fn stretch_routes_to_bounded() {
+        let mut q = query_for(3, &[("n0", "n1")]);
+        q.config.max_stretch = Some(2);
+        assert_eq!(plan_query(&q).kind, PlanKind::Bounded);
+    }
+
+    #[test]
+    fn edgeless_routes_to_baseline() {
+        let q = query_for(3, &[]);
+        assert_eq!(plan_query(&q).kind, PlanKind::Baseline);
+    }
+
+    #[test]
+    fn tiny_candidate_set_routes_to_exact() {
+        let mut q = query_for(2, &[("n0", "n1")]);
+        // Shrink the candidate set below the prefer_exact cutoff.
+        q.matrix = SimMatrix::from_fn(2, 40, |v, u| {
+            if u.index() < 8 && v.index() == u.index() % 2 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let plan = plan_query(&q);
+        assert_eq!(plan.kind, PlanKind::Exact);
+        assert_eq!(plan.restarts, 1);
+    }
+
+    #[test]
+    fn large_instance_routes_to_approx() {
+        let q = query_for(10, &[("n0", "n1"), ("n1", "n2")]);
+        let plan = plan_query(&q);
+        assert_eq!(plan.kind, PlanKind::Approx);
+        assert_eq!(plan.restarts, 4, "400 candidate pairs: restart-friendly");
+    }
+
+    #[test]
+    fn requested_restarts_win() {
+        let mut q = query_for(10, &[("n0", "n1")]);
+        q.config.restarts = Some(9);
+        assert_eq!(plan_query(&q).restarts, 9);
+    }
+
+    #[test]
+    fn force_plan_bypasses_routing() {
+        let mut q = query_for(10, &[("n0", "n1")]);
+        q.config.force_plan = Some(PlanKind::Approx);
+        q.config.max_stretch = Some(1); // would otherwise route Bounded
+        assert_eq!(plan_query(&q).kind, PlanKind::Approx);
+    }
+}

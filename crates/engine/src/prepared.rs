@@ -1,0 +1,233 @@
+//! [`PreparedGraph`]: the query-independent artifacts of one data graph,
+//! computed once and shared (behind `Arc`) across every query the engine
+//! answers against that graph.
+//!
+//! The paper's algorithms all start by building the transitive closure
+//! `G2+` (Fig. 3 line 5) — the dominant preprocessing cost. A prepared
+//! graph hoists that cost out of the per-query path:
+//!
+//! * the **full proper closure** `G2+` (via one SCC condensation pass);
+//! * the **SCC decomposition** itself (reused by the closure build and
+//!   exposed for diagnostics);
+//! * the **compressed graph** `G2*` of Appendix B plus *its* closure,
+//!   kept only when compression actually shrinks the graph;
+//! * **hop-bounded closures** for bounded-stretch queries, built lazily
+//!   per distinct bound `k` and memoized;
+//! * degree-based **node weights** of the data graph (importance ranking
+//!   for result display and workload skimming).
+
+use phom_core::{compression_worthwhile, CompressedClosure, PreparedInputs};
+use phom_graph::{compress_closure, tarjan_scc, DiGraph, SccResult, TransitiveClosure};
+use phom_sim::NodeWeights;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What one [`PreparedGraph::new`] computed, and how long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Data-graph node count.
+    pub nodes: usize,
+    /// Data-graph edge count.
+    pub edges: usize,
+    /// Strongly connected components.
+    pub scc_count: usize,
+    /// Reachable pairs in the full closure, `|E+|`.
+    pub closure_edges: usize,
+    /// Compressed node count when Appendix-B compression was kept.
+    pub compressed_nodes: Option<usize>,
+    /// Wall-clock microseconds spent preparing.
+    pub prepare_micros: u128,
+}
+
+/// A data graph plus every query-independent index the matching
+/// algorithms consume. Cheap to share: all fields are immutable after
+/// construction except the lazily grown bounded-closure memo.
+#[derive(Debug)]
+pub struct PreparedGraph<L> {
+    graph: Arc<DiGraph<L>>,
+    scc: SccResult,
+    closure: Arc<TransitiveClosure>,
+    compressed: Option<CompressedClosure<L>>,
+    data_weights: NodeWeights,
+    bounded: Mutex<HashMap<usize, Arc<TransitiveClosure>>>,
+    bounded_computed: AtomicUsize,
+    stats: PrepareStats,
+}
+
+impl<L: Clone> PreparedGraph<L> {
+    /// Prepares `graph`: SCC decomposition, full closure, compression
+    /// decision (kept only when [`compression_worthwhile`]), and
+    /// degree-based node weights.
+    pub fn new(graph: Arc<DiGraph<L>>) -> Self {
+        let started = Instant::now();
+        let scc = tarjan_scc(&*graph);
+        let closure = TransitiveClosure::from_scc(&*graph, &scc);
+        let comp = compress_closure(&*graph);
+        let compressed =
+            compression_worthwhile(graph.node_count(), comp.graph.node_count()).then(|| {
+                CompressedClosure {
+                    closure: TransitiveClosure::new(&comp.graph),
+                    compressed: comp,
+                }
+            });
+        let data_weights = NodeWeights::by_degree(&*graph);
+        let stats = PrepareStats {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            scc_count: scc.count(),
+            closure_edges: closure.edge_count(),
+            compressed_nodes: compressed
+                .as_ref()
+                .map(|cc| cc.compressed.graph.node_count()),
+            prepare_micros: started.elapsed().as_micros(),
+        };
+        PreparedGraph {
+            graph,
+            scc,
+            closure: Arc::new(closure),
+            compressed,
+            data_weights,
+            bounded: Mutex::new(HashMap::new()),
+            bounded_computed: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// The underlying data graph.
+    pub fn graph(&self) -> &Arc<DiGraph<L>> {
+        &self.graph
+    }
+
+    /// The full proper closure `G2+`.
+    pub fn closure(&self) -> &TransitiveClosure {
+        &self.closure
+    }
+
+    /// The SCC decomposition the closure was built from.
+    pub fn scc(&self) -> &SccResult {
+        &self.scc
+    }
+
+    /// Appendix-B compressed graph + closure, when kept.
+    pub fn compressed(&self) -> Option<&CompressedClosure<L>> {
+        self.compressed.as_ref()
+    }
+
+    /// Degree-based importance weights of the data-graph nodes.
+    pub fn data_weights(&self) -> &NodeWeights {
+        &self.data_weights
+    }
+
+    /// Preparation statistics.
+    pub fn stats(&self) -> &PrepareStats {
+        &self.stats
+    }
+
+    /// The hop-bounded closure for stretch bound `k`, building and
+    /// memoizing it on first use. Bounds at or above the node count
+    /// coincide with the full closure, which is returned without a build.
+    pub fn bounded_closure(&self, k: usize) -> Arc<TransitiveClosure> {
+        if k >= self.graph.node_count().max(1) {
+            return Arc::clone(&self.closure);
+        }
+        let mut memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = memo.get(&k) {
+            return Arc::clone(c);
+        }
+        let built = Arc::new(TransitiveClosure::bounded(&*self.graph, k));
+        self.bounded_computed.fetch_add(1, Ordering::Relaxed);
+        memo.insert(k, Arc::clone(&built));
+        built
+    }
+
+    /// How many distinct hop-bounded closures have been built so far.
+    pub fn bounded_closures_computed(&self) -> usize {
+        self.bounded_computed.load(Ordering::Relaxed)
+    }
+
+    /// Assembles the borrowed view [`phom_core::match_graphs_prepared`]
+    /// consumes. `bounded` must be the memoized closure for the query's
+    /// stretch bound when one applies (see [`PreparedGraph::bounded_closure`]).
+    pub fn inputs<'a>(
+        &'a self,
+        bounded: Option<(usize, &'a TransitiveClosure)>,
+    ) -> PreparedInputs<'a, L> {
+        PreparedInputs {
+            closure: &self.closure,
+            bounded,
+            compressed: self.compressed.as_ref(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::{graph_from_labels, NodeId};
+
+    fn cyclic_graph() -> Arc<DiGraph<String>> {
+        Arc::new(graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
+        ))
+    }
+
+    #[test]
+    fn prepare_computes_closure_and_scc() {
+        let p = PreparedGraph::new(cyclic_graph());
+        assert_eq!(p.stats().nodes, 4);
+        assert_eq!(p.stats().scc_count, 3, "{{a,b}} collapses");
+        assert!(p.closure().reaches(NodeId(0), NodeId(3)));
+        assert!(p.closure().reaches(NodeId(0), NodeId(0)), "on a cycle");
+        assert!(!p.closure().reaches(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn bounded_closures_are_memoized() {
+        let p = PreparedGraph::new(cyclic_graph());
+        assert_eq!(p.bounded_closures_computed(), 0);
+        let c1 = p.bounded_closure(1);
+        let c1_again = p.bounded_closure(1);
+        assert_eq!(p.bounded_closures_computed(), 1, "second call is a hit");
+        assert!(Arc::ptr_eq(&c1, &c1_again));
+        let _c2 = p.bounded_closure(2);
+        assert_eq!(p.bounded_closures_computed(), 2);
+        assert!(!c1.reaches(NodeId(0), NodeId(3)), "3 hops exceed k=1");
+    }
+
+    #[test]
+    fn huge_bound_reuses_full_closure() {
+        let p = PreparedGraph::new(cyclic_graph());
+        let c = p.bounded_closure(100);
+        assert_eq!(p.bounded_closures_computed(), 0, "no bounded build");
+        for u in p.graph().nodes() {
+            for v in p.graph().nodes() {
+                assert_eq!(c.reaches(u, v), p.closure().reaches(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_skips_compression() {
+        let p = PreparedGraph::new(Arc::new(graph_from_labels(
+            &["a", "b", "c"],
+            &[("a", "b"), ("b", "c")],
+        )));
+        assert!(p.compressed().is_none(), "condensation does not shrink");
+        assert_eq!(p.stats().compressed_nodes, None);
+    }
+
+    #[test]
+    fn cyclic_enough_graph_keeps_compression() {
+        // 5 nodes, a 3-cycle collapses: 3 compressed nodes for 5 original.
+        let p = PreparedGraph::new(Arc::new(graph_from_labels(
+            &["a", "b", "c", "d", "e"],
+            &[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b"), ("d", "e")],
+        )));
+        let cc = p.compressed().expect("3-cycle shrinks the graph");
+        assert_eq!(cc.compressed.graph.node_count(), 3);
+        assert_eq!(p.stats().compressed_nodes, Some(3));
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline shim for the subset of the `bytes` crate the snapshot format in
+//! `phom_graph::serialize` uses: big-endian u32 put/get, slices, freezing,
+//! and cursor-style consumption.
+
+#![forbid(unsafe_code)]
+
+/// Read-side cursor over an immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copies the *remaining* bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new `Bytes` over the given sub-range of the remaining
+    /// bytes (copying; the shim does not share buffers).
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[self.pos + range.start..self.pos + range.end].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the next `n` bytes as a new `Bytes`,
+    /// advancing this cursor past them.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Bytes { data: head, pos: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+/// Write-side growable buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freezes into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Read methods (the `bytes::Buf` subset used here).
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+    /// Reads a big-endian `u32`, advancing the cursor.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32 past end");
+        let b = &self.data[self.pos..self.pos + 4];
+        self.pos += 4;
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+}
+
+/// Write methods (the `bytes::BufMut` subset used here).
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_slice(b"hi");
+        w.put_u32(7);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.split_to(2).to_vec(), b"hi".to_vec());
+        assert_eq!(r.get_u32(), 7);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline shim for the `parking_lot::Mutex` API, backed by
+//! `std::sync::Mutex`. `lock()` returns the guard directly (poisoning is
+//! converted into the inner value, matching parking_lot's no-poisoning
+//! semantics).
+
+#![forbid(unsafe_code)]
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,595 @@
+//! Offline property-testing shim for the subset of the `proptest` API this
+//! workspace uses: `Strategy` (with `prop_map` / `prop_flat_map`), range
+//! and tuple strategies, `collection::vec`, `sample::subsequence`,
+//! `any::<T>()`, the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), and `prop_assert*` / `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking — failures report the
+//! case's seed and generated inputs via the assertion message instead.
+//! Generation is deterministic: the per-test RNG is seeded from the test
+//! function's name, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Why a generated test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String-literal strategies: a `&str` is treated as a (tiny subset of a)
+/// regex and generates matching `String`s. Supported syntax: literal
+/// characters, character classes `[a-z0-9_]` (ranges and singletons), and
+/// the repetitions `{m}`, `{m,n}`, `*` (0..=8), `+` (1..=8), `?` on the
+/// preceding atom — the subset this workspace's tests use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        #[derive(Clone)]
+        enum Atom {
+            Lit(char),
+            Class(Vec<(char, char)>),
+        }
+        let chars: Vec<char> = self.chars().collect();
+        let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unclosed [ in pattern")
+                        + i;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 2;
+                    Atom::Lit(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition"),
+                        hi.trim().parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, min, max));
+        }
+
+        let mut out = String::new();
+        for (atom, min, max) in atoms {
+            let reps = if min == max {
+                min
+            } else {
+                rng.random_range(min..=max)
+            };
+            for _ in 0..reps {
+                match &atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.random_range(lo as u32..=hi as u32))
+                                .expect("invalid char range"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Marker for types `any::<T>()` can generate.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating any value of `T` (the primitive subset).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeBounds, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rng.random_range(self.min..=self.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with a length drawn from
+    /// `size` (a `usize`, `Range`, or `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+/// Sampling strategies over existing collections.
+pub mod sample {
+    use super::{SizeBounds, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`subsequence`].
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<T> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rng.random_range(self.min..=self.max)
+            };
+            // Reservoir-free order-preserving pick: choose `len` distinct
+            // indices by a partial Fisher–Yates over the index space.
+            let n = self.items.len();
+            assert!(len <= n, "subsequence longer than source");
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..len {
+                let j = rng.random_range(i..n);
+                idx.swap(i, j);
+            }
+            let mut picked = idx[..len].to_vec();
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+
+    /// Generates order-preserving subsequences of `items` whose length is
+    /// drawn from `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl SizeBounds) -> Subsequence<T> {
+        let (min, max) = size.bounds();
+        Subsequence { items, min, max }
+    }
+}
+
+/// Size specifications accepted by [`collection::vec`] and
+/// [`sample::subsequence`].
+pub trait SizeBounds {
+    /// `(min, max)` with `max` inclusive.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeBounds for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Seeds the per-test RNG deterministically from the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a; any stable string hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    pub use rand::rngs::SmallRng;
+    pub use rand::{Rng, SeedableRng};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::prelude::SmallRng as $crate::prelude::SeedableRng>::
+                seed_from_u64($crate::seed_for(concat!(module_path!(), "::", stringify!($name))));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20).max(1000) {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases
+                    );
+                }
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let case = || -> $crate::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                match case() {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed on case {}: {}", stringify!($name), accepted, msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn mapped_values_are_even(x in evens()) {
+            prop_assert!(x % 2 == 0, "odd {x}");
+        }
+
+        #[test]
+        fn tuples_and_vecs((a, b) in (1usize..5, 0usize..3), v in crate::collection::vec(0u32..10, 0..6)) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!(b < 3);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn flat_map_threads_context(v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0usize..n, n))) {
+            prop_assert!(!v.is_empty());
+            let n = v.len();
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_is_honored(x in any::<bool>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn subsequence_is_ordered_subset() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let items: Vec<usize> = (0..9).collect();
+        for _ in 0..100 {
+            let s = crate::sample::subsequence(items.clone(), 3).generate(&mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline no-op shim for `serde`'s derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on plain-data structs (no code calls `serde_json` or bounds on the
+//! traits), so in this network-less build the derives expand to nothing.
+//! Swapping in real serde later requires only replacing this shim with the
+//! crates.io dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted and discarded.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted and discarded.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

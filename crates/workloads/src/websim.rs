@@ -171,7 +171,7 @@ impl SiteSpec {
 }
 
 /// A Web page: stable URL-ish identity plus a token stream (its content).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Page {
     /// Stable page id across versions (for diagnostics only — matching
     /// never looks at it).

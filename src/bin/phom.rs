@@ -6,6 +6,8 @@
 //! phom decide   <pattern.graph> <data.graph> [--xi F] [--one-to-one] [--max-stretch K]
 //! phom stats    <file.graph>
 //! phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]
+//! phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]
+//!               [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]
 //! ```
 //!
 //! Graph files use the text format of `phom_graph::serialize`
@@ -35,7 +37,9 @@ fn main() -> ExitCode {
              phom decide   <pattern> <data> [--xi F] [--one-to-one] [--text-sim W]\n\
              \x20                           [--max-stretch K]\n\
              phom stats    <file>\n\
-             phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]"
+             phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]\n\
+             phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]\n\
+             \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]"
         );
         return ExitCode::SUCCESS;
     }
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         "decide" => cmd_decide(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "engine-batch" => cmd_engine_batch(&args[1..]),
         other => fail(&format!("unknown command {other:?}")),
     }
 }
@@ -62,6 +67,10 @@ struct Flags {
     nodes: usize,
     noise: f64,
     seed: u64,
+    workload: String,
+    queries: usize,
+    threads: usize,
+    cold: bool,
     files: Vec<String>,
 }
 
@@ -79,6 +88,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         nodes: 100,
         noise: 0.1,
         seed: 2010,
+        workload: "synthetic".to_owned(),
+        queries: 100,
+        threads: 0,
+        cold: false,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -138,6 +151,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs an integer")?;
             }
+            "--workload" => {
+                f.workload = it
+                    .next()
+                    .cloned()
+                    .ok_or("--workload needs synthetic|websim")?;
+            }
+            "--queries" => {
+                f.queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--queries needs a positive count")?;
+            }
+            "--threads" => {
+                f.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a count (0 = all cores)")?;
+            }
+            "--cold" => f.cold = true,
             "--one-to-one" => f.one_to_one = true,
             "--exact" => f.exact = true,
             "--witness" => f.witness = true,
@@ -398,5 +430,196 @@ fn cmd_stats(args: &[String]) -> ExitCode {
         .map(|(k, c)| format!("2^{k}:{c}"))
         .collect();
     println!("degree histogram (log buckets) = {}", rendered.join(" "));
+    ExitCode::SUCCESS
+}
+
+/// `phom engine-batch`: generates a workload-driven batch of pattern
+/// queries against one data graph and runs it through the prepared-graph
+/// engine, reporting plans chosen, closure reuse, and parallelism. With
+/// `--cold`, re-runs every query through the unprepared per-query path
+/// (`match_graphs`, closure rebuilt each time) and reports the speedup.
+fn cmd_engine_batch(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if !f.files.is_empty() {
+        return fail("engine-batch takes no file arguments (use --workload)");
+    }
+    match f.workload.as_str() {
+        "synthetic" => {
+            let cfg = SyntheticConfig {
+                m: f.nodes,
+                noise: f.noise,
+                seed: f.seed,
+            };
+            let inst = phom::workloads::generate_instance(&cfg, 1);
+            let data = std::sync::Arc::new(inst.g2.clone());
+            // Service-shaped queries: small patterns (sliding windows of
+            // the template) against one large prepared data graph — the
+            // regime where the shared closure dominates per-query cost.
+            let pattern_nodes = (f.nodes / 5).clamp(4, 40).min(f.nodes);
+            let windows: Vec<std::sync::Arc<DiGraph<_>>> = (0..8)
+                .map(|w| {
+                    let lo = (w * f.nodes / 8).min(f.nodes - pattern_nodes);
+                    let keep: std::collections::BTreeSet<NodeId> =
+                        (lo..lo + pattern_nodes).map(|i| NodeId(i as u32)).collect();
+                    std::sync::Arc::new(inst.g1.induced_subgraph(&keep).0)
+                })
+                .collect();
+            let queries: Vec<Query<phom::workloads::synthetic::Label>> = (0..f.queries)
+                .map(|i| {
+                    let pattern = std::sync::Arc::clone(&windows[i % windows.len()]);
+                    let mat =
+                        SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
+                            inst.pool.similarity(*pattern.label(v), *data.label(u))
+                        });
+                    mixed_query(pattern, mat, f.xi, i)
+                })
+                .collect();
+            run_engine_batch(&data, queries, &f)
+        }
+        "websim" => {
+            let spec = SiteSpec::test_scale(SiteCategory::ALL[0], f.seed);
+            let archive = phom::workloads::generate_archive(&spec);
+            let data = std::sync::Arc::new(archive.versions[0].clone());
+            let patterns: Vec<std::sync::Arc<_>> = archive.versions[1..]
+                .iter()
+                .map(|v| std::sync::Arc::new(skeleton_top_k(v, 20).graph))
+                .collect();
+            if patterns.is_empty() {
+                return fail("websim archive has a single version; nothing to query");
+            }
+            let queries: Vec<Query<phom::workloads::Page>> = (0..f.queries)
+                .map(|i| {
+                    let pattern = std::sync::Arc::clone(&patterns[i % patterns.len()]);
+                    let mat = shingle_matrix(&pattern, &data, 3);
+                    mixed_query(pattern, mat, f.xi, i)
+                })
+                .collect();
+            run_engine_batch(&data, queries, &f)
+        }
+        other => fail(&format!("unknown workload {other:?} (synthetic|websim)")),
+    }
+}
+
+/// Builds query `i` of a mixed batch: the four algorithms round-robin,
+/// every 5th query carries a stretch bound, every 9th pins restarts.
+fn mixed_query<L>(
+    pattern: std::sync::Arc<DiGraph<L>>,
+    matrix: SimMatrix,
+    xi: f64,
+    i: usize,
+) -> Query<L> {
+    let algorithms = [
+        Algorithm::MaxCard,
+        Algorithm::MaxCard1to1,
+        Algorithm::MaxSim,
+        Algorithm::MaxSim1to1,
+    ];
+    let mut q = Query::new(pattern, matrix);
+    q.config = QueryConfig {
+        xi,
+        algorithm: algorithms[i % 4],
+        max_stretch: (i % 5 == 4).then_some(3),
+        restarts: (i % 9 == 8).then_some(3),
+        force_plan: None,
+    };
+    q
+}
+
+fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
+    data: &std::sync::Arc<DiGraph<L>>,
+    queries: Vec<Query<L>>,
+    f: &Flags,
+) -> ExitCode {
+    let engine: Engine<L> = Engine::new(EngineConfig {
+        cache_capacity: 8,
+        threads: f.threads,
+    });
+    let started = std::time::Instant::now();
+    let batch = engine.execute_batch(data, &queries);
+    let elapsed = started.elapsed();
+    let stats = &batch.stats;
+
+    let prep = engine.prepare(data); // cache hit: reuse for reporting
+    let pstats = prep.stats();
+    println!(
+        "data graph: {} nodes, {} edges, {} SCCs, |E+| = {}{}",
+        pstats.nodes,
+        pstats.edges,
+        pstats.scc_count,
+        pstats.closure_edges,
+        match pstats.compressed_nodes {
+            Some(c) => format!(", compressed to {c} nodes"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "prepared once in {:.2} ms; closure computations: {} (cache hits {})",
+        pstats.prepare_micros as f64 / 1e3,
+        stats.prepares,
+        stats.cache_hits,
+    );
+    println!(
+        "batch: {} queries in {:.2} ms ({:.3} ms/query), workers = {}, peak parallelism = {}",
+        batch.results.len(),
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3 / batch.results.len().max(1) as f64,
+        stats.last_batch_workers,
+        stats.last_batch_peak_parallel,
+    );
+    println!(
+        "plans: approx = {}, exact = {}, bounded = {} (bounded closures built: {}), baseline = {}",
+        stats.approx_plans,
+        stats.exact_plans,
+        stats.bounded_plans,
+        prep.bounded_closures_computed(),
+        stats.baseline_plans,
+    );
+    if !batch.results.is_empty() {
+        let mean_card: f64 = batch
+            .results
+            .iter()
+            .map(|r| r.outcome.qual_card)
+            .sum::<f64>()
+            / batch.results.len() as f64;
+        println!("mean qualCard = {mean_card:.4}");
+    }
+
+    if f.cold {
+        // Same worker count as the prepared batch, so the ratio isolates
+        // closure reuse rather than crediting multi-core parallelism.
+        let workers = stats.last_batch_workers.max(1);
+        let started = std::time::Instant::now();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let (q, r) = (&queries[i], &batch.results[i]);
+                    let weights = q.effective_weights();
+                    let cfg = MatcherConfig {
+                        algorithm: q.config.algorithm,
+                        xi: q.config.xi,
+                        max_stretch: q.config.max_stretch,
+                        restarts: r.plan.restarts,
+                        ..Default::default()
+                    };
+                    let _ = match_graphs(&q.pattern, data, &q.matrix, &weights, &cfg);
+                });
+            }
+        });
+        let cold = started.elapsed();
+        println!(
+            "cold comparison: per-query closure rebuild ({workers} workers) took {:.2} ms \
+             ({:.2}x the prepared batch)",
+            cold.as_secs_f64() * 1e3,
+            cold.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -23,6 +23,7 @@
 //! | [`core`] | p-hom & 1-1 p-hom: decision, `compMaxCard`/`compMaxSim` families, product-graph reductions, hardness gadgets, Appendix-B optimizations, bounded-stretch matching, restarts, enumeration, schema embedding |
 //! | [`baselines`] | graph simulation, subgraph isomorphism, MCS, graph edit distance, similarity flooding, Blondel |
 //! | [`workloads`] | §6 synthetic generator, Web-archive simulator, skeletons, PDG plagiarism, email campaigns |
+//! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 
 pub use phom_baselines as baselines;
 pub use phom_core as core;
+pub use phom_engine as engine;
 pub use phom_graph as graph;
 pub use phom_sim as sim;
 pub use phom_wis as wis;
@@ -78,9 +80,13 @@ pub mod prelude {
     };
     pub use phom_core::{
         comp_max_card, comp_max_card_1_1, comp_max_sim, comp_max_sim_1_1, decide_phom,
-        exact_optimum, match_graphs, match_mutual, match_paths, naive_max_card, naive_max_sim,
-        verify_phom, AlgoConfig, Algorithm, MatchOutcome, MatcherConfig, Objective, PHomMapping,
-        ProductGraph, Selection,
+        exact_optimum, match_graphs, match_graphs_prepared, match_mutual, match_paths,
+        naive_max_card, naive_max_sim, verify_phom, AlgoConfig, Algorithm, MatchOutcome,
+        MatcherConfig, Objective, PHomMapping, PreparedInputs, ProductGraph, Selection,
+    };
+    pub use phom_engine::{
+        BatchOutcome, Engine, EngineConfig, EngineStats, PlanKind, PreparedGraph, Query,
+        QueryConfig, QueryResult,
     };
     pub use phom_graph::{
         compress_closure, graph_from_labels, tarjan_scc, weakly_connected_components, BitSet,
