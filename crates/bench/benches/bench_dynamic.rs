@@ -1,0 +1,89 @@
+//! Benchmarks the semi-dynamic closure subsystem's reason for existing:
+//! applying edge updates to a `PreparedGraph` incrementally
+//! (`PreparedGraph::apply`) versus re-preparing from scratch, across
+//! update batch sizes and graph families.
+//!
+//! Families: the §6 synthetic generator (highly cyclic — SCC collapse
+//! makes even full preparation cheap, so incremental apply is roughly at
+//! parity) and two sparse 3000-node families (preferential-attachment
+//! and random DAG — the live-web-graph regime, where a single-edge apply
+//! beats a full re-prepare severalfold). The largest graphs in the suite
+//! are the 3000-node sparse ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_engine::{GraphUpdate, PreparedGraph};
+use phom_graph::{preferential_attachment, random_dag, DiGraph, NodeId, XorShift64};
+use phom_workloads::{generate_instance, SyntheticConfig};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Representative single-edge churn: alternate removing a random existing
+/// edge and inserting a random (possibly fresh) edge.
+fn churn<L>(data: &DiGraph<L>, count: usize, seed: u64) -> Vec<GraphUpdate> {
+    let n = data.node_count();
+    let edges: Vec<(NodeId, NodeId)> = data.edges().collect();
+    let mut rng = XorShift64::new(seed);
+    (0..count)
+        .map(|i| {
+            if i % 2 == 0 && !edges.is_empty() {
+                let (a, b) = edges[rng.below(edges.len())];
+                GraphUpdate::RemoveEdge(a, b)
+            } else {
+                GraphUpdate::InsertEdge(NodeId(rng.below(n) as u32), NodeId(rng.below(n) as u32))
+            }
+        })
+        .collect()
+}
+
+fn bench_family<L: Clone + std::fmt::Debug>(c: &mut Criterion, name: &str, data: Arc<DiGraph<L>>) {
+    let prepared = PreparedGraph::new(Arc::clone(&data));
+    let updates = churn(&data, 256, 0xD15C);
+    let mut group = c.benchmark_group(format!("dynamic_{name}"));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("full_reprepare"), |b| {
+        b.iter(|| criterion::black_box(PreparedGraph::new(Arc::clone(&data))))
+    });
+
+    // Single-edge updates, rotating through the churn stream so inserts,
+    // deletes, SCC merges, and cone recomputes all appear.
+    let cursor = Cell::new(0usize);
+    group.bench_function(BenchmarkId::from_parameter("apply_single_edge"), |b| {
+        b.iter(|| {
+            let i = cursor.get();
+            cursor.set(i + 1);
+            criterion::black_box(prepared.apply(&updates[i % updates.len()..][..1]))
+        })
+    });
+
+    for batch in [8usize, 64] {
+        let slice = &updates[..batch];
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("apply_batch_{batch}")),
+            |b| b.iter(|| criterion::black_box(prepared.apply(slice))),
+        );
+    }
+
+    group.finish();
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let inst = generate_instance(
+        &SyntheticConfig {
+            m: 200,
+            noise: 0.15,
+            seed: 42,
+        },
+        1,
+    );
+    bench_family(c, "synthetic_m200", Arc::new(inst.g2.clone()));
+    bench_family(
+        c,
+        "prefattach_n3000",
+        Arc::new(preferential_attachment(3000, 4, 7)),
+    );
+    bench_family(c, "randomdag_n3000", Arc::new(random_dag(3000, 12_000, 11)));
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

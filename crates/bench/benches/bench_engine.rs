@@ -93,6 +93,7 @@ fn bench_batch(c: &mut Criterion) {
                 let engine: Engine<Label> = Engine::new(EngineConfig {
                     cache_capacity: 2,
                     threads: 1,
+                    ..Default::default()
                 });
                 criterion::black_box(engine.execute_batch(&fx.data, &fx.queries))
             })
@@ -106,6 +107,7 @@ fn bench_batch(c: &mut Criterion) {
             let engine: Engine<Label> = Engine::new(EngineConfig {
                 cache_capacity: 2,
                 threads: 1,
+                ..Default::default()
             });
             engine.execute_batch(&fx.data, &fx.queries); // warm the cache
             b.iter(|| criterion::black_box(engine.execute_batch(&fx.data, &fx.queries)))

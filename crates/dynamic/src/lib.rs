@@ -1,0 +1,44 @@
+//! # phom-dynamic
+//!
+//! **Semi-dynamic closure maintenance** for live data graphs.
+//!
+//! Every matching algorithm in this workspace consumes the transitive
+//! closure `G2+` of the data graph, and `phom-engine`'s `PreparedGraph`
+//! makes computing it a one-time cost — for a *frozen* graph. A single
+//! edge insertion used to force a full re-prepare. This crate removes
+//! that cliff: [`SemiDynamicClosure`] keeps the closure (and the SCC
+//! condensation it is built from) consistent under edge insertions and
+//! deletions, implementing the [`phom_graph::DynamicClosure`] trait
+//! boundary:
+//!
+//! * **Insertion** is fully incremental (Italiano-style over the
+//!   condensation): inserting `(u, v)` when `u` already reaches `v` is a
+//!   no-op for the closure; a *forward* edge propagates `{v} ∪ reach(v)`
+//!   to every component that reaches `u`; a *back* edge (`v` reaches `u`)
+//!   merges every component on the new cycle into one SCC and propagates
+//!   the merged row to its predecessors.
+//! * **Deletion** recomputes only the *affected condensation cone*: the
+//!   components that reach the deleted edge's source (plus, for an
+//!   intra-SCC deletion, the fragments of a split component), in
+//!   topological order with memoized unaffected rows. When the cone
+//!   exceeds [`DynamicConfig::damage_threshold`] of the live components,
+//!   it falls back to a full from-scratch rebuild — semi-dynamic by
+//!   design, never worse than re-preparing.
+//! * **Hop-bounded closure memos** are refreshed by
+//!   [`refresh_bounded_closure`], which re-runs the depth-limited BFS
+//!   only for sources whose old row could see an updated edge's source.
+//!
+//! The invariant (enforced by this crate's property tests): after *any*
+//! sequence of updates, [`SemiDynamicClosure`] answers `reaches` exactly
+//! like `TransitiveClosure::new` of the identically mutated graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod closure;
+pub mod update;
+
+pub use bounded::refresh_bounded_closure;
+pub use closure::SemiDynamicClosure;
+pub use update::{DynamicConfig, DynamicStats, GraphUpdate};

@@ -1,0 +1,90 @@
+//! Update vocabulary shared by the closure maintainer, the engine's
+//! `PreparedGraph::apply`, and the `engine-live` CLI: what an edit is,
+//! how aggressively deletions may cascade before a rebuild, and what the
+//! maintainer did so far.
+
+use phom_graph::{DiGraph, NodeId};
+
+/// One edit to a live data graph. Updates are **edge-level**: the node
+/// set (and the node labels, hence the similarity matrices of standing
+/// queries) stays fixed, which is what lets every index be patched
+/// rather than resized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphUpdate {
+    /// Insert the edge `(from, to)` (no-op if present).
+    InsertEdge(NodeId, NodeId),
+    /// Remove the edge `(from, to)` (no-op if absent).
+    RemoveEdge(NodeId, NodeId),
+}
+
+impl GraphUpdate {
+    /// The `(from, to)` endpoints of the edited edge.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        match self {
+            GraphUpdate::InsertEdge(a, b) | GraphUpdate::RemoveEdge(a, b) => (a, b),
+        }
+    }
+
+    /// The edge's source — the node whose *predecessor cone* bounds which
+    /// closure rows an update can touch (see `SemiDynamicClosure`).
+    pub fn source(self) -> NodeId {
+        self.endpoints().0
+    }
+
+    /// True when both endpoints address nodes of a graph with `n` nodes.
+    pub fn in_range(self, n: usize) -> bool {
+        let (a, b) = self.endpoints();
+        a.index() < n && b.index() < n
+    }
+
+    /// Applies just the graph edit (no index maintenance). Returns `true`
+    /// when the graph actually changed.
+    pub fn apply_to<L>(self, g: &mut DiGraph<L>) -> bool {
+        match self {
+            GraphUpdate::InsertEdge(a, b) => g.add_edge(a, b),
+            GraphUpdate::RemoveEdge(a, b) => g.remove_edge(a, b),
+        }
+    }
+}
+
+/// Tuning knobs for [`crate::SemiDynamicClosure`].
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicConfig {
+    /// Deletion damage threshold, as a fraction of live condensation
+    /// components in `(0, 1]`. A deletion whose affected cone (components
+    /// reaching the deleted edge's source, plus any SCC-split fragments)
+    /// exceeds `damage_threshold × live_components` triggers a full
+    /// from-scratch rebuild instead of a cascading cone recompute —
+    /// bounding the worst case at one re-prepare. `0.0` degenerates to
+    /// "rebuild on every structural deletion" (useful for testing);
+    /// `1.0` never falls back.
+    pub damage_threshold: f64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            damage_threshold: 0.5,
+        }
+    }
+}
+
+/// Monotone counters of what a maintainer has done since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicStats {
+    /// Updates that left the graph unchanged (duplicate insert / absent
+    /// delete).
+    pub noops: usize,
+    /// Updates that changed the graph but not the closure.
+    pub unchanged: usize,
+    /// Insertions patched incrementally.
+    pub incremental_inserts: usize,
+    /// Deletions patched by a bounded cone recompute.
+    pub incremental_removals: usize,
+    /// Back-edge insertions that merged SCCs.
+    pub scc_merges: usize,
+    /// Intra-SCC deletions that split a component.
+    pub scc_splits: usize,
+    /// Full from-scratch rebuilds (damage threshold exceeded).
+    pub rebuilds: usize,
+}

@@ -2,14 +2,16 @@
 //! fingerprint, per-query execution against prepared artifacts, and a
 //! work-stealing batch executor over a scoped thread pool.
 
-use crate::planner::{plan_query, Plan, PlanKind, Query};
-use crate::prepared::PreparedGraph;
+use crate::planner::{plan_query_with, Plan, PlanKind, PlannerConfig, Query};
+use crate::prepared::{PreparedGraph, UpdateOutcome, UpdateStats};
 use phom_core::{
     exact_optimum_with, match_graphs_prepared, MatchOutcome, MatchStats, MatcherConfig, Objective,
     PHomMapping,
 };
+use phom_dynamic::{DynamicConfig, GraphUpdate};
 use phom_graph::{DiGraph, NodeId, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -24,6 +26,15 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Batch worker threads; `0` = available parallelism.
     pub threads: usize,
+    /// Query-routing cutoffs (exact/approx/restart decisions).
+    pub planner: PlannerConfig,
+    /// Closure-maintenance tuning for [`Engine::apply_updates`].
+    pub dynamic: DynamicConfig,
+    /// Update admission: batches longer than this skip incremental
+    /// maintenance and re-prepare from scratch once (a huge batch
+    /// amortizes the rebuild, and per-edge cascades would only add
+    /// overhead on top).
+    pub max_update_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -31,13 +42,16 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_capacity: 8,
             threads: 0,
+            planner: PlannerConfig::default(),
+            dynamic: DynamicConfig::default(),
+            max_update_batch: 256,
         }
     }
 }
 
 /// Monotone counters the engine keeps across its lifetime, snapshot via
 /// [`Engine::stats`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Full preparations run (each computes the closure exactly once).
     pub prepares: usize,
@@ -58,6 +72,40 @@ pub struct EngineStats {
     /// Workers observed simultaneously holding queries in the most
     /// recent batch (the parallelism actually achieved at its start).
     pub last_batch_peak_parallel: usize,
+    /// Graph updates admitted via [`Engine::apply_updates`] that changed
+    /// a graph.
+    pub updates_applied: usize,
+    /// Updates serviced by incremental closure maintenance (including
+    /// those that left the closure untouched).
+    pub updates_incremental: usize,
+    /// Updates that fell back to a full re-prepare (damage threshold or
+    /// admission limit).
+    pub update_rebuilds: usize,
+}
+
+impl EngineStats {
+    /// Compact JSON rendering (field names match the struct) — the
+    /// `--stats-json` export format.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"prepares\":{},\"cache_hits\":{},\"queries\":{},\"exact_plans\":{},\
+             \"approx_plans\":{},\"bounded_plans\":{},\"baseline_plans\":{},\
+             \"last_batch_workers\":{},\"last_batch_peak_parallel\":{},\
+             \"updates_applied\":{},\"updates_incremental\":{},\"update_rebuilds\":{}}}",
+            self.prepares,
+            self.cache_hits,
+            self.queries,
+            self.exact_plans,
+            self.approx_plans,
+            self.bounded_plans,
+            self.baseline_plans,
+            self.last_batch_workers,
+            self.last_batch_peak_parallel,
+            self.updates_applied,
+            self.updates_incremental,
+            self.update_rebuilds
+        )
+    }
 }
 
 #[derive(Debug, Default)]
@@ -71,6 +119,9 @@ struct Counters {
     baseline_plans: AtomicUsize,
     last_batch_workers: AtomicUsize,
     last_batch_peak_parallel: AtomicUsize,
+    updates_applied: AtomicUsize,
+    updates_incremental: AtomicUsize,
+    update_rebuilds: AtomicUsize,
 }
 
 /// The result of one query: the matching outcome plus how the engine got
@@ -210,6 +261,9 @@ impl<L> Engine<L> {
             baseline_plans: c.baseline_plans.load(Ordering::Relaxed),
             last_batch_workers: c.last_batch_workers.load(Ordering::Relaxed),
             last_batch_peak_parallel: c.last_batch_peak_parallel.load(Ordering::Relaxed),
+            updates_applied: c.updates_applied.load(Ordering::Relaxed),
+            updates_incremental: c.updates_incremental.load(Ordering::Relaxed),
+            update_rebuilds: c.update_rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -245,12 +299,72 @@ impl<L: Clone + Hash> Engine<L> {
         cache.insert(key, Arc::clone(&prepared));
         prepared
     }
+
+    /// Admits a batch of edge updates against `graph`: fetches (or
+    /// prepares) its current version, produces the post-update version —
+    /// incrementally via [`PreparedGraph::apply_with`], or through one
+    /// full re-prepare when the batch exceeds
+    /// [`EngineConfig::max_update_batch`] — and **re-keys the LRU cache**
+    /// under the new graph's fingerprint, so subsequent
+    /// [`Engine::execute_batch`] calls on the mutated graph hit the cache
+    /// instead of re-preparing.
+    ///
+    /// Copy-on-write versioning: the pre-update entry stays cached under
+    /// its own fingerprint, and any in-flight query holding the old `Arc`
+    /// keeps reading the old snapshot.
+    pub fn apply_updates(
+        &self,
+        graph: &Arc<DiGraph<L>>,
+        updates: &[GraphUpdate],
+    ) -> UpdateOutcome<L> {
+        let outcome = if updates.len() > self.config.max_update_batch {
+            // No point preparing (or caching) the pre-update graph here:
+            // the oversized branch re-prepares the mutated graph anyway.
+            let started = Instant::now();
+            let mut stats = UpdateStats::default();
+            let mut g = (**graph).clone();
+            for &update in updates {
+                if !update.in_range(g.node_count()) {
+                    stats.rejected += 1;
+                } else if update.apply_to(&mut g) {
+                    stats.applied += 1;
+                } else {
+                    stats.noops += 1;
+                }
+            }
+            stats.rebuilds += 1;
+            self.counters.prepares.fetch_add(1, Ordering::Relaxed);
+            let rebuilt = Arc::new(PreparedGraph::new(Arc::new(g)));
+            stats.apply_micros = started.elapsed().as_micros();
+            UpdateOutcome {
+                prepared: rebuilt,
+                stats,
+            }
+        } else {
+            self.prepare(graph)
+                .apply_with(updates, &self.config.dynamic)
+        };
+        self.counters
+            .updates_applied
+            .fetch_add(outcome.stats.applied, Ordering::Relaxed);
+        self.counters.updates_incremental.fetch_add(
+            outcome.stats.incremental + outcome.stats.closure_unchanged,
+            Ordering::Relaxed,
+        );
+        self.counters
+            .update_rebuilds
+            .fetch_add(outcome.stats.rebuilds, Ordering::Relaxed);
+        let key = graph_fingerprint(outcome.prepared.graph());
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.insert(key, Arc::clone(&outcome.prepared));
+        outcome
+    }
 }
 
 impl<L: Clone + Sync> Engine<L> {
     /// Plans and executes one query against a prepared graph.
     pub fn execute(&self, prepared: &PreparedGraph<L>, query: &Query<L>) -> QueryResult {
-        let plan = plan_query(query);
+        let plan = plan_query_with(query, &self.config.planner);
         let started = Instant::now();
         let weights = query.effective_weights();
         let counter = match plan.kind {
@@ -501,6 +615,7 @@ mod tests {
         let engine: Engine<String> = Engine::new(EngineConfig {
             cache_capacity: 2,
             threads: 1,
+            ..Default::default()
         });
         let mk = |tag: &str| Arc::new(graph_from_labels(&[tag, "x"], &[(tag, "x")]));
         let (ga, gb, gc) = (mk("a"), mk("b"), mk("c"));
@@ -529,6 +644,7 @@ mod tests {
         let engine: Engine<String> = Engine::new(EngineConfig {
             cache_capacity: 4,
             threads: 2,
+            ..Default::default()
         });
         let g = data_graph();
         let queries: Vec<Query<String>> = (0..8).map(|_| simple_query(&g)).collect();
@@ -539,6 +655,67 @@ mod tests {
         assert_eq!(batch.stats.queries, 8);
         assert_eq!(batch.stats.last_batch_workers, 2);
         assert!(batch.stats.last_batch_peak_parallel >= 2);
+    }
+
+    #[test]
+    fn apply_updates_rekeys_cache_and_counts_incremental_work() {
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        engine.prepare(&g);
+        let outcome = engine.apply_updates(&g, &[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert_eq!(outcome.stats.applied, 1);
+        assert_eq!(outcome.stats.rebuilds, 0, "single insert is incremental");
+        // The mutated graph is already cached under its new fingerprint.
+        let mut mutated = (*g).clone();
+        mutated.add_edge(NodeId(3), NodeId(0));
+        let hit = engine.prepare(&Arc::new(mutated));
+        assert!(Arc::ptr_eq(&hit, &outcome.prepared));
+        let stats = engine.stats();
+        assert_eq!(stats.prepares, 1, "no re-prepare for the new version");
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.updates_incremental, 1);
+        assert_eq!(stats.update_rebuilds, 0);
+        // The old version stays cached and readable (copy-on-write).
+        let old = engine.prepare(&g);
+        assert!(!old.closure().reaches(NodeId(3), NodeId(0)));
+        assert!(outcome.prepared.closure().reaches(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn oversized_update_batch_is_admitted_as_one_rebuild() {
+        let engine: Engine<String> = Engine::new(EngineConfig {
+            cache_capacity: 4,
+            threads: 1,
+            max_update_batch: 1,
+            ..Default::default()
+        });
+        let g = data_graph();
+        let outcome = engine.apply_updates(
+            &g,
+            &[
+                GraphUpdate::InsertEdge(NodeId(3), NodeId(0)),
+                GraphUpdate::RemoveEdge(NodeId(0), NodeId(1)),
+            ],
+        );
+        assert_eq!(outcome.stats.applied, 2);
+        assert_eq!(outcome.stats.rebuilds, 1, "admission limit exceeded");
+        assert_eq!(engine.stats().update_rebuilds, 1);
+        assert!(outcome.prepared.closure().reaches(NodeId(3), NodeId(0)));
+        assert!(!outcome.prepared.closure().reaches(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn engine_stats_json_lists_every_field() {
+        let stats = EngineStats {
+            prepares: 2,
+            queries: 7,
+            ..Default::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"prepares\":2"));
+        assert!(json.contains("\"queries\":7"));
+        assert!(json.contains("\"update_rebuilds\":0"));
     }
 
     #[test]

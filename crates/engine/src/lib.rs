@@ -26,6 +26,14 @@
 //!   reports [`EngineStats`] (closures computed, cache hits, plans
 //!   chosen, achieved parallelism).
 //!
+//! For **live graphs**, [`PreparedGraph::apply`] produces a new prepared
+//! version under edge insertions/deletions via semi-dynamic closure
+//! maintenance (the `phom-dynamic` crate) instead of re-preparing, with
+//! copy-on-write versioning; [`Engine::apply_updates`] admits update
+//! batches and re-keys the cache to the mutated graph's fingerprint.
+//! Prepared graphs also snapshot/restore ([`PreparedGraph::save_snapshot`])
+//! so warm closures survive restarts.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -56,5 +64,9 @@ pub mod planner;
 pub mod prepared;
 
 pub use engine::{graph_fingerprint, BatchOutcome, Engine, EngineConfig, EngineStats, QueryResult};
-pub use planner::{plan_query, Plan, PlanKind, Query, QueryConfig};
-pub use prepared::{PrepareStats, PreparedGraph};
+pub use planner::{plan_query, plan_query_with, Plan, PlanKind, PlannerConfig, Query, QueryConfig};
+pub use prepared::{PrepareStats, PreparedGraph, UpdateOutcome, UpdateStats};
+
+// Re-exported so engine consumers can speak the update vocabulary
+// without a direct `phom-dynamic` dependency.
+pub use phom_dynamic::{DynamicConfig, GraphUpdate};

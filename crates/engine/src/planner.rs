@@ -5,10 +5,44 @@
 //! (`phom_core::bounds::prefer_exact`) while large ones need the greedy
 //! approximation with its Theorem 5.1 guarantee.
 
-use phom_core::{bounds, Algorithm};
+use phom_core::Algorithm;
 use phom_graph::DiGraph;
 use phom_sim::{NodeWeights, SimMatrix};
 use std::sync::Arc;
+
+/// Planner tuning. Previously the routing cutoffs were hard-coded
+/// (`phom_core::bounds::prefer_exact`'s magic 64 and a private restart
+/// constant); exposing them here lets a deployment tune the exact/approx
+/// trade-off per engine instance without rebuilding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Candidate-pair count at or below which the planner routes to exact
+    /// branch-and-bound. Appendix B observes `log²n/n` peaks at `n = e²`,
+    /// so *approximating* tiny instances forfeits quality for no speedup;
+    /// the default (64) matches `phom_core::bounds::prefer_exact` and is
+    /// deliberately larger than `e²` because the branch-and-bound oracle
+    /// stays affordable into the hundreds of product nodes. Lower it if
+    /// exact solving ever dominates tail latency; raise it for
+    /// quality-critical workloads with slack.
+    pub exact_pair_cutoff: usize,
+    /// Candidate-pair count at or below which unbounded approximate plans
+    /// default to multiple randomized restarts (restarts are cheap when
+    /// the product graph is small).
+    pub restart_friendly_pairs: usize,
+    /// Restarts granted to restart-friendly plans when the query does not
+    /// pin a count itself.
+    pub default_restarts: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            exact_pair_cutoff: 64,
+            restart_friendly_pairs: 2_048,
+            default_restarts: 4,
+        }
+    }
+}
 
 /// Per-query knobs (the pattern-side half of a
 /// [`phom_core::MatcherConfig`], plus planner hints).
@@ -112,23 +146,20 @@ pub struct Plan {
     pub reason: &'static str,
 }
 
-/// Candidate-pair count below which restarts are cheap enough to be the
-/// default for unbounded approximate plans.
-const RESTART_FRIENDLY_PAIRS: usize = 2_048;
-
-fn pick_restarts(requested: Option<usize>, candidate_pairs: usize) -> usize {
-    requested.unwrap_or(if candidate_pairs <= RESTART_FRIENDLY_PAIRS {
-        4
+fn pick_restarts(requested: Option<usize>, candidate_pairs: usize, cfg: &PlannerConfig) -> usize {
+    requested.unwrap_or(if candidate_pairs <= cfg.restart_friendly_pairs {
+        cfg.default_restarts
     } else {
         1
     })
 }
 
-/// Routes a query. Deterministic in the query alone (the prepared data
-/// graph's artifacts do not change the choice, only its cost).
-pub fn plan_query<L>(query: &Query<L>) -> Plan {
+/// Routes a query under explicit [`PlannerConfig`] cutoffs. Deterministic
+/// in the query and config alone (the prepared data graph's artifacts do
+/// not change the choice, only its cost).
+pub fn plan_query_with<L>(query: &Query<L>, cfg: &PlannerConfig) -> Plan {
     let candidate_pairs = query.matrix.candidate_pair_count(query.config.xi);
-    let restarts = pick_restarts(query.config.restarts, candidate_pairs);
+    let restarts = pick_restarts(query.config.restarts, candidate_pairs, cfg);
     if let Some(kind) = query.config.force_plan {
         return Plan {
             kind,
@@ -150,7 +181,7 @@ pub fn plan_query<L>(query: &Query<L>) -> Plan {
             reason: "edgeless pattern: no path constraints to satisfy",
         };
     }
-    if bounds::prefer_exact(candidate_pairs) {
+    if candidate_pairs <= cfg.exact_pair_cutoff {
         return Plan {
             kind: PlanKind::Exact,
             restarts: 1,
@@ -162,6 +193,11 @@ pub fn plan_query<L>(query: &Query<L>) -> Plan {
         restarts,
         reason: "greedy approximation with the Theorem 5.1 guarantee",
     }
+}
+
+/// Routes a query with the default cutoffs — see [`plan_query_with`].
+pub fn plan_query<L>(query: &Query<L>) -> Plan {
+    plan_query_with(query, &PlannerConfig::default())
 }
 
 #[cfg(test)]
@@ -229,5 +265,30 @@ mod tests {
         q.config.force_plan = Some(PlanKind::Approx);
         q.config.max_stretch = Some(1); // would otherwise route Bounded
         assert_eq!(plan_query(&q).kind, PlanKind::Approx);
+    }
+
+    #[test]
+    fn planner_config_cutoffs_are_tunable() {
+        // 10 * 40 = 400 candidate pairs: Approx under the default cutoff.
+        let q = query_for(10, &[("n0", "n1")]);
+        assert_eq!(plan_query(&q).kind, PlanKind::Approx);
+        // Raising the exact cutoff above 400 routes the same query Exact.
+        let generous = PlannerConfig {
+            exact_pair_cutoff: 500,
+            ..Default::default()
+        };
+        assert_eq!(plan_query_with(&q, &generous).kind, PlanKind::Exact);
+        // Shrinking the restart-friendly window drops restarts to 1.
+        let stingy = PlannerConfig {
+            restart_friendly_pairs: 100,
+            ..Default::default()
+        };
+        assert_eq!(plan_query_with(&q, &stingy).restarts, 1);
+        // And the default-restart count itself is a knob.
+        let eager = PlannerConfig {
+            default_restarts: 9,
+            ..Default::default()
+        };
+        assert_eq!(plan_query_with(&q, &eager).restarts, 9);
     }
 }

@@ -16,16 +16,23 @@
 //! * degree-based **node weights** of the data graph (importance ranking
 //!   for result display and workload skimming).
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use phom_core::{compression_worthwhile, CompressedClosure, PreparedInputs};
-use phom_graph::{compress_closure, tarjan_scc, DiGraph, SccResult, TransitiveClosure};
+use phom_dynamic::{refresh_bounded_closure, DynamicConfig, GraphUpdate, SemiDynamicClosure};
+use phom_graph::serialize::ParseError;
+use phom_graph::{
+    compress_closure_with, tarjan_scc, BitSet, DiGraph, DynamicClosure, NodeId, SccResult,
+    TransitiveClosure, UpdateEffect,
+};
 use phom_sim::NodeWeights;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// What one [`PreparedGraph::new`] computed, and how long it took.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrepareStats {
     /// Data-graph node count.
     pub nodes: usize,
@@ -41,13 +48,106 @@ pub struct PrepareStats {
     pub prepare_micros: u128,
 }
 
+impl PrepareStats {
+    /// Compact JSON rendering (field names match the struct).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"nodes\":{},\"edges\":{},\"scc_count\":{},\"closure_edges\":{},\
+             \"compressed_nodes\":{},\"prepare_micros\":{}}}",
+            self.nodes,
+            self.edges,
+            self.scc_count,
+            self.closure_edges,
+            match self.compressed_nodes {
+                Some(c) => c.to_string(),
+                None => "null".to_owned(),
+            },
+            self.prepare_micros
+        )
+    }
+}
+
+/// What one [`PreparedGraph::apply_with`] batch did to the indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Updates that changed the graph.
+    pub applied: usize,
+    /// Updates that were no-ops (duplicate insert / absent delete).
+    pub noops: usize,
+    /// Updates referencing out-of-range nodes, skipped.
+    pub rejected: usize,
+    /// Applied updates that left the closure untouched.
+    pub closure_unchanged: usize,
+    /// Applied updates patched incrementally.
+    pub incremental: usize,
+    /// Applied updates that fell back to a full closure rebuild.
+    pub rebuilds: usize,
+    /// Total closure components created, merged, or rewritten.
+    pub affected_components: usize,
+    /// Hop-bounded memo rows re-run (affected sources across all
+    /// memoized bounds).
+    pub bounded_rows_recomputed: usize,
+    /// Wall-clock microseconds for the whole apply (including new-version
+    /// assembly).
+    pub apply_micros: u128,
+}
+
+impl UpdateStats {
+    /// Folds another batch's counters into this one (the `engine-live`
+    /// aggregate view).
+    pub fn absorb(&mut self, other: &UpdateStats) {
+        self.applied += other.applied;
+        self.noops += other.noops;
+        self.rejected += other.rejected;
+        self.closure_unchanged += other.closure_unchanged;
+        self.incremental += other.incremental;
+        self.rebuilds += other.rebuilds;
+        self.affected_components += other.affected_components;
+        self.bounded_rows_recomputed += other.bounded_rows_recomputed;
+        self.apply_micros += other.apply_micros;
+    }
+
+    /// Compact JSON rendering (field names match the struct).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"applied\":{},\"noops\":{},\"rejected\":{},\"closure_unchanged\":{},\
+             \"incremental\":{},\"rebuilds\":{},\"affected_components\":{},\
+             \"bounded_rows_recomputed\":{},\"apply_micros\":{}}}",
+            self.applied,
+            self.noops,
+            self.rejected,
+            self.closure_unchanged,
+            self.incremental,
+            self.rebuilds,
+            self.affected_components,
+            self.bounded_rows_recomputed,
+            self.apply_micros
+        )
+    }
+}
+
+/// The result of applying one update batch: the new prepared version
+/// (copy-on-write — the version it was derived from is untouched) plus
+/// maintenance accounting.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome<L> {
+    /// The post-update prepared graph.
+    pub prepared: Arc<PreparedGraph<L>>,
+    /// What the maintenance pass did.
+    pub stats: UpdateStats,
+}
+
 /// A data graph plus every query-independent index the matching
 /// algorithms consume. Cheap to share: all fields are immutable after
 /// construction except the lazily grown bounded-closure memo.
 #[derive(Debug)]
 pub struct PreparedGraph<L> {
     graph: Arc<DiGraph<L>>,
-    scc: SccResult,
+    /// Tarjan decomposition, computed lazily: the fresh-prepare path has
+    /// it anyway (the closure is built from it), but the incremental
+    /// update path maintains SCC *membership* in its own slot numbering
+    /// and only needs a Tarjan-numbered result if a caller asks.
+    scc: OnceLock<SccResult>,
     closure: Arc<TransitiveClosure>,
     compressed: Option<CompressedClosure<L>>,
     data_weights: NodeWeights,
@@ -64,33 +164,164 @@ impl<L: Clone> PreparedGraph<L> {
         let started = Instant::now();
         let scc = tarjan_scc(&*graph);
         let closure = TransitiveClosure::from_scc(&*graph, &scc);
-        let comp = compress_closure(&*graph);
-        let compressed =
-            compression_worthwhile(graph.node_count(), comp.graph.node_count()).then(|| {
-                CompressedClosure {
-                    closure: TransitiveClosure::new(&comp.graph),
-                    compressed: comp,
-                }
-            });
+        let scc_count = scc.count();
+        Self::assemble(
+            graph,
+            closure,
+            Some(scc),
+            scc_count,
+            HashMap::new(),
+            started,
+        )
+    }
+
+    /// Builds every remaining artifact around an **already known** full
+    /// closure — the shared tail of [`PreparedGraph::new`] (closure just
+    /// computed, SCC pass reused), [`PreparedGraph::apply_with`] (closure
+    /// maintained incrementally), and snapshot restore (closure
+    /// deserialized). `scc_count` is the component count of `graph`
+    /// (every caller knows it cheaply); the Tarjan-numbered decomposition
+    /// itself is optional — when absent it is computed only if the
+    /// compression decision needs it, and otherwise stays lazy until
+    /// someone calls [`PreparedGraph::scc`]. The compressed closure runs
+    /// over the condensation only (`C ≪ n` whenever compression is
+    /// worthwhile).
+    fn assemble(
+        graph: Arc<DiGraph<L>>,
+        closure: TransitiveClosure,
+        scc: Option<SccResult>,
+        scc_count: usize,
+        bounded: HashMap<usize, Arc<TransitiveClosure>>,
+        started: Instant,
+    ) -> Self {
+        let scc_cell = OnceLock::new();
+        if let Some(s) = scc {
+            debug_assert_eq!(s.count(), scc_count);
+            let _ = scc_cell.set(s);
+        }
+        let compressed = compression_worthwhile(graph.node_count(), scc_count).then(|| {
+            let scc = scc_cell.get_or_init(|| tarjan_scc(&*graph));
+            let comp = compress_closure_with(&*graph, scc);
+            CompressedClosure {
+                closure: TransitiveClosure::new(&comp.graph),
+                compressed: comp,
+            }
+        });
         let data_weights = NodeWeights::by_degree(&*graph);
         let stats = PrepareStats {
             nodes: graph.node_count(),
             edges: graph.edge_count(),
-            scc_count: scc.count(),
+            scc_count,
             closure_edges: closure.edge_count(),
             compressed_nodes: compressed
                 .as_ref()
                 .map(|cc| cc.compressed.graph.node_count()),
             prepare_micros: started.elapsed().as_micros(),
         };
+        let bounded_computed = AtomicUsize::new(bounded.len());
         PreparedGraph {
             graph,
-            scc,
+            scc: scc_cell,
             closure: Arc::new(closure),
             compressed,
             data_weights,
-            bounded: Mutex::new(HashMap::new()),
-            bounded_computed: AtomicUsize::new(0),
+            bounded: Mutex::new(bounded),
+            bounded_computed,
+            stats,
+        }
+    }
+
+    /// Applies a batch of edge updates with default maintenance tuning —
+    /// see [`PreparedGraph::apply_with`].
+    pub fn apply(&self, updates: &[GraphUpdate]) -> UpdateOutcome<L> {
+        self.apply_with(updates, &DynamicConfig::default())
+    }
+
+    /// Applies a batch of edge updates to this prepared graph and returns
+    /// a **new version** — copy-on-write: `self` is untouched, so
+    /// in-flight queries holding the old `Arc` keep reading a consistent
+    /// snapshot while new queries route to the returned version.
+    ///
+    /// The closure is *maintained*, not recomputed: a
+    /// [`SemiDynamicClosure`] is seeded from the existing rows (one
+    /// memcpy), each update is patched in (incremental insert /
+    /// bounded-cone delete, with the [`DynamicConfig::damage_threshold`]
+    /// rebuild fallback), memoized hop-bounded closures are refreshed for
+    /// affected sources only, and the compressed graph's closure is
+    /// derived from the maintained rows. Only the (linear) SCC pass,
+    /// compression skeleton, and node weights are recomputed.
+    pub fn apply_with(&self, updates: &[GraphUpdate], config: &DynamicConfig) -> UpdateOutcome<L> {
+        let started = Instant::now();
+        let n = self.graph.node_count();
+        let mut stats = UpdateStats::default();
+        // The clone becomes the new version's graph: the maintainer owns
+        // it, applies each edit to graph and closure in lockstep, and
+        // hands both back via `into_parts`.
+        let mut dyc =
+            SemiDynamicClosure::from_closure((*self.graph).clone(), &self.closure, *config);
+        let mut touched: Vec<NodeId> = Vec::new();
+        for &update in updates {
+            if !update.in_range(n) {
+                stats.rejected += 1;
+                continue;
+            }
+            let effect = match update {
+                GraphUpdate::InsertEdge(a, b) => dyc.insert_edge(a, b),
+                GraphUpdate::RemoveEdge(a, b) => dyc.remove_edge(a, b),
+            };
+            match effect {
+                UpdateEffect::NoOp => stats.noops += 1,
+                UpdateEffect::Unchanged => {
+                    stats.applied += 1;
+                    stats.closure_unchanged += 1;
+                }
+                UpdateEffect::Incremental {
+                    affected_components,
+                } => {
+                    stats.applied += 1;
+                    stats.incremental += 1;
+                    stats.affected_components += affected_components;
+                }
+                UpdateEffect::Rebuilt => {
+                    stats.applied += 1;
+                    stats.rebuilds += 1;
+                }
+            }
+            if effect != UpdateEffect::NoOp {
+                touched.push(update.source());
+            }
+        }
+        let scc_count = dyc.component_count();
+        let (new_graph, closure) = dyc.into_parts();
+
+        // Refresh the memoized hop-bounded closures (affected sources
+        // only) so a warm memo survives the version bump.
+        let old_memo: Vec<(usize, Arc<TransitiveClosure>)> = {
+            let memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
+            memo.iter().map(|(&k, c)| (k, Arc::clone(c))).collect()
+        };
+        let mut bounded = HashMap::with_capacity(old_memo.len());
+        for (k, old) in old_memo {
+            if touched.is_empty() {
+                bounded.insert(k, old);
+                continue;
+            }
+            let (fresh, recomputed) = refresh_bounded_closure(&old, &new_graph, k, &touched);
+            stats.bounded_rows_recomputed += recomputed;
+            bounded.insert(k, Arc::new(fresh));
+        }
+
+        let prepared = Self::assemble(
+            Arc::new(new_graph),
+            closure,
+            None,
+            scc_count,
+            bounded,
+            started,
+        );
+        stats.apply_micros = started.elapsed().as_micros();
+        UpdateOutcome {
+            prepared: Arc::new(prepared),
             stats,
         }
     }
@@ -105,9 +336,11 @@ impl<L: Clone> PreparedGraph<L> {
         &self.closure
     }
 
-    /// The SCC decomposition the closure was built from.
+    /// The Tarjan SCC decomposition of the data graph (computed lazily
+    /// after an incremental update; always membership-equivalent to the
+    /// closure's component structure).
     pub fn scc(&self) -> &SccResult {
-        &self.scc
+        self.scc.get_or_init(|| tarjan_scc(&*self.graph))
     }
 
     /// Appendix-B compressed graph + closure, when kept.
@@ -159,6 +392,116 @@ impl<L: Clone> PreparedGraph<L> {
             bounded,
             compressed: self.compressed.as_ref(),
         }
+    }
+}
+
+/// Magic prefix of the prepared-graph snapshot format ("pHPG").
+const PREPARED_MAGIC: u32 = 0x7048_5047;
+
+impl PreparedGraph<String> {
+    /// Serializes the prepared graph — the data graph (via
+    /// `phom_graph::serialize::to_snapshot`) **plus the warm closure
+    /// rows** — into a compact binary snapshot, so a restarted engine
+    /// restores a prepared graph without re-running the closure
+    /// computation (the dominant preparation cost).
+    ///
+    /// Bounded-closure memos are *not* persisted (they are per-workload
+    /// and rebuild lazily); SCC numbering, compression, and node weights
+    /// are recomputed on load from their linear-time passes.
+    pub fn save_snapshot(&self) -> Bytes {
+        let graph_bytes = phom_graph::serialize::to_snapshot(&self.graph);
+        let n = self.graph.node_count();
+        let mut buf = BytesMut::with_capacity(16 + graph_bytes.len() + 8 * n);
+        buf.put_u32(PREPARED_MAGIC);
+        buf.put_u32(graph_bytes.len() as u32);
+        buf.put_slice(graph_bytes.as_ref());
+        buf.put_u32(n as u32);
+        for v in self.graph.nodes() {
+            buf.put_u32(self.closure.component_of(v) as u32);
+        }
+        let rows = self.closure.component_count();
+        buf.put_u32(rows as u32);
+        for c in 0..rows {
+            let words = self.closure.component_row(c).words();
+            buf.put_u32(words.len() as u32);
+            for &w in words {
+                buf.put_u64(w);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores a prepared graph from [`PreparedGraph::save_snapshot`]
+    /// bytes. The closure rows are trusted as saved (they are validated
+    /// for shape, not re-derived — snapshots are a cache format, not an
+    /// interchange format).
+    pub fn load_snapshot(mut data: Bytes) -> Result<Self, ParseError> {
+        let started = Instant::now();
+        let need = |data: &Bytes, bytes: usize| -> Result<(), ParseError> {
+            if data.remaining() < bytes {
+                Err(ParseError::Corrupt(format!("need {bytes} more bytes")))
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 8)?;
+        let magic = data.get_u32();
+        if magic != PREPARED_MAGIC {
+            return Err(ParseError::Corrupt(format!(
+                "bad prepared-graph magic {magic:#x}"
+            )));
+        }
+        let graph_len = data.get_u32() as usize;
+        need(&data, graph_len)?;
+        let graph = phom_graph::serialize::from_snapshot(data.split_to(graph_len))?;
+        need(&data, 4)?;
+        let n = data.get_u32() as usize;
+        if n != graph.node_count() {
+            return Err(ParseError::Corrupt(format!(
+                "closure covers {n} nodes, graph has {}",
+                graph.node_count()
+            )));
+        }
+        let mut comp = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(&data, 4)?;
+            comp.push(data.get_u32());
+        }
+        need(&data, 4)?;
+        let row_count = data.get_u32() as usize;
+        if let Some(&c) = comp.iter().find(|&&c| c as usize >= row_count) {
+            return Err(ParseError::Corrupt(format!(
+                "component {c} out of range {row_count}"
+            )));
+        }
+        let max_words = n.div_ceil(64);
+        let mut rows = Vec::with_capacity(row_count);
+        for _ in 0..row_count {
+            need(&data, 4)?;
+            let word_count = data.get_u32() as usize;
+            if word_count > max_words {
+                return Err(ParseError::Corrupt(format!(
+                    "{word_count} row words exceed {max_words}"
+                )));
+            }
+            need(&data, 8 * word_count)?;
+            let mut words = Vec::with_capacity(word_count);
+            for _ in 0..word_count {
+                words.push(data.get_u64());
+            }
+            rows.push(BitSet::from_words(n, &words));
+        }
+        let closure = TransitiveClosure::from_parts(comp, rows, n);
+        let scc = tarjan_scc(&graph);
+        let scc_count = scc.count();
+        Ok(Self::assemble(
+            Arc::new(graph),
+            closure,
+            Some(scc),
+            scc_count,
+            HashMap::new(),
+            started,
+        ))
     }
 }
 
@@ -229,5 +572,164 @@ mod tests {
         let cc = p.compressed().expect("3-cycle shrinks the graph");
         assert_eq!(cc.compressed.graph.node_count(), 3);
         assert_eq!(p.stats().compressed_nodes, Some(3));
+    }
+
+    /// Every artifact of an applied version must behave like a from-scratch
+    /// prepare of the mutated graph (closure, compression decision,
+    /// compressed closure, stats).
+    fn assert_equivalent_to_fresh(applied: &PreparedGraph<String>) {
+        let fresh = PreparedGraph::new(Arc::clone(applied.graph()));
+        for u in applied.graph().nodes() {
+            for v in applied.graph().nodes() {
+                assert_eq!(
+                    applied.closure().reaches(u, v),
+                    fresh.closure().reaches(u, v),
+                    "closure diverged at {u:?}->{v:?}"
+                );
+            }
+        }
+        assert_eq!(applied.stats().closure_edges, fresh.stats().closure_edges);
+        assert_eq!(applied.stats().scc_count, fresh.stats().scc_count);
+        assert_eq!(
+            applied.stats().compressed_nodes,
+            fresh.stats().compressed_nodes
+        );
+        match (applied.compressed(), fresh.compressed()) {
+            (None, None) => {}
+            (Some(a), Some(f)) => {
+                let cg = &a.compressed.graph;
+                assert_eq!(cg.node_count(), f.compressed.graph.node_count());
+                for u in cg.nodes() {
+                    for v in cg.nodes() {
+                        assert_eq!(
+                            a.closure.reaches(u, v),
+                            f.closure.reaches(u, v),
+                            "compressed closure diverged at {u:?}->{v:?}"
+                        );
+                    }
+                }
+            }
+            (a, f) => panic!(
+                "compression decision diverged: applied={} fresh={}",
+                a.is_some(),
+                f.is_some()
+            ),
+        }
+    }
+
+    #[test]
+    fn apply_is_copy_on_write_and_equivalent_to_fresh_prepare() {
+        let old = PreparedGraph::new(cyclic_graph());
+        let old_edges = old.stats().edges;
+        // d -> a closes a big cycle; then cut b -> c.
+        let outcome = old.apply(&[
+            GraphUpdate::InsertEdge(NodeId(3), NodeId(0)),
+            GraphUpdate::RemoveEdge(NodeId(1), NodeId(2)),
+        ]);
+        assert_eq!(outcome.stats.applied, 2);
+        assert_eq!(outcome.stats.rejected, 0);
+        // Copy-on-write: the old version is untouched.
+        assert_eq!(old.stats().edges, old_edges);
+        assert!(old.closure().reaches(NodeId(0), NodeId(3)));
+        // The new version matches a from-scratch prepare of the new graph.
+        let new = &outcome.prepared;
+        assert_eq!(new.stats().edges, old_edges); // one added, one removed
+        assert!(!new.closure().reaches(NodeId(0), NodeId(2)), "b->c cut");
+        assert!(new.closure().reaches(NodeId(3), NodeId(1)), "d->a->b");
+        assert_equivalent_to_fresh(new);
+    }
+
+    #[test]
+    fn apply_refreshes_memoized_bounded_closures() {
+        let old = PreparedGraph::new(cyclic_graph());
+        let k1 = old.bounded_closure(1);
+        assert!(!k1.reaches(NodeId(0), NodeId(2)), "a->c is 2 hops");
+        let outcome = old.apply(&[GraphUpdate::InsertEdge(NodeId(0), NodeId(2))]);
+        let new = &outcome.prepared;
+        assert_eq!(
+            new.bounded_closures_computed(),
+            1,
+            "memo carried over, not dropped"
+        );
+        let k1_new = new.bounded_closure(1);
+        assert!(k1_new.reaches(NodeId(0), NodeId(2)), "now one hop");
+        assert!(outcome.stats.bounded_rows_recomputed > 0);
+        let scratch = TransitiveClosure::bounded(&**new.graph(), 1);
+        for u in new.graph().nodes() {
+            for v in new.graph().nodes() {
+                assert_eq!(k1_new.reaches(u, v), scratch.reaches(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_counts_noops_and_rejects_out_of_range() {
+        let old = PreparedGraph::new(cyclic_graph());
+        let outcome = old.apply(&[
+            GraphUpdate::InsertEdge(NodeId(0), NodeId(1)), // already present
+            GraphUpdate::RemoveEdge(NodeId(3), NodeId(0)), // absent
+            GraphUpdate::InsertEdge(NodeId(0), NodeId(99)), // out of range
+        ]);
+        assert_eq!(outcome.stats.applied, 0);
+        assert_eq!(outcome.stats.noops, 2);
+        assert_eq!(outcome.stats.rejected, 1);
+        assert_equivalent_to_fresh(&outcome.prepared);
+    }
+
+    #[test]
+    fn apply_keeps_compression_decision_in_sync() {
+        // Starts acyclic (compression skipped); a back edge builds a
+        // 4-cycle that makes compression worthwhile.
+        let p = PreparedGraph::new(Arc::new(graph_from_labels(
+            &["a", "b", "c", "d", "e"],
+            &[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")],
+        )));
+        assert!(p.compressed().is_none());
+        let outcome = p.apply(&[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert!(
+            outcome.prepared.compressed().is_some(),
+            "4-cycle of 5 nodes compresses to 2"
+        );
+        assert_equivalent_to_fresh(&outcome.prepared);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_warm_closure() {
+        let p = PreparedGraph::new(cyclic_graph());
+        let bytes = p.save_snapshot();
+        let restored = PreparedGraph::load_snapshot(bytes).expect("restore");
+        assert_eq!(restored.stats().nodes, p.stats().nodes);
+        assert_eq!(restored.stats().edges, p.stats().edges);
+        assert_eq!(restored.stats().closure_edges, p.stats().closure_edges);
+        assert_eq!(restored.graph().label(NodeId(2)), "c");
+        for u in p.graph().nodes() {
+            for v in p.graph().nodes() {
+                assert_eq!(
+                    restored.closure().reaches(u, v),
+                    p.closure().reaches(u, v),
+                    "{u:?}->{v:?}"
+                );
+            }
+        }
+        // A restored graph is live: updates apply on top of it.
+        let outcome = restored.apply(&[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert!(outcome.prepared.closure().reaches(NodeId(3), NodeId(2)));
+        assert_equivalent_to_fresh(&outcome.prepared);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let p = PreparedGraph::new(cyclic_graph());
+        let bytes = p.save_snapshot();
+        assert!(matches!(
+            PreparedGraph::load_snapshot(bytes.slice(0..bytes.len() - 5)),
+            Err(ParseError::Corrupt(_))
+        ));
+        let mut garbled = bytes.to_vec();
+        garbled[0] ^= 0xff;
+        assert!(matches!(
+            PreparedGraph::load_snapshot(Bytes::from(garbled)),
+            Err(ParseError::Corrupt(_))
+        ));
     }
 }

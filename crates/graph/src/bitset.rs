@@ -169,6 +169,35 @@ impl BitSet {
         }
     }
 
+    /// The backing `u64` words, least-significant bit first. Exposed for
+    /// compact serialization (prepared-graph snapshots); bits at or past
+    /// `len()` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitset of `len` bits from backing words produced by
+    /// [`BitSet::words`]. Missing trailing words are treated as zero; any
+    /// bits beyond `len` are cleared.
+    ///
+    /// # Panics
+    /// Panics if more words are supplied than `len` bits require.
+    pub fn from_words(len: usize, words: &[u64]) -> Self {
+        assert!(
+            words.len() <= word_count(len),
+            "{} words exceed capacity for {len} bits",
+            words.len()
+        );
+        let mut buf = vec![0u64; word_count(len)];
+        buf[..words.len()].copy_from_slice(words);
+        let mut s = Self {
+            words: buf.into_boxed_slice(),
+            len,
+        };
+        s.clear_tail();
+        s
+    }
+
     /// Index of the lowest set bit, if any.
     pub fn first(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {
@@ -332,6 +361,22 @@ mod tests {
         assert_eq!(s.first(), Some(250));
         s.insert(70);
         assert_eq!(s.first(), Some(70));
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut s = BitSet::new(130);
+        for i in [0, 63, 64, 100, 129] {
+            s.insert(i);
+        }
+        let back = BitSet::from_words(130, s.words());
+        assert_eq!(back, s);
+        // Short word slices are zero-extended.
+        let sparse = BitSet::from_words(130, &[0b10]);
+        assert_eq!(sparse.iter().collect::<Vec<_>>(), vec![1]);
+        // Out-of-range tail bits are cleared.
+        let trimmed = BitSet::from_words(3, &[!0u64]);
+        assert_eq!(trimmed.count(), 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::bitset::BitSet;
 use crate::digraph::{DiGraph, NodeId};
 use crate::scc::{tarjan_scc, SccResult};
+use std::sync::Arc;
 
 /// Reachability matrix of `G+`, stored as one bitset row per SCC
 /// (all members of an SCC reach the same node set).
@@ -18,8 +19,10 @@ pub struct TransitiveClosure {
     /// `comp[v]` = SCC id of node `v`.
     comp: Vec<u32>,
     /// `rows[c]` = nodes reachable from any member of component `c` via a
-    /// nonempty path.
-    rows: Vec<BitSet>,
+    /// nonempty path. Rows sit behind `Arc` so closure *versions* can
+    /// share unchanged rows (the semi-dynamic maintenance path copies a
+    /// row only when an update actually touches it).
+    rows: Vec<Arc<BitSet>>,
     node_count: usize,
 }
 
@@ -64,7 +67,7 @@ impl TransitiveClosure {
                 }
                 std::mem::swap(&mut frontier, &mut next);
             }
-            rows.push(row);
+            rows.push(Arc::new(row));
         }
         Self {
             comp,
@@ -84,7 +87,7 @@ impl TransitiveClosure {
         // Tarjan ids are reverse-topological: every cross edge goes from a
         // higher component id to a lower one, so ascending order visits
         // sinks first and each row only depends on already-finished rows.
-        let mut rows: Vec<BitSet> = Vec::with_capacity(c);
+        let mut rows: Vec<Arc<BitSet>> = Vec::with_capacity(c);
         for cid in 0..c {
             let mut row = BitSet::new(n);
             let mut cyclic = scc.members(cid).len() > 1;
@@ -110,7 +113,7 @@ impl TransitiveClosure {
                     row.insert(m.index());
                 }
             }
-            rows.push(row);
+            rows.push(Arc::new(row));
         }
 
         Self {
@@ -120,9 +123,60 @@ impl TransitiveClosure {
         }
     }
 
+    /// Assembles a closure from a component assignment and per-component
+    /// reachability rows — the constructor for **closure maintainers**
+    /// (see [`DynamicClosure`]) that keep `comp`/`rows` consistent
+    /// themselves rather than recomputing from a graph.
+    ///
+    /// Requirements (checked only by `debug_assert`): `comp.len() ==
+    /// node_count`, every `comp[v] < rows.len()`, and every row has
+    /// `node_count` bits. Unlike [`TransitiveClosure::from_scc`], the
+    /// component numbering need **not** be topological — nothing in the
+    /// query path depends on row order.
+    pub fn from_parts(comp: Vec<u32>, rows: Vec<BitSet>, node_count: usize) -> Self {
+        Self::from_shared_parts(comp, rows.into_iter().map(Arc::new).collect(), node_count)
+    }
+
+    /// [`TransitiveClosure::from_parts`] taking rows that are already
+    /// `Arc`-shared — the zero-copy handoff from a closure maintainer,
+    /// where untouched rows keep pointing at the previous version's
+    /// storage.
+    pub fn from_shared_parts(comp: Vec<u32>, rows: Vec<Arc<BitSet>>, node_count: usize) -> Self {
+        debug_assert_eq!(comp.len(), node_count);
+        debug_assert!(comp.iter().all(|&c| (c as usize) < rows.len()));
+        debug_assert!(rows.iter().all(|r| r.len() == node_count));
+        Self {
+            comp,
+            rows,
+            node_count,
+        }
+    }
+
     /// Number of nodes in the underlying graph.
     pub fn node_count(&self) -> usize {
         self.node_count
+    }
+
+    /// The component (row) index node `v` is assigned to.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.comp[v.index()] as usize
+    }
+
+    /// Number of reachability rows (components).
+    pub fn component_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The reachability row of component `c` (all members of `c` share it).
+    pub fn component_row(&self, c: usize) -> &BitSet {
+        &self.rows[c]
+    }
+
+    /// The shared handle to component `c`'s row (a pointer bump — used to
+    /// seed closure maintainers without copying any row data).
+    pub fn component_row_shared(&self, c: usize) -> Arc<BitSet> {
+        Arc::clone(&self.rows[c])
     }
 
     /// True iff there is a nonempty path `from ⇝ to`.
@@ -137,9 +191,15 @@ impl TransitiveClosure {
     }
 
     /// Number of `(u, v)` pairs with a nonempty path — `|E+|`.
+    /// Each distinct row is popcounted once and multiplied by its
+    /// component's membership (rows are shared across SCC members).
     pub fn edge_count(&self) -> usize {
+        let mut row_counts: Vec<Option<usize>> = vec![None; self.rows.len()];
         (0..self.node_count)
-            .map(|v| self.rows[self.comp[v] as usize].count())
+            .map(|v| {
+                let c = self.comp[v] as usize;
+                *row_counts[c].get_or_insert_with(|| self.rows[c].count())
+            })
             .sum()
     }
 
@@ -158,6 +218,56 @@ impl TransitiveClosure {
         }
         h
     }
+}
+
+/// How an edge update changed a maintained closure — the return value of
+/// the [`DynamicClosure`] mutation methods, used by callers (the engine's
+/// update path) for accounting and damage-threshold decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateEffect {
+    /// The graph itself did not change (duplicate insert, missing delete).
+    NoOp,
+    /// The graph changed but the closure was already consistent (e.g. an
+    /// inserted edge whose endpoints were already connected).
+    Unchanged,
+    /// The closure was patched in place, touching this many components.
+    Incremental {
+        /// Components whose rows were created, merged, or rewritten.
+        affected_components: usize,
+    },
+    /// The damage exceeded the maintainer's threshold (or split SCC
+    /// structure beyond repair) and the closure was rebuilt from scratch.
+    Rebuilt,
+}
+
+/// The semi-dynamic closure maintenance boundary: a type that keeps the
+/// transitive closure of an evolving graph consistent under single-edge
+/// insertions and deletions, without recomputing from scratch on every
+/// update.
+///
+/// The contract: after any sequence of `insert_edge`/`remove_edge` calls,
+/// [`DynamicClosure::snapshot`] must equal `TransitiveClosure::new` of the
+/// identically mutated graph (same `reaches` relation; internal component
+/// numbering is free). The canonical implementation lives in the
+/// `phom-dynamic` crate; this trait sits in `graph::closure` so the engine
+/// can consume maintainers without depending on a concrete one.
+pub trait DynamicClosure {
+    /// Number of nodes of the maintained graph (fixed; updates are
+    /// edge-level).
+    fn node_count(&self) -> usize;
+
+    /// True iff there is currently a nonempty path `from ⇝ to`.
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool;
+
+    /// Inserts the edge `(from, to)` and patches the closure.
+    fn insert_edge(&mut self, from: NodeId, to: NodeId) -> UpdateEffect;
+
+    /// Removes the edge `(from, to)` and patches the closure.
+    fn remove_edge(&mut self, from: NodeId, to: NodeId) -> UpdateEffect;
+
+    /// An immutable [`TransitiveClosure`] equal to the current state —
+    /// what a consumer hands to the (closure-agnostic) matching kernels.
+    fn snapshot(&self) -> TransitiveClosure;
 }
 
 #[cfg(test)]
@@ -229,6 +339,26 @@ mod tests {
         assert!(tc.reaches(NodeId(0), NodeId(0)));
         assert!(!tc.reaches(NodeId(2), NodeId(2)));
         assert!(!tc.reaches(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn from_parts_reconstructs_equal_closure() {
+        let g = graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
+        );
+        let tc = TransitiveClosure::new(&g);
+        let comp: Vec<u32> = g.nodes().map(|v| tc.component_of(v) as u32).collect();
+        let rows: Vec<BitSet> = (0..tc.component_count())
+            .map(|c| tc.component_row(c).clone())
+            .collect();
+        let back = TransitiveClosure::from_parts(comp, rows, g.node_count());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(tc.reaches(u, v), back.reaches(u, v), "{u:?}->{v:?}");
+            }
+        }
+        assert_eq!(tc.edge_count(), back.edge_count());
     }
 
     #[test]

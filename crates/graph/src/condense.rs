@@ -58,7 +58,13 @@ impl<L> CompressedGraph<L> {
 /// SCC (size > 1, or a single node with a self-loop) gets a self-loop so
 /// that paths may "stay" inside the clique, exactly as in `G2+`.
 pub fn compress_closure<L: Clone>(g: &DiGraph<L>) -> CompressedGraph<L> {
-    let scc = tarjan_scc(g);
+    compress_closure_with(g, &tarjan_scc(g))
+}
+
+/// [`compress_closure`] reusing an existing SCC decomposition of `g`
+/// (callers that already ran Tarjan — the engine's prepare/update paths —
+/// skip the second pass).
+pub fn compress_closure_with<L: Clone>(g: &DiGraph<L>, scc: &SccResult) -> CompressedGraph<L> {
     let mut cg: DiGraph<Vec<L>> = DiGraph::with_capacity(scc.count());
     let mut members = Vec::with_capacity(scc.count());
     let mut rep_of = vec![NodeId(0); g.node_count()];

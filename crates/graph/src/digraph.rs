@@ -103,6 +103,29 @@ impl<L> DiGraph<L> {
         true
     }
 
+    /// Removes the edge `(from, to)` if present, preserving the relative
+    /// order of the remaining adjacency entries (matching algorithms
+    /// iterate `post`/`prev` in insertion order, so a removal must not
+    /// perturb the order of unrelated edges). Returns `true` when removed.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.index() < self.labels.len(), "from out of range");
+        assert!(to.index() < self.labels.len(), "to out of range");
+        let Some(pos) = self.out[from.index()].iter().position(|&w| w == to) else {
+            return false;
+        };
+        self.out[from.index()].remove(pos);
+        let rpos = self.inc[to.index()]
+            .iter()
+            .position(|&w| w == from)
+            .expect("reverse adjacency out of sync");
+        self.inc[to.index()].remove(rpos);
+        self.edge_count -= 1;
+        true
+    }
+
     /// Number of nodes, `|V|`.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -330,6 +353,30 @@ mod tests {
         assert_eq!(g.in_degree(d), 2);
         assert_eq!(g.degree(a), 2);
         assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn remove_edge_keeps_adjacency_order_and_counts() {
+        let g0 = diamond();
+        let mut g = g0.clone();
+        assert!(g.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)), "already gone");
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.post(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(g.prev(NodeId(3)), &[NodeId(1), NodeId(2)], "order kept");
+        // Re-adding restores the edge (at the end of the adjacency list).
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), g0.edge_count());
+    }
+
+    #[test]
+    fn remove_self_loop() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a);
+        assert!(g.remove_edge(a, a));
+        assert!(!g.has_self_loop(a));
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

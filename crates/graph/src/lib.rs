@@ -31,9 +31,9 @@ pub mod serialize;
 pub mod traversal;
 
 pub use bitset::BitSet;
-pub use closure::TransitiveClosure;
+pub use closure::{DynamicClosure, TransitiveClosure, UpdateEffect};
 pub use components::{is_weakly_connected, weakly_connected_components};
-pub use condense::{compress_closure, condensation, CompressedGraph};
+pub use condense::{compress_closure, compress_closure_with, condensation, CompressedGraph};
 pub use digraph::{graph_from_labels, DiGraph, NodeId};
 pub use dot::{from_dot, to_dot, DotParseError};
 pub use generators::{

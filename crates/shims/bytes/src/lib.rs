@@ -95,6 +95,8 @@ pub trait Buf {
     fn remaining(&self) -> usize;
     /// Reads a big-endian `u32`, advancing the cursor.
     fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian `u64`, advancing the cursor.
+    fn get_u64(&mut self) -> u64;
 }
 
 impl Buf for Bytes {
@@ -108,18 +110,31 @@ impl Buf for Bytes {
         self.pos += 4;
         u32::from_be_bytes([b[0], b[1], b[2], b[3]])
     }
+
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64 past end");
+        let b = &self.data[self.pos..self.pos + 8];
+        self.pos += 8;
+        u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
 }
 
 /// Write methods (the `bytes::BufMut` subset used here).
 pub trait BufMut {
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
     /// Appends a slice verbatim.
     fn put_slice(&mut self, s: &[u8]);
 }
 
 impl BufMut for BytesMut {
     fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
         self.data.extend_from_slice(&v.to_be_bytes());
     }
 
@@ -144,5 +159,14 @@ mod tests {
         assert_eq!(r.split_to(2).to_vec(), b"hi".to_vec());
         assert_eq!(r.get_u32(), 7);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
     }
 }

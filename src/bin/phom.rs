@@ -8,6 +8,9 @@
 //! phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]
 //! phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]
 //!               [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]
+//!               [--stats-json PATH]
+//! phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]
+//!               [--nodes M] [--noise P] [--seed S] [--stats-json PATH]
 //! ```
 //!
 //! Graph files use the text format of `phom_graph::serialize`
@@ -39,7 +42,10 @@ fn main() -> ExitCode {
              phom stats    <file>\n\
              phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]\n\
              phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]\n\
-             \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]"
+             \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]\n\
+             \x20                           [--stats-json PATH]\n\
+             phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]\n\
+             \x20                           [--nodes M] [--noise P] [--seed S] [--stats-json PATH]"
         );
         return ExitCode::SUCCESS;
     }
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "engine-batch" => cmd_engine_batch(&args[1..]),
+        "engine-live" => cmd_engine_live(&args[1..]),
         other => fail(&format!("unknown command {other:?}")),
     }
 }
@@ -71,6 +78,9 @@ struct Flags {
     queries: usize,
     threads: usize,
     cold: bool,
+    ops: usize,
+    update_ratio: f64,
+    stats_json: Option<String>,
     files: Vec<String>,
 }
 
@@ -92,6 +102,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         queries: 100,
         threads: 0,
         cold: false,
+        ops: 200,
+        update_ratio: 0.2,
+        stats_json: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -168,6 +181,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads needs a count (0 = all cores)")?;
+            }
+            "--ops" => {
+                f.ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--ops needs a positive count")?;
+            }
+            "--update-ratio" => {
+                f.update_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--update-ratio needs a rate in [0,1]")?;
+            }
+            "--stats-json" => {
+                f.stats_json = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--stats-json needs an output path")?,
+                );
             }
             "--cold" => f.cold = true,
             "--one-to-one" => f.one_to_one = true,
@@ -536,6 +568,7 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
     let engine: Engine<L> = Engine::new(EngineConfig {
         cache_capacity: 8,
         threads: f.threads,
+        ..Default::default()
     });
     let started = std::time::Instant::now();
     let batch = engine.execute_batch(data, &queries);
@@ -620,6 +653,166 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
             cold.as_secs_f64() * 1e3,
             cold.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
         );
+    }
+    if let Err(e) = write_stats_json(f, &engine.stats(), pstats, None) {
+        return fail(&e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes the `--stats-json` export (engine counters + preparation stats
+/// + live-update stats when present) if the flag was given.
+fn write_stats_json(
+    f: &Flags,
+    engine: &EngineStats,
+    prepare: &phom::engine::PrepareStats,
+    updates: Option<&UpdateStats>,
+) -> Result<(), String> {
+    let Some(path) = &f.stats_json else {
+        return Ok(());
+    };
+    let json = format!(
+        "{{\"engine\":{},\"prepare\":{},\"updates\":{}}}\n",
+        engine.to_json(),
+        prepare.to_json(),
+        updates.map_or("null".to_owned(), UpdateStats::to_json),
+    );
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("stats JSON written to {path}");
+    Ok(())
+}
+
+/// `phom engine-live`: replays an interleaved stream of edge updates and
+/// pattern queries against one evolving synthetic data graph. Each update
+/// goes through `Engine::apply_updates` (semi-dynamic closure maintenance
+/// plus cache re-keying); each query runs against the current prepared
+/// version. Reports the incremental/rebuild split and compares the mean
+/// apply cost against one full re-prepare of the final graph.
+fn cmd_engine_live(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if !f.files.is_empty() {
+        return fail("engine-live takes no file arguments");
+    }
+    if !(0.0..=1.0).contains(&f.update_ratio) {
+        return fail("--update-ratio must be in [0,1]");
+    }
+    let cfg = SyntheticConfig {
+        m: f.nodes,
+        noise: f.noise,
+        seed: f.seed,
+    };
+    let inst = phom::workloads::generate_instance(&cfg, 1);
+    let mut data = std::sync::Arc::new(inst.g2.clone());
+    let n = data.node_count();
+    // Window patterns as in engine-batch: label-stable, so standing query
+    // matrices survive edge updates (updates are edge-level).
+    let pattern_nodes = (f.nodes / 5).clamp(4, 40).min(f.nodes);
+    let windows: Vec<std::sync::Arc<DiGraph<phom::workloads::synthetic::Label>>> = (0..8)
+        .map(|w| {
+            let lo = (w * f.nodes / 8).min(f.nodes - pattern_nodes);
+            let keep: std::collections::BTreeSet<NodeId> =
+                (lo..lo + pattern_nodes).map(|i| NodeId(i as u32)).collect();
+            std::sync::Arc::new(inst.g1.induced_subgraph(&keep).0)
+        })
+        .collect();
+
+    let engine: Engine<phom::workloads::synthetic::Label> = Engine::new(EngineConfig {
+        cache_capacity: 8,
+        threads: f.threads,
+        ..Default::default()
+    });
+    let mut rng = phom::graph::XorShift64::new(f.seed ^ 0x6c69_7665); // "live"
+    let mut agg = UpdateStats::default();
+    let (mut queries_run, mut updates_run) = (0usize, 0usize);
+    let mut query_micros = 0u128;
+    let mut card_sum = 0.0f64;
+    let started = std::time::Instant::now();
+    for i in 0..f.ops {
+        if rng.unit() < f.update_ratio && n >= 2 {
+            let a = NodeId(rng.below(n) as u32);
+            let b = NodeId(rng.below(n) as u32);
+            let update = if data.has_edge(a, b) {
+                phom::dynamic::GraphUpdate::RemoveEdge(a, b)
+            } else {
+                phom::dynamic::GraphUpdate::InsertEdge(a, b)
+            };
+            let outcome = engine.apply_updates(&data, &[update]);
+            agg.absorb(&outcome.stats);
+            data = std::sync::Arc::clone(outcome.prepared.graph());
+            updates_run += 1;
+        } else {
+            let pattern = std::sync::Arc::clone(&windows[i % windows.len()]);
+            let mat = SimMatrix::from_fn(pattern.node_count(), n, |v, u| {
+                inst.pool.similarity(*pattern.label(v), *data.label(u))
+            });
+            let q = mixed_query(pattern, mat, f.xi, i);
+            let prepared = engine.prepare(&data);
+            let r = engine.execute(&prepared, &q);
+            query_micros += r.micros;
+            card_sum += r.outcome.qual_card;
+            queries_run += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // The number the subsystem exists to beat: one full re-prepare of the
+    // final graph, i.e. what every single-edge update used to cost.
+    let reprep_start = std::time::Instant::now();
+    let full = PreparedGraph::new(std::sync::Arc::clone(&data));
+    let reprep = reprep_start.elapsed();
+
+    let stats = engine.stats();
+    println!(
+        "final graph: {} nodes, {} edges, {} SCCs, |E+| = {}",
+        full.stats().nodes,
+        full.stats().edges,
+        full.stats().scc_count,
+        full.stats().closure_edges,
+    );
+    println!(
+        "stream: {} ops in {:.2} ms  ({} queries, {} updates, ratio {:.2})",
+        f.ops,
+        elapsed.as_secs_f64() * 1e3,
+        queries_run,
+        updates_run,
+        f.update_ratio,
+    );
+    println!(
+        "updates: {} applied ({} incremental, {} closure-unchanged, {} rebuilds, {} no-ops), \
+         {} components touched, {} bounded rows refreshed",
+        agg.applied,
+        agg.incremental,
+        agg.closure_unchanged,
+        agg.rebuilds,
+        agg.noops,
+        agg.affected_components,
+        agg.bounded_rows_recomputed,
+    );
+    if updates_run > 0 {
+        let mean_apply = agg.apply_micros as f64 / updates_run as f64;
+        let full_micros = reprep.as_micros() as f64;
+        println!(
+            "mean apply = {:.1} us vs full re-prepare = {:.1} us  ({:.2}x faster)",
+            mean_apply,
+            full_micros,
+            full_micros / mean_apply.max(1e-9),
+        );
+    }
+    if queries_run > 0 {
+        println!(
+            "queries: mean latency = {:.1} us, mean qualCard = {:.4}, \
+             prepares = {} (cache hits {})",
+            query_micros as f64 / queries_run as f64,
+            card_sum / queries_run as f64,
+            stats.prepares,
+            stats.cache_hits,
+        );
+    }
+    if let Err(e) = write_stats_json(&f, &stats, full.stats(), Some(&agg)) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }

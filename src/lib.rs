@@ -23,7 +23,8 @@
 //! | [`core`] | p-hom & 1-1 p-hom: decision, `compMaxCard`/`compMaxSim` families, product-graph reductions, hardness gadgets, Appendix-B optimizations, bounded-stretch matching, restarts, enumeration, schema embedding |
 //! | [`baselines`] | graph simulation, subgraph isomorphism, MCS, graph edit distance, similarity flooding, Blondel |
 //! | [`workloads`] | §6 synthetic generator, Web-archive simulator, skeletons, PDG plagiarism, email campaigns |
-//! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching |
+//! | [`dynamic`] | semi-dynamic closure maintenance for live graphs: incremental inserts, bounded-cone deletes |
+//! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching, live updates |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 
 pub use phom_baselines as baselines;
 pub use phom_core as core;
+pub use phom_dynamic as dynamic;
 pub use phom_engine as engine;
 pub use phom_graph as graph;
 pub use phom_sim as sim;
@@ -84,13 +86,14 @@ pub mod prelude {
         naive_max_card, naive_max_sim, verify_phom, AlgoConfig, Algorithm, MatchOutcome,
         MatcherConfig, Objective, PHomMapping, PreparedInputs, ProductGraph, Selection,
     };
+    pub use phom_dynamic::{DynamicConfig, GraphUpdate, SemiDynamicClosure};
     pub use phom_engine::{
-        BatchOutcome, Engine, EngineConfig, EngineStats, PlanKind, PreparedGraph, Query,
-        QueryConfig, QueryResult,
+        BatchOutcome, Engine, EngineConfig, EngineStats, PlanKind, PlannerConfig, PreparedGraph,
+        Query, QueryConfig, QueryResult, UpdateOutcome, UpdateStats,
     };
     pub use phom_graph::{
         compress_closure, graph_from_labels, tarjan_scc, weakly_connected_components, BitSet,
-        DiGraph, NodeId, TransitiveClosure,
+        DiGraph, DynamicClosure, NodeId, TransitiveClosure, UpdateEffect,
     };
     pub use phom_sim::{
         hits_scores, matrix_from_label_fn, text_similarity, NodeWeights, SimMatrix,

@@ -211,6 +211,7 @@ fn hundred_query_batch_prepares_once_and_runs_in_parallel() {
     let engine: Engine<phom::workloads::synthetic::Label> = Engine::new(EngineConfig {
         cache_capacity: 4,
         threads: 4,
+        ..Default::default()
     });
     let batch = engine.execute_batch(&data, &queries);
 
