@@ -1,0 +1,87 @@
+//! Benchmarks the pluggable reachability backends against each other:
+//! index build time and `reaches` query throughput for the dense bitset
+//! closure vs the compressed chain index, with the measured memory
+//! footprint of each printed alongside (the space/time trade the
+//! `ClosureBackend` policy navigates).
+//!
+//! Families: the two 3000-node sparse families of `bench_dynamic`
+//! (preferential-attachment k=4 and random DAG m=12000 — dense-reach
+//! graphs where the dense closure's O(1) queries win and the chain index
+//! pays for its entry lists) plus two shallow-reach sparse families
+//! (preferential-attachment k=1 hierarchy and a subcritical random DAG
+//! m=1.5n — the web-scale regime where the chain index cuts memory by
+//! an order of magnitude).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_graph::{
+    preferential_attachment, random_dag, ChainIndex, DiGraph, NodeId, ReachabilityIndex,
+    TransitiveClosure, XorShift64,
+};
+
+/// A deterministic batch of query pairs exercising both hits and misses.
+fn query_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = XorShift64::new(seed);
+    (0..count)
+        .map(|_| (NodeId(rng.below(n) as u32), NodeId(rng.below(n) as u32)))
+        .collect()
+}
+
+fn bench_family(c: &mut Criterion, name: &str, g: &DiGraph<u32>) {
+    let dense = TransitiveClosure::new(g);
+    let chain = ChainIndex::new(g);
+    eprintln!(
+        "memory {name:<24} dense = {:>10} B   chain = {:>10} B   ({:.1}% of dense, {} chains)",
+        ReachabilityIndex::memory_bytes(&dense),
+        ReachabilityIndex::memory_bytes(&chain),
+        100.0 * ReachabilityIndex::memory_bytes(&chain) as f64
+            / ReachabilityIndex::memory_bytes(&dense) as f64,
+        chain.chain_count(),
+    );
+    let pairs = query_pairs(g.node_count(), 10_000, 0xC0FFEE);
+
+    let mut group = c.benchmark_group(format!("closure_{name}"));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("build_dense"), |b| {
+        b.iter(|| criterion::black_box(TransitiveClosure::new(g)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("build_chain"), |b| {
+        b.iter(|| criterion::black_box(ChainIndex::new(g)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("reaches_10k_dense"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &pairs {
+                hits += usize::from(ReachabilityIndex::reaches(&dense, u, v));
+            }
+            criterion::black_box(hits)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("reaches_10k_chain"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &pairs {
+                hits += usize::from(chain.reaches(u, v));
+            }
+            criterion::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    bench_family(
+        c,
+        "prefattach_n3000_k4",
+        &preferential_attachment(3000, 4, 7),
+    );
+    bench_family(c, "randomdag_n3000_m12k", &random_dag(3000, 12_000, 11));
+    bench_family(
+        c,
+        "hierarchy_n3000_k1",
+        &preferential_attachment(3000, 1, 9),
+    );
+    bench_family(c, "subcrit_dag_n3000", &random_dag(3000, 4_500, 13));
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

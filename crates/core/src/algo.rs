@@ -19,7 +19,7 @@
 
 use crate::mapping::PHomMapping;
 use crate::matchlist::{Entry, MatchList};
-use phom_graph::{BitSet, DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{BitSet, DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
 
 /// Pivot selection strategy for `greedyMatch` (Fig. 4 line 2 just says
@@ -60,8 +60,8 @@ struct Ctx<'a> {
     prev: Vec<BitSet>,
     /// `H1[v].post` as bitsets over `V1`.
     post: Vec<BitSet>,
-    /// `H2`: adjacency matrix of `G2+` (nonempty-path reachability).
-    closure: &'a TransitiveClosure,
+    /// `H2`: nonempty-path reachability over `G2` (any backend).
+    closure: &'a dyn ReachabilityIndex,
     mat: &'a SimMatrix,
     injective: bool,
     selection: Selection,
@@ -70,7 +70,7 @@ struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     fn new<L>(
         g1: &DiGraph<L>,
-        closure: &'a TransitiveClosure,
+        closure: &'a dyn ReachabilityIndex,
         mat: &'a SimMatrix,
         injective: bool,
         selection: Selection,
@@ -284,7 +284,11 @@ fn greedy_match(ctx: &Ctx<'_>, h: MatchList) -> (Pairs, Pairs) {
 /// needs a nonempty path `u ⇝ u`). The paper's product-graph construction
 /// encodes this as its node condition (b); `trimMatching` alone cannot,
 /// because it never prunes the pivot's own candidates.
-fn prune_self_loop_candidates<L>(g1: &DiGraph<L>, closure: &TransitiveClosure, h: &mut MatchList) {
+fn prune_self_loop_candidates<L>(
+    g1: &DiGraph<L>,
+    closure: &dyn ReachabilityIndex,
+    h: &mut MatchList,
+) {
     for e in &mut h.entries {
         if g1.has_self_loop(e.v) {
             e.good.retain(|&u| closure.reaches(u, u));
@@ -349,12 +353,13 @@ pub fn comp_max_card_1_1<L>(
     comp_max_card_with(g1, &closure, mat, cfg, true)
 }
 
-/// `compMaxCard` with a precomputed closure of `G2` (lets callers amortize
-/// the closure across the 10 versions matched in Exp-1, and lets the
-/// optimizer substitute the compressed closure of Appendix B).
+/// `compMaxCard` with a precomputed reachability index over `G2` (lets
+/// callers amortize the closure across the 10 versions matched in Exp-1,
+/// lets the optimizer substitute the compressed closure of Appendix B,
+/// and accepts any [`ReachabilityIndex`] backend).
 pub fn comp_max_card_with<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     cfg: &AlgoConfig,
     injective: bool,
@@ -394,10 +399,10 @@ pub fn comp_max_sim_1_1<L>(
     comp_max_sim_with(g1, &closure, mat, weights, cfg, true)
 }
 
-/// `compMaxSim` with a precomputed closure.
+/// `compMaxSim` with a precomputed reachability index.
 pub fn comp_max_sim_with<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     weights: &NodeWeights,
     cfg: &AlgoConfig,

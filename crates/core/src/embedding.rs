@@ -19,7 +19,7 @@
 //! cheap because fan-outs are small in schemas.
 
 use crate::mapping::{verify_phom, PHomMapping, Violation};
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
 use phom_sim::SimMatrix;
 
 /// Why a mapping fails to be a schema embedding.
@@ -46,7 +46,7 @@ pub enum EmbeddingViolation {
 /// successors `w` of `σ(v)` with `w = σ(child)` or `w ⇝ σ(child)`.
 fn first_hops<L>(
     g2: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     sigma_v: NodeId,
     sigma_child: NodeId,
 ) -> Vec<NodeId> {

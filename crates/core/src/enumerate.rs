@@ -9,7 +9,7 @@
 //! intended for small graphs and diagnostics.
 
 use crate::mapping::PHomMapping;
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
 use phom_sim::SimMatrix;
 
 /// Enumerates total (entire-pattern) p-hom mappings from `g1` to `g2`,
@@ -31,12 +31,12 @@ pub fn enumerate_phom_mappings<L>(
     enumerate_phom_mappings_with(g1, &closure, mat, xi, injective, limit)
 }
 
-/// [`enumerate_phom_mappings`] with a precomputed closure of `G2`
-/// (pass a [`TransitiveClosure::bounded`] closure for bounded-stretch
+/// [`enumerate_phom_mappings`] with a precomputed reachability index over
+/// `G2` (pass a [`TransitiveClosure::bounded`] closure for bounded-stretch
 /// enumeration).
 pub fn enumerate_phom_mappings_with<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
     injective: bool,
@@ -62,7 +62,7 @@ pub fn enumerate_phom_mappings_with<L>(
 
     struct Ctx<'a, L> {
         g1: &'a DiGraph<L>,
-        closure: &'a TransitiveClosure,
+        closure: &'a dyn ReachabilityIndex,
         cands: Vec<Vec<NodeId>>,
         order: Vec<NodeId>,
         injective: bool,

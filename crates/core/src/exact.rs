@@ -8,13 +8,13 @@
 //! where Appendix B notes exact solving is affordable.
 
 use crate::mapping::PHomMapping;
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
 
 /// Shared search state.
 struct Search<'a, L> {
     g1: &'a DiGraph<L>,
-    closure: &'a TransitiveClosure,
+    closure: &'a dyn ReachabilityIndex,
     mat: &'a SimMatrix,
     injective: bool,
     /// Candidate lists per pattern node (static, threshold- and
@@ -25,7 +25,7 @@ struct Search<'a, L> {
 impl<'a, L> Search<'a, L> {
     fn new(
         g1: &'a DiGraph<L>,
-        closure: &'a TransitiveClosure,
+        closure: &'a dyn ReachabilityIndex,
         mat: &'a SimMatrix,
         xi: f64,
         injective: bool,
@@ -110,7 +110,7 @@ pub fn decide_phom<L>(
 /// [`decide_phom`] with a precomputed closure of `G2`.
 pub fn decide_phom_with<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
     injective: bool,
@@ -240,7 +240,7 @@ pub fn exact_optimum<L>(
 /// shares one closure computation.
 pub fn exact_optimum_with<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
     injective: bool,

@@ -1,7 +1,7 @@
 //! P-hom mappings `σ` and the two quality metrics of §3.3:
 //! maximum cardinality `qualCard` and overall similarity `qualSim`.
 
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex};
 use phom_sim::{NodeWeights, SimMatrix};
 
 /// A (partial) mapping `σ` from nodes of the pattern `G1` to nodes of the
@@ -154,13 +154,14 @@ pub enum Violation {
 /// of `G1` with both ends mapped has a nonempty path
 /// `σ(v) ⇝ σ(v')` in `G2`; and, when `injective`, (3) σ is 1-1.
 ///
-/// `closure` must be the transitive closure of `G2`.
+/// `closure` must be a reachability index over `G2` (any
+/// [`ReachabilityIndex`] backend — dense closure or chain index).
 pub fn verify_phom<L>(
     g1: &DiGraph<L>,
     mapping: &PHomMapping,
     mat: &SimMatrix,
     xi: f64,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     injective: bool,
 ) -> Result<(), Violation> {
     for (v, u) in mapping.pairs() {
@@ -193,7 +194,7 @@ pub fn verify_phom<L>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phom_graph::graph_from_labels;
+    use phom_graph::{graph_from_labels, TransitiveClosure};
     use phom_sim::SimMatrixBuilder;
 
     fn n(i: u32) -> NodeId {

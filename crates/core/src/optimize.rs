@@ -17,7 +17,7 @@ use crate::algo::{comp_max_card_with, comp_max_sim_with, AlgoConfig, Selection};
 use crate::mapping::PHomMapping;
 use phom_graph::{
     compress_closure, weakly_connected_components, CompressedGraph, DiGraph, NodeId,
-    TransitiveClosure,
+    ReachabilityIndex, TransitiveClosure,
 };
 use phom_sim::{NodeWeights, SimMatrix};
 use std::collections::BTreeSet;
@@ -137,14 +137,16 @@ pub struct CompressedClosure<L> {
 
 /// Borrowed, query-independent artifacts of one data graph, computed once
 /// and shared across many [`match_graphs_prepared`] calls (the engine's
-/// `PreparedGraph` holds the owning side).
+/// `PreparedGraph` holds the owning side). The reachability index is
+/// backend-agnostic: dense closure and compressed chain index plug in
+/// interchangeably.
 #[derive(Debug)]
 pub struct PreparedInputs<'a, L> {
-    /// Full proper closure of `G2`.
-    pub closure: &'a TransitiveClosure,
+    /// Full proper reachability index over `G2` (any backend).
+    pub closure: &'a dyn ReachabilityIndex,
     /// A hop-bounded closure `(k, closure)`; used when `cfg.max_stretch`
     /// is exactly `k`, otherwise the bounded closure is rebuilt locally.
-    pub bounded: Option<(usize, &'a TransitiveClosure)>,
+    pub bounded: Option<(usize, &'a dyn ReachabilityIndex)>,
     /// Compressed graph + closure; `None` means the preparer determined
     /// compression unprofitable (see [`compression_worthwhile`]), and
     /// compressed runs fall back to the full closure.
@@ -197,6 +199,24 @@ pub fn match_graphs_prepared<L: Clone + Sync>(
     match_graphs_inner(g1, g2, mat, weights, cfg, Some(prep))
 }
 
+/// A reachability index that is either borrowed from a preparer or built
+/// locally for this call — the backend-agnostic replacement for the old
+/// `Cow<TransitiveClosure>` (a locally built index is always dense).
+enum ReachView<'a> {
+    Borrowed(&'a dyn ReachabilityIndex),
+    Owned(TransitiveClosure),
+}
+
+impl ReachView<'_> {
+    #[inline]
+    fn get(&self) -> &dyn ReachabilityIndex {
+        match self {
+            ReachView::Borrowed(r) => *r,
+            ReachView::Owned(c) => c,
+        }
+    }
+}
+
 fn match_graphs_inner<L: Clone + Sync>(
     g1: &DiGraph<L>,
     g2: &DiGraph<L>,
@@ -230,7 +250,7 @@ fn match_graphs_inner<L: Clone + Sync>(
     let use_compression = cfg.compress_g2 && !injective && cfg.max_stretch.is_none();
 
     struct DataSide<'m> {
-        closure: Cow<'m, TransitiveClosure>,
+        closure: ReachView<'m>,
         mat: Cow<'m, SimMatrix>,
         /// For compressed runs: best original member per (v, compressed c).
         translate: Option<Vec<Vec<NodeId>>>,
@@ -244,7 +264,7 @@ fn match_graphs_inner<L: Clone + Sync>(
         g2_nodes: usize,
         mat: &SimMatrix,
         comp: &CompressedGraph<L>,
-        closure: Cow<'m, TransitiveClosure>,
+        closure: ReachView<'m>,
         stats: &mut MatchStats,
     ) -> DataSide<'m> {
         let cn = comp.graph.node_count();
@@ -288,7 +308,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                     g2.node_count(),
                     mat,
                     &cc.compressed,
-                    Cow::Borrowed(&cc.closure),
+                    ReachView::Borrowed(&cc.closure),
                     &mut stats,
                 )
             }),
@@ -301,7 +321,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                         g2.node_count(),
                         mat,
                         &comp,
-                        Cow::Owned(closure),
+                        ReachView::Owned(closure),
                         &mut stats,
                     )
                 })
@@ -312,13 +332,13 @@ fn match_graphs_inner<L: Clone + Sync>(
     };
 
     let data = data.unwrap_or_else(|| {
-        let closure: Cow<'_, TransitiveClosure> = match (cfg.max_stretch, &prep) {
+        let closure: ReachView<'_> = match (cfg.max_stretch, &prep) {
             (Some(k), Some(p)) if p.bounded.is_some_and(|(pk, _)| pk == k) => {
-                Cow::Borrowed(p.bounded.expect("checked above").1)
+                ReachView::Borrowed(p.bounded.expect("checked above").1)
             }
-            (Some(k), _) => Cow::Owned(TransitiveClosure::bounded(g2, k)),
-            (None, Some(p)) => Cow::Borrowed(p.closure),
-            (None, None) => Cow::Owned(TransitiveClosure::new(g2)),
+            (Some(k), _) => ReachView::Owned(TransitiveClosure::bounded(g2, k)),
+            (None, Some(p)) => ReachView::Borrowed(p.closure),
+            (None, None) => ReachView::Owned(TransitiveClosure::new(g2)),
         };
         DataSide {
             closure,
@@ -331,7 +351,7 @@ fn match_graphs_inner<L: Clone + Sync>(
     // --- Future-work extension: arc-consistency prefiltering. ---
     let data = if cfg.prefilter {
         let (filtered, pf_stats) =
-            crate::prefilter::ac_prefilter_matrix(g1, &data.closure, &data.mat, cfg.xi);
+            crate::prefilter::ac_prefilter_matrix(g1, data.closure.get(), &data.mat, cfg.xi);
         stats.prefilter = Some(pf_stats);
         DataSide {
             closure: data.closure,
@@ -356,7 +376,7 @@ fn match_graphs_inner<L: Clone + Sync>(
             if cfg.algorithm.similarity() {
                 crate::restarts::comp_max_sim_restarts_with(
                     g,
-                    &data.closure,
+                    data.closure.get(),
                     m,
                     w,
                     &algo_cfg,
@@ -366,7 +386,7 @@ fn match_graphs_inner<L: Clone + Sync>(
             } else {
                 crate::restarts::comp_max_card_restarts_with(
                     g,
-                    &data.closure,
+                    data.closure.get(),
                     m,
                     &algo_cfg,
                     injective,
@@ -374,9 +394,9 @@ fn match_graphs_inner<L: Clone + Sync>(
                 )
             }
         } else if cfg.algorithm.similarity() {
-            comp_max_sim_with(g, &data.closure, m, w, &algo_cfg, injective)
+            comp_max_sim_with(g, data.closure.get(), m, w, &algo_cfg, injective)
         } else {
-            comp_max_card_with(g, &data.closure, m, &algo_cfg, injective)
+            comp_max_card_with(g, data.closure.get(), m, &algo_cfg, injective)
         }
     };
 
@@ -389,7 +409,7 @@ fn match_graphs_inner<L: Clone + Sync>(
             .filter(|&v| {
                 data.mat
                     .candidates(v, cfg.xi)
-                    .any(|u| !g1.has_self_loop(v) || data.closure.reaches(u, u))
+                    .any(|u| !g1.has_self_loop(v) || data.closure.get().reaches(u, u))
             })
             .collect();
         stats.unmatchable_nodes = g1.node_count() - keep.len();
@@ -419,7 +439,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                 let best = data
                     .mat
                     .candidates(v_old, cfg.xi)
-                    .filter(|&u| !g1.has_self_loop(v_old) || data.closure.reaches(u, u))
+                    .filter(|&u| !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u))
                     .filter(|u| !injective || !used.contains(u))
                     .max_by(|&a, &b| {
                         data.mat
@@ -464,7 +484,7 @@ fn match_graphs_inner<L: Clone + Sync>(
     if cfg.greedy_extend {
         stats.extended_pairs = greedy_extend(
             g1,
-            &data.closure,
+            data.closure.get(),
             &data.mat,
             cfg.xi,
             injective,
@@ -497,7 +517,7 @@ fn match_graphs_inner<L: Clone + Sync>(
 /// `mat` order. Returns the number of pairs added.
 fn greedy_extend<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
     injective: bool,
@@ -824,7 +844,9 @@ mod tests {
                     let (closure, compressed, bounded) = prepare_for_test(&g2, max_stretch);
                     let prep = PreparedInputs {
                         closure: &closure,
-                        bounded: bounded.as_ref().map(|(k, c)| (*k, c)),
+                        bounded: bounded
+                            .as_ref()
+                            .map(|(k, c)| (*k, c as &dyn ReachabilityIndex)),
                         compressed: compressed.as_ref(),
                     };
                     let prepared = match_graphs_prepared(&g1, &g2, &mat, &w, &cfg, prep);

@@ -14,7 +14,7 @@
 //! assignment is still checked by `trimMatching`). The ablation bench
 //! quantifies the trade.
 
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex};
 use phom_sim::SimMatrix;
 
 /// What the prefilter did.
@@ -32,7 +32,7 @@ pub struct PrefilterStats {
 /// (per pattern node) plus statistics.
 pub fn ac_prefilter<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
 ) -> (Vec<Vec<NodeId>>, PrefilterStats) {
@@ -89,7 +89,7 @@ pub fn ac_prefilter<L>(
 /// zeroed out, so downstream algorithms simply see fewer candidates.
 pub fn ac_prefilter_matrix<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
 ) -> (SimMatrix, PrefilterStats) {
@@ -108,7 +108,7 @@ pub fn ac_prefilter_matrix<L>(
 mod tests {
     use super::*;
     use crate::exact::decide_phom;
-    use phom_graph::graph_from_labels;
+    use phom_graph::{graph_from_labels, TransitiveClosure};
 
     fn n(i: u32) -> NodeId {
         NodeId(i)

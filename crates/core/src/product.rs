@@ -16,7 +16,7 @@
 //! adjacent in `Gc` (i.e. incompatible).
 
 use crate::mapping::PHomMapping;
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
 use phom_wis::UGraph;
 
@@ -50,7 +50,7 @@ impl ProductGraph {
     /// [`ProductGraph::build`] with a precomputed closure of `G2`.
     pub fn build_with<L>(
         g1: &DiGraph<L>,
-        closure: &TransitiveClosure,
+        closure: &dyn ReachabilityIndex,
         mat: &SimMatrix,
         xi: f64,
         injective: bool,

@@ -18,7 +18,7 @@
 
 use crate::algo::{comp_max_card_with, comp_max_sim_with, AlgoConfig, Selection};
 use crate::mapping::PHomMapping;
-use phom_graph::{DiGraph, TransitiveClosure};
+use phom_graph::{DiGraph, ReachabilityIndex, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -95,7 +95,7 @@ impl Score<'_> {
 #[allow(clippy::too_many_arguments)]
 fn best_of<L: Sync>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     weights: Option<&NodeWeights>,
     cfg: &AlgoConfig,
@@ -195,7 +195,7 @@ pub fn comp_max_card_restarts<L: Sync>(
 /// [`comp_max_card_restarts`] with a precomputed closure.
 pub fn comp_max_card_restarts_with<L: Sync>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     cfg: &AlgoConfig,
     injective: bool,
@@ -225,7 +225,7 @@ pub fn comp_max_sim_restarts<L: Sync>(
 #[allow(clippy::too_many_arguments)]
 pub fn comp_max_sim_restarts_with<L: Sync>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     weights: &NodeWeights,
     cfg: &AlgoConfig,

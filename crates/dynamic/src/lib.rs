@@ -31,6 +31,14 @@
 //! The invariant (enforced by this crate's property tests): after *any*
 //! sequence of updates, [`SemiDynamicClosure`] answers `reaches` exactly
 //! like `TransitiveClosure::new` of the identically mutated graph.
+//!
+//! Scope note: this maintainer patches the **dense** backend
+//! (`phom_graph::TransitiveClosure` rows). When a prepared graph runs on
+//! the compressed chain backend (`phom_graph::ChainIndex`, whose entry
+//! lists are global suffix minima with no local patch rule), the
+//! engine's update path skips this crate and rebuilds that index from
+//! scratch, recording the downgrade in
+//! `phom_engine::UpdateStats::backend_fallbacks`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

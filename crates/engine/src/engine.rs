@@ -9,7 +9,7 @@ use phom_core::{
     PHomMapping,
 };
 use phom_dynamic::{DynamicConfig, GraphUpdate};
-use phom_graph::{DiGraph, NodeId, TransitiveClosure};
+use phom_graph::{DiGraph, NodeId, ReachabilityIndex};
 use phom_sim::{NodeWeights, SimMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -81,6 +81,23 @@ pub struct EngineStats {
     /// Updates that fell back to a full re-prepare (damage threshold or
     /// admission limit).
     pub update_rebuilds: usize,
+    /// p50 of per-query execution latency in the most recent batch
+    /// (microseconds). For open-loop replays the CLI overwrites these
+    /// with *response* latencies (queueing included) before export.
+    pub last_batch_p50_micros: usize,
+    /// p95 of per-query latency in the most recent batch (microseconds).
+    pub last_batch_p95_micros: usize,
+    /// p99 of per-query latency in the most recent batch (microseconds).
+    pub last_batch_p99_micros: usize,
+}
+
+/// Nearest-rank percentile of a sorted latency sample (`p` in `0..=100`).
+pub fn percentile_micros(sorted: &[u128], p: usize) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)] as usize
 }
 
 impl EngineStats {
@@ -91,7 +108,9 @@ impl EngineStats {
             "{{\"prepares\":{},\"cache_hits\":{},\"queries\":{},\"exact_plans\":{},\
              \"approx_plans\":{},\"bounded_plans\":{},\"baseline_plans\":{},\
              \"last_batch_workers\":{},\"last_batch_peak_parallel\":{},\
-             \"updates_applied\":{},\"updates_incremental\":{},\"update_rebuilds\":{}}}",
+             \"updates_applied\":{},\"updates_incremental\":{},\"update_rebuilds\":{},\
+             \"last_batch_p50_micros\":{},\"last_batch_p95_micros\":{},\
+             \"last_batch_p99_micros\":{}}}",
             self.prepares,
             self.cache_hits,
             self.queries,
@@ -103,7 +122,10 @@ impl EngineStats {
             self.last_batch_peak_parallel,
             self.updates_applied,
             self.updates_incremental,
-            self.update_rebuilds
+            self.update_rebuilds,
+            self.last_batch_p50_micros,
+            self.last_batch_p95_micros,
+            self.last_batch_p99_micros
         )
     }
 }
@@ -122,6 +144,9 @@ struct Counters {
     updates_applied: AtomicUsize,
     updates_incremental: AtomicUsize,
     update_rebuilds: AtomicUsize,
+    last_batch_p50_micros: AtomicUsize,
+    last_batch_p95_micros: AtomicUsize,
+    last_batch_p99_micros: AtomicUsize,
 }
 
 /// The result of one query: the matching outcome plus how the engine got
@@ -264,6 +289,9 @@ impl<L> Engine<L> {
             updates_applied: c.updates_applied.load(Ordering::Relaxed),
             updates_incremental: c.updates_incremental.load(Ordering::Relaxed),
             update_rebuilds: c.update_rebuilds.load(Ordering::Relaxed),
+            last_batch_p50_micros: c.last_batch_p50_micros.load(Ordering::Relaxed),
+            last_batch_p95_micros: c.last_batch_p95_micros.load(Ordering::Relaxed),
+            last_batch_p99_micros: c.last_batch_p99_micros.load(Ordering::Relaxed),
         }
     }
 
@@ -293,7 +321,11 @@ impl<L: Clone + Hash> Engine<L> {
         // other graphs' lookups should not serialize behind it. A racing
         // duplicate prepare for the *same* graph is benign (last insert
         // wins; both Arcs are valid).
-        let prepared = Arc::new(PreparedGraph::new(Arc::clone(graph)));
+        let prepared = Arc::new(PreparedGraph::with_backend(
+            Arc::clone(graph),
+            self.config.planner.closure_backend,
+            self.config.planner.chain_node_threshold,
+        ));
         self.counters.prepares.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         cache.insert(key, Arc::clone(&prepared));
@@ -317,6 +349,32 @@ impl<L: Clone + Hash> Engine<L> {
         graph: &Arc<DiGraph<L>>,
         updates: &[GraphUpdate],
     ) -> UpdateOutcome<L> {
+        // Fast path: a batch in which no update can change the graph
+        // (duplicate inserts, absent deletes, out-of-range nodes — common
+        // in live streams) keeps the current prepared version instead of
+        // assembling an identical new one.
+        let n = graph.node_count();
+        let changes_graph = |u: &GraphUpdate| {
+            u.in_range(n)
+                && match *u {
+                    GraphUpdate::InsertEdge(a, b) => !graph.has_edge(a, b),
+                    GraphUpdate::RemoveEdge(a, b) => graph.has_edge(a, b),
+                }
+        };
+        if !updates.iter().any(changes_graph) {
+            let started = Instant::now();
+            let mut stats = UpdateStats::default();
+            for update in updates {
+                if update.in_range(n) {
+                    stats.noops += 1;
+                } else {
+                    stats.rejected += 1;
+                }
+            }
+            let prepared = self.prepare(graph);
+            stats.apply_micros = started.elapsed().as_micros();
+            return UpdateOutcome { prepared, stats };
+        }
         let outcome = if updates.len() > self.config.max_update_batch {
             // No point preparing (or caching) the pre-update graph here:
             // the oversized branch re-prepares the mutated graph anyway.
@@ -334,7 +392,11 @@ impl<L: Clone + Hash> Engine<L> {
             }
             stats.rebuilds += 1;
             self.counters.prepares.fetch_add(1, Ordering::Relaxed);
-            let rebuilt = Arc::new(PreparedGraph::new(Arc::new(g)));
+            let rebuilt = Arc::new(PreparedGraph::with_backend(
+                Arc::new(g),
+                self.config.planner.closure_backend,
+                self.config.planner.chain_node_threshold,
+            ));
             stats.apply_micros = started.elapsed().as_micros();
             UpdateOutcome {
                 prepared: rebuilt,
@@ -386,11 +448,12 @@ impl<L: Clone + Sync> Engine<L> {
                 // A stretch bound (reachable only via force_plan, since the
                 // planner routes bounded queries to Bounded) is honored by
                 // solving against the hop-bounded closure.
-                let bounded_arc = query
+                let bounded_arc: Option<Arc<dyn ReachabilityIndex>> = query
                     .config
                     .max_stretch
                     .map(|k| prepared.bounded_closure(k));
-                let closure = bounded_arc.as_deref().unwrap_or_else(|| prepared.closure());
+                let closure: &dyn ReachabilityIndex =
+                    bounded_arc.as_deref().unwrap_or_else(|| prepared.closure());
                 let mapping = exact_optimum_with(
                     &*query.pattern,
                     closure,
@@ -422,7 +485,7 @@ impl<L: Clone + Sync> Engine<L> {
                 };
                 // Hold the memoized bounded closure for the duration of
                 // the call; the borrowed view points into it.
-                let bounded_arc: Option<(usize, Arc<TransitiveClosure>)> = query
+                let bounded_arc: Option<(usize, Arc<dyn ReachabilityIndex>)> = query
                     .config
                     .max_stretch
                     .map(|k| (k, prepared.bounded_closure(k)));
@@ -505,12 +568,23 @@ impl<L: Clone + Send + Sync + Hash> Engine<L> {
             }
         });
 
-        let results = results
+        let results: Vec<QueryResult> = results
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|r| r.expect("every query index was claimed by a worker"))
             .collect();
+        let mut latencies: Vec<u128> = results.iter().map(|r| r.micros).collect();
+        latencies.sort_unstable();
+        self.counters
+            .last_batch_p50_micros
+            .store(percentile_micros(&latencies, 50), Ordering::Relaxed);
+        self.counters
+            .last_batch_p95_micros
+            .store(percentile_micros(&latencies, 95), Ordering::Relaxed);
+        self.counters
+            .last_batch_p99_micros
+            .store(percentile_micros(&latencies, 99), Ordering::Relaxed);
         BatchOutcome {
             results,
             stats: self.stats(),
@@ -545,7 +619,7 @@ fn outcome_of(
 /// injective mode claims data nodes greedily in pattern-id order.
 fn baseline_assignment<L>(
     g1: &DiGraph<L>,
-    closure: &TransitiveClosure,
+    closure: &dyn ReachabilityIndex,
     mat: &SimMatrix,
     xi: f64,
     injective: bool,
@@ -682,6 +756,29 @@ mod tests {
     }
 
     #[test]
+    fn noop_update_batch_keeps_current_version() {
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let before = engine.prepare(&g);
+        let outcome = engine.apply_updates(
+            &g,
+            &[
+                GraphUpdate::InsertEdge(NodeId(0), NodeId(1)), // duplicate
+                GraphUpdate::RemoveEdge(NodeId(3), NodeId(0)), // absent
+                GraphUpdate::InsertEdge(NodeId(0), NodeId(99)), // out of range
+            ],
+        );
+        assert_eq!(outcome.stats.applied, 0);
+        assert_eq!(outcome.stats.noops, 2);
+        assert_eq!(outcome.stats.rejected, 1);
+        assert!(
+            Arc::ptr_eq(&outcome.prepared, &before),
+            "no-op batch must not assemble a new version"
+        );
+        assert_eq!(engine.stats().prepares, 1);
+    }
+
+    #[test]
     fn oversized_update_batch_is_admitted_as_one_rebuild() {
         let engine: Engine<String> = Engine::new(EngineConfig {
             cache_capacity: 4,
@@ -726,7 +823,7 @@ mod tests {
         let mut data: DiGraph<&str> = DiGraph::new();
         data.add_node("x");
         let mat = SimMatrix::label_equality(&g, &data);
-        let closure = TransitiveClosure::new(&data);
+        let closure = phom_graph::TransitiveClosure::new(&data);
         let free = baseline_assignment(&g, &closure, &mat, 0.5, false);
         assert_eq!(free.qual_card(), 1.0, "both map to the one data node");
         let inj = baseline_assignment(&g, &closure, &mat, 0.5, true);

@@ -63,9 +63,15 @@ pub mod engine;
 pub mod planner;
 pub mod prepared;
 
-pub use engine::{graph_fingerprint, BatchOutcome, Engine, EngineConfig, EngineStats, QueryResult};
-pub use planner::{plan_query, plan_query_with, Plan, PlanKind, PlannerConfig, Query, QueryConfig};
-pub use prepared::{PrepareStats, PreparedGraph, UpdateOutcome, UpdateStats};
+pub use engine::{
+    graph_fingerprint, percentile_micros, BatchOutcome, Engine, EngineConfig, EngineStats,
+    QueryResult,
+};
+pub use planner::{
+    plan_query, plan_query_with, ClosureBackend, Plan, PlanKind, PlannerConfig, Query, QueryConfig,
+    DEFAULT_CHAIN_NODE_THRESHOLD,
+};
+pub use prepared::{PrepareStats, PreparedGraph, ReachIndex, UpdateOutcome, UpdateStats};
 
 // Re-exported so engine consumers can speak the update vocabulary
 // without a direct `phom-dynamic` dependency.

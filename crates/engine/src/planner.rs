@@ -10,6 +10,59 @@ use phom_graph::DiGraph;
 use phom_sim::{NodeWeights, SimMatrix};
 use std::sync::Arc;
 
+/// Which reachability backend a prepared graph should use for its full
+/// closure — the policy knob behind `phom_graph::ReachabilityIndex`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClosureBackend {
+    /// Pick per graph: dense below
+    /// [`PlannerConfig::chain_node_threshold`] nodes (unbeatable query
+    /// speed while `O(n²)` bits fit), the compressed chain index at or
+    /// above it (the `O(n·w)`-word regime the ROADMAP's "closure memory"
+    /// item calls for).
+    #[default]
+    Auto,
+    /// Always the dense bitset closure (`TransitiveClosure`).
+    Dense,
+    /// Always the compressed chain index (`ChainIndex`).
+    Chain,
+}
+
+impl ClosureBackend {
+    /// Parses the CLI spelling (`dense`, `chain`, `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(ClosureBackend::Auto),
+            "dense" => Some(ClosureBackend::Dense),
+            "chain" => Some(ClosureBackend::Chain),
+            _ => None,
+        }
+    }
+
+    /// Resolves the policy for a graph of `nodes` nodes: true = chain.
+    pub fn use_chain(self, nodes: usize, chain_node_threshold: usize) -> bool {
+        match self {
+            ClosureBackend::Dense => false,
+            ClosureBackend::Chain => true,
+            ClosureBackend::Auto => nodes >= chain_node_threshold,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClosureBackend::Auto => "auto",
+            ClosureBackend::Dense => "dense",
+            ClosureBackend::Chain => "chain",
+        }
+    }
+}
+
+/// Node count at which [`ClosureBackend::Auto`] switches from the dense
+/// closure to the chain index: the dense rows of a 65k-node graph already
+/// cost ~0.5 GB of bits, while the chain index stays in the tens of MB on
+/// the sparse families it targets.
+pub const DEFAULT_CHAIN_NODE_THRESHOLD: usize = 65_536;
+
 /// Planner tuning. Previously the routing cutoffs were hard-coded
 /// (`phom_core::bounds::prefer_exact`'s magic 64 and a private restart
 /// constant); exposing them here lets a deployment tune the exact/approx
@@ -32,6 +85,11 @@ pub struct PlannerConfig {
     /// Restarts granted to restart-friendly plans when the query does not
     /// pin a count itself.
     pub default_restarts: usize,
+    /// Reachability-backend policy for prepared graphs.
+    pub closure_backend: ClosureBackend,
+    /// Node count at which [`ClosureBackend::Auto`] switches to the chain
+    /// index.
+    pub chain_node_threshold: usize,
 }
 
 impl Default for PlannerConfig {
@@ -40,6 +98,8 @@ impl Default for PlannerConfig {
             exact_pair_cutoff: 64,
             restart_friendly_pairs: 2_048,
             default_restarts: 4,
+            closure_backend: ClosureBackend::Auto,
+            chain_node_threshold: DEFAULT_CHAIN_NODE_THRESHOLD,
         }
     }
 }

@@ -6,23 +6,27 @@
 //! `G2+` (Fig. 3 line 5) — the dominant preprocessing cost. A prepared
 //! graph hoists that cost out of the per-query path:
 //!
-//! * the **full proper closure** `G2+` (via one SCC condensation pass);
-//! * the **SCC decomposition** itself (reused by the closure build and
+//! * the **full reachability index** over `G2+` behind a pluggable
+//!   [`ReachIndex`] backend — the dense bitset closure or the compressed
+//!   chain index, chosen by the [`ClosureBackend`] policy;
+//! * the **SCC decomposition** itself (reused by the index build and
 //!   exposed for diagnostics);
 //! * the **compressed graph** `G2*` of Appendix B plus *its* closure,
 //!   kept only when compression actually shrinks the graph;
 //! * **hop-bounded closures** for bounded-stretch queries, built lazily
-//!   per distinct bound `k` and memoized;
+//!   per distinct bound `k` and memoized (always dense: SCC members do
+//!   not share hop-bounded rows, so the chain trick does not apply);
 //! * degree-based **node weights** of the data graph (importance ranking
 //!   for result display and workload skimming).
 
+use crate::planner::{ClosureBackend, DEFAULT_CHAIN_NODE_THRESHOLD};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use phom_core::{compression_worthwhile, CompressedClosure, PreparedInputs};
 use phom_dynamic::{refresh_bounded_closure, DynamicConfig, GraphUpdate, SemiDynamicClosure};
 use phom_graph::serialize::ParseError;
 use phom_graph::{
-    compress_closure_with, tarjan_scc, BitSet, DiGraph, DynamicClosure, NodeId, SccResult,
-    TransitiveClosure, UpdateEffect,
+    compress_closure_with, tarjan_scc, BitSet, ChainIndex, DiGraph, DynamicClosure, NodeId,
+    ReachabilityIndex, SccResult, TransitiveClosure, UpdateEffect,
 };
 use phom_sim::NodeWeights;
 use serde::{Deserialize, Serialize};
@@ -30,6 +34,67 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// The reachability backend a prepared graph actually holds — the owning
+/// side of `phom_graph::ReachabilityIndex`. Cloning is a pointer bump.
+#[derive(Debug, Clone)]
+pub enum ReachIndex {
+    /// Dense bitset closure (`O(1)` queries, `O(n²)` bits).
+    Dense(Arc<TransitiveClosure>),
+    /// Compressed chain index (`O(log w)` queries, `O(n·w)` words).
+    Chain(Arc<ChainIndex>),
+}
+
+impl ReachIndex {
+    /// The trait-object view the matching kernels consume.
+    #[inline]
+    pub fn as_dyn(&self) -> &dyn ReachabilityIndex {
+        match self {
+            ReachIndex::Dense(c) => &**c,
+            ReachIndex::Chain(c) => &**c,
+        }
+    }
+
+    /// Shared trait-object handle (for memo shortcuts).
+    pub fn as_dyn_arc(&self) -> Arc<dyn ReachabilityIndex> {
+        match self {
+            ReachIndex::Dense(c) => Arc::clone(c) as Arc<dyn ReachabilityIndex>,
+            ReachIndex::Chain(c) => Arc::clone(c) as Arc<dyn ReachabilityIndex>,
+        }
+    }
+
+    /// Stable backend name (`"dense"` / `"chain"`).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ReachIndex::Dense(_) => "dense",
+            ReachIndex::Chain(_) => "chain",
+        }
+    }
+
+    /// The dense closure, when that is the active backend (the
+    /// semi-dynamic maintenance path needs concrete rows to seed from).
+    pub fn dense(&self) -> Option<&Arc<TransitiveClosure>> {
+        match self {
+            ReachIndex::Dense(c) => Some(c),
+            ReachIndex::Chain(_) => None,
+        }
+    }
+
+    /// Builds the index chosen by `policy` for `graph`, reusing an SCC
+    /// decomposition.
+    fn build<L>(
+        graph: &DiGraph<L>,
+        scc: &SccResult,
+        policy: ClosureBackend,
+        chain_node_threshold: usize,
+    ) -> Self {
+        if policy.use_chain(graph.node_count(), chain_node_threshold) {
+            ReachIndex::Chain(Arc::new(ChainIndex::from_scc(graph, scc)))
+        } else {
+            ReachIndex::Dense(Arc::new(TransitiveClosure::from_scc(graph, scc)))
+        }
+    }
+}
 
 /// What one [`PreparedGraph::new`] computed, and how long it took.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +107,10 @@ pub struct PrepareStats {
     pub scc_count: usize,
     /// Reachable pairs in the full closure, `|E+|`.
     pub closure_edges: usize,
+    /// Active reachability backend (`"dense"` / `"chain"`).
+    pub closure_backend: String,
+    /// Heap footprint of the active reachability index in bytes.
+    pub closure_memory_bytes: usize,
     /// Compressed node count when Appendix-B compression was kept.
     pub compressed_nodes: Option<usize>,
     /// Wall-clock microseconds spent preparing.
@@ -53,11 +122,14 @@ impl PrepareStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"nodes\":{},\"edges\":{},\"scc_count\":{},\"closure_edges\":{},\
+             \"closure_backend\":\"{}\",\"closure_memory_bytes\":{},\
              \"compressed_nodes\":{},\"prepare_micros\":{}}}",
             self.nodes,
             self.edges,
             self.scc_count,
             self.closure_edges,
+            self.closure_backend,
+            self.closure_memory_bytes,
             match self.compressed_nodes {
                 Some(c) => c.to_string(),
                 None => "null".to_owned(),
@@ -82,6 +154,10 @@ pub struct UpdateStats {
     pub incremental: usize,
     /// Applied updates that fell back to a full closure rebuild.
     pub rebuilds: usize,
+    /// Apply batches whose backend has no incremental maintenance path
+    /// (the chain index) and were serviced by one from-scratch backend
+    /// rebuild — the recorded downgrade from semi-dynamic maintenance.
+    pub backend_fallbacks: usize,
     /// Total closure components created, merged, or rewritten.
     pub affected_components: usize,
     /// Hop-bounded memo rows re-run (affected sources across all
@@ -102,6 +178,7 @@ impl UpdateStats {
         self.closure_unchanged += other.closure_unchanged;
         self.incremental += other.incremental;
         self.rebuilds += other.rebuilds;
+        self.backend_fallbacks += other.backend_fallbacks;
         self.affected_components += other.affected_components;
         self.bounded_rows_recomputed += other.bounded_rows_recomputed;
         self.apply_micros += other.apply_micros;
@@ -111,14 +188,15 @@ impl UpdateStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"applied\":{},\"noops\":{},\"rejected\":{},\"closure_unchanged\":{},\
-             \"incremental\":{},\"rebuilds\":{},\"affected_components\":{},\
-             \"bounded_rows_recomputed\":{},\"apply_micros\":{}}}",
+             \"incremental\":{},\"rebuilds\":{},\"backend_fallbacks\":{},\
+             \"affected_components\":{},\"bounded_rows_recomputed\":{},\"apply_micros\":{}}}",
             self.applied,
             self.noops,
             self.rejected,
             self.closure_unchanged,
             self.incremental,
             self.rebuilds,
+            self.backend_fallbacks,
             self.affected_components,
             self.bounded_rows_recomputed,
             self.apply_micros
@@ -144,11 +222,15 @@ pub struct UpdateOutcome<L> {
 pub struct PreparedGraph<L> {
     graph: Arc<DiGraph<L>>,
     /// Tarjan decomposition, computed lazily: the fresh-prepare path has
-    /// it anyway (the closure is built from it), but the incremental
+    /// it anyway (the index is built from it), but the incremental
     /// update path maintains SCC *membership* in its own slot numbering
     /// and only needs a Tarjan-numbered result if a caller asks.
     scc: OnceLock<SccResult>,
-    closure: Arc<TransitiveClosure>,
+    index: ReachIndex,
+    /// The backend policy this graph was prepared under (inherited by
+    /// update-derived versions).
+    policy: ClosureBackend,
+    chain_node_threshold: usize,
     compressed: Option<CompressedClosure<L>>,
     data_weights: NodeWeights,
     bounded: Mutex<HashMap<usize, Arc<TransitiveClosure>>>,
@@ -157,17 +239,30 @@ pub struct PreparedGraph<L> {
 }
 
 impl<L: Clone> PreparedGraph<L> {
-    /// Prepares `graph`: SCC decomposition, full closure, compression
-    /// decision (kept only when [`compression_worthwhile`]), and
-    /// degree-based node weights.
+    /// Prepares `graph` under the default backend policy
+    /// ([`ClosureBackend::Auto`]): SCC decomposition, full reachability
+    /// index, compression decision (kept only when
+    /// [`compression_worthwhile`]), and degree-based node weights.
     pub fn new(graph: Arc<DiGraph<L>>) -> Self {
+        Self::with_backend(graph, ClosureBackend::Auto, DEFAULT_CHAIN_NODE_THRESHOLD)
+    }
+
+    /// [`PreparedGraph::new`] under an explicit [`ClosureBackend`] policy
+    /// (the engine passes its `PlannerConfig` knobs here).
+    pub fn with_backend(
+        graph: Arc<DiGraph<L>>,
+        policy: ClosureBackend,
+        chain_node_threshold: usize,
+    ) -> Self {
         let started = Instant::now();
         let scc = tarjan_scc(&*graph);
-        let closure = TransitiveClosure::from_scc(&*graph, &scc);
+        let index = ReachIndex::build(&graph, &scc, policy, chain_node_threshold);
         let scc_count = scc.count();
         Self::assemble(
             graph,
-            closure,
+            index,
+            policy,
+            chain_node_threshold,
             Some(scc),
             scc_count,
             HashMap::new(),
@@ -175,20 +270,22 @@ impl<L: Clone> PreparedGraph<L> {
         )
     }
 
-    /// Builds every remaining artifact around an **already known** full
-    /// closure — the shared tail of [`PreparedGraph::new`] (closure just
-    /// computed, SCC pass reused), [`PreparedGraph::apply_with`] (closure
-    /// maintained incrementally), and snapshot restore (closure
-    /// deserialized). `scc_count` is the component count of `graph`
-    /// (every caller knows it cheaply); the Tarjan-numbered decomposition
-    /// itself is optional — when absent it is computed only if the
-    /// compression decision needs it, and otherwise stays lazy until
-    /// someone calls [`PreparedGraph::scc`]. The compressed closure runs
-    /// over the condensation only (`C ≪ n` whenever compression is
-    /// worthwhile).
+    /// Builds every remaining artifact around an **already built**
+    /// reachability index — the shared tail of
+    /// [`PreparedGraph::with_backend`] (index just computed, SCC pass
+    /// reused), [`PreparedGraph::apply_with`] (index maintained or
+    /// rebuilt), and snapshot restore (index deserialized). `scc_count`
+    /// is the component count of `graph` (every caller knows it
+    /// cheaply); the Tarjan-numbered decomposition itself is optional —
+    /// when absent it is computed only if the compression decision needs
+    /// it, and otherwise stays lazy until someone calls
+    /// [`PreparedGraph::scc`].
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         graph: Arc<DiGraph<L>>,
-        closure: TransitiveClosure,
+        index: ReachIndex,
+        policy: ClosureBackend,
+        chain_node_threshold: usize,
         scc: Option<SccResult>,
         scc_count: usize,
         bounded: HashMap<usize, Arc<TransitiveClosure>>,
@@ -212,7 +309,9 @@ impl<L: Clone> PreparedGraph<L> {
             nodes: graph.node_count(),
             edges: graph.edge_count(),
             scc_count,
-            closure_edges: closure.edge_count(),
+            closure_edges: index.as_dyn().pair_count(),
+            closure_backend: index.backend_name().to_owned(),
+            closure_memory_bytes: index.as_dyn().memory_bytes(),
             compressed_nodes: compressed
                 .as_ref()
                 .map(|cc| cc.compressed.graph.node_count()),
@@ -222,7 +321,9 @@ impl<L: Clone> PreparedGraph<L> {
         PreparedGraph {
             graph,
             scc: scc_cell,
-            closure: Arc::new(closure),
+            index,
+            policy,
+            chain_node_threshold,
             compressed,
             data_weights,
             bounded: Mutex::new(bounded),
@@ -242,23 +343,40 @@ impl<L: Clone> PreparedGraph<L> {
     /// in-flight queries holding the old `Arc` keep reading a consistent
     /// snapshot while new queries route to the returned version.
     ///
-    /// The closure is *maintained*, not recomputed: a
-    /// [`SemiDynamicClosure`] is seeded from the existing rows (one
-    /// memcpy), each update is patched in (incremental insert /
+    /// With the **dense** backend the closure is *maintained*, not
+    /// recomputed: a [`SemiDynamicClosure`] is seeded from the existing
+    /// rows (one memcpy), each update is patched in (incremental insert /
     /// bounded-cone delete, with the [`DynamicConfig::damage_threshold`]
-    /// rebuild fallback), memoized hop-bounded closures are refreshed for
-    /// affected sources only, and the compressed graph's closure is
-    /// derived from the maintained rows. Only the (linear) SCC pass,
-    /// compression skeleton, and node weights are recomputed.
+    /// rebuild fallback), and memoized hop-bounded closures are refreshed
+    /// for affected sources only. The compressed graph and *its* closure
+    /// are still recomputed from linear passes per version (patching them
+    /// incrementally is the ROADMAP's open refinement, and the dominant
+    /// residual cost of an apply on compression-worthy graphs). With the
+    /// **chain** backend there
+    /// is no incremental maintenance path (the entry lists are global
+    /// suffix minima), so the batch falls back to one from-scratch
+    /// backend rebuild — recorded in [`UpdateStats::backend_fallbacks`].
     pub fn apply_with(&self, updates: &[GraphUpdate], config: &DynamicConfig) -> UpdateOutcome<L> {
+        match self.index.dense() {
+            Some(dense) => self.apply_dense(updates, config, dense),
+            None => self.apply_chain_rebuild(updates),
+        }
+    }
+
+    /// The semi-dynamic maintenance path (dense backend only).
+    fn apply_dense(
+        &self,
+        updates: &[GraphUpdate],
+        config: &DynamicConfig,
+        dense: &Arc<TransitiveClosure>,
+    ) -> UpdateOutcome<L> {
         let started = Instant::now();
         let n = self.graph.node_count();
         let mut stats = UpdateStats::default();
         // The clone becomes the new version's graph: the maintainer owns
         // it, applies each edit to graph and closure in lockstep, and
         // hands both back via `into_parts`.
-        let mut dyc =
-            SemiDynamicClosure::from_closure((*self.graph).clone(), &self.closure, *config);
+        let mut dyc = SemiDynamicClosure::from_closure((*self.graph).clone(), dense, *config);
         let mut touched: Vec<NodeId> = Vec::new();
         for &update in updates {
             if !update.in_range(n) {
@@ -293,27 +411,12 @@ impl<L: Clone> PreparedGraph<L> {
         }
         let scc_count = dyc.component_count();
         let (new_graph, closure) = dyc.into_parts();
-
-        // Refresh the memoized hop-bounded closures (affected sources
-        // only) so a warm memo survives the version bump.
-        let old_memo: Vec<(usize, Arc<TransitiveClosure>)> = {
-            let memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
-            memo.iter().map(|(&k, c)| (k, Arc::clone(c))).collect()
-        };
-        let mut bounded = HashMap::with_capacity(old_memo.len());
-        for (k, old) in old_memo {
-            if touched.is_empty() {
-                bounded.insert(k, old);
-                continue;
-            }
-            let (fresh, recomputed) = refresh_bounded_closure(&old, &new_graph, k, &touched);
-            stats.bounded_rows_recomputed += recomputed;
-            bounded.insert(k, Arc::new(fresh));
-        }
-
+        let bounded = self.refreshed_bounded_memo(&new_graph, &touched, &mut stats);
         let prepared = Self::assemble(
             Arc::new(new_graph),
-            closure,
+            ReachIndex::Dense(Arc::new(closure)),
+            self.policy,
+            self.chain_node_threshold,
             None,
             scc_count,
             bounded,
@@ -326,19 +429,100 @@ impl<L: Clone> PreparedGraph<L> {
         }
     }
 
+    /// The chain-backend fallback: apply the edits to a graph clone and
+    /// rebuild the index from scratch (semi-dynamic by design — never
+    /// worse than a re-prepare, and the downgrade is visible in the
+    /// stats).
+    fn apply_chain_rebuild(&self, updates: &[GraphUpdate]) -> UpdateOutcome<L> {
+        let started = Instant::now();
+        let n = self.graph.node_count();
+        let mut stats = UpdateStats::default();
+        let mut new_graph = (*self.graph).clone();
+        let mut touched: Vec<NodeId> = Vec::new();
+        for &update in updates {
+            if !update.in_range(n) {
+                stats.rejected += 1;
+            } else if update.apply_to(&mut new_graph) {
+                stats.applied += 1;
+                touched.push(update.source());
+            } else {
+                stats.noops += 1;
+            }
+        }
+        let (index, scc, scc_count) = if stats.applied == 0 {
+            // Nothing changed the graph: keep the existing index (a
+            // pointer bump) — no rebuild ran, so no downgrade to record.
+            (self.index.clone(), None, self.stats.scc_count)
+        } else {
+            stats.backend_fallbacks = 1;
+            stats.rebuilds += 1;
+            let scc = tarjan_scc(&new_graph);
+            let scc_count = scc.count();
+            let index = ReachIndex::Chain(Arc::new(ChainIndex::from_scc(&new_graph, &scc)));
+            (index, Some(scc), scc_count)
+        };
+        let bounded = self.refreshed_bounded_memo(&new_graph, &touched, &mut stats);
+        let prepared = Self::assemble(
+            Arc::new(new_graph),
+            index,
+            self.policy,
+            self.chain_node_threshold,
+            scc,
+            scc_count,
+            bounded,
+            started,
+        );
+        stats.apply_micros = started.elapsed().as_micros();
+        UpdateOutcome {
+            prepared: Arc::new(prepared),
+            stats,
+        }
+    }
+
+    /// Refreshes the memoized hop-bounded closures (affected sources
+    /// only) so a warm memo survives the version bump.
+    fn refreshed_bounded_memo(
+        &self,
+        new_graph: &DiGraph<L>,
+        touched: &[NodeId],
+        stats: &mut UpdateStats,
+    ) -> HashMap<usize, Arc<TransitiveClosure>> {
+        let old_memo: Vec<(usize, Arc<TransitiveClosure>)> = {
+            let memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
+            memo.iter().map(|(&k, c)| (k, Arc::clone(c))).collect()
+        };
+        let mut bounded = HashMap::with_capacity(old_memo.len());
+        for (k, old) in old_memo {
+            if touched.is_empty() {
+                bounded.insert(k, old);
+                continue;
+            }
+            let (fresh, recomputed) = refresh_bounded_closure(&old, new_graph, k, touched);
+            stats.bounded_rows_recomputed += recomputed;
+            bounded.insert(k, Arc::new(fresh));
+        }
+        bounded
+    }
+
     /// The underlying data graph.
     pub fn graph(&self) -> &Arc<DiGraph<L>> {
         &self.graph
     }
 
-    /// The full proper closure `G2+`.
-    pub fn closure(&self) -> &TransitiveClosure {
-        &self.closure
+    /// The full reachability index over `G2+` (backend-agnostic view).
+    pub fn closure(&self) -> &dyn ReachabilityIndex {
+        self.index.as_dyn()
+    }
+
+    /// The owning reachability backend (for snapshotting and policy
+    /// introspection).
+    pub fn backend(&self) -> &ReachIndex {
+        &self.index
     }
 
     /// The Tarjan SCC decomposition of the data graph (computed lazily
     /// after an incremental update; always membership-equivalent to the
-    /// closure's component structure).
+    /// index's component structure).
     pub fn scc(&self) -> &SccResult {
         self.scc.get_or_init(|| tarjan_scc(&*self.graph))
     }
@@ -360,14 +544,15 @@ impl<L: Clone> PreparedGraph<L> {
 
     /// The hop-bounded closure for stretch bound `k`, building and
     /// memoizing it on first use. Bounds at or above the node count
-    /// coincide with the full closure, which is returned without a build.
-    pub fn bounded_closure(&self, k: usize) -> Arc<TransitiveClosure> {
+    /// coincide with the full closure, so the active full index is
+    /// returned without a build.
+    pub fn bounded_closure(&self, k: usize) -> Arc<dyn ReachabilityIndex> {
         if k >= self.graph.node_count().max(1) {
-            return Arc::clone(&self.closure);
+            return self.index.as_dyn_arc();
         }
         let mut memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(c) = memo.get(&k) {
-            return Arc::clone(c);
+            return Arc::clone(c) as Arc<dyn ReachabilityIndex>;
         }
         let built = Arc::new(TransitiveClosure::bounded(&*self.graph, k));
         self.bounded_computed.fetch_add(1, Ordering::Relaxed);
@@ -385,23 +570,40 @@ impl<L: Clone> PreparedGraph<L> {
     /// stretch bound when one applies (see [`PreparedGraph::bounded_closure`]).
     pub fn inputs<'a>(
         &'a self,
-        bounded: Option<(usize, &'a TransitiveClosure)>,
+        bounded: Option<(usize, &'a dyn ReachabilityIndex)>,
     ) -> PreparedInputs<'a, L> {
         PreparedInputs {
-            closure: &self.closure,
+            closure: self.index.as_dyn(),
             bounded,
             compressed: self.compressed.as_ref(),
         }
     }
 }
 
+/// Bounds check shared by the snapshot readers.
+fn need(data: &Bytes, bytes: usize) -> Result<(), ParseError> {
+    if data.remaining() < bytes {
+        Err(ParseError::Corrupt(format!("need {bytes} more bytes")))
+    } else {
+        Ok(())
+    }
+}
+
 /// Magic prefix of the prepared-graph snapshot format ("pHPG").
 const PREPARED_MAGIC: u32 = 0x7048_5047;
+/// Snapshot format version. Version 2 added the version byte itself plus
+/// the backend tag (the PR-2 format was unversioned; its first payload
+/// byte — the high byte of a big-endian graph length — reads back as
+/// version 0 and is rejected with a clear error instead of misparsing).
+const SNAPSHOT_VERSION: u8 = 2;
+const BACKEND_DENSE: u8 = 0;
+const BACKEND_CHAIN: u8 = 1;
 
 impl PreparedGraph<String> {
     /// Serializes the prepared graph — the data graph (via
-    /// `phom_graph::serialize::to_snapshot`) **plus the warm closure
-    /// rows** — into a compact binary snapshot, so a restarted engine
+    /// `phom_graph::serialize::to_snapshot`) **plus the warm reachability
+    /// index** (dense closure rows or chain-index arrays, tagged by
+    /// backend) — into a compact binary snapshot, so a restarted engine
     /// restores a prepared graph without re-running the closure
     /// computation (the dominant preparation cost).
     ///
@@ -411,46 +613,84 @@ impl PreparedGraph<String> {
     pub fn save_snapshot(&self) -> Bytes {
         let graph_bytes = phom_graph::serialize::to_snapshot(&self.graph);
         let n = self.graph.node_count();
-        let mut buf = BytesMut::with_capacity(16 + graph_bytes.len() + 8 * n);
+        let mut buf = BytesMut::with_capacity(24 + graph_bytes.len() + 8 * n);
         buf.put_u32(PREPARED_MAGIC);
+        buf.put_u8(SNAPSHOT_VERSION);
+        buf.put_u8(match self.index {
+            ReachIndex::Dense(_) => BACKEND_DENSE,
+            ReachIndex::Chain(_) => BACKEND_CHAIN,
+        });
         buf.put_u32(graph_bytes.len() as u32);
         buf.put_slice(graph_bytes.as_ref());
         buf.put_u32(n as u32);
-        for v in self.graph.nodes() {
-            buf.put_u32(self.closure.component_of(v) as u32);
-        }
-        let rows = self.closure.component_count();
-        buf.put_u32(rows as u32);
-        for c in 0..rows {
-            let words = self.closure.component_row(c).words();
-            buf.put_u32(words.len() as u32);
-            for &w in words {
-                buf.put_u64(w);
+        match &self.index {
+            ReachIndex::Dense(closure) => {
+                for v in self.graph.nodes() {
+                    buf.put_u32(closure.component_of(v) as u32);
+                }
+                let rows = closure.component_count();
+                buf.put_u32(rows as u32);
+                for c in 0..rows {
+                    let words = closure.component_row(c).words();
+                    buf.put_u32(words.len() as u32);
+                    for &w in words {
+                        buf.put_u64(w);
+                    }
+                }
+            }
+            ReachIndex::Chain(chain) => {
+                let p = chain.parts();
+                buf.put_u32(p.chain_of.len() as u32);
+                for &c in p.comp {
+                    buf.put_u32(c);
+                }
+                let cyclic_words = p.cyclic.words();
+                buf.put_u32(cyclic_words.len() as u32);
+                for &w in cyclic_words {
+                    buf.put_u64(w);
+                }
+                for &j in p.chain_of {
+                    buf.put_u32(j);
+                }
+                for &pos in p.pos_of {
+                    buf.put_u32(pos);
+                }
+                for &off in p.entry_off {
+                    buf.put_u32(off);
+                }
+                buf.put_u32(p.entries.len() as u32);
+                for &(j, pos) in p.entries {
+                    buf.put_u32(j);
+                    buf.put_u32(pos);
+                }
             }
         }
         buf.freeze()
     }
 
     /// Restores a prepared graph from [`PreparedGraph::save_snapshot`]
-    /// bytes. The closure rows are trusted as saved (they are validated
-    /// for shape, not re-derived — snapshots are a cache format, not an
-    /// interchange format).
+    /// bytes. Snapshots from unknown format versions — including the
+    /// unversioned pre-version-byte layout — are rejected with a
+    /// [`ParseError`] instead of being silently misparsed. The index
+    /// payload is validated for shape, not re-derived (snapshots are a
+    /// cache format, not an interchange format).
     pub fn load_snapshot(mut data: Bytes) -> Result<Self, ParseError> {
         let started = Instant::now();
-        let need = |data: &Bytes, bytes: usize| -> Result<(), ParseError> {
-            if data.remaining() < bytes {
-                Err(ParseError::Corrupt(format!("need {bytes} more bytes")))
-            } else {
-                Ok(())
-            }
-        };
-        need(&data, 8)?;
+        need(&data, 10)?;
         let magic = data.get_u32();
         if magic != PREPARED_MAGIC {
             return Err(ParseError::Corrupt(format!(
                 "bad prepared-graph magic {magic:#x}"
             )));
         }
+        let version = data.get_u8();
+        if version != SNAPSHOT_VERSION {
+            return Err(ParseError::Corrupt(format!(
+                "unsupported prepared-snapshot format version {version} \
+                 (this build reads version {SNAPSHOT_VERSION}; re-save the snapshot)"
+            )));
+        }
+        let backend = data.get_u8();
         let graph_len = data.get_u32() as usize;
         need(&data, graph_len)?;
         let graph = phom_graph::serialize::from_snapshot(data.split_to(graph_len))?;
@@ -462,12 +702,39 @@ impl PreparedGraph<String> {
                 graph.node_count()
             )));
         }
-        let mut comp = Vec::with_capacity(n);
-        for _ in 0..n {
-            need(&data, 4)?;
-            comp.push(data.get_u32());
-        }
-        need(&data, 4)?;
+        let index = match backend {
+            BACKEND_DENSE => ReachIndex::Dense(Arc::new(Self::load_dense(&mut data, n)?)),
+            BACKEND_CHAIN => ReachIndex::Chain(Arc::new(Self::load_chain(&mut data, n)?)),
+            other => {
+                return Err(ParseError::Corrupt(format!(
+                    "unknown reachability backend tag {other}"
+                )))
+            }
+        };
+        let scc = tarjan_scc(&graph);
+        let scc_count = scc.count();
+        // A restored graph keeps whichever backend it was saved with;
+        // later `apply` versions inherit that choice explicitly.
+        let policy = match index {
+            ReachIndex::Dense(_) => ClosureBackend::Dense,
+            ReachIndex::Chain(_) => ClosureBackend::Chain,
+        };
+        Ok(Self::assemble(
+            Arc::new(graph),
+            index,
+            policy,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+            Some(scc),
+            scc_count,
+            HashMap::new(),
+            started,
+        ))
+    }
+
+    fn load_dense(data: &mut Bytes, n: usize) -> Result<TransitiveClosure, ParseError> {
+        need(data, 4 * n)?;
+        let comp: Vec<u32> = (0..n).map(|_| data.get_u32()).collect();
+        need(data, 4)?;
         let row_count = data.get_u32() as usize;
         if let Some(&c) = comp.iter().find(|&&c| c as usize >= row_count) {
             return Err(ParseError::Corrupt(format!(
@@ -477,31 +744,58 @@ impl PreparedGraph<String> {
         let max_words = n.div_ceil(64);
         let mut rows = Vec::with_capacity(row_count);
         for _ in 0..row_count {
-            need(&data, 4)?;
+            need(data, 4)?;
             let word_count = data.get_u32() as usize;
             if word_count > max_words {
                 return Err(ParseError::Corrupt(format!(
                     "{word_count} row words exceed {max_words}"
                 )));
             }
-            need(&data, 8 * word_count)?;
+            need(data, 8 * word_count)?;
             let mut words = Vec::with_capacity(word_count);
             for _ in 0..word_count {
                 words.push(data.get_u64());
             }
             rows.push(BitSet::from_words(n, &words));
         }
-        let closure = TransitiveClosure::from_parts(comp, rows, n);
-        let scc = tarjan_scc(&graph);
-        let scc_count = scc.count();
-        Ok(Self::assemble(
-            Arc::new(graph),
-            closure,
-            Some(scc),
-            scc_count,
-            HashMap::new(),
-            started,
-        ))
+        Ok(TransitiveClosure::from_parts(comp, rows, n))
+    }
+
+    fn load_chain(data: &mut Bytes, n: usize) -> Result<ChainIndex, ParseError> {
+        need(data, 4)?;
+        let c_count = data.get_u32() as usize;
+        if c_count > n {
+            return Err(ParseError::Corrupt(format!(
+                "{c_count} components exceed {n} nodes"
+            )));
+        }
+        need(data, 4 * n)?;
+        let comp: Vec<u32> = (0..n).map(|_| data.get_u32()).collect();
+        need(data, 4)?;
+        let word_count = data.get_u32() as usize;
+        if word_count > c_count.div_ceil(64) {
+            return Err(ParseError::Corrupt(format!(
+                "{word_count} cyclic words exceed {} components",
+                c_count
+            )));
+        }
+        need(data, 8 * word_count)?;
+        let cyclic_words: Vec<u64> = (0..word_count).map(|_| data.get_u64()).collect();
+        let cyclic = BitSet::from_words(c_count, &cyclic_words);
+        need(data, 4 * c_count)?;
+        let chain_of: Vec<u32> = (0..c_count).map(|_| data.get_u32()).collect();
+        need(data, 4 * c_count)?;
+        let pos_of: Vec<u32> = (0..c_count).map(|_| data.get_u32()).collect();
+        need(data, 4 * (c_count + 1))?;
+        let entry_off: Vec<u32> = (0..=c_count).map(|_| data.get_u32()).collect();
+        need(data, 4)?;
+        let entry_count = data.get_u32() as usize;
+        need(data, 8 * entry_count)?;
+        let entries: Vec<(u32, u32)> = (0..entry_count)
+            .map(|_| (data.get_u32(), data.get_u32()))
+            .collect();
+        ChainIndex::from_parts(n, comp, cyclic, chain_of, pos_of, entry_off, entries)
+            .map_err(|e| ParseError::Corrupt(format!("chain index: {e}")))
     }
 }
 
@@ -517,14 +811,51 @@ mod tests {
         ))
     }
 
+    fn chain_prepared(graph: Arc<DiGraph<String>>) -> PreparedGraph<String> {
+        PreparedGraph::with_backend(graph, ClosureBackend::Chain, DEFAULT_CHAIN_NODE_THRESHOLD)
+    }
+
     #[test]
     fn prepare_computes_closure_and_scc() {
         let p = PreparedGraph::new(cyclic_graph());
         assert_eq!(p.stats().nodes, 4);
         assert_eq!(p.stats().scc_count, 3, "{{a,b}} collapses");
+        assert_eq!(p.stats().closure_backend, "dense", "auto below threshold");
+        assert!(p.stats().closure_memory_bytes > 0);
         assert!(p.closure().reaches(NodeId(0), NodeId(3)));
         assert!(p.closure().reaches(NodeId(0), NodeId(0)), "on a cycle");
         assert!(!p.closure().reaches(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn chain_backend_answers_identically() {
+        let g = cyclic_graph();
+        let dense = PreparedGraph::with_backend(
+            Arc::clone(&g),
+            ClosureBackend::Dense,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+        );
+        let chain = chain_prepared(Arc::clone(&g));
+        assert_eq!(chain.stats().closure_backend, "chain");
+        assert_eq!(chain.stats().closure_edges, dense.stats().closure_edges);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    dense.closure().reaches(u, v),
+                    chain.closure().reaches(u, v),
+                    "{u:?}->{v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_policy_switches_on_node_threshold() {
+        let g = cyclic_graph();
+        let small = PreparedGraph::with_backend(Arc::clone(&g), ClosureBackend::Auto, 1_000_000);
+        assert_eq!(small.stats().closure_backend, "dense");
+        let big = PreparedGraph::with_backend(Arc::clone(&g), ClosureBackend::Auto, 2);
+        assert_eq!(big.stats().closure_backend, "chain");
     }
 
     #[test]
@@ -532,9 +863,8 @@ mod tests {
         let p = PreparedGraph::new(cyclic_graph());
         assert_eq!(p.bounded_closures_computed(), 0);
         let c1 = p.bounded_closure(1);
-        let c1_again = p.bounded_closure(1);
+        let _c1_again = p.bounded_closure(1);
         assert_eq!(p.bounded_closures_computed(), 1, "second call is a hit");
-        assert!(Arc::ptr_eq(&c1, &c1_again));
         let _c2 = p.bounded_closure(2);
         assert_eq!(p.bounded_closures_computed(), 2);
         assert!(!c1.reaches(NodeId(0), NodeId(3)), "3 hops exceed k=1");
@@ -542,12 +872,16 @@ mod tests {
 
     #[test]
     fn huge_bound_reuses_full_closure() {
-        let p = PreparedGraph::new(cyclic_graph());
-        let c = p.bounded_closure(100);
-        assert_eq!(p.bounded_closures_computed(), 0, "no bounded build");
-        for u in p.graph().nodes() {
-            for v in p.graph().nodes() {
-                assert_eq!(c.reaches(u, v), p.closure().reaches(u, v));
+        for p in [
+            PreparedGraph::new(cyclic_graph()),
+            chain_prepared(cyclic_graph()),
+        ] {
+            let c = p.bounded_closure(100);
+            assert_eq!(p.bounded_closures_computed(), 0, "no bounded build");
+            for u in p.graph().nodes() {
+                for v in p.graph().nodes() {
+                    assert_eq!(c.reaches(u, v), p.closure().reaches(u, v));
+                }
             }
         }
     }
@@ -628,6 +962,7 @@ mod tests {
         ]);
         assert_eq!(outcome.stats.applied, 2);
         assert_eq!(outcome.stats.rejected, 0);
+        assert_eq!(outcome.stats.backend_fallbacks, 0, "dense is semi-dynamic");
         // Copy-on-write: the old version is untouched.
         assert_eq!(old.stats().edges, old_edges);
         assert!(old.closure().reaches(NodeId(0), NodeId(3)));
@@ -640,24 +975,74 @@ mod tests {
     }
 
     #[test]
-    fn apply_refreshes_memoized_bounded_closures() {
-        let old = PreparedGraph::new(cyclic_graph());
-        let k1 = old.bounded_closure(1);
-        assert!(!k1.reaches(NodeId(0), NodeId(2)), "a->c is 2 hops");
-        let outcome = old.apply(&[GraphUpdate::InsertEdge(NodeId(0), NodeId(2))]);
+    fn chain_backend_apply_falls_back_to_rebuild() {
+        let old = chain_prepared(cyclic_graph());
+        let outcome = old.apply(&[
+            GraphUpdate::InsertEdge(NodeId(3), NodeId(0)),
+            GraphUpdate::RemoveEdge(NodeId(1), NodeId(2)),
+            GraphUpdate::InsertEdge(NodeId(0), NodeId(99)), // out of range
+        ]);
+        assert_eq!(outcome.stats.applied, 2);
+        assert_eq!(outcome.stats.rejected, 1);
+        assert_eq!(
+            outcome.stats.backend_fallbacks, 1,
+            "chain records the downgrade"
+        );
+        assert_eq!(outcome.stats.rebuilds, 1);
         let new = &outcome.prepared;
         assert_eq!(
-            new.bounded_closures_computed(),
-            1,
-            "memo carried over, not dropped"
+            new.stats().closure_backend,
+            "chain",
+            "versions inherit the backend"
         );
-        let k1_new = new.bounded_closure(1);
-        assert!(k1_new.reaches(NodeId(0), NodeId(2)), "now one hop");
-        assert!(outcome.stats.bounded_rows_recomputed > 0);
-        let scratch = TransitiveClosure::bounded(&**new.graph(), 1);
-        for u in new.graph().nodes() {
-            for v in new.graph().nodes() {
-                assert_eq!(k1_new.reaches(u, v), scratch.reaches(u, v));
+        assert!(!new.closure().reaches(NodeId(0), NodeId(2)), "b->c cut");
+        assert!(new.closure().reaches(NodeId(3), NodeId(1)), "d->a->b");
+        // Old version untouched (copy-on-write holds on the fallback too).
+        assert!(old.closure().reaches(NodeId(0), NodeId(2)));
+        assert_equivalent_to_fresh(new);
+    }
+
+    #[test]
+    fn chain_backend_noop_batch_skips_rebuild() {
+        let old = chain_prepared(cyclic_graph());
+        let outcome = old.apply(&[
+            GraphUpdate::InsertEdge(NodeId(0), NodeId(1)), // duplicate
+            GraphUpdate::RemoveEdge(NodeId(3), NodeId(0)), // absent
+        ]);
+        assert_eq!(outcome.stats.applied, 0);
+        assert_eq!(outcome.stats.noops, 2);
+        assert_eq!(
+            outcome.stats.backend_fallbacks, 0,
+            "no rebuild ran, so no downgrade to record"
+        );
+        assert_eq!(outcome.stats.rebuilds, 0);
+        assert_eq!(outcome.prepared.stats().closure_backend, "chain");
+        assert_equivalent_to_fresh(&outcome.prepared);
+    }
+
+    #[test]
+    fn apply_refreshes_memoized_bounded_closures() {
+        for old in [
+            PreparedGraph::new(cyclic_graph()),
+            chain_prepared(cyclic_graph()),
+        ] {
+            let k1 = old.bounded_closure(1);
+            assert!(!k1.reaches(NodeId(0), NodeId(2)), "a->c is 2 hops");
+            let outcome = old.apply(&[GraphUpdate::InsertEdge(NodeId(0), NodeId(2))]);
+            let new = &outcome.prepared;
+            assert_eq!(
+                new.bounded_closures_computed(),
+                1,
+                "memo carried over, not dropped"
+            );
+            let k1_new = new.bounded_closure(1);
+            assert!(k1_new.reaches(NodeId(0), NodeId(2)), "now one hop");
+            assert!(outcome.stats.bounded_rows_recomputed > 0);
+            let scratch = TransitiveClosure::bounded(&**new.graph(), 1);
+            for u in new.graph().nodes() {
+                for v in new.graph().nodes() {
+                    assert_eq!(k1_new.reaches(u, v), scratch.reaches(u, v));
+                }
             }
         }
     }
@@ -701,6 +1086,7 @@ mod tests {
         assert_eq!(restored.stats().nodes, p.stats().nodes);
         assert_eq!(restored.stats().edges, p.stats().edges);
         assert_eq!(restored.stats().closure_edges, p.stats().closure_edges);
+        assert_eq!(restored.stats().closure_backend, "dense");
         assert_eq!(restored.graph().label(NodeId(2)), "c");
         for u in p.graph().nodes() {
             for v in p.graph().nodes() {
@@ -718,6 +1104,29 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_roundtrip_restores_chain_backend() {
+        let p = chain_prepared(cyclic_graph());
+        let bytes = p.save_snapshot();
+        let restored = PreparedGraph::load_snapshot(bytes).expect("restore");
+        assert_eq!(restored.stats().closure_backend, "chain");
+        assert_eq!(restored.stats().closure_edges, p.stats().closure_edges);
+        for u in p.graph().nodes() {
+            for v in p.graph().nodes() {
+                assert_eq!(
+                    restored.closure().reaches(u, v),
+                    p.closure().reaches(u, v),
+                    "{u:?}->{v:?}"
+                );
+            }
+        }
+        // Updates on a restored chain graph keep the chain backend.
+        let outcome = restored.apply(&[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert_eq!(outcome.stats.backend_fallbacks, 1);
+        assert_eq!(outcome.prepared.stats().closure_backend, "chain");
+        assert!(outcome.prepared.closure().reaches(NodeId(3), NodeId(2)));
+    }
+
+    #[test]
     fn snapshot_rejects_corruption() {
         let p = PreparedGraph::new(cyclic_graph());
         let bytes = p.save_snapshot();
@@ -731,5 +1140,38 @@ mod tests {
             PreparedGraph::load_snapshot(Bytes::from(garbled)),
             Err(ParseError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_format_version() {
+        let p = PreparedGraph::new(cyclic_graph());
+        let bytes = p.save_snapshot();
+        // Flip the version byte (offset 4, right after the magic).
+        let mut wrong = bytes.to_vec();
+        wrong[4] = 9;
+        let err = PreparedGraph::load_snapshot(Bytes::from(wrong)).unwrap_err();
+        let ParseError::Corrupt(msg) = err else {
+            panic!("expected Corrupt, got {err:?}");
+        };
+        assert!(msg.contains("version 9"), "actionable message: {msg}");
+        // The unversioned PR-2 layout put the graph length where the
+        // version byte now lives; its high byte is 0 for any realistic
+        // graph, so legacy snapshots surface as "version 0" — rejected,
+        // not misparsed.
+        let mut legacy_like = bytes.to_vec();
+        legacy_like[4] = 0;
+        assert!(matches!(
+            PreparedGraph::load_snapshot(Bytes::from(legacy_like)),
+            Err(ParseError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_backend_tag() {
+        let p = PreparedGraph::new(cyclic_graph());
+        let mut wrong = p.save_snapshot().to_vec();
+        wrong[5] = 7; // backend byte follows the version byte
+        let err = PreparedGraph::load_snapshot(Bytes::from(wrong)).unwrap_err();
+        assert!(matches!(err, ParseError::Corrupt(ref m) if m.contains("backend")));
     }
 }

@@ -12,6 +12,12 @@ use crate::digraph::{DiGraph, NodeId};
 use crate::scc::{tarjan_scc, SccResult};
 use std::sync::Arc;
 
+/// The dense closure under its backend-family name: the
+/// [`crate::reach::ReachabilityIndex`] implementor with `O(1)` queries
+/// and `O(n²)`-bit rows, as opposed to the compressed
+/// [`crate::reach::ChainIndex`].
+pub type DenseClosure = TransitiveClosure;
+
 /// Reachability matrix of `G+`, stored as one bitset row per SCC
 /// (all members of an SCC reach the same node set).
 #[derive(Debug, Clone)]

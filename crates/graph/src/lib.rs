@@ -8,9 +8,14 @@
 //! * [`DiGraph`]: adjacency-list digraph with labels and reverse edges;
 //! * [`BitSet`]: fixed-capacity bitset (reachability rows, candidate sets);
 //! * [`tarjan_scc`]: strongly connected components (iterative Tarjan);
-//! * [`TransitiveClosure`]: the proper closure `G+` (Nuutila-style via SCC
-//!   condensation), i.e. the `H2` adjacency matrix of algorithm
-//!   `compMaxCard`;
+//! * [`ReachabilityIndex`]: the pluggable reachability-backend trait the
+//!   matching kernels consume (`reaches`, successor enumeration, memory
+//!   accounting);
+//! * [`TransitiveClosure`] (alias [`DenseClosure`]): the dense proper
+//!   closure `G+` (Nuutila-style via SCC condensation), i.e. the `H2`
+//!   adjacency matrix of algorithm `compMaxCard`;
+//! * [`ChainIndex`]: the compressed chain-decomposition backend
+//!   (`O(n·w)` words instead of `O(n²)` bits);
 //! * [`compress_closure`]: the `G2*` compression of Appendix B;
 //! * [`weakly_connected_components`]: the `G1` partitioning of Appendix B;
 //! * traversal helpers, DOT export, and text/binary serialization.
@@ -26,12 +31,13 @@ pub mod digraph;
 pub mod dot;
 pub mod generators;
 pub mod metrics;
+pub mod reach;
 pub mod scc;
 pub mod serialize;
 pub mod traversal;
 
 pub use bitset::BitSet;
-pub use closure::{DynamicClosure, TransitiveClosure, UpdateEffect};
+pub use closure::{DenseClosure, DynamicClosure, TransitiveClosure, UpdateEffect};
 pub use components::{is_weakly_connected, weakly_connected_components};
 pub use condense::{compress_closure, compress_closure_with, condensation, CompressedGraph};
 pub use digraph::{graph_from_labels, DiGraph, NodeId};
@@ -40,4 +46,5 @@ pub use generators::{
     cycle, gnm_random, grid, path, preferential_attachment, random_dag, XorShift64,
 };
 pub use metrics::{degree_histogram, graph_metrics, top_degree_nodes, GraphMetrics};
+pub use reach::{ChainIndex, ChainIndexParts, ReachabilityIndex};
 pub use scc::{tarjan_scc, SccResult};

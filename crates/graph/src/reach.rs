@@ -1,0 +1,784 @@
+//! Pluggable reachability backends: the [`ReachabilityIndex`] trait every
+//! matching kernel consumes, and the compressed [`ChainIndex`] backend.
+//!
+//! The paper's algorithms only ever ask one question of the data graph:
+//! *is there a nonempty path `u ⇝ v`?* (`H2[u1][u2]`, Fig. 3 line 7).
+//! Historically that question was answered by the dense
+//! [`TransitiveClosure`] — one bitset row per SCC, `O(n²)` bits — which is
+//! unbeatable per query but caps prepared graphs well below web scale.
+//! Abstracting the question behind a trait lets each deployment pick the
+//! representation its graphs afford:
+//!
+//! * [`TransitiveClosure`] (the *dense* backend): `O(1)` queries,
+//!   `O(n²/64)` words.
+//! * [`ChainIndex`] (the *chain* backend): a path/chain decomposition of
+//!   the SCC condensation in the style of Jagadish's transitive-closure
+//!   compression — per component, only the **minimal reachable position
+//!   on each chain** is stored, so space is `O(n·w)` words for chain
+//!   width `w` (and far less on shallow-reach graphs), with
+//!   `O(log w)` queries.
+//!
+//! Both backends answer **identical** `reaches` relations (property-tested
+//! below); they differ only in space/time trade-offs.
+
+use crate::bitset::BitSet;
+use crate::closure::TransitiveClosure;
+use crate::digraph::{DiGraph, NodeId};
+use crate::scc::{tarjan_scc, SccResult};
+use std::fmt;
+
+/// The reachability question the matching kernels ask of a data graph,
+/// abstracted over the index representation.
+///
+/// The relation is the **proper** closure: `reaches(u, v)` holds iff there
+/// is a *nonempty* path `u ⇝ v` (a node reaches itself only on a cycle or
+/// self-loop). Implementations must be consistent: `successors_iter(v)`
+/// enumerates exactly `{ w | reaches(v, w) }` (order unspecified, no
+/// duplicates) and `reachable_count(v)` is its cardinality.
+pub trait ReachabilityIndex: fmt::Debug + Send + Sync {
+    /// Number of nodes of the indexed graph.
+    fn node_count(&self) -> usize;
+
+    /// True iff there is a nonempty path `from ⇝ to`.
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool;
+
+    /// `|{ w | reaches(from, w) }|`.
+    fn reachable_count(&self, from: NodeId) -> usize;
+
+    /// Enumerates the nodes reachable from `from` via nonempty paths
+    /// (unspecified order, no duplicates).
+    fn successors_iter(&self, from: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_>;
+
+    /// Approximate heap footprint of the index in bytes (the basis of the
+    /// engine's backend policy and capacity reporting).
+    fn memory_bytes(&self) -> usize;
+
+    /// Total reachable pairs `|E+|` (the closure-edge count reported in
+    /// prepare statistics). Implementations with shared per-component
+    /// structure should override the per-node default.
+    fn pair_count(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.reachable_count(NodeId(v as u32)))
+            .sum()
+    }
+}
+
+impl ReachabilityIndex for TransitiveClosure {
+    fn node_count(&self) -> usize {
+        TransitiveClosure::node_count(self)
+    }
+
+    #[inline]
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        TransitiveClosure::reaches(self, from, to)
+    }
+
+    fn reachable_count(&self, from: NodeId) -> usize {
+        self.reachable_set(from).count()
+    }
+
+    fn successors_iter(&self, from: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.reachable_set(from).iter().map(|i| NodeId(i as u32)))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let comp_bytes = TransitiveClosure::node_count(self) * std::mem::size_of::<u32>();
+        let row_bytes: usize = (0..self.component_count())
+            .map(|c| self.component_row(c).words().len() * 8)
+            .sum();
+        comp_bytes + row_bytes + self.component_count() * std::mem::size_of::<usize>()
+    }
+
+    fn pair_count(&self) -> usize {
+        self.edge_count()
+    }
+}
+
+/// Compressed reachability via a chain decomposition of the SCC
+/// condensation (Jagadish-style transitive-closure compression).
+///
+/// Construction: the condensation DAG is covered by **chains** — paths in
+/// topological order, grown greedily source-to-sink — and every component
+/// stores, per chain it can reach, the *minimal* reachable position on
+/// that chain. Because consecutive chain elements are connected by
+/// condensation edges, reachability along a chain is suffix-closed, so
+/// one `(chain, min-position)` pair summarizes every reachable component
+/// on that chain. Queries binary-search the component's sorted entry
+/// list: `u ⇝ v` iff the entry for `v`'s chain exists with
+/// `min-position ≤ position(v)` (same-component queries reduce to the
+/// component's cyclic flag).
+///
+/// Space: `Σ_c |entries(c)|` pairs — at most `O(C·w)` for chain count
+/// `w`, and on shallow-reach graphs (hierarchies, citation-style DAGs)
+/// closer to `O(C·depth)`, orders of magnitude below the dense `O(C·n)`
+/// bits.
+#[derive(Debug, Clone)]
+pub struct ChainIndex {
+    node_count: usize,
+    /// `comp[v]` = condensation component of node `v`.
+    comp: Vec<u32>,
+    /// CSR: nodes grouped by component (`members_off.len() == C + 1`).
+    members_off: Vec<u32>,
+    members: Vec<NodeId>,
+    /// Components lying on a cycle (size > 1 or a self-loop).
+    cyclic: BitSet,
+    /// `chain_of[c]` / `pos_of[c]`: the chain and position of component `c`.
+    chain_of: Vec<u32>,
+    pos_of: Vec<u32>,
+    /// `chains[j]` = component ids along chain `j` in topological order.
+    chains: Vec<Vec<u32>>,
+    /// `suffix_nodes[j][p]` = total member nodes of `chains[j][p..]`
+    /// (one trailing 0), for O(entries) reachable counts.
+    suffix_nodes: Vec<Vec<u32>>,
+    /// CSR over components: sorted `(chain, min reachable position)`
+    /// pairs (`entry_off.len() == C + 1`).
+    entry_off: Vec<u32>,
+    entries: Vec<(u32, u32)>,
+}
+
+/// Borrowed views of a [`ChainIndex`]'s defining arrays — the
+/// serialization boundary (`members`, `chains`, and suffix counts are
+/// derived and rebuilt by [`ChainIndex::from_parts`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ChainIndexParts<'a> {
+    /// Node-to-component assignment.
+    pub comp: &'a [u32],
+    /// Cyclic-component flags.
+    pub cyclic: &'a BitSet,
+    /// Per-component chain ids.
+    pub chain_of: &'a [u32],
+    /// Per-component chain positions.
+    pub pos_of: &'a [u32],
+    /// CSR offsets into `entries`.
+    pub entry_off: &'a [u32],
+    /// `(chain, min position)` reachability entries.
+    pub entries: &'a [(u32, u32)],
+}
+
+impl ChainIndex {
+    /// Builds the chain index of `g` (one Tarjan pass plus the chain
+    /// cover and entry propagation).
+    pub fn new<L>(g: &DiGraph<L>) -> Self {
+        let scc = tarjan_scc(g);
+        Self::from_scc(g, &scc)
+    }
+
+    /// Builds the chain index reusing an existing SCC decomposition
+    /// (Tarjan ids are reverse-topological, which both the chain cover
+    /// and the entry propagation below rely on).
+    pub fn from_scc<L>(g: &DiGraph<L>, scc: &SccResult) -> Self {
+        let n = g.node_count();
+        let c_count = scc.count();
+        let comp: Vec<u32> = (0..n)
+            .map(|v| scc.component_of(NodeId(v as u32)) as u32)
+            .collect();
+
+        // Condensation adjacency (deduplicated) + cyclic flags.
+        let mut cyclic = BitSet::new(c_count);
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        for (cid, out_c) in out.iter_mut().enumerate() {
+            let mut self_cyclic = scc.members(cid).len() > 1;
+            for &v in scc.members(cid) {
+                for &w in g.post(v) {
+                    let d = scc.component_of(w);
+                    if d == cid {
+                        self_cyclic = true;
+                    } else {
+                        debug_assert!(d < cid, "tarjan numbering invariant");
+                        out_c.push(d as u32);
+                    }
+                }
+            }
+            out_c.sort_unstable();
+            out_c.dedup();
+            if self_cyclic {
+                cyclic.insert(cid);
+            }
+        }
+        let mut rin: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        for (c, outs) in out.iter().enumerate() {
+            for &d in outs {
+                rin[d as usize].push(c as u32);
+            }
+        }
+
+        // Greedy chain cover in topological order (descending Tarjan id =
+        // sources first): extend a chain whose current tail is an
+        // in-neighbor, else start a new chain.
+        let mut chain_of = vec![0u32; c_count];
+        let mut pos_of = vec![0u32; c_count];
+        let mut chains: Vec<Vec<u32>> = Vec::new();
+        let mut tail_of_chain: Vec<u32> = Vec::new();
+        for c in (0..c_count).rev() {
+            let extended = rin[c].iter().find_map(|&p| {
+                let j = chain_of[p as usize] as usize;
+                (tail_of_chain[j] == p).then_some(j)
+            });
+            match extended {
+                Some(j) => {
+                    chain_of[c] = j as u32;
+                    pos_of[c] = chains[j].len() as u32;
+                    chains[j].push(c as u32);
+                    tail_of_chain[j] = c as u32;
+                }
+                None => {
+                    chain_of[c] = chains.len() as u32;
+                    pos_of[c] = 0;
+                    chains.push(vec![c as u32]);
+                    tail_of_chain.push(c as u32);
+                }
+            }
+        }
+
+        // Entry propagation in reverse topological order (ascending id =
+        // sinks first, so successors' entries are already final): the
+        // reachable set of `c` is the union over out-edges `c -> d` of
+        // `{d} ∪ reach(d)`, folded chain-wise as minimum positions.
+        let width = chains.len();
+        let mut entry_off = vec![0u32; c_count + 1];
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        let mut best: Vec<u32> = vec![u32::MAX; width];
+        let mut touched: Vec<u32> = Vec::new();
+        for c in 0..c_count {
+            for &d in &out[c] {
+                let d = d as usize;
+                let (dj, dp) = (chain_of[d] as usize, pos_of[d]);
+                if best[dj] == u32::MAX {
+                    touched.push(dj as u32);
+                    best[dj] = dp;
+                } else if dp < best[dj] {
+                    best[dj] = dp;
+                }
+                let (s, e) = (entry_off[d] as usize, entry_off[d + 1] as usize);
+                for &(ej, ep) in &entries[s..e] {
+                    let ej = ej as usize;
+                    if best[ej] == u32::MAX {
+                        touched.push(ej as u32);
+                        best[ej] = ep;
+                    } else if ep < best[ej] {
+                        best[ej] = ep;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &j in &touched {
+                entries.push((j, best[j as usize]));
+                best[j as usize] = u32::MAX;
+            }
+            touched.clear();
+            entry_off[c + 1] = entries.len() as u32;
+        }
+
+        Self::finish(
+            n, comp, cyclic, chain_of, pos_of, chains, entry_off, entries,
+        )
+    }
+
+    /// Reassembles a chain index from its defining arrays (see
+    /// [`ChainIndex::parts`]), revalidating structural invariants and
+    /// rebuilding the derived tables — the snapshot-restore constructor.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant (length
+    /// mismatches, out-of-range ids, non-bijective chain positions,
+    /// unsorted entry lists).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        node_count: usize,
+        comp: Vec<u32>,
+        cyclic: BitSet,
+        chain_of: Vec<u32>,
+        pos_of: Vec<u32>,
+        entry_off: Vec<u32>,
+        entries: Vec<(u32, u32)>,
+    ) -> Result<Self, String> {
+        let c_count = chain_of.len();
+        if comp.len() != node_count {
+            return Err(format!("comp covers {} of {node_count} nodes", comp.len()));
+        }
+        if pos_of.len() != c_count || cyclic.len() != c_count {
+            return Err("pos_of/cyclic length mismatch".into());
+        }
+        if entry_off.len() != c_count + 1
+            || entry_off[0] != 0
+            || *entry_off.last().unwrap() as usize != entries.len()
+        {
+            return Err("entry_off does not span entries".into());
+        }
+        if comp.iter().any(|&c| c as usize >= c_count) {
+            return Err("component id out of range".into());
+        }
+        // Rebuild chains from (chain_of, pos_of) and verify bijectivity.
+        let width = chain_of.iter().map(|&j| j as usize + 1).max().unwrap_or(0);
+        let mut lens = vec![0usize; width];
+        for (&j, &p) in chain_of.iter().zip(&pos_of) {
+            lens[j as usize] = lens[j as usize].max(p as usize + 1);
+        }
+        let mut chains: Vec<Vec<u32>> = lens.iter().map(|&l| vec![u32::MAX; l]).collect();
+        for c in 0..c_count {
+            let slot = &mut chains[chain_of[c] as usize][pos_of[c] as usize];
+            if *slot != u32::MAX {
+                return Err(format!("chain position claimed twice by {} and {c}", *slot));
+            }
+            *slot = c as u32;
+        }
+        if chains.iter().flatten().any(|&c| c == u32::MAX) {
+            return Err("chain has an unassigned position".into());
+        }
+        for c in 0..c_count {
+            let (s, e) = (entry_off[c] as usize, entry_off[c + 1] as usize);
+            if s > e || e > entries.len() {
+                return Err("entry_off not monotone".into());
+            }
+            let slice = &entries[s..e];
+            for w in slice.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return Err("entry chains not strictly sorted".into());
+                }
+            }
+            for &(j, p) in slice {
+                if (j as usize) >= width || (p as usize) >= chains[j as usize].len() {
+                    return Err(format!("entry ({j}, {p}) out of range"));
+                }
+            }
+        }
+        Ok(Self::finish(
+            node_count, comp, cyclic, chain_of, pos_of, chains, entry_off, entries,
+        ))
+    }
+
+    /// Shared tail of the constructors: derives the member CSR and the
+    /// per-chain suffix node counts.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        node_count: usize,
+        comp: Vec<u32>,
+        cyclic: BitSet,
+        chain_of: Vec<u32>,
+        pos_of: Vec<u32>,
+        chains: Vec<Vec<u32>>,
+        entry_off: Vec<u32>,
+        entries: Vec<(u32, u32)>,
+    ) -> Self {
+        let c_count = chain_of.len();
+        let mut members_off = vec![0u32; c_count + 1];
+        for &c in &comp {
+            members_off[c as usize + 1] += 1;
+        }
+        for i in 0..c_count {
+            members_off[i + 1] += members_off[i];
+        }
+        let mut cursor = members_off.clone();
+        let mut members = vec![NodeId(0); node_count];
+        for (v, &c) in comp.iter().enumerate() {
+            let slot = &mut cursor[c as usize];
+            members[*slot as usize] = NodeId(v as u32);
+            *slot += 1;
+        }
+        let member_len = |c: usize| (members_off[c + 1] - members_off[c]) as u32;
+        let suffix_nodes: Vec<Vec<u32>> = chains
+            .iter()
+            .map(|chain| {
+                let mut suffix = vec![0u32; chain.len() + 1];
+                for p in (0..chain.len()).rev() {
+                    suffix[p] = suffix[p + 1] + member_len(chain[p] as usize);
+                }
+                suffix
+            })
+            .collect();
+        Self {
+            node_count,
+            comp,
+            members_off,
+            members,
+            cyclic,
+            chain_of,
+            pos_of,
+            chains,
+            suffix_nodes,
+            entry_off,
+            entries,
+        }
+    }
+
+    /// Number of condensation components.
+    pub fn component_count(&self) -> usize {
+        self.chain_of.len()
+    }
+
+    /// Number of chains in the cover (the decomposition width actually
+    /// achieved by the greedy cover).
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The component node `v` belongs to.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.comp[v.index()] as usize
+    }
+
+    /// Borrowed views of the defining arrays for serialization.
+    pub fn parts(&self) -> ChainIndexParts<'_> {
+        ChainIndexParts {
+            comp: &self.comp,
+            cyclic: &self.cyclic,
+            chain_of: &self.chain_of,
+            pos_of: &self.pos_of,
+            entry_off: &self.entry_off,
+            entries: &self.entries,
+        }
+    }
+
+    fn entry_slice(&self, c: usize) -> &[(u32, u32)] {
+        &self.entries[self.entry_off[c] as usize..self.entry_off[c + 1] as usize]
+    }
+
+    fn members_of(&self, c: usize) -> &[NodeId] {
+        &self.members[self.members_off[c] as usize..self.members_off[c + 1] as usize]
+    }
+
+    /// Reachable nodes of component `c` (shared by every member).
+    fn component_reachable_count(&self, c: usize) -> usize {
+        let via_chains: usize = self
+            .entry_slice(c)
+            .iter()
+            .map(|&(j, p)| self.suffix_nodes[j as usize][p as usize] as usize)
+            .sum();
+        via_chains
+            + if self.cyclic.contains(c) {
+                self.members_of(c).len()
+            } else {
+                0
+            }
+    }
+}
+
+impl ReachabilityIndex for ChainIndex {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let cf = self.comp[from.index()] as usize;
+        let ct = self.comp[to.index()];
+        if cf == ct as usize {
+            return self.cyclic.contains(cf);
+        }
+        let (tj, tp) = (self.chain_of[ct as usize], self.pos_of[ct as usize]);
+        match self.entry_slice(cf).binary_search_by_key(&tj, |&(j, _)| j) {
+            Ok(i) => self.entry_slice(cf)[i].1 <= tp,
+            Err(_) => false,
+        }
+    }
+
+    fn reachable_count(&self, from: NodeId) -> usize {
+        self.component_reachable_count(self.comp[from.index()] as usize)
+    }
+
+    fn successors_iter(&self, from: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        let c = self.comp[from.index()] as usize;
+        let own = self.cyclic.contains(c).then_some(c as u32);
+        Box::new(
+            self.entry_slice(c)
+                .iter()
+                .flat_map(move |&(j, p)| self.chains[j as usize][p as usize..].iter().copied())
+                .chain(own)
+                .flat_map(move |d| self.members_of(d as usize).iter().copied()),
+        )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.comp.len() * size_of::<u32>()
+            + self.members_off.len() * size_of::<u32>()
+            + self.members.len() * size_of::<NodeId>()
+            + self.cyclic.words().len() * 8
+            + self.chain_of.len() * size_of::<u32>()
+            + self.pos_of.len() * size_of::<u32>()
+            + self
+                .chains
+                .iter()
+                .map(|c| c.len() * size_of::<u32>() + size_of::<Vec<u32>>())
+                .sum::<usize>()
+            + self
+                .suffix_nodes
+                .iter()
+                .map(|s| s.len() * size_of::<u32>() + size_of::<Vec<u32>>())
+                .sum::<usize>()
+            + self.entry_off.len() * size_of::<u32>()
+            + self.entries.len() * size_of::<(u32, u32)>()
+    }
+
+    fn pair_count(&self) -> usize {
+        (0..self.component_count())
+            .map(|c| self.members_of(c).len() * self.component_reachable_count(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+    use crate::generators::{gnm_random, grid, preferential_attachment, random_dag};
+
+    fn assert_equiv<L>(g: &DiGraph<L>, label: &str) {
+        let dense = TransitiveClosure::new(g);
+        let chain = ChainIndex::new(g);
+        assert_eq!(
+            ReachabilityIndex::node_count(&dense),
+            chain.node_count(),
+            "{label}: node_count"
+        );
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    ReachabilityIndex::reaches(&dense, u, v),
+                    chain.reaches(u, v),
+                    "{label}: reaches {u:?}->{v:?}"
+                );
+            }
+            assert_eq!(
+                ReachabilityIndex::reachable_count(&dense, u),
+                chain.reachable_count(u),
+                "{label}: count from {u:?}"
+            );
+            let mut ds: Vec<u32> = dense.successors_iter(u).map(|n| n.0).collect();
+            let mut cs: Vec<u32> = chain.successors_iter(u).map(|n| n.0).collect();
+            ds.sort_unstable();
+            cs.sort_unstable();
+            assert_eq!(ds, cs, "{label}: successors of {u:?}");
+        }
+        assert_eq!(
+            ReachabilityIndex::pair_count(&dense),
+            chain.pair_count(),
+            "{label}: pair_count"
+        );
+    }
+
+    #[test]
+    fn chain_matches_dense_on_fixed_shapes() {
+        assert_equiv(
+            &graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]),
+            "path",
+        );
+        assert_equiv(
+            &graph_from_labels(
+                &["a", "b", "c", "d"],
+                &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
+            ),
+            "cycle+tail",
+        );
+        assert_equiv(
+            &graph_from_labels(
+                &["a", "b", "c", "d", "e", "f", "iso"],
+                &[
+                    ("a", "b"),
+                    ("b", "c"),
+                    ("c", "a"),
+                    ("c", "d"),
+                    ("d", "e"),
+                    ("e", "d"),
+                    ("e", "f"),
+                ],
+            ),
+            "two interlocking cycles",
+        );
+        let mut selfloop: DiGraph<()> = DiGraph::new();
+        let a = selfloop.add_node(());
+        let b = selfloop.add_node(());
+        selfloop.add_edge(a, a);
+        selfloop.add_edge(a, b);
+        assert_equiv(&selfloop, "self-loop");
+    }
+
+    #[test]
+    fn chain_matches_dense_on_generated_families() {
+        assert_equiv(&grid(5, 6), "grid 5x6");
+        assert_equiv(&random_dag(60, 150, 11), "random dag");
+        assert_equiv(&gnm_random(40, 120, 7), "gnm cyclic");
+        assert_equiv(&preferential_attachment(80, 2, 3), "pref attach");
+    }
+
+    #[test]
+    fn parts_roundtrip_reconstructs_equal_index() {
+        let g = gnm_random(30, 90, 5);
+        let chain = ChainIndex::new(&g);
+        let p = chain.parts();
+        let back = ChainIndex::from_parts(
+            g.node_count(),
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            p.chain_of.to_vec(),
+            p.pos_of.to_vec(),
+            p.entry_off.to_vec(),
+            p.entries.to_vec(),
+        )
+        .expect("valid parts");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(chain.reaches(u, v), back.reaches(u, v), "{u:?}->{v:?}");
+            }
+            assert_eq!(back.reachable_count(u), chain.reachable_count(u));
+        }
+        assert_eq!(back.memory_bytes(), chain.memory_bytes());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let chain = ChainIndex::new(&g);
+        let p = chain.parts();
+        // comp id out of range
+        assert!(ChainIndex::from_parts(
+            2,
+            vec![0, 9],
+            p.cyclic.clone(),
+            p.chain_of.to_vec(),
+            p.pos_of.to_vec(),
+            p.entry_off.to_vec(),
+            p.entries.to_vec(),
+        )
+        .is_err());
+        // duplicated chain position
+        assert!(ChainIndex::from_parts(
+            2,
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            vec![0, 0],
+            vec![0, 0],
+            p.entry_off.to_vec(),
+            p.entries.to_vec(),
+        )
+        .is_err());
+        // entry_off not spanning entries
+        assert!(ChainIndex::from_parts(
+            2,
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            p.chain_of.to_vec(),
+            p.pos_of.to_vec(),
+            vec![0, 0, 7],
+            p.entries.to_vec(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn chain_compresses_deep_sparse_graphs() {
+        // A 10⁴-node preferential-attachment tree (k = 1): every node's
+        // reachable set is its ancestor path, so entries stay near the
+        // depth while the dense closure burns a full row per node
+        // (measured: ~7% of the dense footprint).
+        let g = preferential_attachment(10_000, 1, 9);
+        let dense = TransitiveClosure::new(&g);
+        let chain = ChainIndex::new(&g);
+        assert!(
+            chain.memory_bytes() * 4 <= ReachabilityIndex::memory_bytes(&dense),
+            "chain {} vs dense {}",
+            chain.memory_bytes(),
+            ReachabilityIndex::memory_bytes(&dense)
+        );
+        for v in [0u32, 1, 57, 999, 9999] {
+            let v = NodeId(v);
+            for w in [0u32, 3, 500, 9998] {
+                let w = NodeId(w);
+                assert_eq!(
+                    ReachabilityIndex::reaches(&dense, v, w),
+                    chain.reaches(v, w)
+                );
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = DiGraph<u32>> {
+            (
+                1usize..24,
+                proptest::collection::vec((0usize..24, 0usize..24), 0..80),
+            )
+                .prop_map(|(n, raw_edges)| {
+                    let mut g = DiGraph::with_capacity(n);
+                    for i in 0..n {
+                        g.add_node(i as u32);
+                    }
+                    for (a, b) in raw_edges {
+                        g.add_edge(NodeId((a % n) as u32), NodeId((b % n) as u32));
+                    }
+                    g
+                })
+        }
+
+        proptest! {
+            /// The tentpole invariant: both backends answer the identical
+            /// `reaches` relation on arbitrary (cyclic) graphs.
+            #[test]
+            fn prop_chain_equals_dense(g in arb_graph()) {
+                let dense = TransitiveClosure::new(&g);
+                let chain = ChainIndex::new(&g);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(
+                            ReachabilityIndex::reaches(&dense, u, v),
+                            chain.reaches(u, v),
+                            "mismatch {:?}->{:?}", u, v
+                        );
+                    }
+                    prop_assert_eq!(
+                        ReachabilityIndex::reachable_count(&dense, u),
+                        chain.reachable_count(u)
+                    );
+                }
+                prop_assert_eq!(
+                    ReachabilityIndex::pair_count(&dense),
+                    chain.pair_count()
+                );
+            }
+
+            /// Successor enumeration is exactly the set of reached nodes.
+            #[test]
+            fn prop_successors_consistent_with_reaches(g in arb_graph()) {
+                let chain = ChainIndex::new(&g);
+                for u in g.nodes() {
+                    let mut listed: Vec<u32> =
+                        chain.successors_iter(u).map(|n| n.0).collect();
+                    listed.sort_unstable();
+                    let mut dup = listed.clone();
+                    dup.dedup();
+                    prop_assert_eq!(dup.len(), listed.len(), "duplicates from {:?}", u);
+                    let expected: Vec<u32> = g
+                        .nodes()
+                        .filter(|&v| chain.reaches(u, v))
+                        .map(|v| v.0)
+                        .collect();
+                    prop_assert_eq!(listed, expected, "from {:?}", u);
+                }
+            }
+
+            /// Serialization parts round-trip losslessly.
+            #[test]
+            fn prop_parts_roundtrip(g in arb_graph()) {
+                let chain = ChainIndex::new(&g);
+                let p = chain.parts();
+                let back = ChainIndex::from_parts(
+                    g.node_count(),
+                    p.comp.to_vec(),
+                    p.cyclic.clone(),
+                    p.chain_of.to_vec(),
+                    p.pos_of.to_vec(),
+                    p.entry_off.to_vec(),
+                    p.entries.to_vec(),
+                ).expect("valid parts");
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(chain.reaches(u, v), back.reaches(u, v));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -93,6 +93,8 @@ impl BytesMut {
 pub trait Buf {
     /// Unread byte count.
     fn remaining(&self) -> usize;
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
     /// Reads a big-endian `u32`, advancing the cursor.
     fn get_u32(&mut self) -> u32;
     /// Reads a big-endian `u64`, advancing the cursor.
@@ -102,6 +104,13 @@ pub trait Buf {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
     }
 
     fn get_u32(&mut self) -> u32 {
@@ -121,6 +130,8 @@ impl Buf for Bytes {
 
 /// Write methods (the `bytes::BufMut` subset used here).
 pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
     /// Appends a big-endian `u64`.
@@ -130,6 +141,10 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
     fn put_u32(&mut self, v: u32) {
         self.data.extend_from_slice(&v.to_be_bytes());
     }

@@ -8,9 +8,11 @@
 //! phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]
 //! phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]
 //!               [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]
+//!               [--closure-backend dense|chain|auto] [--arrivals open:<rate>]
 //!               [--stats-json PATH]
 //! phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]
-//!               [--nodes M] [--noise P] [--seed S] [--stats-json PATH]
+//!               [--nodes M] [--noise P] [--seed S]
+//!               [--closure-backend dense|chain|auto] [--stats-json PATH]
 //! ```
 //!
 //! Graph files use the text format of `phom_graph::serialize`
@@ -43,9 +45,11 @@ fn main() -> ExitCode {
              phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]\n\
              phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]\n\
              \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]\n\
-             \x20                           [--stats-json PATH]\n\
+             \x20                           [--closure-backend dense|chain|auto]\n\
+             \x20                           [--arrivals open:<rate>] [--stats-json PATH]\n\
              phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]\n\
-             \x20                           [--nodes M] [--noise P] [--seed S] [--stats-json PATH]"
+             \x20                           [--nodes M] [--noise P] [--seed S]\n\
+             \x20                           [--closure-backend dense|chain|auto] [--stats-json PATH]"
         );
         return ExitCode::SUCCESS;
     }
@@ -81,6 +85,9 @@ struct Flags {
     ops: usize,
     update_ratio: f64,
     stats_json: Option<String>,
+    closure_backend: ClosureBackend,
+    /// Open-loop arrival rate in queries/second (`--arrivals open:<rate>`).
+    arrival_rate: Option<f64>,
     files: Vec<String>,
 }
 
@@ -105,6 +112,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         ops: 200,
         update_ratio: 0.2,
         stats_json: None,
+        closure_backend: ClosureBackend::Auto,
+        arrival_rate: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -200,6 +209,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .cloned()
                         .ok_or("--stats-json needs an output path")?,
                 );
+            }
+            "--closure-backend" => {
+                f.closure_backend = it
+                    .next()
+                    .and_then(|v| ClosureBackend::parse(v))
+                    .ok_or("--closure-backend needs dense|chain|auto")?;
+            }
+            "--arrivals" => {
+                let spec = it.next().ok_or("--arrivals needs open:<rate>")?;
+                let rate = spec
+                    .strip_prefix("open:")
+                    .and_then(|r| r.parse::<f64>().ok())
+                    .filter(|r| *r > 0.0 && r.is_finite())
+                    .ok_or("--arrivals needs open:<rate> with rate > 0 (queries/sec)")?;
+                f.arrival_rate = Some(rate);
             }
             "--cold" => f.cold = true,
             "--one-to-one" => f.one_to_one = true,
@@ -568,8 +592,18 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
     let engine: Engine<L> = Engine::new(EngineConfig {
         cache_capacity: 8,
         threads: f.threads,
+        planner: PlannerConfig {
+            closure_backend: f.closure_backend,
+            ..Default::default()
+        },
         ..Default::default()
     });
+    if let Some(rate) = f.arrival_rate {
+        if f.cold {
+            return fail("--cold does not combine with --arrivals (open-loop replay has no closed-loop twin)");
+        }
+        return run_open_loop(&engine, data, &queries, rate, f);
+    }
     let started = std::time::Instant::now();
     let batch = engine.execute_batch(data, &queries);
     let elapsed = started.elapsed();
@@ -578,11 +612,14 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
     let prep = engine.prepare(data); // cache hit: reuse for reporting
     let pstats = prep.stats();
     println!(
-        "data graph: {} nodes, {} edges, {} SCCs, |E+| = {}{}",
+        "data graph: {} nodes, {} edges, {} SCCs, |E+| = {} \
+         [{} backend, {:.1} KiB]{}",
         pstats.nodes,
         pstats.edges,
         pstats.scc_count,
         pstats.closure_edges,
+        pstats.closure_backend,
+        pstats.closure_memory_bytes as f64 / 1024.0,
         match pstats.compressed_nodes {
             Some(c) => format!(", compressed to {c} nodes"),
             None => String::new(),
@@ -618,6 +655,10 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
             .sum::<f64>()
             / batch.results.len() as f64;
         println!("mean qualCard = {mean_card:.4}");
+        println!(
+            "query latency: p50 = {} us, p95 = {} us, p99 = {} us",
+            stats.last_batch_p50_micros, stats.last_batch_p95_micros, stats.last_batch_p99_micros,
+        );
     }
 
     if f.cold {
@@ -655,6 +696,110 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
         );
     }
     if let Err(e) = write_stats_json(f, &engine.stats(), pstats, None) {
+        return fail(&e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Open-loop replay (`--arrivals open:<rate>`): queries arrive on a fixed
+/// schedule — query `i` at `i/rate` seconds — independent of completions,
+/// the load-generation discipline that exposes queueing delay instead of
+/// hiding it (closed-loop batches only ever measure service time). A
+/// bounded worker pool claims queries in arrival order, sleeping until
+/// each one's scheduled instant; reported **response** latency is
+/// completion minus scheduled arrival, so a saturated engine shows its
+/// tail honestly in p95/p99.
+fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash>(
+    engine: &Engine<L>,
+    data: &std::sync::Arc<DiGraph<L>>,
+    queries: &[Query<L>],
+    rate: f64,
+    f: &Flags,
+) -> ExitCode {
+    let prepared = engine.prepare(data);
+    let workers = if f.threads > 0 {
+        f.threads
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+    .min(queries.len())
+    .max(1);
+    let start = std::time::Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // (service, response) latency pairs in microseconds.
+    let latencies: std::sync::Mutex<Vec<(u128, u128)>> =
+        std::sync::Mutex::new(Vec::with_capacity(queries.len()));
+    let card_sum = std::sync::Mutex::new(0.0f64);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= queries.len() {
+                    break;
+                }
+                let sched = std::time::Duration::from_secs_f64(i as f64 / rate);
+                let now = start.elapsed();
+                if now < sched {
+                    std::thread::sleep(sched - now);
+                }
+                let r = engine.execute(&prepared, &queries[i]);
+                let response = start.elapsed().saturating_sub(sched).as_micros();
+                latencies
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((r.micros, response));
+                *card_sum.lock().unwrap_or_else(|e| e.into_inner()) += r.outcome.qual_card;
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let pairs = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut service: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
+    let mut response: Vec<u128> = pairs.iter().map(|&(_, r)| r).collect();
+    service.sort_unstable();
+    response.sort_unstable();
+
+    let pstats = prepared.stats();
+    println!(
+        "data graph: {} nodes, {} edges, |E+| = {} [{} backend, {:.1} KiB]",
+        pstats.nodes,
+        pstats.edges,
+        pstats.closure_edges,
+        pstats.closure_backend,
+        pstats.closure_memory_bytes as f64 / 1024.0,
+    );
+    println!(
+        "open-loop replay: {} queries at {rate:.1} q/s over {:.2} ms \
+         ({workers} workers, achieved {:.1} q/s)",
+        queries.len(),
+        elapsed.as_secs_f64() * 1e3,
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "response latency (arrival to completion): p50 = {} us, p95 = {} us, p99 = {} us",
+        percentile_micros(&response, 50),
+        percentile_micros(&response, 95),
+        percentile_micros(&response, 99),
+    );
+    println!(
+        "service latency (execution only):         p50 = {} us, p95 = {} us, p99 = {} us",
+        percentile_micros(&service, 50),
+        percentile_micros(&service, 95),
+        percentile_micros(&service, 99),
+    );
+    if !pairs.is_empty() {
+        println!(
+            "mean qualCard = {:.4}",
+            card_sum.into_inner().unwrap_or_else(|e| e.into_inner()) / pairs.len() as f64
+        );
+    }
+    // Export: the percentile slots carry the open-loop *response*
+    // latencies (documented on `EngineStats`).
+    let mut stats = engine.stats();
+    stats.last_batch_p50_micros = percentile_micros(&response, 50);
+    stats.last_batch_p95_micros = percentile_micros(&response, 95);
+    stats.last_batch_p99_micros = percentile_micros(&response, 99);
+    if let Err(e) = write_stats_json(f, &stats, pstats, None) {
         return fail(&e);
     }
     ExitCode::SUCCESS
@@ -722,6 +867,10 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
     let engine: Engine<phom::workloads::synthetic::Label> = Engine::new(EngineConfig {
         cache_capacity: 8,
         threads: f.threads,
+        planner: PlannerConfig {
+            closure_backend: f.closure_backend,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let mut rng = phom::graph::XorShift64::new(f.seed ^ 0x6c69_7665); // "live"
@@ -761,7 +910,11 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
     // The number the subsystem exists to beat: one full re-prepare of the
     // final graph, i.e. what every single-edge update used to cost.
     let reprep_start = std::time::Instant::now();
-    let full = PreparedGraph::new(std::sync::Arc::clone(&data));
+    let full = PreparedGraph::with_backend(
+        std::sync::Arc::clone(&data),
+        f.closure_backend,
+        DEFAULT_CHAIN_NODE_THRESHOLD,
+    );
     let reprep = reprep_start.elapsed();
 
     let stats = engine.stats();

@@ -88,12 +88,14 @@ pub mod prelude {
     };
     pub use phom_dynamic::{DynamicConfig, GraphUpdate, SemiDynamicClosure};
     pub use phom_engine::{
-        BatchOutcome, Engine, EngineConfig, EngineStats, PlanKind, PlannerConfig, PreparedGraph,
-        Query, QueryConfig, QueryResult, UpdateOutcome, UpdateStats,
+        percentile_micros, BatchOutcome, ClosureBackend, Engine, EngineConfig, EngineStats,
+        PlanKind, PlannerConfig, PreparedGraph, Query, QueryConfig, QueryResult, ReachIndex,
+        UpdateOutcome, UpdateStats, DEFAULT_CHAIN_NODE_THRESHOLD,
     };
     pub use phom_graph::{
         compress_closure, graph_from_labels, tarjan_scc, weakly_connected_components, BitSet,
-        DiGraph, DynamicClosure, NodeId, TransitiveClosure, UpdateEffect,
+        ChainIndex, DenseClosure, DiGraph, DynamicClosure, NodeId, ReachabilityIndex,
+        TransitiveClosure, UpdateEffect,
     };
     pub use phom_sim::{
         hits_scores, matrix_from_label_fn, text_similarity, NodeWeights, SimMatrix,
