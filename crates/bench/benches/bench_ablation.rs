@@ -137,6 +137,7 @@ fn ablation_selection(c: &mut Criterion) {
                     &AlgoConfig {
                         xi: 0.75,
                         selection,
+                        ..Default::default()
                     },
                 )
             })

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phom_core::{match_graphs, Algorithm, MatcherConfig};
-use phom_engine::{Engine, EngineConfig, PreparedGraph, Query, QueryConfig};
+use phom_engine::{Engine, EngineConfig, PlannerConfig, PreparedGraph, Query, QueryConfig};
 use phom_graph::{DiGraph, NodeId};
 use phom_sim::SimMatrix;
 use phom_workloads::{generate_instance, synthetic::Label, SyntheticConfig};
@@ -54,7 +54,7 @@ fn fixture(m: usize) -> Fixture {
                 ][i % 4],
                 restarts: Some(1),
                 max_stretch: (i % 5 == 4).then_some(3),
-                force_plan: None,
+                ..Default::default()
             };
             q
         })
@@ -117,5 +117,70 @@ fn bench_batch(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_batch);
+/// Intra-query parallelism: one large pattern made of `comps` disjoint
+/// windows of the template (guaranteed separate weakly connected
+/// components), matched against one prepared data graph with the
+/// per-component fan-out at 1/2/4 workers. The speedup ceiling is
+/// min(workers, components) on idle multi-core hardware; `workers_1` is
+/// the sequential baseline the others must beat (or, on a single core,
+/// match to within thread-spawn overhead).
+fn bench_intra_query(c: &mut Criterion) {
+    let m = 400usize;
+    let comps = 6usize;
+    let span = 25usize;
+    let inst = generate_instance(
+        &SyntheticConfig {
+            m,
+            noise: 0.15,
+            seed: 7,
+        },
+        1,
+    );
+    let data = Arc::new(inst.g2.clone());
+    let mut pattern: DiGraph<Label> = DiGraph::new();
+    for ci in 0..comps {
+        let lo = (ci * (m / comps)).min(m - span);
+        let keep: BTreeSet<NodeId> = (lo..lo + span).map(|x| NodeId(x as u32)).collect();
+        let (sub, _) = inst.g1.induced_subgraph(&keep);
+        let base = pattern.node_count();
+        for v in sub.nodes() {
+            pattern.add_node(*sub.label(v));
+        }
+        for (a, b) in sub.edges() {
+            pattern.add_edge(
+                NodeId((base + a.index()) as u32),
+                NodeId((base + b.index()) as u32),
+            );
+        }
+    }
+    let pattern = Arc::new(pattern);
+    let mat = SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
+        inst.pool.similarity(*pattern.label(v), *data.label(u))
+    });
+
+    let mut group = c.benchmark_group(format!("engine_intra_query_m{m}_c{comps}"));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let engine: Engine<Label> = Engine::new(EngineConfig {
+            cache_capacity: 2,
+            threads: 1,
+            planner: PlannerConfig {
+                intra_query_workers: workers,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let prepared = engine.prepare(&data);
+        let mut q = Query::new(Arc::clone(&pattern), mat.clone());
+        q.config.xi = 0.75;
+        q.config.restarts = Some(1);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("workers_{workers}")),
+            |b| b.iter(|| criterion::black_box(engine.execute(&prepared, &q))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch, bench_intra_query);
 criterion_main!(benches);

@@ -584,7 +584,7 @@ pub fn ext_restart_rows(scale: Scale, seed: u64) -> Vec<ExtRestartRow> {
         let rcfg = RestartConfig {
             restarts,
             seed,
-            threads: 1,
+            ..Default::default()
         };
         let started = Instant::now();
         let mut quals = Vec::with_capacity(batch.len());

@@ -17,6 +17,7 @@
 //! recursion depth is bounded by the number of candidate pairs, which can
 //! reach tens of thousands on the paper's synthetic workloads.
 
+use crate::budget::MatchBudget;
 use crate::mapping::PHomMapping;
 use crate::matchlist::{Entry, MatchList};
 use phom_graph::{BitSet, DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
@@ -43,6 +44,11 @@ pub struct AlgoConfig {
     pub xi: f64,
     /// Pivot selection strategy.
     pub selection: Selection,
+    /// Deadline budget: the `compMaxCard` outer loop and the `compMaxSim`
+    /// weight-group loop stop at their next iteration boundary once it
+    /// expires and return the best mapping found so far. Unlimited by
+    /// default.
+    pub budget: MatchBudget,
 }
 
 impl Default for AlgoConfig {
@@ -50,6 +56,7 @@ impl Default for AlgoConfig {
         Self {
             xi: 0.5,
             selection: Selection::MaxGood,
+            budget: MatchBudget::unlimited(),
         }
     }
 }
@@ -65,6 +72,7 @@ struct Ctx<'a> {
     mat: &'a SimMatrix,
     injective: bool,
     selection: Selection,
+    budget: MatchBudget,
 }
 
 impl<'a> Ctx<'a> {
@@ -73,7 +81,7 @@ impl<'a> Ctx<'a> {
         closure: &'a dyn ReachabilityIndex,
         mat: &'a SimMatrix,
         injective: bool,
-        selection: Selection,
+        cfg: &AlgoConfig,
     ) -> Self {
         let n1 = g1.node_count();
         let mut prev = Vec::with_capacity(n1);
@@ -96,7 +104,8 @@ impl<'a> Ctx<'a> {
             closure,
             mat,
             injective,
-            selection,
+            selection: cfg.selection,
+            budget: cfg.budget,
         }
     }
 }
@@ -302,6 +311,11 @@ fn prune_self_loop_candidates<L>(
 fn run_kernel(ctx: &Ctx<'_>, mut h: MatchList) -> Pairs {
     let mut best: Pairs = Vec::new();
     while h.active_node_count() > best.len() {
+        // Deadline: each outer iteration is one full greedyMatch run, and
+        // `best` only ever improves, so stopping here returns best-so-far.
+        if ctx.budget.expired() {
+            break;
+        }
         let (sigma, conflicts) = greedy_match(ctx, h.clone());
         if sigma.len() > best.len() {
             best = sigma;
@@ -364,7 +378,7 @@ pub fn comp_max_card_with<L>(
     cfg: &AlgoConfig,
     injective: bool,
 ) -> PHomMapping {
-    let ctx = Ctx::new(g1, closure, mat, injective, cfg.selection);
+    let ctx = Ctx::new(g1, closure, mat, injective, cfg);
     let mut h = MatchList::initial(g1.node_count(), mat, cfg.xi);
     prune_self_loop_candidates(g1, closure, &mut h);
     let pairs = run_kernel(&ctx, h);
@@ -427,7 +441,7 @@ pub fn comp_max_sim_with<L>(
     }
     let w_max = pairs.iter().map(|p| p.2).fold(0.0f64, f64::max);
     let p_count = pairs.len();
-    let ctx = Ctx::new(g1, closure, mat, injective, cfg.selection);
+    let ctx = Ctx::new(g1, closure, mat, injective, cfg);
 
     if w_max == 0.0 {
         // Degenerate: all pair weights zero (e.g. all pattern weights 0).
@@ -445,6 +459,11 @@ pub fn comp_max_sim_with<L>(
     let mut best = PHomMapping::empty(n1);
     let mut best_sim = -1.0f64;
     for i in 1..=group_count {
+        // Deadline: each weight group is independent; `best` is the best
+        // of the groups run so far.
+        if cfg.budget.expired() {
+            break;
+        }
         let lo = w_max / 2f64.powi(i);
         let hi = w_max / 2f64.powi(i - 1);
         let group: Vec<(NodeId, NodeId)> = pairs
@@ -798,6 +817,7 @@ mod tests {
             let cfg = AlgoConfig {
                 xi: 0.6,
                 selection: sel,
+                ..Default::default()
             };
             let m = comp_max_card(&g1, &g2, &mat, &cfg);
             assert_eq!(

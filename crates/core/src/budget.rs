@@ -1,0 +1,89 @@
+//! Per-query deadline budgets.
+//!
+//! The approximation algorithms are anytime algorithms in disguise: the
+//! `compMaxCard` outer loop (Fig. 3), the Halldórsson weight groups of
+//! `compMaxSim`, the randomized-restart loop, and the Appendix-B
+//! per-component loop all improve a best-so-far answer monotonically. A
+//! [`MatchBudget`] turns that structure into a latency bound: every one of
+//! those loops checks the budget at its iteration boundary and, once the
+//! deadline passes, stops and hands back whatever it has. The serving
+//! engine sets one deadline per query so a single pathological pattern
+//! cannot hold a worker hostage.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline threaded through one matching run. Copyable and
+/// cheap to check (one monotonic-clock read); `unlimited()` (the default)
+/// never expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchBudget {
+    deadline: Option<Instant>,
+}
+
+impl MatchBudget {
+    /// A budget that never expires (the paper's original behavior).
+    pub fn unlimited() -> Self {
+        MatchBudget { deadline: None }
+    }
+
+    /// A budget expiring `timeout` from now. A zero timeout is already
+    /// expired at the first check (the monotonic clock never goes
+    /// backwards), which makes `Duration::ZERO` a deterministic
+    /// "return immediately with best-so-far" probe.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        MatchBudget {
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// A budget expiring at an absolute instant (for callers aligning
+    /// several runs to one shared deadline).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        MatchBudget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// True when a deadline is set at all (expired or not).
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// True when the deadline has passed. Unlimited budgets never expire.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = MatchBudget::unlimited();
+        assert!(!b.is_limited());
+        assert!(!b.expired());
+        assert_eq!(b, MatchBudget::default());
+    }
+
+    #[test]
+    fn zero_timeout_is_deterministically_expired() {
+        let b = MatchBudget::with_timeout(Duration::ZERO);
+        assert!(b.is_limited());
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn generous_timeout_is_not_yet_expired() {
+        let b = MatchBudget::with_timeout(Duration::from_secs(3600));
+        assert!(b.is_limited());
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn absolute_deadline_in_the_past_is_expired() {
+        let b = MatchBudget::with_deadline(Instant::now());
+        assert!(b.expired());
+    }
+}

@@ -29,6 +29,7 @@
 pub mod algo;
 pub mod bounded;
 pub mod bounds;
+pub mod budget;
 pub mod embedding;
 pub mod enumerate;
 pub mod exact;
@@ -52,6 +53,7 @@ pub use bounded::{
     comp_max_sim_bounded, decide_phom_bounded, minimal_stretch, verify_phom_bounded, Stretch,
 };
 pub use bounds::{guarantee_factor, hardness_ceiling, prefer_exact};
+pub use budget::MatchBudget;
 pub use embedding::{check_schema_embedding, find_schema_embedding, EmbeddingViolation};
 pub use enumerate::{enumerate_phom_mappings, enumerate_phom_mappings_with};
 pub use exact::{decide_phom, decide_phom_with, exact_optimum, exact_optimum_with, Objective};

@@ -14,6 +14,7 @@
 //!   monotone in both quality metrics.
 
 use crate::algo::{comp_max_card_with, comp_max_sim_with, AlgoConfig, Selection};
+use crate::budget::MatchBudget;
 use crate::mapping::PHomMapping;
 use phom_graph::{
     compress_closure, weakly_connected_components, CompressedGraph, DiGraph, NodeId,
@@ -21,6 +22,8 @@ use phom_graph::{
 };
 use phom_sim::{NodeWeights, SimMatrix};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which of the four problems of Table 1 to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +78,15 @@ pub struct MatcherConfig {
     /// Randomized restarts (see [`crate::restarts`]): best of this many
     /// greedy runs, restart 0 unperturbed. `1` is the paper's algorithm.
     pub restarts: usize,
+    /// Intra-query worker threads for per-component matching when
+    /// [`MatcherConfig::partition_g1`] splits the pattern: components are
+    /// independent in p-hom modes (Proposition 1), so they fan out across
+    /// a scoped pool of this many workers. `1` (the default) is the
+    /// sequential paper path; `0` uses the available parallelism. The
+    /// result is identical for every worker count. Injective (1-1) modes
+    /// ignore this knob: their components compete for data nodes, so they
+    /// keep the sequential masking path.
+    pub intra_workers: usize,
 }
 
 impl Default for MatcherConfig {
@@ -89,6 +101,7 @@ impl Default for MatcherConfig {
             prefilter: false,
             max_stretch: None,
             restarts: 1,
+            intra_workers: 1,
         }
     }
 }
@@ -110,6 +123,13 @@ pub struct MatchStats {
     pub extended_pairs: usize,
     /// Prefilter statistics when [`MatcherConfig::prefilter`] is on.
     pub prefilter: Option<crate::prefilter::PrefilterStats>,
+    /// Components matched on the intra-query parallel path (0 when the
+    /// run was sequential — one component, one worker, or injective).
+    pub parallel_components: usize,
+    /// True when the deadline of [`PreparedInputs::budget`] expired
+    /// during the run: the mapping is the best found so far, not the
+    /// full algorithm's answer.
+    pub timed_out: bool,
 }
 
 /// Result of [`match_graphs`].
@@ -151,6 +171,11 @@ pub struct PreparedInputs<'a, L> {
     /// compression unprofitable (see [`compression_worthwhile`]), and
     /// compressed runs fall back to the full closure.
     pub compressed: Option<&'a CompressedClosure<L>>,
+    /// Per-query deadline. When it expires the matcher stops at the next
+    /// iteration boundary (component, restart, kernel outer loop, or
+    /// weight group), returns its best-so-far mapping, and sets
+    /// [`MatchStats::timed_out`]. Unlimited by default.
+    pub budget: MatchBudget,
 }
 
 // Manual impls: the struct holds only references, so it is `Copy` for
@@ -242,6 +267,10 @@ fn match_graphs_inner<L: Clone + Sync>(
         candidate_pairs: mat.candidate_pair_count(cfg.xi),
         ..Default::default()
     };
+
+    // The per-query deadline arrives with the prepared view (the
+    // unprepared path has no serving engine above it, hence no deadline).
+    let budget = prep.as_ref().map_or(MatchBudget::unlimited(), |p| p.budget);
 
     // --- Appendix B: optionally compress G2 (p-hom modes only). ---
     // In compressed space we match against G2* with
@@ -367,10 +396,12 @@ fn match_graphs_inner<L: Clone + Sync>(
         let algo_cfg = AlgoConfig {
             xi,
             selection: cfg.selection,
+            budget,
         };
         if cfg.restarts > 1 {
             let rcfg = crate::restarts::RestartConfig {
                 restarts: cfg.restarts,
+                budget,
                 ..Default::default()
             };
             if cfg.algorithm.similarity() {
@@ -423,56 +454,150 @@ fn match_graphs_inner<L: Clone + Sync>(
         // match components sequentially, masking the images already
         // claimed (their scores drop to 0 and the component threshold is
         // bumped above 0 so they cannot re-enter at ξ = 0).
-        let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-        let component_xi = if injective {
-            cfg.xi.max(f64::MIN_POSITIVE)
-        } else {
-            cfg.xi
-        };
-
         let mut whole = PHomMapping::empty(g1.node_count());
-        for comp_nodes in &comps {
-            if comp_nodes.len() == 1 {
-                // Singleton shortcut: best candidate wins outright.
-                stats.singleton_shortcuts += 1;
-                let v_old = old_of_new[comp_nodes[0].index()];
-                let best = data
-                    .mat
-                    .candidates(v_old, cfg.xi)
-                    .filter(|&u| !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u))
-                    .filter(|u| !injective || !used.contains(u))
-                    .max_by(|&a, &b| {
-                        data.mat
-                            .score(v_old, a)
-                            .partial_cmp(&data.mat.score(v_old, b))
-                            .expect("finite")
-                            .then(b.cmp(&a))
-                    });
-                if let Some(u) = best {
-                    whole.set(v_old, u);
-                    if injective {
+        if injective {
+            let component_xi = cfg.xi.max(f64::MIN_POSITIVE);
+            let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+            for comp_nodes in &comps {
+                // Deadline: components already matched are kept.
+                if budget.expired() {
+                    break;
+                }
+                if comp_nodes.len() == 1 {
+                    // Singleton shortcut: best candidate wins outright.
+                    stats.singleton_shortcuts += 1;
+                    let v_old = old_of_new[comp_nodes[0].index()];
+                    let best = data
+                        .mat
+                        .candidates(v_old, cfg.xi)
+                        .filter(|&u| !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u))
+                        .filter(|u| !used.contains(u))
+                        .max_by(|&a, &b| {
+                            data.mat
+                                .score(v_old, a)
+                                .partial_cmp(&data.mat.score(v_old, b))
+                                .expect("finite")
+                                .then(b.cmp(&a))
+                        });
+                    if let Some(u) = best {
+                        whole.set(v_old, u);
                         used.insert(u);
                     }
+                    continue;
                 }
-                continue;
-            }
-            let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
-            let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
-            // sub ids -> original g1 ids.
-            let orig: Vec<NodeId> = sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
-            let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
-                if injective && used.contains(&u) {
-                    0.0
-                } else {
-                    data.mat.score(orig[nv.index()], u)
-                }
-            });
-            let sub_w = NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
-            let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
-            if injective {
+                let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
+                let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
+                // sub ids -> original g1 ids.
+                let orig: Vec<NodeId> = sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
+                let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
+                    if used.contains(&u) {
+                        0.0
+                    } else {
+                        data.mat.score(orig[nv.index()], u)
+                    }
+                });
+                let sub_w = NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
+                let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
                 used.extend(part.pairs().map(|(_, u)| u));
+                whole.absorb_renumbered(&part, &orig);
             }
-            whole.absorb_renumbered(&part, &orig);
+        } else {
+            // p-hom modes: components are fully independent, so they can
+            // be solved in any order — including concurrently. `solve`
+            // is a pure function of one component; the merge below is
+            // order-insensitive because components are disjoint node
+            // sets. A worker count of 1 runs the identical code inline.
+            enum Solved {
+                /// Deadline expired before this component was claimed.
+                Skipped,
+                /// Singleton shortcut: its best candidate (if any).
+                Singleton(Option<(NodeId, NodeId)>),
+                /// A matched multi-node component (part, sub-id -> g1 id).
+                Matched(PHomMapping, Vec<NodeId>),
+            }
+            let data = &data;
+            let run_algorithm = &run_algorithm;
+            let old_of_new = &old_of_new;
+            let reduced = &reduced;
+            let solve = move |comp_nodes: &Vec<NodeId>| -> Solved {
+                // Deadline: checked per component, so an expired query
+                // stops claiming work at the next component boundary.
+                if budget.expired() {
+                    return Solved::Skipped;
+                }
+                if comp_nodes.len() == 1 {
+                    let v_old = old_of_new[comp_nodes[0].index()];
+                    let best = data
+                        .mat
+                        .candidates(v_old, cfg.xi)
+                        .filter(|&u| !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u))
+                        .max_by(|&a, &b| {
+                            data.mat
+                                .score(v_old, a)
+                                .partial_cmp(&data.mat.score(v_old, b))
+                                .expect("finite")
+                                .then(b.cmp(&a))
+                        });
+                    return Solved::Singleton(best.map(|u| (v_old, u)));
+                }
+                let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
+                let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
+                // sub ids -> original g1 ids.
+                let orig: Vec<NodeId> = sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
+                let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
+                    data.mat.score(orig[nv.index()], u)
+                });
+                let sub_w = NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
+                let part = run_algorithm(&sub, &sub_mat, &sub_w, cfg.xi);
+                Solved::Matched(part, orig)
+            };
+
+            let workers = intra_worker_count(cfg.intra_workers, comps.len());
+            let solved: Vec<Solved> = if workers > 1 {
+                // Work-stealing claim loop (shared atomic index), mirroring
+                // the engine's inter-query batch executor one level down.
+                let next = AtomicUsize::new(0);
+                let slots: Mutex<Vec<Option<Solved>>> =
+                    Mutex::new((0..comps.len()).map(|_| None).collect());
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::SeqCst);
+                            if i >= comps.len() {
+                                break;
+                            }
+                            let r = solve(&comps[i]);
+                            let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+                            slots[i] = Some(r);
+                        });
+                    }
+                });
+                let solved: Vec<Solved> = slots
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .into_iter()
+                    .map(|r| r.expect("every component index was claimed"))
+                    .collect();
+                stats.parallel_components = solved
+                    .iter()
+                    .filter(|r| !matches!(r, Solved::Skipped))
+                    .count();
+                solved
+            } else {
+                comps.iter().map(solve).collect()
+            };
+            for r in solved {
+                match r {
+                    Solved::Skipped => {}
+                    Solved::Singleton(best) => {
+                        stats.singleton_shortcuts += 1;
+                        if let Some((v_old, u)) = best {
+                            whole.set(v_old, u);
+                        }
+                    }
+                    Solved::Matched(part, orig) => whole.absorb_renumbered(&part, &orig),
+                }
+            }
         }
         whole
     } else {
@@ -480,8 +605,18 @@ fn match_graphs_inner<L: Clone + Sync>(
         run_algorithm(g1, &data.mat, weights, cfg.xi)
     };
 
-    // --- Our extension: greedy completion. ---
-    if cfg.greedy_extend {
+    // One clock sample decides both whether the greedy extension may
+    // still run and the Timeout flag on the outcome, so the two can
+    // never disagree. Any earlier loop that broke on the budget implies
+    // this sample reads expired (the clock is monotonic), so every cut
+    // is flagged; the converse misflag — everything completed and the
+    // deadline crosses in the instants before this line — is confined
+    // to that one read and errs on the conservative side.
+    let expired = budget.expired();
+
+    // --- Our extension: greedy completion (skipped past the deadline:
+    // it is a whole-pattern pass, not resumable mid-way). ---
+    if cfg.greedy_extend && !expired {
         stats.extended_pairs = greedy_extend(
             g1,
             data.closure.get(),
@@ -503,6 +638,8 @@ fn match_graphs_inner<L: Clone + Sync>(
         None => mapping,
     };
 
+    stats.timed_out = expired;
+
     let qual_card = mapping.qual_card();
     let qual_sim = mapping.qual_sim(weights, mat);
     MatchOutcome {
@@ -511,6 +648,18 @@ fn match_graphs_inner<L: Clone + Sync>(
         qual_sim,
         stats,
     }
+}
+
+/// Resolves [`MatcherConfig::intra_workers`] against the component count:
+/// `0` means available parallelism, and there is never a point in more
+/// workers than components.
+fn intra_worker_count(requested: usize, components: usize) -> usize {
+    let hw = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    hw.min(components).max(1)
 }
 
 /// Greedily adds compatible `(v, u)` pairs to `mapping` in descending
@@ -785,6 +934,151 @@ mod tests {
         );
     }
 
+    /// A pattern with three 2-node components plus a singleton, against a
+    /// data graph where each pattern edge stretches over a 2-hop path.
+    fn multi_component_instance() -> (DiGraph<String>, DiGraph<String>, SimMatrix) {
+        let g1 = graph_from_labels(
+            &["a", "b", "c", "d", "e", "f", "lone"],
+            &[("a", "b"), ("c", "d"), ("e", "f")],
+        );
+        let g2 = graph_from_labels(
+            &["a", "x", "b", "c", "y", "d", "e", "z", "f", "lone"],
+            &[
+                ("a", "x"),
+                ("x", "b"),
+                ("c", "y"),
+                ("y", "d"),
+                ("e", "z"),
+                ("z", "f"),
+            ],
+        );
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        (g1, g2, mat)
+    }
+
+    #[test]
+    fn intra_workers_match_sequential_on_multi_component_pattern() {
+        let (g1, g2, mat) = multi_component_instance();
+        let w = NodeWeights::uniform(g1.node_count());
+        let seq = match_graphs(
+            &g1,
+            &g2,
+            &mat,
+            &w,
+            &MatcherConfig {
+                intra_workers: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.stats.components, 4);
+        assert_eq!(seq.stats.parallel_components, 0, "sequential path");
+        assert!((seq.qual_card - 1.0).abs() < 1e-12, "{:?}", seq.mapping);
+        for workers in [2, 4, 0] {
+            let par = match_graphs(
+                &g1,
+                &g2,
+                &mat,
+                &w,
+                &MatcherConfig {
+                    intra_workers: workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                seq.mapping.pairs().collect::<Vec<_>>(),
+                par.mapping.pairs().collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+            assert_eq!(seq.qual_card, par.qual_card);
+            assert_eq!(seq.qual_sim, par.qual_sim);
+            if workers > 1 {
+                // (workers == 0 resolves to the available parallelism,
+                // which may be 1 on a single-core host — then the run is
+                // legitimately sequential.)
+                assert_eq!(
+                    par.stats.parallel_components, 4,
+                    "workers={workers}: all components took the parallel path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injective_mode_keeps_sequential_path_under_intra_workers() {
+        let (g1, g2, mat) = multi_component_instance();
+        let w = NodeWeights::uniform(g1.node_count());
+        for workers in [1, 4] {
+            let out = match_graphs(
+                &g1,
+                &g2,
+                &mat,
+                &w,
+                &MatcherConfig {
+                    algorithm: Algorithm::MaxCard1to1,
+                    intra_workers: workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                out.stats.parallel_components, 0,
+                "1-1 components compete for data nodes: always sequential"
+            );
+            assert!(out.mapping.is_injective());
+        }
+    }
+
+    #[test]
+    fn expired_budget_returns_best_so_far_and_flags_timeout() {
+        let (g1, g2, mat) = multi_component_instance();
+        let w = NodeWeights::uniform(g1.node_count());
+        let closure = TransitiveClosure::new(&g2);
+        for algorithm in [
+            Algorithm::MaxCard,
+            Algorithm::MaxCard1to1,
+            Algorithm::MaxSim,
+            Algorithm::MaxSim1to1,
+        ] {
+            for partition in [false, true] {
+                for intra_workers in [1, 4] {
+                    let prep = PreparedInputs {
+                        closure: &closure,
+                        bounded: None,
+                        compressed: None,
+                        budget: MatchBudget::with_timeout(std::time::Duration::ZERO),
+                    };
+                    let cfg = MatcherConfig {
+                        algorithm,
+                        partition_g1: partition,
+                        intra_workers,
+                        greedy_extend: true, // must also be skipped
+                        ..Default::default()
+                    };
+                    let out = match_graphs_prepared(&g1, &g2, &mat, &w, &cfg, prep);
+                    assert!(
+                        out.stats.timed_out,
+                        "algorithm={algorithm:?} partition={partition} \
+                         workers={intra_workers}: zero budget must flag Timeout"
+                    );
+                    assert!(
+                        out.mapping.is_empty(),
+                        "zero budget stops before the first iteration boundary"
+                    );
+                    assert_eq!(out.stats.extended_pairs, 0, "greedy extension skipped");
+                }
+            }
+        }
+        // The unlimited default never flags.
+        let prep = PreparedInputs {
+            closure: &closure,
+            bounded: None,
+            compressed: None,
+            budget: MatchBudget::unlimited(),
+        };
+        let out = match_graphs_prepared(&g1, &g2, &mat, &w, &MatcherConfig::default(), prep);
+        assert!(!out.stats.timed_out);
+        assert!((out.qual_card - 1.0).abs() < 1e-12);
+    }
+
     #[test]
     fn similarity_algorithms_report_qual_sim() {
         let (g1, g2, mat) = store_instance();
@@ -848,6 +1142,7 @@ mod tests {
                             .as_ref()
                             .map(|(k, c)| (*k, c as &dyn ReachabilityIndex)),
                         compressed: compressed.as_ref(),
+                        budget: MatchBudget::unlimited(),
                     };
                     let prepared = match_graphs_prepared(&g1, &g2, &mat, &w, &cfg, prep);
                     assert_eq!(
@@ -876,6 +1171,7 @@ mod tests {
             closure: &closure,
             bounded: Some((5, &wrong_k)), // query will ask for k = 1
             compressed: None,
+            budget: MatchBudget::unlimited(),
         };
         let cfg = MatcherConfig {
             max_stretch: Some(1),
@@ -983,6 +1279,47 @@ mod tests {
                 prop_assert_eq!(plain.mapping.is_empty(), comp.mapping.is_empty());
             }
 
+            /// Intra-query parallelism is an implementation detail:
+            /// per-component fan-out must be result-identical to the
+            /// sequential path across the whole optimization grid
+            /// (partition × compress × algorithm).
+            #[test]
+            fn prop_intra_workers_identical_to_sequential((g1, g2) in arb_pair()) {
+                let mat = SimMatrix::label_equality(&g1, &g2);
+                let w = NodeWeights::uniform(g1.node_count());
+                for algorithm in [
+                    Algorithm::MaxCard,
+                    Algorithm::MaxCard1to1,
+                    Algorithm::MaxSim,
+                    Algorithm::MaxSim1to1,
+                ] {
+                    for partition in [false, true] {
+                        for compress in [false, true] {
+                            let base = MatcherConfig {
+                                algorithm,
+                                partition_g1: partition,
+                                compress_g2: compress,
+                                ..Default::default()
+                            };
+                            let seq = match_graphs(&g1, &g2, &mat, &w, &base);
+                            let par = match_graphs(&g1, &g2, &mat, &w, &MatcherConfig {
+                                intra_workers: 4,
+                                ..base
+                            });
+                            prop_assert_eq!(
+                                seq.mapping.pairs().collect::<Vec<_>>(),
+                                par.mapping.pairs().collect::<Vec<_>>(),
+                                "algorithm={:?} partition={} compress={}",
+                                algorithm, partition, compress
+                            );
+                            prop_assert_eq!(seq.qual_card, par.qual_card);
+                            prop_assert_eq!(seq.qual_sim, par.qual_sim);
+                            prop_assert!(!par.stats.timed_out, "no deadline set");
+                        }
+                    }
+                }
+            }
+
             /// Injecting precomputed artifacts must never change the
             /// result: prepared and unprepared runs agree pair-for-pair
             /// on every algorithm.
@@ -1004,6 +1341,7 @@ mod tests {
                     closure: &closure,
                     bounded: None,
                     compressed: compressed.as_ref(),
+                    budget: MatchBudget::unlimited(),
                 };
                 for algorithm in [
                     Algorithm::MaxCard,

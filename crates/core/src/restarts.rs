@@ -17,6 +17,7 @@
 //! (crossbeam scoped threads, one chunk per worker).
 
 use crate::algo::{comp_max_card_with, comp_max_sim_with, AlgoConfig, Selection};
+use crate::budget::MatchBudget;
 use crate::mapping::PHomMapping;
 use phom_graph::{DiGraph, ReachabilityIndex, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
@@ -33,6 +34,12 @@ pub struct RestartConfig {
     /// Worker threads (1 = sequential). Results are merged
     /// deterministically regardless of thread count.
     pub threads: usize,
+    /// Deadline budget. Restart 0 always runs (each kernel run checks the
+    /// budget itself, so even it stays bounded); later restarts are
+    /// skipped once the deadline passes, keeping the best-of guarantee
+    /// over the restarts that did run. A limited budget forces the
+    /// sequential path so which restarts ran is deterministic.
+    pub budget: MatchBudget,
 }
 
 impl Default for RestartConfig {
@@ -41,6 +48,7 @@ impl Default for RestartConfig {
             restarts: 8,
             seed: 0x5eed_2010,
             threads: 1,
+            budget: MatchBudget::unlimited(),
         }
     }
 }
@@ -112,6 +120,7 @@ fn best_of<L: Sync>(
         let sel = selection_for(i, cfg.selection);
         let run_cfg = AlgoConfig {
             selection: sel,
+            budget: rcfg.budget,
             ..*cfg
         };
         if i == 0 {
@@ -128,26 +137,36 @@ fn best_of<L: Sync>(
         }
     };
 
-    let candidates: Vec<PHomMapping> = if rcfg.threads <= 1 || rcfg.restarts == 1 {
-        (0..rcfg.restarts).map(run_one).collect()
-    } else {
-        let mut out: Vec<Option<PHomMapping>> = vec![None; rcfg.restarts];
-        let workers = rcfg.threads.min(rcfg.restarts);
-        std::thread::scope(|s| {
-            for (w, chunk) in out.chunks_mut(rcfg.restarts.div_ceil(workers)).enumerate() {
-                let run_one = &run_one;
-                let base = w * rcfg.restarts.div_ceil(workers);
-                s.spawn(move || {
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(run_one(base + off));
-                    }
-                });
+    let candidates: Vec<PHomMapping> =
+        if rcfg.threads <= 1 || rcfg.restarts == 1 || rcfg.budget.is_limited() {
+            let mut out = Vec::with_capacity(rcfg.restarts);
+            for i in 0..rcfg.restarts {
+                // Deadline: restart 0 always runs (the kernel's own budget
+                // checks bound it); later restarts stop at this boundary.
+                if i > 0 && rcfg.budget.expired() {
+                    break;
+                }
+                out.push(run_one(i));
             }
-        });
-        out.into_iter()
-            .map(|m| m.expect("all restarts ran"))
-            .collect()
-    };
+            out
+        } else {
+            let mut out: Vec<Option<PHomMapping>> = vec![None; rcfg.restarts];
+            let workers = rcfg.threads.min(rcfg.restarts);
+            std::thread::scope(|s| {
+                for (w, chunk) in out.chunks_mut(rcfg.restarts.div_ceil(workers)).enumerate() {
+                    let run_one = &run_one;
+                    let base = w * rcfg.restarts.div_ceil(workers);
+                    s.spawn(move || {
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(run_one(base + off));
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|m| m.expect("all restarts ran"))
+                .collect()
+        };
 
     // Deterministic argmax: earliest restart wins ties, so threads=1 and
     // threads=N agree bit-for-bit.
@@ -422,7 +441,7 @@ mod tests {
                 let cfg = AlgoConfig::default();
                 let closure = TransitiveClosure::new(&g2);
                 let single = comp_max_card(&g1, &g2, &mat, &cfg);
-                let rcfg = RestartConfig { restarts: 4, seed, threads: 1 };
+                let rcfg = RestartConfig { restarts: 4, seed, ..Default::default() };
                 let multi = comp_max_card_restarts(&g1, &g2, &mat, &cfg, false, &rcfg);
                 prop_assert!(multi.qual_card() >= single.qual_card());
                 prop_assert!(verify_phom(&g1, &multi, &mat, cfg.xi, &closure, false).is_ok());

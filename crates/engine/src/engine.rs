@@ -5,8 +5,8 @@
 use crate::planner::{plan_query_with, Plan, PlanKind, PlannerConfig, Query};
 use crate::prepared::{PreparedGraph, UpdateOutcome, UpdateStats};
 use phom_core::{
-    exact_optimum_with, match_graphs_prepared, MatchOutcome, MatchStats, MatcherConfig, Objective,
-    PHomMapping,
+    exact_optimum_with, match_graphs_prepared, MatchBudget, MatchOutcome, MatchStats,
+    MatcherConfig, Objective, PHomMapping,
 };
 use phom_dynamic::{DynamicConfig, GraphUpdate};
 use phom_graph::{DiGraph, NodeId, ReachabilityIndex};
@@ -81,14 +81,34 @@ pub struct EngineStats {
     /// Updates that fell back to a full re-prepare (damage threshold or
     /// admission limit).
     pub update_rebuilds: usize,
-    /// p50 of per-query execution latency in the most recent batch
-    /// (microseconds). For open-loop replays the CLI overwrites these
-    /// with *response* latencies (queueing included) before export.
+    /// Queries whose deadline expired mid-run (best-so-far returned with
+    /// `MatchStats::timed_out`).
+    pub timeouts: usize,
+    /// Pattern components matched on the intra-query parallel path
+    /// (Proposition 1 fan-out; see `PlannerConfig::intra_query_workers`).
+    pub intra_parallel_components: usize,
+    /// p50 of per-query *service* latency (execution only, microseconds)
+    /// in the most recent batch or open-loop replay. Always service
+    /// time — queueing delay is reported separately in
+    /// [`EngineStats::response_p50_micros`].
     pub last_batch_p50_micros: usize,
-    /// p95 of per-query latency in the most recent batch (microseconds).
+    /// p95 of per-query service latency in the most recent batch
+    /// (microseconds).
     pub last_batch_p95_micros: usize,
-    /// p99 of per-query latency in the most recent batch (microseconds).
+    /// p99 of per-query service latency in the most recent batch
+    /// (microseconds).
     pub last_batch_p99_micros: usize,
+    /// p50 of *response* latency (scheduled arrival to completion,
+    /// queueing included, microseconds). Only open-loop replays have a
+    /// queueing discipline, so only they populate these; closed-loop
+    /// batches leave them 0.
+    pub response_p50_micros: usize,
+    /// p95 of response latency (microseconds); see
+    /// [`EngineStats::response_p50_micros`].
+    pub response_p95_micros: usize,
+    /// p99 of response latency (microseconds); see
+    /// [`EngineStats::response_p50_micros`].
+    pub response_p99_micros: usize,
 }
 
 /// Nearest-rank percentile of a sorted latency sample (`p` in `0..=100`).
@@ -109,8 +129,10 @@ impl EngineStats {
              \"approx_plans\":{},\"bounded_plans\":{},\"baseline_plans\":{},\
              \"last_batch_workers\":{},\"last_batch_peak_parallel\":{},\
              \"updates_applied\":{},\"updates_incremental\":{},\"update_rebuilds\":{},\
+             \"timeouts\":{},\"intra_parallel_components\":{},\
              \"last_batch_p50_micros\":{},\"last_batch_p95_micros\":{},\
-             \"last_batch_p99_micros\":{}}}",
+             \"last_batch_p99_micros\":{},\"response_p50_micros\":{},\
+             \"response_p95_micros\":{},\"response_p99_micros\":{}}}",
             self.prepares,
             self.cache_hits,
             self.queries,
@@ -123,9 +145,14 @@ impl EngineStats {
             self.updates_applied,
             self.updates_incremental,
             self.update_rebuilds,
+            self.timeouts,
+            self.intra_parallel_components,
             self.last_batch_p50_micros,
             self.last_batch_p95_micros,
-            self.last_batch_p99_micros
+            self.last_batch_p99_micros,
+            self.response_p50_micros,
+            self.response_p95_micros,
+            self.response_p99_micros
         )
     }
 }
@@ -144,6 +171,8 @@ struct Counters {
     updates_applied: AtomicUsize,
     updates_incremental: AtomicUsize,
     update_rebuilds: AtomicUsize,
+    timeouts: AtomicUsize,
+    intra_parallel_components: AtomicUsize,
     last_batch_p50_micros: AtomicUsize,
     last_batch_p95_micros: AtomicUsize,
     last_batch_p99_micros: AtomicUsize,
@@ -212,9 +241,10 @@ impl<L> LruCache<L> {
 }
 
 /// Structural fingerprint of a labeled digraph: node count, labels in id
-/// order, and the edge list. Two graphs with equal fingerprints are
-/// treated as the same prepared graph (64-bit key; collisions are
-/// astronomically unlikely for the workload sizes this serves).
+/// order, and the edge list. The engine keys its prepared-graph cache by
+/// this 64-bit hash but **verifies structural equality on every hit**
+/// (see [`Engine::prepare`]), so a hash collision degrades to a cache
+/// miss instead of silently serving another graph's artifacts.
 pub fn graph_fingerprint<L: Hash>(g: &DiGraph<L>) -> u64 {
     let mut h = DefaultHasher::new();
     g.node_count().hash(&mut h);
@@ -226,6 +256,16 @@ pub fn graph_fingerprint<L: Hash>(g: &DiGraph<L>) -> u64 {
         (a.0, b.0).hash(&mut h);
     }
     h.finish()
+}
+
+/// Structural equality of two labeled digraphs: node/edge counts, labels
+/// in id order, and the edge lists. This is what the cache key *means*;
+/// the fingerprint is only its 64-bit shadow.
+fn same_structure<L: PartialEq>(a: &DiGraph<L>, b: &DiGraph<L>) -> bool {
+    a.node_count() == b.node_count()
+        && a.edge_count() == b.edge_count()
+        && a.nodes().all(|v| a.label(v) == b.label(v))
+        && a.edges().eq(b.edges())
 }
 
 /// A long-lived matching engine: prepare a data graph once, answer many
@@ -289,9 +329,17 @@ impl<L> Engine<L> {
             updates_applied: c.updates_applied.load(Ordering::Relaxed),
             updates_incremental: c.updates_incremental.load(Ordering::Relaxed),
             update_rebuilds: c.update_rebuilds.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            intra_parallel_components: c.intra_parallel_components.load(Ordering::Relaxed),
             last_batch_p50_micros: c.last_batch_p50_micros.load(Ordering::Relaxed),
             last_batch_p95_micros: c.last_batch_p95_micros.load(Ordering::Relaxed),
             last_batch_p99_micros: c.last_batch_p99_micros.load(Ordering::Relaxed),
+            // Response percentiles have no engine-side counter: only the
+            // open-loop replay (which owns the arrival schedule) can
+            // compute them, and it fills them into its exported snapshot.
+            response_p50_micros: 0,
+            response_p95_micros: 0,
+            response_p99_micros: 0,
         }
     }
 
@@ -305,17 +353,33 @@ impl<L> Engine<L> {
     }
 }
 
-impl<L: Clone + Hash> Engine<L> {
+impl<L: Clone + Hash + PartialEq> Engine<L> {
     /// Returns the prepared form of `graph`, preparing it on a cache miss
     /// (one closure computation) and serving it from the LRU thereafter.
+    ///
+    /// A hit is only served after verifying the cached entry is
+    /// *structurally* the same graph: the cache is keyed by the 64-bit
+    /// [`graph_fingerprint`], and a hash collision must degrade to a
+    /// miss (re-prepare), never to silently matching queries against a
+    /// different graph's closure.
     pub fn prepare(&self, graph: &Arc<DiGraph<L>>) -> Arc<PreparedGraph<L>> {
         let key = graph_fingerprint(graph);
-        {
+        // Only the O(1) lookup holds the lock; the O(V + E) structural
+        // verification walks the graph on a cloned Arc so concurrent
+        // preparers of other graphs do not serialize behind it.
+        let hit = {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(hit) = cache.get(key) {
+            cache.get(key)
+        };
+        if let Some(hit) = hit {
+            if same_structure(hit.graph(), graph) {
                 self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
+            // Fingerprint collision: fall through to a fresh prepare.
+            // The insert below replaces the colliding entry — the two
+            // graphs will thrash one slot, which is correct if slow;
+            // a 1-in-2⁶⁴ event does not deserve a second-level key.
         }
         // Prepare outside the lock: preparation is the expensive part and
         // other graphs' lookups should not serialize behind it. A racing
@@ -425,9 +489,26 @@ impl<L: Clone + Hash> Engine<L> {
 
 impl<L: Clone + Sync> Engine<L> {
     /// Plans and executes one query against a prepared graph.
+    ///
+    /// A deadline ([`QueryConfig::timeout`], falling back to
+    /// [`PlannerConfig::timeout`]) starts ticking here and bounds the
+    /// approximate plans: past it, the matcher returns best-so-far with
+    /// `MatchStats::timed_out` set and [`EngineStats::timeouts`] is
+    /// incremented. Per-component fan-out ([`QueryConfig::intra_workers`]
+    /// falling back to [`PlannerConfig::intra_query_workers`]) is
+    /// accounted in [`EngineStats::intra_parallel_components`].
     pub fn execute(&self, prepared: &PreparedGraph<L>, query: &Query<L>) -> QueryResult {
         let plan = plan_query_with(query, &self.config.planner);
         let started = Instant::now();
+        let budget = query
+            .config
+            .timeout
+            .or(self.config.planner.timeout)
+            .map_or_else(MatchBudget::unlimited, MatchBudget::with_timeout);
+        let intra_workers = query
+            .config
+            .intra_workers
+            .unwrap_or(self.config.planner.intra_query_workers);
         let weights = query.effective_weights();
         let counter = match plan.kind {
             PlanKind::Exact => &self.counters.exact_plans,
@@ -481,6 +562,7 @@ impl<L: Clone + Sync> Engine<L> {
                     xi: query.config.xi,
                     max_stretch: query.config.max_stretch,
                     restarts: plan.restarts,
+                    intra_workers,
                     ..Default::default()
                 };
                 // Hold the memoized bounded closure for the duration of
@@ -490,16 +572,27 @@ impl<L: Clone + Sync> Engine<L> {
                     .max_stretch
                     .map(|k| (k, prepared.bounded_closure(k)));
                 let bounded_ref = bounded_arc.as_ref().map(|(k, c)| (*k, &**c));
+                let mut inputs = prepared.inputs(bounded_ref);
+                inputs.budget = budget;
                 match_graphs_prepared(
                     &*query.pattern,
                     prepared.graph(),
                     &query.matrix,
                     &weights,
                     &cfg,
-                    prepared.inputs(bounded_ref),
+                    inputs,
                 )
             }
         };
+
+        if outcome.stats.timed_out {
+            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.stats.parallel_components > 0 {
+            self.counters
+                .intra_parallel_components
+                .fetch_add(outcome.stats.parallel_components, Ordering::Relaxed);
+        }
 
         QueryResult {
             outcome,
@@ -509,7 +602,7 @@ impl<L: Clone + Sync> Engine<L> {
     }
 }
 
-impl<L: Clone + Send + Sync + Hash> Engine<L> {
+impl<L: Clone + Send + Sync + Hash + PartialEq> Engine<L> {
     /// Prepares `graph` (or fetches it from the cache) and executes the
     /// whole batch across the worker pool, returning per-query results in
     /// input order plus a stats snapshot.
@@ -732,6 +825,158 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_collision_serves_a_miss_not_another_graph() {
+        // A real 64-bit DefaultHasher collision cannot be constructed on
+        // demand, so forge one: plant graph A's prepared artifacts in the
+        // cache under graph B's fingerprint key and ask for B.
+        let engine: Engine<String> = Engine::default();
+        let g_a = data_graph(); // 4 nodes, path a->b->c->d
+        let g_b = Arc::new(graph_from_labels(&["a", "c"], &[("a", "c")]));
+        let planted = Arc::new(PreparedGraph::new(Arc::clone(&g_a)));
+        engine
+            .cache
+            .lock()
+            .unwrap()
+            .insert(graph_fingerprint(&*g_b), Arc::clone(&planted));
+
+        let served = engine.prepare(&g_b);
+        assert!(
+            !Arc::ptr_eq(&served, &planted),
+            "collision must re-prepare, not alias the planted graph"
+        );
+        assert_eq!(served.graph().node_count(), 2, "B's own artifacts");
+        assert!(served.closure().reaches(NodeId(0), NodeId(1)));
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 0, "a collision is a miss");
+        assert_eq!(stats.prepares, 1);
+        // The re-prepared entry replaced the colliding one and now hits.
+        let again = engine.prepare(&g_b);
+        assert!(Arc::ptr_eq(&served, &again));
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn fingerprint_collision_on_labels_alone_is_caught() {
+        // Same node and edge counts, same shape — only a label differs.
+        // The count checks cannot catch this one; the label sweep must.
+        let engine: Engine<String> = Engine::default();
+        let g_a = data_graph();
+        let g_b = Arc::new(graph_from_labels(
+            &["a", "b", "c", "DIFFERENT"],
+            &[("a", "b"), ("b", "c"), ("c", "DIFFERENT")],
+        ));
+        let planted = Arc::new(PreparedGraph::new(Arc::clone(&g_a)));
+        engine
+            .cache
+            .lock()
+            .unwrap()
+            .insert(graph_fingerprint(&*g_b), planted);
+        let served = engine.prepare(&g_b);
+        assert_eq!(served.graph().label(NodeId(3)), "DIFFERENT");
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().prepares, 1);
+    }
+
+    #[test]
+    fn percentile_micros_edge_cases() {
+        assert_eq!(percentile_micros(&[], 0), 0, "empty sample");
+        assert_eq!(percentile_micros(&[], 50), 0);
+        assert_eq!(percentile_micros(&[], 100), 0);
+        assert_eq!(percentile_micros(&[7], 0), 7, "single element");
+        assert_eq!(percentile_micros(&[7], 50), 7);
+        assert_eq!(percentile_micros(&[7], 100), 7);
+        let s = [1u128, 2, 3, 4];
+        assert_eq!(percentile_micros(&s, 0), 1, "p0 = minimum");
+        assert_eq!(
+            percentile_micros(&s, 50),
+            2,
+            "nearest rank, not interpolated"
+        );
+        assert_eq!(percentile_micros(&s, 99), 4);
+        assert_eq!(percentile_micros(&s, 100), 4, "p100 = maximum");
+    }
+
+    #[test]
+    fn deadline_expired_query_returns_best_so_far_without_poisoning_cache() {
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let prepared = engine.prepare(&g);
+        // Zero budget: deterministically expired at the first boundary.
+        // Forced Approx (a 2-node pattern would otherwise route Exact,
+        // which is not interruptible).
+        let mut q = simple_query(&g);
+        q.config.force_plan = Some(PlanKind::Approx);
+        q.config.timeout = Some(std::time::Duration::ZERO);
+        let timed = engine.execute(&prepared, &q);
+        assert!(timed.outcome.stats.timed_out);
+        assert!(
+            timed.outcome.mapping.is_empty(),
+            "zero budget: best-so-far is the empty mapping"
+        );
+        assert_eq!(engine.stats().timeouts, 1);
+
+        // The prepared graph is untouched: the same query without a
+        // deadline — served from the same cache entry — answers fully.
+        let mut q2 = simple_query(&g);
+        q2.config.force_plan = Some(PlanKind::Approx);
+        let full = engine.execute(&engine.prepare(&g), &q2);
+        assert!(!full.outcome.stats.timed_out);
+        assert_eq!(full.outcome.qual_card, 1.0, "a ⇝ c via 2-hop path");
+        let stats = engine.stats();
+        assert_eq!(stats.timeouts, 1, "no new timeout");
+        assert_eq!(stats.prepares, 1, "cache entry survived the timeout");
+    }
+
+    #[test]
+    fn intra_query_workers_keep_results_and_count_components() {
+        // Pattern with three weakly connected components against the
+        // path graph; force Approx so the partitioner actually runs.
+        let g = data_graph();
+        let pattern = Arc::new({
+            // (graph_from_labels needs unique labels; build by hand.)
+            let mut p: DiGraph<String> = DiGraph::new();
+            let ids: Vec<NodeId> = ["a", "b", "b", "c", "c", "d"]
+                .iter()
+                .map(|l| p.add_node((*l).to_owned()))
+                .collect();
+            p.add_edge(ids[0], ids[1]);
+            p.add_edge(ids[2], ids[3]);
+            p.add_edge(ids[4], ids[5]);
+            p
+        });
+        let mk_query = || {
+            let mat = SimMatrix::label_equality(&*pattern, &*g);
+            let mut q = Query::new(Arc::clone(&pattern), mat);
+            q.config.force_plan = Some(PlanKind::Approx);
+            q
+        };
+        let run = |intra: usize| {
+            let engine: Engine<String> = Engine::new(EngineConfig {
+                planner: crate::planner::PlannerConfig {
+                    intra_query_workers: intra,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let r = engine.execute(&engine.prepare(&g), &mk_query());
+            (r, engine.stats())
+        };
+        let (seq, seq_stats) = run(1);
+        let (par, par_stats) = run(4);
+        assert_eq!(
+            seq.outcome.mapping.pairs().collect::<Vec<_>>(),
+            par.outcome.mapping.pairs().collect::<Vec<_>>(),
+            "intra-query fan-out must not change the mapping"
+        );
+        assert_eq!(seq_stats.intra_parallel_components, 0);
+        assert_eq!(
+            par_stats.intra_parallel_components, par.outcome.stats.components,
+            "every component accounted on the parallel path"
+        );
+        assert!(par_stats.intra_parallel_components >= 2);
+    }
+
+    #[test]
     fn apply_updates_rekeys_cache_and_counts_incremental_work() {
         let engine: Engine<String> = Engine::default();
         let g = data_graph();
@@ -813,6 +1058,11 @@ mod tests {
         assert!(json.contains("\"prepares\":2"));
         assert!(json.contains("\"queries\":7"));
         assert!(json.contains("\"update_rebuilds\":0"));
+        assert!(json.contains("\"timeouts\":0"));
+        assert!(json.contains("\"intra_parallel_components\":0"));
+        assert!(json.contains("\"response_p50_micros\":0"));
+        assert!(json.contains("\"response_p95_micros\":0"));
+        assert!(json.contains("\"response_p99_micros\":0"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use phom_core::Algorithm;
 use phom_graph::DiGraph;
 use phom_sim::{NodeWeights, SimMatrix};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which reachability backend a prepared graph should use for its full
 /// closure — the policy knob behind `phom_graph::ReachabilityIndex`.
@@ -90,6 +91,20 @@ pub struct PlannerConfig {
     /// Node count at which [`ClosureBackend::Auto`] switches to the chain
     /// index.
     pub chain_node_threshold: usize,
+    /// Engine-wide per-query deadline for approximate plans, applied when
+    /// the query does not set [`QueryConfig::timeout`] itself. A query
+    /// past its deadline stops at the next iteration boundary and
+    /// returns its best-so-far mapping with `MatchStats::timed_out` set
+    /// (counted in `EngineStats::timeouts`). Exact and baseline plans
+    /// are not interruptible (the planner only routes tiny instances
+    /// there). `None` (the default) never times out.
+    pub timeout: Option<Duration>,
+    /// Worker threads for *intra*-query per-component parallelism
+    /// (Proposition 1 makes p-hom components independent), applied when
+    /// the query does not set [`QueryConfig::intra_workers`]. `1` (the
+    /// default) keeps the sequential path; `0` uses the available
+    /// parallelism. Injective plans always run sequentially.
+    pub intra_query_workers: usize,
 }
 
 impl Default for PlannerConfig {
@@ -100,6 +115,8 @@ impl Default for PlannerConfig {
             default_restarts: 4,
             closure_backend: ClosureBackend::Auto,
             chain_node_threshold: DEFAULT_CHAIN_NODE_THRESHOLD,
+            timeout: None,
+            intra_query_workers: 1,
         }
     }
 }
@@ -121,6 +138,12 @@ pub struct QueryConfig {
     /// otherwise); forcing it on a pattern with edges may return an
     /// invalid p-hom mapping.
     pub force_plan: Option<PlanKind>,
+    /// Per-query deadline; `None` falls back to
+    /// [`PlannerConfig::timeout`]. See that field for semantics.
+    pub timeout: Option<Duration>,
+    /// Per-query intra-query worker count; `None` falls back to
+    /// [`PlannerConfig::intra_query_workers`].
+    pub intra_workers: Option<usize>,
 }
 
 impl Default for QueryConfig {
@@ -131,6 +154,8 @@ impl Default for QueryConfig {
             max_stretch: None,
             restarts: None,
             force_plan: None,
+            timeout: None,
+            intra_workers: None,
         }
     }
 }

@@ -568,6 +568,9 @@ impl<L: Clone> PreparedGraph<L> {
     /// Assembles the borrowed view [`phom_core::match_graphs_prepared`]
     /// consumes. `bounded` must be the memoized closure for the query's
     /// stretch bound when one applies (see [`PreparedGraph::bounded_closure`]).
+    /// The returned view carries an unlimited [`phom_core::MatchBudget`];
+    /// callers with a per-query deadline (the engine's executor) set the
+    /// `budget` field before matching.
     pub fn inputs<'a>(
         &'a self,
         bounded: Option<(usize, &'a dyn ReachabilityIndex)>,
@@ -576,6 +579,7 @@ impl<L: Clone> PreparedGraph<L> {
             closure: self.index.as_dyn(),
             bounded,
             compressed: self.compressed.as_ref(),
+            budget: phom_core::MatchBudget::unlimited(),
         }
     }
 }

@@ -9,10 +9,11 @@
 //! phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]
 //!               [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]
 //!               [--closure-backend dense|chain|auto] [--arrivals open:<rate>]
-//!               [--stats-json PATH]
+//!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
 //! phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]
 //!               [--nodes M] [--noise P] [--seed S]
-//!               [--closure-backend dense|chain|auto] [--stats-json PATH]
+//!               [--closure-backend dense|chain|auto]
+//!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
 //! ```
 //!
 //! Graph files use the text format of `phom_graph::serialize`
@@ -46,10 +47,13 @@ fn main() -> ExitCode {
              phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]\n\
              \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]\n\
              \x20                           [--closure-backend dense|chain|auto]\n\
-             \x20                           [--arrivals open:<rate>] [--stats-json PATH]\n\
+             \x20                           [--arrivals open:<rate>] [--timeout-micros U]\n\
+             \x20                           [--intra-workers W] [--stats-json PATH]\n\
              phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]\n\
              \x20                           [--nodes M] [--noise P] [--seed S]\n\
-             \x20                           [--closure-backend dense|chain|auto] [--stats-json PATH]"
+             \x20                           [--closure-backend dense|chain|auto]\n\
+             \x20                           [--timeout-micros U] [--intra-workers W]\n\
+             \x20                           [--stats-json PATH]"
         );
         return ExitCode::SUCCESS;
     }
@@ -88,6 +92,10 @@ struct Flags {
     closure_backend: ClosureBackend,
     /// Open-loop arrival rate in queries/second (`--arrivals open:<rate>`).
     arrival_rate: Option<f64>,
+    /// Per-query deadline in microseconds (`--timeout-micros`).
+    timeout_micros: Option<u64>,
+    /// Intra-query per-component workers (`--intra-workers`; 0 = all cores).
+    intra_workers: usize,
     files: Vec<String>,
 }
 
@@ -114,6 +122,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stats_json: None,
         closure_backend: ClosureBackend::Auto,
         arrival_rate: None,
+        timeout_micros: None,
+        intra_workers: 1,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -215,6 +225,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .next()
                     .and_then(|v| ClosureBackend::parse(v))
                     .ok_or("--closure-backend needs dense|chain|auto")?;
+            }
+            "--timeout-micros" => {
+                f.timeout_micros = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--timeout-micros needs a microsecond count")?,
+                );
+            }
+            "--intra-workers" => {
+                f.intra_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--intra-workers needs a worker count (0 = all cores)")?;
             }
             "--arrivals" => {
                 let spec = it.next().ok_or("--arrivals needs open:<rate>")?;
@@ -579,12 +602,23 @@ fn mixed_query<L>(
         algorithm: algorithms[i % 4],
         max_stretch: (i % 5 == 4).then_some(3),
         restarts: (i % 9 == 8).then_some(3),
-        force_plan: None,
+        ..Default::default()
     };
     q
 }
 
-fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
+/// The engine-side planner knobs shared by `engine-batch`/`engine-live`:
+/// closure backend, per-query deadline, intra-query workers.
+fn planner_config(f: &Flags) -> PlannerConfig {
+    PlannerConfig {
+        closure_backend: f.closure_backend,
+        timeout: f.timeout_micros.map(std::time::Duration::from_micros),
+        intra_query_workers: f.intra_workers,
+        ..Default::default()
+    }
+}
+
+fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
     data: &std::sync::Arc<DiGraph<L>>,
     queries: Vec<Query<L>>,
     f: &Flags,
@@ -592,10 +626,7 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
     let engine: Engine<L> = Engine::new(EngineConfig {
         cache_capacity: 8,
         threads: f.threads,
-        planner: PlannerConfig {
-            closure_backend: f.closure_backend,
-            ..Default::default()
-        },
+        planner: planner_config(f),
         ..Default::default()
     });
     if let Some(rate) = f.arrival_rate {
@@ -647,6 +678,19 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
         prep.bounded_closures_computed(),
         stats.baseline_plans,
     );
+    if f.intra_workers != 1 || f.timeout_micros.is_some() {
+        println!(
+            "deadlines: timeouts = {}, intra-query workers = {}, \
+             components matched in parallel = {}",
+            stats.timeouts,
+            if f.intra_workers == 0 {
+                "all-cores".to_owned()
+            } else {
+                f.intra_workers.to_string()
+            },
+            stats.intra_parallel_components,
+        );
+    }
     if !batch.results.is_empty() {
         let mean_card: f64 = batch
             .results
@@ -709,7 +753,7 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash>(
 /// each one's scheduled instant; reported **response** latency is
 /// completion minus scheduled arrival, so a saturated engine shows its
 /// tail honestly in p95/p99.
-fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash>(
+fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
     engine: &Engine<L>,
     data: &std::sync::Arc<DiGraph<L>>,
     queries: &[Query<L>],
@@ -793,12 +837,17 @@ fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash>(
             card_sum.into_inner().unwrap_or_else(|e| e.into_inner()) / pairs.len() as f64
         );
     }
-    // Export: the percentile slots carry the open-loop *response*
-    // latencies (documented on `EngineStats`).
+    // Export: service percentiles go in the `last_batch_p*` slots (their
+    // documented meaning), response percentiles in the dedicated
+    // `response_p*` fields — the field names must not lie about which
+    // latency they carry.
     let mut stats = engine.stats();
-    stats.last_batch_p50_micros = percentile_micros(&response, 50);
-    stats.last_batch_p95_micros = percentile_micros(&response, 95);
-    stats.last_batch_p99_micros = percentile_micros(&response, 99);
+    stats.last_batch_p50_micros = percentile_micros(&service, 50);
+    stats.last_batch_p95_micros = percentile_micros(&service, 95);
+    stats.last_batch_p99_micros = percentile_micros(&service, 99);
+    stats.response_p50_micros = percentile_micros(&response, 50);
+    stats.response_p95_micros = percentile_micros(&response, 95);
+    stats.response_p99_micros = percentile_micros(&response, 99);
     if let Err(e) = write_stats_json(f, &stats, pstats, None) {
         return fail(&e);
     }
@@ -867,10 +916,7 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
     let engine: Engine<phom::workloads::synthetic::Label> = Engine::new(EngineConfig {
         cache_capacity: 8,
         threads: f.threads,
-        planner: PlannerConfig {
-            closure_backend: f.closure_backend,
-            ..Default::default()
-        },
+        planner: planner_config(&f),
         ..Default::default()
     });
     let mut rng = phom::graph::XorShift64::new(f.seed ^ 0x6c69_7665); // "live"

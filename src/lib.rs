@@ -83,8 +83,9 @@ pub mod prelude {
     pub use phom_core::{
         comp_max_card, comp_max_card_1_1, comp_max_sim, comp_max_sim_1_1, decide_phom,
         exact_optimum, match_graphs, match_graphs_prepared, match_mutual, match_paths,
-        naive_max_card, naive_max_sim, verify_phom, AlgoConfig, Algorithm, MatchOutcome,
-        MatcherConfig, Objective, PHomMapping, PreparedInputs, ProductGraph, Selection,
+        naive_max_card, naive_max_sim, verify_phom, AlgoConfig, Algorithm, MatchBudget,
+        MatchOutcome, MatcherConfig, Objective, PHomMapping, PreparedInputs, ProductGraph,
+        Selection,
     };
     pub use phom_dynamic::{DynamicConfig, GraphUpdate, SemiDynamicClosure};
     pub use phom_engine::{

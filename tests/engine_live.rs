@@ -41,7 +41,7 @@ fn workload(m: usize, seed: u64) -> (Arc<DiGraph<Label>>, Vec<Query<Label>>) {
                 ][i % 4],
                 restarts: Some(1),
                 max_stretch: (i % 5 == 4).then_some(3),
-                force_plan: None,
+                ..Default::default()
             };
             q
         })
