@@ -1,4 +1,4 @@
-//! Blondel et al. vertex similarity [6] — the other vertex-similarity
+//! Blondel et al. vertex similarity \[6\] — the other vertex-similarity
 //! measure §3.1/§6 mention (the paper reports its results were similar to
 //! SF's). The similarity matrix is the fixpoint of
 //!

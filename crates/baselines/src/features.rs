@@ -1,4 +1,4 @@
-//! Feature-based graph similarity (bag-of-paths, Joshi et al. [18]) — the
+//! Feature-based graph similarity (bag-of-paths, Joshi et al. \[18\]) — the
 //! comparison the paper's Conclusion lists as future work: "compare the
 //! accuracy and efficiency of our methods with the counterparts of the
 //! feature-based approaches."

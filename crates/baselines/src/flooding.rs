@@ -1,4 +1,4 @@
-//! Similarity flooding (Melnik, Garcia-Molina, Rahm [21]) — the "SF"
+//! Similarity flooding (Melnik, Garcia-Molina, Rahm \[21\]) — the "SF"
 //! vertex-similarity baseline of §6.
 //!
 //! SF builds a *pairwise connectivity graph* (PCG) over node pairs

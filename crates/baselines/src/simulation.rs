@@ -1,4 +1,4 @@
-//! Graph simulation (Henzinger, Henzinger, Kopke [17]) — the first
+//! Graph simulation (Henzinger, Henzinger, Kopke \[17\]) — the first
 //! baseline of §6. A simulation requires *edge-to-edge* preservation: `R ⊆
 //! V1 × V2` such that `(v, u) ∈ R` implies node compatibility and for every
 //! edge `(v, v')` of `G1` some edge `(u, u')` of `G2` with `(v', u') ∈ R`.

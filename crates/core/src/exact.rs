@@ -7,6 +7,7 @@
 //! quality measurements) and as exact solvers for patterns of ≲ 20 nodes,
 //! where Appendix B notes exact solving is affordable.
 
+use crate::budget::MatchBudget;
 use crate::mapping::PHomMapping;
 use phom_graph::{DiGraph, NodeId, ReachabilityIndex, TransitiveClosure};
 use phom_sim::{NodeWeights, SimMatrix};
@@ -247,6 +248,78 @@ pub fn exact_optimum_with<L>(
     objective: Objective,
     weights: &NodeWeights,
 ) -> PHomMapping {
+    exact_optimum_budgeted(
+        g1,
+        closure,
+        mat,
+        xi,
+        injective,
+        objective,
+        weights,
+        MatchBudget::unlimited(),
+    )
+    .0
+}
+
+/// Budget ticker for the exact search: the branch-and-bound visits nodes
+/// far faster than a monotonic-clock read, so the deadline is polled once
+/// every `STRIDE` visited search nodes.
+struct BudgetTicker {
+    budget: MatchBudget,
+    ticks: u32,
+    expired: bool,
+}
+
+impl BudgetTicker {
+    const STRIDE: u32 = 64;
+
+    fn new(budget: MatchBudget) -> Self {
+        BudgetTicker {
+            budget,
+            ticks: 0,
+            // A zero/past deadline is expired before the first branch —
+            // the deterministic "return the empty mapping now" probe.
+            expired: budget.expired(),
+        }
+    }
+
+    /// True once the deadline has passed; polls the clock every
+    /// [`BudgetTicker::STRIDE`] calls.
+    fn expired(&mut self) -> bool {
+        if self.expired {
+            return true;
+        }
+        if !self.budget.is_limited() {
+            return false;
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(Self::STRIDE) && self.budget.expired() {
+            self.expired = true;
+        }
+        self.expired
+    }
+}
+
+/// [`exact_optimum_with`] under a per-query deadline: the branch-and-bound
+/// stops at the next search-node boundary once `budget` expires and
+/// returns its **best-so-far** mapping plus a flag reporting whether the
+/// search was cut short (`true` = timed out; the mapping is still a valid
+/// (1-1) p-hom mapping, just not certified optimal). A
+/// [`MatchBudget::unlimited`] budget never expires and certifies the
+/// optimum, and a zero timeout deterministically returns the empty
+/// mapping — this is what makes `prefer_exact`-routed engine queries
+/// honor the same deadlines as the approximate plans.
+#[allow(clippy::too_many_arguments)]
+pub fn exact_optimum_budgeted<L>(
+    g1: &DiGraph<L>,
+    closure: &dyn ReachabilityIndex,
+    mat: &SimMatrix,
+    xi: f64,
+    injective: bool,
+    objective: Objective,
+    weights: &NodeWeights,
+    budget: MatchBudget,
+) -> (PHomMapping, bool) {
     assert_eq!(weights.len(), g1.node_count());
     let n1 = g1.node_count();
     let search = Search::new(g1, closure, mat, xi, injective);
@@ -289,7 +362,11 @@ pub fn exact_optimum_with<L>(
         assign: &mut Vec<Option<NodeId>>,
         value: f64,
         best: &mut Best,
+        ticker: &mut BudgetTicker,
     ) {
+        if ticker.expired() {
+            return; // best-so-far stands; unwind without exploring
+        }
         if v_idx == assign.len() {
             if value > best.value {
                 best.value = value;
@@ -321,6 +398,7 @@ pub fn exact_optimum_with<L>(
                     assign,
                     value + gain,
                     best,
+                    ticker,
                 );
                 assign[v_idx] = None;
             }
@@ -335,10 +413,12 @@ pub fn exact_optimum_with<L>(
             assign,
             value,
             best,
+            ticker,
         );
     }
 
     let mut assign = vec![None; n1];
+    let mut ticker = BudgetTicker::new(budget);
     go(
         &search,
         objective,
@@ -348,14 +428,18 @@ pub fn exact_optimum_with<L>(
         &mut assign,
         0.0,
         &mut best,
+        &mut ticker,
     );
 
-    PHomMapping::from_pairs(
-        n1,
-        best.assign
-            .iter()
-            .enumerate()
-            .filter_map(|(v, u)| u.map(|u| (NodeId(v as u32), u))),
+    (
+        PHomMapping::from_pairs(
+            n1,
+            best.assign
+                .iter()
+                .enumerate()
+                .filter_map(|(v, u)| u.map(|u| (NodeId(v as u32), u))),
+        ),
+        ticker.expired,
     )
 }
 
@@ -479,6 +563,68 @@ mod tests {
         let m2 = exact_optimum(&g1, &g2, &mat, 0.5, false, Objective::Cardinality, &w_light);
         assert_eq!(m2.len(), 2, "cardinality prefers the two leaves");
         assert_eq!(m2.get(n(0)), None);
+    }
+
+    #[test]
+    fn zero_budget_exact_returns_empty_best_so_far_deterministically() {
+        let g1 = graph_from_labels(&["r", "a", "b", "c"], &[("r", "a"), ("r", "b"), ("b", "c")]);
+        let g2 = graph_from_labels(
+            &["r", "x", "a", "b", "c"],
+            &[("r", "x"), ("x", "a"), ("x", "b"), ("b", "c")],
+        );
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let w = NodeWeights::uniform(4);
+        let closure = TransitiveClosure::new(&g2);
+        let (m, timed_out) = exact_optimum_budgeted(
+            &g1,
+            &closure,
+            &mat,
+            0.5,
+            false,
+            Objective::Cardinality,
+            &w,
+            crate::MatchBudget::with_timeout(std::time::Duration::ZERO),
+        );
+        assert!(timed_out, "zero budget is expired before the first branch");
+        assert!(m.is_empty(), "best-so-far is the empty mapping");
+    }
+
+    #[test]
+    fn unlimited_budget_exact_reports_no_timeout() {
+        let g1 = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let g2 = graph_from_labels(&["a", "x", "b"], &[("a", "x"), ("x", "b")]);
+        let mat = SimMatrix::label_equality(&g1, &g2);
+        let w = NodeWeights::uniform(2);
+        let closure = TransitiveClosure::new(&g2);
+        let (m, timed_out) = exact_optimum_budgeted(
+            &g1,
+            &closure,
+            &mat,
+            0.5,
+            false,
+            Objective::Cardinality,
+            &w,
+            crate::MatchBudget::unlimited(),
+        );
+        assert!(!timed_out);
+        assert_eq!(m.len(), 2);
+        // And a generous (not-yet-expired) budget certifies the same
+        // optimum as the unlimited one.
+        let (m2, timed_out2) = exact_optimum_budgeted(
+            &g1,
+            &closure,
+            &mat,
+            0.5,
+            false,
+            Objective::Cardinality,
+            &w,
+            crate::MatchBudget::with_timeout(std::time::Duration::from_secs(3600)),
+        );
+        assert!(!timed_out2);
+        assert_eq!(
+            m.pairs().collect::<Vec<_>>(),
+            m2.pairs().collect::<Vec<_>>()
+        );
     }
 
     #[test]

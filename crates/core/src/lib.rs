@@ -56,7 +56,10 @@ pub use bounds::{guarantee_factor, hardness_ceiling, prefer_exact};
 pub use budget::MatchBudget;
 pub use embedding::{check_schema_embedding, find_schema_embedding, EmbeddingViolation};
 pub use enumerate::{enumerate_phom_mappings, enumerate_phom_mappings_with};
-pub use exact::{decide_phom, decide_phom_with, exact_optimum, exact_optimum_with, Objective};
+pub use exact::{
+    decide_phom, decide_phom_with, exact_optimum, exact_optimum_budgeted, exact_optimum_with,
+    Objective,
+};
 pub use mapping::{verify_phom, PHomMapping, Violation};
 pub use naive::{naive_max_card, naive_max_sim};
 pub use optimize::{

@@ -1,6 +1,6 @@
 //! Arc-consistency prefiltering of candidate pairs — the "indexing and
 //! filtering" direction the paper's Conclusion leaves as future work
-//! (citing TALE [27] and substructure indices [30]).
+//! (citing TALE \[27\] and substructure indices \[30\]).
 //!
 //! A pair `(v, u)` survives only if for *every* pattern child `v'` of `v`
 //! some surviving candidate `u'` of `v'` is reachable from `u` (and

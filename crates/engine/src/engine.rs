@@ -3,9 +3,9 @@
 //! work-stealing batch executor over a scoped thread pool.
 
 use crate::planner::{plan_query_with, Plan, PlanKind, PlannerConfig, Query};
-use crate::prepared::{PreparedGraph, UpdateOutcome, UpdateStats};
+use crate::prepared::{PrepareOptions, PreparedGraph, UpdateOutcome, UpdateStats};
 use phom_core::{
-    exact_optimum_with, match_graphs_prepared, MatchBudget, MatchOutcome, MatchStats,
+    exact_optimum_budgeted, match_graphs_prepared, MatchBudget, MatchOutcome, MatchStats,
     MatcherConfig, Objective, PHomMapping,
 };
 use phom_dynamic::{DynamicConfig, GraphUpdate};
@@ -46,6 +46,80 @@ impl Default for EngineConfig {
             dynamic: DynamicConfig::default(),
             max_update_batch: 256,
         }
+    }
+}
+
+impl EngineConfig {
+    /// A builder starting from the defaults — the one config path the
+    /// engine, the service layer, and the CLI all construct through.
+    ///
+    /// ```
+    /// use phom_engine::{ClosureBackend, EngineConfig, PlannerConfig};
+    ///
+    /// let config = EngineConfig::builder()
+    ///     .cache_capacity(32)
+    ///     .threads(4)
+    ///     .planner(
+    ///         PlannerConfig::builder()
+    ///             .closure_backend(ClosureBackend::Dense)
+    ///             .intra_query_workers(2)
+    ///             .build(),
+    ///     )
+    ///     .build();
+    /// assert_eq!(config.cache_capacity, 32);
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// The [`PrepareOptions`] this config implies for fresh preparations.
+    pub fn prepare_options(&self) -> PrepareOptions {
+        PrepareOptions::from_planner(&self.planner)
+    }
+}
+
+/// Builder for [`EngineConfig`] (see [`EngineConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets [`EngineConfig::cache_capacity`].
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets [`EngineConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets [`EngineConfig::planner`].
+    pub fn planner(mut self, planner: PlannerConfig) -> Self {
+        self.config.planner = planner;
+        self
+    }
+
+    /// Sets [`EngineConfig::dynamic`].
+    pub fn dynamic(mut self, dynamic: DynamicConfig) -> Self {
+        self.config.dynamic = dynamic;
+        self
+    }
+
+    /// Sets [`EngineConfig::max_update_batch`].
+    pub fn max_update_batch(mut self, batch: usize) -> Self {
+        self.config.max_update_batch = batch;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -363,6 +437,20 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
     /// miss (re-prepare), never to silently matching queries against a
     /// different graph's closure.
     pub fn prepare(&self, graph: &Arc<DiGraph<L>>) -> Arc<PreparedGraph<L>> {
+        self.prepare_with(graph, self.config.prepare_options())
+    }
+
+    /// [`Engine::prepare`] under explicit [`PrepareOptions`] — the entry
+    /// point a sharded registry uses to pin the whole graph's compression
+    /// decision onto each shard. A cache hit is only served when the
+    /// cached entry was prepared under the *same* options; a mismatch
+    /// degrades to a re-prepare (replacing the entry), never to serving
+    /// artifacts built under another policy.
+    pub fn prepare_with(
+        &self,
+        graph: &Arc<DiGraph<L>>,
+        options: PrepareOptions,
+    ) -> Arc<PreparedGraph<L>> {
         let key = graph_fingerprint(graph);
         // Only the O(1) lookup holds the lock; the O(V + E) structural
         // verification walks the graph on a cloned Arc so concurrent
@@ -372,24 +460,21 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
             cache.get(key)
         };
         if let Some(hit) = hit {
-            if same_structure(hit.graph(), graph) {
+            if hit.options() == options && same_structure(hit.graph(), graph) {
                 self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
-            // Fingerprint collision: fall through to a fresh prepare.
-            // The insert below replaces the colliding entry — the two
-            // graphs will thrash one slot, which is correct if slow;
-            // a 1-in-2⁶⁴ event does not deserve a second-level key.
+            // Fingerprint collision (or an options mismatch): fall
+            // through to a fresh prepare. The insert below replaces the
+            // colliding entry — the two graphs will thrash one slot,
+            // which is correct if slow; a 1-in-2⁶⁴ event does not
+            // deserve a second-level key.
         }
         // Prepare outside the lock: preparation is the expensive part and
         // other graphs' lookups should not serialize behind it. A racing
         // duplicate prepare for the *same* graph is benign (last insert
         // wins; both Arcs are valid).
-        let prepared = Arc::new(PreparedGraph::with_backend(
-            Arc::clone(graph),
-            self.config.planner.closure_backend,
-            self.config.planner.chain_node_threshold,
-        ));
+        let prepared = Arc::new(PreparedGraph::prepare(Arc::clone(graph), options));
         self.counters.prepares.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         cache.insert(key, Arc::clone(&prepared));
@@ -417,6 +502,51 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
         // (duplicate inserts, absent deletes, out-of-range nodes — common
         // in live streams) keeps the current prepared version instead of
         // assembling an identical new one.
+        if let Some(outcome) = self.noop_batch(graph, updates, None) {
+            return outcome;
+        }
+        let outcome = if updates.len() > self.config.max_update_batch {
+            // No point preparing (or caching) the pre-update graph here:
+            // the oversized branch re-prepares the mutated graph anyway.
+            self.oversized_rebuild(graph, updates, self.config.prepare_options())
+        } else {
+            self.prepare(graph)
+                .apply_with(updates, &self.config.dynamic)
+        };
+        self.admit_outcome(outcome)
+    }
+
+    /// [`Engine::apply_updates`] against an **already prepared** version —
+    /// the entry point a registry holding per-shard prepared graphs uses.
+    /// The new version inherits `prepared`'s [`PrepareOptions`] (also on
+    /// the oversized-batch rebuild path), the same admission limit
+    /// applies, and the cache is re-keyed to the mutated graph's
+    /// fingerprint exactly as in [`Engine::apply_updates`].
+    pub fn apply_updates_prepared(
+        &self,
+        prepared: &Arc<PreparedGraph<L>>,
+        updates: &[GraphUpdate],
+    ) -> UpdateOutcome<L> {
+        if let Some(outcome) = self.noop_batch(prepared.graph(), updates, Some(prepared)) {
+            return outcome;
+        }
+        let outcome = if updates.len() > self.config.max_update_batch {
+            self.oversized_rebuild(prepared.graph(), updates, prepared.options())
+        } else {
+            prepared.apply_with(updates, &self.config.dynamic)
+        };
+        self.admit_outcome(outcome)
+    }
+
+    /// The all-no-ops fast path shared by the two apply entry points:
+    /// `Some` when no update can change the graph, carrying the current
+    /// prepared version (the given one, or a cache fetch).
+    fn noop_batch(
+        &self,
+        graph: &Arc<DiGraph<L>>,
+        updates: &[GraphUpdate],
+        prepared: Option<&Arc<PreparedGraph<L>>>,
+    ) -> Option<UpdateOutcome<L>> {
         let n = graph.node_count();
         let changes_graph = |u: &GraphUpdate| {
             u.in_range(n)
@@ -425,51 +555,59 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
                     GraphUpdate::RemoveEdge(a, b) => graph.has_edge(a, b),
                 }
         };
-        if !updates.iter().any(changes_graph) {
-            let started = Instant::now();
-            let mut stats = UpdateStats::default();
-            for update in updates {
-                if update.in_range(n) {
-                    stats.noops += 1;
-                } else {
-                    stats.rejected += 1;
-                }
-            }
-            let prepared = self.prepare(graph);
-            stats.apply_micros = started.elapsed().as_micros();
-            return UpdateOutcome { prepared, stats };
+        if updates.iter().any(changes_graph) {
+            return None;
         }
-        let outcome = if updates.len() > self.config.max_update_batch {
-            // No point preparing (or caching) the pre-update graph here:
-            // the oversized branch re-prepares the mutated graph anyway.
-            let started = Instant::now();
-            let mut stats = UpdateStats::default();
-            let mut g = (**graph).clone();
-            for &update in updates {
-                if !update.in_range(g.node_count()) {
-                    stats.rejected += 1;
-                } else if update.apply_to(&mut g) {
-                    stats.applied += 1;
-                } else {
-                    stats.noops += 1;
-                }
+        let started = Instant::now();
+        let mut stats = UpdateStats::default();
+        for update in updates {
+            if update.in_range(n) {
+                stats.noops += 1;
+            } else {
+                stats.rejected += 1;
             }
-            stats.rebuilds += 1;
-            self.counters.prepares.fetch_add(1, Ordering::Relaxed);
-            let rebuilt = Arc::new(PreparedGraph::with_backend(
-                Arc::new(g),
-                self.config.planner.closure_backend,
-                self.config.planner.chain_node_threshold,
-            ));
-            stats.apply_micros = started.elapsed().as_micros();
-            UpdateOutcome {
-                prepared: rebuilt,
-                stats,
-            }
-        } else {
-            self.prepare(graph)
-                .apply_with(updates, &self.config.dynamic)
+        }
+        let prepared = match prepared {
+            Some(p) => Arc::clone(p),
+            None => self.prepare(graph),
         };
+        stats.apply_micros = started.elapsed().as_micros();
+        Some(UpdateOutcome { prepared, stats })
+    }
+
+    /// One from-scratch re-prepare of the mutated graph — the admission
+    /// path for batches beyond [`EngineConfig::max_update_batch`].
+    fn oversized_rebuild(
+        &self,
+        graph: &Arc<DiGraph<L>>,
+        updates: &[GraphUpdate],
+        options: PrepareOptions,
+    ) -> UpdateOutcome<L> {
+        let started = Instant::now();
+        let mut stats = UpdateStats::default();
+        let mut g = (**graph).clone();
+        for &update in updates {
+            if !update.in_range(g.node_count()) {
+                stats.rejected += 1;
+            } else if update.apply_to(&mut g) {
+                stats.applied += 1;
+            } else {
+                stats.noops += 1;
+            }
+        }
+        stats.rebuilds += 1;
+        self.counters.prepares.fetch_add(1, Ordering::Relaxed);
+        let rebuilt = Arc::new(PreparedGraph::prepare(Arc::new(g), options));
+        stats.apply_micros = started.elapsed().as_micros();
+        UpdateOutcome {
+            prepared: rebuilt,
+            stats,
+        }
+    }
+
+    /// The shared tail of an admitted update batch: counters plus the
+    /// cache re-key under the mutated graph's fingerprint.
+    fn admit_outcome(&self, outcome: UpdateOutcome<L>) -> UpdateOutcome<L> {
         self.counters
             .updates_applied
             .fetch_add(outcome.stats.applied, Ordering::Relaxed);
@@ -490,11 +628,11 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
 impl<L: Clone + Sync> Engine<L> {
     /// Plans and executes one query against a prepared graph.
     ///
-    /// A deadline ([`QueryConfig::timeout`], falling back to
+    /// A deadline ([`crate::QueryConfig::timeout`], falling back to
     /// [`PlannerConfig::timeout`]) starts ticking here and bounds the
     /// approximate plans: past it, the matcher returns best-so-far with
     /// `MatchStats::timed_out` set and [`EngineStats::timeouts`] is
-    /// incremented. Per-component fan-out ([`QueryConfig::intra_workers`]
+    /// incremented. Per-component fan-out ([`crate::QueryConfig::intra_workers`]
     /// falling back to [`PlannerConfig::intra_query_workers`]) is
     /// accounted in [`EngineStats::intra_parallel_components`].
     pub fn execute(&self, prepared: &PreparedGraph<L>, query: &Query<L>) -> QueryResult {
@@ -535,7 +673,10 @@ impl<L: Clone + Sync> Engine<L> {
                     .map(|k| prepared.bounded_closure(k));
                 let closure: &dyn ReachabilityIndex =
                     bounded_arc.as_deref().unwrap_or_else(|| prepared.closure());
-                let mapping = exact_optimum_with(
+                // The branch-and-bound honors the same deadline as the
+                // approximate plans: past it, best-so-far comes back with
+                // `timed_out` set instead of holding the worker hostage.
+                let (mapping, timed_out) = exact_optimum_budgeted(
                     &*query.pattern,
                     closure,
                     &query.matrix,
@@ -543,8 +684,9 @@ impl<L: Clone + Sync> Engine<L> {
                     query.config.algorithm.injective(),
                     objective,
                     &weights,
+                    budget,
                 );
-                outcome_of(mapping, &query.matrix, &weights, query.config.xi)
+                outcome_of(mapping, &query.matrix, &weights, query.config.xi, timed_out)
             }
             PlanKind::Baseline => {
                 let mapping = baseline_assignment(
@@ -554,7 +696,7 @@ impl<L: Clone + Sync> Engine<L> {
                     query.config.xi,
                     query.config.algorithm.injective(),
                 );
-                outcome_of(mapping, &query.matrix, &weights, query.config.xi)
+                outcome_of(mapping, &query.matrix, &weights, query.config.xi, false)
             }
             PlanKind::Approx | PlanKind::Bounded => {
                 let cfg = MatcherConfig {
@@ -563,6 +705,8 @@ impl<L: Clone + Sync> Engine<L> {
                     max_stretch: query.config.max_stretch,
                     restarts: plan.restarts,
                     intra_workers,
+                    partition_g1: query.config.partition,
+                    compress_g2: query.config.compress,
                     ..Default::default()
                 };
                 // Hold the memoized bounded closure for the duration of
@@ -604,16 +748,32 @@ impl<L: Clone + Sync> Engine<L> {
 
 impl<L: Clone + Send + Sync + Hash + PartialEq> Engine<L> {
     /// Prepares `graph` (or fetches it from the cache) and executes the
-    /// whole batch across the worker pool, returning per-query results in
-    /// input order plus a stats snapshot.
+    /// whole batch across the worker pool — see
+    /// [`Engine::execute_batch_prepared`].
+    pub fn execute_batch(&self, graph: &Arc<DiGraph<L>>, queries: &[Query<L>]) -> BatchOutcome {
+        let prepared = self.prepare(graph);
+        self.execute_batch_prepared(&prepared, queries)
+    }
+}
+
+impl<L: Clone + Send + Sync> Engine<L> {
+    /// Executes the whole batch against an **already prepared** graph
+    /// across the worker pool, returning per-query results in input
+    /// order plus a stats snapshot. A registry holding per-shard
+    /// prepared graphs calls this directly so warm artifacts (e.g. a
+    /// snapshot-restored closure that never entered the cache) are used
+    /// instead of re-prepared.
     ///
     /// Work distribution is stealing (a shared atomic index), so skewed
     /// query costs do not idle workers. All workers synchronize on a
     /// barrier after claiming their first query, which makes the achieved
     /// start-of-batch parallelism observable in
     /// [`EngineStats::last_batch_peak_parallel`].
-    pub fn execute_batch(&self, graph: &Arc<DiGraph<L>>, queries: &[Query<L>]) -> BatchOutcome {
-        let prepared = self.prepare(graph);
+    pub fn execute_batch_prepared(
+        &self,
+        prepared: &Arc<PreparedGraph<L>>,
+        queries: &[Query<L>],
+    ) -> BatchOutcome {
         let workers = self.worker_count(queries.len());
         self.counters
             .last_batch_workers
@@ -651,7 +811,7 @@ impl<L: Clone + Send + Sync + Hash + PartialEq> Engine<L> {
                             barrier.wait();
                             first = false;
                         }
-                        let result = self.execute(&prepared, &queries[i]);
+                        let result = self.execute(prepared, &queries[i]);
                         let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
                         slots[i] = Some(result);
                         drop(slots);
@@ -692,6 +852,7 @@ fn outcome_of(
     mat: &SimMatrix,
     weights: &NodeWeights,
     xi: f64,
+    timed_out: bool,
 ) -> MatchOutcome {
     let qual_card = mapping.qual_card();
     let qual_sim = mapping.qual_sim(weights, mat);
@@ -701,6 +862,7 @@ fn outcome_of(
         qual_sim,
         stats: MatchStats {
             candidate_pairs: mat.candidate_pair_count(xi),
+            timed_out,
             ..Default::default()
         },
     }
@@ -925,6 +1087,74 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.timeouts, 1, "no new timeout");
         assert_eq!(stats.prepares, 1, "cache entry survived the timeout");
+    }
+
+    #[test]
+    fn exact_plan_honors_zero_deadline() {
+        // A 2-node pattern routes Exact under the default cutoff; with a
+        // zero budget the branch-and-bound must return the empty
+        // best-so-far instead of running to completion (the ROADMAP's
+        // "exact plans are not interruptible" caveat, closed).
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let prepared = engine.prepare(&g);
+        let mut q = simple_query(&g);
+        q.config.timeout = Some(std::time::Duration::ZERO);
+        let result = engine.execute(&prepared, &q);
+        assert_eq!(result.plan.kind, PlanKind::Exact);
+        assert!(result.outcome.stats.timed_out);
+        assert!(result.outcome.mapping.is_empty());
+        assert_eq!(engine.stats().timeouts, 1);
+        // The same query with room to run answers fully.
+        let full = engine.execute(&prepared, &simple_query(&g));
+        assert_eq!(full.plan.kind, PlanKind::Exact);
+        assert!(!full.outcome.stats.timed_out);
+        assert_eq!(full.outcome.qual_card, 1.0);
+    }
+
+    #[test]
+    fn prepare_with_options_mismatch_is_a_miss() {
+        use crate::planner::CompressionPolicy;
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let auto = engine.prepare(&g);
+        // Same graph under a different compression policy must not alias
+        // the cached auto-policy artifacts.
+        let never = engine.prepare_with(
+            &g,
+            PrepareOptions {
+                compression: CompressionPolicy::Never,
+                ..Default::default()
+            },
+        );
+        assert!(!Arc::ptr_eq(&auto, &never));
+        assert_eq!(never.options().compression, CompressionPolicy::Never);
+        assert_eq!(engine.stats().prepares, 2, "options mismatch re-prepares");
+        // The replacement entry now hits under its own options.
+        let again = engine.prepare_with(&g, never.options());
+        assert!(Arc::ptr_eq(&never, &again));
+    }
+
+    #[test]
+    fn apply_updates_prepared_inherits_options_and_rekeys() {
+        use crate::planner::CompressionPolicy;
+        let engine: Engine<String> = Engine::default();
+        let g = data_graph();
+        let options = PrepareOptions {
+            compression: CompressionPolicy::Always,
+            ..Default::default()
+        };
+        let prepared = engine.prepare_with(&g, options);
+        let outcome = engine
+            .apply_updates_prepared(&prepared, &[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert_eq!(outcome.stats.applied, 1);
+        assert_eq!(outcome.prepared.options(), options, "version inherits");
+        assert!(outcome.prepared.compressed().is_some(), "Always kept it");
+        // Re-keyed: the mutated graph hits the cache under the same options.
+        let mut mutated = (*g).clone();
+        mutated.add_edge(NodeId(3), NodeId(0));
+        let hit = engine.prepare_with(&Arc::new(mutated), options);
+        assert!(Arc::ptr_eq(&hit, &outcome.prepared));
     }
 
     #[test]

@@ -64,14 +64,18 @@ pub mod planner;
 pub mod prepared;
 
 pub use engine::{
-    graph_fingerprint, percentile_micros, BatchOutcome, Engine, EngineConfig, EngineStats,
-    QueryResult,
+    graph_fingerprint, percentile_micros, BatchOutcome, Engine, EngineConfig, EngineConfigBuilder,
+    EngineStats, QueryResult,
 };
+#[allow(deprecated)]
+pub use planner::plan_query;
 pub use planner::{
-    plan_query, plan_query_with, ClosureBackend, Plan, PlanKind, PlannerConfig, Query, QueryConfig,
-    DEFAULT_CHAIN_NODE_THRESHOLD,
+    plan_query_with, ClosureBackend, CompressionPolicy, Plan, PlanKind, PlannerConfig,
+    PlannerConfigBuilder, Query, QueryConfig, QueryConfigBuilder, DEFAULT_CHAIN_NODE_THRESHOLD,
 };
-pub use prepared::{PrepareStats, PreparedGraph, ReachIndex, UpdateOutcome, UpdateStats};
+pub use prepared::{
+    PrepareOptions, PrepareStats, PreparedGraph, ReachIndex, UpdateOutcome, UpdateStats,
+};
 
 // Re-exported so engine consumers can speak the update vocabulary
 // without a direct `phom-dynamic` dependency.

@@ -64,6 +64,57 @@ impl ClosureBackend {
 /// the sparse families it targets.
 pub const DEFAULT_CHAIN_NODE_THRESHOLD: usize = 65_536;
 
+/// Whether a prepared graph keeps the Appendix-B compressed graph `G2*`
+/// (and its closure). The compressed and uncompressed matching runs are
+/// both correct but are *different greedy runs* — they can return
+/// different (equal-quality-class) mappings — so a sharded registry must
+/// pin the decision that the whole graph would have made onto every
+/// shard to stay result-identical with the unsharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressionPolicy {
+    /// Keep compression when `phom_core::compression_worthwhile` says the
+    /// SCC condensation shrinks the graph enough to pay for the
+    /// matrix-translation overhead (the original behavior).
+    #[default]
+    Auto,
+    /// Always build and keep the compressed graph (even a trivial one
+    /// where every SCC is a singleton).
+    Always,
+    /// Never keep the compressed graph.
+    Never,
+}
+
+impl CompressionPolicy {
+    /// Resolves the policy for a graph of `nodes` nodes condensing to
+    /// `scc_count` components: true = keep the compressed graph.
+    pub fn keep(self, nodes: usize, scc_count: usize) -> bool {
+        match self {
+            CompressionPolicy::Auto => phom_core::compression_worthwhile(nodes, scc_count),
+            CompressionPolicy::Always => nodes > 0,
+            CompressionPolicy::Never => false,
+        }
+    }
+
+    /// The pinned policy matching what [`CompressionPolicy::keep`] would
+    /// decide for a whole graph — what a registry forces onto shards.
+    pub fn pinned(nodes: usize, scc_count: usize) -> Self {
+        if CompressionPolicy::Auto.keep(nodes, scc_count) {
+            CompressionPolicy::Always
+        } else {
+            CompressionPolicy::Never
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionPolicy::Auto => "auto",
+            CompressionPolicy::Always => "always",
+            CompressionPolicy::Never => "never",
+        }
+    }
+}
+
 /// Planner tuning. Previously the routing cutoffs were hard-coded
 /// (`phom_core::bounds::prefer_exact`'s magic 64 and a private restart
 /// constant); exposing them here lets a deployment tune the exact/approx
@@ -105,6 +156,8 @@ pub struct PlannerConfig {
     /// default) keeps the sequential path; `0` uses the available
     /// parallelism. Injective plans always run sequentially.
     pub intra_query_workers: usize,
+    /// Whether prepared graphs keep the Appendix-B compressed graph.
+    pub compression: CompressionPolicy,
 }
 
 impl Default for PlannerConfig {
@@ -117,7 +170,86 @@ impl Default for PlannerConfig {
             chain_node_threshold: DEFAULT_CHAIN_NODE_THRESHOLD,
             timeout: None,
             intra_query_workers: 1,
+            compression: CompressionPolicy::Auto,
         }
+    }
+}
+
+impl PlannerConfig {
+    /// A builder starting from the defaults — the one config path the
+    /// engine, the service layer, and the CLI all construct through.
+    pub fn builder() -> PlannerConfigBuilder {
+        PlannerConfigBuilder {
+            config: PlannerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`PlannerConfig`] (see [`PlannerConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct PlannerConfigBuilder {
+    config: PlannerConfig,
+}
+
+impl PlannerConfigBuilder {
+    /// Sets [`PlannerConfig::exact_pair_cutoff`].
+    pub fn exact_pair_cutoff(mut self, pairs: usize) -> Self {
+        self.config.exact_pair_cutoff = pairs;
+        self
+    }
+
+    /// Sets [`PlannerConfig::restart_friendly_pairs`].
+    pub fn restart_friendly_pairs(mut self, pairs: usize) -> Self {
+        self.config.restart_friendly_pairs = pairs;
+        self
+    }
+
+    /// Sets [`PlannerConfig::default_restarts`].
+    pub fn default_restarts(mut self, restarts: usize) -> Self {
+        self.config.default_restarts = restarts;
+        self
+    }
+
+    /// Sets [`PlannerConfig::closure_backend`].
+    pub fn closure_backend(mut self, backend: ClosureBackend) -> Self {
+        self.config.closure_backend = backend;
+        self
+    }
+
+    /// Sets [`PlannerConfig::chain_node_threshold`].
+    pub fn chain_node_threshold(mut self, nodes: usize) -> Self {
+        self.config.chain_node_threshold = nodes;
+        self
+    }
+
+    /// Sets [`PlannerConfig::timeout`].
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.config.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets [`PlannerConfig::timeout`] from an optional value (`None`
+    /// clears it — convenient for CLI flag plumbing).
+    pub fn timeout_opt(mut self, timeout: Option<Duration>) -> Self {
+        self.config.timeout = timeout;
+        self
+    }
+
+    /// Sets [`PlannerConfig::intra_query_workers`].
+    pub fn intra_query_workers(mut self, workers: usize) -> Self {
+        self.config.intra_query_workers = workers;
+        self
+    }
+
+    /// Sets [`PlannerConfig::compression`].
+    pub fn compression(mut self, policy: CompressionPolicy) -> Self {
+        self.config.compression = policy;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> PlannerConfig {
+        self.config
     }
 }
 
@@ -144,6 +276,14 @@ pub struct QueryConfig {
     /// Per-query intra-query worker count; `None` falls back to
     /// [`PlannerConfig::intra_query_workers`].
     pub intra_workers: Option<usize>,
+    /// Appendix-B pattern partitioning (`MatcherConfig::partition_g1`)
+    /// for approximate plans.
+    pub partition: bool,
+    /// Appendix-B compressed-graph matching (`MatcherConfig::compress_g2`)
+    /// for approximate plans — effective only when the prepared graph
+    /// kept a compressed graph (see
+    /// [`CompressionPolicy`]).
+    pub compress: bool,
 }
 
 impl Default for QueryConfig {
@@ -156,7 +296,85 @@ impl Default for QueryConfig {
             force_plan: None,
             timeout: None,
             intra_workers: None,
+            partition: true,
+            compress: true,
         }
+    }
+}
+
+impl QueryConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> QueryConfigBuilder {
+        QueryConfigBuilder {
+            config: QueryConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`QueryConfig`] (see [`QueryConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct QueryConfigBuilder {
+    config: QueryConfig,
+}
+
+impl QueryConfigBuilder {
+    /// Sets [`QueryConfig::xi`].
+    pub fn xi(mut self, xi: f64) -> Self {
+        self.config.xi = xi;
+        self
+    }
+
+    /// Sets [`QueryConfig::algorithm`].
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets [`QueryConfig::max_stretch`].
+    pub fn max_stretch(mut self, k: usize) -> Self {
+        self.config.max_stretch = Some(k);
+        self
+    }
+
+    /// Sets [`QueryConfig::restarts`].
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.config.restarts = Some(restarts);
+        self
+    }
+
+    /// Sets [`QueryConfig::force_plan`].
+    pub fn force_plan(mut self, kind: PlanKind) -> Self {
+        self.config.force_plan = Some(kind);
+        self
+    }
+
+    /// Sets [`QueryConfig::timeout`].
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.config.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets [`QueryConfig::intra_workers`].
+    pub fn intra_workers(mut self, workers: usize) -> Self {
+        self.config.intra_workers = Some(workers);
+        self
+    }
+
+    /// Sets [`QueryConfig::partition`].
+    pub fn partition(mut self, on: bool) -> Self {
+        self.config.partition = on;
+        self
+    }
+
+    /// Sets [`QueryConfig::compress`].
+    pub fn compress(mut self, on: bool) -> Self {
+        self.config.compress = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> QueryConfig {
+        self.config
     }
 }
 
@@ -281,11 +499,17 @@ pub fn plan_query_with<L>(query: &Query<L>, cfg: &PlannerConfig) -> Plan {
 }
 
 /// Routes a query with the default cutoffs — see [`plan_query_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan_query_with(query, &PlannerConfig::default()) — or route \
+            queries through phom_service::Service, which plans internally"
+)]
 pub fn plan_query<L>(query: &Query<L>) -> Plan {
     plan_query_with(query, &PlannerConfig::default())
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // `plan_query`'s own forwarding behavior stays tested
 mod tests {
     use super::*;
     use phom_graph::graph_from_labels;

@@ -19,9 +19,11 @@
 //! * degree-based **node weights** of the data graph (importance ranking
 //!   for result display and workload skimming).
 
-use crate::planner::{ClosureBackend, DEFAULT_CHAIN_NODE_THRESHOLD};
+use crate::planner::{
+    ClosureBackend, CompressionPolicy, PlannerConfig, DEFAULT_CHAIN_NODE_THRESHOLD,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use phom_core::{compression_worthwhile, CompressedClosure, PreparedInputs};
+use phom_core::{CompressedClosure, PreparedInputs};
 use phom_dynamic::{refresh_bounded_closure, DynamicConfig, GraphUpdate, SemiDynamicClosure};
 use phom_graph::serialize::ParseError;
 use phom_graph::{
@@ -92,6 +94,45 @@ impl ReachIndex {
             ReachIndex::Chain(Arc::new(ChainIndex::from_scc(graph, scc)))
         } else {
             ReachIndex::Dense(Arc::new(TransitiveClosure::from_scc(graph, scc)))
+        }
+    }
+}
+
+/// Everything a preparation needs to decide *how* to build its artifacts:
+/// reachability backend policy and Appendix-B compression policy. A
+/// prepared graph remembers its options, and every update-derived version
+/// inherits them — which is what lets a sharded registry pin the whole
+/// graph's compression decision onto each shard across its entire
+/// lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepareOptions {
+    /// Reachability-backend policy (dense / chain / auto).
+    pub backend: ClosureBackend,
+    /// Node count at which [`ClosureBackend::Auto`] switches to the chain
+    /// index.
+    pub chain_node_threshold: usize,
+    /// Whether to keep the Appendix-B compressed graph.
+    pub compression: CompressionPolicy,
+}
+
+impl Default for PrepareOptions {
+    fn default() -> Self {
+        PrepareOptions {
+            backend: ClosureBackend::Auto,
+            chain_node_threshold: DEFAULT_CHAIN_NODE_THRESHOLD,
+            compression: CompressionPolicy::Auto,
+        }
+    }
+}
+
+impl PrepareOptions {
+    /// The options a [`PlannerConfig`] implies — the single config path
+    /// the engine, service, and CLI share.
+    pub fn from_planner(cfg: &PlannerConfig) -> Self {
+        PrepareOptions {
+            backend: cfg.closure_backend,
+            chain_node_threshold: cfg.chain_node_threshold,
+            compression: cfg.compression,
         }
     }
 }
@@ -227,10 +268,9 @@ pub struct PreparedGraph<L> {
     /// and only needs a Tarjan-numbered result if a caller asks.
     scc: OnceLock<SccResult>,
     index: ReachIndex,
-    /// The backend policy this graph was prepared under (inherited by
+    /// The options this graph was prepared under (inherited by
     /// update-derived versions).
-    policy: ClosureBackend,
-    chain_node_threshold: usize,
+    options: PrepareOptions,
     compressed: Option<CompressedClosure<L>>,
     data_weights: NodeWeights,
     bounded: Mutex<HashMap<usize, Arc<TransitiveClosure>>>,
@@ -239,30 +279,41 @@ pub struct PreparedGraph<L> {
 }
 
 impl<L: Clone> PreparedGraph<L> {
-    /// Prepares `graph` under the default backend policy
-    /// ([`ClosureBackend::Auto`]): SCC decomposition, full reachability
-    /// index, compression decision (kept only when
-    /// [`compression_worthwhile`]), and degree-based node weights.
+    /// Prepares `graph` under the default [`PrepareOptions`]: SCC
+    /// decomposition, full reachability index, compression decision
+    /// ([`CompressionPolicy::Auto`]), and degree-based node weights.
     pub fn new(graph: Arc<DiGraph<L>>) -> Self {
-        Self::with_backend(graph, ClosureBackend::Auto, DEFAULT_CHAIN_NODE_THRESHOLD)
+        Self::prepare(graph, PrepareOptions::default())
     }
 
     /// [`PreparedGraph::new`] under an explicit [`ClosureBackend`] policy
-    /// (the engine passes its `PlannerConfig` knobs here).
+    /// with the default compression policy.
     pub fn with_backend(
         graph: Arc<DiGraph<L>>,
         policy: ClosureBackend,
         chain_node_threshold: usize,
     ) -> Self {
+        Self::prepare(
+            graph,
+            PrepareOptions {
+                backend: policy,
+                chain_node_threshold,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Prepares `graph` under explicit [`PrepareOptions`] (the engine and
+    /// the service registry pass their config-derived options here).
+    pub fn prepare(graph: Arc<DiGraph<L>>, options: PrepareOptions) -> Self {
         let started = Instant::now();
         let scc = tarjan_scc(&*graph);
-        let index = ReachIndex::build(&graph, &scc, policy, chain_node_threshold);
+        let index = ReachIndex::build(&graph, &scc, options.backend, options.chain_node_threshold);
         let scc_count = scc.count();
         Self::assemble(
             graph,
             index,
-            policy,
-            chain_node_threshold,
+            options,
             Some(scc),
             scc_count,
             HashMap::new(),
@@ -280,12 +331,10 @@ impl<L: Clone> PreparedGraph<L> {
     /// when absent it is computed only if the compression decision needs
     /// it, and otherwise stays lazy until someone calls
     /// [`PreparedGraph::scc`].
-    #[allow(clippy::too_many_arguments)]
     fn assemble(
         graph: Arc<DiGraph<L>>,
         index: ReachIndex,
-        policy: ClosureBackend,
-        chain_node_threshold: usize,
+        options: PrepareOptions,
         scc: Option<SccResult>,
         scc_count: usize,
         bounded: HashMap<usize, Arc<TransitiveClosure>>,
@@ -296,14 +345,17 @@ impl<L: Clone> PreparedGraph<L> {
             debug_assert_eq!(s.count(), scc_count);
             let _ = scc_cell.set(s);
         }
-        let compressed = compression_worthwhile(graph.node_count(), scc_count).then(|| {
-            let scc = scc_cell.get_or_init(|| tarjan_scc(&*graph));
-            let comp = compress_closure_with(&*graph, scc);
-            CompressedClosure {
-                closure: TransitiveClosure::new(&comp.graph),
-                compressed: comp,
-            }
-        });
+        let compressed = options
+            .compression
+            .keep(graph.node_count(), scc_count)
+            .then(|| {
+                let scc = scc_cell.get_or_init(|| tarjan_scc(&*graph));
+                let comp = compress_closure_with(&*graph, scc);
+                CompressedClosure {
+                    closure: TransitiveClosure::new(&comp.graph),
+                    compressed: comp,
+                }
+            });
         let data_weights = NodeWeights::by_degree(&*graph);
         let stats = PrepareStats {
             nodes: graph.node_count(),
@@ -322,8 +374,7 @@ impl<L: Clone> PreparedGraph<L> {
             graph,
             scc: scc_cell,
             index,
-            policy,
-            chain_node_threshold,
+            options,
             compressed,
             data_weights,
             bounded: Mutex::new(bounded),
@@ -415,8 +466,7 @@ impl<L: Clone> PreparedGraph<L> {
         let prepared = Self::assemble(
             Arc::new(new_graph),
             ReachIndex::Dense(Arc::new(closure)),
-            self.policy,
-            self.chain_node_threshold,
+            self.options,
             None,
             scc_count,
             bounded,
@@ -465,8 +515,7 @@ impl<L: Clone> PreparedGraph<L> {
         let prepared = Self::assemble(
             Arc::new(new_graph),
             index,
-            self.policy,
-            self.chain_node_threshold,
+            self.options,
             scc,
             scc_count,
             bounded,
@@ -518,6 +567,12 @@ impl<L: Clone> PreparedGraph<L> {
     /// introspection).
     pub fn backend(&self) -> &ReachIndex {
         &self.index
+    }
+
+    /// The options this graph was prepared under (update-derived versions
+    /// inherit them).
+    pub fn options(&self) -> PrepareOptions {
+        self.options
     }
 
     /// The Tarjan SCC decomposition of the data graph (computed lazily
@@ -678,7 +733,20 @@ impl PreparedGraph<String> {
     /// [`ParseError`] instead of being silently misparsed. The index
     /// payload is validated for shape, not re-derived (snapshots are a
     /// cache format, not an interchange format).
-    pub fn load_snapshot(mut data: Bytes) -> Result<Self, ParseError> {
+    pub fn load_snapshot(data: Bytes) -> Result<Self, ParseError> {
+        Self::load_snapshot_with(data, CompressionPolicy::Auto)
+    }
+
+    /// [`PreparedGraph::load_snapshot`] under an explicit
+    /// [`CompressionPolicy`] — a registry restoring a sharded graph
+    /// passes the pinned graph-wide decision here, so a restored shard
+    /// does not re-decide Appendix-B compression from its own node/SCC
+    /// counts (which would diverge from the unsharded answer the pin
+    /// exists to preserve).
+    pub fn load_snapshot_with(
+        mut data: Bytes,
+        compression: CompressionPolicy,
+    ) -> Result<Self, ParseError> {
         let started = Instant::now();
         need(&data, 10)?;
         let magic = data.get_u32();
@@ -719,15 +787,18 @@ impl PreparedGraph<String> {
         let scc_count = scc.count();
         // A restored graph keeps whichever backend it was saved with;
         // later `apply` versions inherit that choice explicitly.
-        let policy = match index {
-            ReachIndex::Dense(_) => ClosureBackend::Dense,
-            ReachIndex::Chain(_) => ClosureBackend::Chain,
+        let options = PrepareOptions {
+            backend: match index {
+                ReachIndex::Dense(_) => ClosureBackend::Dense,
+                ReachIndex::Chain(_) => ClosureBackend::Chain,
+            },
+            compression,
+            ..Default::default()
         };
         Ok(Self::assemble(
             Arc::new(graph),
             index,
-            policy,
-            DEFAULT_CHAIN_NODE_THRESHOLD,
+            options,
             Some(scc),
             scc_count,
             HashMap::new(),
@@ -898,6 +969,53 @@ mod tests {
         )));
         assert!(p.compressed().is_none(), "condensation does not shrink");
         assert_eq!(p.stats().compressed_nodes, None);
+    }
+
+    #[test]
+    fn compression_policy_overrides_the_worthwhile_heuristic() {
+        // Acyclic path: Auto skips compression, Always keeps a trivial
+        // (all-singleton) compressed graph.
+        let path = Arc::new(graph_from_labels(
+            &["a", "b", "c"],
+            &[("a", "b"), ("b", "c")],
+        ));
+        let always = PreparedGraph::prepare(
+            Arc::clone(&path),
+            PrepareOptions {
+                compression: CompressionPolicy::Always,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            always.compressed().unwrap().compressed.graph.node_count(),
+            3,
+            "every SCC is a singleton"
+        );
+        // Cyclic graph: Auto keeps it (see the sibling test), Never drops.
+        let never = PreparedGraph::prepare(
+            cyclic_graph(),
+            PrepareOptions {
+                compression: CompressionPolicy::Never,
+                ..Default::default()
+            },
+        );
+        assert!(never.compressed().is_none());
+        // Update-derived versions inherit the pinned policy.
+        let outcome = never.apply(&[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert_eq!(
+            outcome.prepared.options().compression,
+            CompressionPolicy::Never
+        );
+        assert!(outcome.prepared.compressed().is_none());
+    }
+
+    #[test]
+    fn pinned_policy_matches_the_global_decision() {
+        assert_eq!(CompressionPolicy::pinned(10, 5), CompressionPolicy::Always);
+        assert_eq!(CompressionPolicy::pinned(10, 10), CompressionPolicy::Never);
+        assert!(CompressionPolicy::Always.keep(1, 1));
+        assert!(!CompressionPolicy::Always.keep(0, 0), "empty graph");
+        assert!(!CompressionPolicy::Never.keep(10, 1));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Transitive closure `G+` of a directed graph (Nuutila-style [22]):
+//! Transitive closure `G+` of a directed graph (Nuutila-style \[22\]):
 //! SCC condensation first, then one bitset union pass over the condensation
 //! DAG in reverse-topological component order.
 //!

@@ -45,6 +45,55 @@ pub fn is_weakly_connected<L>(g: &DiGraph<L>) -> bool {
     weakly_connected_components(g).len() <= 1
 }
 
+/// Balances the weakly connected components of `g` into at most
+/// `max_groups` node groups — the shard layout a serving registry splits
+/// a multi-WCC data graph along (no edge, and therefore no p-hom witness
+/// path, ever crosses a group boundary).
+///
+/// Deterministic: components are assigned largest-first (ties by smallest
+/// member) to the currently lightest group (ties by lowest group index),
+/// every group's node list is ascending, and the groups themselves are
+/// ordered by their smallest member — so node-id order is preserved
+/// *within* each group, which keeps id-based tie-breaking in the matching
+/// kernels consistent between a shard and the full graph.
+///
+/// Returns one group when `max_groups <= 1`, the graph is weakly
+/// connected, or the graph is empty (then: zero groups).
+pub fn component_groups<L>(g: &DiGraph<L>, max_groups: usize) -> Vec<Vec<NodeId>> {
+    let comps = weakly_connected_components(g);
+    if comps.is_empty() {
+        return Vec::new();
+    }
+    if max_groups <= 1 || comps.len() == 1 {
+        return vec![g.nodes().collect()];
+    }
+    let groups = comps.len().min(max_groups);
+    // Largest component first; equal sizes keep their smallest-member
+    // order (weakly_connected_components already orders by it).
+    let mut order: Vec<usize> = (0..comps.len()).collect();
+    order.sort_by_key(|&i| (usize::MAX - comps[i].len(), comps[i][0].index()));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); groups];
+    let mut load = vec![0usize; groups];
+    for i in order {
+        let lightest = (0..groups)
+            .min_by_key(|&b| (load[b], b))
+            .expect("groups > 0");
+        load[lightest] += comps[i].len();
+        bins[lightest].push(i);
+    }
+    let mut out: Vec<Vec<NodeId>> = bins
+        .into_iter()
+        .filter(|b| !b.is_empty())
+        .map(|b| {
+            let mut nodes: Vec<NodeId> = b.iter().flat_map(|&i| comps[i].iter().copied()).collect();
+            nodes.sort_unstable();
+            nodes
+        })
+        .collect();
+    out.sort_by_key(|nodes| nodes[0]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +128,33 @@ mod tests {
         assert_eq!(comps[0].len(), 3);
         assert_eq!(comps[1].len(), 1, "singleton component E");
         assert_eq!(comps[2].len(), 2);
+    }
+
+    #[test]
+    fn component_groups_balance_and_preserve_order() {
+        // Components: {0,1,2} (path), {3,4} (edge), {5} — 6 nodes.
+        let g = graph_from_labels(
+            &["a", "b", "c", "d", "e", "f"],
+            &[("a", "b"), ("b", "c"), ("d", "e")],
+        );
+        let two = component_groups(&g, 2);
+        assert_eq!(two.len(), 2);
+        // Largest-first into lightest bin: {0,1,2} -> g0, {3,4} -> g1,
+        // {5} -> g1; groups reordered by smallest member.
+        assert_eq!(two[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(two[1], vec![NodeId(3), NodeId(4), NodeId(5)]);
+        // Every group ascending, all nodes covered exactly once.
+        let mut all: Vec<NodeId> = two.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, g.nodes().collect::<Vec<_>>());
+        // More groups than components: one group per component.
+        assert_eq!(component_groups(&g, 10).len(), 3);
+        // max_groups <= 1 collapses to a single group.
+        assert_eq!(component_groups(&g, 1).len(), 1);
+        assert_eq!(component_groups(&g, 0).len(), 1);
+        // Empty graph: no groups.
+        let empty: DiGraph<()> = DiGraph::new();
+        assert!(component_groups(&empty, 4).is_empty());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod traversal;
 
 pub use bitset::BitSet;
 pub use closure::{DenseClosure, DynamicClosure, TransitiveClosure, UpdateEffect};
-pub use components::{is_weakly_connected, weakly_connected_components};
+pub use components::{component_groups, is_weakly_connected, weakly_connected_components};
 pub use condense::{compress_closure, compress_closure_with, condensation, CompressedGraph};
 pub use digraph::{graph_from_labels, DiGraph, NodeId};
 pub use dot::{from_dot, to_dot, DotParseError};

@@ -1,6 +1,6 @@
 //! Strongly connected components via Tarjan's algorithm (iterative).
 //!
-//! Used by the transitive-closure computation (Nuutila [22] computes closures
+//! Used by the transitive-closure computation (Nuutila \[22\] computes closures
 //! through SCC condensation) and by the `G2*` compression of Appendix B,
 //! where every SCC of `G2` becomes a clique of `G2+` and is collapsed to one
 //! bag-of-labels node.

@@ -1,0 +1,72 @@
+//! # phom-service
+//!
+//! The **service layer** over the `phom-engine` matching engine: a typed
+//! request/response boundary in the spirit of the engine/serving splits
+//! argued for in the factorized-database and database-systems-report
+//! literature — named datasets behind a request surface, not raw library
+//! calls.
+//!
+//! * [`Request`] / [`Response`] — the envelope: `RegisterGraph`,
+//!   `Query`, `QueryBatch`, `ApplyUpdates`, `Snapshot`, `Stats`, … in;
+//!   typed payloads or a [`ServiceError`] out (`NotFound`, `Overloaded`,
+//!   `InvalidRequest`, `Timeout`, `SnapshotVersion`, …) — errors as
+//!   values replacing the old mix of panics, `Option`s, and strings.
+//! * [`GraphRegistry`] — named graphs, each automatically **sharded by
+//!   weakly connected component** ([`ShardingConfig`]) into per-shard
+//!   `PreparedGraph`s; queries route to the shards that can contain a
+//!   match (a connected pattern component never matches across WCCs) and
+//!   merge per pattern component, answering **identically** to an
+//!   unsharded run for deterministic plans. Updates route to the owning
+//!   shard; cross-shard edge inserts re-split the entry.
+//! * **Admission control** — a bounded in-flight queue
+//!   ([`ServiceConfig::queue_depth`]) that fast-rejects
+//!   [`ServiceError::Overloaded`] instead of queueing unboundedly, with
+//!   the shed count, per-plan latency histograms, and cache hit ratio in
+//!   [`ServiceStats`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use phom_engine::Query;
+//! use phom_graph::graph_from_labels;
+//! use phom_service::{Request, Response, Service, ServiceConfig};
+//! use phom_sim::SimMatrix;
+//! use std::sync::Arc;
+//!
+//! let service: Service<String> = Service::new(
+//!     ServiceConfig::builder().queue_depth(64).build(),
+//! );
+//! let data = Arc::new(graph_from_labels(
+//!     &["home", "cat", "item"],
+//!     &[("home", "cat"), ("cat", "item")],
+//! ));
+//! service
+//!     .handle(Request::RegisterGraph { name: "site".into(), graph: data.clone() })
+//!     .unwrap();
+//! let pattern = Arc::new(graph_from_labels(&["home", "item"], &[("home", "item")]));
+//! let mat = SimMatrix::label_equality(&pattern, &data);
+//! let Response::Answer(answer) = service
+//!     .handle(Request::Query { graph: "site".into(), query: Query::new(pattern, mat) })
+//!     .unwrap()
+//! else {
+//!     unreachable!()
+//! };
+//! assert_eq!(answer.qual_card, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod error;
+pub mod label;
+pub mod registry;
+pub mod service;
+pub mod stats;
+
+pub use envelope::{GraphInfo, QueryResponse, Request, Response, UpdateSummary};
+pub use error::ServiceError;
+pub use label::ServiceLabel;
+pub use registry::{GraphEntry, GraphRegistry, ShardingConfig};
+pub use service::{Service, ServiceConfig, ServiceConfigBuilder};
+pub use stats::{LatencyHistogram, PlanHistograms, ServiceStats, HISTOGRAM_BUCKETS};

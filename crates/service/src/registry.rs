@@ -1,0 +1,826 @@
+//! [`GraphRegistry`]: named graphs, each split by weakly connected
+//! component into per-shard [`PreparedGraph`]s.
+//!
+//! ## Why WCC sharding is sound
+//!
+//! A p-hom witness path lives inside one weakly connected component of
+//! the data graph, so a *connected* pattern component can only map into
+//! one WCC — queries route to the shards that hold at least one candidate
+//! pair and merge per pattern component. Two things make the sharded
+//! answer **identical** to an unsharded run (property-tested in
+//! `tests/service.rs`), not merely equivalent-quality:
+//!
+//! 1. **Monotone ids** — shard node lists ascend in global id order
+//!    ([`phom_graph::component_groups`]), so every smallest-id tie-break
+//!    in the matching kernels picks the same node on a shard as on the
+//!    full graph.
+//! 2. **Pinned decisions** — the query is planned once against the full
+//!    graph and the plan forced onto every shard, and the Appendix-B
+//!    compression decision the *whole graph* would make is pinned onto
+//!    every shard via [`CompressionPolicy`] (compressed and uncompressed
+//!    runs are different greedy runs; letting each shard decide for
+//!    itself would diverge from the unsharded answer).
+//!
+//! Randomized restarts (`restarts > 1`) perturb the similarity matrix
+//! with an RNG stream over *all* data nodes, so their perturbations are
+//! not shard-local; sharded answers match unsharded ones exactly for
+//! deterministic plans (`restarts <= 1`, i.e. the paper's algorithm) and
+//! remain valid best-of mappings otherwise.
+
+use crate::envelope::{GraphInfo, QueryResponse, UpdateSummary};
+use crate::error::ServiceError;
+use crate::label::ServiceLabel;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use phom_core::PHomMapping;
+use phom_dynamic::GraphUpdate;
+use phom_engine::{
+    plan_query_with, CompressionPolicy, Engine, Plan, PlannerConfig, PrepareOptions, PreparedGraph,
+    Query, UpdateStats,
+};
+use phom_graph::{component_groups, tarjan_scc, weakly_connected_components, DiGraph, NodeId};
+use phom_sim::SimMatrix;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// When and how finely a registered graph is sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardingConfig {
+    /// Maximum shards per graph; `<= 1` disables sharding.
+    pub max_shards: usize,
+    /// Graphs with fewer nodes than this stay unsharded (tiny graphs pay
+    /// routing overhead for no memory or isolation win).
+    pub min_shard_nodes: usize,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig {
+            max_shards: 8,
+            min_shard_nodes: 256,
+        }
+    }
+}
+
+impl ShardingConfig {
+    /// A config that never shards (every graph is one shard).
+    pub fn disabled() -> Self {
+        ShardingConfig {
+            max_shards: 1,
+            min_shard_nodes: usize::MAX,
+        }
+    }
+}
+
+/// One shard: a contiguous-by-id slice of the full graph's WCCs, with its
+/// own prepared artifacts.
+#[derive(Debug)]
+pub(crate) struct Shard<L> {
+    /// Global ids of the shard's nodes, ascending; `nodes[local]` is the
+    /// global id of shard-local node `local`.
+    pub(crate) nodes: Vec<NodeId>,
+    /// The shard's induced subgraph (the full graph itself when
+    /// unsharded).
+    pub(crate) graph: Arc<DiGraph<L>>,
+    /// The shard's prepared artifacts.
+    pub(crate) prepared: Arc<PreparedGraph<L>>,
+}
+
+impl<L> Shard<L> {
+    fn clone_ref(&self) -> Self {
+        Shard {
+            nodes: self.nodes.clone(),
+            graph: Arc::clone(&self.graph),
+            prepared: Arc::clone(&self.prepared),
+        }
+    }
+}
+
+/// One registered graph: the full graph, its shard layout, and the
+/// global→(shard, local) locator.
+#[derive(Debug)]
+pub struct GraphEntry<L> {
+    name: String,
+    graph: Arc<DiGraph<L>>,
+    shards: Vec<Shard<L>>,
+    /// `locator[global] = (shard index, local id)`.
+    locator: Vec<(u32, u32)>,
+    /// The (possibly pinned) options every shard was prepared under.
+    options: PrepareOptions,
+}
+
+impl<L: ServiceLabel> GraphEntry<L> {
+    /// Splits `graph` per `sharding` and prepares every shard through the
+    /// engine (so shards share its cache and counters). When the graph is
+    /// actually sharded and the configured compression policy is `Auto`,
+    /// the decision the whole graph would make is pinned onto the shards.
+    pub(crate) fn build(
+        engine: &Engine<L>,
+        sharding: &ShardingConfig,
+        base_options: PrepareOptions,
+        name: String,
+        graph: Arc<DiGraph<L>>,
+    ) -> Self {
+        let n = graph.node_count();
+        let groups = if sharding.max_shards > 1 && n >= sharding.min_shard_nodes {
+            component_groups(&graph, sharding.max_shards)
+        } else if n == 0 {
+            Vec::new()
+        } else {
+            vec![graph.nodes().collect()]
+        };
+        let options = if groups.len() > 1 && base_options.compression == CompressionPolicy::Auto {
+            PrepareOptions {
+                compression: CompressionPolicy::pinned(n, tarjan_scc(&*graph).count()),
+                ..base_options
+            }
+        } else {
+            base_options
+        };
+        let mut locator = vec![(0u32, 0u32); n];
+        let mut shards = Vec::with_capacity(groups.len());
+        if groups.len() == 1 {
+            // Unsharded: serve the full graph directly, no induced copy.
+            for v in graph.nodes() {
+                locator[v.index()] = (0, v.0);
+            }
+            let prepared = engine.prepare_with(&graph, options);
+            shards.push(Shard {
+                nodes: graph.nodes().collect(),
+                graph: Arc::clone(&graph),
+                prepared,
+            });
+        } else {
+            for (si, nodes) in groups.into_iter().enumerate() {
+                let keep: BTreeSet<NodeId> = nodes.iter().copied().collect();
+                let (sub, old_ids) = graph.induced_subgraph(&keep);
+                for (local, &global) in old_ids.iter().enumerate() {
+                    locator[global.index()] = (si as u32, local as u32);
+                }
+                let shard_graph = Arc::new(sub);
+                let prepared = engine.prepare_with(&shard_graph, options);
+                shards.push(Shard {
+                    nodes: old_ids,
+                    graph: shard_graph,
+                    prepared,
+                });
+            }
+        }
+        GraphEntry {
+            name,
+            graph,
+            shards,
+            locator,
+            options,
+        }
+    }
+
+    /// The full data graph (current version).
+    pub fn graph(&self) -> &Arc<DiGraph<L>> {
+        &self.graph
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The single shard's prepared graph when the entry is unsharded
+    /// (the engine-parity fast path).
+    pub(crate) fn sole_prepared(&self) -> Option<&Arc<PreparedGraph<L>>> {
+        match self.shards.as_slice() {
+            [only] => Some(&only.prepared),
+            _ => None,
+        }
+    }
+
+    /// Shape and index statistics.
+    pub fn info(&self) -> GraphInfo {
+        let mut info = GraphInfo {
+            name: self.name.clone(),
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            shards: self.shards.len(),
+            shard_nodes: self.shards.iter().map(|s| s.nodes.len()).collect(),
+            scc_count: 0,
+            closure_edges: 0,
+            closure_memory_bytes: 0,
+            closure_backend: String::new(),
+            compressed_nodes: None,
+            prepare_micros: 0,
+            compression: self.options.compression.name().to_owned(),
+        };
+        let mut backends: Vec<&str> = Vec::new();
+        for shard in &self.shards {
+            let stats = shard.prepared.stats();
+            info.scc_count += stats.scc_count;
+            info.closure_edges += stats.closure_edges;
+            info.closure_memory_bytes += stats.closure_memory_bytes;
+            info.prepare_micros += stats.prepare_micros;
+            if let Some(c) = stats.compressed_nodes {
+                *info.compressed_nodes.get_or_insert(0) += c;
+            }
+            if !backends.contains(&stats.closure_backend.as_str()) {
+                backends.push(&stats.closure_backend);
+            }
+        }
+        info.closure_backend = match backends.len() {
+            0 => "none".to_owned(),
+            1 => backends[0].to_owned(),
+            _ => "mixed".to_owned(),
+        };
+        info
+    }
+
+    /// Plans `query` once against the full graph, routes it to the shards
+    /// that can contain a match, and merges per pattern component.
+    pub(crate) fn execute(
+        &self,
+        engine: &Engine<L>,
+        planner: &PlannerConfig,
+        query: &Query<L>,
+    ) -> Result<QueryResponse, ServiceError> {
+        let n1 = query.pattern.node_count();
+        if query.matrix.n1() != n1 {
+            return Err(ServiceError::InvalidRequest(format!(
+                "similarity matrix has {} pattern rows, pattern has {} nodes",
+                query.matrix.n1(),
+                n1
+            )));
+        }
+        if query.matrix.n2() != self.graph.node_count() {
+            return Err(ServiceError::InvalidRequest(format!(
+                "similarity matrix has {} data columns, graph {:?} has {} nodes",
+                query.matrix.n2(),
+                self.name,
+                self.graph.node_count()
+            )));
+        }
+        if let Some(w) = &query.weights {
+            if w.len() != n1 {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "{} weights for {} pattern nodes",
+                    w.len(),
+                    n1
+                )));
+            }
+        }
+        if self.shards.len() == 1 {
+            let r = engine.execute(&self.shards[0].prepared, query);
+            return Ok(QueryResponse {
+                mapping: r.outcome.mapping,
+                qual_card: r.outcome.qual_card,
+                qual_sim: r.outcome.qual_sim,
+                plan: r.plan,
+                shards_consulted: 1,
+                timed_out: r.outcome.stats.timed_out,
+                micros: r.micros,
+            });
+        }
+        let plan = plan_query_with(query, planner);
+        // One deadline for the whole query, however many shards it
+        // consults (each engine call builds a fresh budget from the
+        // timeout it is handed, so without this the deadline would
+        // restart per shard and a k-shard query could run k × timeout).
+        let deadline = query
+            .config
+            .timeout
+            .or(planner.timeout)
+            .map(|t| Instant::now() + t);
+        Ok(self.execute_sharded(engine, query, plan, deadline))
+    }
+
+    /// The multi-shard path: candidate-routed fan-out, per-component
+    /// merge, one shared deadline.
+    fn execute_sharded(
+        &self,
+        engine: &Engine<L>,
+        query: &Query<L>,
+        plan: Plan,
+        deadline: Option<Instant>,
+    ) -> QueryResponse {
+        let started = Instant::now();
+        let n1 = query.pattern.node_count();
+        let xi = query.config.xi;
+        // The plan (and its restart grant) was decided on the full
+        // candidate set; shards execute it verbatim so the sharded run
+        // answers exactly like the unsharded one. Pattern partitioning is
+        // forced on: routing components to shards *is* the Appendix-B
+        // partition, so a sharded entry always behaves like a
+        // `partition = true` run (the unpartitioned greedy interleaves
+        // its choices across components and cannot be reproduced from
+        // per-shard runs; `QueryConfig::partition = false` stays honored
+        // on unsharded entries).
+        let mut sub_config = query.config.clone();
+        sub_config.force_plan = Some(plan.kind);
+        sub_config.restarts = Some(plan.restarts);
+        sub_config.partition = true;
+
+        let mut timed_out = false;
+        let mut consulted = 0usize;
+        // (shard index, mapping translated to global ids)
+        let mut shard_maps: Vec<(usize, PHomMapping)> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let relevant = shard
+                .nodes
+                .iter()
+                .any(|&g| (0..n1 as u32).any(|v| query.matrix.score(NodeId(v), g) >= xi));
+            if !relevant {
+                continue;
+            }
+            // Shards yet to run get only the *remaining* budget; once it
+            // is gone, the merge proceeds with what the earlier shards
+            // found (their components stay best-so-far, the skipped ones
+            // stay unmapped — the same semantics as an in-kernel expiry).
+            let mut remaining = None;
+            if let Some(d) = deadline {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    timed_out = true;
+                    break;
+                }
+                remaining = Some(left);
+            }
+            consulted += 1;
+            let local_matrix = SimMatrix::from_fn(n1, shard.nodes.len(), |v, lu| {
+                query.matrix.score(v, shard.nodes[lu.index()])
+            });
+            let mut sub = Query::new(Arc::clone(&query.pattern), local_matrix);
+            sub.weights = query.weights.clone();
+            sub.config = sub_config.clone();
+            if remaining.is_some() {
+                sub.config.timeout = remaining;
+            }
+            let r = engine.execute(&shard.prepared, &sub);
+            timed_out |= r.outcome.stats.timed_out;
+            let global = PHomMapping::from_pairs(
+                n1,
+                r.outcome
+                    .mapping
+                    .pairs()
+                    .map(|(v, lu)| (v, shard.nodes[lu.index()])),
+            );
+            shard_maps.push((si, global));
+        }
+
+        let weights = query.effective_weights();
+        let similarity = query.config.algorithm.similarity();
+        let mut merged = PHomMapping::empty(n1);
+        // Proposition 1: pattern components are independent, so each
+        // takes its best shard's assignment. A component chosen from one
+        // shard run is internally consistent (same joint run), and
+        // components from different shards have disjoint images — so the
+        // merge preserves validity and injectivity.
+        for comp in weakly_connected_components(&*query.pattern) {
+            let mut best: Option<(f64, f64, usize)> = None;
+            for (entry_idx, (_, map)) in shard_maps.iter().enumerate() {
+                let mut card = 0usize;
+                let mut sim = 0.0f64;
+                for &v in &comp {
+                    if let Some(u) = map.get(v) {
+                        card += 1;
+                        sim += weights.get(v) * query.matrix.score(v, u);
+                    }
+                }
+                if card == 0 {
+                    continue;
+                }
+                let (primary, secondary) = if similarity {
+                    (sim, card as f64)
+                } else {
+                    (card as f64, sim)
+                };
+                let better = match best {
+                    None => true,
+                    Some((p, s, _)) => primary > p || (primary == p && secondary > s),
+                };
+                if better {
+                    best = Some((primary, secondary, entry_idx));
+                }
+            }
+            if let Some((_, _, entry_idx)) = best {
+                let (_, map) = &shard_maps[entry_idx];
+                for &v in &comp {
+                    if let Some(u) = map.get(v) {
+                        merged.set(v, u);
+                    }
+                }
+            }
+        }
+
+        let qual_card = merged.qual_card();
+        let qual_sim = merged.qual_sim(&weights, &query.matrix);
+        QueryResponse {
+            mapping: merged,
+            qual_card,
+            qual_sim,
+            plan,
+            shards_consulted: consulted,
+            timed_out,
+            micros: started.elapsed().as_micros(),
+        }
+    }
+
+    /// Applies an update batch, routing each update to its owning shard.
+    /// A cross-shard edge insert merges components, and a batch can flip
+    /// the graph-wide compression decision — either way the entry is
+    /// re-split from scratch (`resharded = true`); otherwise each touched
+    /// shard goes through the engine's semi-dynamic maintenance path and
+    /// untouched shards are reused as-is.
+    pub(crate) fn apply(
+        &self,
+        engine: &Engine<L>,
+        sharding: &ShardingConfig,
+        base_options: PrepareOptions,
+        updates: &[GraphUpdate],
+    ) -> (GraphEntry<L>, UpdateSummary) {
+        let started = Instant::now();
+        let n = self.graph.node_count();
+        let sharded = self.shards.len() > 1;
+        let cross_shard_insert = sharded
+            && updates.iter().any(|u| {
+                let (a, b) = u.endpoints();
+                u.in_range(n)
+                    && matches!(u, GraphUpdate::InsertEdge(..))
+                    && !self.graph.has_edge(a, b)
+                    && self.locator[a.index()].0 != self.locator[b.index()].0
+            });
+
+        // The post-update full graph (kept in sync for routing, future
+        // re-shards, and snapshots).
+        let mut full = (*self.graph).clone();
+        let mut full_stats = UpdateStats::default();
+        for &u in updates {
+            if !u.in_range(n) {
+                full_stats.rejected += 1;
+            } else if u.apply_to(&mut full) {
+                full_stats.applied += 1;
+            } else {
+                full_stats.noops += 1;
+            }
+        }
+        let full = Arc::new(full);
+
+        if cross_shard_insert {
+            let mut stats = full_stats;
+            stats.rebuilds += 1;
+            let entry = GraphEntry::build(engine, sharding, base_options, self.name.clone(), full);
+            stats.apply_micros = started.elapsed().as_micros();
+            let shards = entry.shards.len();
+            return (
+                entry,
+                UpdateSummary {
+                    stats,
+                    resharded: true,
+                    shards,
+                },
+            );
+        }
+
+        // Route to owning shards (cross-shard deletes target edges that
+        // cannot exist — shards are unions of WCCs — and were already
+        // counted as no-ops above).
+        let mut per_shard: Vec<Vec<GraphUpdate>> = vec![Vec::new(); self.shards.len()];
+        for &u in updates {
+            if !u.in_range(n) {
+                continue;
+            }
+            let (a, b) = u.endpoints();
+            let (sa, la) = self.locator[a.index()];
+            let (sb, lb) = self.locator[b.index()];
+            if sa != sb {
+                continue;
+            }
+            let local = match u {
+                GraphUpdate::InsertEdge(..) => GraphUpdate::InsertEdge(NodeId(la), NodeId(lb)),
+                GraphUpdate::RemoveEdge(..) => GraphUpdate::RemoveEdge(NodeId(la), NodeId(lb)),
+            };
+            per_shard[sa as usize].push(local);
+        }
+
+        let mut agg = UpdateStats {
+            rejected: full_stats.rejected,
+            ..Default::default()
+        };
+        let mut new_shards = Vec::with_capacity(self.shards.len());
+        for (si, shard) in self.shards.iter().enumerate() {
+            if per_shard[si].is_empty() {
+                new_shards.push(shard.clone_ref());
+                continue;
+            }
+            let outcome = engine.apply_updates_prepared(&shard.prepared, &per_shard[si]);
+            agg.absorb(&outcome.stats);
+            new_shards.push(Shard {
+                nodes: shard.nodes.clone(),
+                graph: Arc::clone(outcome.prepared.graph()),
+                prepared: outcome.prepared,
+            });
+        }
+        // Shards see exactly the no-ops the full graph would (an induced
+        // subgraph has the same edges); cross-shard deletes never reached
+        // a shard, so take the full-graph count wholesale.
+        agg.noops = full_stats.noops;
+
+        // A pinned compression decision must track the graph it was
+        // pinned for. No edge crosses a shard, so the full graph's SCC
+        // count is exactly the sum of the (just-maintained) per-shard
+        // counts — no full-graph Tarjan pass per batch. A flip is rare;
+        // when it happens the entry is re-split from the updated full
+        // graph (the per-shard maintenance above is discarded — its
+        // engine-counter contributions stand, which slightly overcounts
+        // incremental work on this rare path).
+        if sharded && base_options.compression == CompressionPolicy::Auto && agg.applied > 0 {
+            let scc_sum: usize = new_shards
+                .iter()
+                .map(|s| s.prepared.stats().scc_count)
+                .sum();
+            if CompressionPolicy::pinned(n, scc_sum) != self.options.compression {
+                let mut stats = full_stats;
+                stats.rebuilds += 1;
+                let entry =
+                    GraphEntry::build(engine, sharding, base_options, self.name.clone(), full);
+                stats.apply_micros = started.elapsed().as_micros();
+                let shards = entry.shards.len();
+                return (
+                    entry,
+                    UpdateSummary {
+                        stats,
+                        resharded: true,
+                        shards,
+                    },
+                );
+            }
+        }
+        agg.apply_micros = started.elapsed().as_micros();
+
+        let entry = GraphEntry {
+            name: self.name.clone(),
+            graph: full,
+            shards: new_shards,
+            locator: self.locator.clone(),
+            options: self.options,
+        };
+        let shards = entry.shards.len();
+        (
+            entry,
+            UpdateSummary {
+                stats: agg,
+                resharded: false,
+                shards,
+            },
+        )
+    }
+}
+
+/// Magic prefix of the service snapshot format ("pHSv").
+const SERVICE_MAGIC: u32 = 0x7048_5376;
+/// Service snapshot format version.
+const SERVICE_SNAPSHOT_VERSION: u8 = 1;
+/// Compression-policy tags in the snapshot header.
+const COMPRESSION_AUTO: u8 = 0;
+const COMPRESSION_ALWAYS: u8 = 1;
+const COMPRESSION_NEVER: u8 = 2;
+
+fn compression_tag(policy: CompressionPolicy) -> u8 {
+    match policy {
+        CompressionPolicy::Auto => COMPRESSION_AUTO,
+        CompressionPolicy::Always => COMPRESSION_ALWAYS,
+        CompressionPolicy::Never => COMPRESSION_NEVER,
+    }
+}
+
+impl<L: ServiceLabel> GraphEntry<L> {
+    /// Serializes every shard (node lists + prepared snapshots with warm
+    /// reachability indexes) plus the compression policy pinned onto
+    /// them, so a restore preserves the graph-wide decision instead of
+    /// letting each shard re-decide. `String` labels only — other label
+    /// types get [`ServiceError::Unsupported`].
+    pub(crate) fn snapshot(&self) -> Result<Bytes, ServiceError> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(SERVICE_MAGIC);
+        buf.put_u8(SERVICE_SNAPSHOT_VERSION);
+        buf.put_u8(compression_tag(self.options.compression));
+        buf.put_u32(self.graph.node_count() as u32);
+        buf.put_u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            buf.put_u32(shard.nodes.len() as u32);
+            for &g in &shard.nodes {
+                buf.put_u32(g.0);
+            }
+            let prepared = L::save_prepared(&shard.prepared)?;
+            buf.put_u32(prepared.len() as u32);
+            buf.put_slice(prepared.as_ref());
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Restores an entry from [`GraphEntry::snapshot`] bytes: shard
+    /// layout and warm indexes come from the snapshot (no closure
+    /// recomputation); the full graph is reassembled from the shard
+    /// graphs (sound because no edge crosses a WCC boundary).
+    pub(crate) fn restore(
+        base_options: PrepareOptions,
+        name: String,
+        mut data: Bytes,
+    ) -> Result<Self, ServiceError> {
+        let need = |data: &Bytes, bytes: usize| -> Result<(), ServiceError> {
+            if data.remaining() < bytes {
+                Err(ServiceError::SnapshotCorrupt(format!(
+                    "need {bytes} more bytes"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 14)?;
+        let magic = data.get_u32();
+        if magic != SERVICE_MAGIC {
+            return Err(ServiceError::SnapshotCorrupt(format!(
+                "bad service-snapshot magic {magic:#x}"
+            )));
+        }
+        let version = data.get_u8();
+        if version != SERVICE_SNAPSHOT_VERSION {
+            return Err(ServiceError::SnapshotVersion {
+                found: version as u32,
+                supported: SERVICE_SNAPSHOT_VERSION as u32,
+            });
+        }
+        let compression = match data.get_u8() {
+            COMPRESSION_AUTO => CompressionPolicy::Auto,
+            COMPRESSION_ALWAYS => CompressionPolicy::Always,
+            COMPRESSION_NEVER => CompressionPolicy::Never,
+            other => {
+                return Err(ServiceError::SnapshotCorrupt(format!(
+                    "unknown compression-policy tag {other}"
+                )))
+            }
+        };
+        let n = data.get_u32() as usize;
+        let shard_count = data.get_u32() as usize;
+        if shard_count > n.max(1) {
+            return Err(ServiceError::SnapshotCorrupt(format!(
+                "{shard_count} shards exceed {n} nodes"
+            )));
+        }
+        let mut shards: Vec<Shard<L>> = Vec::with_capacity(shard_count);
+        let mut locator = vec![(u32::MAX, 0u32); n];
+        for si in 0..shard_count {
+            need(&data, 4)?;
+            let count = data.get_u32() as usize;
+            need(&data, 4 * count)?;
+            let nodes: Vec<NodeId> = (0..count).map(|_| NodeId(data.get_u32())).collect();
+            for (local, &g) in nodes.iter().enumerate() {
+                let slot = locator.get_mut(g.index()).ok_or_else(|| {
+                    ServiceError::SnapshotCorrupt(format!("node {} out of range {n}", g.0))
+                })?;
+                if slot.0 != u32::MAX {
+                    return Err(ServiceError::SnapshotCorrupt(format!(
+                        "node {} assigned to two shards",
+                        g.0
+                    )));
+                }
+                *slot = (si as u32, local as u32);
+            }
+            need(&data, 4)?;
+            let len = data.get_u32() as usize;
+            need(&data, len)?;
+            let prepared = L::load_prepared(data.split_to(len), compression)?;
+            if prepared.graph().node_count() != count {
+                return Err(ServiceError::SnapshotCorrupt(format!(
+                    "shard {si}: {} prepared nodes, {count} listed",
+                    prepared.graph().node_count()
+                )));
+            }
+            shards.push(Shard {
+                graph: Arc::clone(prepared.graph()),
+                prepared: Arc::new(prepared),
+                nodes,
+            });
+        }
+        if let Some(missing) = locator.iter().position(|&(s, _)| s == u32::MAX) {
+            return Err(ServiceError::SnapshotCorrupt(format!(
+                "node {missing} belongs to no shard"
+            )));
+        }
+        // Reassemble the full graph from the shard graphs.
+        let graph = if shard_count == 1 {
+            Arc::clone(&shards[0].graph)
+        } else {
+            let mut labels: Vec<Option<L>> = vec![None; n];
+            for shard in &shards {
+                for (local, &global) in shard.nodes.iter().enumerate() {
+                    labels[global.index()] = Some(shard.graph.label(NodeId(local as u32)).clone());
+                }
+            }
+            let mut full: DiGraph<L> = DiGraph::with_capacity(n);
+            for label in labels {
+                full.add_node(label.expect("coverage checked above"));
+            }
+            for shard in &shards {
+                for (a, b) in shard.graph.edges() {
+                    full.add_edge(shard.nodes[a.index()], shard.nodes[b.index()]);
+                }
+            }
+            Arc::new(full)
+        };
+        // The restored entry keeps the snapshotted pin (shard prepareds
+        // were loaded under it, so the two always agree — including the
+        // `pin_flipped` comparison on the next update batch).
+        let options = PrepareOptions {
+            compression,
+            ..shards
+                .first()
+                .map(|s| s.prepared.options())
+                .unwrap_or(base_options)
+        };
+        Ok(GraphEntry {
+            name,
+            graph,
+            shards,
+            locator,
+            options,
+        })
+    }
+}
+
+/// The multi-graph registry: named [`GraphEntry`]s behind one lock.
+/// Reads (queries, stats) clone an `Arc` out and release the lock before
+/// any matching work; writes (register, evict, updates) swap whole
+/// entries, so in-flight queries keep reading their consistent
+/// copy-on-write snapshot.
+#[derive(Debug, Default)]
+pub struct GraphRegistry<L> {
+    entries: RwLock<HashMap<String, Arc<GraphEntry<L>>>>,
+}
+
+impl<L: ServiceLabel> GraphRegistry<L> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        GraphRegistry {
+            entries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The entry registered under `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<GraphEntry<L>>, ServiceError> {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::NotFound {
+                graph: name.to_owned(),
+            })
+    }
+
+    /// Inserts a freshly built entry; fails when the name is taken.
+    pub(crate) fn insert(&self, entry: GraphEntry<L>) -> Result<Arc<GraphEntry<L>>, ServiceError> {
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        if entries.contains_key(&entry.name) {
+            return Err(ServiceError::AlreadyRegistered {
+                graph: entry.name.clone(),
+            });
+        }
+        let entry = Arc::new(entry);
+        entries.insert(entry.name.clone(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Replaces the entry under `name` (the update path).
+    pub(crate) fn replace(&self, entry: GraphEntry<L>) {
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        entries.insert(entry.name.clone(), Arc::new(entry));
+    }
+
+    /// Removes the entry under `name`.
+    pub fn evict(&self, name: &str) -> Result<(), ServiceError> {
+        let mut entries = self.entries.write().unwrap_or_else(|e| e.into_inner());
+        entries
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServiceError::NotFound {
+                graph: name.to_owned(),
+            })
+    }
+
+    /// Registered graph names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// `(graph count, total shard count)`.
+    pub fn census(&self) -> (usize, usize) {
+        let entries = self.entries.read().unwrap_or_else(|e| e.into_inner());
+        let shards = entries.values().map(|e| e.shards.len()).sum();
+        (entries.len(), shards)
+    }
+}

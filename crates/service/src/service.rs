@@ -1,0 +1,799 @@
+//! [`Service`]: the request/response front end — a [`GraphRegistry`]
+//! plus an [`Engine`], an admission gate, and service counters, all
+//! behind [`Service::handle`].
+
+use crate::envelope::{GraphInfo, QueryResponse, Request, Response, UpdateSummary};
+use crate::error::ServiceError;
+use crate::label::ServiceLabel;
+use crate::registry::{GraphRegistry, ShardingConfig};
+use crate::stats::{AdmissionGate, PlanHistograms, ServiceStats};
+use bytes::Bytes;
+use phom_dynamic::GraphUpdate;
+use phom_engine::{Engine, EngineConfig, EngineStats, Query};
+use phom_graph::DiGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Service construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// The wrapped engine's configuration (cache, workers, planner).
+    pub engine: EngineConfig,
+    /// When and how finely registered graphs shard.
+    pub sharding: ShardingConfig,
+    /// Admission control: at most this many queries in flight at once;
+    /// excess requests are fast-rejected with
+    /// [`ServiceError::Overloaded`]. `0` (the default) admits everything.
+    pub queue_depth: usize,
+    /// When true, a query whose deadline expired returns
+    /// [`ServiceError::Timeout`] instead of a best-so-far partial
+    /// mapping.
+    pub strict_timeouts: bool,
+}
+
+impl ServiceConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServiceConfig`] (see [`ServiceConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets [`ServiceConfig::engine`].
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets [`ServiceConfig::sharding`].
+    pub fn sharding(mut self, sharding: ShardingConfig) -> Self {
+        self.config.sharding = sharding;
+        self
+    }
+
+    /// Sets [`ServiceConfig::queue_depth`].
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Sets [`ServiceConfig::strict_timeouts`].
+    pub fn strict_timeouts(mut self, strict: bool) -> Self {
+        self.config.strict_timeouts = strict;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ServiceConfig {
+        self.config
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    queries_admitted: AtomicUsize,
+    queries_shed: AtomicUsize,
+    update_batches: AtomicUsize,
+    reshards: AtomicUsize,
+    snapshots: AtomicUsize,
+}
+
+/// The service: named graphs in, typed responses out.
+///
+/// ```
+/// use phom_engine::Query;
+/// use phom_graph::graph_from_labels;
+/// use phom_service::{Request, Response, Service};
+/// use phom_sim::SimMatrix;
+/// use std::sync::Arc;
+///
+/// let service: Service<String> = Service::default();
+/// let data = Arc::new(graph_from_labels(
+///     &["books", "cat", "school"],
+///     &[("books", "cat"), ("cat", "school")],
+/// ));
+/// service
+///     .handle(Request::RegisterGraph { name: "web".into(), graph: data.clone() })
+///     .unwrap();
+///
+/// let pattern = Arc::new(graph_from_labels(&["books", "school"], &[("books", "school")]));
+/// let matrix = SimMatrix::label_equality(&pattern, &data);
+/// let response = service
+///     .handle(Request::Query { graph: "web".into(), query: Query::new(pattern, matrix) })
+///     .unwrap();
+/// let Response::Answer(answer) = response else { unreachable!() };
+/// assert_eq!(answer.qual_card, 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Service<L> {
+    config: ServiceConfig,
+    engine: Engine<L>,
+    registry: GraphRegistry<L>,
+    gate: AdmissionGate,
+    counters: ServiceCounters,
+    histograms: Mutex<PlanHistograms>,
+    /// Serializes `apply_updates` batches: the registry swap is
+    /// read-modify-replace, so two unsynchronized batches on the same
+    /// service would both derive from the old entry and the later
+    /// replace would silently drop the earlier batch's edits.
+    update_lock: Mutex<()>,
+}
+
+impl<L: ServiceLabel> Default for Service<L> {
+    fn default() -> Self {
+        Service::new(ServiceConfig::default())
+    }
+}
+
+impl<L: ServiceLabel> Service<L> {
+    /// Creates a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        let engine = Engine::new(config.engine.clone());
+        let gate = AdmissionGate::new(config.queue_depth);
+        Service {
+            config,
+            engine,
+            registry: GraphRegistry::new(),
+            gate,
+            counters: ServiceCounters::default(),
+            histograms: Mutex::new(PlanHistograms::default()),
+            update_lock: Mutex::new(()),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The graph registry (for introspection; mutate through requests).
+    pub fn registry(&self) -> &GraphRegistry<L> {
+        &self.registry
+    }
+
+    /// The wrapped engine's counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Dispatches one request to its handler.
+    pub fn handle(&self, request: Request<L>) -> Result<Response, ServiceError> {
+        match request {
+            Request::RegisterGraph { name, graph } => {
+                self.register(name, graph).map(Response::Registered)
+            }
+            Request::RestoreGraph { name, snapshot } => {
+                self.restore(name, snapshot).map(Response::Registered)
+            }
+            Request::EvictGraph { name } => {
+                self.registry.evict(&name)?;
+                Ok(Response::Evicted { graph: name })
+            }
+            Request::Query { graph, query } => self.query(&graph, &query).map(Response::Answer),
+            Request::QueryBatch { graph, queries } => {
+                self.query_batch(&graph, &queries).map(Response::Batch)
+            }
+            Request::ApplyUpdates { graph, updates } => {
+                self.apply_updates(&graph, &updates).map(Response::Updated)
+            }
+            Request::Snapshot { graph } => self.snapshot(&graph).map(Response::Snapshot),
+            Request::GraphInfo { graph } => self.graph_info(&graph).map(Response::Info),
+            Request::Stats => Ok(Response::Stats(Box::new(self.stats()))),
+        }
+    }
+
+    /// Registers `graph` under `name` (see `Request::RegisterGraph`).
+    pub fn register(
+        &self,
+        name: String,
+        graph: Arc<DiGraph<L>>,
+    ) -> Result<GraphInfo, ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::InvalidRequest(
+                "graph name must be non-empty".into(),
+            ));
+        }
+        // Cheap existence probe before paying for preparation; the insert
+        // below re-checks under the write lock, so a racing duplicate
+        // register still fails cleanly (wasting only its preparation).
+        if self.registry.get(&name).is_ok() {
+            return Err(ServiceError::AlreadyRegistered { graph: name });
+        }
+        let entry = crate::registry::GraphEntry::build(
+            &self.engine,
+            &self.config.sharding,
+            self.config.engine.prepare_options(),
+            name,
+            graph,
+        );
+        self.registry.insert(entry).map(|e| e.info())
+    }
+
+    /// Restores a graph from snapshot bytes (see `Request::RestoreGraph`).
+    pub fn restore(&self, name: String, snapshot: Bytes) -> Result<GraphInfo, ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::InvalidRequest(
+                "graph name must be non-empty".into(),
+            ));
+        }
+        let entry = crate::registry::GraphEntry::restore(
+            self.config.engine.prepare_options(),
+            name,
+            snapshot,
+        )?;
+        self.registry.insert(entry).map(|e| e.info())
+    }
+
+    /// Runs one query (see `Request::Query`): admission gate, shard
+    /// routing, per-plan latency accounting.
+    pub fn query(&self, graph: &str, query: &Query<L>) -> Result<QueryResponse, ServiceError> {
+        let entry = self.registry.get(graph)?;
+        let permit = self.gate.try_acquire(1).inspect_err(|_| {
+            self.counters.queries_shed.fetch_add(1, Ordering::Relaxed);
+        })?;
+        self.counters
+            .queries_admitted
+            .fetch_add(1, Ordering::Relaxed);
+        let result = entry.execute(&self.engine, &self.config.engine.planner, query);
+        drop(permit);
+        let response = result?;
+        self.histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(response.plan.kind, response.micros);
+        if self.config.strict_timeouts && response.timed_out {
+            return Err(ServiceError::Timeout {
+                micros: response.micros,
+            });
+        }
+        Ok(response)
+    }
+
+    /// Runs a batch (see `Request::QueryBatch`). Admission is
+    /// all-or-nothing: the batch needs `queries.len()` free slots or it
+    /// is shed whole. Unsharded graphs fan out across the engine's
+    /// work-stealing batch executor; sharded graphs run the routed path
+    /// per query. `strict_timeouts` does not reject batch members —
+    /// per-response `timed_out` flags report partial results instead.
+    pub fn query_batch(
+        &self,
+        graph: &str,
+        queries: &[Query<L>],
+    ) -> Result<Vec<QueryResponse>, ServiceError> {
+        let entry = self.registry.get(graph)?;
+        let permit = self
+            .gate
+            .try_acquire(queries.len().max(1))
+            .inspect_err(|_| {
+                self.counters
+                    .queries_shed
+                    .fetch_add(queries.len().max(1), Ordering::Relaxed);
+            })?;
+        self.counters
+            .queries_admitted
+            .fetch_add(queries.len(), Ordering::Relaxed);
+        let sole = entry.sole_prepared();
+        let responses = if let (Some(prepared), false) = (sole, queries.is_empty()) {
+            // One shard: the full graph. Validate up front, then hand the
+            // entry's own prepared artifacts to the engine's parallel
+            // batch executor (never re-prepare: a snapshot-restored or
+            // cache-evicted entry must still serve from its warm index).
+            for q in queries {
+                if q.matrix.n1() != q.pattern.node_count()
+                    || q.matrix.n2() != entry.graph().node_count()
+                {
+                    return Err(ServiceError::InvalidRequest(
+                        "similarity matrix does not match pattern × data dimensions".into(),
+                    ));
+                }
+            }
+            let batch = self.engine.execute_batch_prepared(prepared, queries);
+            batch
+                .results
+                .into_iter()
+                .map(|r| QueryResponse {
+                    mapping: r.outcome.mapping,
+                    qual_card: r.outcome.qual_card,
+                    qual_sim: r.outcome.qual_sim,
+                    plan: r.plan,
+                    shards_consulted: 1,
+                    timed_out: r.outcome.stats.timed_out,
+                    micros: r.micros,
+                })
+                .collect()
+        } else {
+            let mut responses = Vec::with_capacity(queries.len());
+            for q in queries {
+                responses.push(entry.execute(&self.engine, &self.config.engine.planner, q)?);
+            }
+            responses
+        };
+        drop(permit);
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        for r in &responses {
+            histograms.record(r.plan.kind, r.micros);
+        }
+        Ok(responses)
+    }
+
+    /// Applies updates to a registered graph (see
+    /// `Request::ApplyUpdates`), routing each to its owning shard and
+    /// re-splitting the entry when the component structure changes.
+    /// Update batches serialize on a service-wide lock (read entry →
+    /// apply → swap must be atomic or a concurrent batch's edits would
+    /// be lost in the swap); in-flight queries keep their copy-on-write
+    /// snapshot and are never blocked.
+    pub fn apply_updates(
+        &self,
+        graph: &str,
+        updates: &[GraphUpdate],
+    ) -> Result<UpdateSummary, ServiceError> {
+        let _serialized = self.update_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = self.registry.get(graph)?;
+        let (new_entry, summary) = entry.apply(
+            &self.engine,
+            &self.config.sharding,
+            self.config.engine.prepare_options(),
+            updates,
+        );
+        self.registry.replace(new_entry);
+        self.counters.update_batches.fetch_add(1, Ordering::Relaxed);
+        if summary.resharded {
+            self.counters.reshards.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(summary)
+    }
+
+    /// Serializes a registered graph (see `Request::Snapshot`).
+    pub fn snapshot(&self, graph: &str) -> Result<Bytes, ServiceError> {
+        let bytes = self.registry.get(graph)?.snapshot()?;
+        self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Describes a registered graph (see `Request::GraphInfo`).
+    pub fn graph_info(&self, graph: &str) -> Result<GraphInfo, ServiceError> {
+        Ok(self.registry.get(graph)?.info())
+    }
+
+    /// The current graph version registered under `graph` (for building
+    /// similarity matrices against live data).
+    pub fn graph(&self, graph: &str) -> Result<Arc<DiGraph<L>>, ServiceError> {
+        Ok(Arc::clone(self.registry.get(graph)?.graph()))
+    }
+
+    /// Snapshot of the service counters (see `Request::Stats`).
+    /// `cache_hit_ratio` is engine-lifetime
+    /// (`cache_hits / (cache_hits + prepares)`).
+    pub fn stats(&self) -> ServiceStats {
+        let (graphs, shards) = self.registry.census();
+        let engine = self.engine.stats();
+        let lookups = engine.cache_hits + engine.prepares;
+        ServiceStats {
+            graphs,
+            shards,
+            queries_admitted: self.counters.queries_admitted.load(Ordering::Relaxed),
+            queries_shed: self.counters.queries_shed.load(Ordering::Relaxed),
+            update_batches: self.counters.update_batches.load(Ordering::Relaxed),
+            reshards: self.counters.reshards.load(Ordering::Relaxed),
+            snapshots: self.counters.snapshots.load(Ordering::Relaxed),
+            cache_hit_ratio: if lookups == 0 {
+                0.0
+            } else {
+                engine.cache_hits as f64 / lookups as f64
+            },
+            plan_histograms: self
+                .histograms
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::{graph_from_labels, NodeId};
+    use phom_sim::SimMatrix;
+
+    /// Two WCCs with disjoint label alphabets: {a,b,c} path and {x,y}
+    /// edge.
+    fn two_part_graph() -> Arc<DiGraph<String>> {
+        Arc::new(graph_from_labels(
+            &["a", "b", "c", "x", "y"],
+            &[("a", "b"), ("b", "c"), ("x", "y")],
+        ))
+    }
+
+    fn sharded_service() -> Service<String> {
+        Service::new(
+            ServiceConfig::builder()
+                .sharding(ShardingConfig {
+                    max_shards: 4,
+                    min_shard_nodes: 0,
+                })
+                .build(),
+        )
+    }
+
+    fn query_for(
+        service: &Service<String>,
+        graph: &str,
+        labels: &[&str],
+        edges: &[(&str, &str)],
+    ) -> Query<String> {
+        let pattern = Arc::new(graph_from_labels(labels, edges));
+        let data = service.graph(graph).expect("registered");
+        let matrix = SimMatrix::label_equality(&pattern, &data);
+        Query::new(pattern, matrix)
+    }
+
+    #[test]
+    fn register_shards_by_wcc_and_queries_route() {
+        let service = sharded_service();
+        let info = service
+            .register("web".into(), two_part_graph())
+            .expect("register");
+        assert_eq!(info.shards, 2);
+        assert_eq!(info.shard_nodes, vec![3, 2]);
+        assert_eq!(info.nodes, 5);
+
+        // A pattern over the {a,b,c} alphabet consults only that shard.
+        let q = query_for(&service, "web", &["a", "c"], &[("a", "c")]);
+        let r = service.query("web", &q).expect("query");
+        assert_eq!(r.shards_consulted, 1);
+        assert_eq!(r.qual_card, 1.0, "a ⇝ c via b");
+        assert_eq!(r.mapping.get(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(r.mapping.get(NodeId(1)), Some(NodeId(2)), "global ids");
+
+        // A two-component pattern spanning both alphabets consults both
+        // shards and merges.
+        let q2 = query_for(
+            &service,
+            "web",
+            &["a", "b", "x", "y"],
+            &[("a", "b"), ("x", "y")],
+        );
+        let r2 = service.query("web", &q2).expect("query");
+        assert_eq!(r2.shards_consulted, 2);
+        assert_eq!(r2.qual_card, 1.0);
+        assert_eq!(r2.mapping.get(NodeId(2)), Some(NodeId(3)), "x at global 3");
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_matrix_are_typed_errors() {
+        let service = sharded_service();
+        let err = service
+            .query("missing", &{
+                let p = Arc::new(graph_from_labels(&["a"], &[]));
+                let m = SimMatrix::new(1, 1);
+                Query::new(p, m)
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::NotFound {
+                graph: "missing".into()
+            }
+        );
+        service.register("web".into(), two_part_graph()).unwrap();
+        let p = Arc::new(graph_from_labels(&["a"], &[]));
+        let wrong = Query::new(p, SimMatrix::new(1, 3)); // data has 5 nodes
+        assert!(matches!(
+            service.query("web", &wrong),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.register("web".into(), two_part_graph()),
+            Err(ServiceError::AlreadyRegistered { .. })
+        ));
+        assert!(matches!(
+            service.handle(Request::EvictGraph {
+                name: "nope".into()
+            }),
+            Err(ServiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn updates_route_to_owning_shard() {
+        let service = sharded_service();
+        service.register("web".into(), two_part_graph()).unwrap();
+        // Intra-shard delete b -> c (both in shard 0): routed to that
+        // shard's semi-dynamic maintenance, no reshard (the SCC structure
+        // is unchanged, so the pinned compression decision stands).
+        let summary = service
+            .apply_updates("web", &[GraphUpdate::RemoveEdge(NodeId(1), NodeId(2))])
+            .expect("apply");
+        assert_eq!(summary.stats.applied, 1);
+        assert!(!summary.resharded);
+        assert_eq!(summary.shards, 2);
+        let q = query_for(&service, "web", &["a", "c"], &[("a", "c")]);
+        let r = service.query("web", &q).expect("query");
+        assert_eq!(r.qual_card, 0.5, "a ⇝ c broken: one endpoint maps");
+        assert_eq!(service.stats().reshards, 0);
+        // An intra-shard insert that builds a cycle (b -> a closes
+        // a ⇄ b) flips the graph-wide compression decision — the entry
+        // re-splits to keep the pinned decision honest.
+        let summary = service
+            .apply_updates("web", &[GraphUpdate::InsertEdge(NodeId(1), NodeId(0))])
+            .expect("apply");
+        assert!(summary.resharded, "compression pin flipped");
+        assert_eq!(service.stats().reshards, 1);
+    }
+
+    #[test]
+    fn cross_shard_insert_resplits_the_entry() {
+        let service = sharded_service();
+        service.register("web".into(), two_part_graph()).unwrap();
+        // c -> x merges the two WCCs.
+        let summary = service
+            .apply_updates("web", &[GraphUpdate::InsertEdge(NodeId(2), NodeId(3))])
+            .expect("apply");
+        assert!(summary.resharded);
+        assert_eq!(summary.shards, 1, "one WCC now");
+        assert_eq!(service.stats().reshards, 1);
+        // The merged graph answers a cross-alphabet path query.
+        let q = query_for(&service, "web", &["a", "y"], &[("a", "y")]);
+        let r = service.query("web", &q).expect("query");
+        assert_eq!(r.qual_card, 1.0, "a ⇝ y through the new bridge");
+    }
+
+    #[test]
+    fn admission_gate_sheds_and_counts() {
+        let service: Service<String> = Service::new(
+            ServiceConfig::builder()
+                .queue_depth(2)
+                .sharding(ShardingConfig::disabled())
+                .build(),
+        );
+        service.register("web".into(), two_part_graph()).unwrap();
+        // A batch larger than the queue depth is shed whole.
+        let q = query_for(&service, "web", &["a"], &[]);
+        let batch: Vec<Query<String>> = vec![q.clone(), q.clone(), q.clone()];
+        let err = service.query_batch("web", &batch).unwrap_err();
+        assert!(matches!(err, ServiceError::Overloaded { .. }));
+        let stats = service.stats();
+        assert_eq!(stats.queries_shed, 3);
+        assert_eq!(stats.queries_admitted, 0);
+        // A fitting batch is admitted and recorded per plan.
+        let responses = service
+            .query_batch("web", &batch[..2])
+            .expect("fits the gate");
+        assert_eq!(responses.len(), 2);
+        let stats = service.stats();
+        assert_eq!(stats.queries_admitted, 2);
+        assert_eq!(
+            stats
+                .plan_histograms
+                .of(phom_engine::PlanKind::Baseline)
+                .count(),
+            2,
+            "edgeless patterns route to the baseline plan"
+        );
+        assert!(stats.to_json().contains("\"queries_shed\":3"));
+        assert!(stats.to_json().contains("\"plan_histograms\":{\"exact\":["));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_shards_and_answers() {
+        let service = sharded_service();
+        service.register("web".into(), two_part_graph()).unwrap();
+        let Response::Snapshot(bytes) = service
+            .handle(Request::Snapshot {
+                graph: "web".into(),
+            })
+            .expect("snapshot")
+        else {
+            panic!("wrong response variant")
+        };
+        let restored: Service<String> = sharded_service();
+        let info = restored.restore("warm".into(), bytes).expect("restore");
+        assert_eq!(info.shards, 2);
+        assert_eq!(info.nodes, 5);
+        let q = query_for(&restored, "warm", &["a", "c"], &[("a", "c")]);
+        let r = restored.query("warm", &q).expect("query");
+        assert_eq!(r.qual_card, 1.0);
+        // Restored entries keep answering after updates.
+        restored
+            .apply_updates("warm", &[GraphUpdate::RemoveEdge(NodeId(1), NodeId(2))])
+            .expect("apply");
+        let r2 = restored
+            .query(
+                "warm",
+                &query_for(&restored, "warm", &["a", "c"], &[("a", "c")]),
+            )
+            .expect("query");
+        assert_eq!(r2.qual_card, 0.5, "b -> c cut: only one node maps");
+        // Corruption is a typed error.
+        assert!(matches!(
+            restored.restore("bad".into(), Bytes::from_static(b"garbage")),
+            Err(ServiceError::SnapshotCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn strict_timeouts_reject_partial_results() {
+        let service: Service<String> = Service::new(
+            ServiceConfig::builder()
+                .strict_timeouts(true)
+                .sharding(ShardingConfig::disabled())
+                .build(),
+        );
+        service.register("web".into(), two_part_graph()).unwrap();
+        let mut q = query_for(&service, "web", &["a", "c"], &[("a", "c")]);
+        q.config.timeout = Some(std::time::Duration::ZERO);
+        let err = service.query("web", &q).unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout { .. }));
+    }
+
+    #[test]
+    fn eviction_frees_the_name() {
+        let service = sharded_service();
+        service.register("web".into(), two_part_graph()).unwrap();
+        assert_eq!(service.registry().names(), vec!["web".to_owned()]);
+        let Response::Evicted { graph } = service
+            .handle(Request::EvictGraph { name: "web".into() })
+            .expect("evict")
+        else {
+            panic!("wrong response variant")
+        };
+        assert_eq!(graph, "web");
+        assert_eq!(service.stats().graphs, 0);
+        service
+            .register("web".into(), two_part_graph())
+            .expect("name free again");
+    }
+}
+
+#[cfg(test)]
+mod review_fix_tests {
+    use super::*;
+    use crate::registry::ShardingConfig;
+    use phom_graph::{graph_from_labels, DiGraph, NodeId};
+    use phom_sim::SimMatrix;
+
+    /// Review fix: concurrent `ApplyUpdates` batches must all land — the
+    /// read-modify-replace swap serializes on the update lock instead of
+    /// silently dropping the earlier batch.
+    #[test]
+    fn concurrent_update_batches_are_not_lost() {
+        // 40 isolated nodes, one WCC each; threads insert disjoint edges.
+        let mut g: DiGraph<u8> = DiGraph::new();
+        for i in 0..40 {
+            g.add_node(i as u8);
+        }
+        let service: Service<u8> = Service::new(
+            ServiceConfig::builder()
+                .sharding(ShardingConfig::disabled())
+                .build(),
+        );
+        service.register("g".into(), Arc::new(g)).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let service = &service;
+                s.spawn(move || {
+                    for i in 0..10u32 {
+                        let a = NodeId(t * 10 + i);
+                        let b = NodeId((t * 10 + (i + 1) % 10) % 40);
+                        let summary = service
+                            .apply_updates("g", &[GraphUpdate::InsertEdge(a, b)])
+                            .expect("apply");
+                        assert_eq!(summary.stats.applied + summary.stats.noops, 1);
+                    }
+                });
+            }
+        });
+        let final_graph = service.graph("g").expect("registered");
+        assert_eq!(
+            final_graph.edge_count(),
+            40,
+            "every thread's inserts survived the swaps"
+        );
+    }
+
+    /// Review fix: snapshot restore keeps the pinned compression policy.
+    /// Part A (a 3-node cycle) would keep Appendix-B compression if it
+    /// decided alone, but the graph-wide decision is Never — a restore
+    /// must not let the shard re-decide, and the first post-restore
+    /// update must not spuriously re-shard on a phantom pin flip.
+    #[test]
+    fn restore_preserves_pinned_compression() {
+        let mut labels: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        for i in 0..30 {
+            labels.push(format!("p{i}"));
+        }
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        let mut edges: Vec<(&str, &str)> = vec![("a", "b"), ("b", "c"), ("c", "a")];
+        for i in 1..30 {
+            edges.push((refs[2 + i], refs[3 + i]));
+        }
+        let g = Arc::new(graph_from_labels(&refs, &edges));
+        let service: Service<String> = Service::new(
+            ServiceConfig::builder()
+                .sharding(ShardingConfig {
+                    max_shards: 2,
+                    min_shard_nodes: 0,
+                })
+                .build(),
+        );
+        let info = service.register("g".into(), Arc::clone(&g)).unwrap();
+        assert_eq!(info.shards, 2);
+        assert_eq!(
+            info.compression, "never",
+            "33 nodes, 31 SCCs: not worthwhile"
+        );
+        assert_eq!(info.compressed_nodes, None);
+
+        let bytes = service.snapshot("g").expect("snapshot");
+        let restored: Service<String> = Service::new(
+            ServiceConfig::builder()
+                .sharding(ShardingConfig {
+                    max_shards: 2,
+                    min_shard_nodes: 0,
+                })
+                .build(),
+        );
+        let rinfo = restored.restore("g".into(), bytes).expect("restore");
+        assert_eq!(rinfo.compression, "never", "pin survives the roundtrip");
+        assert_eq!(
+            rinfo.compressed_nodes, None,
+            "the cyclic shard must not re-decide compression for itself"
+        );
+        // First post-restore update: no phantom pin-flip reshard (the
+        // SCC structure is unchanged by this delete).
+        let summary = restored
+            .apply_updates("g", &[GraphUpdate::RemoveEdge(NodeId(3), NodeId(4))])
+            .expect("apply");
+        assert!(!summary.resharded, "no spurious re-shard after restore");
+    }
+
+    /// Review fix: one deadline bounds the whole sharded query — it does
+    /// not restart per consulted shard. A zero timeout expires before
+    /// the first shard runs.
+    #[test]
+    fn sharded_query_shares_one_deadline() {
+        let data = Arc::new(graph_from_labels(
+            &["a", "b", "x", "y"],
+            &[("a", "b"), ("x", "y")],
+        ));
+        let service: Service<String> = Service::new(
+            ServiceConfig::builder()
+                .sharding(ShardingConfig {
+                    max_shards: 2,
+                    min_shard_nodes: 0,
+                })
+                .build(),
+        );
+        let info = service.register("g".into(), Arc::clone(&data)).unwrap();
+        assert_eq!(info.shards, 2);
+        let pattern = Arc::new(graph_from_labels(
+            &["a", "b", "x", "y"],
+            &[("a", "b"), ("x", "y")],
+        ));
+        let mat = SimMatrix::label_equality(&pattern, &data);
+        let mut q = Query::new(Arc::clone(&pattern), mat);
+        q.config.timeout = Some(std::time::Duration::ZERO);
+        let r = service.query("g", &q).expect("query");
+        assert!(r.timed_out, "zero budget expires before any shard");
+        assert_eq!(r.shards_consulted, 0, "no shard gets a restarted budget");
+        assert!(r.mapping.is_empty());
+        // Without a deadline the same query consults both shards fully.
+        let mat = SimMatrix::label_equality(&pattern, &data);
+        let free = service
+            .query("g", &Query::new(pattern, mat))
+            .expect("query");
+        assert_eq!(free.shards_consulted, 2);
+        assert_eq!(free.qual_card, 1.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Service-level observability: per-plan latency histograms, shed
+//! counters, cache hit ratio — the metrics-export half of the ROADMAP's
+//! "Engine hardening" item — plus the admission gate that produces the
+//! shed counter in the first place.
+
+use crate::error::ServiceError;
+use phom_engine::{EngineStats, PlanKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Buckets in a [`LatencyHistogram`]: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 is `[0, 2)`), so 26 buckets
+/// span one microsecond to over a minute.
+pub const HISTOGRAM_BUCKETS: usize = 26;
+
+/// A log₂-bucketed latency histogram (microseconds). Fixed-size, lock-free
+/// to record into, and mergeable — the per-plan service metric that
+/// survives export where a raw latency list would not.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [usize; HISTOGRAM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Bucket index for a latency of `micros`.
+    fn bucket(micros: u128) -> usize {
+        ((128 - micros.leading_zeros()) as usize)
+            .saturating_sub(1)
+            .min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, micros: u128) {
+        self.buckets[Self::bucket(micros)] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts (bucket `i` = `[2^i, 2^(i+1))` µs).
+    pub fn buckets(&self) -> &[usize; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-rank percentile (`p` in `0..=100`), reported as the upper
+    /// bound of the bucket the rank falls in — a conservative estimate
+    /// with the usual log-histogram resolution. `0` when empty.
+    pub fn percentile_upper_micros(&self, p: usize) -> usize {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (p * total).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1usize << (i + 1).min(63);
+            }
+        }
+        1usize << HISTOGRAM_BUCKETS
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// JSON array of bucket counts.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.buckets.iter().map(|c| c.to_string()).collect();
+        format!("[{}]", cells.join(","))
+    }
+}
+
+/// One latency histogram per plan kind (exact / approx / bounded /
+/// baseline).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PlanHistograms {
+    /// Per-plan histograms, indexed by [`PlanHistograms::index_of`].
+    pub by_plan: [LatencyHistogram; 4],
+}
+
+impl PlanHistograms {
+    /// The array slot of a plan kind.
+    pub fn index_of(kind: PlanKind) -> usize {
+        match kind {
+            PlanKind::Exact => 0,
+            PlanKind::Approx => 1,
+            PlanKind::Bounded => 2,
+            PlanKind::Baseline => 3,
+        }
+    }
+
+    /// The plan kind of an array slot (inverse of
+    /// [`PlanHistograms::index_of`]).
+    pub fn kind_of(index: usize) -> PlanKind {
+        [
+            PlanKind::Exact,
+            PlanKind::Approx,
+            PlanKind::Bounded,
+            PlanKind::Baseline,
+        ][index]
+    }
+
+    /// Records one observation under `kind`.
+    pub fn record(&mut self, kind: PlanKind, micros: u128) {
+        self.by_plan[Self::index_of(kind)].record(micros);
+    }
+
+    /// The histogram of one plan kind.
+    pub fn of(&self, kind: PlanKind) -> &LatencyHistogram {
+        &self.by_plan[Self::index_of(kind)]
+    }
+
+    /// All plans folded together.
+    pub fn combined(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::default();
+        for h in &self.by_plan {
+            all.merge(h);
+        }
+        all
+    }
+
+    /// JSON object keyed by plan name, bucket arrays as values.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = (0..4)
+            .map(|i| {
+                format!(
+                    "\"{}\":{}",
+                    Self::kind_of(i).name(),
+                    self.by_plan[i].to_json()
+                )
+            })
+            .collect();
+        format!("{{{}}}", cells.join(","))
+    }
+}
+
+/// A snapshot of the service's counters — what `Request::Stats` returns
+/// and `--stats-json` exports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Graphs currently registered.
+    pub graphs: usize,
+    /// Shards across all registered graphs.
+    pub shards: usize,
+    /// Queries admitted past the gate (includes queries inside admitted
+    /// batches).
+    pub queries_admitted: usize,
+    /// Queries fast-rejected with [`ServiceError::Overloaded`] — the shed
+    /// count.
+    pub queries_shed: usize,
+    /// Update batches applied.
+    pub update_batches: usize,
+    /// Entries rebuilt because an update changed the component structure
+    /// (cross-shard edge insert) or flipped the graph-wide compression
+    /// decision.
+    pub reshards: usize,
+    /// Snapshots served.
+    pub snapshots: usize,
+    /// Prepared-graph cache hit ratio over the engine's lifetime
+    /// (`hits / (hits + prepares)`; `0.0` before any preparation).
+    pub cache_hit_ratio: f64,
+    /// Per-plan service-latency histograms of admitted queries.
+    pub plan_histograms: PlanHistograms,
+    /// The wrapped engine's counters.
+    pub engine: EngineStats,
+}
+
+impl ServiceStats {
+    /// Compact JSON rendering. The engine counters nest under
+    /// `"engine"`; `"queries_shed"` and `"plan_histograms"` are the
+    /// service-specific fields dashboards scrape.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"graphs\":{},\"shards\":{},\"queries_admitted\":{},\"queries_shed\":{},\
+             \"update_batches\":{},\"reshards\":{},\"snapshots\":{},\
+             \"cache_hit_ratio\":{:.4},\"plan_histograms\":{},\"engine\":{}}}",
+            self.graphs,
+            self.shards,
+            self.queries_admitted,
+            self.queries_shed,
+            self.update_batches,
+            self.reshards,
+            self.snapshots,
+            self.cache_hit_ratio,
+            self.plan_histograms.to_json(),
+            self.engine.to_json()
+        )
+    }
+}
+
+/// The bounded in-flight gate: at most `depth` queries execute at once;
+/// the rest are fast-rejected so overload degrades into explicit
+/// [`ServiceError::Overloaded`] responses instead of an unbounded queue
+/// of doomed work.
+#[derive(Debug)]
+pub(crate) struct AdmissionGate {
+    depth: usize,
+    in_flight: AtomicUsize,
+}
+
+/// An admitted request's slot(s); releasing is dropping.
+#[derive(Debug)]
+pub(crate) struct Permit<'a> {
+    gate: &'a AdmissionGate,
+    slots: usize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `depth` concurrent queries (`0` =
+    /// unlimited).
+    pub(crate) fn new(depth: usize) -> Self {
+        AdmissionGate {
+            depth,
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Admits `slots` queries or fails with the observed occupancy.
+    pub(crate) fn try_acquire(&self, slots: usize) -> Result<Permit<'_>, ServiceError> {
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if self.depth > 0 && current + slots > self.depth {
+                return Err(ServiceError::Overloaded {
+                    in_flight: current,
+                    queue_depth: self.depth,
+                });
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + slots,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(Permit { gate: self, slots }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(self.slots, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile_upper_micros(99), 0, "empty");
+        h.record(0);
+        h.record(1); // bucket 0: [0, 2)
+        h.record(3); // bucket 1: [2, 4)
+        h.record(1000); // bucket 9: [512, 1024)
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.percentile_upper_micros(50), 2, "rank 2 in bucket 0");
+        assert_eq!(h.percentile_upper_micros(100), 1024);
+        // A latency beyond the last bucket lands in the catch-all.
+        h.record(u128::MAX);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+        let json = h.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches(',').count(), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn plan_histograms_round_trip_plan_kinds() {
+        let mut p = PlanHistograms::default();
+        for i in 0..4 {
+            assert_eq!(PlanHistograms::index_of(PlanHistograms::kind_of(i)), i);
+        }
+        p.record(PlanKind::Approx, 100);
+        p.record(PlanKind::Exact, 5);
+        assert_eq!(p.of(PlanKind::Approx).count(), 1);
+        assert_eq!(p.combined().count(), 2);
+        let json = p.to_json();
+        assert!(json.contains("\"approx\":["));
+        assert!(json.contains("\"exact\":["));
+    }
+
+    #[test]
+    fn gate_sheds_beyond_depth_and_releases_on_drop() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_acquire(1).expect("slot 1");
+        let _b = gate.try_acquire(1).expect("slot 2");
+        let shed = gate.try_acquire(1).unwrap_err();
+        assert_eq!(
+            shed,
+            ServiceError::Overloaded {
+                in_flight: 2,
+                queue_depth: 2
+            }
+        );
+        drop(a);
+        let _c = gate.try_acquire(1).expect("slot freed");
+        // Multi-slot (batch) admission is all-or-nothing.
+        assert!(gate.try_acquire(2).is_err());
+        // Unlimited gate never sheds.
+        let open = AdmissionGate::new(0);
+        let _many = open.try_acquire(10_000).expect("unlimited");
+    }
+}

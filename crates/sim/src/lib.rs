@@ -12,7 +12,7 @@
 //!   degree-based, HITS-based, PageRank-based);
 //! * [`hits`] — hubs & authorities (Kleinberg), for weights and skeleton
 //!   node selection;
-//! * [`pagerank`] — damped PageRank, the other standard Web importance
+//! * [`mod@pagerank`] — damped PageRank, the other standard Web importance
 //!   score, for weights and skeleton selection.
 
 #![forbid(unsafe_code)]

@@ -1,4 +1,4 @@
-//! MinHash sketches for shingle resemblance (Broder [8] — the same paper
+//! MinHash sketches for shingle resemblance (Broder \[8\] — the same paper
 //! the shingling of §3.1 comes from introduced min-wise hashing).
 //!
 //! Computing exact Jaccard between all `|V1| × |V2|` page pairs is the

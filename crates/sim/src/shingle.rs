@@ -1,4 +1,4 @@
-//! w-shingling and Jaccard resemblance (Broder et al. [8]) — the textual
+//! w-shingling and Jaccard resemblance (Broder et al. \[8\]) — the textual
 //! node-similarity measure the paper uses for Web pages: `mat(v, u)` is the
 //! shingle resemblance of the pages' contents (§3.1, §6).
 

@@ -40,7 +40,7 @@ impl NodeWeights {
 
     /// HITS-based weights: `1 + hub(v) + authority(v)`, normalized scores
     /// from [`hits_scores`]. Captures the "hub or authority" importance
-    /// notion of §3.3 / Blondel et al. [6].
+    /// notion of §3.3 / Blondel et al. \[6\].
     pub fn by_hits<L>(g: &DiGraph<L>, iterations: usize) -> Self {
         let scores = hits_scores(g, iterations);
         Self {

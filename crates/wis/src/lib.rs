@@ -4,7 +4,7 @@
 //! approximation framework of *Graph Homomorphism Revisited for Graph
 //! Matching* (Fan et al., VLDB 2010):
 //!
-//! * [`ramsey`] — the `Ramsey` procedure of Boppana–Halldórsson \[7\]
+//! * [`mod@ramsey`] — the `Ramsey` procedure of Boppana–Halldórsson \[7\]
 //!   (paper Fig. 9), returning a clique and an independent set at once;
 //! * [`clique_removal`] / [`is_removal`] — the `O(log² n / n)`
 //!   approximations for maximum independent set / maximum clique that the

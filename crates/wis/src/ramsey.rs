@@ -1,4 +1,4 @@
-//! The `Ramsey` procedure of Boppana–Halldórsson [7] (paper Fig. 9):
+//! The `Ramsey` procedure of Boppana–Halldórsson \[7\] (paper Fig. 9):
 //! simultaneously grows a clique and an independent set by recursing on the
 //! neighbors and non-neighbors of a pivot vertex.
 //!

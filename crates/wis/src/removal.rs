@@ -1,5 +1,5 @@
 //! `CliqueRemoval` and its dual `ISRemoval` (paper Fig. 9, after
-//! Boppana–Halldórsson [7]).
+//! Boppana–Halldórsson \[7\]).
 //!
 //! * `CliqueRemoval` approximates a **maximum independent set** within
 //!   `O(log² n / n)`: run `Ramsey`, remove the returned clique, repeat;

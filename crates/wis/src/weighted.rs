@@ -1,4 +1,4 @@
-//! Weighted maximum independent set after Halldórsson [16] — the algorithm
+//! Weighted maximum independent set after Halldórsson \[16\] — the algorithm
 //! `compMaxSim` borrows its weight-grouping trick from (paper §5):
 //!
 //! 1. drop vertices with weight `< W/n` (they cannot matter much),

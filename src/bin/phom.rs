@@ -8,13 +8,23 @@
 //! phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]
 //! phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]
 //!               [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]
-//!               [--closure-backend dense|chain|auto] [--arrivals open:<rate>]
+//!               [--closure-backend dense|chain|auto]
+//!               [--arrivals open:<rate>|poisson:<rate>] [--queue-depth D]
 //!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
 //! phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]
 //!               [--nodes M] [--noise P] [--seed S]
 //!               [--closure-backend dense|chain|auto]
 //!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
+//! phom serve-sim [--graphs G] [--parts K] [--nodes M] [--queries N]
+//!               [--update-ratio R] [--queue-depth D] [--threads T]
+//!               [--arrivals open:<rate>|poisson:<rate>] [--seed S] [--xi F]
+//!               [--timeout-micros U] [--stats-json PATH]
 //! ```
+//!
+//! `engine-batch` and `engine-live` run through the service layer
+//! (`phom_service::Service`) with sharding disabled; `serve-sim` stands
+//! up a multi-graph registry with WCC sharding and admission control and
+//! replays an open-loop request mix against it.
 //!
 //! Graph files use the text format of `phom_graph::serialize`
 //! (`node <id> <label>` / `edge <from> <to>` lines; `#` comments).
@@ -47,13 +57,18 @@ fn main() -> ExitCode {
              phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]\n\
              \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]\n\
              \x20                           [--closure-backend dense|chain|auto]\n\
-             \x20                           [--arrivals open:<rate>] [--timeout-micros U]\n\
+             \x20                           [--arrivals open:<rate>|poisson:<rate>]\n\
+             \x20                           [--queue-depth D] [--timeout-micros U]\n\
              \x20                           [--intra-workers W] [--stats-json PATH]\n\
              phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]\n\
              \x20                           [--nodes M] [--noise P] [--seed S]\n\
              \x20                           [--closure-backend dense|chain|auto]\n\
              \x20                           [--timeout-micros U] [--intra-workers W]\n\
-             \x20                           [--stats-json PATH]"
+             \x20                           [--stats-json PATH]\n\
+             phom serve-sim [--graphs G] [--parts K] [--nodes M] [--queries N]\n\
+             \x20                           [--update-ratio R] [--queue-depth D] [--threads T]\n\
+             \x20                           [--arrivals open:<rate>|poisson:<rate>] [--seed S]\n\
+             \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]"
         );
         return ExitCode::SUCCESS;
     }
@@ -65,6 +80,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "engine-batch" => cmd_engine_batch(&args[1..]),
         "engine-live" => cmd_engine_live(&args[1..]),
+        "serve-sim" => cmd_serve_sim(&args[1..]),
         other => fail(&format!("unknown command {other:?}")),
     }
 }
@@ -90,13 +106,70 @@ struct Flags {
     update_ratio: f64,
     stats_json: Option<String>,
     closure_backend: ClosureBackend,
-    /// Open-loop arrival rate in queries/second (`--arrivals open:<rate>`).
-    arrival_rate: Option<f64>,
+    /// Open-loop arrival schedule (`--arrivals open:<rate>` fixed
+    /// inter-arrival times, `poisson:<rate>` exponential ones).
+    arrivals: Option<Arrivals>,
     /// Per-query deadline in microseconds (`--timeout-micros`).
     timeout_micros: Option<u64>,
     /// Intra-query per-component workers (`--intra-workers`; 0 = all cores).
     intra_workers: usize,
+    /// Admission-control queue depth (`--queue-depth`; 0 = unlimited).
+    queue_depth: usize,
+    /// Graphs to register in `serve-sim` (`--graphs`).
+    graphs: usize,
+    /// Disjoint parts (= WCCs) per `serve-sim` data graph (`--parts`).
+    parts: usize,
     files: Vec<String>,
+}
+
+/// Open-loop arrival discipline: query `i`'s scheduled instant.
+#[derive(Debug, Clone, Copy)]
+enum Arrivals {
+    /// Fixed inter-arrival times: query `i` at `i/rate` seconds.
+    Open(f64),
+    /// Poisson process: exponential inter-arrival times with mean
+    /// `1/rate`, drawn from the seeded shim RNG.
+    Poisson(f64),
+}
+
+impl Arrivals {
+    fn rate(self) -> f64 {
+        match self {
+            Arrivals::Open(r) | Arrivals::Poisson(r) => r,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Arrivals::Open(_) => "open",
+            Arrivals::Poisson(_) => "poisson",
+        }
+    }
+
+    /// The scheduled arrival instant of each of `n` queries, as offsets
+    /// from the replay start.
+    fn schedule(self, n: usize, seed: u64) -> Vec<std::time::Duration> {
+        match self {
+            Arrivals::Open(rate) => (0..n)
+                .map(|i| std::time::Duration::from_secs_f64(i as f64 / rate))
+                .collect(),
+            Arrivals::Poisson(rate) => {
+                use rand::{rngs::SmallRng, RngCore, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x7069_6f73); // "pois"
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        let at = t;
+                        // Inverse-CDF exponential draw; the shift keeps
+                        // ln's argument strictly positive.
+                        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        t += -(1.0 - unit).ln() / rate;
+                        std::time::Duration::from_secs_f64(at)
+                    })
+                    .collect()
+            }
+        }
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -121,9 +194,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         update_ratio: 0.2,
         stats_json: None,
         closure_backend: ClosureBackend::Auto,
-        arrival_rate: None,
+        arrivals: None,
         timeout_micros: None,
         intra_workers: 1,
+        queue_depth: 0,
+        graphs: 2,
+        parts: 4,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -240,13 +316,40 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .ok_or("--intra-workers needs a worker count (0 = all cores)")?;
             }
             "--arrivals" => {
-                let spec = it.next().ok_or("--arrivals needs open:<rate>")?;
-                let rate = spec
-                    .strip_prefix("open:")
-                    .and_then(|r| r.parse::<f64>().ok())
-                    .filter(|r| *r > 0.0 && r.is_finite())
-                    .ok_or("--arrivals needs open:<rate> with rate > 0 (queries/sec)")?;
-                f.arrival_rate = Some(rate);
+                let spec = it
+                    .next()
+                    .ok_or("--arrivals needs open:<rate> or poisson:<rate>")?;
+                let parse_rate =
+                    |r: &str| r.parse::<f64>().ok().filter(|r| *r > 0.0 && r.is_finite());
+                f.arrivals = Some(if let Some(r) = spec.strip_prefix("open:") {
+                    Arrivals::Open(parse_rate(r).ok_or("--arrivals open:<rate> needs rate > 0")?)
+                } else if let Some(r) = spec.strip_prefix("poisson:") {
+                    Arrivals::Poisson(
+                        parse_rate(r).ok_or("--arrivals poisson:<rate> needs rate > 0")?,
+                    )
+                } else {
+                    return Err("--arrivals needs open:<rate> or poisson:<rate>".into());
+                });
+            }
+            "--queue-depth" => {
+                f.queue_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--queue-depth needs a count (0 = unlimited)")?;
+            }
+            "--graphs" => {
+                f.graphs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&g: &usize| g > 0)
+                    .ok_or("--graphs needs a positive count")?;
+            }
+            "--parts" => {
+                f.parts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&p: &usize| p > 0)
+                    .ok_or("--parts needs a positive count")?;
             }
             "--cold" => f.cold = true,
             "--one-to-one" => f.one_to_one = true,
@@ -607,76 +710,113 @@ fn mixed_query<L>(
     q
 }
 
-/// The engine-side planner knobs shared by `engine-batch`/`engine-live`:
-/// closure backend, per-query deadline, intra-query workers.
+/// The engine-side planner knobs shared by `engine-batch`/`engine-live`/
+/// `serve-sim`: closure backend, per-query deadline, intra-query workers
+/// — built through the one shared config path.
 fn planner_config(f: &Flags) -> PlannerConfig {
-    PlannerConfig {
-        closure_backend: f.closure_backend,
-        timeout: f.timeout_micros.map(std::time::Duration::from_micros),
-        intra_query_workers: f.intra_workers,
-        ..Default::default()
+    PlannerConfig::builder()
+        .closure_backend(f.closure_backend)
+        .timeout_opt(f.timeout_micros.map(std::time::Duration::from_micros))
+        .intra_query_workers(f.intra_workers)
+        .build()
+}
+
+/// The service configuration the CLI subcommands share. `engine-batch`
+/// and `engine-live` disable sharding (one graph, one shard — the
+/// engine-parity path); `serve-sim` turns it on.
+fn service_config(f: &Flags, sharding: ShardingConfig) -> ServiceConfig {
+    ServiceConfig::builder()
+        .engine(
+            EngineConfig::builder()
+                .cache_capacity(8.max(f.graphs * f.parts))
+                .threads(f.threads)
+                .planner(planner_config(f))
+                .build(),
+        )
+        .sharding(sharding)
+        .queue_depth(f.queue_depth)
+        .build()
+}
+
+/// Converts a service [`GraphInfo`] into the `PrepareStats` shape the
+/// `--stats-json` schema has always exported under `"prepare"`.
+fn prepare_stats_of(info: &GraphInfo) -> phom::engine::PrepareStats {
+    phom::engine::PrepareStats {
+        nodes: info.nodes,
+        edges: info.edges,
+        scc_count: info.scc_count,
+        closure_edges: info.closure_edges,
+        closure_backend: info.closure_backend.clone(),
+        closure_memory_bytes: info.closure_memory_bytes,
+        compressed_nodes: info.compressed_nodes,
+        prepare_micros: info.prepare_micros,
     }
 }
 
-fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
+fn print_graph_info(info: &GraphInfo) {
+    println!(
+        "data graph: {} nodes, {} edges, {} SCCs, |E+| = {} \
+         [{} backend, {:.1} KiB]{}{}",
+        info.nodes,
+        info.edges,
+        info.scc_count,
+        info.closure_edges,
+        info.closure_backend,
+        info.closure_memory_bytes as f64 / 1024.0,
+        match info.compressed_nodes {
+            Some(c) => format!(", compressed to {c} nodes"),
+            None => String::new(),
+        },
+        if info.shards > 1 {
+            format!(", {} WCC shards", info.shards)
+        } else {
+            String::new()
+        }
+    );
+}
+
+fn run_engine_batch<L: ServiceLabel>(
     data: &std::sync::Arc<DiGraph<L>>,
     queries: Vec<Query<L>>,
     f: &Flags,
 ) -> ExitCode {
-    let engine: Engine<L> = Engine::new(EngineConfig {
-        cache_capacity: 8,
-        threads: f.threads,
-        planner: planner_config(f),
-        ..Default::default()
-    });
-    if let Some(rate) = f.arrival_rate {
+    let service: Service<L> = Service::new(service_config(f, ShardingConfig::disabled()));
+    if let Err(e) = service.register("batch".into(), std::sync::Arc::clone(data)) {
+        return fail(&e.to_string());
+    }
+    if let Some(arrivals) = f.arrivals {
         if f.cold {
             return fail("--cold does not combine with --arrivals (open-loop replay has no closed-loop twin)");
         }
-        return run_open_loop(&engine, data, &queries, rate, f);
+        return run_open_loop(&service, "batch", &queries, arrivals, f);
     }
     let started = std::time::Instant::now();
-    let batch = engine.execute_batch(data, &queries);
+    let responses = match service.query_batch("batch", &queries) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
     let elapsed = started.elapsed();
-    let stats = &batch.stats;
+    let stats = service.engine_stats();
 
-    let prep = engine.prepare(data); // cache hit: reuse for reporting
-    let pstats = prep.stats();
-    println!(
-        "data graph: {} nodes, {} edges, {} SCCs, |E+| = {} \
-         [{} backend, {:.1} KiB]{}",
-        pstats.nodes,
-        pstats.edges,
-        pstats.scc_count,
-        pstats.closure_edges,
-        pstats.closure_backend,
-        pstats.closure_memory_bytes as f64 / 1024.0,
-        match pstats.compressed_nodes {
-            Some(c) => format!(", compressed to {c} nodes"),
-            None => String::new(),
-        }
-    );
+    let info = service.graph_info("batch").expect("registered above");
+    print_graph_info(&info);
     println!(
         "prepared once in {:.2} ms; closure computations: {} (cache hits {})",
-        pstats.prepare_micros as f64 / 1e3,
+        info.prepare_micros as f64 / 1e3,
         stats.prepares,
         stats.cache_hits,
     );
     println!(
         "batch: {} queries in {:.2} ms ({:.3} ms/query), workers = {}, peak parallelism = {}",
-        batch.results.len(),
+        responses.len(),
         elapsed.as_secs_f64() * 1e3,
-        elapsed.as_secs_f64() * 1e3 / batch.results.len().max(1) as f64,
+        elapsed.as_secs_f64() * 1e3 / responses.len().max(1) as f64,
         stats.last_batch_workers,
         stats.last_batch_peak_parallel,
     );
     println!(
-        "plans: approx = {}, exact = {}, bounded = {} (bounded closures built: {}), baseline = {}",
-        stats.approx_plans,
-        stats.exact_plans,
-        stats.bounded_plans,
-        prep.bounded_closures_computed(),
-        stats.baseline_plans,
+        "plans: approx = {}, exact = {}, bounded = {}, baseline = {}",
+        stats.approx_plans, stats.exact_plans, stats.bounded_plans, stats.baseline_plans,
     );
     if f.intra_workers != 1 || f.timeout_micros.is_some() {
         println!(
@@ -691,13 +831,9 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
             stats.intra_parallel_components,
         );
     }
-    if !batch.results.is_empty() {
-        let mean_card: f64 = batch
-            .results
-            .iter()
-            .map(|r| r.outcome.qual_card)
-            .sum::<f64>()
-            / batch.results.len() as f64;
+    if !responses.is_empty() {
+        let mean_card: f64 =
+            responses.iter().map(|r| r.qual_card).sum::<f64>() / responses.len() as f64;
         println!("mean qualCard = {mean_card:.4}");
         println!(
             "query latency: p50 = {} us, p95 = {} us, p99 = {} us",
@@ -718,7 +854,7 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
                     if i >= queries.len() {
                         break;
                     }
-                    let (q, r) = (&queries[i], &batch.results[i]);
+                    let (q, r) = (&queries[i], &responses[i]);
                     let weights = q.effective_weights();
                     let cfg = MatcherConfig {
                         algorithm: q.config.algorithm,
@@ -739,28 +875,36 @@ fn run_engine_batch<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
             cold.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
         );
     }
-    if let Err(e) = write_stats_json(f, &engine.stats(), pstats, None) {
+    if let Err(e) = write_stats_json(
+        f,
+        &service.engine_stats(),
+        &prepare_stats_of(&info),
+        None,
+        Some(&service.stats()),
+    ) {
         return fail(&e);
     }
     ExitCode::SUCCESS
 }
 
-/// Open-loop replay (`--arrivals open:<rate>`): queries arrive on a fixed
-/// schedule — query `i` at `i/rate` seconds — independent of completions,
-/// the load-generation discipline that exposes queueing delay instead of
-/// hiding it (closed-loop batches only ever measure service time). A
-/// bounded worker pool claims queries in arrival order, sleeping until
-/// each one's scheduled instant; reported **response** latency is
-/// completion minus scheduled arrival, so a saturated engine shows its
-/// tail honestly in p95/p99.
-fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
-    engine: &Engine<L>,
-    data: &std::sync::Arc<DiGraph<L>>,
+/// Open-loop replay (`--arrivals open:<rate>` / `poisson:<rate>`):
+/// queries arrive on a precomputed schedule — fixed or exponential
+/// inter-arrival times — independent of completions, the load-generation
+/// discipline that exposes queueing delay instead of hiding it
+/// (closed-loop batches only ever measure service time). A bounded worker
+/// pool claims queries in arrival order, sleeping until each one's
+/// scheduled instant; reported **response** latency is completion minus
+/// scheduled arrival, so a saturated service shows its tail honestly in
+/// p95/p99, and with a bounded `--queue-depth` the shed count shows what
+/// admission control refused outright.
+fn run_open_loop<L: ServiceLabel>(
+    service: &Service<L>,
+    graph: &str,
     queries: &[Query<L>],
-    rate: f64,
+    arrivals: Arrivals,
     f: &Flags,
 ) -> ExitCode {
-    let prepared = engine.prepare(data);
+    let schedule = arrivals.schedule(queries.len(), f.seed);
     let workers = if f.threads > 0 {
         f.threads
     } else {
@@ -773,6 +917,7 @@ fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
     // (service, response) latency pairs in microseconds.
     let latencies: std::sync::Mutex<Vec<(u128, u128)>> =
         std::sync::Mutex::new(Vec::with_capacity(queries.len()));
+    let shed = std::sync::atomic::AtomicUsize::new(0);
     let card_sum = std::sync::Mutex::new(0.0f64);
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -781,43 +926,46 @@ fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
                 if i >= queries.len() {
                     break;
                 }
-                let sched = std::time::Duration::from_secs_f64(i as f64 / rate);
+                let sched = schedule[i];
                 let now = start.elapsed();
                 if now < sched {
                     std::thread::sleep(sched - now);
                 }
-                let r = engine.execute(&prepared, &queries[i]);
-                let response = start.elapsed().saturating_sub(sched).as_micros();
-                latencies
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((r.micros, response));
-                *card_sum.lock().unwrap_or_else(|e| e.into_inner()) += r.outcome.qual_card;
+                match service.query(graph, &queries[i]) {
+                    Ok(r) => {
+                        let response = start.elapsed().saturating_sub(sched).as_micros();
+                        latencies
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((r.micros, response));
+                        *card_sum.lock().unwrap_or_else(|e| e.into_inner()) += r.qual_card;
+                    }
+                    Err(ServiceError::Overloaded { .. }) => {
+                        shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    Err(e) => eprintln!("query {i}: {e}"),
+                }
             });
         }
     });
     let elapsed = start.elapsed();
     let pairs = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
-    let mut service: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
+    let mut service_lat: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
     let mut response: Vec<u128> = pairs.iter().map(|&(_, r)| r).collect();
-    service.sort_unstable();
+    service_lat.sort_unstable();
     response.sort_unstable();
 
-    let pstats = prepared.stats();
+    let info = service.graph_info(graph).expect("registered by caller");
+    print_graph_info(&info);
+    let rate = arrivals.rate();
     println!(
-        "data graph: {} nodes, {} edges, |E+| = {} [{} backend, {:.1} KiB]",
-        pstats.nodes,
-        pstats.edges,
-        pstats.closure_edges,
-        pstats.closure_backend,
-        pstats.closure_memory_bytes as f64 / 1024.0,
-    );
-    println!(
-        "open-loop replay: {} queries at {rate:.1} q/s over {:.2} ms \
-         ({workers} workers, achieved {:.1} q/s)",
+        "open-loop replay ({} arrivals): {} queries at {rate:.1} q/s over {:.2} ms \
+         ({workers} workers, achieved {:.1} q/s, shed {})",
+        arrivals.name(),
         queries.len(),
         elapsed.as_secs_f64() * 1e3,
-        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        pairs.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        shed.load(std::sync::atomic::Ordering::Relaxed),
     );
     println!(
         "response latency (arrival to completion): p50 = {} us, p95 = {} us, p99 = {} us",
@@ -827,9 +975,9 @@ fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
     );
     println!(
         "service latency (execution only):         p50 = {} us, p95 = {} us, p99 = {} us",
-        percentile_micros(&service, 50),
-        percentile_micros(&service, 95),
-        percentile_micros(&service, 99),
+        percentile_micros(&service_lat, 50),
+        percentile_micros(&service_lat, 95),
+        percentile_micros(&service_lat, 99),
     );
     if !pairs.is_empty() {
         println!(
@@ -841,35 +989,44 @@ fn run_open_loop<L: Clone + Send + Sync + std::hash::Hash + PartialEq>(
     // documented meaning), response percentiles in the dedicated
     // `response_p*` fields — the field names must not lie about which
     // latency they carry.
-    let mut stats = engine.stats();
-    stats.last_batch_p50_micros = percentile_micros(&service, 50);
-    stats.last_batch_p95_micros = percentile_micros(&service, 95);
-    stats.last_batch_p99_micros = percentile_micros(&service, 99);
+    let mut stats = service.engine_stats();
+    stats.last_batch_p50_micros = percentile_micros(&service_lat, 50);
+    stats.last_batch_p95_micros = percentile_micros(&service_lat, 95);
+    stats.last_batch_p99_micros = percentile_micros(&service_lat, 99);
     stats.response_p50_micros = percentile_micros(&response, 50);
     stats.response_p95_micros = percentile_micros(&response, 95);
     stats.response_p99_micros = percentile_micros(&response, 99);
-    if let Err(e) = write_stats_json(f, &stats, pstats, None) {
+    if let Err(e) = write_stats_json(
+        f,
+        &stats,
+        &prepare_stats_of(&info),
+        None,
+        Some(&service.stats()),
+    ) {
         return fail(&e);
     }
     ExitCode::SUCCESS
 }
 
-/// Writes the `--stats-json` export (engine counters + preparation stats
-/// + live-update stats when present) if the flag was given.
+/// Writes the `--stats-json` export (engine counters, preparation stats,
+/// live-update stats, and service counters when present) if the flag was
+/// given.
 fn write_stats_json(
     f: &Flags,
     engine: &EngineStats,
     prepare: &phom::engine::PrepareStats,
     updates: Option<&UpdateStats>,
+    service: Option<&ServiceStats>,
 ) -> Result<(), String> {
     let Some(path) = &f.stats_json else {
         return Ok(());
     };
     let json = format!(
-        "{{\"engine\":{},\"prepare\":{},\"updates\":{}}}\n",
+        "{{\"engine\":{},\"prepare\":{},\"updates\":{},\"service\":{}}}\n",
         engine.to_json(),
         prepare.to_json(),
         updates.map_or("null".to_owned(), UpdateStats::to_json),
+        service.map_or("null".to_owned(), ServiceStats::to_json),
     );
     std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("stats JSON written to {path}");
@@ -877,11 +1034,12 @@ fn write_stats_json(
 }
 
 /// `phom engine-live`: replays an interleaved stream of edge updates and
-/// pattern queries against one evolving synthetic data graph. Each update
-/// goes through `Engine::apply_updates` (semi-dynamic closure maintenance
-/// plus cache re-keying); each query runs against the current prepared
-/// version. Reports the incremental/rebuild split and compares the mean
-/// apply cost against one full re-prepare of the final graph.
+/// pattern queries against one evolving registered graph. Each update
+/// goes through the service's `ApplyUpdates` path (owning-shard routing,
+/// semi-dynamic closure maintenance, cache re-keying); each query runs
+/// against the current registered version. Reports the
+/// incremental/rebuild split and compares the mean apply cost against one
+/// full re-prepare of the final graph.
 fn cmd_engine_live(args: &[String]) -> ExitCode {
     let f = match parse_flags(args) {
         Ok(f) => f,
@@ -913,12 +1071,11 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
         })
         .collect();
 
-    let engine: Engine<phom::workloads::synthetic::Label> = Engine::new(EngineConfig {
-        cache_capacity: 8,
-        threads: f.threads,
-        planner: planner_config(&f),
-        ..Default::default()
-    });
+    let service: Service<phom::workloads::synthetic::Label> =
+        Service::new(service_config(&f, ShardingConfig::disabled()));
+    if let Err(e) = service.register("live".into(), std::sync::Arc::clone(&data)) {
+        return fail(&e.to_string());
+    }
     let mut rng = phom::graph::XorShift64::new(f.seed ^ 0x6c69_7665); // "live"
     let mut agg = UpdateStats::default();
     let (mut queries_run, mut updates_run) = (0usize, 0usize);
@@ -934,9 +1091,11 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
             } else {
                 phom::dynamic::GraphUpdate::InsertEdge(a, b)
             };
-            let outcome = engine.apply_updates(&data, &[update]);
-            agg.absorb(&outcome.stats);
-            data = std::sync::Arc::clone(outcome.prepared.graph());
+            match service.apply_updates("live", &[update]) {
+                Ok(summary) => agg.absorb(&summary.stats),
+                Err(e) => return fail(&e.to_string()),
+            }
+            data = service.graph("live").expect("registered");
             updates_run += 1;
         } else {
             let pattern = std::sync::Arc::clone(&windows[i % windows.len()]);
@@ -944,10 +1103,13 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
                 inst.pool.similarity(*pattern.label(v), *data.label(u))
             });
             let q = mixed_query(pattern, mat, f.xi, i);
-            let prepared = engine.prepare(&data);
-            let r = engine.execute(&prepared, &q);
-            query_micros += r.micros;
-            card_sum += r.outcome.qual_card;
+            match service.query("live", &q) {
+                Ok(r) => {
+                    query_micros += r.micros;
+                    card_sum += r.qual_card;
+                }
+                Err(e) => return fail(&e.to_string()),
+            }
             queries_run += 1;
         }
     }
@@ -956,14 +1118,13 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
     // The number the subsystem exists to beat: one full re-prepare of the
     // final graph, i.e. what every single-edge update used to cost.
     let reprep_start = std::time::Instant::now();
-    let full = PreparedGraph::with_backend(
+    let full = PreparedGraph::prepare(
         std::sync::Arc::clone(&data),
-        f.closure_backend,
-        DEFAULT_CHAIN_NODE_THRESHOLD,
+        PrepareOptions::from_planner(&planner_config(&f)),
     );
     let reprep = reprep_start.elapsed();
 
-    let stats = engine.stats();
+    let stats = service.engine_stats();
     println!(
         "final graph: {} nodes, {} edges, {} SCCs, |E+| = {}",
         full.stats().nodes,
@@ -1010,8 +1171,260 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
             stats.cache_hits,
         );
     }
-    if let Err(e) = write_stats_json(&f, &stats, full.stats(), Some(&agg)) {
+    if let Err(e) = write_stats_json(&f, &stats, full.stats(), Some(&agg), Some(&service.stats())) {
         return fail(&e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `phom serve-sim`: stands up the full service stack — a multi-graph
+/// registry whose data graphs each split into WCC shards, a bounded
+/// admission queue — and replays an open-loop mix of queries and edge
+/// updates against it, reporting shed counts, per-plan latency
+/// percentiles, and cache behavior. The workload: each registered graph
+/// is a disjoint union of `--parts` synthetic instances (each part one
+/// weakly connected component, so the registry actually shards), queries
+/// are sliding-window patterns routed by candidate labels, updates flip
+/// random intra-part edges.
+fn cmd_serve_sim(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if !f.files.is_empty() {
+        return fail("serve-sim takes no file arguments");
+    }
+    if !(0.0..=1.0).contains(&f.update_ratio) {
+        return fail("--update-ratio must be in [0,1]");
+    }
+    let arrivals = f.arrivals.unwrap_or(Arrivals::Poisson(400.0));
+    let service: Service<phom::workloads::synthetic::Label> = Service::new(service_config(
+        &f,
+        ShardingConfig {
+            max_shards: f.parts,
+            min_shard_nodes: 2,
+        },
+    ));
+
+    // Each graph: `--parts` disjoint copies of one synthetic instance
+    // (distinct per graph via the seed), so every part is a WCC and the
+    // label pool is shared across parts — a query's candidates appear in
+    // every shard, exercising multi-shard routing and merging.
+    let mut instances = Vec::with_capacity(f.graphs);
+    let part_nodes = f.nodes.max(4);
+    for g in 0..f.graphs {
+        let cfg = SyntheticConfig {
+            m: part_nodes,
+            noise: f.noise,
+            seed: f.seed.wrapping_add(g as u64),
+        };
+        let inst = phom::workloads::generate_instance(&cfg, 1);
+        let mut union: DiGraph<phom::workloads::synthetic::Label> =
+            DiGraph::with_capacity(part_nodes * f.parts);
+        for _ in 0..f.parts {
+            let offset = union.node_count();
+            for v in inst.g2.nodes() {
+                union.add_node(*inst.g2.label(v));
+            }
+            for (a, b) in inst.g2.edges() {
+                union.add_edge(
+                    NodeId((a.index() + offset) as u32),
+                    NodeId((b.index() + offset) as u32),
+                );
+            }
+        }
+        let name = format!("g{g}");
+        match service.register(name.clone(), std::sync::Arc::new(union)) {
+            Ok(info) => {
+                println!(
+                    "registered {name}: {} nodes, {} edges, {} shards {:?} [{} backend, compression {}]",
+                    info.nodes, info.edges, info.shards, info.shard_nodes,
+                    info.closure_backend, info.compression,
+                );
+            }
+            Err(e) => return fail(&e.to_string()),
+        }
+        instances.push(inst);
+    }
+
+    // Sliding-window patterns per graph (as engine-batch), with matrices
+    // against the full union — label-stable under edge updates, so they
+    // are precomputed once.
+    let pattern_nodes = (part_nodes / 5).clamp(4, 40).min(part_nodes);
+    let mut queries: Vec<(String, Query<phom::workloads::synthetic::Label>)> = Vec::new();
+    for (g, inst) in instances.iter().enumerate() {
+        let name = format!("g{g}");
+        let data = service.graph(&name).expect("registered");
+        for w in 0..4 {
+            let lo = (w * part_nodes / 4).min(part_nodes - pattern_nodes);
+            let keep: std::collections::BTreeSet<NodeId> =
+                (lo..lo + pattern_nodes).map(|i| NodeId(i as u32)).collect();
+            let pattern = std::sync::Arc::new(inst.g1.induced_subgraph(&keep).0);
+            let mat = SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
+                inst.pool.similarity(*pattern.label(v), *data.label(u))
+            });
+            queries.push((name.clone(), Query::new(pattern, mat)));
+        }
+    }
+
+    let ops = f.queries;
+    let schedule = arrivals.schedule(ops, f.seed);
+    let workers = if f.threads > 0 {
+        f.threads
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+    .min(ops)
+    .max(1);
+    let update_every = if f.update_ratio > 0.0 {
+        (1.0 / f.update_ratio).round().max(1.0) as usize
+    } else {
+        usize::MAX
+    };
+    let start = std::time::Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let latencies: std::sync::Mutex<Vec<(u128, u128)>> =
+        std::sync::Mutex::new(Vec::with_capacity(ops));
+    let shed = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for worker in 0..workers {
+            let queries = &queries;
+            let schedule = &schedule;
+            let service = &service;
+            let latencies = &latencies;
+            let shed = &shed;
+            let next = &next;
+            let f = &f;
+            s.spawn(move || {
+                let mut rng = phom::graph::XorShift64::new(f.seed ^ ((worker as u64 + 1) * 0x9e37));
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= ops {
+                        break;
+                    }
+                    let sched = schedule[i];
+                    let now = start.elapsed();
+                    if now < sched {
+                        std::thread::sleep(sched - now);
+                    }
+                    let graph_name = format!("g{}", i % f.graphs);
+                    if update_every != usize::MAX && i % update_every == update_every - 1 {
+                        // Edge flip inside one part of the target graph
+                        // (intra-shard, routed to its owning shard).
+                        let data = service.graph(&graph_name).expect("registered");
+                        let n = data.node_count();
+                        let part = n / f.parts.max(1);
+                        let base = rng.below(f.parts.max(1)) * part;
+                        let a = NodeId((base + rng.below(part.max(1))) as u32);
+                        let b = NodeId((base + rng.below(part.max(1))) as u32);
+                        let update = if data.has_edge(a, b) {
+                            phom::dynamic::GraphUpdate::RemoveEdge(a, b)
+                        } else {
+                            phom::dynamic::GraphUpdate::InsertEdge(a, b)
+                        };
+                        if let Err(e) = service.handle(Request::ApplyUpdates {
+                            graph: graph_name,
+                            updates: vec![update],
+                        }) {
+                            eprintln!("update {i}: {e}");
+                        }
+                    } else {
+                        let (name, q) = &queries[i % queries.len()];
+                        match service.handle(Request::Query {
+                            graph: name.clone(),
+                            query: q.clone(),
+                        }) {
+                            Ok(Response::Answer(r)) => {
+                                let response = start.elapsed().saturating_sub(sched).as_micros();
+                                latencies
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push((r.micros, response));
+                            }
+                            Ok(_) => unreachable!("query returns Answer"),
+                            Err(ServiceError::Overloaded { .. }) => {
+                                shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(e) => eprintln!("query {i}: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let pairs = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut service_lat: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
+    let mut response: Vec<u128> = pairs.iter().map(|&(_, r)| r).collect();
+    service_lat.sort_unstable();
+    response.sort_unstable();
+
+    let stats = service.stats();
+    println!(
+        "serve-sim: {} ops at {:.1} op/s ({} arrivals) over {:.2} ms, {workers} submitters",
+        ops,
+        arrivals.rate(),
+        arrivals.name(),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    println!(
+        "admission: {} admitted, {} shed (queue depth {}), {} update batches, {} reshards",
+        stats.queries_admitted,
+        stats.queries_shed,
+        if f.queue_depth == 0 {
+            "unlimited".to_owned()
+        } else {
+            f.queue_depth.to_string()
+        },
+        stats.update_batches,
+        stats.reshards,
+    );
+    println!(
+        "response latency: p50 = {} us, p95 = {} us, p99 = {} us",
+        percentile_micros(&response, 50),
+        percentile_micros(&response, 95),
+        percentile_micros(&response, 99),
+    );
+    println!(
+        "service latency:  p50 = {} us, p95 = {} us, p99 = {} us",
+        percentile_micros(&service_lat, 50),
+        percentile_micros(&service_lat, 95),
+        percentile_micros(&service_lat, 99),
+    );
+    let hist = &stats.plan_histograms;
+    println!(
+        "per-plan p99 (histogram upper bound): exact = {} us ({}), approx = {} us ({}), \
+         bounded = {} us ({}), baseline = {} us ({})",
+        hist.of(PlanKind::Exact).percentile_upper_micros(99),
+        hist.of(PlanKind::Exact).count(),
+        hist.of(PlanKind::Approx).percentile_upper_micros(99),
+        hist.of(PlanKind::Approx).count(),
+        hist.of(PlanKind::Bounded).percentile_upper_micros(99),
+        hist.of(PlanKind::Bounded).count(),
+        hist.of(PlanKind::Baseline).percentile_upper_micros(99),
+        hist.of(PlanKind::Baseline).count(),
+    );
+    println!(
+        "cache hit ratio = {:.3} ({} graphs, {} shards)",
+        stats.cache_hit_ratio, stats.graphs, stats.shards,
+    );
+    if let Some(path) = &f.stats_json {
+        let mut engine_stats = service.engine_stats();
+        engine_stats.last_batch_p50_micros = percentile_micros(&service_lat, 50);
+        engine_stats.last_batch_p95_micros = percentile_micros(&service_lat, 95);
+        engine_stats.last_batch_p99_micros = percentile_micros(&service_lat, 99);
+        engine_stats.response_p50_micros = percentile_micros(&response, 50);
+        engine_stats.response_p95_micros = percentile_micros(&response, 95);
+        engine_stats.response_p99_micros = percentile_micros(&response, 99);
+        let json = format!(
+            "{{\"service\":{},\"engine\":{}}}\n",
+            stats.to_json(),
+            engine_stats.to_json(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("stats JSON written to {path}");
     }
     ExitCode::SUCCESS
 }

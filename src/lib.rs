@@ -25,6 +25,7 @@
 //! | [`workloads`] | §6 synthetic generator, Web-archive simulator, skeletons, PDG plagiarism, email campaigns |
 //! | [`dynamic`] | semi-dynamic closure maintenance for live graphs: incremental inserts, bounded-cone deletes |
 //! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching, live updates |
+//! | [`service`] | request/response service layer: multi-graph registry with WCC sharding, admission control, typed errors |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use phom_core as core;
 pub use phom_dynamic as dynamic;
 pub use phom_engine as engine;
 pub use phom_graph as graph;
+pub use phom_service as service;
 pub use phom_sim as sim;
 pub use phom_wis as wis;
 pub use phom_workloads as workloads;
@@ -82,21 +84,25 @@ pub mod prelude {
     };
     pub use phom_core::{
         comp_max_card, comp_max_card_1_1, comp_max_sim, comp_max_sim_1_1, decide_phom,
-        exact_optimum, match_graphs, match_graphs_prepared, match_mutual, match_paths,
-        naive_max_card, naive_max_sim, verify_phom, AlgoConfig, Algorithm, MatchBudget,
-        MatchOutcome, MatcherConfig, Objective, PHomMapping, PreparedInputs, ProductGraph,
-        Selection,
+        exact_optimum, exact_optimum_budgeted, match_graphs, match_graphs_prepared, match_mutual,
+        match_paths, naive_max_card, naive_max_sim, verify_phom, AlgoConfig, Algorithm,
+        MatchBudget, MatchOutcome, MatcherConfig, Objective, PHomMapping, PreparedInputs,
+        ProductGraph, Selection,
     };
     pub use phom_dynamic::{DynamicConfig, GraphUpdate, SemiDynamicClosure};
     pub use phom_engine::{
-        percentile_micros, BatchOutcome, ClosureBackend, Engine, EngineConfig, EngineStats,
-        PlanKind, PlannerConfig, PreparedGraph, Query, QueryConfig, QueryResult, ReachIndex,
-        UpdateOutcome, UpdateStats, DEFAULT_CHAIN_NODE_THRESHOLD,
+        percentile_micros, BatchOutcome, ClosureBackend, CompressionPolicy, Engine, EngineConfig,
+        EngineStats, PlanKind, PlannerConfig, PrepareOptions, PreparedGraph, Query, QueryConfig,
+        QueryResult, ReachIndex, UpdateOutcome, UpdateStats, DEFAULT_CHAIN_NODE_THRESHOLD,
     };
     pub use phom_graph::{
-        compress_closure, graph_from_labels, tarjan_scc, weakly_connected_components, BitSet,
-        ChainIndex, DenseClosure, DiGraph, DynamicClosure, NodeId, ReachabilityIndex,
-        TransitiveClosure, UpdateEffect,
+        component_groups, compress_closure, graph_from_labels, tarjan_scc,
+        weakly_connected_components, BitSet, ChainIndex, DenseClosure, DiGraph, DynamicClosure,
+        NodeId, ReachabilityIndex, TransitiveClosure, UpdateEffect,
+    };
+    pub use phom_service::{
+        GraphInfo, GraphRegistry, QueryResponse, Request, Response, Service, ServiceConfig,
+        ServiceError, ServiceLabel, ServiceStats, ShardingConfig, UpdateSummary,
     };
     pub use phom_sim::{
         hits_scores, matrix_from_label_fn, text_similarity, NodeWeights, SimMatrix,
