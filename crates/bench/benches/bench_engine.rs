@@ -182,5 +182,42 @@ fn bench_intra_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch, bench_intra_query);
+/// Trace overhead: the same warm-cache 100-query batch with tracing
+/// disabled (the default hot path — must stay within noise of the
+/// pre-trace engine; the `constructions()` guard test proves it
+/// allocates no trace state) and enabled (spans + counters per query,
+/// the price of `--trace-json`).
+fn bench_trace_overhead(c: &mut Criterion) {
+    let fx = fixture(200);
+    let engine: Engine<Label> = Engine::new(EngineConfig {
+        cache_capacity: 2,
+        threads: 1,
+        ..Default::default()
+    });
+    let prepared = engine.prepare(&fx.data);
+    let mut group = c.benchmark_group("engine_trace_m200");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("untraced_batch"), |b| {
+        b.iter(|| {
+            criterion::black_box(engine.execute_batch_prepared_traced(
+                &prepared,
+                &fx.queries,
+                false,
+            ))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("traced_batch"), |b| {
+        b.iter(|| {
+            criterion::black_box(engine.execute_batch_prepared_traced(&prepared, &fx.queries, true))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch,
+    bench_intra_query,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -69,8 +69,9 @@ pub use optimize::{
 pub use prefilter::{ac_prefilter, ac_prefilter_matrix, PrefilterStats};
 pub use product::ProductGraph;
 pub use restarts::{
-    comp_max_card_restarts, comp_max_card_restarts_with, comp_max_sim_restarts,
-    comp_max_sim_restarts_with, RestartConfig,
+    comp_max_card_restarts, comp_max_card_restarts_telemetry, comp_max_card_restarts_with,
+    comp_max_sim_restarts, comp_max_sim_restarts_telemetry, comp_max_sim_restarts_with,
+    RestartConfig, RestartTelemetry,
 };
 pub use sequence::{compose_mappings, ComposedMapping};
 pub use symmetric::{match_mutual, match_paths, MutualOutcome};

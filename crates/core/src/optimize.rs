@@ -126,6 +126,17 @@ pub struct MatchStats {
     /// Components matched on the intra-query parallel path (0 when the
     /// run was sequential — one component, one worker, or injective).
     pub parallel_components: usize,
+    /// Restart kernel runs actually executed, summed across components
+    /// (0 when restarts are off; ≤ `components × restarts` when the
+    /// deadline cut restart loops short).
+    pub restarts_taken: usize,
+    /// Deadline polls at iteration boundaries (per component claimed,
+    /// per restart, plus the final flag sample) — the hot-path
+    /// observability counter traces export.
+    pub budget_polls: usize,
+    /// Per-restart kernel microseconds, appended across components in
+    /// completion order (becomes nested `restart{i}` trace spans).
+    pub restart_micros: Vec<u64>,
     /// True when the deadline of [`PreparedInputs::budget`] expired
     /// during the run: the mapping is the best found so far, not the
     /// full algorithm's answer.
@@ -392,6 +403,14 @@ fn match_graphs_inner<L: Clone + Sync>(
         data
     };
 
+    // Shared observability counters: `run_algorithm` executes on intra-
+    // query worker threads, so the trace counters accumulate through
+    // atomics (and a mutex for the restart timing list) and fold into
+    // `stats` once all workers are done.
+    let restarts_taken = AtomicUsize::new(0);
+    let budget_polls = AtomicUsize::new(0);
+    let restart_micros: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
     let run_algorithm = |g: &DiGraph<L>, m: &SimMatrix, w: &NodeWeights, xi: f64| -> PHomMapping {
         let algo_cfg = AlgoConfig {
             xi,
@@ -404,8 +423,8 @@ fn match_graphs_inner<L: Clone + Sync>(
                 budget,
                 ..Default::default()
             };
-            if cfg.algorithm.similarity() {
-                crate::restarts::comp_max_sim_restarts_with(
+            let (mapping, telemetry) = if cfg.algorithm.similarity() {
+                crate::restarts::comp_max_sim_restarts_telemetry(
                     g,
                     data.closure.get(),
                     m,
@@ -415,7 +434,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                     &rcfg,
                 )
             } else {
-                crate::restarts::comp_max_card_restarts_with(
+                crate::restarts::comp_max_card_restarts_telemetry(
                     g,
                     data.closure.get(),
                     m,
@@ -423,7 +442,14 @@ fn match_graphs_inner<L: Clone + Sync>(
                     injective,
                     &rcfg,
                 )
-            }
+            };
+            restarts_taken.fetch_add(telemetry.taken, Ordering::Relaxed);
+            budget_polls.fetch_add(telemetry.polls, Ordering::Relaxed);
+            restart_micros
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend_from_slice(&telemetry.micros);
+            mapping
         } else if cfg.algorithm.similarity() {
             comp_max_sim_with(g, data.closure.get(), m, w, &algo_cfg, injective)
         } else {
@@ -460,6 +486,7 @@ fn match_graphs_inner<L: Clone + Sync>(
             let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
             for comp_nodes in &comps {
                 // Deadline: components already matched are kept.
+                budget_polls.fetch_add(1, Ordering::Relaxed);
                 if budget.expired() {
                     break;
                 }
@@ -519,9 +546,11 @@ fn match_graphs_inner<L: Clone + Sync>(
             let run_algorithm = &run_algorithm;
             let old_of_new = &old_of_new;
             let reduced = &reduced;
+            let budget_polls = &budget_polls;
             let solve = move |comp_nodes: &Vec<NodeId>| -> Solved {
                 // Deadline: checked per component, so an expired query
                 // stops claiming work at the next component boundary.
+                budget_polls.fetch_add(1, Ordering::Relaxed);
                 if budget.expired() {
                     return Solved::Skipped;
                 }
@@ -612,6 +641,7 @@ fn match_graphs_inner<L: Clone + Sync>(
     // is flagged; the converse misflag — everything completed and the
     // deadline crosses in the instants before this line — is confined
     // to that one read and errs on the conservative side.
+    budget_polls.fetch_add(1, Ordering::Relaxed);
     let expired = budget.expired();
 
     // --- Our extension: greedy completion (skipped past the deadline:
@@ -639,6 +669,11 @@ fn match_graphs_inner<L: Clone + Sync>(
     };
 
     stats.timed_out = expired;
+    stats.restarts_taken = restarts_taken.load(Ordering::Relaxed);
+    stats.budget_polls = budget_polls.load(Ordering::Relaxed);
+    stats.restart_micros = restart_micros
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
 
     let qual_card = mapping.qual_card();
     let qual_sim = mapping.qual_sim(weights, mat);

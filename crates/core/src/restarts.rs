@@ -100,6 +100,30 @@ impl Score<'_> {
     }
 }
 
+/// Observability record of one best-of run — the restart-level half of
+/// the trace counters (`restarts_taken`, `budget_polls`) plus the raw
+/// per-restart timings that become nested `restart{i}` spans.
+#[derive(Debug, Clone, Default)]
+pub struct RestartTelemetry {
+    /// Restarts actually run (≤ the configured count when the deadline
+    /// cut the loop short).
+    pub taken: usize,
+    /// Deadline polls at restart boundaries.
+    pub polls: usize,
+    /// Per-restart kernel microseconds, in restart order.
+    pub micros: Vec<u64>,
+}
+
+impl RestartTelemetry {
+    /// Folds another run's telemetry into this one (per-component runs
+    /// under `G1` partitioning aggregate into one record).
+    pub fn absorb(&mut self, other: &RestartTelemetry) {
+        self.taken += other.taken;
+        self.polls += other.polls;
+        self.micros.extend_from_slice(&other.micros);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn best_of<L: Sync>(
     g1: &DiGraph<L>,
@@ -109,21 +133,22 @@ fn best_of<L: Sync>(
     cfg: &AlgoConfig,
     injective: bool,
     rcfg: &RestartConfig,
-) -> PHomMapping {
+) -> (PHomMapping, RestartTelemetry) {
     assert!(rcfg.restarts >= 1, "at least one restart");
     let score = match weights {
         None => Score::Card,
         Some(w) => Score::Sim(w, mat),
     };
 
-    let run_one = |i: usize| -> PHomMapping {
+    let run_one = |i: usize| -> (PHomMapping, u64) {
         let sel = selection_for(i, cfg.selection);
         let run_cfg = AlgoConfig {
             selection: sel,
             budget: rcfg.budget,
             ..*cfg
         };
-        if i == 0 {
+        let started = std::time::Instant::now();
+        let mapping = if i == 0 {
             match weights {
                 None => comp_max_card_with(g1, closure, mat, &run_cfg, injective),
                 Some(w) => comp_max_sim_with(g1, closure, mat, w, &run_cfg, injective),
@@ -134,23 +159,28 @@ fn best_of<L: Sync>(
                 None => comp_max_card_with(g1, closure, &noisy, &run_cfg, injective),
                 Some(w) => comp_max_sim_with(g1, closure, &noisy, w, &run_cfg, injective),
             }
-        }
+        };
+        (mapping, started.elapsed().as_micros() as u64)
     };
 
-    let candidates: Vec<PHomMapping> =
+    let mut telemetry = RestartTelemetry::default();
+    let candidates: Vec<(PHomMapping, u64)> =
         if rcfg.threads <= 1 || rcfg.restarts == 1 || rcfg.budget.is_limited() {
             let mut out = Vec::with_capacity(rcfg.restarts);
             for i in 0..rcfg.restarts {
                 // Deadline: restart 0 always runs (the kernel's own budget
                 // checks bound it); later restarts stop at this boundary.
-                if i > 0 && rcfg.budget.expired() {
-                    break;
+                if i > 0 {
+                    telemetry.polls += 1;
+                    if rcfg.budget.expired() {
+                        break;
+                    }
                 }
                 out.push(run_one(i));
             }
             out
         } else {
-            let mut out: Vec<Option<PHomMapping>> = vec![None; rcfg.restarts];
+            let mut out: Vec<Option<(PHomMapping, u64)>> = vec![None; rcfg.restarts];
             let workers = rcfg.threads.min(rcfg.restarts);
             std::thread::scope(|s| {
                 for (w, chunk) in out.chunks_mut(rcfg.restarts.div_ceil(workers)).enumerate() {
@@ -168,10 +198,14 @@ fn best_of<L: Sync>(
                 .collect()
         };
 
+    telemetry.taken = candidates.len();
+    telemetry.micros = candidates.iter().map(|(_, m)| *m).collect();
+
     // Deterministic argmax: earliest restart wins ties, so threads=1 and
     // threads=N agree bit-for-bit.
-    candidates
+    let best = candidates
         .into_iter()
+        .map(|(m, _)| m)
         .reduce(|best, next| {
             if score.of(&next) > score.of(&best) {
                 next
@@ -179,7 +213,8 @@ fn best_of<L: Sync>(
                 best
             }
         })
-        .expect("restarts >= 1")
+        .expect("restarts >= 1");
+    (best, telemetry)
 }
 
 /// Best-of-restarts `compMaxCard` (CPH). Never returns a mapping with
@@ -220,6 +255,19 @@ pub fn comp_max_card_restarts_with<L: Sync>(
     injective: bool,
     rcfg: &RestartConfig,
 ) -> PHomMapping {
+    best_of(g1, closure, mat, None, cfg, injective, rcfg).0
+}
+
+/// [`comp_max_card_restarts_with`], also reporting [`RestartTelemetry`]
+/// (restarts taken, budget polls, per-restart timings) for tracing.
+pub fn comp_max_card_restarts_telemetry<L: Sync>(
+    g1: &DiGraph<L>,
+    closure: &dyn ReachabilityIndex,
+    mat: &SimMatrix,
+    cfg: &AlgoConfig,
+    injective: bool,
+    rcfg: &RestartConfig,
+) -> (PHomMapping, RestartTelemetry) {
     best_of(g1, closure, mat, None, cfg, injective, rcfg)
 }
 
@@ -235,7 +283,7 @@ pub fn comp_max_sim_restarts<L: Sync>(
     rcfg: &RestartConfig,
 ) -> PHomMapping {
     let closure = TransitiveClosure::new(g2);
-    best_of(g1, &closure, mat, Some(weights), cfg, injective, rcfg)
+    best_of(g1, &closure, mat, Some(weights), cfg, injective, rcfg).0
 }
 
 /// [`comp_max_sim_restarts`] with a precomputed closure (pass a
@@ -251,6 +299,21 @@ pub fn comp_max_sim_restarts_with<L: Sync>(
     injective: bool,
     rcfg: &RestartConfig,
 ) -> PHomMapping {
+    best_of(g1, closure, mat, Some(weights), cfg, injective, rcfg).0
+}
+
+/// [`comp_max_sim_restarts_with`], also reporting [`RestartTelemetry`]
+/// (restarts taken, budget polls, per-restart timings) for tracing.
+#[allow(clippy::too_many_arguments)]
+pub fn comp_max_sim_restarts_telemetry<L: Sync>(
+    g1: &DiGraph<L>,
+    closure: &dyn ReachabilityIndex,
+    mat: &SimMatrix,
+    weights: &NodeWeights,
+    cfg: &AlgoConfig,
+    injective: bool,
+    rcfg: &RestartConfig,
+) -> (PHomMapping, RestartTelemetry) {
     best_of(g1, closure, mat, Some(weights), cfg, injective, rcfg)
 }
 

@@ -394,18 +394,10 @@ impl<L> SemiDynamicClosure<L> {
         }
         false
     }
-}
 
-impl<L> DynamicClosure for SemiDynamicClosure<L> {
-    fn node_count(&self) -> usize {
-        self.graph.node_count()
-    }
-
-    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
-        self.rows[self.comp[from.index()] as usize].contains(to.index())
-    }
-
-    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+    /// [`DynamicClosure::insert_edge`] without the maintenance-timing
+    /// wrapper.
+    fn insert_edge_untimed(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
         if !self.graph.add_edge(u, v) {
             self.stats.noops += 1;
             return UpdateEffect::NoOp;
@@ -459,7 +451,9 @@ impl<L> DynamicClosure for SemiDynamicClosure<L> {
         }
     }
 
-    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+    /// [`DynamicClosure::remove_edge`] without the maintenance-timing
+    /// wrapper.
+    fn remove_edge_untimed(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
         if !self.graph.remove_edge(u, v) {
             self.stats.noops += 1;
             return UpdateEffect::NoOp;
@@ -541,6 +535,30 @@ impl<L> DynamicClosure for SemiDynamicClosure<L> {
             }
         }
         self.repair_after_removal(affected)
+    }
+}
+
+impl<L> DynamicClosure for SemiDynamicClosure<L> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.rows[self.comp[from.index()] as usize].contains(to.index())
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        let started = std::time::Instant::now();
+        let effect = self.insert_edge_untimed(u, v);
+        self.stats.maintain_micros += started.elapsed().as_micros();
+        effect
+    }
+
+    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        let started = std::time::Instant::now();
+        let effect = self.remove_edge_untimed(u, v);
+        self.stats.maintain_micros += started.elapsed().as_micros();
+        effect
     }
 
     fn snapshot(&self) -> TransitiveClosure {

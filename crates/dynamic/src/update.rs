@@ -87,4 +87,8 @@ pub struct DynamicStats {
     pub scc_splits: usize,
     /// Full from-scratch rebuilds (damage threshold exceeded).
     pub rebuilds: usize,
+    /// Microseconds spent inside closure maintenance
+    /// (`insert_edge`/`remove_edge`), cumulative — the phase timing the
+    /// engine surfaces as `UpdateStats::closure_maintain_micros`.
+    pub maintain_micros: u128,
 }

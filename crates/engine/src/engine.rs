@@ -11,6 +11,7 @@ use phom_core::{
 use phom_dynamic::{DynamicConfig, GraphUpdate};
 use phom_graph::{DiGraph, NodeId, ReachabilityIndex};
 use phom_sim::{NodeWeights, SimMatrix};
+use phom_trace::{QueryTrace, SpanKind};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -262,6 +263,10 @@ pub struct QueryResult {
     pub plan: Plan,
     /// Wall-clock microseconds spent executing (excludes preparation).
     pub micros: u128,
+    /// The query's trace when tracing was requested
+    /// ([`Engine::execute_traced`]); `None` on the untraced hot path,
+    /// which never constructs a trace.
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 /// One batch's results plus the stats snapshot taken right after it.
@@ -636,7 +641,32 @@ impl<L: Clone + Sync> Engine<L> {
     /// falling back to [`PlannerConfig::intra_query_workers`]) is
     /// accounted in [`EngineStats::intra_parallel_components`].
     pub fn execute(&self, prepared: &PreparedGraph<L>, query: &Query<L>) -> QueryResult {
+        self.execute_traced(prepared, query, false)
+    }
+
+    /// [`Engine::execute`] with optional tracing: when `trace` is set,
+    /// the result carries a [`QueryTrace`] with `plan` / `match` spans,
+    /// nested per-restart spans, and the sampled hot-path counters
+    /// ([`phom_trace::TraceCounters`]). The answer is **identical** to
+    /// an untraced run — tracing observes, it never steers — and the
+    /// untraced path constructs no trace at all (guarded by
+    /// [`phom_trace::constructions`]).
+    pub fn execute_traced(
+        &self,
+        prepared: &PreparedGraph<L>,
+        query: &Query<L>,
+        trace: bool,
+    ) -> QueryResult {
+        let mut tr = trace.then(|| Box::new(QueryTrace::new()));
+        let plan_open = tr.as_ref().map(|t| t.begin());
         let plan = plan_query_with(query, &self.config.planner);
+        if let (Some(t), Some(open)) = (tr.as_mut(), plan_open) {
+            t.end(SpanKind::Plan, open);
+        }
+        // "Cache hit" for the trace means the query ran entirely on
+        // prepared state: no bounded closure was built during execution.
+        let closures_before = tr.as_ref().map(|_| prepared.bounded_closures_computed());
+        let match_open = tr.as_ref().map(|t| t.begin());
         let started = Instant::now();
         let budget = query
             .config
@@ -738,10 +768,33 @@ impl<L: Clone + Sync> Engine<L> {
                 .fetch_add(outcome.stats.parallel_components, Ordering::Relaxed);
         }
 
+        if let (Some(t), Some(open)) = (tr.as_mut(), match_open) {
+            t.end(SpanKind::Match, open);
+            // Nested restart spans, laid end-to-end from the match span's
+            // start (the kernels report durations, not absolute offsets).
+            let mut offset = t.spans.last().map_or(0, |s| s.start_micros);
+            for (i, &micros) in outcome.stats.restart_micros.iter().enumerate() {
+                t.push_span_micros(SpanKind::Restart(i as u32), offset, micros);
+                offset += micros;
+            }
+            t.counters.plan = plan.kind.name().to_owned();
+            t.counters.restarts_planned = plan.restarts;
+            t.counters.restarts_taken = outcome.stats.restarts_taken;
+            t.counters.budget_polls = outcome.stats.budget_polls;
+            t.counters.components = outcome.stats.components;
+            t.counters.parallel_components = outcome.stats.parallel_components;
+            t.counters.cache_hit = closures_before == Some(prepared.bounded_closures_computed());
+            t.counters.closure_backend = prepared.stats().closure_backend.clone();
+            t.counters.candidate_pairs = outcome.stats.candidate_pairs;
+            t.counters.extended_pairs = outcome.stats.extended_pairs;
+            t.counters.timed_out = outcome.stats.timed_out;
+        }
+
         QueryResult {
             outcome,
             plan,
             micros: started.elapsed().as_micros(),
+            trace: tr,
         }
     }
 }
@@ -773,6 +826,18 @@ impl<L: Clone + Send + Sync> Engine<L> {
         &self,
         prepared: &Arc<PreparedGraph<L>>,
         queries: &[Query<L>],
+    ) -> BatchOutcome {
+        self.execute_batch_prepared_traced(prepared, queries, false)
+    }
+
+    /// [`Engine::execute_batch_prepared`] with optional per-query
+    /// tracing — each result carries its own [`QueryTrace`] when `trace`
+    /// is set (see [`Engine::execute_traced`]).
+    pub fn execute_batch_prepared_traced(
+        &self,
+        prepared: &Arc<PreparedGraph<L>>,
+        queries: &[Query<L>],
+        trace: bool,
     ) -> BatchOutcome {
         let workers = self.worker_count(queries.len());
         self.counters
@@ -811,7 +876,7 @@ impl<L: Clone + Send + Sync> Engine<L> {
                             barrier.wait();
                             first = false;
                         }
-                        let result = self.execute(prepared, &queries[i]);
+                        let result = self.execute_traced(prepared, &queries[i], trace);
                         let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
                         slots[i] = Some(result);
                         drop(slots);

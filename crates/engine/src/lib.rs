@@ -80,3 +80,7 @@ pub use prepared::{
 // Re-exported so engine consumers can speak the update vocabulary
 // without a direct `phom-dynamic` dependency.
 pub use phom_dynamic::{DynamicConfig, GraphUpdate};
+
+// Re-exported so engine consumers can read [`QueryResult::trace`]
+// without a direct `phom-trace` dependency.
+pub use phom_trace::{QueryTrace, Span, SpanKind, TraceCounters};

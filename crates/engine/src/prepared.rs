@@ -204,6 +204,13 @@ pub struct UpdateStats {
     /// Hop-bounded memo rows re-run (affected sources across all
     /// memoized bounds).
     pub bounded_rows_recomputed: usize,
+    /// Microseconds spent maintaining the full closure (incremental
+    /// patching on the dense backend; the from-scratch index rebuild on
+    /// the chain fallback) — the update-apply phase timing traces and
+    /// the service registry export.
+    pub closure_maintain_micros: u128,
+    /// Microseconds spent refreshing the memoized hop-bounded closures.
+    pub bounded_refresh_micros: u128,
     /// Wall-clock microseconds for the whole apply (including new-version
     /// assembly).
     pub apply_micros: u128,
@@ -222,6 +229,8 @@ impl UpdateStats {
         self.backend_fallbacks += other.backend_fallbacks;
         self.affected_components += other.affected_components;
         self.bounded_rows_recomputed += other.bounded_rows_recomputed;
+        self.closure_maintain_micros += other.closure_maintain_micros;
+        self.bounded_refresh_micros += other.bounded_refresh_micros;
         self.apply_micros += other.apply_micros;
     }
 
@@ -230,7 +239,9 @@ impl UpdateStats {
         format!(
             "{{\"applied\":{},\"noops\":{},\"rejected\":{},\"closure_unchanged\":{},\
              \"incremental\":{},\"rebuilds\":{},\"backend_fallbacks\":{},\
-             \"affected_components\":{},\"bounded_rows_recomputed\":{},\"apply_micros\":{}}}",
+             \"affected_components\":{},\"bounded_rows_recomputed\":{},\
+             \"closure_maintain_micros\":{},\"bounded_refresh_micros\":{},\
+             \"apply_micros\":{}}}",
             self.applied,
             self.noops,
             self.rejected,
@@ -240,6 +251,8 @@ impl UpdateStats {
             self.backend_fallbacks,
             self.affected_components,
             self.bounded_rows_recomputed,
+            self.closure_maintain_micros,
+            self.bounded_refresh_micros,
             self.apply_micros
         )
     }
@@ -460,6 +473,7 @@ impl<L: Clone> PreparedGraph<L> {
                 touched.push(update.source());
             }
         }
+        stats.closure_maintain_micros = dyc.stats().maintain_micros;
         let scc_count = dyc.component_count();
         let (new_graph, closure) = dyc.into_parts();
         let bounded = self.refreshed_bounded_memo(&new_graph, &touched, &mut stats);
@@ -506,9 +520,11 @@ impl<L: Clone> PreparedGraph<L> {
         } else {
             stats.backend_fallbacks = 1;
             stats.rebuilds += 1;
+            let rebuild_started = Instant::now();
             let scc = tarjan_scc(&new_graph);
             let scc_count = scc.count();
             let index = ReachIndex::Chain(Arc::new(ChainIndex::from_scc(&new_graph, &scc)));
+            stats.closure_maintain_micros = rebuild_started.elapsed().as_micros();
             (index, Some(scc), scc_count)
         };
         let bounded = self.refreshed_bounded_memo(&new_graph, &touched, &mut stats);
@@ -536,6 +552,7 @@ impl<L: Clone> PreparedGraph<L> {
         touched: &[NodeId],
         stats: &mut UpdateStats,
     ) -> HashMap<usize, Arc<TransitiveClosure>> {
+        let refresh_started = Instant::now();
         let old_memo: Vec<(usize, Arc<TransitiveClosure>)> = {
             let memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
             memo.iter().map(|(&k, c)| (k, Arc::clone(c))).collect()
@@ -550,6 +567,7 @@ impl<L: Clone> PreparedGraph<L> {
             stats.bounded_rows_recomputed += recomputed;
             bounded.insert(k, Arc::new(fresh));
         }
+        stats.bounded_refresh_micros = refresh_started.elapsed().as_micros();
         bounded
     }
 

@@ -7,7 +7,7 @@ use crate::stats::ServiceStats;
 use bytes::Bytes;
 use phom_core::PHomMapping;
 use phom_dynamic::GraphUpdate;
-use phom_engine::{Plan, Query, UpdateStats};
+use phom_engine::{Plan, Query, QueryTrace, UpdateStats};
 use phom_graph::DiGraph;
 use std::sync::Arc;
 
@@ -44,6 +44,10 @@ pub enum Request<L> {
         /// The query (pattern + similarity matrix over the **full**
         /// graph's nodes; the service routes and slices per shard).
         query: Query<L>,
+        /// When true, the response carries a [`QueryTrace`] (spans +
+        /// sampled counters) — the explain surface. The untraced path
+        /// constructs nothing.
+        trace: bool,
     },
     /// A batch of queries against one registered graph, executed across
     /// the engine's worker pool. Admitted all-or-nothing: the whole batch
@@ -123,6 +127,9 @@ pub struct QueryResponse {
     /// Service latency: wall-clock microseconds spent routing and
     /// executing (queueing excluded — the gate sheds instead of queueing).
     pub micros: u128,
+    /// The query's trace, present iff the request asked for one
+    /// (`Request::Query { trace: true, .. }`).
+    pub trace: Option<Box<QueryTrace>>,
 }
 
 /// The answer to one `ApplyUpdates` request.

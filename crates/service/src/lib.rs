@@ -46,7 +46,11 @@
 //! let pattern = Arc::new(graph_from_labels(&["home", "item"], &[("home", "item")]));
 //! let mat = SimMatrix::label_equality(&pattern, &data);
 //! let Response::Answer(answer) = service
-//!     .handle(Request::Query { graph: "site".into(), query: Query::new(pattern, mat) })
+//!     .handle(Request::Query {
+//!         graph: "site".into(),
+//!         query: Query::new(pattern, mat),
+//!         trace: false,
+//!     })
 //!     .unwrap()
 //! else {
 //!     unreachable!()
@@ -70,3 +74,9 @@ pub use label::ServiceLabel;
 pub use registry::{GraphEntry, GraphRegistry, ShardingConfig};
 pub use service::{Service, ServiceConfig, ServiceConfigBuilder};
 pub use stats::{LatencyHistogram, PlanHistograms, ServiceStats, HISTOGRAM_BUCKETS};
+
+// Re-exported so service consumers can speak the trace/metrics
+// vocabulary without a direct `phom-trace` dependency.
+pub use phom_trace::{
+    MetricsRegistry, QueryTrace, SlowTraceRing, Span, SpanKind, TraceCounters, TraceSink,
+};

@@ -39,6 +39,7 @@ use phom_engine::{
 };
 use phom_graph::{component_groups, tarjan_scc, weakly_connected_components, DiGraph, NodeId};
 use phom_sim::SimMatrix;
+use phom_trace::{QueryTrace, SpanKind};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -233,12 +234,15 @@ impl<L: ServiceLabel> GraphEntry<L> {
     }
 
     /// Plans `query` once against the full graph, routes it to the shards
-    /// that can contain a match, and merges per pattern component.
+    /// that can contain a match, and merges per pattern component. With
+    /// `trace`, the response carries a [`QueryTrace`] of `plan` / `route`
+    /// / `shard_match` / `merge` spans; untraced calls construct nothing.
     pub(crate) fn execute(
         &self,
         engine: &Engine<L>,
         planner: &PlannerConfig,
         query: &Query<L>,
+        trace: bool,
     ) -> Result<QueryResponse, ServiceError> {
         let n1 = query.pattern.node_count();
         if query.matrix.n1() != n1 {
@@ -266,7 +270,11 @@ impl<L: ServiceLabel> GraphEntry<L> {
             }
         }
         if self.shards.len() == 1 {
-            let r = engine.execute(&self.shards[0].prepared, query);
+            let r = engine.execute_traced(&self.shards[0].prepared, query, trace);
+            let mut tr = r.trace;
+            if let Some(t) = tr.as_mut() {
+                t.counters.shards_consulted = 1;
+            }
             return Ok(QueryResponse {
                 mapping: r.outcome.mapping,
                 qual_card: r.outcome.qual_card,
@@ -275,9 +283,16 @@ impl<L: ServiceLabel> GraphEntry<L> {
                 shards_consulted: 1,
                 timed_out: r.outcome.stats.timed_out,
                 micros: r.micros,
+                trace: tr,
             });
         }
+        let started = Instant::now();
+        let mut tr = trace.then(|| Box::new(QueryTrace::new()));
+        let plan_open = tr.as_ref().map(|t| t.begin());
         let plan = plan_query_with(query, planner);
+        if let (Some(t), Some(open)) = (tr.as_mut(), plan_open) {
+            t.end(SpanKind::Plan, open);
+        }
         // One deadline for the whole query, however many shards it
         // consults (each engine call builds a fresh budget from the
         // timeout it is handed, so without this the deadline would
@@ -287,19 +302,22 @@ impl<L: ServiceLabel> GraphEntry<L> {
             .timeout
             .or(planner.timeout)
             .map(|t| Instant::now() + t);
-        Ok(self.execute_sharded(engine, query, plan, deadline))
+        Ok(self.execute_sharded(engine, query, plan, deadline, started, tr))
     }
 
     /// The multi-shard path: candidate-routed fan-out, per-component
-    /// merge, one shared deadline.
+    /// merge, one shared deadline. `started` is the instant planning
+    /// began, so the reported latency covers plan + route + match +
+    /// merge — the same stages the trace spans.
     fn execute_sharded(
         &self,
         engine: &Engine<L>,
         query: &Query<L>,
         plan: Plan,
         deadline: Option<Instant>,
+        started: Instant,
+        mut tr: Option<Box<QueryTrace>>,
     ) -> QueryResponse {
-        let started = Instant::now();
         let n1 = query.pattern.node_count();
         let xi = query.config.xi;
         // The plan (and its restart grant) was decided on the full
@@ -316,16 +334,32 @@ impl<L: ServiceLabel> GraphEntry<L> {
         sub_config.restarts = Some(plan.restarts);
         sub_config.partition = true;
 
+        // Routing: which shards hold at least one candidate pair. The
+        // scan reads only the immutable query matrix, so hoisting it out
+        // of the match loop (as the `route` span) changes no answers.
+        let route_open = tr.as_ref().map(|t| t.begin());
+        let relevant: Vec<bool> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .nodes
+                    .iter()
+                    .any(|&g| (0..n1 as u32).any(|v| query.matrix.score(NodeId(v), g) >= xi))
+            })
+            .collect();
+        if let (Some(t), Some(open)) = (tr.as_mut(), route_open) {
+            t.end(SpanKind::Route, open);
+        }
+
         let mut timed_out = false;
         let mut consulted = 0usize;
+        let mut all_cache_hits = true;
+        let mut backends: Vec<String> = Vec::new();
         // (shard index, mapping translated to global ids)
         let mut shard_maps: Vec<(usize, PHomMapping)> = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
-            let relevant = shard
-                .nodes
-                .iter()
-                .any(|&g| (0..n1 as u32).any(|v| query.matrix.score(NodeId(v), g) >= xi));
-            if !relevant {
+            if !relevant[si] {
                 continue;
             }
             // Shards yet to run get only the *remaining* budget; once it
@@ -342,6 +376,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
                 remaining = Some(left);
             }
             consulted += 1;
+            let shard_open = tr.as_ref().map(|t| t.begin());
             let local_matrix = SimMatrix::from_fn(n1, shard.nodes.len(), |v, lu| {
                 query.matrix.score(v, shard.nodes[lu.index()])
             });
@@ -351,7 +386,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
             if remaining.is_some() {
                 sub.config.timeout = remaining;
             }
-            let r = engine.execute(&shard.prepared, &sub);
+            let r = engine.execute_traced(&shard.prepared, &sub, tr.is_some());
             timed_out |= r.outcome.stats.timed_out;
             let global = PHomMapping::from_pairs(
                 n1,
@@ -361,8 +396,26 @@ impl<L: ServiceLabel> GraphEntry<L> {
                     .map(|(v, lu)| (v, shard.nodes[lu.index()])),
             );
             shard_maps.push((si, global));
+            if let (Some(t), Some(open)) = (tr.as_mut(), shard_open) {
+                t.end(SpanKind::ShardMatch(si as u32), open);
+                // Fold the shard's sampled counters into the query-level
+                // trace (its per-shard trace is otherwise discarded).
+                if let Some(st) = r.trace {
+                    t.counters.restarts_taken += st.counters.restarts_taken;
+                    t.counters.budget_polls += st.counters.budget_polls;
+                    t.counters.components += st.counters.components;
+                    t.counters.parallel_components += st.counters.parallel_components;
+                    t.counters.candidate_pairs += st.counters.candidate_pairs;
+                    t.counters.extended_pairs += st.counters.extended_pairs;
+                    all_cache_hits &= st.counters.cache_hit;
+                    if !backends.contains(&st.counters.closure_backend) {
+                        backends.push(st.counters.closure_backend.clone());
+                    }
+                }
+            }
         }
 
+        let merge_open = tr.as_ref().map(|t| t.begin());
         let weights = query.effective_weights();
         let similarity = query.config.algorithm.similarity();
         let mut merged = PHomMapping::empty(n1);
@@ -410,6 +463,21 @@ impl<L: ServiceLabel> GraphEntry<L> {
 
         let qual_card = merged.qual_card();
         let qual_sim = merged.qual_sim(&weights, &query.matrix);
+        if let Some(t) = tr.as_mut() {
+            if let Some(open) = merge_open {
+                t.end(SpanKind::Merge, open);
+            }
+            t.counters.plan = plan.kind.name().to_owned();
+            t.counters.restarts_planned = plan.restarts;
+            t.counters.shards_consulted = consulted;
+            t.counters.timed_out = timed_out;
+            t.counters.cache_hit = consulted > 0 && all_cache_hits;
+            t.counters.closure_backend = match backends.len() {
+                0 => "none".to_owned(),
+                1 => backends.pop().expect("checked len"),
+                _ => "mixed".to_owned(),
+            };
+        }
         QueryResponse {
             mapping: merged,
             qual_card,
@@ -418,6 +486,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
             shards_consulted: consulted,
             timed_out,
             micros: started.elapsed().as_micros(),
+            trace: tr,
         }
     }
 

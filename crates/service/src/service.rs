@@ -6,16 +6,20 @@ use crate::envelope::{GraphInfo, QueryResponse, Request, Response, UpdateSummary
 use crate::error::ServiceError;
 use crate::label::ServiceLabel;
 use crate::registry::{GraphRegistry, ShardingConfig};
-use crate::stats::{AdmissionGate, PlanHistograms, ServiceStats};
+use crate::stats::{
+    AdmissionGate, LatencyHistogram, PlanHistograms, ServiceStats, HISTOGRAM_BUCKETS,
+};
 use bytes::Bytes;
 use phom_dynamic::GraphUpdate;
-use phom_engine::{Engine, EngineConfig, EngineStats, Query};
+use phom_engine::{Engine, EngineConfig, EngineStats, PlanKind, Query};
 use phom_graph::DiGraph;
+use phom_trace::{MetricsRegistry, SlowTraceRing, Span, SpanKind, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Service construction knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// The wrapped engine's configuration (cache, workers, planner).
     pub engine: EngineConfig,
@@ -29,6 +33,22 @@ pub struct ServiceConfig {
     /// [`ServiceError::Timeout`] instead of a best-so-far partial
     /// mapping.
     pub strict_timeouts: bool,
+    /// How many of the slowest traced queries the service retains for
+    /// [`ServiceStats::slow_traces`]. `0` disables retention. Only
+    /// queries requested with `trace: true` are candidates.
+    pub slow_trace_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            sharding: ShardingConfig::default(),
+            queue_depth: 0,
+            strict_timeouts: false,
+            slow_trace_capacity: 8,
+        }
+    }
 }
 
 impl ServiceConfig {
@@ -71,6 +91,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets [`ServiceConfig::slow_trace_capacity`].
+    pub fn slow_trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.slow_trace_capacity = capacity;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> ServiceConfig {
         self.config
@@ -107,7 +133,11 @@ struct ServiceCounters {
 /// let pattern = Arc::new(graph_from_labels(&["books", "school"], &[("books", "school")]));
 /// let matrix = SimMatrix::label_equality(&pattern, &data);
 /// let response = service
-///     .handle(Request::Query { graph: "web".into(), query: Query::new(pattern, matrix) })
+///     .handle(Request::Query {
+///         graph: "web".into(),
+///         query: Query::new(pattern, matrix),
+///         trace: false,
+///     })
 ///     .unwrap();
 /// let Response::Answer(answer) = response else { unreachable!() };
 /// assert_eq!(answer.qual_card, 1.0);
@@ -119,12 +149,41 @@ pub struct Service<L> {
     registry: GraphRegistry<L>,
     gate: AdmissionGate,
     counters: ServiceCounters,
-    histograms: Mutex<PlanHistograms>,
+    /// Lifetime + windowed latency/counter aggregates (per-plan latency
+    /// histograms, cache-hit deltas, backend fallbacks).
+    metrics: MetricsRegistry,
+    /// The K slowest traced queries, serialized (see
+    /// [`ServiceStats::slow_traces`]).
+    slow_ring: SlowTraceRing,
+    /// Last-sampled engine `(cache_hits, prepares)`: `stats()` feeds the
+    /// deltas into windowed counters, turning the engine's lifetime-only
+    /// totals into a recent-window hit ratio.
+    engine_sample: Mutex<(usize, usize)>,
     /// Serializes `apply_updates` batches: the registry swap is
     /// read-modify-replace, so two unsynchronized batches on the same
     /// service would both derive from the old entry and the later
     /// replace would silently drop the earlier batch's edits.
     update_lock: Mutex<()>,
+}
+
+/// Widens registry bucket counts back into the service's histogram
+/// export type (identical log₂ bucketing on both sides).
+fn histogram_from(buckets: [u64; phom_trace::WINDOW_BUCKETS]) -> LatencyHistogram {
+    let mut out = [0usize; HISTOGRAM_BUCKETS];
+    for (o, b) in out.iter_mut().zip(buckets.iter()) {
+        *o = *b as usize;
+    }
+    LatencyHistogram::from_buckets(out)
+}
+
+/// The metrics-registry histogram name of one plan kind's latency.
+fn latency_key(kind: PlanKind) -> &'static str {
+    match kind {
+        PlanKind::Exact => "latency_exact",
+        PlanKind::Approx => "latency_approx",
+        PlanKind::Bounded => "latency_bounded",
+        PlanKind::Baseline => "latency_baseline",
+    }
 }
 
 impl<L: ServiceLabel> Default for Service<L> {
@@ -138,13 +197,16 @@ impl<L: ServiceLabel> Service<L> {
     pub fn new(config: ServiceConfig) -> Self {
         let engine = Engine::new(config.engine.clone());
         let gate = AdmissionGate::new(config.queue_depth);
+        let slow_ring = SlowTraceRing::new(config.slow_trace_capacity);
         Service {
             config,
             engine,
             registry: GraphRegistry::new(),
             gate,
             counters: ServiceCounters::default(),
-            histograms: Mutex::new(PlanHistograms::default()),
+            metrics: MetricsRegistry::new(),
+            slow_ring,
+            engine_sample: Mutex::new((0, 0)),
             update_lock: Mutex::new(()),
         }
     }
@@ -164,6 +226,12 @@ impl<L: ServiceLabel> Service<L> {
         self.engine.stats()
     }
 
+    /// The service's metrics registry (lifetime + windowed views of
+    /// every latency histogram and maintenance counter).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Dispatches one request to its handler.
     pub fn handle(&self, request: Request<L>) -> Result<Response, ServiceError> {
         match request {
@@ -177,7 +245,13 @@ impl<L: ServiceLabel> Service<L> {
                 self.registry.evict(&name)?;
                 Ok(Response::Evicted { graph: name })
             }
-            Request::Query { graph, query } => self.query(&graph, &query).map(Response::Answer),
+            Request::Query {
+                graph,
+                query,
+                trace,
+            } => self
+                .query_traced(&graph, &query, trace)
+                .map(Response::Answer),
             Request::QueryBatch { graph, queries } => {
                 self.query_batch(&graph, &queries).map(Response::Batch)
             }
@@ -233,22 +307,53 @@ impl<L: ServiceLabel> Service<L> {
     }
 
     /// Runs one query (see `Request::Query`): admission gate, shard
-    /// routing, per-plan latency accounting.
+    /// routing, per-plan latency accounting. Untraced — the explain
+    /// surface is [`Service::query_traced`].
     pub fn query(&self, graph: &str, query: &Query<L>) -> Result<QueryResponse, ServiceError> {
+        self.query_traced(graph, query, false)
+    }
+
+    /// Runs one query, optionally collecting a
+    /// [`phom_trace::QueryTrace`] into the response. Traced queries also
+    /// feed the slow-trace ring surfaced by [`ServiceStats::slow_traces`];
+    /// with `trace = false` this is exactly [`Service::query`] and
+    /// constructs no trace state.
+    pub fn query_traced(
+        &self,
+        graph: &str,
+        query: &Query<L>,
+        trace: bool,
+    ) -> Result<QueryResponse, ServiceError> {
         let entry = self.registry.get(graph)?;
+        let admission_started = if trace { Some(Instant::now()) } else { None };
         let permit = self.gate.try_acquire(1).inspect_err(|_| {
             self.counters.queries_shed.fetch_add(1, Ordering::Relaxed);
         })?;
+        let admission_micros = admission_started.map(|s| s.elapsed().as_micros() as u64);
         self.counters
             .queries_admitted
             .fetch_add(1, Ordering::Relaxed);
-        let result = entry.execute(&self.engine, &self.config.engine.planner, query);
+        let result = entry.execute(&self.engine, &self.config.engine.planner, query, trace);
         drop(permit);
-        let response = result?;
-        self.histograms
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .record(response.plan.kind, response.micros);
+        let mut response = result?;
+        if let (Some(t), Some(micros)) = (response.trace.as_mut(), admission_micros) {
+            // Admission precedes the trace's origin, so it is recorded
+            // from its own measurement, at offset 0 (a non-blocking CAS:
+            // effectively instantaneous unless the gate is contended).
+            t.spans.insert(
+                0,
+                Span {
+                    kind: SpanKind::Admission,
+                    start_micros: 0,
+                    duration_micros: micros,
+                },
+            );
+        }
+        self.metrics
+            .histogram_record(latency_key(response.plan.kind), response.micros);
+        if let Some(t) = response.trace.as_deref() {
+            self.slow_ring.record(response.micros, t);
+        }
         if self.config.strict_timeouts && response.timed_out {
             return Err(ServiceError::Timeout {
                 micros: response.micros,
@@ -267,6 +372,19 @@ impl<L: ServiceLabel> Service<L> {
         &self,
         graph: &str,
         queries: &[Query<L>],
+    ) -> Result<Vec<QueryResponse>, ServiceError> {
+        self.query_batch_traced(graph, queries, false)
+    }
+
+    /// [`Service::query_batch`] with optional per-query tracing — each
+    /// response carries its own [`phom_trace::QueryTrace`] when `trace`
+    /// is set, and traced responses feed the slow-trace ring exactly as
+    /// [`Service::query_traced`] does.
+    pub fn query_batch_traced(
+        &self,
+        graph: &str,
+        queries: &[Query<L>],
+        trace: bool,
     ) -> Result<Vec<QueryResponse>, ServiceError> {
         let entry = self.registry.get(graph)?;
         let permit = self
@@ -295,31 +413,48 @@ impl<L: ServiceLabel> Service<L> {
                     ));
                 }
             }
-            let batch = self.engine.execute_batch_prepared(prepared, queries);
+            let batch = self
+                .engine
+                .execute_batch_prepared_traced(prepared, queries, trace);
             batch
                 .results
                 .into_iter()
-                .map(|r| QueryResponse {
-                    mapping: r.outcome.mapping,
-                    qual_card: r.outcome.qual_card,
-                    qual_sim: r.outcome.qual_sim,
-                    plan: r.plan,
-                    shards_consulted: 1,
-                    timed_out: r.outcome.stats.timed_out,
-                    micros: r.micros,
+                .map(|r| {
+                    let mut trace = r.trace;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.counters.shards_consulted = 1;
+                    }
+                    QueryResponse {
+                        mapping: r.outcome.mapping,
+                        qual_card: r.outcome.qual_card,
+                        qual_sim: r.outcome.qual_sim,
+                        plan: r.plan,
+                        shards_consulted: 1,
+                        timed_out: r.outcome.stats.timed_out,
+                        micros: r.micros,
+                        trace,
+                    }
                 })
                 .collect()
         } else {
             let mut responses = Vec::with_capacity(queries.len());
             for q in queries {
-                responses.push(entry.execute(&self.engine, &self.config.engine.planner, q)?);
+                responses.push(entry.execute(
+                    &self.engine,
+                    &self.config.engine.planner,
+                    q,
+                    trace,
+                )?);
             }
             responses
         };
         drop(permit);
-        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         for r in &responses {
-            histograms.record(r.plan.kind, r.micros);
+            self.metrics
+                .histogram_record(latency_key(r.plan.kind), r.micros);
+            if let Some(t) = r.trace.as_deref() {
+                self.slow_ring.record(r.micros, t);
+            }
         }
         Ok(responses)
     }
@@ -349,6 +484,12 @@ impl<L: ServiceLabel> Service<L> {
         if summary.resharded {
             self.counters.reshards.fetch_add(1, Ordering::Relaxed);
         }
+        if summary.stats.backend_fallbacks > 0 {
+            self.metrics
+                .counter_add("backend_fallbacks", summary.stats.backend_fallbacks as u64);
+        }
+        self.metrics
+            .histogram_record("update_apply_micros", summary.stats.apply_micros);
         Ok(summary)
     }
 
@@ -371,12 +512,50 @@ impl<L: ServiceLabel> Service<L> {
     }
 
     /// Snapshot of the service counters (see `Request::Stats`).
-    /// `cache_hit_ratio` is engine-lifetime
-    /// (`cache_hits / (cache_hits + prepares)`).
+    /// `cache_hit_ratio` keeps its historical engine-lifetime meaning
+    /// (`cache_hits / (cache_hits + prepares)`); the windowed ratio and
+    /// windowed per-plan histograms come from the service's
+    /// [`MetricsRegistry`], fed by sampling the engine's lifetime
+    /// counters at each `stats()` read.
     pub fn stats(&self) -> ServiceStats {
         let (graphs, shards) = self.registry.census();
         let engine = self.engine.stats();
+        // Pull-based windowed sampling: stats() reads are the sampling
+        // points; the delta since the last read lands in the current
+        // epoch of the windowed cache counters.
+        {
+            let mut last = self.engine_sample.lock().unwrap_or_else(|e| e.into_inner());
+            let hits = engine.cache_hits.saturating_sub(last.0);
+            let misses = engine.prepares.saturating_sub(last.1);
+            if hits > 0 {
+                self.metrics.counter_add("cache_hits", hits as u64);
+            }
+            if misses > 0 {
+                self.metrics.counter_add("cache_misses", misses as u64);
+            }
+            *last = (engine.cache_hits, engine.prepares);
+        }
         let lookups = engine.cache_hits + engine.prepares;
+        let lifetime_ratio = if lookups == 0 {
+            0.0
+        } else {
+            engine.cache_hits as f64 / lookups as f64
+        };
+        let w_hits = self.metrics.counter_windowed("cache_hits");
+        let w_misses = self.metrics.counter_windowed("cache_misses");
+        let windowed_ratio = if w_hits + w_misses == 0 {
+            0.0
+        } else {
+            w_hits as f64 / (w_hits + w_misses) as f64
+        };
+        let mut plan_histograms = PlanHistograms::default();
+        let mut plan_histograms_windowed = PlanHistograms::default();
+        for i in 0..plan_histograms.by_plan.len() {
+            let key = latency_key(PlanHistograms::kind_of(i));
+            plan_histograms.by_plan[i] = histogram_from(self.metrics.histogram_lifetime(key));
+            plan_histograms_windowed.by_plan[i] =
+                histogram_from(self.metrics.histogram_windowed(key));
+        }
         ServiceStats {
             graphs,
             shards,
@@ -385,16 +564,13 @@ impl<L: ServiceLabel> Service<L> {
             update_batches: self.counters.update_batches.load(Ordering::Relaxed),
             reshards: self.counters.reshards.load(Ordering::Relaxed),
             snapshots: self.counters.snapshots.load(Ordering::Relaxed),
-            cache_hit_ratio: if lookups == 0 {
-                0.0
-            } else {
-                engine.cache_hits as f64 / lookups as f64
-            },
-            plan_histograms: self
-                .histograms
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .clone(),
+            cache_hit_ratio: lifetime_ratio,
+            cache_hit_ratio_lifetime: lifetime_ratio,
+            cache_hit_ratio_windowed: windowed_ratio,
+            backend_fallbacks: self.metrics.counter_lifetime("backend_fallbacks") as usize,
+            plan_histograms,
+            plan_histograms_windowed,
+            slow_traces: self.slow_ring.snapshot(),
             engine,
         }
     }
@@ -635,6 +811,88 @@ mod tests {
         q.config.timeout = Some(std::time::Duration::ZERO);
         let err = service.query("web", &q).unwrap_err();
         assert!(matches!(err, ServiceError::Timeout { .. }));
+    }
+
+    #[test]
+    fn traced_sharded_query_carries_spans_and_matches_untraced_answers() {
+        let service = sharded_service();
+        service.register("web".into(), two_part_graph()).unwrap();
+        let q = query_for(
+            &service,
+            "web",
+            &["a", "b", "x", "y"],
+            &[("a", "b"), ("x", "y")],
+        );
+        let plain = service.query("web", &q).expect("untraced");
+        assert!(plain.trace.is_none(), "untraced responses carry no trace");
+        let traced = service.query_traced("web", &q, true).expect("traced");
+        let t = traced.trace.as_ref().expect("trace requested");
+
+        // Tracing must not change the answer.
+        assert_eq!(traced.mapping, plain.mapping);
+        assert_eq!(traced.qual_card, plain.qual_card);
+        assert_eq!(traced.qual_sim, plain.qual_sim);
+
+        // The sharded path records admission, plan, route, one
+        // shard_match per consulted shard, and merge.
+        let names: Vec<&str> = t.spans.iter().map(|s| s.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "admission",
+                "plan",
+                "route",
+                "shard_match",
+                "shard_match",
+                "merge"
+            ],
+            "spans: {names:?}"
+        );
+        assert_eq!(t.counters.shards_consulted, 2);
+        assert_eq!(t.counters.plan, traced.plan.kind.name());
+        assert_eq!(t.counters.closure_backend, "dense");
+        assert!(!t.counters.timed_out);
+        // Top-level spans tile the measured latency: their sum cannot
+        // exceed it (admission is measured separately and ~0 here).
+        assert!(
+            t.top_level_micros() <= traced.micros as u64 + t.micros_of("admission"),
+            "span sum {} vs end-to-end {}",
+            t.top_level_micros(),
+            traced.micros
+        );
+
+        // The traced query landed in the slow ring and in stats.
+        let stats = service.stats();
+        assert_eq!(stats.slow_traces.len(), 1);
+        assert_eq!(stats.slow_traces[0].0, traced.micros);
+        let json = stats.to_json();
+        assert!(json.contains("\"slow_traces\":[{\"micros\":"), "{json}");
+        assert!(json.contains("\"cache_hit_ratio_windowed\":"), "{json}");
+    }
+
+    #[test]
+    fn stats_export_windowed_views_and_backend_fallbacks() {
+        let service = sharded_service();
+        service.register("web".into(), two_part_graph()).unwrap();
+        let q = query_for(&service, "web", &["a", "c"], &[("a", "c")]);
+        service.query("web", &q).expect("query");
+        let stats = service.stats();
+        // Freshly recorded: the windowed view still holds everything the
+        // lifetime view does.
+        assert_eq!(stats.cache_hit_ratio, stats.cache_hit_ratio_lifetime);
+        assert_eq!(stats.cache_hit_ratio_windowed, stats.cache_hit_ratio);
+        assert_eq!(
+            stats.plan_histograms_windowed.combined().count(),
+            stats.plan_histograms.combined().count()
+        );
+        assert!(stats.plan_histograms.combined().count() >= 1);
+        // `backend_fallbacks` flows from the metrics registry into the
+        // stats export (and its JSON key).
+        assert_eq!(stats.backend_fallbacks, 0);
+        service.metrics().counter_add("backend_fallbacks", 2);
+        let stats = service.stats();
+        assert_eq!(stats.backend_fallbacks, 2);
+        assert!(stats.to_json().contains("\"backend_fallbacks\":2"));
     }
 
     #[test]

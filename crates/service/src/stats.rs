@@ -28,6 +28,14 @@ impl LatencyHistogram {
             .min(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// A histogram from raw bucket counts — the bridge from the
+    /// [`phom_trace::MetricsRegistry`]'s windowed histograms (same log₂
+    /// bucketing, [`phom_trace::WINDOW_BUCKETS`] == [`HISTOGRAM_BUCKETS`])
+    /// back to the service's export type.
+    pub fn from_buckets(buckets: [usize; HISTOGRAM_BUCKETS]) -> Self {
+        LatencyHistogram { buckets }
+    }
+
     /// Records one observation.
     pub fn record(&mut self, micros: u128) {
         self.buckets[Self::bucket(micros)] += 1;
@@ -142,6 +150,13 @@ impl PlanHistograms {
 
 /// A snapshot of the service's counters — what `Request::Stats` returns
 /// and `--stats-json` exports.
+///
+/// Latency aggregates come in two views, both fed by the service's
+/// [`phom_trace::MetricsRegistry`]: **lifetime** (since construction)
+/// and **windowed** (the registry's decaying ring of recent epochs).
+/// Traced outliers are retained in a [`phom_trace::SlowTraceRing`] and
+/// surfaced here as [`ServiceStats::slow_traces`], each a serialized
+/// [`phom_trace::QueryTrace`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
     /// Graphs currently registered.
@@ -164,9 +179,28 @@ pub struct ServiceStats {
     pub snapshots: usize,
     /// Prepared-graph cache hit ratio over the engine's lifetime
     /// (`hits / (hits + prepares)`; `0.0` before any preparation).
+    /// Equal to [`ServiceStats::cache_hit_ratio_lifetime`]; kept under
+    /// its original JSON key for existing scrapers.
     pub cache_hit_ratio: f64,
-    /// Per-plan service-latency histograms of admitted queries.
+    /// Lifetime cache hit ratio (same quantity as
+    /// [`ServiceStats::cache_hit_ratio`], under its explicit name).
+    pub cache_hit_ratio_lifetime: f64,
+    /// Cache hit ratio over the registry's recent-epoch window — the
+    /// steady-state number a lifetime ratio buries under warm-up misses.
+    pub cache_hit_ratio_windowed: f64,
+    /// Update-maintenance operations that fell back from the chain
+    /// backend to a dense rebuild, lifetime (the aggregate of
+    /// `UpdateStats::backend_fallbacks` across applied batches).
+    pub backend_fallbacks: usize,
+    /// Per-plan service-latency histograms of admitted queries,
+    /// lifetime.
     pub plan_histograms: PlanHistograms,
+    /// Per-plan service-latency histograms over the registry's
+    /// recent-epoch window.
+    pub plan_histograms_windowed: PlanHistograms,
+    /// The K slowest traced queries retained so far, as
+    /// `(micros, serialized trace)`, slowest first.
+    pub slow_traces: Vec<(u128, String)>,
     /// The wrapped engine's counters.
     pub engine: EngineStats,
 }
@@ -174,12 +208,22 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// Compact JSON rendering. The engine counters nest under
     /// `"engine"`; `"queries_shed"` and `"plan_histograms"` are the
-    /// service-specific fields dashboards scrape.
+    /// service-specific fields dashboards scrape. `"cache_hit_ratio"`
+    /// keeps its historical meaning (lifetime); the windowed view sits
+    /// beside it.
     pub fn to_json(&self) -> String {
+        let slow: Vec<String> = self
+            .slow_traces
+            .iter()
+            .map(|(micros, trace)| format!("{{\"micros\":{micros},\"trace\":{trace}}}"))
+            .collect();
         format!(
             "{{\"graphs\":{},\"shards\":{},\"queries_admitted\":{},\"queries_shed\":{},\
              \"update_batches\":{},\"reshards\":{},\"snapshots\":{},\
-             \"cache_hit_ratio\":{:.4},\"plan_histograms\":{},\"engine\":{}}}",
+             \"cache_hit_ratio\":{:.4},\"cache_hit_ratio_lifetime\":{:.4},\
+             \"cache_hit_ratio_windowed\":{:.4},\"backend_fallbacks\":{},\
+             \"plan_histograms\":{},\"plan_histograms_windowed\":{},\
+             \"slow_traces\":[{}],\"engine\":{}}}",
             self.graphs,
             self.shards,
             self.queries_admitted,
@@ -188,7 +232,12 @@ impl ServiceStats {
             self.reshards,
             self.snapshots,
             self.cache_hit_ratio,
+            self.cache_hit_ratio_lifetime,
+            self.cache_hit_ratio_windowed,
+            self.backend_fallbacks,
             self.plan_histograms.to_json(),
+            self.plan_histograms_windowed.to_json(),
+            slow.join(","),
             self.engine.to_json()
         )
     }
@@ -274,6 +323,76 @@ mod tests {
         let json = h.to_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert_eq!(json.matches(',').count(), HISTOGRAM_BUCKETS - 1);
+    }
+
+    /// Exact power-of-two latencies land in the bucket they *open*:
+    /// bucket `i` is `[2^i, 2^(i+1))`, so `2^i` itself belongs to `i`.
+    #[test]
+    fn histogram_exact_power_of_two_boundaries() {
+        let mut h = LatencyHistogram::default();
+        for i in 0..HISTOGRAM_BUCKETS {
+            h.record(1u128 << i);
+        }
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(h.buckets()[i], 1, "2^{i} opens bucket {i}");
+        }
+        // One below a boundary stays in the lower bucket.
+        let mut low = LatencyHistogram::default();
+        low.record((1u128 << 10) - 1);
+        assert_eq!(low.buckets()[9], 1);
+    }
+
+    /// Everything at or beyond `2^(BUCKETS-1)` µs saturates into the top
+    /// bucket instead of indexing out of range.
+    #[test]
+    fn histogram_top_bucket_saturates() {
+        let mut h = LatencyHistogram::default();
+        h.record(1u128 << (HISTOGRAM_BUCKETS - 1));
+        h.record(1u128 << 80);
+        h.record(u128::MAX);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(
+            h.percentile_upper_micros(1),
+            1usize << HISTOGRAM_BUCKETS,
+            "the catch-all reports the range ceiling"
+        );
+    }
+
+    /// Merging histograms with disjoint occupied buckets is a plain
+    /// per-bucket sum — counts, percentiles, and round-trip via
+    /// `from_buckets` all agree.
+    #[test]
+    fn histogram_merge_of_disjoint_histograms() {
+        let mut fast = LatencyHistogram::default();
+        fast.record(1); // bucket 0
+        fast.record(3); // bucket 1
+        let mut slow = LatencyHistogram::default();
+        slow.record(5_000); // bucket 12
+        slow.record(70_000); // bucket 16
+        let mut merged = fast.clone();
+        merged.merge(&slow);
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.buckets()[0], 1);
+        assert_eq!(merged.buckets()[1], 1);
+        assert_eq!(merged.buckets()[12], 1);
+        assert_eq!(merged.buckets()[16], 1);
+        assert_eq!(merged.percentile_upper_micros(100), 1 << 17);
+        assert_eq!(LatencyHistogram::from_buckets(*merged.buckets()), merged);
+        // Merging an empty histogram is the identity.
+        merged.merge(&LatencyHistogram::default());
+        assert_eq!(merged.count(), 4);
+    }
+
+    /// The service bucketing and the metrics registry's windowed
+    /// bucketing agree bucket-for-bucket, so `from_buckets` on registry
+    /// output is faithful.
+    #[test]
+    fn histogram_bucketing_matches_the_metrics_registry() {
+        assert_eq!(HISTOGRAM_BUCKETS, phom_trace::WINDOW_BUCKETS);
+        for v in [0u128, 1, 2, 3, 127, 1 << 20, u128::MAX] {
+            assert_eq!(LatencyHistogram::bucket(v), phom_trace::bucket_of(v));
+        }
     }
 
     #[test]

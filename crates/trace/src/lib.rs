@@ -1,0 +1,40 @@
+//! # phom-trace
+//!
+//! Observability primitives for the p-hom matching stack, kept
+//! dependency-free so every layer (`core` stays out entirely; `engine`,
+//! `service`, the CLI) can thread them through without widening its own
+//! dependency surface:
+//!
+//! * [`QueryTrace`] — per-query typed spans ([`SpanKind`]: admission,
+//!   plan, route, per-shard match, merge, nested restarts) with
+//!   monotonic timings plus sampled hot-path counters
+//!   ([`TraceCounters`]). Zero-alloc when disabled: an untraced query
+//!   never constructs one (guarded by the [`constructions`] counter).
+//! * [`TraceSink`] — where finished traces go. [`SlowTraceRing`] keeps
+//!   the K slowest recent traces for the stats surface; [`NullSink`]
+//!   drops them.
+//! * [`WindowedCounter`] / [`WindowedHistogram`] — lifetime totals plus
+//!   a ring of epoch buckets rotated on access, so "last N seconds"
+//!   views decay stale traffic instead of averaging over the process
+//!   lifetime. Time is injected via [`Clock`] ([`ManualClock`] makes the
+//!   rotation testable without sleeping).
+//! * [`MetricsRegistry`] — named counters, gauges, and windowed
+//!   histograms behind one handle; both lifetime and windowed views
+//!   export as JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod span;
+mod window;
+
+pub use registry::MetricsRegistry;
+pub use span::{
+    constructions, json_escape, NullSink, QueryTrace, SlowTraceRing, Span, SpanKind, SpanStart,
+    TraceCounters, TraceSink,
+};
+pub use window::{
+    bucket_of, Clock, ManualClock, MonotonicClock, WindowedCounter, WindowedHistogram,
+    WINDOW_BUCKETS,
+};

@@ -1,0 +1,237 @@
+//! Windowed (decaying) counters and histograms: a ring of epoch
+//! buckets keyed by absolute epoch number, rotated lazily on access.
+//! Time comes from an injected [`Clock`] so decay is testable without
+//! sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Log₂ buckets in a [`WindowedHistogram`]: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (bucket 0 is `[0, 2)`), matching the service
+/// layer's latency histograms so windowed and lifetime views line up
+/// bucket-for-bucket.
+pub const WINDOW_BUCKETS: usize = 26;
+
+/// Bucket index for a value (log₂, saturating into the top bucket).
+pub fn bucket_of(value: u128) -> usize {
+    ((128 - value.leading_zeros()) as usize)
+        .saturating_sub(1)
+        .min(WINDOW_BUCKETS - 1)
+}
+
+/// A monotonic time source in microseconds. Injected so windowed decay
+/// can be driven by a [`ManualClock`] in tests.
+pub trait Clock: Send + Sync {
+    /// Microseconds since the clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: microseconds since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-cranked clock for tests: starts at zero, advances only when
+/// told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock reading `micros`.
+    pub fn at(micros: u64) -> Self {
+        ManualClock {
+            micros: AtomicU64::new(micros),
+        }
+    }
+
+    /// Moves the clock forward.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute reading.
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+/// One ring slot: the absolute epoch it holds data for. Slot `e % N`
+/// belongs to epoch `e`; a slot tagged with an older epoch is stale and
+/// cleared before reuse or excluded from windowed reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotEpoch(u64);
+
+/// A counter with a lifetime total and a decaying window: the window
+/// view sums the last `epochs` epoch slots, so traffic older than
+/// `epochs × epoch_micros` falls out instead of dragging the average.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    slots: Vec<u64>,
+    slot_epochs: Vec<SlotEpoch>,
+    lifetime: u64,
+}
+
+impl WindowedCounter {
+    /// A counter windowed over `epochs` ring slots.
+    pub fn new(epochs: usize) -> Self {
+        let epochs = epochs.max(1);
+        WindowedCounter {
+            slots: vec![0; epochs],
+            slot_epochs: vec![SlotEpoch(0); epochs],
+            lifetime: 0,
+        }
+    }
+
+    /// Adds `n` at absolute epoch `epoch`.
+    pub fn add(&mut self, epoch: u64, n: u64) {
+        let i = (epoch % self.slots.len() as u64) as usize;
+        if self.slot_epochs[i] != SlotEpoch(epoch) {
+            self.slots[i] = 0;
+            self.slot_epochs[i] = SlotEpoch(epoch);
+        }
+        self.slots[i] += n;
+        self.lifetime += n;
+    }
+
+    /// The all-time total.
+    pub fn lifetime(&self) -> u64 {
+        self.lifetime
+    }
+
+    /// The total over the window ending at `epoch` (slots whose epoch is
+    /// in `(epoch - N, epoch]`).
+    pub fn windowed(&self, epoch: u64) -> u64 {
+        let n = self.slots.len() as u64;
+        self.slots
+            .iter()
+            .zip(&self.slot_epochs)
+            .filter(|(_, se)| se.0 <= epoch && se.0 + n > epoch)
+            .map(|(c, _)| *c)
+            .sum()
+    }
+}
+
+/// A log₂ histogram with a lifetime view and a decaying window, built
+/// from one [`WindowedCounter`]-style ring per bucket row.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    /// One bucket row per ring slot.
+    slots: Vec<[u64; WINDOW_BUCKETS]>,
+    slot_epochs: Vec<SlotEpoch>,
+    lifetime: [u64; WINDOW_BUCKETS],
+}
+
+impl WindowedHistogram {
+    /// A histogram windowed over `epochs` ring slots.
+    pub fn new(epochs: usize) -> Self {
+        let epochs = epochs.max(1);
+        WindowedHistogram {
+            slots: vec![[0; WINDOW_BUCKETS]; epochs],
+            slot_epochs: vec![SlotEpoch(0); epochs],
+            lifetime: [0; WINDOW_BUCKETS],
+        }
+    }
+
+    /// Records one observation at absolute epoch `epoch`.
+    pub fn record(&mut self, epoch: u64, value: u128) {
+        let i = (epoch % self.slots.len() as u64) as usize;
+        if self.slot_epochs[i] != SlotEpoch(epoch) {
+            self.slots[i] = [0; WINDOW_BUCKETS];
+            self.slot_epochs[i] = SlotEpoch(epoch);
+        }
+        self.slots[i][bucket_of(value)] += 1;
+        self.lifetime[bucket_of(value)] += 1;
+    }
+
+    /// The all-time bucket counts.
+    pub fn lifetime_buckets(&self) -> &[u64; WINDOW_BUCKETS] {
+        &self.lifetime
+    }
+
+    /// The bucket counts over the window ending at `epoch`.
+    pub fn windowed_buckets(&self, epoch: u64) -> [u64; WINDOW_BUCKETS] {
+        let n = self.slots.len() as u64;
+        let mut out = [0u64; WINDOW_BUCKETS];
+        for (row, se) in self.slots.iter().zip(&self.slot_epochs) {
+            if se.0 <= epoch && se.0 + n > epoch {
+                for (o, c) in out.iter_mut().zip(row) {
+                    *o += c;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_window_decays_past_the_ring() {
+        let mut c = WindowedCounter::new(3);
+        c.add(0, 5);
+        c.add(1, 7);
+        assert_eq!(c.lifetime(), 12);
+        assert_eq!(c.windowed(1), 12, "both epochs inside a 3-slot window");
+        assert_eq!(c.windowed(2), 12);
+        assert_eq!(c.windowed(3), 7, "epoch 0 has decayed");
+        assert_eq!(c.windowed(4), 0, "everything decayed");
+        assert_eq!(c.lifetime(), 12, "lifetime never decays");
+        // Reusing a slot after wrap-around clears the stale count.
+        c.add(3, 1); // slot 0, previously epoch 0's
+        assert_eq!(c.windowed(3), 8);
+        assert_eq!(c.lifetime(), 13);
+    }
+
+    #[test]
+    fn histogram_window_rotates_with_a_manual_clock() {
+        let clock = ManualClock::default();
+        let epoch_len = 1_000u64;
+        let mut h = WindowedHistogram::new(2);
+        let epoch = |c: &ManualClock| c.now_micros() / epoch_len;
+        h.record(epoch(&clock), 3); // bucket 1, epoch 0
+        clock.advance(1_000);
+        h.record(epoch(&clock), 100); // bucket 6, epoch 1
+        assert_eq!(h.windowed_buckets(epoch(&clock))[1], 1);
+        assert_eq!(h.windowed_buckets(epoch(&clock))[6], 1);
+        clock.advance(1_000); // epoch 2: epoch 0 decays out
+        assert_eq!(h.windowed_buckets(epoch(&clock))[1], 0);
+        assert_eq!(h.windowed_buckets(epoch(&clock))[6], 1);
+        clock.advance(10_000); // far future: window empty
+        assert_eq!(h.windowed_buckets(epoch(&clock)).iter().sum::<u64>(), 0);
+        assert_eq!(h.lifetime_buckets().iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn bucket_boundaries_match_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u128::MAX), WINDOW_BUCKETS - 1);
+    }
+}

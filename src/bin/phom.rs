@@ -11,14 +11,17 @@
 //!               [--closure-backend dense|chain|auto]
 //!               [--arrivals open:<rate>|poisson:<rate>] [--queue-depth D]
 //!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
+//!               [--trace-json PATH] [--slow-query-micros T]
 //! phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]
 //!               [--nodes M] [--noise P] [--seed S]
 //!               [--closure-backend dense|chain|auto]
 //!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
+//!               [--trace-json PATH] [--slow-query-micros T]
 //! phom serve-sim [--graphs G] [--parts K] [--nodes M] [--queries N]
 //!               [--update-ratio R] [--queue-depth D] [--threads T]
 //!               [--arrivals open:<rate>|poisson:<rate>] [--seed S] [--xi F]
 //!               [--timeout-micros U] [--stats-json PATH]
+//!               [--trace-json PATH] [--slow-query-micros T]
 //! ```
 //!
 //! `engine-batch` and `engine-live` run through the service layer
@@ -60,15 +63,18 @@ fn main() -> ExitCode {
              \x20                           [--arrivals open:<rate>|poisson:<rate>]\n\
              \x20                           [--queue-depth D] [--timeout-micros U]\n\
              \x20                           [--intra-workers W] [--stats-json PATH]\n\
+             \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
              phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]\n\
              \x20                           [--nodes M] [--noise P] [--seed S]\n\
              \x20                           [--closure-backend dense|chain|auto]\n\
              \x20                           [--timeout-micros U] [--intra-workers W]\n\
              \x20                           [--stats-json PATH]\n\
+             \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
              phom serve-sim [--graphs G] [--parts K] [--nodes M] [--queries N]\n\
              \x20                           [--update-ratio R] [--queue-depth D] [--threads T]\n\
              \x20                           [--arrivals open:<rate>|poisson:<rate>] [--seed S]\n\
-             \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]"
+             \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]\n\
+             \x20                           [--trace-json PATH] [--slow-query-micros T]"
         );
         return ExitCode::SUCCESS;
     }
@@ -119,6 +125,12 @@ struct Flags {
     graphs: usize,
     /// Disjoint parts (= WCCs) per `serve-sim` data graph (`--parts`).
     parts: usize,
+    /// Per-query trace output path (`--trace-json`; one JSON line per
+    /// traced query). Tracing is enabled iff this is set.
+    trace_json: Option<String>,
+    /// Only log traces for queries at least this slow (`--slow-query-micros`;
+    /// 0 = log every traced query).
+    slow_query_micros: u128,
     files: Vec<String>,
 }
 
@@ -200,6 +212,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         queue_depth: 0,
         graphs: 2,
         parts: 4,
+        trace_json: None,
+        slow_query_micros: 0,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -295,6 +309,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .cloned()
                         .ok_or("--stats-json needs an output path")?,
                 );
+            }
+            "--trace-json" => {
+                f.trace_json = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--trace-json needs an output path")?,
+                );
+            }
+            "--slow-query-micros" => {
+                f.slow_query_micros = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--slow-query-micros needs a microsecond threshold")?;
             }
             "--closure-backend" => {
                 f.closure_backend = it
@@ -790,12 +817,19 @@ fn run_engine_batch<L: ServiceLabel>(
         }
         return run_open_loop(&service, "batch", &queries, arrivals, f);
     }
+    let trace_log = TraceLog::new(f);
     let started = std::time::Instant::now();
-    let responses = match service.query_batch("batch", &queries) {
+    let responses = match service.query_batch_traced("batch", &queries, trace_log.enabled()) {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),
     };
     let elapsed = started.elapsed();
+    for (i, r) in responses.iter().enumerate() {
+        trace_log.record(i, "batch", r);
+    }
+    if let Err(e) = trace_log.flush() {
+        return fail(&e);
+    }
     let stats = service.engine_stats();
 
     let info = service.graph_info("batch").expect("registered above");
@@ -905,6 +939,7 @@ fn run_open_loop<L: ServiceLabel>(
     f: &Flags,
 ) -> ExitCode {
     let schedule = arrivals.schedule(queries.len(), f.seed);
+    let trace_log = TraceLog::new(f);
     let workers = if f.threads > 0 {
         f.threads
     } else {
@@ -931,7 +966,7 @@ fn run_open_loop<L: ServiceLabel>(
                 if now < sched {
                     std::thread::sleep(sched - now);
                 }
-                match service.query(graph, &queries[i]) {
+                match service.query_traced(graph, &queries[i], trace_log.enabled()) {
                     Ok(r) => {
                         let response = start.elapsed().saturating_sub(sched).as_micros();
                         latencies
@@ -939,6 +974,7 @@ fn run_open_loop<L: ServiceLabel>(
                             .unwrap_or_else(|e| e.into_inner())
                             .push((r.micros, response));
                         *card_sum.lock().unwrap_or_else(|e| e.into_inner()) += r.qual_card;
+                        trace_log.record(i, graph, &r);
                     }
                     Err(ServiceError::Overloaded { .. }) => {
                         shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -949,6 +985,9 @@ fn run_open_loop<L: ServiceLabel>(
         }
     });
     let elapsed = start.elapsed();
+    if let Err(e) = trace_log.flush() {
+        return fail(&e);
+    }
     let pairs = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
     let mut service_lat: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
     let mut response: Vec<u128> = pairs.iter().map(|&(_, r)| r).collect();
@@ -1006,6 +1045,66 @@ fn run_open_loop<L: ServiceLabel>(
         return fail(&e);
     }
     ExitCode::SUCCESS
+}
+
+/// Collects `--trace-json` output: one JSON line per traced query
+/// (`{"query":i,"graph":"...","micros":M,"trace":{...}}`), filtered by
+/// the `--slow-query-micros` threshold and flushed at command end.
+/// Tracing is enabled iff `--trace-json` was given; threads share the
+/// log through the interior mutex.
+struct TraceLog {
+    path: Option<String>,
+    threshold: u128,
+    lines: std::sync::Mutex<Vec<String>>,
+}
+
+impl TraceLog {
+    fn new(f: &Flags) -> Self {
+        TraceLog {
+            path: f.trace_json.clone(),
+            threshold: f.slow_query_micros,
+            lines: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether queries should run traced (drives the `trace` arguments
+    /// and the `Request::Query::trace` field).
+    fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    fn record(&self, i: usize, graph: &str, r: &QueryResponse) {
+        let Some(t) = r.trace.as_deref() else {
+            return;
+        };
+        if r.micros < self.threshold {
+            return;
+        }
+        let line = format!(
+            "{{\"query\":{i},\"graph\":\"{}\",\"micros\":{},\"trace\":{}}}",
+            phom::trace::json_escape(graph),
+            r.micros,
+            t.to_json(),
+        );
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line);
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let lines = self.lines.lock().unwrap_or_else(|e| e.into_inner());
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace JSON written to {path} ({} queries)", lines.len());
+        Ok(())
+    }
 }
 
 /// Writes the `--stats-json` export (engine counters, preparation stats,
@@ -1077,6 +1176,7 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
         return fail(&e.to_string());
     }
     let mut rng = phom::graph::XorShift64::new(f.seed ^ 0x6c69_7665); // "live"
+    let trace_log = TraceLog::new(&f);
     let mut agg = UpdateStats::default();
     let (mut queries_run, mut updates_run) = (0usize, 0usize);
     let mut query_micros = 0u128;
@@ -1103,10 +1203,11 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
                 inst.pool.similarity(*pattern.label(v), *data.label(u))
             });
             let q = mixed_query(pattern, mat, f.xi, i);
-            match service.query("live", &q) {
+            match service.query_traced("live", &q, trace_log.enabled()) {
                 Ok(r) => {
                     query_micros += r.micros;
                     card_sum += r.qual_card;
+                    trace_log.record(i, "live", &r);
                 }
                 Err(e) => return fail(&e.to_string()),
             }
@@ -1114,6 +1215,9 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
         }
     }
     let elapsed = started.elapsed();
+    if let Err(e) = trace_log.flush() {
+        return fail(&e);
+    }
 
     // The number the subsystem exists to beat: one full re-prepare of the
     // final graph, i.e. what every single-edge update used to cost.
@@ -1281,6 +1385,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     } else {
         usize::MAX
     };
+    let trace_log = TraceLog::new(&f);
     let start = std::time::Instant::now();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let latencies: std::sync::Mutex<Vec<(u128, u128)>> =
@@ -1290,6 +1395,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         for worker in 0..workers {
             let queries = &queries;
             let schedule = &schedule;
+            let trace_log = &trace_log;
             let service = &service;
             let latencies = &latencies;
             let shed = &shed;
@@ -1333,6 +1439,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
                         match service.handle(Request::Query {
                             graph: name.clone(),
                             query: q.clone(),
+                            trace: trace_log.enabled(),
                         }) {
                             Ok(Response::Answer(r)) => {
                                 let response = start.elapsed().saturating_sub(sched).as_micros();
@@ -1340,6 +1447,7 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
                                     .lock()
                                     .unwrap_or_else(|e| e.into_inner())
                                     .push((r.micros, response));
+                                trace_log.record(i, name, &r);
                             }
                             Ok(_) => unreachable!("query returns Answer"),
                             Err(ServiceError::Overloaded { .. }) => {
@@ -1353,6 +1461,9 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         }
     });
     let elapsed = start.elapsed();
+    if let Err(e) = trace_log.flush() {
+        return fail(&e);
+    }
     let pairs = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
     let mut service_lat: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
     let mut response: Vec<u128> = pairs.iter().map(|&(_, r)| r).collect();
@@ -1405,8 +1516,13 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         hist.of(PlanKind::Baseline).count(),
     );
     println!(
-        "cache hit ratio = {:.3} ({} graphs, {} shards)",
-        stats.cache_hit_ratio, stats.graphs, stats.shards,
+        "cache hit ratio = {:.3} lifetime / {:.3} windowed ({} graphs, {} shards)",
+        stats.cache_hit_ratio_lifetime, stats.cache_hit_ratio_windowed, stats.graphs, stats.shards,
+    );
+    println!(
+        "updates: {} backend fallbacks; slow-trace ring holds {} traces",
+        stats.backend_fallbacks,
+        stats.slow_traces.len(),
     );
     if let Some(path) = &f.stats_json {
         let mut engine_stats = service.engine_stats();

@@ -25,6 +25,7 @@
 //! | [`workloads`] | §6 synthetic generator, Web-archive simulator, skeletons, PDG plagiarism, email campaigns |
 //! | [`dynamic`] | semi-dynamic closure maintenance for live graphs: incremental inserts, bounded-cone deletes |
 //! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching, live updates |
+//! | [`trace`] | per-query traces (typed spans + sampled counters), windowed metrics registry, slow-trace retention |
 //! | [`service`] | request/response service layer: multi-graph registry with WCC sharding, admission control, typed errors |
 //!
 //! ## Quickstart
@@ -65,6 +66,7 @@ pub use phom_engine as engine;
 pub use phom_graph as graph;
 pub use phom_service as service;
 pub use phom_sim as sim;
+pub use phom_trace as trace;
 pub use phom_wis as wis;
 pub use phom_workloads as workloads;
 
@@ -107,6 +109,9 @@ pub mod prelude {
     pub use phom_sim::{
         hits_scores, matrix_from_label_fn, text_similarity, NodeWeights, SimMatrix,
         SimMatrixBuilder,
+    };
+    pub use phom_trace::{
+        MetricsRegistry, QueryTrace, SlowTraceRing, Span, SpanKind, TraceCounters, TraceSink,
     };
     pub use phom_wis::{
         clique_removal, max_clique, max_independent_set, ramsey_all, weighted_independent_set,

@@ -415,6 +415,7 @@ fn envelope_round_trip_through_the_prelude() {
         .handle(Request::Query {
             graph: "g".into(),
             query: Query::new(pattern, mat),
+            trace: false,
         })
         .expect("query")
     else {
@@ -434,6 +435,7 @@ fn envelope_round_trip_through_the_prelude() {
                 let m = SimMatrix::new(1, 3);
                 Query::new(p, m)
             },
+            trace: false,
         })
         .unwrap_err();
     assert_eq!(

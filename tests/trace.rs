@@ -1,0 +1,148 @@
+//! Observability acceptance tests for the trace/explain surface:
+//!
+//! 1. **Span coverage** — a traced query against a sharded multi-WCC
+//!    registry returns a `QueryTrace` whose top-level spans
+//!    (admission, plan, route, per-shard match, merge) tile the
+//!    service-reported latency: their durations sum to within 10% of
+//!    the end-to-end `micros` (plus a small absolute slack so
+//!    microsecond-scale queries cannot flake the ratio).
+//! 2. **Result identity** — tracing is observation only: a traced run
+//!    answers byte-identically (same mapping pairs, same qualities to
+//!    the exact bit, same plan) to an untraced run of the same query.
+//! 3. **Explain JSON** — the serialized trace carries the documented
+//!    fields (`spans`, `restarts_taken`, `cache_hit`, per-span
+//!    `duration_micros`), which is also what the CI smoke job greps
+//!    out of `--trace-json` output.
+
+use phom::prelude::*;
+use std::sync::Arc;
+
+/// A deterministic three-part graph (disjoint label alphabets, each
+/// part one WCC via a spanning path) and a pattern with one component
+/// per part — big enough that a query takes long enough to make the
+/// 10% span-sum tolerance meaningful.
+fn sharded_fixture() -> (Service<u8>, Query<u8>) {
+    let parts = 3usize;
+    let per_part = 40usize;
+    let mut rng = phom::graph::XorShift64::new(0x7472_6163); // "trac"
+    let mut data: DiGraph<u8> = DiGraph::new();
+    for p in 0..parts {
+        let base = data.node_count();
+        for i in 0..per_part {
+            data.add_node((p * 8 + i % 5) as u8);
+        }
+        for _ in 0..3 * per_part {
+            let a = NodeId((base + rng.below(per_part)) as u32);
+            let b = NodeId((base + rng.below(per_part)) as u32);
+            data.add_edge(a, b);
+        }
+        for i in 1..per_part {
+            data.add_edge(NodeId((base + i - 1) as u32), NodeId((base + i) as u32));
+        }
+    }
+    let mut pattern: DiGraph<u8> = DiGraph::new();
+    for p in 0..parts {
+        let base = pattern.node_count();
+        let n = 6;
+        for i in 0..n {
+            pattern.add_node((p * 8 + i % 5) as u8);
+        }
+        for i in 1..n {
+            pattern.add_edge(NodeId((base + i - 1) as u32), NodeId((base + i) as u32));
+        }
+    }
+    let data = Arc::new(data);
+    let pattern = Arc::new(pattern);
+
+    let service: Service<u8> = Service::new(
+        ServiceConfig::builder()
+            .sharding(ShardingConfig {
+                max_shards: parts,
+                min_shard_nodes: 0,
+            })
+            .build(),
+    );
+    let info = service
+        .register("g".into(), Arc::clone(&data))
+        .expect("register");
+    assert!(info.shards > 1, "fixture must actually shard");
+
+    let matrix = SimMatrix::label_equality(&pattern, &data);
+    let mut query = Query::new(pattern, matrix);
+    query.config = QueryConfig::builder().xi(0.5).restarts(1).build();
+    (service, query)
+}
+
+#[test]
+fn traced_sharded_span_sum_within_ten_percent_of_latency() {
+    let (service, query) = sharded_fixture();
+    let response = service.query_traced("g", &query, true).expect("query");
+    let trace = response.trace.as_deref().expect("trace requested");
+
+    let names: Vec<&str> = trace
+        .spans
+        .iter()
+        .filter(|s| !s.kind.nested())
+        .map(|s| s.kind.name())
+        .collect();
+    assert_eq!(names[0], "admission");
+    assert_eq!(names[1], "plan");
+    assert_eq!(names[2], "route");
+    assert_eq!(*names.last().unwrap(), "merge");
+    assert!(
+        names.iter().filter(|n| **n == "shard_match").count() >= 2,
+        "multi-component pattern on a multi-WCC graph must consult \
+         several shards (got {names:?})"
+    );
+
+    // The admission span is measured before the trace's origin, so the
+    // end-to-end latency the spans must tile is micros + admission.
+    let total = response.micros as f64 + trace.micros_of("admission") as f64;
+    let sum = trace.top_level_micros() as f64;
+    assert!(
+        (sum - total).abs() <= 0.10 * total + 100.0,
+        "span durations (sum {sum} us) must tile end-to-end latency \
+         ({total} us) within 10%"
+    );
+    assert_eq!(trace.counters.shards_consulted, response.shards_consulted);
+}
+
+#[test]
+fn traced_answers_are_identical_to_untraced() {
+    let (service, query) = sharded_fixture();
+    let plain = service.query_traced("g", &query, false).expect("untraced");
+    let traced = service.query_traced("g", &query, true).expect("traced");
+    assert!(plain.trace.is_none());
+    assert!(traced.trace.is_some());
+
+    let pairs = |m: &PHomMapping| m.pairs().collect::<Vec<_>>();
+    assert_eq!(pairs(&plain.mapping), pairs(&traced.mapping));
+    assert_eq!(plain.qual_card.to_bits(), traced.qual_card.to_bits());
+    assert_eq!(plain.qual_sim.to_bits(), traced.qual_sim.to_bits());
+    assert_eq!(plain.plan.kind, traced.plan.kind);
+    assert_eq!(plain.shards_consulted, traced.shards_consulted);
+}
+
+#[test]
+fn trace_json_carries_the_documented_fields() {
+    let (service, query) = sharded_fixture();
+    let response = service.query_traced("g", &query, true).expect("query");
+    let json = response.trace.as_deref().expect("trace").to_json();
+    for key in [
+        "\"spans\":",
+        "\"counters\":",
+        "\"restarts_taken\":",
+        "\"cache_hit\":",
+        "\"closure_backend\":",
+        "\"duration_micros\":",
+        "\"shard_match\"",
+    ] {
+        assert!(json.contains(key), "trace JSON missing {key}: {json}");
+    }
+
+    // The same trace must be retained by the slow-query ring and carry
+    // a parseable micros alongside the serialized trace.
+    let stats = service.stats();
+    assert!(!stats.slow_traces.is_empty());
+    assert!(stats.to_json().contains("\"slow_traces\":"));
+}

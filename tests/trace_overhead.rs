@@ -1,0 +1,66 @@
+//! Trace-overhead guard: the disabled-trace path must not construct
+//! trace state. `phom_trace::constructions()` counts every
+//! `QueryTrace::new()` process-wide, so this test lives in its own
+//! integration-test binary — no other test here may create traces
+//! concurrently — and asserts the counter stays flat across untraced
+//! engine and service executions, then moves for exactly the traced
+//! ones.
+
+use phom::prelude::*;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<DiGraph<String>>, Query<String>) {
+    let data = Arc::new(graph_from_labels(
+        &["a", "b", "c", "d"],
+        &[("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")],
+    ));
+    let pattern = Arc::new(graph_from_labels(&["a", "d"], &[("a", "d")]));
+    let matrix = SimMatrix::label_equality(&pattern, &data);
+    (data, Query::new(pattern, matrix))
+}
+
+#[test]
+fn untraced_paths_construct_no_trace_state() {
+    let (data, query) = fixture();
+
+    // Engine layer: execute / execute_traced(false) / batch.
+    let engine: Engine<String> = Engine::default();
+    let prepared = engine.prepare(&data);
+    let before = phom::trace::constructions();
+    for _ in 0..32 {
+        let r = engine.execute(&prepared, &query);
+        assert!(r.trace.is_none());
+    }
+    let batch = engine.execute_batch_prepared(&prepared, &[query.clone(), query.clone()]);
+    assert!(batch.results.iter().all(|r| r.trace.is_none()));
+    assert_eq!(
+        phom::trace::constructions(),
+        before,
+        "untraced Engine::execute must not allocate trace state"
+    );
+
+    // Service layer: query / query_batch / handle(trace: false).
+    let service: Service<String> = Service::new(ServiceConfig::default());
+    service
+        .register("g".into(), Arc::clone(&data))
+        .expect("register");
+    let before = phom::trace::constructions();
+    for _ in 0..8 {
+        let r = service.query("g", &query).expect("query");
+        assert!(r.trace.is_none());
+    }
+    service
+        .query_batch("g", &[query.clone(), query.clone()])
+        .expect("batch");
+    assert_eq!(
+        phom::trace::constructions(),
+        before,
+        "untraced Service::query must not allocate trace state"
+    );
+
+    // And the traced path accounts for exactly one trace per query.
+    let before = phom::trace::constructions();
+    let traced = service.query_traced("g", &query, true).expect("traced");
+    assert!(traced.trace.is_some());
+    assert_eq!(phom::trace::constructions(), before + 1);
+}
