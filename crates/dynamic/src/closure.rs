@@ -338,6 +338,9 @@ impl<L> SemiDynamicClosure<L> {
     /// rebuild above.
     fn repair_after_removal(&mut self, affected: Vec<usize>) -> UpdateEffect {
         let budget = ((self.config.damage_threshold * self.live as f64).ceil() as usize).max(1);
+        if let Some(permille) = (affected.len() * 1000).checked_div(self.live) {
+            self.stats.peak_damage_permille = self.stats.peak_damage_permille.max(permille);
+        }
         if affected.len() > budget {
             self.rebuild();
             return UpdateEffect::Rebuilt;
@@ -734,6 +737,39 @@ mod tests {
         assert_eq!(eff, UpdateEffect::Rebuilt);
         assert_eq!(dyc.stats().rebuilds, 1);
         assert_matches_scratch(&dyc, &g);
+    }
+
+    /// The operations layer's damage telemetry: every structural removal
+    /// records its cone size as a fraction of live components, and the
+    /// stat keeps the peak — across both the incremental and the
+    /// rebuild branch.
+    #[test]
+    fn deletion_damage_peak_is_recorded() {
+        let g0 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let mut dyc = SemiDynamicClosure::new(&g0);
+        assert_eq!(dyc.stats().peak_damage_permille, 0, "no removals yet");
+        // Cone of b -> c is {a, b}: 2 of 4 live components = 500‰,
+        // under the default 0.5 threshold (incremental branch).
+        dyc.remove_edge(NodeId(1), NodeId(2));
+        assert_eq!(dyc.stats().rebuilds, 0);
+        assert_eq!(dyc.stats().peak_damage_permille, 500);
+        // A smaller cone later must not lower the peak.
+        dyc.remove_edge(NodeId(2), NodeId(3));
+        assert_eq!(dyc.stats().peak_damage_permille, 500);
+        // The rebuild branch records damage too (and survives the
+        // stats carry-over inside rebuild()).
+        let g1 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let mut forced = SemiDynamicClosure::with_config(
+            &g1,
+            DynamicConfig {
+                damage_threshold: 0.0,
+            },
+        );
+        assert_eq!(
+            forced.remove_edge(NodeId(1), NodeId(2)),
+            UpdateEffect::Rebuilt
+        );
+        assert_eq!(forced.stats().peak_damage_permille, 500);
     }
 
     #[test]

@@ -87,6 +87,12 @@ pub struct DynamicStats {
     pub scc_splits: usize,
     /// Full from-scratch rebuilds (damage threshold exceeded).
     pub rebuilds: usize,
+    /// Highest deletion damage observed across all structural removals,
+    /// in permille of live condensation components — the cone size
+    /// [`DynamicConfig::damage_threshold`] gates on, recorded whether or
+    /// not the removal tripped a rebuild. A climbing peak warns that the
+    /// threshold is about to start costing full rebuilds.
+    pub peak_damage_permille: usize,
     /// Microseconds spent inside closure maintenance
     /// (`insert_edge`/`remove_edge`), cumulative — the phase timing the
     /// engine surfaces as `UpdateStats::closure_maintain_micros`.

@@ -11,7 +11,7 @@ use phom_core::{
 use phom_dynamic::{DynamicConfig, GraphUpdate};
 use phom_graph::{DiGraph, NodeId, ReachabilityIndex};
 use phom_sim::{NodeWeights, SimMatrix};
-use phom_trace::{QueryTrace, SpanKind};
+use phom_trace::{EventJournal, EventKind, QueryTrace, Severity, SpanKind};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -373,6 +373,11 @@ pub struct Engine<L> {
     config: EngineConfig,
     cache: Mutex<LruCache<L>>,
     counters: Counters,
+    /// Lifecycle-event sink (timeouts, update admissions, backend
+    /// fallbacks). Disabled by default: every emission site is then a
+    /// single branch that constructs nothing (see
+    /// [`phom_trace::event_constructions`]).
+    journal: Arc<EventJournal>,
 }
 
 impl<L> Default for Engine<L> {
@@ -389,7 +394,22 @@ impl<L> Engine<L> {
             config,
             cache: Mutex::new(LruCache::new(capacity)),
             counters: Counters::default(),
+            journal: Arc::new(EventJournal::disabled()),
         }
+    }
+
+    /// Routes the engine's lifecycle events ([`EventKind::QueryTimedOut`],
+    /// [`EventKind::UpdateApplied`], [`EventKind::BackendFallback`]) into
+    /// `journal` — typically a journal shared with the service layer, so
+    /// every layer's events land in one sequenced stream.
+    pub fn set_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = journal;
+    }
+
+    /// The engine's event journal (disabled unless
+    /// [`Engine::set_journal`] installed one).
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
     }
 
     /// Snapshot of the engine's counters.
@@ -508,6 +528,7 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
         // in live streams) keeps the current prepared version instead of
         // assembling an identical new one.
         if let Some(outcome) = self.noop_batch(graph, updates, None) {
+            self.journal_update(updates, &outcome.stats);
             return outcome;
         }
         let outcome = if updates.len() > self.config.max_update_batch {
@@ -518,7 +539,9 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
             self.prepare(graph)
                 .apply_with(updates, &self.config.dynamic)
         };
-        self.admit_outcome(outcome)
+        let outcome = self.admit_outcome(outcome);
+        self.journal_update(updates, &outcome.stats);
+        outcome
     }
 
     /// [`Engine::apply_updates`] against an **already prepared** version —
@@ -533,6 +556,7 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
         updates: &[GraphUpdate],
     ) -> UpdateOutcome<L> {
         if let Some(outcome) = self.noop_batch(prepared.graph(), updates, Some(prepared)) {
+            self.journal_update(updates, &outcome.stats);
             return outcome;
         }
         let outcome = if updates.len() > self.config.max_update_batch {
@@ -540,7 +564,36 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
         } else {
             prepared.apply_with(updates, &self.config.dynamic)
         };
-        self.admit_outcome(outcome)
+        let outcome = self.admit_outcome(outcome);
+        self.journal_update(updates, &outcome.stats);
+        outcome
+    }
+
+    /// Journals an admitted update batch — and, separately at `Warn`, any
+    /// chain-backend fallbacks it recorded. Payloads are built lazily:
+    /// a disabled journal pays one branch per batch.
+    fn journal_update(&self, updates: &[GraphUpdate], stats: &UpdateStats) {
+        self.journal.emit(Severity::Info, || {
+            let inserts = updates
+                .iter()
+                .filter(|u| matches!(u, GraphUpdate::InsertEdge(..)))
+                .count();
+            EventKind::UpdateApplied {
+                inserts,
+                removes: updates.len() - inserts,
+                applied: stats.applied,
+                noops: stats.noops,
+                rejected: stats.rejected,
+                rebuilds: stats.rebuilds,
+                micros: stats.apply_micros,
+            }
+        });
+        if stats.backend_fallbacks > 0 {
+            self.journal
+                .emit(Severity::Warn, || EventKind::BackendFallback {
+                    fallbacks: stats.backend_fallbacks,
+                });
+        }
     }
 
     /// The all-no-ops fast path shared by the two apply entry points:
@@ -761,6 +814,11 @@ impl<L: Clone + Sync> Engine<L> {
 
         if outcome.stats.timed_out {
             self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.journal
+                .emit(Severity::Warn, || EventKind::QueryTimedOut {
+                    plan: plan.kind.name().to_owned(),
+                    micros: started.elapsed().as_micros(),
+                });
         }
         if outcome.stats.parallel_components > 0 {
             self.counters

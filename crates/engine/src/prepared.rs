@@ -201,6 +201,10 @@ pub struct UpdateStats {
     pub backend_fallbacks: usize,
     /// Total closure components created, merged, or rewritten.
     pub affected_components: usize,
+    /// Highest deletion damage the maintainer observed in this batch, in
+    /// permille of live condensation components (see
+    /// `DynamicStats::peak_damage_permille`).
+    pub peak_damage_permille: usize,
     /// Hop-bounded memo rows re-run (affected sources across all
     /// memoized bounds).
     pub bounded_rows_recomputed: usize,
@@ -228,6 +232,7 @@ impl UpdateStats {
         self.rebuilds += other.rebuilds;
         self.backend_fallbacks += other.backend_fallbacks;
         self.affected_components += other.affected_components;
+        self.peak_damage_permille = self.peak_damage_permille.max(other.peak_damage_permille);
         self.bounded_rows_recomputed += other.bounded_rows_recomputed;
         self.closure_maintain_micros += other.closure_maintain_micros;
         self.bounded_refresh_micros += other.bounded_refresh_micros;
@@ -239,7 +244,8 @@ impl UpdateStats {
         format!(
             "{{\"applied\":{},\"noops\":{},\"rejected\":{},\"closure_unchanged\":{},\
              \"incremental\":{},\"rebuilds\":{},\"backend_fallbacks\":{},\
-             \"affected_components\":{},\"bounded_rows_recomputed\":{},\
+             \"affected_components\":{},\"peak_damage_permille\":{},\
+             \"bounded_rows_recomputed\":{},\
              \"closure_maintain_micros\":{},\"bounded_refresh_micros\":{},\
              \"apply_micros\":{}}}",
             self.applied,
@@ -250,6 +256,7 @@ impl UpdateStats {
             self.rebuilds,
             self.backend_fallbacks,
             self.affected_components,
+            self.peak_damage_permille,
             self.bounded_rows_recomputed,
             self.closure_maintain_micros,
             self.bounded_refresh_micros,
@@ -474,6 +481,7 @@ impl<L: Clone> PreparedGraph<L> {
             }
         }
         stats.closure_maintain_micros = dyc.stats().maintain_micros;
+        stats.peak_damage_permille = dyc.stats().peak_damage_permille;
         let scc_count = dyc.component_count();
         let (new_graph, closure) = dyc.into_parts();
         let bounded = self.refreshed_bounded_memo(&new_graph, &touched, &mut stats);

@@ -72,11 +72,13 @@ pub use envelope::{GraphInfo, QueryResponse, Request, Response, UpdateSummary};
 pub use error::ServiceError;
 pub use label::ServiceLabel;
 pub use registry::{GraphEntry, GraphRegistry, ShardingConfig};
-pub use service::{Service, ServiceConfig, ServiceConfigBuilder};
+pub use service::{plan_name_of, Service, ServiceConfig, ServiceConfigBuilder};
 pub use stats::{LatencyHistogram, PlanHistograms, ServiceStats, HISTOGRAM_BUCKETS};
 
 // Re-exported so service consumers can speak the trace/metrics
 // vocabulary without a direct `phom-trace` dependency.
 pub use phom_trace::{
-    MetricsRegistry, QueryTrace, SlowTraceRing, Span, SpanKind, TraceCounters, TraceSink,
+    EventJournal, EventKind, FlightRecord, FlightRecorder, LatencyObjective, MetricsRegistry,
+    QueryTrace, RateObjective, Severity, SloConfig, SloStatus, SlowTraceRing, Span, SpanKind,
+    TraceCounters, TraceSink, FLIGHT_DEFAULT_CAPACITY,
 };

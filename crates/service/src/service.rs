@@ -13,7 +13,11 @@ use bytes::Bytes;
 use phom_dynamic::GraphUpdate;
 use phom_engine::{Engine, EngineConfig, EngineStats, PlanKind, Query};
 use phom_graph::DiGraph;
-use phom_trace::{MetricsRegistry, SlowTraceRing, Span, SpanKind, TraceSink};
+use phom_trace::{
+    evaluate_slo, EventJournal, EventKind, FlightRecorder, MetricsRegistry, Severity, SloConfig,
+    SloStatus, SlowTraceRing, Span, SpanKind, TraceSink, FLIGHT_DEFAULT_CAPACITY,
+};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -37,6 +41,21 @@ pub struct ServiceConfig {
     /// [`ServiceStats::slow_traces`]. `0` disables retention. Only
     /// queries requested with `trace: true` are candidates.
     pub slow_trace_capacity: usize,
+    /// Lifecycle-event journal ring capacity. `0` (the default) keeps no
+    /// ring — the journal stays fully disabled unless a JSON-lines sink
+    /// is attached via [`phom_trace::EventJournal::attach_sink`], and
+    /// every emission site is then a single branch that constructs
+    /// nothing.
+    pub journal_capacity: usize,
+    /// Flight-recorder ring capacity: the last N query summaries,
+    /// **every** query (default
+    /// [`phom_trace::FLIGHT_DEFAULT_CAPACITY`]). `0` disables recording.
+    pub flight_capacity: usize,
+    /// Declarative service-level objectives, evaluated over the metrics
+    /// registry's windowed and lifetime views on every
+    /// [`Service::slo_status`] (and [`Service::stats`]) read. Empty (the
+    /// default) disables the monitor.
+    pub slo: SloConfig,
 }
 
 impl Default for ServiceConfig {
@@ -47,6 +66,9 @@ impl Default for ServiceConfig {
             queue_depth: 0,
             strict_timeouts: false,
             slow_trace_capacity: 8,
+            journal_capacity: 0,
+            flight_capacity: FLIGHT_DEFAULT_CAPACITY,
+            slo: SloConfig::disabled(),
         }
     }
 }
@@ -94,6 +116,24 @@ impl ServiceConfigBuilder {
     /// Sets [`ServiceConfig::slow_trace_capacity`].
     pub fn slow_trace_capacity(mut self, capacity: usize) -> Self {
         self.config.slow_trace_capacity = capacity;
+        self
+    }
+
+    /// Sets [`ServiceConfig::journal_capacity`].
+    pub fn journal_capacity(mut self, capacity: usize) -> Self {
+        self.config.journal_capacity = capacity;
+        self
+    }
+
+    /// Sets [`ServiceConfig::flight_capacity`].
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.config.flight_capacity = capacity;
+        self
+    }
+
+    /// Sets [`ServiceConfig::slo`].
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.config.slo = slo;
         self
     }
 
@@ -164,6 +204,16 @@ pub struct Service<L> {
     /// service would both derive from the old entry and the later
     /// replace would silently drop the earlier batch's edits.
     update_lock: Mutex<()>,
+    /// The lifecycle-event journal, shared (via `Arc`) with the engine
+    /// so both layers' events land in one sequenced stream.
+    journal: Arc<EventJournal>,
+    /// The always-on flight recorder: a compact summary of every
+    /// admitted query, oldest overwritten first.
+    flight: FlightRecorder,
+    /// Objectives currently in breach — edge-triggers the
+    /// `SloBreached` journal event (and its flight dump) so a sustained
+    /// breach journals once, not once per stats poll.
+    slo_breached: Mutex<BTreeSet<String>>,
 }
 
 /// Widens registry bucket counts back into the service's histogram
@@ -174,6 +224,16 @@ fn histogram_from(buckets: [u64; phom_trace::WINDOW_BUCKETS]) -> LatencyHistogra
         *o = *b as usize;
     }
     LatencyHistogram::from_buckets(out)
+}
+
+/// The plan name behind a flight record's plan index (the
+/// [`PlanHistograms`] slot order; anything out of range is `"unknown"`).
+pub fn plan_name_of(index: u8) -> &'static str {
+    if (index as usize) < 4 {
+        PlanHistograms::kind_of(index as usize).name()
+    } else {
+        "unknown"
+    }
 }
 
 /// The metrics-registry histogram name of one plan kind's latency.
@@ -195,19 +255,51 @@ impl<L: ServiceLabel> Default for Service<L> {
 impl<L: ServiceLabel> Service<L> {
     /// Creates a service with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
-        let engine = Engine::new(config.engine.clone());
+        let journal = Arc::new(EventJournal::new(config.journal_capacity));
+        let mut engine = Engine::new(config.engine.clone());
+        engine.set_journal(Arc::clone(&journal));
         let gate = AdmissionGate::new(config.queue_depth);
         let slow_ring = SlowTraceRing::new(config.slow_trace_capacity);
+        let flight = FlightRecorder::new(config.flight_capacity);
+        let metrics = MetricsRegistry::new();
+        // Pre-register the admission/lifecycle counters so exposition and
+        // SLO rate objectives see their families even before any traffic.
+        for name in [
+            "queries_admitted",
+            "queries_shed",
+            "queries_timed_out",
+            "update_batches",
+            "reshards",
+            "snapshots",
+        ] {
+            metrics.counter_add(name, 0);
+        }
+        // Same for the histogram families: the per-plan latency series
+        // and the update phase timings exist from the first scrape.
+        for name in [
+            "latency_exact",
+            "latency_approx",
+            "latency_bounded",
+            "latency_baseline",
+            "update_apply_micros",
+            "closure_maintain_micros",
+            "bounded_refresh_micros",
+        ] {
+            metrics.histogram_touch(name);
+        }
         Service {
             config,
             engine,
             registry: GraphRegistry::new(),
             gate,
             counters: ServiceCounters::default(),
-            metrics: MetricsRegistry::new(),
+            metrics,
             slow_ring,
             engine_sample: Mutex::new((0, 0)),
             update_lock: Mutex::new(()),
+            journal,
+            flight,
+            slo_breached: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -232,6 +324,18 @@ impl<L: ServiceLabel> Service<L> {
         &self.metrics
     }
 
+    /// The lifecycle-event journal (shared with the engine). Attach a
+    /// JSON-lines sink with [`phom_trace::EventJournal::attach_sink`].
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// The flight recorder: compact summaries of the last N admitted
+    /// queries.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Dispatches one request to its handler.
     pub fn handle(&self, request: Request<L>) -> Result<Response, ServiceError> {
         match request {
@@ -243,6 +347,10 @@ impl<L: ServiceLabel> Service<L> {
             }
             Request::EvictGraph { name } => {
                 self.registry.evict(&name)?;
+                self.journal
+                    .emit(Severity::Info, || EventKind::GraphEvicted {
+                        graph: name.clone(),
+                    });
                 Ok(Response::Evicted { graph: name })
             }
             Request::Query {
@@ -288,7 +396,14 @@ impl<L: ServiceLabel> Service<L> {
             name,
             graph,
         );
-        self.registry.insert(entry).map(|e| e.info())
+        let info = self.registry.insert(entry).map(|e| e.info())?;
+        self.journal
+            .emit(Severity::Info, || EventKind::GraphRegistered {
+                graph: info.name.clone(),
+                nodes: info.nodes,
+                shards: info.shards,
+            });
+        Ok(info)
     }
 
     /// Restores a graph from snapshot bytes (see `Request::RestoreGraph`).
@@ -303,7 +418,14 @@ impl<L: ServiceLabel> Service<L> {
             name,
             snapshot,
         )?;
-        self.registry.insert(entry).map(|e| e.info())
+        let info = self.registry.insert(entry).map(|e| e.info())?;
+        self.journal
+            .emit(Severity::Info, || EventKind::GraphRegistered {
+                graph: info.name.clone(),
+                nodes: info.nodes,
+                shards: info.shards,
+            });
+        Ok(info)
     }
 
     /// Runs one query (see `Request::Query`): admission gate, shard
@@ -326,13 +448,28 @@ impl<L: ServiceLabel> Service<L> {
     ) -> Result<QueryResponse, ServiceError> {
         let entry = self.registry.get(graph)?;
         let admission_started = if trace { Some(Instant::now()) } else { None };
-        let permit = self.gate.try_acquire(1).inspect_err(|_| {
+        let permit = self.gate.try_acquire(1).inspect_err(|e| {
             self.counters.queries_shed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counter_add("queries_shed", 1);
+            let &ServiceError::Overloaded {
+                in_flight,
+                queue_depth,
+            } = e
+            else {
+                return;
+            };
+            self.journal.emit(Severity::Warn, || EventKind::QueryShed {
+                graph: graph.to_owned(),
+                queries: 1,
+                in_flight,
+                queue_depth,
+            });
         })?;
         let admission_micros = admission_started.map(|s| s.elapsed().as_micros() as u64);
         self.counters
             .queries_admitted
             .fetch_add(1, Ordering::Relaxed);
+        self.metrics.counter_add("queries_admitted", 1);
         let result = entry.execute(&self.engine, &self.config.engine.planner, query, trace);
         drop(permit);
         let mut response = result?;
@@ -351,6 +488,7 @@ impl<L: ServiceLabel> Service<L> {
         }
         self.metrics
             .histogram_record(latency_key(response.plan.kind), response.micros);
+        self.record_flight(&response);
         if let Some(t) = response.trace.as_deref() {
             self.slow_ring.record(response.micros, t);
         }
@@ -390,14 +528,31 @@ impl<L: ServiceLabel> Service<L> {
         let permit = self
             .gate
             .try_acquire(queries.len().max(1))
-            .inspect_err(|_| {
+            .inspect_err(|e| {
                 self.counters
                     .queries_shed
                     .fetch_add(queries.len().max(1), Ordering::Relaxed);
+                self.metrics
+                    .counter_add("queries_shed", queries.len().max(1) as u64);
+                let &ServiceError::Overloaded {
+                    in_flight,
+                    queue_depth,
+                } = e
+                else {
+                    return;
+                };
+                self.journal.emit(Severity::Warn, || EventKind::QueryShed {
+                    graph: graph.to_owned(),
+                    queries: queries.len().max(1),
+                    in_flight,
+                    queue_depth,
+                });
             })?;
         self.counters
             .queries_admitted
             .fetch_add(queries.len(), Ordering::Relaxed);
+        self.metrics
+            .counter_add("queries_admitted", queries.len() as u64);
         let sole = entry.sole_prepared();
         let responses = if let (Some(prepared), false) = (sole, queries.is_empty()) {
             // One shard: the full graph. Validate up front, then hand the
@@ -452,11 +607,32 @@ impl<L: ServiceLabel> Service<L> {
         for r in &responses {
             self.metrics
                 .histogram_record(latency_key(r.plan.kind), r.micros);
+            self.record_flight(r);
             if let Some(t) = r.trace.as_deref() {
                 self.slow_ring.record(r.micros, t);
             }
         }
         Ok(responses)
+    }
+
+    /// Feeds one completed query into the flight recorder (and the
+    /// windowed timeout counter). Cache-hit status is known only for
+    /// traced queries; untraced records report `false`.
+    fn record_flight(&self, response: &QueryResponse) {
+        if response.timed_out {
+            self.metrics.counter_add("queries_timed_out", 1);
+        }
+        let cache_hit = response
+            .trace
+            .as_deref()
+            .is_some_and(|t| t.counters.cache_hit);
+        self.flight.record(
+            PlanHistograms::index_of(response.plan.kind) as u8,
+            response.shards_consulted.min(u16::MAX as usize) as u16,
+            response.micros,
+            cache_hit,
+            response.timed_out,
+        );
     }
 
     /// Applies updates to a registered graph (see
@@ -481,8 +657,15 @@ impl<L: ServiceLabel> Service<L> {
         );
         self.registry.replace(new_entry);
         self.counters.update_batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counter_add("update_batches", 1);
         if summary.resharded {
             self.counters.reshards.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counter_add("reshards", 1);
+            self.journal
+                .emit(Severity::Info, || EventKind::GraphResharded {
+                    graph: graph.to_owned(),
+                    shards: summary.shards,
+                });
         }
         if summary.stats.backend_fallbacks > 0 {
             self.metrics
@@ -490,6 +673,17 @@ impl<L: ServiceLabel> Service<L> {
         }
         self.metrics
             .histogram_record("update_apply_micros", summary.stats.apply_micros);
+        // Maintenance-phase timings decay alongside query latency: the
+        // closure-patching and bounded-memo-refresh phases each get their
+        // own windowed histogram.
+        self.metrics.histogram_record(
+            "closure_maintain_micros",
+            summary.stats.closure_maintain_micros,
+        );
+        self.metrics.histogram_record(
+            "bounded_refresh_micros",
+            summary.stats.bounded_refresh_micros,
+        );
         Ok(summary)
     }
 
@@ -497,6 +691,12 @@ impl<L: ServiceLabel> Service<L> {
     pub fn snapshot(&self, graph: &str) -> Result<Bytes, ServiceError> {
         let bytes = self.registry.get(graph)?.snapshot()?;
         self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counter_add("snapshots", 1);
+        self.journal
+            .emit(Severity::Info, || EventKind::SnapshotSaved {
+                graph: graph.to_owned(),
+                bytes: bytes.len(),
+            });
         Ok(bytes)
     }
 
@@ -509,6 +709,82 @@ impl<L: ServiceLabel> Service<L> {
     /// similarity matrices against live data).
     pub fn graph(&self, graph: &str) -> Result<Arc<DiGraph<L>>, ServiceError> {
         Ok(Arc::clone(self.registry.get(graph)?.graph()))
+    }
+
+    /// Evaluates the configured SLOs ([`ServiceConfig::slo`]) against
+    /// the metrics registry's windowed and lifetime views.
+    ///
+    /// Breaches are **edge-triggered** into the journal: an objective
+    /// crossing into breach emits one `SloBreached` event (at `Error`)
+    /// — and the first new breach of an evaluation also dumps the flight
+    /// recorder's recent ring into the journal as a `FlightDump` — then
+    /// stays silent until the objective recovers and breaches again.
+    pub fn slo_status(&self) -> SloStatus {
+        let status = evaluate_slo(&self.config.slo, &self.metrics);
+        if !self.config.slo.is_enabled() {
+            return status;
+        }
+        let mut breached = self.slo_breached.lock().unwrap_or_else(|e| e.into_inner());
+        let mut newly_breached = false;
+        for o in &status.objectives {
+            if o.breached && breached.insert(o.name.clone()) {
+                newly_breached = true;
+                self.journal
+                    .emit(Severity::Error, || EventKind::SloBreached {
+                        objective: o.name.clone(),
+                        windowed_burn: o.windowed_burn,
+                        lifetime_burn: o.lifetime_burn,
+                    });
+            } else if !o.breached {
+                breached.remove(&o.name);
+            }
+        }
+        if newly_breached && self.flight.enabled() {
+            self.journal.emit(Severity::Warn, || {
+                let snap = self.flight.snapshot();
+                let tail = &snap[snap.len().saturating_sub(32)..];
+                let items: Vec<String> = tail
+                    .iter()
+                    .map(|r| r.to_json(plan_name_of(r.plan)))
+                    .collect();
+                EventKind::FlightDump {
+                    recorded: self.flight.total(),
+                    summaries: format!("[{}]", items.join(",")),
+                }
+            });
+        }
+        status
+    }
+
+    /// Renders every metric the service holds — the registry's counters,
+    /// gauges, and histograms, refreshed registry-census gauges, and the
+    /// derived cache-hit ratios — in Prometheus text exposition format
+    /// (see [`phom_trace::render_prometheus`]).
+    pub fn render_prometheus(&self) -> String {
+        let (graphs, shards) = self.registry.census();
+        self.metrics.gauge_set("graphs", graphs as i64);
+        self.metrics.gauge_set("shards", shards as i64);
+        let engine = self.engine.stats();
+        let lookups = engine.cache_hits + engine.prepares;
+        let lifetime_ratio = if lookups == 0 {
+            0.0
+        } else {
+            engine.cache_hits as f64 / lookups as f64
+        };
+        let w_hits = self.metrics.counter_windowed("cache_hits");
+        let w_misses = self.metrics.counter_windowed("cache_misses");
+        let windowed_ratio = if w_hits + w_misses == 0 {
+            0.0
+        } else {
+            w_hits as f64 / (w_hits + w_misses) as f64
+        };
+        phom_trace::render_prometheus(
+            &self.metrics.export(),
+            &[
+                ("cache_hit_ratio_lifetime".into(), lifetime_ratio),
+                ("cache_hit_ratio_windowed".into(), windowed_ratio),
+            ],
+        )
     }
 
     /// Snapshot of the service counters (see `Request::Stats`).
@@ -571,6 +847,9 @@ impl<L: ServiceLabel> Service<L> {
             plan_histograms,
             plan_histograms_windowed,
             slow_traces: self.slow_ring.snapshot(),
+            slo: self.slo_status(),
+            flight_recorded: self.flight.total(),
+            journal_events: self.journal.events_emitted(),
             engine,
         }
     }

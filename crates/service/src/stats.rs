@@ -201,6 +201,16 @@ pub struct ServiceStats {
     /// The K slowest traced queries retained so far, as
     /// `(micros, serialized trace)`, slowest first.
     pub slow_traces: Vec<(u128, String)>,
+    /// The SLO monitor's evaluation at this read (all objectives with
+    /// their multi-window burn rates; empty when no objectives are
+    /// configured).
+    pub slo: phom_trace::SloStatus,
+    /// Queries the flight recorder has summarized so far (including
+    /// ones its ring has since overwritten).
+    pub flight_recorded: u64,
+    /// Lifecycle events the journal has emitted so far (including ones
+    /// its ring has since evicted).
+    pub journal_events: u64,
     /// The wrapped engine's counters.
     pub engine: EngineStats,
 }
@@ -223,7 +233,8 @@ impl ServiceStats {
              \"cache_hit_ratio\":{:.4},\"cache_hit_ratio_lifetime\":{:.4},\
              \"cache_hit_ratio_windowed\":{:.4},\"backend_fallbacks\":{},\
              \"plan_histograms\":{},\"plan_histograms_windowed\":{},\
-             \"slow_traces\":[{}],\"engine\":{}}}",
+             \"slow_traces\":[{}],\"slo\":{},\"flight_recorded\":{},\
+             \"journal_events\":{},\"engine\":{}}}",
             self.graphs,
             self.shards,
             self.queries_admitted,
@@ -238,6 +249,9 @@ impl ServiceStats {
             self.plan_histograms.to_json(),
             self.plan_histograms_windowed.to_json(),
             slow.join(","),
+            self.slo.to_json(),
+            self.flight_recorded,
+            self.journal_events,
             self.engine.to_json()
         )
     }

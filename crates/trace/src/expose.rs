@@ -1,0 +1,293 @@
+//! Prometheus text exposition: renders a [`MetricsSnapshot`] (plus any
+//! caller-supplied float gauges) in the [text exposition format] any
+//! scraper understands — `# HELP` / `# TYPE` headers before each
+//! family, counters suffixed `_total`, histograms as cumulative
+//! `_bucket{le="…"}` series.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::registry::MetricsSnapshot;
+use crate::window::WINDOW_BUCKETS;
+
+/// Maps a registry metric name into a Prometheus-legal family name:
+/// every character outside `[a-zA-Z0-9_]` becomes `_`, and the result
+/// is prefixed `phom_`.
+fn family_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("phom_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// One family's header + samples, appended only if the family name is
+/// new (sanitization could alias two registry names onto one family;
+/// the first wins so the output never carries duplicate families).
+struct Renderer {
+    out: String,
+    seen: Vec<String>,
+}
+
+impl Renderer {
+    fn new() -> Self {
+        Renderer {
+            out: String::new(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Starts a family: `# HELP` + `# TYPE` lines. Returns false (and
+    /// writes nothing) when the family name was already emitted.
+    fn family(&mut self, name: &str, kind: &str, help: &str) -> bool {
+        if self.seen.iter().any(|s| s == name) {
+            return false;
+        }
+        self.seen.push(name.to_owned());
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        true
+    }
+
+    fn sample(&mut self, name: &str, labels: &str, value: &str) {
+        self.out.push_str(name);
+        self.out.push_str(labels);
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+}
+
+/// Upper bound of log₂ bucket `i` (`[2^i, 2^(i+1))`, bucket 0 is
+/// `[0, 2)`): `2^(i+1)`.
+fn bucket_le(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+/// Lower-bound latency sum estimate from log₂ buckets: each of bucket
+/// `i`'s observations contributes its bucket floor `2^i` (bucket 0
+/// contributes 0). Documented in the `_sum` HELP text — it is an
+/// estimate, not an exact sum.
+fn sum_lower_bound(buckets: &[u64; WINDOW_BUCKETS]) -> u128 {
+    buckets
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &c)| (c as u128) << i)
+        .sum()
+}
+
+/// Renders `snapshot` in Prometheus text exposition format.
+///
+/// * every counter `name` → counter family `phom_<name>_total`
+///   (lifetime) plus gauge family `phom_<name>_windowed` (the decaying
+///   recent-window total);
+/// * every gauge `name` → gauge family `phom_<name>`;
+/// * every histogram `name` → histogram family `phom_<name>` rendered
+///   from the lifetime buckets (cumulative `_bucket{le="…"}`, `+Inf`,
+///   `_count`, and a lower-bound `_sum`), plus gauge family
+///   `phom_<name>_windowed` with the same cumulative `le` labels over
+///   the recent window;
+/// * `float_gauges` → gauge families `phom_<name>` (the service layer
+///   passes derived ratios, e.g. cache hit rate, that the integer
+///   registry cannot hold);
+/// * the snapshot's clock-regression count →
+///   `phom_clock_regressions_total`.
+pub fn render_prometheus(snapshot: &MetricsSnapshot, float_gauges: &[(String, f64)]) -> String {
+    let mut r = Renderer::new();
+    for (name, lifetime, windowed) in &snapshot.counters {
+        let total = format!("{}_total", family_name(name));
+        if r.family(&total, "counter", &format!("Lifetime total of `{name}`.")) {
+            r.sample(&total, "", &lifetime.to_string());
+        }
+        let recent = format!("{}_windowed", family_name(name));
+        if r.family(
+            &recent,
+            "gauge",
+            &format!("Recent-window total of `{name}`."),
+        ) {
+            r.sample(&recent, "", &windowed.to_string());
+        }
+    }
+    for (name, value) in &snapshot.gauges {
+        let fam = family_name(name);
+        if r.family(&fam, "gauge", &format!("Gauge `{name}`.")) {
+            r.sample(&fam, "", &value.to_string());
+        }
+    }
+    for (name, value) in float_gauges {
+        let fam = family_name(name);
+        if r.family(&fam, "gauge", &format!("Derived gauge `{name}`.")) {
+            r.sample(&fam, "", &format!("{value}"));
+        }
+    }
+    for (name, lifetime, windowed) in &snapshot.histograms {
+        let fam = family_name(name);
+        if r.family(
+            &fam,
+            "histogram",
+            &format!(
+                "Lifetime log2 histogram of `{name}`; _sum is a lower-bound \
+                 estimate (each observation counted at its bucket floor)."
+            ),
+        ) {
+            let mut cum = 0u64;
+            for (i, &c) in lifetime.iter().enumerate().take(WINDOW_BUCKETS - 1) {
+                cum += c;
+                r.sample(
+                    &format!("{fam}_bucket"),
+                    &format!("{{le=\"{}\"}}", bucket_le(i)),
+                    &cum.to_string(),
+                );
+            }
+            let count: u64 = lifetime.iter().sum();
+            r.sample(
+                &format!("{fam}_bucket"),
+                "{le=\"+Inf\"}",
+                &count.to_string(),
+            );
+            r.sample(
+                &format!("{fam}_sum"),
+                "",
+                &sum_lower_bound(lifetime).to_string(),
+            );
+            r.sample(&format!("{fam}_count"), "", &count.to_string());
+        }
+        let recent = format!("{fam}_windowed");
+        if r.family(
+            &recent,
+            "gauge",
+            &format!("Recent-window cumulative bucket counts of `{name}`."),
+        ) {
+            let mut cum = 0u64;
+            for (i, &c) in windowed.iter().enumerate().take(WINDOW_BUCKETS - 1) {
+                cum += c;
+                r.sample(
+                    &recent,
+                    &format!("{{le=\"{}\"}}", bucket_le(i)),
+                    &cum.to_string(),
+                );
+            }
+            let count: u64 = windowed.iter().sum();
+            r.sample(&recent, "{le=\"+Inf\"}", &count.to_string());
+        }
+    }
+    let fam = "phom_clock_regressions_total";
+    if r.family(
+        fam,
+        "counter",
+        "Metric writes observed with a backwards-stepping clock (clamped, not dropped).",
+    ) {
+        r.sample(fam, "", &snapshot.clock_regressions.to_string());
+    }
+    r.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("queries_shed", 7);
+        reg.gauge_set("graphs", 3);
+        reg.histogram_record("latency_exact", 100); // bucket 6
+        let text = render_prometheus(&reg.export(), &[("cache_hit_ratio".into(), 0.25)]);
+        assert!(
+            text.contains("# TYPE phom_queries_shed_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("phom_queries_shed_total 7"), "{text}");
+        assert!(text.contains("phom_queries_shed_windowed 7"), "{text}");
+        assert!(text.contains("phom_graphs 3"), "{text}");
+        assert!(text.contains("phom_cache_hit_ratio 0.25"), "{text}");
+        assert!(
+            text.contains("# TYPE phom_latency_exact histogram"),
+            "{text}"
+        );
+        // Cumulative buckets: everything below 2^6=64 is 0, at le=128 it's 1.
+        assert!(
+            text.contains("phom_latency_exact_bucket{le=\"64\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phom_latency_exact_bucket{le=\"128\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("phom_latency_exact_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("phom_latency_exact_count 1"), "{text}");
+        assert!(
+            text.contains("phom_latency_exact_sum 64"),
+            "sum is the bucket floor: {text}"
+        );
+        assert!(text.contains("phom_clock_regressions_total 0"), "{text}");
+    }
+
+    #[test]
+    fn help_and_type_precede_every_family_and_names_never_repeat() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("a", 1);
+        reg.counter_add("b.c", 1); // sanitizes to b_c
+        reg.histogram_record("lat", 5);
+        let text = render_prometheus(&reg.export(), &[]);
+        let mut families = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(
+                    !families.contains(&name.to_owned()),
+                    "duplicate family {name}"
+                );
+                families.push(name.to_owned());
+            }
+        }
+        assert!(
+            families.contains(&"phom_b_c_total".to_owned()),
+            "{families:?}"
+        );
+        // Every sample line belongs to a declared family.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().expect("sample name");
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                families.iter().any(|f| f == name || f == base),
+                "sample {name} has no family in {families:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitization_collisions_keep_the_first_family() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("x.y", 1);
+        reg.gauge_set("x/y", 2);
+        let text = render_prometheus(&reg.export(), &[]);
+        assert_eq!(
+            text.matches("# TYPE phom_x_y gauge").count(),
+            1,
+            "aliased names collapse to one family: {text}"
+        );
+    }
+}

@@ -20,16 +20,38 @@
 //!   rotation testable without sleeping).
 //! * [`MetricsRegistry`] — named counters, gauges, and windowed
 //!   histograms behind one handle; both lifetime and windowed views
-//!   export as JSON.
+//!   export as JSON, and [`render_prometheus`] renders a
+//!   [`MetricsSnapshot`] in Prometheus text exposition format.
+//! * [`EventJournal`] — typed, severity-leveled lifecycle events
+//!   ([`EventKind`]: registrations, reshards, sheds, timeouts, backend
+//!   fallbacks, SLO breaches, flight dumps) in a bounded ring with an
+//!   optional JSON-lines sink. Zero-alloc when disabled (guarded by
+//!   [`event_constructions`]).
+//! * [`SloConfig`] / [`evaluate_slo`] — declarative latency-percentile
+//!   and bad-rate objectives evaluated over the registry's windowed and
+//!   lifetime views with multi-window burn rates.
+//! * [`FlightRecorder`] — an always-on fixed ring of compact per-query
+//!   summaries ([`FlightRecord`]), for "what just happened" dumps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod expose;
+mod flight;
+mod journal;
 mod registry;
+mod slo;
 mod span;
 mod window;
 
-pub use registry::MetricsRegistry;
+pub use expose::render_prometheus;
+pub use flight::{FlightRecord, FlightRecorder, FLIGHT_DEFAULT_CAPACITY};
+pub use journal::{event_constructions, Event, EventJournal, EventKind, Severity};
+pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use slo::{
+    evaluate as evaluate_slo, LatencyObjective, ObjectiveStatus, RateObjective, SloConfig,
+    SloStatus,
+};
 pub use span::{
     constructions, json_escape, NullSink, QueryTrace, SlowTraceRing, Span, SpanKind, SpanStart,
     TraceCounters, TraceSink,

@@ -4,6 +4,7 @@
 use crate::window::{Clock, MonotonicClock, WindowedCounter, WindowedHistogram, WINDOW_BUCKETS};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default epoch length: one second.
@@ -21,6 +22,26 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, WindowedCounter>>,
     gauges: Mutex<BTreeMap<String, i64>>,
     histograms: Mutex<BTreeMap<String, WindowedHistogram>>,
+    /// Writes observed with a backwards-stepping clock (the write is
+    /// clamped to the newest epoch, never dropped — see
+    /// [`WindowedCounter::add`]).
+    clock_regressions: AtomicU64,
+}
+
+/// A point-in-time copy of every metric in a [`MetricsRegistry`] —
+/// counters as `(name, lifetime, windowed)`, gauges as `(name, value)`,
+/// histograms as `(name, lifetime buckets, windowed buckets)`. The
+/// input [`crate::render_prometheus`] renders from.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, [u64; WINDOW_BUCKETS], [u64; WINDOW_BUCKETS])>,
+    /// See [`MetricsRegistry::clock_regressions`].
+    pub clock_regressions: u64,
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -58,6 +79,7 @@ impl MetricsRegistry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            clock_regressions: AtomicU64::new(0),
         }
     }
 
@@ -66,14 +88,20 @@ impl MetricsRegistry {
         self.clock.now_micros() / self.epoch_micros
     }
 
-    /// Adds `n` to the counter `name` (created on first use).
+    /// Adds `n` to the counter `name` (created on first use). A
+    /// backwards-stepping clock is tolerated: the write clamps to the
+    /// counter's newest epoch and bumps
+    /// [`MetricsRegistry::clock_regressions`].
     pub fn counter_add(&self, name: &str, n: u64) {
         let epoch = self.epoch();
         let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
-        counters
+        let regressed = counters
             .entry(name.to_owned())
             .or_insert_with(|| WindowedCounter::new(self.epochs))
             .add(epoch, n);
+        if regressed {
+            self.clock_regressions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The lifetime total of counter `name` (`0` when absent).
@@ -102,14 +130,29 @@ impl MetricsRegistry {
     }
 
     /// Records one observation into histogram `name` (created on first
-    /// use).
+    /// use). Tolerates backwards clocks exactly as
+    /// [`MetricsRegistry::counter_add`] does.
     pub fn histogram_record(&self, name: &str, value: u128) {
         let epoch = self.epoch();
         let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
-        histograms
+        let regressed = histograms
             .entry(name.to_owned())
             .or_insert_with(|| WindowedHistogram::new(self.epochs))
             .record(epoch, value);
+        if regressed {
+            self.clock_regressions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Creates histogram `name` with zero observations if absent. Lets
+    /// an instrumented layer pre-register its histogram families so the
+    /// exposition (and JSON export) carries them from the first scrape,
+    /// instead of families popping into existence with traffic.
+    pub fn histogram_touch(&self, name: &str) {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| WindowedHistogram::new(self.epochs));
     }
 
     /// Lifetime bucket counts of histogram `name` (zeros when absent).
@@ -129,9 +172,38 @@ impl MetricsRegistry {
             .map_or([0; WINDOW_BUCKETS], |h| h.windowed_buckets(epoch))
     }
 
+    /// Writes that arrived with a backwards-stepping clock since
+    /// construction (each was clamped, not dropped).
+    pub fn clock_regressions(&self) -> u64 {
+        self.clock_regressions.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time copy of every metric — counters and
+    /// histograms in both lifetime and windowed views — for exposition
+    /// (see [`crate::render_prometheus`]).
+    pub fn export(&self) -> MetricsSnapshot {
+        let epoch = self.epoch();
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        let histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            counters: counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.lifetime(), c.windowed(epoch)))
+                .collect(),
+            gauges: gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), *h.lifetime_buckets(), h.windowed_buckets(epoch)))
+                .collect(),
+            clock_regressions: self.clock_regressions(),
+        }
+    }
+
     /// Compact JSON rendering: every counter as
     /// `{"lifetime":…,"windowed":…}`, gauges as numbers, histograms as
-    /// `{"lifetime":[…],"windowed":[…]}` bucket arrays.
+    /// `{"lifetime":[…],"windowed":[…]}` bucket arrays, plus the
+    /// top-level `"clock_regressions"` count.
     pub fn to_json(&self) -> String {
         let epoch = self.epoch();
         let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
@@ -168,10 +240,12 @@ impl MetricsRegistry {
             })
             .collect();
         format!(
-            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\
+             \"clock_regressions\":{}}}",
             cs.join(","),
             gs.join(","),
-            hs.join(",")
+            hs.join(","),
+            self.clock_regressions()
         )
     }
 }
@@ -208,5 +282,32 @@ mod tests {
         // Absent names read as zero, not panic.
         assert_eq!(reg.counter_lifetime("nope"), 0);
         assert_eq!(reg.histogram_windowed("nope").iter().sum::<u64>(), 0);
+    }
+
+    /// Satellite hardening: the registry counts (and survives) writes
+    /// from a clock that steps backwards.
+    #[test]
+    fn registry_counts_clock_regressions() {
+        let clock = Arc::new(ManualClock::at(10_000));
+        let reg = MetricsRegistry::with_clock(clock.clone(), 1_000, 4);
+        reg.counter_add("hits", 1);
+        reg.histogram_record("latency", 100);
+        assert_eq!(reg.clock_regressions(), 0);
+        clock.set(2_000); // eight epochs backwards
+        reg.counter_add("hits", 2);
+        reg.histogram_record("latency", 200);
+        assert_eq!(reg.clock_regressions(), 2);
+        // Nothing was dropped or inflated: both writes are present in
+        // both views, and windowed never exceeds lifetime.
+        assert_eq!(reg.counter_lifetime("hits"), 3);
+        assert_eq!(reg.counter_windowed("hits"), 3);
+        assert_eq!(reg.histogram_lifetime("latency").iter().sum::<u64>(), 2);
+        assert_eq!(reg.histogram_windowed("latency").iter().sum::<u64>(), 2);
+        assert!(reg.to_json().contains("\"clock_regressions\":2"));
+        assert_eq!(reg.export().clock_regressions, 2);
+        // Recovery: once the clock is monotonic again, no new counts.
+        clock.set(20_000);
+        reg.counter_add("hits", 1);
+        assert_eq!(reg.clock_regressions(), 2);
     }
 }

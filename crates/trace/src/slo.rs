@@ -1,0 +1,350 @@
+//! The SLO monitor: declarative objectives evaluated over the
+//! [`MetricsRegistry`]'s lifetime and windowed views with multi-window
+//! burn-rate computation.
+//!
+//! A **burn rate** is how fast an error budget is being spent:
+//! `observed bad fraction ÷ allowed bad fraction`. Burn `1.0` spends
+//! the budget exactly at the allowed pace; burn `10` spends it ten
+//! times too fast. One objective is evaluated over *two* windows — the
+//! registry's decaying recent-epoch window (fast signal) and its
+//! lifetime totals (slow signal) — and **breaches only when both burn
+//! thresholds are exceeded**, the standard trick that makes paging
+//! both fast on real regressions and quiet on blips.
+
+use crate::registry::MetricsRegistry;
+use crate::window::{bucket_of, WINDOW_BUCKETS};
+
+/// One latency objective: "percentile `p` of histogram `histogram`
+/// stays at or under `target_micros`". The allowed bad fraction is
+/// `(100 - p) / 100` — for a p99, 1% of queries may exceed the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyObjective {
+    /// Status/report label (e.g. `"latency_exact_p99"`).
+    pub name: String,
+    /// The registry histogram the objective reads.
+    pub histogram: String,
+    /// Target percentile in `0..=100`.
+    pub percentile: usize,
+    /// Latency ceiling at that percentile, in microseconds.
+    pub target_micros: u64,
+}
+
+/// One rate objective: "counter `bad` stays at or under `ceiling` as a
+/// fraction of the base traffic". With `base_includes_bad = false` the
+/// denominator is `base + bad` (e.g. shed rate over *offered* load:
+/// admitted + shed); with `true` the bad events are already inside the
+/// base (e.g. timeouts over admitted queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateObjective {
+    /// Status/report label (e.g. `"shed_rate"`).
+    pub name: String,
+    /// Counter of bad events.
+    pub bad: String,
+    /// Counter of base traffic.
+    pub base: String,
+    /// Whether `bad` events are already counted inside `base`.
+    pub base_includes_bad: bool,
+    /// Maximum allowed `bad / denominator` fraction, in `(0, 1]`.
+    pub ceiling: f64,
+}
+
+/// Declarative service-level objectives. Empty (the default) disables
+/// the monitor entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Latency percentile targets.
+    pub latency: Vec<LatencyObjective>,
+    /// Bad-event rate ceilings.
+    pub rates: Vec<RateObjective>,
+    /// Burn threshold on the windowed (fast) view. The default `2.0`
+    /// pages only when the recent window spends budget at twice the
+    /// allowed pace.
+    pub fast_burn: f64,
+    /// Burn threshold on the lifetime (slow) view. The default `1.0`
+    /// requires the long view to confirm the budget is genuinely
+    /// over-spent, filtering one-epoch blips.
+    pub slow_burn: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency: Vec::new(),
+            rates: Vec::new(),
+            fast_burn: 2.0,
+            slow_burn: 1.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// The disabled monitor (no objectives).
+    pub fn disabled() -> Self {
+        SloConfig::default()
+    }
+
+    /// True when at least one objective is configured.
+    pub fn is_enabled(&self) -> bool {
+        !self.latency.is_empty() || !self.rates.is_empty()
+    }
+}
+
+/// One objective's evaluation: its burn rate over both windows and the
+/// combined verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveStatus {
+    /// The objective's label.
+    pub name: String,
+    /// Burn over the registry's recent-epoch window.
+    pub windowed_burn: f64,
+    /// Burn over the registry's lifetime totals.
+    pub lifetime_burn: f64,
+    /// True when both burns exceed their thresholds.
+    pub breached: bool,
+}
+
+/// The monitor's full evaluation, exported in `ServiceStats::slo`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Every configured objective's status.
+    pub objectives: Vec<ObjectiveStatus>,
+    /// True when any objective breached.
+    pub breached: bool,
+}
+
+impl SloStatus {
+    /// Compact JSON rendering:
+    /// `{"breached":…,"objectives":[{"name":…,…}]}`.
+    pub fn to_json(&self) -> String {
+        let objs: Vec<String> = self
+            .objectives
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"name\":\"{}\",\"windowed_burn\":{:.4},\"lifetime_burn\":{:.4},\
+                     \"breached\":{}}}",
+                    crate::json_escape(&o.name),
+                    o.windowed_burn,
+                    o.lifetime_burn,
+                    o.breached
+                )
+            })
+            .collect();
+        format!(
+            "{{\"breached\":{},\"objectives\":[{}]}}",
+            self.breached,
+            objs.join(",")
+        )
+    }
+}
+
+/// Fraction of observations strictly above `target_micros`' bucket —
+/// conservative: the target's own bucket may straddle the target, so
+/// its observations are not counted as violations. `0.0` when empty.
+fn over_fraction(buckets: &[u64; WINDOW_BUCKETS], target_micros: u64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let b = bucket_of(target_micros as u128);
+    let over: u64 = buckets[(b + 1).min(WINDOW_BUCKETS)..].iter().sum();
+    over as f64 / total as f64
+}
+
+/// Burn rate of a bad fraction against an allowed fraction. The allowed
+/// fraction is floored away from zero so a `p100` / zero-ceiling
+/// objective reports a huge finite burn instead of dividing by zero.
+fn burn(bad_fraction: f64, allowed_fraction: f64) -> f64 {
+    bad_fraction / allowed_fraction.max(1e-9)
+}
+
+/// Evaluates every objective in `config` against `registry`, reading
+/// each metric's windowed view for the fast burn and its lifetime view
+/// for the slow burn.
+pub fn evaluate(config: &SloConfig, registry: &MetricsRegistry) -> SloStatus {
+    let mut objectives = Vec::with_capacity(config.latency.len() + config.rates.len());
+    for obj in &config.latency {
+        let allowed = (100usize.saturating_sub(obj.percentile)) as f64 / 100.0;
+        let windowed_burn = burn(
+            over_fraction(
+                &registry.histogram_windowed(&obj.histogram),
+                obj.target_micros,
+            ),
+            allowed,
+        );
+        let lifetime_burn = burn(
+            over_fraction(
+                &registry.histogram_lifetime(&obj.histogram),
+                obj.target_micros,
+            ),
+            allowed,
+        );
+        objectives.push(ObjectiveStatus {
+            name: obj.name.clone(),
+            windowed_burn,
+            lifetime_burn,
+            breached: windowed_burn >= config.fast_burn && lifetime_burn >= config.slow_burn,
+        });
+    }
+    for obj in &config.rates {
+        let rate = |bad: u64, base: u64| {
+            let denom = if obj.base_includes_bad {
+                base
+            } else {
+                base + bad
+            };
+            if denom == 0 {
+                0.0
+            } else {
+                bad as f64 / denom as f64
+            }
+        };
+        let windowed_burn = burn(
+            rate(
+                registry.counter_windowed(&obj.bad),
+                registry.counter_windowed(&obj.base),
+            ),
+            obj.ceiling,
+        );
+        let lifetime_burn = burn(
+            rate(
+                registry.counter_lifetime(&obj.bad),
+                registry.counter_lifetime(&obj.base),
+            ),
+            obj.ceiling,
+        );
+        objectives.push(ObjectiveStatus {
+            name: obj.name.clone(),
+            windowed_burn,
+            lifetime_burn,
+            breached: windowed_burn >= config.fast_burn && lifetime_burn >= config.slow_burn,
+        });
+    }
+    let breached = objectives.iter().any(|o| o.breached);
+    SloStatus {
+        objectives,
+        breached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualClock;
+    use std::sync::Arc;
+
+    fn latency_slo(target_micros: u64) -> SloConfig {
+        SloConfig {
+            latency: vec![LatencyObjective {
+                name: "lat_p99".into(),
+                histogram: "lat".into(),
+                percentile: 99,
+                target_micros,
+            }],
+            ..SloConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_config_is_disabled_and_empty_registry_never_breaches() {
+        assert!(!SloConfig::disabled().is_enabled());
+        let reg = MetricsRegistry::new();
+        let status = evaluate(&latency_slo(100), &reg);
+        assert!(!status.breached);
+        assert_eq!(status.objectives.len(), 1);
+        assert_eq!(status.objectives[0].windowed_burn, 0.0);
+        assert_eq!(status.objectives[0].lifetime_burn, 0.0);
+    }
+
+    #[test]
+    fn latency_burn_counts_only_buckets_above_the_target() {
+        let reg = MetricsRegistry::new();
+        // 99 fast observations, 1 slow: exactly the p99 budget.
+        for _ in 0..99 {
+            reg.histogram_record("lat", 10);
+        }
+        reg.histogram_record("lat", 1_000_000);
+        // Target 100µs: 1/100 observations over, allowed 1/100 → burn 1.
+        let status = evaluate(&latency_slo(100), &reg);
+        let o = &status.objectives[0];
+        assert!((o.lifetime_burn - 1.0).abs() < 1e-9, "{}", o.lifetime_burn);
+        assert!(!o.breached, "burn 1.0 is at budget, below fast_burn 2.0");
+        // Nine more slow observations: 10/109 over, allowed 1% → burn ≈9.2.
+        for _ in 0..9 {
+            reg.histogram_record("lat", 1_000_000);
+        }
+        let status = evaluate(&latency_slo(100), &reg);
+        let o = &status.objectives[0];
+        assert!(o.windowed_burn > 2.0 && o.lifetime_burn > 1.0);
+        assert!(o.breached);
+        assert!(status.breached);
+        assert!(status.to_json().contains("\"breached\":true"));
+        assert!(status.to_json().contains("\"name\":\"lat_p99\""));
+    }
+
+    #[test]
+    fn breach_requires_both_windows() {
+        // 2-epoch window on a manual clock: load the lifetime view with
+        // good traffic, then make only the recent window bad.
+        let clock = Arc::new(ManualClock::default());
+        let reg = MetricsRegistry::with_clock(clock.clone(), 1_000, 2);
+        for _ in 0..1000 {
+            reg.histogram_record("lat", 10);
+        }
+        clock.advance(10_000); // good traffic decays out of the window
+        for _ in 0..5 {
+            reg.histogram_record("lat", 1_000_000);
+        }
+        let status = evaluate(&latency_slo(100), &reg);
+        let o = &status.objectives[0];
+        assert!(o.windowed_burn >= 2.0, "recent window is 100% bad");
+        assert!(
+            o.lifetime_burn < 1.0,
+            "5 bad of 1005 lifetime is within the 1% budget: {}",
+            o.lifetime_burn
+        );
+        assert!(!o.breached, "the slow window vetoes the blip");
+    }
+
+    #[test]
+    fn rate_objectives_burn_against_their_ceiling() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("shed", 10);
+        reg.counter_add("admitted", 90);
+        let config = SloConfig {
+            rates: vec![RateObjective {
+                name: "shed_rate".into(),
+                bad: "shed".into(),
+                base: "admitted".into(),
+                base_includes_bad: false,
+                ceiling: 0.05,
+            }],
+            ..SloConfig::default()
+        };
+        // 10 shed of 100 offered = 10%, ceiling 5% → burn 2.0 on both
+        // windows → breach.
+        let status = evaluate(&config, &reg);
+        let o = &status.objectives[0];
+        assert!((o.lifetime_burn - 2.0).abs() < 1e-9, "{}", o.lifetime_burn);
+        assert!(o.breached);
+        // base_includes_bad: timeouts over admitted (not admitted+timeouts).
+        let config = SloConfig {
+            rates: vec![RateObjective {
+                name: "timeout_rate".into(),
+                bad: "shed".into(),
+                base: "admitted".into(),
+                base_includes_bad: true,
+                ceiling: 0.5,
+            }],
+            ..SloConfig::default()
+        };
+        let o = &evaluate(&config, &reg).objectives[0];
+        let expect = (10.0 / 90.0) / 0.5;
+        assert!(
+            (o.lifetime_burn - expect).abs() < 1e-9,
+            "{}",
+            o.lifetime_burn
+        );
+        assert!(!o.breached);
+    }
+}

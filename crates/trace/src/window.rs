@@ -92,6 +92,9 @@ pub struct WindowedCounter {
     slots: Vec<u64>,
     slot_epochs: Vec<SlotEpoch>,
     lifetime: u64,
+    /// Newest epoch ever written — the clamp floor for non-monotonic
+    /// clocks (see [`WindowedCounter::add`]).
+    last_epoch: u64,
 }
 
 impl WindowedCounter {
@@ -102,11 +105,19 @@ impl WindowedCounter {
             slots: vec![0; epochs],
             slot_epochs: vec![SlotEpoch(0); epochs],
             lifetime: 0,
+            last_epoch: 0,
         }
     }
 
-    /// Adds `n` at absolute epoch `epoch`.
-    pub fn add(&mut self, epoch: u64, n: u64) {
+    /// Adds `n` at absolute epoch `epoch`. A backwards-stepping clock
+    /// (an `epoch` older than one already written) is clamped to the
+    /// newest epoch seen — writing under the stale epoch would re-tag
+    /// (and zero) a newer slot, corrupting the window — and reported by
+    /// returning `true`.
+    pub fn add(&mut self, epoch: u64, n: u64) -> bool {
+        let regressed = epoch < self.last_epoch;
+        let epoch = if regressed { self.last_epoch } else { epoch };
+        self.last_epoch = epoch;
         let i = (epoch % self.slots.len() as u64) as usize;
         if self.slot_epochs[i] != SlotEpoch(epoch) {
             self.slots[i] = 0;
@@ -114,6 +125,7 @@ impl WindowedCounter {
         }
         self.slots[i] += n;
         self.lifetime += n;
+        regressed
     }
 
     /// The all-time total.
@@ -122,8 +134,11 @@ impl WindowedCounter {
     }
 
     /// The total over the window ending at `epoch` (slots whose epoch is
-    /// in `(epoch - N, epoch]`).
+    /// in `(epoch - N, epoch]`). A read epoch behind the newest write is
+    /// clamped forward, so a regressed clock cannot hide just-written
+    /// data (which would deflate windowed ratios).
     pub fn windowed(&self, epoch: u64) -> u64 {
+        let epoch = epoch.max(self.last_epoch);
         let n = self.slots.len() as u64;
         self.slots
             .iter()
@@ -142,6 +157,9 @@ pub struct WindowedHistogram {
     slots: Vec<[u64; WINDOW_BUCKETS]>,
     slot_epochs: Vec<SlotEpoch>,
     lifetime: [u64; WINDOW_BUCKETS],
+    /// Newest epoch ever written — the clamp floor for non-monotonic
+    /// clocks (see [`WindowedHistogram::record`]).
+    last_epoch: u64,
 }
 
 impl WindowedHistogram {
@@ -152,11 +170,17 @@ impl WindowedHistogram {
             slots: vec![[0; WINDOW_BUCKETS]; epochs],
             slot_epochs: vec![SlotEpoch(0); epochs],
             lifetime: [0; WINDOW_BUCKETS],
+            last_epoch: 0,
         }
     }
 
-    /// Records one observation at absolute epoch `epoch`.
-    pub fn record(&mut self, epoch: u64, value: u128) {
+    /// Records one observation at absolute epoch `epoch`. Backwards
+    /// epochs are clamped to the newest epoch seen and reported by
+    /// returning `true`, exactly as in [`WindowedCounter::add`].
+    pub fn record(&mut self, epoch: u64, value: u128) -> bool {
+        let regressed = epoch < self.last_epoch;
+        let epoch = if regressed { self.last_epoch } else { epoch };
+        self.last_epoch = epoch;
         let i = (epoch % self.slots.len() as u64) as usize;
         if self.slot_epochs[i] != SlotEpoch(epoch) {
             self.slots[i] = [0; WINDOW_BUCKETS];
@@ -164,6 +188,7 @@ impl WindowedHistogram {
         }
         self.slots[i][bucket_of(value)] += 1;
         self.lifetime[bucket_of(value)] += 1;
+        regressed
     }
 
     /// The all-time bucket counts.
@@ -171,8 +196,11 @@ impl WindowedHistogram {
         &self.lifetime
     }
 
-    /// The bucket counts over the window ending at `epoch`.
+    /// The bucket counts over the window ending at `epoch` (read epochs
+    /// behind the newest write are clamped forward, as in
+    /// [`WindowedCounter::windowed`]).
     pub fn windowed_buckets(&self, epoch: u64) -> [u64; WINDOW_BUCKETS] {
+        let epoch = epoch.max(self.last_epoch);
         let n = self.slots.len() as u64;
         let mut out = [0u64; WINDOW_BUCKETS];
         for (row, se) in self.slots.iter().zip(&self.slot_epochs) {
@@ -224,6 +252,46 @@ mod tests {
         clock.advance(10_000); // far future: window empty
         assert_eq!(h.windowed_buckets(epoch(&clock)).iter().sum::<u64>(), 0);
         assert_eq!(h.lifetime_buckets().iter().sum::<u64>(), 2);
+    }
+
+    /// Satellite hardening: a clock stepping backwards must not corrupt
+    /// the ring or inflate windowed totals — the stale epoch is clamped
+    /// to the newest one seen and the regression is reported.
+    #[test]
+    fn backwards_clock_is_clamped_not_corrupting() {
+        let clock = ManualClock::at(5_000);
+        let epoch_len = 1_000u64;
+        let epoch = |c: &ManualClock| c.now_micros() / epoch_len;
+        let mut c = WindowedCounter::new(3);
+        assert!(!c.add(epoch(&clock), 10), "forward write: no regression");
+        clock.set(2_000); // the clock steps backwards by three epochs
+        assert!(c.add(epoch(&clock), 5), "backwards write is reported");
+        // The stale write landed in the newest epoch: nothing was
+        // re-tagged, the window holds exactly both writes, and a read at
+        // the regressed epoch still sees them (no deflation either).
+        assert_eq!(c.lifetime(), 15);
+        assert_eq!(c.windowed(5), 15);
+        assert_eq!(c.windowed(epoch(&clock)), 15, "regressed read clamps");
+        clock.set(5_000);
+        assert!(!c.add(epoch(&clock), 1), "recovered clock: no regression");
+        assert_eq!(c.windowed(5), 16);
+        clock.advance(3 * epoch_len); // everything decays normally after
+        assert_eq!(c.windowed(epoch(&clock)), 0);
+        assert_eq!(c.lifetime(), 16);
+    }
+
+    #[test]
+    fn backwards_clock_histogram_keeps_bucket_integrity() {
+        let mut h = WindowedHistogram::new(2);
+        assert!(!h.record(10, 3)); // bucket 1 at epoch 10
+        assert!(h.record(4, 100), "six epochs backwards"); // bucket 6
+        assert!(h.record(9, 1000), "still behind"); // bucket 9
+                                                    // All three observations are present in both views; nothing
+                                                    // paniced, wrapped, or was silently dropped.
+        assert_eq!(h.lifetime_buckets().iter().sum::<u64>(), 3);
+        let w = h.windowed_buckets(10);
+        assert_eq!(w[1] + w[6] + w[9], 3, "clamped into the live window");
+        assert_eq!(h.windowed_buckets(4), w, "regressed read clamps");
     }
 
     #[test]

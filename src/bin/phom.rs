@@ -22,12 +22,25 @@
 //!               [--arrivals open:<rate>|poisson:<rate>] [--seed S] [--xi F]
 //!               [--timeout-micros U] [--stats-json PATH]
 //!               [--trace-json PATH] [--slow-query-micros T]
+//! phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]
 //! ```
 //!
 //! `engine-batch` and `engine-live` run through the service layer
 //! (`phom_service::Service`) with sharding disabled; `serve-sim` stands
 //! up a multi-graph registry with WCC sharding and admission control and
-//! replays an open-loop request mix against it.
+//! replays an open-loop request mix against it; `flight-dump` replays a
+//! short synthetic batch and prints the always-on flight recorder's
+//! retained per-query summaries.
+//!
+//! The four service-backed subcommands additionally accept the
+//! **operations flags**: `--journal PATH` (structured JSON-lines event
+//! journal), `--metrics-text PATH` (Prometheus text exposition —
+//! `serve-sim` rewrites it periodically from a reporter thread, the
+//! others write it once at exit), `--flight-capacity N` (per-query
+//! flight-recorder ring size; `0` disables it), and the SLO knobs
+//! `--slo-p99-micros U` (per-plan p99 latency objectives),
+//! `--slo-shed-rate F`, and `--slo-timeout-rate F` (bad-event rate
+//! ceilings as fractions in `(0,1]`).
 //!
 //! Graph files use the text format of `phom_graph::serialize`
 //! (`node <id> <label>` / `edge <from> <to>` lines; `#` comments).
@@ -74,7 +87,15 @@ fn main() -> ExitCode {
              \x20                           [--update-ratio R] [--queue-depth D] [--threads T]\n\
              \x20                           [--arrivals open:<rate>|poisson:<rate>] [--seed S]\n\
              \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]\n\
-             \x20                           [--trace-json PATH] [--slow-query-micros T]"
+             \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
+             phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]\n\n\
+             operations flags (engine-batch, engine-live, serve-sim, flight-dump):\n\
+             \x20  --journal PATH         JSON-lines event journal sink\n\
+             \x20  --metrics-text PATH    Prometheus text exposition (serve-sim: periodic)\n\
+             \x20  --flight-capacity N    flight-recorder ring size (0 disables)\n\
+             \x20  --slo-p99-micros U     per-plan p99 latency objectives\n\
+             \x20  --slo-shed-rate F      shed-rate ceiling over offered load\n\
+             \x20  --slo-timeout-rate F   timeout-rate ceiling over admitted queries"
         );
         return ExitCode::SUCCESS;
     }
@@ -87,6 +108,7 @@ fn main() -> ExitCode {
         "engine-batch" => cmd_engine_batch(&args[1..]),
         "engine-live" => cmd_engine_live(&args[1..]),
         "serve-sim" => cmd_serve_sim(&args[1..]),
+        "flight-dump" => cmd_flight_dump(&args[1..]),
         other => fail(&format!("unknown command {other:?}")),
     }
 }
@@ -131,6 +153,24 @@ struct Flags {
     /// Only log traces for queries at least this slow (`--slow-query-micros`;
     /// 0 = log every traced query).
     slow_query_micros: u128,
+    /// Structured event-journal sink path (`--journal`; one JSON line
+    /// per operational event). Journaling is enabled iff this is set.
+    journal: Option<String>,
+    /// Prometheus text-exposition output path (`--metrics-text`).
+    /// `serve-sim` rewrites it periodically; the other subcommands
+    /// write it once at exit.
+    metrics_text: Option<String>,
+    /// Flight-recorder ring capacity override (`--flight-capacity`;
+    /// 0 disables the recorder, absent keeps the always-on default).
+    flight_capacity: Option<usize>,
+    /// Per-plan p99 latency objective in microseconds
+    /// (`--slo-p99-micros`).
+    slo_p99_micros: Option<u64>,
+    /// Shed-rate ceiling over offered load (`--slo-shed-rate`).
+    slo_shed_rate: Option<f64>,
+    /// Timeout-rate ceiling over admitted queries
+    /// (`--slo-timeout-rate`).
+    slo_timeout_rate: Option<f64>,
     files: Vec<String>,
 }
 
@@ -214,6 +254,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         parts: 4,
         trace_json: None,
         slow_query_micros: 0,
+        journal: None,
+        metrics_text: None,
+        flight_capacity: None,
+        slo_p99_micros: None,
+        slo_shed_rate: None,
+        slo_timeout_rate: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -322,6 +368,46 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--slow-query-micros needs a microsecond threshold")?;
+            }
+            "--journal" => {
+                f.journal = Some(it.next().cloned().ok_or("--journal needs an output path")?);
+            }
+            "--metrics-text" => {
+                f.metrics_text = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--metrics-text needs an output path")?,
+                );
+            }
+            "--flight-capacity" => {
+                f.flight_capacity = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--flight-capacity needs a record count (0 = disabled)")?,
+                );
+            }
+            "--slo-p99-micros" => {
+                f.slo_p99_micros = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--slo-p99-micros needs a microsecond target")?,
+                );
+            }
+            "--slo-shed-rate" => {
+                f.slo_shed_rate = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|r| *r > 0.0 && *r <= 1.0)
+                        .ok_or("--slo-shed-rate needs a fraction in (0,1]")?,
+                );
+            }
+            "--slo-timeout-rate" => {
+                f.slo_timeout_rate = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|r| *r > 0.0 && *r <= 1.0)
+                        .ok_or("--slo-timeout-rate needs a fraction in (0,1]")?,
+                );
             }
             "--closure-backend" => {
                 f.closure_backend = it
@@ -657,35 +743,7 @@ fn cmd_engine_batch(args: &[String]) -> ExitCode {
     }
     match f.workload.as_str() {
         "synthetic" => {
-            let cfg = SyntheticConfig {
-                m: f.nodes,
-                noise: f.noise,
-                seed: f.seed,
-            };
-            let inst = phom::workloads::generate_instance(&cfg, 1);
-            let data = std::sync::Arc::new(inst.g2.clone());
-            // Service-shaped queries: small patterns (sliding windows of
-            // the template) against one large prepared data graph — the
-            // regime where the shared closure dominates per-query cost.
-            let pattern_nodes = (f.nodes / 5).clamp(4, 40).min(f.nodes);
-            let windows: Vec<std::sync::Arc<DiGraph<_>>> = (0..8)
-                .map(|w| {
-                    let lo = (w * f.nodes / 8).min(f.nodes - pattern_nodes);
-                    let keep: std::collections::BTreeSet<NodeId> =
-                        (lo..lo + pattern_nodes).map(|i| NodeId(i as u32)).collect();
-                    std::sync::Arc::new(inst.g1.induced_subgraph(&keep).0)
-                })
-                .collect();
-            let queries: Vec<Query<phom::workloads::synthetic::Label>> = (0..f.queries)
-                .map(|i| {
-                    let pattern = std::sync::Arc::clone(&windows[i % windows.len()]);
-                    let mat =
-                        SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
-                            inst.pool.similarity(*pattern.label(v), *data.label(u))
-                        });
-                    mixed_query(pattern, mat, f.xi, i)
-                })
-                .collect();
+            let (data, queries) = synthetic_batch(&f);
             run_engine_batch(&data, queries, &f)
         }
         "websim" => {
@@ -710,6 +768,45 @@ fn cmd_engine_batch(args: &[String]) -> ExitCode {
         }
         other => fail(&format!("unknown workload {other:?} (synthetic|websim)")),
     }
+}
+
+/// The synthetic engine-batch workload: one data graph and `--queries`
+/// service-shaped pattern queries — small patterns (sliding windows of
+/// the template) against one large prepared data graph, the regime
+/// where the shared closure dominates per-query cost. Shared by
+/// `engine-batch --workload synthetic` and `flight-dump`.
+fn synthetic_batch(
+    f: &Flags,
+) -> (
+    std::sync::Arc<DiGraph<phom::workloads::synthetic::Label>>,
+    Vec<Query<phom::workloads::synthetic::Label>>,
+) {
+    let cfg = SyntheticConfig {
+        m: f.nodes,
+        noise: f.noise,
+        seed: f.seed,
+    };
+    let inst = phom::workloads::generate_instance(&cfg, 1);
+    let data = std::sync::Arc::new(inst.g2.clone());
+    let pattern_nodes = (f.nodes / 5).clamp(4, 40).min(f.nodes);
+    let windows: Vec<std::sync::Arc<DiGraph<_>>> = (0..8)
+        .map(|w| {
+            let lo = (w * f.nodes / 8).min(f.nodes - pattern_nodes);
+            let keep: std::collections::BTreeSet<NodeId> =
+                (lo..lo + pattern_nodes).map(|i| NodeId(i as u32)).collect();
+            std::sync::Arc::new(inst.g1.induced_subgraph(&keep).0)
+        })
+        .collect();
+    let queries: Vec<Query<phom::workloads::synthetic::Label>> = (0..f.queries)
+        .map(|i| {
+            let pattern = std::sync::Arc::clone(&windows[i % windows.len()]);
+            let mat = SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
+                inst.pool.similarity(*pattern.label(v), *data.label(u))
+            });
+            mixed_query(pattern, mat, f.xi, i)
+        })
+        .collect();
+    (data, queries)
 }
 
 /// Builds query `i` of a mixed batch: the four algorithms round-robin,
@@ -750,9 +847,12 @@ fn planner_config(f: &Flags) -> PlannerConfig {
 
 /// The service configuration the CLI subcommands share. `engine-batch`
 /// and `engine-live` disable sharding (one graph, one shard — the
-/// engine-parity path); `serve-sim` turns it on.
+/// engine-parity path); `serve-sim` turns it on. The operations flags
+/// ride along: `--journal` switches the event journal's ring on,
+/// `--flight-capacity` resizes (or disables) the flight recorder, and
+/// the `--slo-*` flags configure the burn-rate monitor.
 fn service_config(f: &Flags, sharding: ShardingConfig) -> ServiceConfig {
-    ServiceConfig::builder()
+    let mut builder = ServiceConfig::builder()
         .engine(
             EngineConfig::builder()
                 .cache_capacity(8.max(f.graphs * f.parts))
@@ -762,7 +862,91 @@ fn service_config(f: &Flags, sharding: ShardingConfig) -> ServiceConfig {
         )
         .sharding(sharding)
         .queue_depth(f.queue_depth)
-        .build()
+        .journal_capacity(if f.journal.is_some() { 256 } else { 0 })
+        .slo(slo_config(f));
+    if let Some(n) = f.flight_capacity {
+        builder = builder.flight_capacity(n);
+    }
+    builder.build()
+}
+
+/// The `--slo-*` flags as a monitor config. Each absent flag leaves its
+/// objective out; no flags at all leave the monitor disabled.
+/// `--slo-p99-micros` expands to one p99 objective per plan kind over
+/// the per-plan latency histograms the service already records.
+fn slo_config(f: &Flags) -> SloConfig {
+    let mut slo = SloConfig::default();
+    if let Some(target) = f.slo_p99_micros {
+        for kind in [
+            PlanKind::Exact,
+            PlanKind::Approx,
+            PlanKind::Bounded,
+            PlanKind::Baseline,
+        ] {
+            slo.latency.push(LatencyObjective {
+                name: format!("latency_{}_p99", kind.name()),
+                histogram: format!("latency_{}", kind.name()),
+                percentile: 99,
+                target_micros: target,
+            });
+        }
+    }
+    if let Some(ceiling) = f.slo_shed_rate {
+        slo.rates.push(RateObjective {
+            name: "shed_rate".to_owned(),
+            bad: "queries_shed".to_owned(),
+            base: "queries_admitted".to_owned(),
+            base_includes_bad: false,
+            ceiling,
+        });
+    }
+    if let Some(ceiling) = f.slo_timeout_rate {
+        slo.rates.push(RateObjective {
+            name: "timeout_rate".to_owned(),
+            bad: "queries_timed_out".to_owned(),
+            base: "queries_admitted".to_owned(),
+            base_includes_bad: true,
+            ceiling,
+        });
+    }
+    slo
+}
+
+/// Attaches the `--journal` JSON-lines sink to a freshly built service.
+/// Called before graph registration so the `GraphRegistered` events land
+/// in the file too.
+fn attach_journal<L: ServiceLabel>(service: &Service<L>, f: &Flags) -> Result<(), String> {
+    let Some(path) = &f.journal else {
+        return Ok(());
+    };
+    service
+        .journal()
+        .attach_sink(std::path::Path::new(path))
+        .map_err(|e| format!("cannot open journal {path}: {e}"))?;
+    println!("event journal (JSON lines) -> {path}");
+    Ok(())
+}
+
+/// Renders the service's Prometheus text exposition to `path`. The
+/// serve-sim reporter thread calls this periodically; every
+/// service-backed subcommand calls it once at exit via
+/// [`finish_metrics_text`].
+fn write_metrics_text<L: ServiceLabel>(service: &Service<L>, path: &str) -> Result<(), String> {
+    std::fs::write(path, service.render_prometheus())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// The final `--metrics-text` write at subcommand exit: one SLO
+/// evaluation (so breaches crossed since the last poll still journal)
+/// and one exposition render.
+fn finish_metrics_text<L: ServiceLabel>(service: &Service<L>, f: &Flags) -> Result<(), String> {
+    let Some(path) = &f.metrics_text else {
+        return Ok(());
+    };
+    let _ = service.slo_status();
+    write_metrics_text(service, path)?;
+    println!("metrics text written to {path}");
+    Ok(())
 }
 
 /// Converts a service [`GraphInfo`] into the `PrepareStats` shape the
@@ -808,6 +992,9 @@ fn run_engine_batch<L: ServiceLabel>(
     f: &Flags,
 ) -> ExitCode {
     let service: Service<L> = Service::new(service_config(f, ShardingConfig::disabled()));
+    if let Err(e) = attach_journal(&service, f) {
+        return fail(&e);
+    }
     if let Err(e) = service.register("batch".into(), std::sync::Arc::clone(data)) {
         return fail(&e.to_string());
     }
@@ -916,6 +1103,9 @@ fn run_engine_batch<L: ServiceLabel>(
         None,
         Some(&service.stats()),
     ) {
+        return fail(&e);
+    }
+    if let Err(e) = finish_metrics_text(&service, f) {
         return fail(&e);
     }
     ExitCode::SUCCESS
@@ -1044,14 +1234,20 @@ fn run_open_loop<L: ServiceLabel>(
     ) {
         return fail(&e);
     }
+    if let Err(e) = finish_metrics_text(service, f) {
+        return fail(&e);
+    }
     ExitCode::SUCCESS
 }
 
 /// Collects `--trace-json` output: one JSON line per traced query
-/// (`{"query":i,"graph":"...","micros":M,"trace":{...}}`), filtered by
-/// the `--slow-query-micros` threshold and flushed at command end.
-/// Tracing is enabled iff `--trace-json` was given; threads share the
-/// log through the interior mutex.
+/// (`{"seq":S,"query":i,"graph":"...","micros":M,"trace":{...}}`),
+/// filtered by the `--slow-query-micros` threshold and flushed at
+/// command end. Tracing is enabled iff `--trace-json` was given;
+/// threads share the log through the interior mutex, and `seq` — the
+/// line's index in the log — is assigned under that mutex, so
+/// concurrent submitters always produce a strictly increasing sequence
+/// with no gaps (unlike `query`, which records submission order).
 struct TraceLog {
     path: Option<String>,
     threshold: u128,
@@ -1080,16 +1276,14 @@ impl TraceLog {
         if r.micros < self.threshold {
             return;
         }
-        let line = format!(
-            "{{\"query\":{i},\"graph\":\"{}\",\"micros\":{},\"trace\":{}}}",
+        let mut lines = self.lines.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = lines.len();
+        lines.push(format!(
+            "{{\"seq\":{seq},\"query\":{i},\"graph\":\"{}\",\"micros\":{},\"trace\":{}}}",
             phom::trace::json_escape(graph),
             r.micros,
             t.to_json(),
-        );
-        self.lines
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(line);
+        ));
     }
 
     fn flush(&self) -> Result<(), String> {
@@ -1172,6 +1366,9 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
 
     let service: Service<phom::workloads::synthetic::Label> =
         Service::new(service_config(&f, ShardingConfig::disabled()));
+    if let Err(e) = attach_journal(&service, &f) {
+        return fail(&e);
+    }
     if let Err(e) = service.register("live".into(), std::sync::Arc::clone(&data)) {
         return fail(&e.to_string());
     }
@@ -1278,6 +1475,9 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
     if let Err(e) = write_stats_json(&f, &stats, full.stats(), Some(&agg), Some(&service.stats())) {
         return fail(&e);
     }
+    if let Err(e) = finish_metrics_text(&service, &f) {
+        return fail(&e);
+    }
     ExitCode::SUCCESS
 }
 
@@ -1309,6 +1509,9 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             min_shard_nodes: 2,
         },
     ));
+    if let Err(e) = attach_journal(&service, &f) {
+        return fail(&e);
+    }
 
     // Each graph: `--parts` disjoint copies of one synthetic instance
     // (distinct per graph via the seed), so every part is a WCC and the
@@ -1391,76 +1594,104 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     let latencies: std::sync::Mutex<Vec<(u128, u128)>> =
         std::sync::Mutex::new(Vec::with_capacity(ops));
     let shed = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for worker in 0..workers {
-            let queries = &queries;
-            let schedule = &schedule;
-            let trace_log = &trace_log;
-            let service = &service;
-            let latencies = &latencies;
-            let shed = &shed;
-            let next = &next;
-            let f = &f;
-            s.spawn(move || {
-                let mut rng = phom::graph::XorShift64::new(f.seed ^ ((worker as u64 + 1) * 0x9e37));
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= ops {
-                        break;
-                    }
-                    let sched = schedule[i];
-                    let now = start.elapsed();
-                    if now < sched {
-                        std::thread::sleep(sched - now);
-                    }
-                    let graph_name = format!("g{}", i % f.graphs);
-                    if update_every != usize::MAX && i % update_every == update_every - 1 {
-                        // Edge flip inside one part of the target graph
-                        // (intra-shard, routed to its owning shard).
-                        let data = service.graph(&graph_name).expect("registered");
-                        let n = data.node_count();
-                        let part = n / f.parts.max(1);
-                        let base = rng.below(f.parts.max(1)) * part;
-                        let a = NodeId((base + rng.below(part.max(1))) as u32);
-                        let b = NodeId((base + rng.below(part.max(1))) as u32);
-                        let update = if data.has_edge(a, b) {
-                            phom::dynamic::GraphUpdate::RemoveEdge(a, b)
-                        } else {
-                            phom::dynamic::GraphUpdate::InsertEdge(a, b)
-                        };
-                        if let Err(e) = service.handle(Request::ApplyUpdates {
-                            graph: graph_name,
-                            updates: vec![update],
-                        }) {
-                            eprintln!("update {i}: {e}");
-                        }
-                    } else {
-                        let (name, q) = &queries[i % queries.len()];
-                        match service.handle(Request::Query {
-                            graph: name.clone(),
-                            query: q.clone(),
-                            trace: trace_log.enabled(),
-                        }) {
-                            Ok(Response::Answer(r)) => {
-                                let response = start.elapsed().saturating_sub(sched).as_micros();
-                                latencies
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .push((r.micros, response));
-                                trace_log.record(i, name, &r);
-                            }
-                            Ok(_) => unreachable!("query returns Answer"),
-                            Err(ServiceError::Overloaded { .. }) => {
-                                shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            }
-                            Err(e) => eprintln!("query {i}: {e}"),
+    // The reporter thread lives in an outer scope so the main thread can
+    // run (and implicitly join) the submitter scope, then flip the stop
+    // flag — while the reporter keeps the `--metrics-text` file fresh
+    // and polls the SLO monitor (journaling breaches as they happen, not
+    // at exit).
+    let stop_reporter = std::sync::atomic::AtomicBool::new(false);
+    let elapsed = std::thread::scope(|ops_scope| {
+        if f.metrics_text.is_some() {
+            let (service, f, stop) = (&service, &f, &stop_reporter);
+            ops_scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let _ = service.slo_status();
+                    if let Some(path) = &f.metrics_text {
+                        if let Err(e) = write_metrics_text(service, path) {
+                            eprintln!("{e}");
                         }
                     }
+                    std::thread::sleep(std::time::Duration::from_millis(220));
                 }
             });
         }
+        std::thread::scope(|s| {
+            for worker in 0..workers {
+                let queries = &queries;
+                let schedule = &schedule;
+                let trace_log = &trace_log;
+                let service = &service;
+                let latencies = &latencies;
+                let shed = &shed;
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut rng =
+                        phom::graph::XorShift64::new(f.seed ^ ((worker as u64 + 1) * 0x9e37));
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if i >= ops {
+                            break;
+                        }
+                        let sched = schedule[i];
+                        let now = start.elapsed();
+                        if now < sched {
+                            std::thread::sleep(sched - now);
+                        }
+                        let graph_name = format!("g{}", i % f.graphs);
+                        if update_every != usize::MAX && i % update_every == update_every - 1 {
+                            // Edge flip inside one part of the target graph
+                            // (intra-shard, routed to its owning shard).
+                            let data = service.graph(&graph_name).expect("registered");
+                            let n = data.node_count();
+                            let part = n / f.parts.max(1);
+                            let base = rng.below(f.parts.max(1)) * part;
+                            let a = NodeId((base + rng.below(part.max(1))) as u32);
+                            let b = NodeId((base + rng.below(part.max(1))) as u32);
+                            let update = if data.has_edge(a, b) {
+                                phom::dynamic::GraphUpdate::RemoveEdge(a, b)
+                            } else {
+                                phom::dynamic::GraphUpdate::InsertEdge(a, b)
+                            };
+                            if let Err(e) = service.handle(Request::ApplyUpdates {
+                                graph: graph_name,
+                                updates: vec![update],
+                            }) {
+                                eprintln!("update {i}: {e}");
+                            }
+                        } else {
+                            let (name, q) = &queries[i % queries.len()];
+                            match service.handle(Request::Query {
+                                graph: name.clone(),
+                                query: q.clone(),
+                                trace: trace_log.enabled(),
+                            }) {
+                                Ok(Response::Answer(r)) => {
+                                    let response =
+                                        start.elapsed().saturating_sub(sched).as_micros();
+                                    latencies
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push((r.micros, response));
+                                    trace_log.record(i, name, &r);
+                                }
+                                Ok(_) => unreachable!("query returns Answer"),
+                                Err(ServiceError::Overloaded { .. }) => {
+                                    shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                Err(e) => eprintln!("query {i}: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Replay time excludes the reporter's final sleep-out: measure
+        // before flipping the stop flag (the outer scope then joins it).
+        let elapsed = start.elapsed();
+        stop_reporter.store(true, std::sync::atomic::Ordering::Release);
+        elapsed
     });
-    let elapsed = start.elapsed();
     if let Err(e) = trace_log.flush() {
         return fail(&e);
     }
@@ -1524,6 +1755,10 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
         stats.backend_fallbacks,
         stats.slow_traces.len(),
     );
+    println!(
+        "ops: {} journal events, {} flight records, SLO breached = {}",
+        stats.journal_events, stats.flight_recorded, stats.slo.breached,
+    );
     if let Some(path) = &f.stats_json {
         let mut engine_stats = service.engine_stats();
         engine_stats.last_batch_p50_micros = percentile_micros(&service_lat, 50);
@@ -1541,6 +1776,52 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
             return fail(&format!("cannot write {path}: {e}"));
         }
         println!("stats JSON written to {path}");
+    }
+    if let Err(e) = finish_metrics_text(&service, &f) {
+        return fail(&e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `phom flight-dump`: replays a short synthetic batch through the
+/// service layer and dumps the always-on flight recorder — one JSON
+/// line per retained per-query summary, oldest first, plus a trailer
+/// reconciling the retained/recorded counts against admitted queries.
+/// With `--flight-capacity` smaller than `--queries`, the trailer shows
+/// the ring keeping only the most recent summaries.
+fn cmd_flight_dump(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if !f.files.is_empty() {
+        return fail("flight-dump takes no file arguments");
+    }
+    let (data, queries) = synthetic_batch(&f);
+    let service: Service<phom::workloads::synthetic::Label> =
+        Service::new(service_config(&f, ShardingConfig::disabled()));
+    if let Err(e) = attach_journal(&service, &f) {
+        return fail(&e);
+    }
+    if let Err(e) = service.register("flight".into(), std::sync::Arc::clone(&data)) {
+        return fail(&e.to_string());
+    }
+    if let Err(e) = service.query_batch_traced("flight", &queries, false) {
+        return fail(&e.to_string());
+    }
+    let records = service.flight().snapshot();
+    for r in &records {
+        println!("{}", r.to_json(plan_name_of(r.plan)));
+    }
+    let stats = service.stats();
+    println!(
+        "flight: {} retained of {} recorded ({} queries admitted)",
+        records.len(),
+        stats.flight_recorded,
+        stats.queries_admitted,
+    );
+    if let Err(e) = finish_metrics_text(&service, &f) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }

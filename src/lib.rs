@@ -103,15 +103,16 @@ pub mod prelude {
         NodeId, ReachabilityIndex, TransitiveClosure, UpdateEffect,
     };
     pub use phom_service::{
-        GraphInfo, GraphRegistry, QueryResponse, Request, Response, Service, ServiceConfig,
-        ServiceError, ServiceLabel, ServiceStats, ShardingConfig, UpdateSummary,
+        plan_name_of, GraphInfo, GraphRegistry, QueryResponse, Request, Response, Service,
+        ServiceConfig, ServiceError, ServiceLabel, ServiceStats, ShardingConfig, UpdateSummary,
     };
     pub use phom_sim::{
         hits_scores, matrix_from_label_fn, text_similarity, NodeWeights, SimMatrix,
         SimMatrixBuilder,
     };
     pub use phom_trace::{
-        MetricsRegistry, QueryTrace, SlowTraceRing, Span, SpanKind, TraceCounters, TraceSink,
+        LatencyObjective, MetricsRegistry, QueryTrace, RateObjective, SloConfig, SlowTraceRing,
+        Span, SpanKind, TraceCounters, TraceSink,
     };
     pub use phom_wis::{
         clique_removal, max_clique, max_independent_set, ramsey_all, weighted_independent_set,

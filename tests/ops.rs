@@ -1,0 +1,367 @@
+//! Operations-layer integration: the structured event journal, SLO
+//! burn-rate monitor, flight recorder, and Prometheus exposition
+//! working together through a real service — plus a CLI-level check of
+//! the `--trace-json` sequence field under concurrent submitters.
+
+use phom::prelude::*;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<DiGraph<String>>, Query<String>) {
+    let data = Arc::new(graph_from_labels(
+        &["a", "b", "c", "d"],
+        &[("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")],
+    ));
+    let pattern = Arc::new(graph_from_labels(&["a", "d"], &[("a", "d")]));
+    let matrix = SimMatrix::label_equality(&pattern, &data);
+    (data, Query::new(pattern, matrix))
+}
+
+/// A monitor no real service could satisfy: p99 at 1 microsecond for
+/// every plan. Any admitted traffic breaches it on the first
+/// evaluation.
+fn harsh_latency_slo() -> SloConfig {
+    let mut slo = SloConfig::default();
+    for plan in ["exact", "approx", "bounded", "baseline"] {
+        slo.latency.push(LatencyObjective {
+            name: format!("latency_{plan}_p99"),
+            histogram: format!("latency_{plan}"),
+            percentile: 99,
+            target_micros: 1,
+        });
+    }
+    slo
+}
+
+#[test]
+fn journal_captures_the_service_lifecycle_in_order() {
+    let service: Service<String> =
+        Service::new(ServiceConfig::builder().journal_capacity(64).build());
+    let (data, query) = fixture();
+    service
+        .register("g".into(), Arc::clone(&data))
+        .expect("register");
+    service.query("g", &query).expect("query");
+    service
+        .apply_updates("g", &[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))])
+        .expect("update");
+    service.snapshot("g").expect("snapshot");
+    service
+        .handle(Request::EvictGraph { name: "g".into() })
+        .expect("evict");
+
+    let events = service.journal().snapshot();
+    let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "GraphRegistered",
+            "UpdateApplied",
+            "SnapshotSaved",
+            "GraphEvicted"
+        ],
+        "lifecycle events in emission order"
+    );
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "gap-free sequence");
+    }
+    assert!(events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    assert_eq!(service.journal().events_emitted(), events.len() as u64);
+    // Every retained event renders as exactly one JSON line.
+    for e in &events {
+        let line = e.to_json();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with(&format!("{{\"seq\":{}", e.seq)), "{line}");
+    }
+}
+
+#[test]
+fn slo_breach_journals_once_and_dumps_the_flight_ring() {
+    let service: Service<String> = Service::new(
+        ServiceConfig::builder()
+            .journal_capacity(64)
+            .slo(harsh_latency_slo())
+            .build(),
+    );
+    let (data, query) = fixture();
+    service.register("g".into(), data).expect("register");
+    for _ in 0..8 {
+        service.query("g", &query).expect("query");
+    }
+    let stats = service.stats();
+    assert!(
+        stats.slo.breached,
+        "a 1 us p99 target must breach: {:?}",
+        stats.slo
+    );
+    assert_eq!(stats.flight_recorded, stats.queries_admitted as u64);
+
+    let count = |name: &str| {
+        service
+            .journal()
+            .snapshot()
+            .iter()
+            .filter(|e| e.kind.name() == name)
+            .count()
+    };
+    let breaches = count("SloBreached");
+    assert!(breaches >= 1, "breach must journal an SloBreached event");
+    assert_eq!(
+        count("FlightDump"),
+        1,
+        "one flight dump per newly-breached evaluation"
+    );
+
+    // Edge-triggered: re-evaluating the same standing breach journals
+    // nothing new.
+    let again = service.stats();
+    assert!(again.slo.breached);
+    assert_eq!(count("SloBreached"), breaches);
+    assert_eq!(count("FlightDump"), 1);
+}
+
+#[test]
+fn flight_ring_keeps_the_newest_records_and_counts_all() {
+    let service: Service<String> =
+        Service::new(ServiceConfig::builder().flight_capacity(4).build());
+    let (data, query) = fixture();
+    service.register("g".into(), data).expect("register");
+    for _ in 0..10 {
+        service.query("g", &query).expect("query");
+    }
+    let records = service.flight().snapshot();
+    assert_eq!(records.len(), 4, "ring keeps the newest four");
+    assert_eq!(service.flight().total(), 10);
+    assert!(
+        records.windows(2).all(|w| w[0].at_micros <= w[1].at_micros),
+        "snapshot is oldest first"
+    );
+    for r in &records {
+        let line = r.to_json(plan_name_of(r.plan));
+        assert!(line.contains("\"plan\":\""), "{line}");
+        assert!(!line.contains("unknown"), "real plans only: {line}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.flight_recorded, 10);
+    assert_eq!(stats.queries_admitted, 10);
+
+    // Capacity 0 disables recording entirely.
+    let off: Service<String> = Service::new(ServiceConfig::builder().flight_capacity(0).build());
+    let (data, query) = fixture();
+    off.register("g".into(), data).expect("register");
+    off.query("g", &query).expect("query");
+    assert_eq!(off.flight().total(), 0);
+    assert!(off.flight().snapshot().is_empty());
+}
+
+#[test]
+fn exposition_agrees_with_service_stats() {
+    let service: Service<String> = Service::new(ServiceConfig::default());
+    let (data, query) = fixture();
+    service
+        .register("g".into(), Arc::clone(&data))
+        .expect("register");
+    for _ in 0..5 {
+        service.query("g", &query).expect("query");
+    }
+    service
+        .apply_updates("g", &[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))])
+        .expect("update");
+    let stats = service.stats();
+    let text = service.render_prometheus();
+    let sample = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.split(' ').next() == Some(name))
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(
+        sample("phom_queries_admitted_total"),
+        stats.queries_admitted as u64
+    );
+    assert_eq!(sample("phom_queries_shed_total"), stats.queries_shed as u64);
+    assert_eq!(
+        sample("phom_update_batches_total"),
+        stats.update_batches as u64
+    );
+    assert_eq!(sample("phom_snapshots_total"), stats.snapshots as u64);
+    assert_eq!(sample("phom_graphs"), stats.graphs as u64);
+    assert_eq!(sample("phom_shards"), stats.shards as u64);
+    // Admitted queries and per-plan latency observations reconcile.
+    let latency_total: u64 = ["exact", "approx", "bounded", "baseline"]
+        .iter()
+        .map(|p| sample(&format!("phom_latency_{p}_count")))
+        .sum();
+    assert_eq!(latency_total, stats.queries_admitted as u64);
+    // The stats JSON carries the same operations surface.
+    let json = stats.to_json();
+    assert!(json.contains("\"slo\":{"), "{json}");
+    assert!(json.contains(&format!("\"journal_events\":{}", stats.journal_events)));
+    assert!(json.contains(&format!("\"flight_recorded\":{}", stats.flight_recorded)));
+}
+
+#[test]
+fn serve_sim_trace_seq_is_gap_free_under_concurrent_submitters() {
+    let dir = std::env::temp_dir().join("phom-ops-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let trace = dir.join(format!("trace-{}.jsonl", std::process::id()));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_phom"))
+        .args([
+            "serve-sim",
+            "--queries",
+            "120",
+            "--nodes",
+            "40",
+            "--threads",
+            "8",
+            "--arrivals",
+            "open:100000",
+            "--update-ratio",
+            "0",
+            "--trace-json",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run serve-sim");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&trace).expect("trace file");
+    let seqs: Vec<usize> = text
+        .lines()
+        .map(|l| {
+            let rest = l.strip_prefix("{\"seq\":").expect("seq leads each line");
+            rest[..rest.find(',').expect("comma after seq")]
+                .parse()
+                .expect("numeric seq")
+        })
+        .collect();
+    assert!(!seqs.is_empty(), "traced replay must log queries");
+    for (i, s) in seqs.iter().enumerate() {
+        assert_eq!(*s, i, "seq must be gap-free in file order");
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+mod properties {
+    use proptest::prelude::*;
+
+    fn is_legal_family(name: &str) -> bool {
+        name.starts_with("phom_") && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+
+    /// Structural well-formedness of one exposition text: `# HELP` then
+    /// `# TYPE` then samples for each family, no duplicate families,
+    /// every sample owned by a declared family, histogram buckets
+    /// cumulative and reconciled with `_count`.
+    fn assert_well_formed(text: &str) {
+        let mut families: Vec<(String, String)> = Vec::new();
+        let mut pending_help: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().expect("HELP name").to_owned();
+                assert!(pending_help.is_none(), "HELP {name} follows unclosed HELP");
+                pending_help = Some(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().expect("TYPE name").to_owned();
+                let kind = it.next().expect("TYPE kind").to_owned();
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(name.as_str()),
+                    "TYPE {name} must directly follow its HELP"
+                );
+                assert!(is_legal_family(&name), "illegal family name {name}");
+                assert!(
+                    families.iter().all(|(n, _)| *n != name),
+                    "duplicate family {name}"
+                );
+                assert!(["counter", "gauge", "histogram"].contains(&kind.as_str()));
+                families.push((name, kind));
+            } else if !line.is_empty() {
+                let name = line.split(['{', ' ']).next().expect("sample name");
+                let value = line.rsplit(' ').next().expect("sample value");
+                assert!(
+                    value.parse::<f64>().is_ok(),
+                    "unparseable value in {line:?}"
+                );
+                let owned = families.iter().any(|(f, kind)| {
+                    name == f
+                        || (kind == "histogram"
+                            && [
+                                format!("{f}_bucket"),
+                                format!("{f}_sum"),
+                                format!("{f}_count"),
+                            ]
+                            .iter()
+                            .any(|s| s == name))
+                });
+                assert!(owned, "sample {name} has no declared family");
+            }
+        }
+        assert!(pending_help.is_none(), "dangling HELP at end of text");
+        for (fam, _) in families.iter().filter(|(_, k)| k == "histogram") {
+            let bucket_prefix = format!("{fam}_bucket");
+            let mut last = 0u64;
+            let mut inf = None;
+            for line in text.lines().filter(|l| l.starts_with(&bucket_prefix)) {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "bucket counts must be cumulative in {fam}");
+                last = v;
+                if line.contains("+Inf") {
+                    inf = Some(v);
+                }
+            }
+            let count: u64 = text
+                .lines()
+                .find(|l| l.split(' ').next() == Some(&format!("{fam}_count")))
+                .expect("histogram _count sample")
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(inf, Some(count), "{fam}: +Inf bucket must equal _count");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any mix of metric names — including characters that need
+        /// sanitizing and names that collide after it — and values
+        /// renders a well-formed exposition.
+        #[test]
+        fn prop_render_prometheus_is_well_formed(
+            counters in proptest::collection::vec(
+                ("[a-z]{1,3}[./ ]?[a-z]{0,3}", 0u64..1000),
+                0..6,
+            ),
+            gauge_vals in proptest::collection::vec(-50i64..50, 0..4),
+            histo_obs in proptest::collection::vec(0u64..100_000, 0..40),
+            ratio in 0.0f64..1.0,
+        ) {
+            let reg = phom::trace::MetricsRegistry::new();
+            for (name, v) in &counters {
+                reg.counter_add(name, *v);
+            }
+            for (i, v) in gauge_vals.iter().enumerate() {
+                reg.gauge_set(&format!("gauge{i}"), *v);
+            }
+            for v in &histo_obs {
+                reg.histogram_record("lat.ops", u128::from(*v));
+            }
+            let text = phom::trace::render_prometheus(
+                &reg.export(),
+                &[("hit ratio".to_owned(), ratio)],
+            );
+            assert_well_formed(&text);
+            if !histo_obs.is_empty() {
+                let needle = format!("phom_lat_ops_count {}", histo_obs.len());
+                prop_assert!(text.contains(&needle), "{text}");
+            }
+            prop_assert!(text.contains("phom_hit_ratio"), "{text}");
+        }
+    }
+}

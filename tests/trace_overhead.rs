@@ -64,3 +64,42 @@ fn untraced_paths_construct_no_trace_state() {
     assert!(traced.trace.is_some());
     assert_eq!(phom::trace::constructions(), before + 1);
 }
+
+/// The same zero-alloc contract for the event journal:
+/// `phom_trace::event_constructions()` counts every journal `Event`
+/// built process-wide, and with the journal ring off (and no sink
+/// attached) every emission site must reduce to a branch that
+/// constructs nothing — across queries, update batches, snapshots,
+/// evictions, and stats/SLO reads.
+#[test]
+fn disabled_journal_paths_construct_no_events() {
+    let (data, query) = fixture();
+    let service: Service<String> = Service::new(
+        ServiceConfig::builder()
+            .journal_capacity(0)
+            .flight_capacity(0)
+            .build(),
+    );
+    let before = phom::trace::event_constructions();
+    service
+        .register("g".into(), Arc::clone(&data))
+        .expect("register");
+    for _ in 0..16 {
+        service.query("g", &query).expect("query");
+    }
+    service
+        .apply_updates("g", &[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))])
+        .expect("update");
+    service.snapshot("g").expect("snapshot");
+    let stats = service.stats();
+    service
+        .handle(Request::EvictGraph { name: "g".into() })
+        .expect("evict");
+    assert_eq!(
+        phom::trace::event_constructions(),
+        before,
+        "journal-off service paths must not build events"
+    );
+    assert_eq!(stats.journal_events, 0);
+    assert_eq!(stats.flight_recorded, 0, "flight off records nothing");
+}
