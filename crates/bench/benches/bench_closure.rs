@@ -1,21 +1,22 @@
 //! Benchmarks the pluggable reachability backends against each other:
 //! index build time and `reaches` query throughput for the dense bitset
-//! closure vs the compressed chain index, with the measured memory
-//! footprint of each printed alongside (the space/time trade the
-//! `ClosureBackend` policy navigates).
+//! closure vs the compressed chain index vs the 2-hop labeling, with the
+//! measured memory footprint of each printed alongside (the space/time
+//! trade the `ClosureBackend` policy navigates).
 //!
 //! Families: the two 3000-node sparse families of `bench_dynamic`
 //! (preferential-attachment k=4 and random DAG m=12000 — dense-reach
-//! graphs where the dense closure's O(1) queries win and the chain index
-//! pays for its entry lists) plus two shallow-reach sparse families
-//! (preferential-attachment k=1 hierarchy and a subcritical random DAG
-//! m=1.5n — the web-scale regime where the chain index cuts memory by
-//! an order of magnitude).
+//! graphs where the chain index pays for its entry lists and the 2-hop
+//! labeling is the compressed backend that still wins), a denser random
+//! DAG m=24000 (the regime the `Auto` density cutoff routes to 2-hop),
+//! plus two shallow-reach sparse families (preferential-attachment k=1
+//! hierarchy and a subcritical random DAG m=1.5n — the web-scale regime
+//! where the chain index cuts memory by an order of magnitude).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phom_graph::{
     preferential_attachment, random_dag, ChainIndex, DiGraph, NodeId, ReachabilityIndex,
-    TransitiveClosure, XorShift64,
+    TransitiveClosure, TwoHopIndex, XorShift64,
 };
 
 /// A deterministic batch of query pairs exercising both hits and misses.
@@ -29,13 +30,17 @@ fn query_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
 fn bench_family(c: &mut Criterion, name: &str, g: &DiGraph<u32>) {
     let dense = TransitiveClosure::new(g);
     let chain = ChainIndex::new(g);
+    let twohop = TwoHopIndex::new(g);
+    let dense_bytes = ReachabilityIndex::memory_bytes(&dense) as f64;
     eprintln!(
-        "memory {name:<24} dense = {:>10} B   chain = {:>10} B   ({:.1}% of dense, {} chains)",
+        "memory {name:<24} dense = {:>10} B   chain = {:>10} B ({:>5.1}%, {} chains)   \
+         twohop = {:>10} B ({:>5.1}%)",
         ReachabilityIndex::memory_bytes(&dense),
         ReachabilityIndex::memory_bytes(&chain),
-        100.0 * ReachabilityIndex::memory_bytes(&chain) as f64
-            / ReachabilityIndex::memory_bytes(&dense) as f64,
+        100.0 * ReachabilityIndex::memory_bytes(&chain) as f64 / dense_bytes,
         chain.chain_count(),
+        ReachabilityIndex::memory_bytes(&twohop),
+        100.0 * ReachabilityIndex::memory_bytes(&twohop) as f64 / dense_bytes,
     );
     let pairs = query_pairs(g.node_count(), 10_000, 0xC0FFEE);
 
@@ -46,6 +51,9 @@ fn bench_family(c: &mut Criterion, name: &str, g: &DiGraph<u32>) {
     });
     group.bench_function(BenchmarkId::from_parameter("build_chain"), |b| {
         b.iter(|| criterion::black_box(ChainIndex::new(g)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("build_twohop"), |b| {
+        b.iter(|| criterion::black_box(TwoHopIndex::new(g)))
     });
     group.bench_function(BenchmarkId::from_parameter("reaches_10k_dense"), |b| {
         b.iter(|| {
@@ -65,6 +73,15 @@ fn bench_family(c: &mut Criterion, name: &str, g: &DiGraph<u32>) {
             criterion::black_box(hits)
         })
     });
+    group.bench_function(BenchmarkId::from_parameter("reaches_10k_twohop"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(u, v) in &pairs {
+                hits += usize::from(twohop.reaches(u, v));
+            }
+            criterion::black_box(hits)
+        })
+    });
     group.finish();
 }
 
@@ -75,6 +92,7 @@ fn bench_closure(c: &mut Criterion) {
         &preferential_attachment(3000, 4, 7),
     );
     bench_family(c, "randomdag_n3000_m12k", &random_dag(3000, 12_000, 11));
+    bench_family(c, "randomdag_n4000_m24k", &random_dag(4000, 24_000, 13));
     bench_family(
         c,
         "hierarchy_n3000_k1",

@@ -8,10 +8,13 @@
 //! parity) and two sparse 3000-node families (preferential-attachment
 //! and random DAG — the live-web-graph regime, where a single-edge apply
 //! beats a full re-prepare severalfold). The largest graphs in the suite
-//! are the 3000-node sparse ones.
+//! are the 3000-node sparse ones. The two sparse families run twice:
+//! once under the default (dense) backend and once chain-backed, where
+//! the same churn is serviced by incremental chain maintenance instead
+//! of the rebuild-per-batch the chain backend used to force.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use phom_engine::{GraphUpdate, PreparedGraph};
+use phom_engine::{ClosureBackend, GraphUpdate, PreparedGraph, DEFAULT_CHAIN_NODE_THRESHOLD};
 use phom_graph::{preferential_attachment, random_dag, DiGraph, NodeId, XorShift64};
 use phom_workloads::{generate_instance, SyntheticConfig};
 use std::cell::Cell;
@@ -67,6 +70,70 @@ fn bench_family<L: Clone + std::fmt::Debug>(c: &mut Criterion, name: &str, data:
     group.finish();
 }
 
+/// The chain-backed variant of [`bench_family`]: the same churn stream
+/// applied through [`SemiDynamicChain`] maintenance (extend / split /
+/// concatenate from the affected cone) versus a chain-backed re-prepare —
+/// the update path that used to be a forced rebuild per batch.
+///
+/// [`SemiDynamicChain`]: phom_dynamic::SemiDynamicChain
+fn bench_family_chain<L: Clone + std::fmt::Debug>(
+    c: &mut Criterion,
+    name: &str,
+    data: Arc<DiGraph<L>>,
+) {
+    let prepared = PreparedGraph::with_backend(
+        Arc::clone(&data),
+        ClosureBackend::Chain,
+        DEFAULT_CHAIN_NODE_THRESHOLD,
+    );
+    let updates = churn(&data, 256, 0xD15C);
+    let mut group = c.benchmark_group(format!("dynamic_chain_{name}"));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("full_reprepare"), |b| {
+        b.iter(|| {
+            criterion::black_box(PreparedGraph::with_backend(
+                Arc::clone(&data),
+                ClosureBackend::Chain,
+                DEFAULT_CHAIN_NODE_THRESHOLD,
+            ))
+        })
+    });
+
+    let cursor = Cell::new(0usize);
+    group.bench_function(BenchmarkId::from_parameter("apply_single_edge"), |b| {
+        b.iter(|| {
+            let i = cursor.get();
+            cursor.set(i + 1);
+            criterion::black_box(prepared.apply(&updates[i % updates.len()..][..1]))
+        })
+    });
+
+    for batch in [8usize, 64] {
+        let slice = &updates[..batch];
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("apply_batch_{batch}")),
+            |b| b.iter(|| criterion::black_box(prepared.apply(slice))),
+        );
+    }
+
+    // The acceptance telemetry: a representative batch must be serviced
+    // by incremental maintenance, not the counted rebuild escape hatches.
+    let outcome = prepared.apply(&updates[..64]);
+    eprintln!(
+        "chain-apply {name:<20} batch of 64: applied = {}, incremental = {}, \
+         unchanged = {}, rebuild fallbacks = {} (damage {}, unsupported {})",
+        outcome.stats.applied,
+        outcome.stats.incremental,
+        outcome.stats.closure_unchanged,
+        outcome.stats.backend_fallbacks,
+        outcome.stats.fallback_damage,
+        outcome.stats.fallback_unsupported,
+    );
+
+    group.finish();
+}
+
 fn bench_dynamic(c: &mut Criterion) {
     let inst = generate_instance(
         &SyntheticConfig {
@@ -83,6 +150,12 @@ fn bench_dynamic(c: &mut Criterion) {
         Arc::new(preferential_attachment(3000, 4, 7)),
     );
     bench_family(c, "randomdag_n3000", Arc::new(random_dag(3000, 12_000, 11)));
+    bench_family_chain(
+        c,
+        "prefattach_n3000",
+        Arc::new(preferential_attachment(3000, 4, 7)),
+    );
+    bench_family_chain(c, "randomdag_n3000", Arc::new(random_dag(3000, 12_000, 11)));
 }
 
 criterion_group!(benches, bench_dynamic);

@@ -83,9 +83,13 @@ pub struct MatcherConfig {
     /// independent in p-hom modes (Proposition 1), so they fan out across
     /// a scoped pool of this many workers. `1` (the default) is the
     /// sequential paper path; `0` uses the available parallelism. The
-    /// result is identical for every worker count. Injective (1-1) modes
-    /// ignore this knob: their components compete for data nodes, so they
-    /// keep the sequential masking path.
+    /// result is identical for every worker count. Injective (1-1)
+    /// components *compete* for data nodes, so they run speculatively in
+    /// parallel and merge in deterministic component order: a component
+    /// whose candidate support is disjoint from the images already
+    /// claimed keeps its speculative answer (provably identical to the
+    /// masked sequential run), and only genuine conflicts re-solve
+    /// sequentially under the mask.
     pub intra_workers: usize,
 }
 
@@ -124,7 +128,9 @@ pub struct MatchStats {
     /// Prefilter statistics when [`MatcherConfig::prefilter`] is on.
     pub prefilter: Option<crate::prefilter::PrefilterStats>,
     /// Components matched on the intra-query parallel path (0 when the
-    /// run was sequential — one component, one worker, or injective).
+    /// run was sequential — one component or one worker). In injective
+    /// mode this counts components solved speculatively, whether or not
+    /// the deterministic merge later re-solved them under the mask.
     pub parallel_components: usize,
     /// Restart kernel runs actually executed, summed across components
     /// (0 when restarts are off; ≤ `components × restarts` when the
@@ -484,49 +490,212 @@ fn match_graphs_inner<L: Clone + Sync>(
         if injective {
             let component_xi = cfg.xi.max(f64::MIN_POSITIVE);
             let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-            for comp_nodes in &comps {
-                // Deadline: components already matched are kept.
-                budget_polls.fetch_add(1, Ordering::Relaxed);
-                if budget.expired() {
-                    break;
-                }
-                if comp_nodes.len() == 1 {
-                    // Singleton shortcut: best candidate wins outright.
-                    stats.singleton_shortcuts += 1;
-                    let v_old = old_of_new[comp_nodes[0].index()];
-                    let best = data
-                        .mat
-                        .candidates(v_old, cfg.xi)
-                        .filter(|&u| !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u))
-                        .filter(|u| !used.contains(u))
-                        .max_by(|&a, &b| {
+            let workers = intra_worker_count(cfg.intra_workers, comps.len());
+            // Speculative results of the parallel phase: each component
+            // solved *unmasked*, together with its candidate **support**
+            // — every data node whose score is nonzero in some component
+            // row (for singletons, the full filtered candidate list).
+            // Masking only zeroes columns; if no already-claimed image
+            // lies in the support, the masked matrix equals the unmasked
+            // one entry-for-entry, so the speculative answer IS the
+            // sequential answer and the merge below accepts it.
+            enum Spec {
+                /// Deadline expired before this component was claimed.
+                Skipped,
+                /// Singleton: best unmasked candidate + full support.
+                Singleton(NodeId, Option<NodeId>, Vec<NodeId>),
+                /// Multi-node: unmasked part, sub-id -> g1 id, support.
+                Matched(PHomMapping, Vec<NodeId>, Vec<NodeId>),
+            }
+            let specs: Option<Vec<Spec>> = if workers > 1 {
+                let data = &data;
+                let run_algorithm = &run_algorithm;
+                let old_of_new = &old_of_new;
+                let reduced = &reduced;
+                let budget_polls = &budget_polls;
+                let spec_solve = move |comp_nodes: &Vec<NodeId>| -> Spec {
+                    budget_polls.fetch_add(1, Ordering::Relaxed);
+                    if budget.expired() {
+                        return Spec::Skipped;
+                    }
+                    if comp_nodes.len() == 1 {
+                        let v_old = old_of_new[comp_nodes[0].index()];
+                        let support: Vec<NodeId> = data
+                            .mat
+                            .candidates(v_old, cfg.xi)
+                            .filter(|&u| {
+                                !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u)
+                            })
+                            .collect();
+                        let best = support.iter().copied().max_by(|&a, &b| {
                             data.mat
                                 .score(v_old, a)
                                 .partial_cmp(&data.mat.score(v_old, b))
                                 .expect("finite")
                                 .then(b.cmp(&a))
                         });
-                    if let Some(u) = best {
-                        whole.set(v_old, u);
-                        used.insert(u);
+                        return Spec::Singleton(v_old, best, support);
                     }
-                    continue;
-                }
-                let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
-                let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
-                // sub ids -> original g1 ids.
-                let orig: Vec<NodeId> = sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
-                let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
-                    if used.contains(&u) {
-                        0.0
-                    } else {
+                    let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
+                    let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
+                    let orig: Vec<NodeId> =
+                        sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
+                    let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
                         data.mat.score(orig[nv.index()], u)
+                    });
+                    let sub_w =
+                        NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
+                    let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
+                    let support: Vec<NodeId> = (0..data.n2 as u32)
+                        .map(NodeId)
+                        .filter(|&u| orig.iter().any(|&v| data.mat.score(v, u) > 0.0))
+                        .collect();
+                    Spec::Matched(part, orig, support)
+                };
+                // Work-stealing claim loop, mirroring the p-hom branch.
+                let next = AtomicUsize::new(0);
+                let slots: Mutex<Vec<Option<Spec>>> =
+                    Mutex::new((0..comps.len()).map(|_| None).collect());
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::SeqCst);
+                            if i >= comps.len() {
+                                break;
+                            }
+                            let r = spec_solve(&comps[i]);
+                            let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+                            slots[i] = Some(r);
+                        });
                     }
                 });
-                let sub_w = NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
-                let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
-                used.extend(part.pairs().map(|(_, u)| u));
-                whole.absorb_renumbered(&part, &orig);
+                let specs: Vec<Spec> = slots
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .into_iter()
+                    .map(|r| r.expect("every component index was claimed"))
+                    .collect();
+                stats.parallel_components =
+                    specs.iter().filter(|r| !matches!(r, Spec::Skipped)).count();
+                Some(specs)
+            } else {
+                None
+            };
+            match specs {
+                // Deterministic conflict-resolution merge, in component
+                // order — exactly the order the sequential path claims
+                // images in, so `used` evolves identically.
+                Some(specs) => {
+                    for (i, spec) in specs.into_iter().enumerate() {
+                        match spec {
+                            Spec::Skipped => {}
+                            Spec::Singleton(v_old, best, support) => {
+                                stats.singleton_shortcuts += 1;
+                                let choice = if support.iter().any(|u| used.contains(u)) {
+                                    // Conflict: redo the masked pick.
+                                    support
+                                        .iter()
+                                        .copied()
+                                        .filter(|u| !used.contains(u))
+                                        .max_by(|&a, &b| {
+                                            data.mat
+                                                .score(v_old, a)
+                                                .partial_cmp(&data.mat.score(v_old, b))
+                                                .expect("finite")
+                                                .then(b.cmp(&a))
+                                        })
+                                } else {
+                                    best
+                                };
+                                if let Some(u) = choice {
+                                    whole.set(v_old, u);
+                                    used.insert(u);
+                                }
+                            }
+                            Spec::Matched(part, orig, support) => {
+                                if support.iter().any(|u| used.contains(u)) {
+                                    // Conflict: re-solve under the mask,
+                                    // as the sequential path would have.
+                                    budget_polls.fetch_add(1, Ordering::Relaxed);
+                                    if budget.expired() {
+                                        continue;
+                                    }
+                                    let comp_set: BTreeSet<NodeId> =
+                                        comps[i].iter().copied().collect();
+                                    let (sub, _) = reduced.induced_subgraph(&comp_set);
+                                    let sub_mat =
+                                        SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
+                                            if used.contains(&u) {
+                                                0.0
+                                            } else {
+                                                data.mat.score(orig[nv.index()], u)
+                                            }
+                                        });
+                                    let sub_w = NodeWeights::from_vec(
+                                        orig.iter().map(|&v| weights.get(v)).collect(),
+                                    );
+                                    let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
+                                    used.extend(part.pairs().map(|(_, u)| u));
+                                    whole.absorb_renumbered(&part, &orig);
+                                } else {
+                                    used.extend(part.pairs().map(|(_, u)| u));
+                                    whole.absorb_renumbered(&part, &orig);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Single worker: the paper's sequential masking loop.
+                None => {
+                    for comp_nodes in &comps {
+                        // Deadline: components already matched are kept.
+                        budget_polls.fetch_add(1, Ordering::Relaxed);
+                        if budget.expired() {
+                            break;
+                        }
+                        if comp_nodes.len() == 1 {
+                            // Singleton shortcut: best candidate wins outright.
+                            stats.singleton_shortcuts += 1;
+                            let v_old = old_of_new[comp_nodes[0].index()];
+                            let best = data
+                                .mat
+                                .candidates(v_old, cfg.xi)
+                                .filter(|&u| {
+                                    !g1.has_self_loop(v_old) || data.closure.get().reaches(u, u)
+                                })
+                                .filter(|u| !used.contains(u))
+                                .max_by(|&a, &b| {
+                                    data.mat
+                                        .score(v_old, a)
+                                        .partial_cmp(&data.mat.score(v_old, b))
+                                        .expect("finite")
+                                        .then(b.cmp(&a))
+                                });
+                            if let Some(u) = best {
+                                whole.set(v_old, u);
+                                used.insert(u);
+                            }
+                            continue;
+                        }
+                        let comp_set: BTreeSet<NodeId> = comp_nodes.iter().copied().collect();
+                        let (sub, sub_old) = reduced.induced_subgraph(&comp_set);
+                        // sub ids -> original g1 ids.
+                        let orig: Vec<NodeId> =
+                            sub_old.iter().map(|&nv| old_of_new[nv.index()]).collect();
+                        let sub_mat = SimMatrix::from_fn(sub.node_count(), data.n2, |nv, u| {
+                            if used.contains(&u) {
+                                0.0
+                            } else {
+                                data.mat.score(orig[nv.index()], u)
+                            }
+                        });
+                        let sub_w =
+                            NodeWeights::from_vec(orig.iter().map(|&v| weights.get(v)).collect());
+                        let part = run_algorithm(&sub, &sub_mat, &sub_w, component_xi);
+                        used.extend(part.pairs().map(|(_, u)| u));
+                        whole.absorb_renumbered(&part, &orig);
+                    }
+                }
             }
         } else {
             // p-hom modes: components are fully independent, so they can
@@ -1039,11 +1208,11 @@ mod tests {
     }
 
     #[test]
-    fn injective_mode_keeps_sequential_path_under_intra_workers() {
+    fn injective_mode_parallel_path_matches_sequential() {
         let (g1, g2, mat) = multi_component_instance();
         let w = NodeWeights::uniform(g1.node_count());
-        for workers in [1, 4] {
-            let out = match_graphs(
+        let run = |workers| {
+            match_graphs(
                 &g1,
                 &g2,
                 &mat,
@@ -1053,13 +1222,26 @@ mod tests {
                     intra_workers: workers,
                     ..Default::default()
                 },
-            );
-            assert_eq!(
-                out.stats.parallel_components, 0,
-                "1-1 components compete for data nodes: always sequential"
-            );
-            assert!(out.mapping.is_injective());
-        }
+            )
+        };
+        let seq = run(1);
+        assert_eq!(
+            seq.stats.parallel_components, 0,
+            "one worker keeps the sequential masking loop"
+        );
+        assert!(seq.mapping.is_injective());
+        let par = run(4);
+        assert_eq!(
+            par.stats.parallel_components, 4,
+            "all components solved speculatively on the parallel path"
+        );
+        assert!(par.mapping.is_injective());
+        assert_eq!(
+            seq.mapping.pairs().collect::<Vec<_>>(),
+            par.mapping.pairs().collect::<Vec<_>>(),
+            "deterministic merge reproduces the sequential masking result"
+        );
+        assert_eq!(seq.qual_card, par.qual_card);
     }
 
     #[test]

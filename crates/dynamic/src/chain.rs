@@ -1,0 +1,938 @@
+//! [`SemiDynamicChain`]: incremental maintenance of the compressed
+//! chain-cover reachability index under edge updates.
+//!
+//! The dense maintainer ([`crate::SemiDynamicClosure`]) patches bitset
+//! rows; this maintainer patches [`phom_graph::ChainIndex`] structure —
+//! per-component `(chain, min position)` entry lists over a chain cover
+//! of the SCC condensation. The load-bearing invariant is **chain
+//! adjacency**: consecutive elements of every chain are connected by a
+//! *direct* condensation edge (at least one graph edge between their
+//! member sets). Adjacency is what makes an entry `(j, p)` a sound
+//! summary — "reaches everything from position `p` on" — both for
+//! probes and, transitively, for later entry recomputes that fold
+//! successors' entries. Every mutation below either preserves adjacency
+//! or repairs it with local chain surgery:
+//!
+//! * **Forward insertion** recomputes the entry lists of the affected
+//!   cone (the inserting component plus everything that reaches it) in
+//!   post-order; when the new edge joins one chain's tail to another's
+//!   head, the chains are **concatenated** first (compression recovered,
+//!   entries renumbered mechanically).
+//! * **Back-edge insertion** merges the components on the new cycle into
+//!   one slot; absorbed slots are spliced out of their chains (splitting
+//!   where they sat, so no link spans a dead slot) onto tombstone
+//!   singleton chains, then the cone is recomputed.
+//! * **Cross-component deletion** checks whether the source still
+//!   reaches the target; if the deleted edge was the last direct edge to
+//!   the source's immediate chain successor, the chain is **split**
+//!   there (suffix renumbered to a fresh chain). Only when reachability
+//!   actually shrank does the affected cone recompute, gated by
+//!   [`DynamicConfig::damage_threshold`] — exceeding it falls back to a
+//!   full rebuild, the *damage-threshold* escape hatch.
+//! * **Intra-SCC deletion** that splits a component falls back to a full
+//!   rebuild (the *unsupported-op* escape hatch): re-covering a
+//!   shattered SCC incrementally is not cheaper than rebuilding.
+//!
+//! The two fallback reasons are counted separately
+//! ([`SemiDynamicChain::fallback_damage`] /
+//! [`SemiDynamicChain::fallback_unsupported`]) so the engine can journal
+//! an expected escape hatch distinctly from a maintenance gap.
+
+use crate::update::{DynamicConfig, DynamicStats};
+use phom_graph::{tarjan_scc, BitSet, ChainIndex, DiGraph, NodeId, UpdateEffect};
+
+/// A [`ChainIndex`] kept consistent under edge insertions and deletions.
+/// See the module docs for the algorithm. Mirrors the shape of
+/// [`crate::SemiDynamicClosure`]: seed it from a prepared index
+/// ([`SemiDynamicChain::from_index`]), apply updates, then take the
+/// mutated graph and refreshed index back via
+/// [`SemiDynamicChain::into_parts`].
+#[derive(Debug, Clone)]
+pub struct SemiDynamicChain<L = ()> {
+    /// The maintained graph (mutate it only through the maintainer).
+    graph: DiGraph<L>,
+    /// `comp[v]` = slot of the component holding `v`.
+    comp: Vec<u32>,
+    /// Members per slot; dead slots are empty.
+    members: Vec<Vec<NodeId>>,
+    /// Whether the slot's component is cyclic.
+    cyclic: Vec<bool>,
+    /// `chain_of[c]` / `pos_of[c]`: chain and position of slot `c`.
+    /// Dead slots keep (singleton-chain) positions so the `(chain, pos)`
+    /// assignment stays bijective — [`ChainIndex::from_parts`] requires
+    /// it at snapshot time.
+    chain_of: Vec<u32>,
+    pos_of: Vec<u32>,
+    /// Materialized chains (slot ids in order). May contain empty chains
+    /// left behind by splices/concatenations.
+    chains: Vec<Vec<u32>>,
+    /// Sorted `(chain, min position)` entry list per slot.
+    entries: Vec<Vec<(u32, u32)>>,
+    /// Slot liveness.
+    alive: Vec<bool>,
+    /// Number of live slots.
+    live: usize,
+    config: DynamicConfig,
+    stats: DynamicStats,
+    fallback_damage: usize,
+    fallback_unsupported: usize,
+}
+
+impl<L: Clone> SemiDynamicChain<L> {
+    /// Builds the maintainer from scratch (Tarjan + chain cover over a
+    /// copy of `g`).
+    pub fn new(g: &DiGraph<L>) -> Self {
+        Self::with_config(g, DynamicConfig::default())
+    }
+
+    /// [`SemiDynamicChain::new`] with explicit tuning.
+    pub fn with_config(g: &DiGraph<L>, config: DynamicConfig) -> Self {
+        let graph = g.clone();
+        let idx = ChainIndex::new(&graph);
+        Self::seed(graph, &idx, config, DynamicStats::default(), 0, 0)
+    }
+}
+
+impl<L> SemiDynamicChain<L> {
+    /// Seeds the maintainer from an **already built** chain index of
+    /// `graph` — the cheap path the engine takes when applying updates
+    /// to a prepared graph on the chain backend.
+    pub fn from_index(graph: DiGraph<L>, idx: &ChainIndex, config: DynamicConfig) -> Self {
+        Self::seed(graph, idx, config, DynamicStats::default(), 0, 0)
+    }
+
+    fn seed(
+        graph: DiGraph<L>,
+        idx: &ChainIndex,
+        config: DynamicConfig,
+        stats: DynamicStats,
+        fallback_damage: usize,
+        fallback_unsupported: usize,
+    ) -> Self {
+        let p = idx.parts();
+        let slots = p.chain_of.len();
+        let comp: Vec<u32> = p.comp.to_vec();
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); slots];
+        for v in graph.nodes() {
+            members[comp[v.index()] as usize].push(v);
+        }
+        let cyclic: Vec<bool> = (0..slots).map(|c| p.cyclic.contains(c)).collect();
+        let chain_of = p.chain_of.to_vec();
+        let pos_of = p.pos_of.to_vec();
+        let width = chain_of.iter().map(|&j| j as usize + 1).max().unwrap_or(0);
+        let mut lens = vec![0usize; width];
+        for (&j, &q) in chain_of.iter().zip(&pos_of) {
+            lens[j as usize] = lens[j as usize].max(q as usize + 1);
+        }
+        let mut chains: Vec<Vec<u32>> = lens.iter().map(|&l| vec![0u32; l]).collect();
+        for c in 0..slots {
+            chains[chain_of[c] as usize][pos_of[c] as usize] = c as u32;
+        }
+        let entries: Vec<Vec<(u32, u32)>> = (0..slots)
+            .map(|c| p.entries[p.entry_off[c] as usize..p.entry_off[c + 1] as usize].to_vec())
+            .collect();
+        // A seed index restored from a snapshot can carry dead slots from
+        // a previous maintainer's merges; memberless slots stay dead.
+        let alive: Vec<bool> = members.iter().map(|m| !m.is_empty()).collect();
+        let live = alive.iter().filter(|&&a| a).count();
+        SemiDynamicChain {
+            graph,
+            comp,
+            members,
+            cyclic,
+            chain_of,
+            pos_of,
+            chains,
+            entries,
+            alive,
+            live,
+            config,
+            stats,
+            fallback_damage,
+            fallback_unsupported,
+        }
+    }
+
+    /// The maintained graph.
+    pub fn graph(&self) -> &DiGraph<L> {
+        &self.graph
+    }
+
+    /// Number of live condensation components.
+    pub fn component_count(&self) -> usize {
+        self.live
+    }
+
+    /// Counters of the work done so far.
+    pub fn stats(&self) -> &DynamicStats {
+        &self.stats
+    }
+
+    /// Rebuild fallbacks taken because a deletion cone exceeded
+    /// [`DynamicConfig::damage_threshold`] — the expected escape hatch.
+    pub fn fallback_damage(&self) -> usize {
+        self.fallback_damage
+    }
+
+    /// Rebuild fallbacks taken because the update shape has no
+    /// incremental chain rule (SCC-splitting deletions).
+    pub fn fallback_unsupported(&self) -> usize {
+        self.fallback_unsupported
+    }
+
+    /// Nonempty-path reachability under the maintained index.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let cf = self.comp[from.index()] as usize;
+        let ct = self.comp[to.index()] as usize;
+        if cf == ct {
+            return self.cyclic[cf];
+        }
+        self.comp_probe(cf, ct)
+    }
+
+    /// Consumes the maintainer into the (mutated) graph plus the
+    /// refreshed immutable index — what the engine assembles the next
+    /// prepared version from.
+    pub fn into_parts(self) -> (DiGraph<L>, ChainIndex) {
+        let n = self.graph.node_count();
+        let slots = self.chain_of.len();
+        let mut entry_off = vec![0u32; slots + 1];
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        for c in 0..slots {
+            entries.extend_from_slice(&self.entries[c]);
+            entry_off[c + 1] = entries.len() as u32;
+        }
+        let mut cyc = BitSet::new(slots);
+        for (c, &flag) in self.cyclic.iter().enumerate() {
+            if flag {
+                cyc.insert(c);
+            }
+        }
+        let idx = ChainIndex::from_parts(
+            n,
+            self.comp,
+            cyc,
+            self.chain_of,
+            self.pos_of,
+            entry_off,
+            entries,
+        )
+        .expect("chain maintainer produced a malformed index (maintainer bug)");
+        (self.graph, idx)
+    }
+
+    /// Proper cross-component reach `cf ⇝ ct` (`cf != ct`) via the
+    /// entry list.
+    fn comp_probe(&self, cf: usize, ct: usize) -> bool {
+        let (tj, tp) = (self.chain_of[ct], self.pos_of[ct]);
+        match self.entries[cf].binary_search_by_key(&tj, |&(j, _)| j) {
+            Ok(i) => self.entries[cf][i].1 <= tp,
+            Err(_) => false,
+        }
+    }
+
+    /// Live condensation out-neighbors of slot `c`, deduplicated.
+    fn out_comps(&self, c: usize) -> Vec<usize> {
+        let mut outs: Vec<usize> = Vec::new();
+        for &m in &self.members[c] {
+            for &w in self.graph.post(m) {
+                let d = self.comp[w.index()] as usize;
+                if d != c {
+                    outs.push(d);
+                }
+            }
+        }
+        outs.sort_unstable();
+        outs.dedup();
+        outs
+    }
+
+    /// Whether any graph edge runs from a member of `ca` to a member of
+    /// `cb` — the direct condensation edge chain adjacency relies on.
+    fn has_member_edge(&self, ca: usize, cb: usize) -> bool {
+        self.members[ca].iter().any(|&m| {
+            self.graph
+                .post(m)
+                .iter()
+                .any(|&w| self.comp[w.index()] as usize == cb)
+        })
+    }
+
+    /// The slots whose entry lists can mention the cone of `ca`: `ca`
+    /// itself plus every live slot whose entries witness `⇝ ca`.
+    fn affected_cone(&self, ca: usize) -> Vec<usize> {
+        let mut affected: Vec<usize> = (0..self.members.len())
+            .filter(|&c| c != ca && self.alive[c] && self.comp_probe(c, ca))
+            .collect();
+        affected.push(ca);
+        affected
+    }
+
+    /// Recomputes the entry lists of `affected` slots from the graph, in
+    /// post-order (successors first) so every out-neighbor's entries are
+    /// final — out-neighbors outside the cone are untouched by
+    /// construction (they cannot reach `ca`), those inside come earlier
+    /// in post-order.
+    fn recompute_cone(&mut self, affected: &[usize]) {
+        let slots = self.members.len();
+        let mut need = vec![false; slots];
+        for &c in affected {
+            need[c] = true;
+        }
+        let mut state = vec![0u8; slots]; // 0 fresh, 1 queued, 2 ordered
+        let mut order: Vec<usize> = Vec::with_capacity(affected.len());
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+        for &start in affected {
+            if state[start] == 2 {
+                continue;
+            }
+            stack.push((start, false));
+            while let Some((c, emit)) = stack.pop() {
+                if emit {
+                    if state[c] != 2 {
+                        state[c] = 2;
+                        order.push(c);
+                    }
+                    continue;
+                }
+                if state[c] != 0 {
+                    continue;
+                }
+                state[c] = 1;
+                stack.push((c, true));
+                for &m in &self.members[c] {
+                    for &w in self.graph.post(m) {
+                        let d = self.comp[w.index()] as usize;
+                        if d != c && need[d] && state[d] == 0 {
+                            stack.push((d, false));
+                        }
+                    }
+                }
+            }
+        }
+        // Chain-wise min fold: reach(c) = ∪ over edges c -> d of
+        // {d} ∪ reach(d), summarized per chain by the minimum position.
+        let width = self.chains.len();
+        let mut best: Vec<u32> = vec![u32::MAX; width];
+        let mut touched: Vec<u32> = Vec::new();
+        for &c in &order {
+            for d in self.out_comps(c) {
+                let (dj, dp) = (self.chain_of[d] as usize, self.pos_of[d]);
+                if best[dj] == u32::MAX {
+                    touched.push(dj as u32);
+                    best[dj] = dp;
+                } else if dp < best[dj] {
+                    best[dj] = dp;
+                }
+                for &(ej, ep) in &self.entries[d] {
+                    let ej = ej as usize;
+                    if best[ej] == u32::MAX {
+                        touched.push(ej as u32);
+                        best[ej] = ep;
+                    } else if ep < best[ej] {
+                        best[ej] = ep;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            let list: Vec<(u32, u32)> = touched.iter().map(|&j| (j, best[j as usize])).collect();
+            for &j in &touched {
+                best[j as usize] = u32::MAX;
+            }
+            touched.clear();
+            self.entries[c] = list;
+        }
+    }
+
+    /// Full from-scratch rebuild — the escape hatch. `damage` selects
+    /// which fallback counter records the reason.
+    fn rebuild(&mut self, damage: bool) {
+        let scc = tarjan_scc(&self.graph);
+        let idx = ChainIndex::from_scc(&self.graph, &scc);
+        let graph = std::mem::take(&mut self.graph);
+        let config = self.config;
+        let mut stats = self.stats;
+        stats.rebuilds += 1;
+        let fd = self.fallback_damage + usize::from(damage);
+        let fu = self.fallback_unsupported + usize::from(!damage);
+        *self = Self::seed(graph, &idx, config, stats, fd, fu);
+    }
+
+    /// Splits chain `j` after position `p`: the suffix becomes a fresh
+    /// chain, and every live entry `(j, q > p)` is renumbered onto it.
+    /// Entries `(j, q ≤ p)` are left alone — their holders reach the
+    /// element at `p` and are therefore in any affected cone about to be
+    /// recomputed.
+    fn split_chain_after(&mut self, j: usize, p: usize) {
+        if p + 1 >= self.chains[j].len() {
+            return;
+        }
+        let tail = self.chains[j].split_off(p + 1);
+        let new_chain = self.chains.len() as u32;
+        for (i, &slot) in tail.iter().enumerate() {
+            self.chain_of[slot as usize] = new_chain;
+            self.pos_of[slot as usize] = i as u32;
+        }
+        self.chains.push(tail);
+        let p = p as u32;
+        let j = j as u32;
+        for c in 0..self.entries.len() {
+            if !self.alive[c] {
+                continue;
+            }
+            if let Ok(i) = self.entries[c].binary_search_by_key(&j, |&(ej, _)| ej) {
+                let (_, q) = self.entries[c][i];
+                if q > p {
+                    // The new chain id is the maximum, so moving the
+                    // entry to the back keeps the list sorted.
+                    self.entries[c].remove(i);
+                    self.entries[c].push((new_chain, q - p - 1));
+                }
+            }
+        }
+    }
+
+    /// Splices dead slot `t` out of its chain (splitting the chain there
+    /// so no adjacency link spans it) and parks it on a tombstone
+    /// singleton chain. Entries spanning the splice point are expanded
+    /// onto the suffix chain — sound because this runs only during SCC
+    /// merges, where reachability only grows.
+    fn splice_out(&mut self, t: usize) {
+        let j = self.chain_of[t] as usize;
+        let p = self.pos_of[t] as usize;
+        let tail = self.chains[j].split_off(p + 1);
+        self.chains[j].pop(); // t itself
+        let suffix_chain = if tail.is_empty() {
+            None
+        } else {
+            let id = self.chains.len() as u32;
+            for (i, &slot) in tail.iter().enumerate() {
+                self.chain_of[slot as usize] = id;
+                self.pos_of[slot as usize] = i as u32;
+            }
+            self.chains.push(tail);
+            Some(id)
+        };
+        let tomb = self.chains.len() as u32;
+        self.chains.push(vec![t as u32]);
+        self.chain_of[t] = tomb;
+        self.pos_of[t] = 0;
+        let (j, p) = (j as u32, p as u32);
+        if let Some(new_chain) = suffix_chain {
+            for c in 0..self.entries.len() {
+                if !self.alive[c] {
+                    continue;
+                }
+                if let Ok(i) = self.entries[c].binary_search_by_key(&j, |&(ej, _)| ej) {
+                    let (_, q) = self.entries[c][i];
+                    if q > p {
+                        self.entries[c].remove(i);
+                        self.entries[c].push((new_chain, q - p - 1));
+                    } else if q == p {
+                        self.entries[c].remove(i);
+                        self.entries[c].push((new_chain, 0));
+                    } else {
+                        // The claim spanned the splice point: the prefix
+                        // part stays, the suffix part gets its own entry.
+                        self.entries[c].push((new_chain, 0));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Concatenates chain `jb` onto the tail of chain `ja` (called when
+    /// a new edge directly links `ja`'s tail to `jb`'s head, restoring
+    /// the compression a long chain affords). Entries on `jb` shift by
+    /// the old length of `ja`; holders of entries on `ja` reach the old
+    /// tail, hence — through the new edge — everything appended.
+    fn concat_chains(&mut self, ja: usize, jb: usize) {
+        let offset = self.chains[ja].len() as u32;
+        let moved = std::mem::take(&mut self.chains[jb]);
+        for (i, &slot) in moved.iter().enumerate() {
+            self.chain_of[slot as usize] = ja as u32;
+            self.pos_of[slot as usize] = offset + i as u32;
+        }
+        self.chains[ja].extend(moved);
+        let (ja, jb) = (ja as u32, jb as u32);
+        for c in 0..self.entries.len() {
+            if !self.alive[c] {
+                continue;
+            }
+            if let Ok(i) = self.entries[c].binary_search_by_key(&jb, |&(ej, _)| ej) {
+                let (_, q) = self.entries[c].remove(i);
+                match self.entries[c].binary_search_by_key(&ja, |&(ej, _)| ej) {
+                    // An existing entry on `ja` covers its whole suffix,
+                    // which now includes the appended part.
+                    Ok(_) => {}
+                    Err(at) => self.entries[c].insert(at, (ja, offset + q)),
+                }
+            }
+        }
+    }
+
+    /// Handles a back-edge insertion `(u, v)` with `v ⇝ u`: merges every
+    /// component on the new cycle into `comp(u)`'s slot.
+    fn merge_cycle(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        let ca = self.comp[u.index()] as usize;
+        let cb = self.comp[v.index()] as usize;
+        // Cone and cycle membership under the *old* (still consistent)
+        // entries: everything on the new cycle reaches ca, so the cycle
+        // set is a subset of the affected cone.
+        let affected_pre = self.affected_cone(ca);
+        let merge: Vec<usize> = affected_pre
+            .iter()
+            .copied()
+            .filter(|&c| c == cb || self.comp_probe(cb, c))
+            .collect();
+        debug_assert!(merge.contains(&ca) && merge.contains(&cb));
+        for &t in &merge {
+            if t == ca {
+                continue;
+            }
+            self.splice_out(t);
+            let moved = std::mem::take(&mut self.members[t]);
+            for &m in &moved {
+                self.comp[m.index()] = ca as u32;
+            }
+            self.members[ca].extend(moved);
+            self.entries[t].clear();
+            self.cyclic[t] = false;
+            self.alive[t] = false;
+            self.live -= 1;
+        }
+        self.cyclic[ca] = true;
+        let affected: Vec<usize> = affected_pre
+            .into_iter()
+            .filter(|&c| self.alive[c])
+            .collect();
+        let count = affected.len();
+        self.recompute_cone(&affected);
+        self.stats.scc_merges += 1;
+        self.stats.incremental_inserts += 1;
+        UpdateEffect::Incremental {
+            affected_components: count,
+        }
+    }
+
+    /// [`SemiDynamicChain::insert_edge`] without the timing wrapper.
+    fn insert_edge_untimed(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        if !self.graph.add_edge(u, v) {
+            self.stats.noops += 1;
+            return UpdateEffect::NoOp;
+        }
+        let ca = self.comp[u.index()] as usize;
+        if u == v {
+            if self.cyclic[ca] {
+                self.stats.unchanged += 1;
+                return UpdateEffect::Unchanged;
+            }
+            self.cyclic[ca] = true;
+            self.stats.incremental_inserts += 1;
+            return UpdateEffect::Incremental {
+                affected_components: 1,
+            };
+        }
+        let cb = self.comp[v.index()] as usize;
+        if ca == cb || self.comp_probe(ca, cb) {
+            // Same SCC, or u already reached v: every path through the
+            // new edge was already witnessed.
+            self.stats.unchanged += 1;
+            return UpdateEffect::Unchanged;
+        }
+        if self.comp_probe(cb, ca) {
+            return self.merge_cycle(u, v);
+        }
+        // Forward edge. If it welds ja's tail to jb's head, concatenate
+        // the chains first — the entry recompute below then folds long
+        // suffixes instead of two short ones.
+        let (ja, jb) = (self.chain_of[ca] as usize, self.chain_of[cb] as usize);
+        if ja != jb && self.pos_of[ca] as usize == self.chains[ja].len() - 1 && self.pos_of[cb] == 0
+        {
+            self.concat_chains(ja, jb);
+        }
+        let affected = self.affected_cone(ca);
+        let count = affected.len();
+        self.recompute_cone(&affected);
+        self.stats.incremental_inserts += 1;
+        UpdateEffect::Incremental {
+            affected_components: count,
+        }
+    }
+
+    /// [`SemiDynamicChain::remove_edge`] without the timing wrapper.
+    fn remove_edge_untimed(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        if !self.graph.remove_edge(u, v) {
+            self.stats.noops += 1;
+            return UpdateEffect::NoOp;
+        }
+        let ca = self.comp[u.index()] as usize;
+        let cb = self.comp[v.index()] as usize;
+        if u == v {
+            if self.members[ca].len() > 1 {
+                self.stats.unchanged += 1;
+                return UpdateEffect::Unchanged;
+            }
+            self.cyclic[ca] = false;
+            self.stats.incremental_removals += 1;
+            return UpdateEffect::Incremental {
+                affected_components: 1,
+            };
+        }
+        if ca == cb {
+            // Intra-SCC deletion: the component survives iff u still
+            // reaches v inside it (any escape path would contradict the
+            // condensation's acyclicity).
+            if self.intra_still_reaches(ca, u, v) {
+                self.stats.unchanged += 1;
+                return UpdateEffect::Unchanged;
+            }
+            self.stats.scc_splits += 1;
+            self.rebuild(false);
+            return UpdateEffect::Rebuilt;
+        }
+        // Cross-component deletion. First repair chain adjacency: if the
+        // deleted edge was the last direct edge from ca to its immediate
+        // chain successor, split the chain there — even when ca still
+        // reaches cb indirectly, the *direct-link* invariant is what
+        // future recomputes lean on.
+        let j = self.chain_of[ca] as usize;
+        let p = self.pos_of[ca] as usize;
+        if p + 1 < self.chains[j].len()
+            && self.chains[j][p + 1] as usize == cb
+            && !self.has_member_edge(ca, cb)
+        {
+            self.split_chain_after(j, p);
+        }
+        // Still-reaches check over ca's live out-neighbors: their
+        // entries cannot have been damaged (successors never reach ca).
+        if self
+            .out_comps(ca)
+            .into_iter()
+            .any(|d| d == cb || self.comp_probe(d, cb))
+        {
+            self.stats.unchanged += 1;
+            return UpdateEffect::Unchanged;
+        }
+        let affected = self.affected_cone(ca);
+        let budget = ((self.config.damage_threshold * self.live as f64).ceil() as usize).max(1);
+        if let Some(permille) = (affected.len() * 1000).checked_div(self.live) {
+            self.stats.peak_damage_permille = self.stats.peak_damage_permille.max(permille);
+        }
+        if affected.len() > budget {
+            self.rebuild(true);
+            return UpdateEffect::Rebuilt;
+        }
+        let count = affected.len();
+        self.recompute_cone(&affected);
+        self.stats.incremental_removals += 1;
+        UpdateEffect::Incremental {
+            affected_components: count,
+        }
+    }
+
+    /// BFS `u ⇝ v` restricted to the members of component `c`, over the
+    /// current (post-removal) adjacency.
+    fn intra_still_reaches(&self, c: usize, u: NodeId, v: NodeId) -> bool {
+        let mut seen = vec![false; self.graph.node_count()];
+        let mut stack = vec![u];
+        seen[u.index()] = true;
+        while let Some(x) = stack.pop() {
+            for &w in self.graph.post(x) {
+                if w == v {
+                    return true;
+                }
+                if self.comp[w.index()] as usize == c && !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts edge `(u, v)`, patching the index. Mirrors
+    /// [`phom_graph::DynamicClosure::insert_edge`] semantics.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        let started = std::time::Instant::now();
+        let effect = self.insert_edge_untimed(u, v);
+        self.stats.maintain_micros += started.elapsed().as_micros();
+        effect
+    }
+
+    /// Removes edge `(u, v)`, patching the index. Mirrors
+    /// [`phom_graph::DynamicClosure::remove_edge`] semantics.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        let started = std::time::Instant::now();
+        let effect = self.remove_edge_untimed(u, v);
+        self.stats.maintain_micros += started.elapsed().as_micros();
+        effect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::{graph_from_labels, ReachabilityIndex, TransitiveClosure};
+
+    fn assert_matches_scratch<L, M>(dyc: &SemiDynamicChain<L>, g: &DiGraph<M>) {
+        let scratch = TransitiveClosure::new(g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(
+                    dyc.reaches(a, b),
+                    scratch.reaches(a, b),
+                    "reaches({a:?},{b:?}) diverged"
+                );
+            }
+        }
+    }
+
+    fn structure(g: &DiGraph<String>) -> DiGraph<()> {
+        g.map_labels(|_, _| ())
+    }
+
+    #[test]
+    fn forward_insert_recomputes_cone_without_rebuild() {
+        let g0 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("c", "d")]);
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        let eff = dyc.insert_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert!(matches!(eff, UpdateEffect::Incremental { .. }));
+        assert!(dyc.reaches(NodeId(0), NodeId(3)));
+        assert_eq!(dyc.stats().rebuilds, 0);
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn back_edge_merges_scc_with_tombstoned_slots() {
+        let g0 = graph_from_labels(
+            &["p", "a", "b", "c", "d"],
+            &[("p", "a"), ("a", "b"), ("b", "c"), ("c", "d")],
+        );
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        let eff = dyc.insert_edge(NodeId(4), NodeId(1));
+        g.add_edge(NodeId(4), NodeId(1));
+        assert!(matches!(eff, UpdateEffect::Incremental { .. }));
+        assert_eq!(dyc.component_count(), 2, "cycle collapsed to one SCC");
+        assert_eq!(dyc.stats().scc_merges, 1);
+        assert_eq!(dyc.stats().rebuilds, 0);
+        assert!(dyc.reaches(NodeId(0), NodeId(4)));
+        assert!(!dyc.reaches(NodeId(1), NodeId(0)));
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn cross_deletion_splits_chain_and_recomputes() {
+        let g0 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        let eff = dyc.remove_edge(NodeId(1), NodeId(2));
+        g.remove_edge(NodeId(1), NodeId(2));
+        assert!(matches!(eff, UpdateEffect::Incremental { .. }));
+        assert!(!dyc.reaches(NodeId(0), NodeId(3)));
+        assert!(dyc.reaches(NodeId(0), NodeId(1)));
+        assert!(dyc.reaches(NodeId(2), NodeId(3)));
+        assert_eq!(dyc.stats().rebuilds, 0, "stayed incremental");
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn redundant_deletion_with_bypass_is_unchanged() {
+        // a -> b directly and via c: removing the direct edge keeps the
+        // closure intact, so the fast path reports Unchanged.
+        let g0 = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("a", "c"), ("c", "b")]);
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        assert_eq!(
+            dyc.remove_edge(NodeId(0), NodeId(1)),
+            UpdateEffect::Unchanged
+        );
+        g.remove_edge(NodeId(0), NodeId(1));
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn scc_split_falls_back_to_rebuild_with_unsupported_reason() {
+        let g0 = graph_from_labels(
+            &["a", "b", "c", "t"],
+            &[("a", "b"), ("b", "c"), ("c", "a"), ("c", "t")],
+        );
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        let eff = dyc.remove_edge(NodeId(2), NodeId(0));
+        g.remove_edge(NodeId(2), NodeId(0));
+        assert_eq!(eff, UpdateEffect::Rebuilt);
+        assert_eq!(dyc.stats().scc_splits, 1);
+        assert_eq!(dyc.fallback_unsupported(), 1);
+        assert_eq!(dyc.fallback_damage(), 0);
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn zero_damage_threshold_forces_rebuild_with_damage_reason() {
+        let g0 = graph_from_labels(&["a", "b", "c", "d"], &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let mut dyc = SemiDynamicChain::with_config(
+            &g0,
+            DynamicConfig {
+                damage_threshold: 0.0,
+            },
+        );
+        let mut g = structure(&g0);
+        let eff = dyc.remove_edge(NodeId(1), NodeId(2));
+        g.remove_edge(NodeId(1), NodeId(2));
+        assert_eq!(eff, UpdateEffect::Rebuilt);
+        assert_eq!(dyc.fallback_damage(), 1);
+        assert_eq!(dyc.fallback_unsupported(), 0);
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn self_loop_roundtrip() {
+        let g0 = graph_from_labels(&["p", "a"], &[("p", "a")]);
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        dyc.insert_edge(NodeId(1), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(1));
+        assert!(dyc.reaches(NodeId(1), NodeId(1)));
+        assert_matches_scratch(&dyc, &g);
+        dyc.remove_edge(NodeId(1), NodeId(1));
+        g.remove_edge(NodeId(1), NodeId(1));
+        assert!(!dyc.reaches(NodeId(1), NodeId(1)));
+        assert_matches_scratch(&dyc, &g);
+    }
+
+    #[test]
+    fn into_parts_yields_valid_index_after_merges_and_splits() {
+        let g0 = graph_from_labels(
+            &["a", "b", "c", "d", "e"],
+            &[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")],
+        );
+        let mut dyc = SemiDynamicChain::new(&g0);
+        let mut g = structure(&g0);
+        for (ins, a, b) in [
+            (true, 3u32, 1u32), // merge b..d into one SCC
+            (false, 0, 1),      // cross removal
+            (true, 0, 4),       // forward insert
+        ] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            if ins {
+                dyc.insert_edge(a, b);
+                g.add_edge(a, b);
+            } else {
+                dyc.remove_edge(a, b);
+                g.remove_edge(a, b);
+            }
+        }
+        assert_matches_scratch(&dyc, &g);
+        // from_parts revalidates every structural invariant the
+        // maintainer claims to preserve (bijective chain positions,
+        // sorted entries, spanning offsets).
+        let (g_back, idx) = dyc.into_parts();
+        let scratch = TransitiveClosure::new(&g_back);
+        for a in g_back.nodes() {
+            for b in g_back.nodes() {
+                assert_eq!(idx.reaches(a, b), scratch.reaches(a, b));
+            }
+        }
+        assert_eq!(idx.pair_count(), ReachabilityIndex::pair_count(&scratch));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        struct OpSeq {
+            n: usize,
+            edges: Vec<(usize, usize)>,
+            ops: Vec<(bool, usize, usize)>,
+        }
+
+        fn arb_ops() -> impl Strategy<Value = OpSeq> {
+            (
+                2usize..12,
+                proptest::collection::vec((0usize..12, 0usize..12), 0..24),
+                proptest::collection::vec((any::<bool>(), 0usize..12, 0usize..12), 1..30),
+            )
+                .prop_map(|(n, edges, ops)| OpSeq { n, edges, ops })
+        }
+
+        fn check_sequence(seq: &OpSeq, threshold: f64) -> Result<(), TestCaseError> {
+            let mut g: DiGraph<()> = DiGraph::with_capacity(seq.n);
+            for _ in 0..seq.n {
+                g.add_node(());
+            }
+            for &(a, b) in &seq.edges {
+                g.add_edge(NodeId((a % seq.n) as u32), NodeId((b % seq.n) as u32));
+            }
+            let mut dyc = SemiDynamicChain::with_config(
+                &g,
+                DynamicConfig {
+                    damage_threshold: threshold,
+                },
+            );
+            for &(insert, a, b) in &seq.ops {
+                let a = NodeId((a % seq.n) as u32);
+                let b = NodeId((b % seq.n) as u32);
+                if insert {
+                    g.add_edge(a, b);
+                    dyc.insert_edge(a, b);
+                } else {
+                    g.remove_edge(a, b);
+                    dyc.remove_edge(a, b);
+                }
+                let scratch = TransitiveClosure::new(&g);
+                for x in g.nodes() {
+                    for y in g.nodes() {
+                        prop_assert_eq!(
+                            dyc.reaches(x, y),
+                            scratch.reaches(x, y),
+                            "after {:?} {:?}->{:?}: reaches({:?},{:?})",
+                            if insert { "insert" } else { "remove" },
+                            a,
+                            b,
+                            x,
+                            y
+                        );
+                    }
+                }
+            }
+            // Finalization must produce a structurally valid index that
+            // still answers identically (this is what the engine
+            // snapshots and queries).
+            let (g_back, idx) = dyc.into_parts();
+            let scratch = TransitiveClosure::new(&g_back);
+            for x in g_back.nodes() {
+                for y in g_back.nodes() {
+                    prop_assert_eq!(idx.reaches(x, y), scratch.reaches(x, y));
+                }
+            }
+            Ok(())
+        }
+
+        proptest! {
+            /// The tentpole property: incremental chain maintenance
+            /// answers exactly like a from-scratch build of the mutated
+            /// graph, after every prefix of any random update sequence —
+            /// the same grid the dense maintainer is tested under.
+            #[test]
+            fn prop_chain_maintenance_equals_scratch(seq in arb_ops()) {
+                check_sequence(&seq, DynamicConfig::default().damage_threshold)?;
+            }
+
+            /// Same property with the damage fallback disabled (1.0:
+            /// always repair incrementally — every supported case must
+            /// be correct on its own) and hair-triggered (0.0).
+            #[test]
+            fn prop_chain_maintenance_at_threshold_extremes(
+                seq in arb_ops(),
+                hi in any::<bool>(),
+            ) {
+                check_sequence(&seq, if hi { 1.0 } else { 0.0 })?;
+            }
+        }
+    }
+}

@@ -32,21 +32,28 @@
 //! sequence of updates, [`SemiDynamicClosure`] answers `reaches` exactly
 //! like `TransitiveClosure::new` of the identically mutated graph.
 //!
-//! Scope note: this maintainer patches the **dense** backend
-//! (`phom_graph::TransitiveClosure` rows). When a prepared graph runs on
-//! the compressed chain backend (`phom_graph::ChainIndex`, whose entry
-//! lists are global suffix minima with no local patch rule), the
-//! engine's update path skips this crate and rebuilds that index from
-//! scratch, recording the downgrade in
-//! `phom_engine::UpdateStats::backend_fallbacks`.
+//! Two maintainers share that contract: [`SemiDynamicClosure`] patches
+//! the **dense** backend's bitset rows, and [`SemiDynamicChain`] patches
+//! the compressed **chain** backend's `(chain, min position)` entry
+//! lists directly — extending, splitting, and concatenating chains from
+//! the update's affected cone instead of rebuilding. The chain
+//! maintainer keeps a full rebuild only as an escape hatch (deletion
+//! cones over [`DynamicConfig::damage_threshold`], or SCC-splitting
+//! deletions, which have no incremental chain rule), and counts the two
+//! reasons separately so the engine can journal them apart. The 2-hop
+//! backend (`phom_graph::TwoHopIndex`) has no incremental rule at all;
+//! the engine's update path rebuilds it per batch, recording the
+//! downgrade in `phom_engine::UpdateStats::backend_fallbacks`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounded;
+pub mod chain;
 pub mod closure;
 pub mod update;
 
 pub use bounded::refresh_bounded_closure;
+pub use chain::SemiDynamicChain;
 pub use closure::SemiDynamicClosure;
 pub use update::{DynamicConfig, DynamicStats, GraphUpdate};

@@ -589,9 +589,15 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
             }
         });
         if stats.backend_fallbacks > 0 {
+            let reason = match (stats.fallback_damage > 0, stats.fallback_unsupported > 0) {
+                (true, true) => "damage-threshold+unsupported-op",
+                (true, false) => "damage-threshold",
+                _ => "unsupported-op",
+            };
             self.journal
                 .emit(Severity::Warn, || EventKind::BackendFallback {
                     fallbacks: stats.backend_fallbacks,
+                    reason: reason.to_owned(),
                 });
         }
     }

@@ -71,7 +71,8 @@ pub use engine::{
 pub use planner::plan_query;
 pub use planner::{
     plan_query_with, ClosureBackend, CompressionPolicy, Plan, PlanKind, PlannerConfig,
-    PlannerConfigBuilder, Query, QueryConfig, QueryConfigBuilder, DEFAULT_CHAIN_NODE_THRESHOLD,
+    PlannerConfigBuilder, Query, QueryConfig, QueryConfigBuilder, ResolvedBackend,
+    DEFAULT_CHAIN_NODE_THRESHOLD, DENSE_REACH_DENSITY_CUTOFF,
 };
 pub use prepared::{
     PrepareOptions, PrepareStats, PreparedGraph, ReachIndex, UpdateOutcome, UpdateStats,

@@ -17,34 +17,79 @@ use std::time::Duration;
 pub enum ClosureBackend {
     /// Pick per graph: dense below
     /// [`PlannerConfig::chain_node_threshold`] nodes (unbeatable query
-    /// speed while `O(n²)` bits fit), the compressed chain index at or
-    /// above it (the `O(n·w)`-word regime the ROADMAP's "closure memory"
-    /// item calls for).
+    /// speed while `O(n²)` bits fit); at or above it, the *reach shape*
+    /// decides between the compressed backends — sparse-reach graphs
+    /// (most components see almost nothing, the regime chains compress
+    /// well) keep the chain index, while dense-reach graphs (sampled
+    /// mean reachable fraction at or past
+    /// [`DENSE_REACH_DENSITY_CUTOFF`], where chain entry lists blow past
+    /// the dense bitset itself) switch to the 2-hop labeling.
     #[default]
     Auto,
     /// Always the dense bitset closure (`TransitiveClosure`).
     Dense,
     /// Always the compressed chain index (`ChainIndex`).
     Chain,
+    /// Always the pruned-landmark 2-hop labeling (`TwoHopIndex`).
+    TwoHop,
 }
 
+/// The concrete backend [`ClosureBackend::resolve`] picked for one graph
+/// (`Auto` resolved away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// Dense bitset closure.
+    Dense,
+    /// Compressed chain index.
+    Chain,
+    /// Pruned-landmark 2-hop labeling.
+    TwoHop,
+}
+
+/// Sampled mean reachable fraction of condensation components
+/// (`phom_graph::reach_density_sample`) at or above which
+/// [`ClosureBackend::Auto`] prefers the 2-hop labeling over the chain
+/// index on large graphs. Calibrated on the PR 3 generator families:
+/// dense-reach DAGs (`random_dag` at average degree 4, where the chain
+/// index measured *worse* than dense) sample well above 0.10, while the
+/// sparse preferential-attachment and hierarchy families (where chains
+/// win by orders of magnitude) sample below 0.05.
+pub const DENSE_REACH_DENSITY_CUTOFF: f64 = 0.05;
+
 impl ClosureBackend {
-    /// Parses the CLI spelling (`dense`, `chain`, `auto`).
+    /// Parses the CLI spelling (`dense`, `chain`, `twohop`, `auto`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "auto" => Some(ClosureBackend::Auto),
             "dense" => Some(ClosureBackend::Dense),
             "chain" => Some(ClosureBackend::Chain),
+            "twohop" => Some(ClosureBackend::TwoHop),
             _ => None,
         }
     }
 
-    /// Resolves the policy for a graph of `nodes` nodes: true = chain.
-    pub fn use_chain(self, nodes: usize, chain_node_threshold: usize) -> bool {
+    /// Resolves the policy for a graph of `nodes` nodes. `density` is
+    /// consulted only by `Auto` at or above `chain_node_threshold` —
+    /// pass a thunk over `phom_graph::reach_density_sample` so the probe
+    /// runs only when the decision actually needs it.
+    pub fn resolve(
+        self,
+        nodes: usize,
+        chain_node_threshold: usize,
+        density: impl FnOnce() -> f64,
+    ) -> ResolvedBackend {
         match self {
-            ClosureBackend::Dense => false,
-            ClosureBackend::Chain => true,
-            ClosureBackend::Auto => nodes >= chain_node_threshold,
+            ClosureBackend::Dense => ResolvedBackend::Dense,
+            ClosureBackend::Chain => ResolvedBackend::Chain,
+            ClosureBackend::TwoHop => ResolvedBackend::TwoHop,
+            ClosureBackend::Auto if nodes < chain_node_threshold => ResolvedBackend::Dense,
+            ClosureBackend::Auto => {
+                if density() >= DENSE_REACH_DENSITY_CUTOFF {
+                    ResolvedBackend::TwoHop
+                } else {
+                    ResolvedBackend::Chain
+                }
+            }
         }
     }
 
@@ -54,14 +99,16 @@ impl ClosureBackend {
             ClosureBackend::Auto => "auto",
             ClosureBackend::Dense => "dense",
             ClosureBackend::Chain => "chain",
+            ClosureBackend::TwoHop => "twohop",
         }
     }
 }
 
 /// Node count at which [`ClosureBackend::Auto`] switches from the dense
-/// closure to the chain index: the dense rows of a 65k-node graph already
-/// cost ~0.5 GB of bits, while the chain index stays in the tens of MB on
-/// the sparse families it targets.
+/// closure to a compressed backend (chain or 2-hop, by reach density):
+/// the dense rows of a 65k-node graph already cost ~0.5 GB of bits,
+/// while the compressed indexes stay in the tens of MB on the families
+/// they each target.
 pub const DEFAULT_CHAIN_NODE_THRESHOLD: usize = 65_536;
 
 /// Whether a prepared graph keeps the Appendix-B compressed graph `G2*`
@@ -154,7 +201,9 @@ pub struct PlannerConfig {
     /// (Proposition 1 makes p-hom components independent), applied when
     /// the query does not set [`QueryConfig::intra_workers`]. `1` (the
     /// default) keeps the sequential path; `0` uses the available
-    /// parallelism. Injective plans always run sequentially.
+    /// parallelism. Injective plans run their components speculatively
+    /// in parallel and merge in deterministic component order
+    /// (result-identical to the sequential masking run).
     pub intra_query_workers: usize,
     /// Whether prepared graphs keep the Appendix-B compressed graph.
     pub compression: CompressionPolicy,
@@ -574,6 +623,38 @@ mod tests {
         q.config.force_plan = Some(PlanKind::Approx);
         q.config.max_stretch = Some(1); // would otherwise route Bounded
         assert_eq!(plan_query(&q).kind, PlanKind::Approx);
+    }
+
+    #[test]
+    fn backend_policy_resolves_by_size_then_density() {
+        let panic_density = || -> f64 { panic!("density probe must stay lazy") };
+        // Forced backends never probe.
+        for (policy, want) in [
+            (ClosureBackend::Dense, ResolvedBackend::Dense),
+            (ClosureBackend::Chain, ResolvedBackend::Chain),
+            (ClosureBackend::TwoHop, ResolvedBackend::TwoHop),
+        ] {
+            assert_eq!(policy.resolve(1_000_000, 100, panic_density), want);
+        }
+        // Auto below the node threshold is dense, still without probing.
+        assert_eq!(
+            ClosureBackend::Auto.resolve(99, 100, panic_density),
+            ResolvedBackend::Dense
+        );
+        // At or above it, the sampled reach density decides.
+        assert_eq!(
+            ClosureBackend::Auto.resolve(100, 100, || 0.40),
+            ResolvedBackend::TwoHop
+        );
+        assert_eq!(
+            ClosureBackend::Auto.resolve(100, 100, || 0.01),
+            ResolvedBackend::Chain
+        );
+        assert_eq!(
+            ClosureBackend::parse("twohop"),
+            Some(ClosureBackend::TwoHop)
+        );
+        assert_eq!(ClosureBackend::TwoHop.name(), "twohop");
     }
 
     #[test]

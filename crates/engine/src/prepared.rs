@@ -7,8 +7,10 @@
 //! graph hoists that cost out of the per-query path:
 //!
 //! * the **full reachability index** over `G2+` behind a pluggable
-//!   [`ReachIndex`] backend — the dense bitset closure or the compressed
-//!   chain index, chosen by the [`ClosureBackend`] policy;
+//!   [`ReachIndex`] backend — the dense bitset closure, the compressed
+//!   chain index, or the 2-hop labeling, chosen by the
+//!   [`ClosureBackend`] policy (`Auto` samples the reach density of
+//!   large graphs to pick between the compressed backends);
 //! * the **SCC decomposition** itself (reused by the index build and
 //!   exposed for diagnostics);
 //! * the **compressed graph** `G2*` of Appendix B plus *its* closure,
@@ -20,15 +22,18 @@
 //!   for result display and workload skimming).
 
 use crate::planner::{
-    ClosureBackend, CompressionPolicy, PlannerConfig, DEFAULT_CHAIN_NODE_THRESHOLD,
+    ClosureBackend, CompressionPolicy, PlannerConfig, ResolvedBackend, DEFAULT_CHAIN_NODE_THRESHOLD,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use phom_core::{CompressedClosure, PreparedInputs};
-use phom_dynamic::{refresh_bounded_closure, DynamicConfig, GraphUpdate, SemiDynamicClosure};
+use phom_dynamic::{
+    refresh_bounded_closure, DynamicConfig, GraphUpdate, SemiDynamicChain, SemiDynamicClosure,
+};
 use phom_graph::serialize::ParseError;
 use phom_graph::{
-    compress_closure_with, tarjan_scc, BitSet, ChainIndex, DiGraph, DynamicClosure, NodeId,
-    ReachabilityIndex, SccResult, TransitiveClosure, UpdateEffect,
+    compress_closure_with, reach_density_sample, tarjan_scc, BitSet, ChainIndex, DiGraph,
+    DynamicClosure, NodeId, ReachabilityIndex, SccResult, TransitiveClosure, TwoHopIndex,
+    UpdateEffect,
 };
 use phom_sim::NodeWeights;
 use serde::{Deserialize, Serialize};
@@ -36,6 +41,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Condensation components [`ClosureBackend::Auto`] probes with
+/// `phom_graph::reach_density_sample` when deciding between the chain
+/// and 2-hop backends on large graphs.
+const DENSITY_SAMPLES: usize = 64;
 
 /// The reachability backend a prepared graph actually holds — the owning
 /// side of `phom_graph::ReachabilityIndex`. Cloning is a pointer bump.
@@ -45,6 +55,8 @@ pub enum ReachIndex {
     Dense(Arc<TransitiveClosure>),
     /// Compressed chain index (`O(log w)` queries, `O(n·w)` words).
     Chain(Arc<ChainIndex>),
+    /// Pruned-landmark 2-hop labeling (label-intersection queries).
+    TwoHop(Arc<TwoHopIndex>),
 }
 
 impl ReachIndex {
@@ -54,6 +66,7 @@ impl ReachIndex {
         match self {
             ReachIndex::Dense(c) => &**c,
             ReachIndex::Chain(c) => &**c,
+            ReachIndex::TwoHop(c) => &**c,
         }
     }
 
@@ -62,38 +75,49 @@ impl ReachIndex {
         match self {
             ReachIndex::Dense(c) => Arc::clone(c) as Arc<dyn ReachabilityIndex>,
             ReachIndex::Chain(c) => Arc::clone(c) as Arc<dyn ReachabilityIndex>,
+            ReachIndex::TwoHop(c) => Arc::clone(c) as Arc<dyn ReachabilityIndex>,
         }
     }
 
-    /// Stable backend name (`"dense"` / `"chain"`).
+    /// Stable backend name (`"dense"` / `"chain"` / `"twohop"`).
     pub fn backend_name(&self) -> &'static str {
         match self {
             ReachIndex::Dense(_) => "dense",
             ReachIndex::Chain(_) => "chain",
+            ReachIndex::TwoHop(_) => "twohop",
         }
     }
 
     /// The dense closure, when that is the active backend (the
-    /// semi-dynamic maintenance path needs concrete rows to seed from).
+    /// semi-dynamic dense maintenance path needs concrete rows to seed
+    /// from).
     pub fn dense(&self) -> Option<&Arc<TransitiveClosure>> {
         match self {
             ReachIndex::Dense(c) => Some(c),
-            ReachIndex::Chain(_) => None,
+            _ => None,
         }
     }
 
     /// Builds the index chosen by `policy` for `graph`, reusing an SCC
-    /// decomposition.
+    /// decomposition. The `Auto` density probe runs only when the node
+    /// count passes the chain threshold.
     fn build<L>(
         graph: &DiGraph<L>,
         scc: &SccResult,
         policy: ClosureBackend,
         chain_node_threshold: usize,
     ) -> Self {
-        if policy.use_chain(graph.node_count(), chain_node_threshold) {
-            ReachIndex::Chain(Arc::new(ChainIndex::from_scc(graph, scc)))
-        } else {
-            ReachIndex::Dense(Arc::new(TransitiveClosure::from_scc(graph, scc)))
+        let resolved = policy.resolve(graph.node_count(), chain_node_threshold, || {
+            reach_density_sample(graph, scc, DENSITY_SAMPLES)
+        });
+        match resolved {
+            ResolvedBackend::Dense => {
+                ReachIndex::Dense(Arc::new(TransitiveClosure::from_scc(graph, scc)))
+            }
+            ResolvedBackend::Chain => ReachIndex::Chain(Arc::new(ChainIndex::from_scc(graph, scc))),
+            ResolvedBackend::TwoHop => {
+                ReachIndex::TwoHop(Arc::new(TwoHopIndex::from_scc(graph, scc)))
+            }
         }
     }
 }
@@ -148,7 +172,7 @@ pub struct PrepareStats {
     pub scc_count: usize,
     /// Reachable pairs in the full closure, `|E+|`.
     pub closure_edges: usize,
-    /// Active reachability backend (`"dense"` / `"chain"`).
+    /// Active reachability backend (`"dense"` / `"chain"` / `"twohop"`).
     pub closure_backend: String,
     /// Heap footprint of the active reachability index in bytes.
     pub closure_memory_bytes: usize,
@@ -195,10 +219,17 @@ pub struct UpdateStats {
     pub incremental: usize,
     /// Applied updates that fell back to a full closure rebuild.
     pub rebuilds: usize,
-    /// Apply batches whose backend has no incremental maintenance path
-    /// (the chain index) and were serviced by one from-scratch backend
-    /// rebuild — the recorded downgrade from semi-dynamic maintenance.
+    /// Rebuild fallbacks recorded against the backend — the downgrades
+    /// from semi-dynamic maintenance. Always
+    /// [`UpdateStats::fallback_damage`] + [`UpdateStats::fallback_unsupported`].
     pub backend_fallbacks: usize,
+    /// Backend fallbacks whose reason was a deletion cone past
+    /// [`DynamicConfig::damage_threshold`] — the tuned escape hatch.
+    pub fallback_damage: usize,
+    /// Backend fallbacks whose reason was an update shape with no
+    /// incremental rule for the active backend (SCC-splitting deletions
+    /// on the chain index; any applied batch on the 2-hop index).
+    pub fallback_unsupported: usize,
     /// Total closure components created, merged, or rewritten.
     pub affected_components: usize,
     /// Highest deletion damage the maintainer observed in this batch, in
@@ -209,9 +240,9 @@ pub struct UpdateStats {
     /// memoized bounds).
     pub bounded_rows_recomputed: usize,
     /// Microseconds spent maintaining the full closure (incremental
-    /// patching on the dense backend; the from-scratch index rebuild on
-    /// the chain fallback) — the update-apply phase timing traces and
-    /// the service registry export.
+    /// patching on the dense and chain backends; the from-scratch index
+    /// rebuild on the 2-hop fallback) — the update-apply phase timing
+    /// traces and the service registry export.
     pub closure_maintain_micros: u128,
     /// Microseconds spent refreshing the memoized hop-bounded closures.
     pub bounded_refresh_micros: u128,
@@ -231,6 +262,8 @@ impl UpdateStats {
         self.incremental += other.incremental;
         self.rebuilds += other.rebuilds;
         self.backend_fallbacks += other.backend_fallbacks;
+        self.fallback_damage += other.fallback_damage;
+        self.fallback_unsupported += other.fallback_unsupported;
         self.affected_components += other.affected_components;
         self.peak_damage_permille = self.peak_damage_permille.max(other.peak_damage_permille);
         self.bounded_rows_recomputed += other.bounded_rows_recomputed;
@@ -244,6 +277,7 @@ impl UpdateStats {
         format!(
             "{{\"applied\":{},\"noops\":{},\"rejected\":{},\"closure_unchanged\":{},\
              \"incremental\":{},\"rebuilds\":{},\"backend_fallbacks\":{},\
+             \"fallback_damage\":{},\"fallback_unsupported\":{},\
              \"affected_components\":{},\"peak_damage_permille\":{},\
              \"bounded_rows_recomputed\":{},\
              \"closure_maintain_micros\":{},\"bounded_refresh_micros\":{},\
@@ -255,6 +289,8 @@ impl UpdateStats {
             self.incremental,
             self.rebuilds,
             self.backend_fallbacks,
+            self.fallback_damage,
+            self.fallback_unsupported,
             self.affected_components,
             self.peak_damage_permille,
             self.bounded_rows_recomputed,
@@ -422,15 +458,23 @@ impl<L: Clone> PreparedGraph<L> {
     /// for affected sources only. The compressed graph and *its* closure
     /// are still recomputed from linear passes per version (patching them
     /// incrementally is the ROADMAP's open refinement, and the dominant
-    /// residual cost of an apply on compression-worthy graphs). With the
-    /// **chain** backend there
-    /// is no incremental maintenance path (the entry lists are global
-    /// suffix minima), so the batch falls back to one from-scratch
-    /// backend rebuild — recorded in [`UpdateStats::backend_fallbacks`].
+    /// residual cost of an apply on compression-worthy graphs). The
+    /// **chain** backend is likewise maintained incrementally by a
+    /// [`SemiDynamicChain`] — chains are extended, split, and
+    /// concatenated from the update's affected cone — with a full
+    /// rebuild kept only as the escape hatch (deletion cones past the
+    /// damage threshold, or SCC-splitting deletions, which have no
+    /// incremental chain rule); each rebuild is recorded in
+    /// [`UpdateStats::backend_fallbacks`] with its reason split across
+    /// [`UpdateStats::fallback_damage`] /
+    /// [`UpdateStats::fallback_unsupported`]. The **2-hop** backend has
+    /// no incremental rule at all: any batch that changes the graph is
+    /// serviced by one from-scratch rebuild, counted the same way.
     pub fn apply_with(&self, updates: &[GraphUpdate], config: &DynamicConfig) -> UpdateOutcome<L> {
-        match self.index.dense() {
-            Some(dense) => self.apply_dense(updates, config, dense),
-            None => self.apply_chain_rebuild(updates),
+        match &self.index {
+            ReachIndex::Dense(dense) => self.apply_dense(updates, config, dense),
+            ReachIndex::Chain(chain) => self.apply_chain(updates, config, chain),
+            ReachIndex::TwoHop(_) => self.apply_twohop_rebuild(updates),
         }
     }
 
@@ -501,11 +545,84 @@ impl<L: Clone> PreparedGraph<L> {
         }
     }
 
-    /// The chain-backend fallback: apply the edits to a graph clone and
-    /// rebuild the index from scratch (semi-dynamic by design — never
+    /// The semi-dynamic chain maintenance path: chains are extended,
+    /// split, and concatenated from each update's affected cone; full
+    /// rebuilds happen only through the counted escape hatches (damage
+    /// threshold / SCC-splitting deletion).
+    fn apply_chain(
+        &self,
+        updates: &[GraphUpdate],
+        config: &DynamicConfig,
+        chain: &Arc<ChainIndex>,
+    ) -> UpdateOutcome<L> {
+        let started = Instant::now();
+        let n = self.graph.node_count();
+        let mut stats = UpdateStats::default();
+        // The clone becomes the new version's graph, exactly like the
+        // dense path: the maintainer owns it and mutates graph and index
+        // in lockstep.
+        let mut dyc = SemiDynamicChain::from_index((*self.graph).clone(), chain, *config);
+        let mut touched: Vec<NodeId> = Vec::new();
+        for &update in updates {
+            if !update.in_range(n) {
+                stats.rejected += 1;
+                continue;
+            }
+            let effect = match update {
+                GraphUpdate::InsertEdge(a, b) => dyc.insert_edge(a, b),
+                GraphUpdate::RemoveEdge(a, b) => dyc.remove_edge(a, b),
+            };
+            match effect {
+                UpdateEffect::NoOp => stats.noops += 1,
+                UpdateEffect::Unchanged => {
+                    stats.applied += 1;
+                    stats.closure_unchanged += 1;
+                }
+                UpdateEffect::Incremental {
+                    affected_components,
+                } => {
+                    stats.applied += 1;
+                    stats.incremental += 1;
+                    stats.affected_components += affected_components;
+                }
+                UpdateEffect::Rebuilt => {
+                    stats.applied += 1;
+                    stats.rebuilds += 1;
+                }
+            }
+            if effect != UpdateEffect::NoOp {
+                touched.push(update.source());
+            }
+        }
+        stats.closure_maintain_micros = dyc.stats().maintain_micros;
+        stats.peak_damage_permille = dyc.stats().peak_damage_permille;
+        stats.fallback_damage = dyc.fallback_damage();
+        stats.fallback_unsupported = dyc.fallback_unsupported();
+        stats.backend_fallbacks = stats.fallback_damage + stats.fallback_unsupported;
+        let scc_count = dyc.component_count();
+        let (new_graph, index) = dyc.into_parts();
+        let bounded = self.refreshed_bounded_memo(&new_graph, &touched, &mut stats);
+        let prepared = Self::assemble(
+            Arc::new(new_graph),
+            ReachIndex::Chain(Arc::new(index)),
+            self.options,
+            None,
+            scc_count,
+            bounded,
+            started,
+        );
+        stats.apply_micros = started.elapsed().as_micros();
+        UpdateOutcome {
+            prepared: Arc::new(prepared),
+            stats,
+        }
+    }
+
+    /// The 2-hop-backend fallback: apply the edits to a graph clone and
+    /// rebuild the labeling from scratch (semi-dynamic by design — never
     /// worse than a re-prepare, and the downgrade is visible in the
-    /// stats).
-    fn apply_chain_rebuild(&self, updates: &[GraphUpdate]) -> UpdateOutcome<L> {
+    /// stats as an unsupported-op backend fallback).
+    fn apply_twohop_rebuild(&self, updates: &[GraphUpdate]) -> UpdateOutcome<L> {
         let started = Instant::now();
         let n = self.graph.node_count();
         let mut stats = UpdateStats::default();
@@ -527,11 +644,12 @@ impl<L: Clone> PreparedGraph<L> {
             (self.index.clone(), None, self.stats.scc_count)
         } else {
             stats.backend_fallbacks = 1;
+            stats.fallback_unsupported = 1;
             stats.rebuilds += 1;
             let rebuild_started = Instant::now();
             let scc = tarjan_scc(&new_graph);
             let scc_count = scc.count();
-            let index = ReachIndex::Chain(Arc::new(ChainIndex::from_scc(&new_graph, &scc)));
+            let index = ReachIndex::TwoHop(Arc::new(TwoHopIndex::from_scc(&new_graph, &scc)));
             stats.closure_maintain_micros = rebuild_started.elapsed().as_micros();
             (index, Some(scc), scc_count)
         };
@@ -683,6 +801,7 @@ const PREPARED_MAGIC: u32 = 0x7048_5047;
 const SNAPSHOT_VERSION: u8 = 2;
 const BACKEND_DENSE: u8 = 0;
 const BACKEND_CHAIN: u8 = 1;
+const BACKEND_TWOHOP: u8 = 2;
 
 impl PreparedGraph<String> {
     /// Serializes the prepared graph — the data graph (via
@@ -704,6 +823,7 @@ impl PreparedGraph<String> {
         buf.put_u8(match self.index {
             ReachIndex::Dense(_) => BACKEND_DENSE,
             ReachIndex::Chain(_) => BACKEND_CHAIN,
+            ReachIndex::TwoHop(_) => BACKEND_TWOHOP,
         });
         buf.put_u32(graph_bytes.len() as u32);
         buf.put_slice(graph_bytes.as_ref());
@@ -747,6 +867,33 @@ impl PreparedGraph<String> {
                 for &(j, pos) in p.entries {
                     buf.put_u32(j);
                     buf.put_u32(pos);
+                }
+            }
+            ReachIndex::TwoHop(hop) => {
+                let p = hop.parts();
+                buf.put_u32(p.out_mask.len() as u32);
+                for &c in p.comp {
+                    buf.put_u32(c);
+                }
+                let cyclic_words = p.cyclic.words();
+                buf.put_u32(cyclic_words.len() as u32);
+                for &w in cyclic_words {
+                    buf.put_u64(w);
+                }
+                for &m in p.out_mask {
+                    buf.put_u64(m);
+                }
+                for &m in p.in_mask {
+                    buf.put_u64(m);
+                }
+                for (offs, labs) in [(p.out_off, p.out_lab), (p.in_off, p.in_lab)] {
+                    for &off in offs {
+                        buf.put_u32(off);
+                    }
+                    buf.put_u32(labs.len() as u32);
+                    for &r in labs {
+                        buf.put_u32(r);
+                    }
                 }
             }
         }
@@ -803,6 +950,7 @@ impl PreparedGraph<String> {
         let index = match backend {
             BACKEND_DENSE => ReachIndex::Dense(Arc::new(Self::load_dense(&mut data, n)?)),
             BACKEND_CHAIN => ReachIndex::Chain(Arc::new(Self::load_chain(&mut data, n)?)),
+            BACKEND_TWOHOP => ReachIndex::TwoHop(Arc::new(Self::load_twohop(&mut data, &graph)?)),
             other => {
                 return Err(ParseError::Corrupt(format!(
                     "unknown reachability backend tag {other}"
@@ -817,6 +965,7 @@ impl PreparedGraph<String> {
             backend: match index {
                 ReachIndex::Dense(_) => ClosureBackend::Dense,
                 ReachIndex::Chain(_) => ClosureBackend::Chain,
+                ReachIndex::TwoHop(_) => ClosureBackend::TwoHop,
             },
             compression,
             ..Default::default()
@@ -898,6 +1047,49 @@ impl PreparedGraph<String> {
         ChainIndex::from_parts(n, comp, cyclic, chain_of, pos_of, entry_off, entries)
             .map_err(|e| ParseError::Corrupt(format!("chain index: {e}")))
     }
+
+    fn load_twohop(data: &mut Bytes, graph: &DiGraph<String>) -> Result<TwoHopIndex, ParseError> {
+        let n = graph.node_count();
+        need(data, 4)?;
+        let c_count = data.get_u32() as usize;
+        if c_count > n {
+            return Err(ParseError::Corrupt(format!(
+                "{c_count} components exceed {n} nodes"
+            )));
+        }
+        need(data, 4 * n)?;
+        let comp: Vec<u32> = (0..n).map(|_| data.get_u32()).collect();
+        need(data, 4)?;
+        let word_count = data.get_u32() as usize;
+        if word_count > c_count.div_ceil(64) {
+            return Err(ParseError::Corrupt(format!(
+                "{word_count} cyclic words exceed {c_count} components"
+            )));
+        }
+        need(data, 8 * word_count)?;
+        let cyclic_words: Vec<u64> = (0..word_count).map(|_| data.get_u64()).collect();
+        let cyclic = BitSet::from_words(c_count, &cyclic_words);
+        need(data, 8 * c_count)?;
+        let out_mask: Vec<u64> = (0..c_count).map(|_| data.get_u64()).collect();
+        need(data, 8 * c_count)?;
+        let in_mask: Vec<u64> = (0..c_count).map(|_| data.get_u64()).collect();
+        let mut tails: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(2);
+        for _ in 0..2 {
+            need(data, 4 * (c_count + 1))?;
+            let off: Vec<u32> = (0..=c_count).map(|_| data.get_u32()).collect();
+            need(data, 4)?;
+            let lab_count = data.get_u32() as usize;
+            need(data, 4 * lab_count)?;
+            let lab: Vec<u32> = (0..lab_count).map(|_| data.get_u32()).collect();
+            tails.push((off, lab));
+        }
+        let (in_off, in_lab) = tails.pop().expect("two tail sections");
+        let (out_off, out_lab) = tails.pop().expect("two tail sections");
+        TwoHopIndex::from_parts(
+            graph, comp, cyclic, out_mask, in_mask, out_off, out_lab, in_off, in_lab,
+        )
+        .map_err(|e| ParseError::Corrupt(format!("2-hop index: {e}")))
+    }
 }
 
 #[cfg(test)]
@@ -951,12 +1143,46 @@ mod tests {
     }
 
     #[test]
-    fn auto_policy_switches_on_node_threshold() {
+    fn auto_policy_switches_on_node_threshold_then_density() {
         let g = cyclic_graph();
         let small = PreparedGraph::with_backend(Arc::clone(&g), ClosureBackend::Auto, 1_000_000);
         assert_eq!(small.stats().closure_backend, "dense");
+        // Past the node threshold the reach density decides: the tiny
+        // cyclic graph condenses to a 3-component path — dense-reach —
+        // so Auto picks the 2-hop labeling...
         let big = PreparedGraph::with_backend(Arc::clone(&g), ClosureBackend::Auto, 2);
-        assert_eq!(big.stats().closure_backend, "chain");
+        assert_eq!(big.stats().closure_backend, "twohop");
+        // ...while a tree-shaped graph (almost every component reaches
+        // almost nothing) stays on the chain index.
+        let tree = Arc::new(phom_graph::preferential_attachment(200, 1, 9));
+        let sparse = PreparedGraph::with_backend(Arc::clone(&tree), ClosureBackend::Auto, 2);
+        assert_eq!(sparse.stats().closure_backend, "chain");
+    }
+
+    #[test]
+    fn twohop_backend_answers_identically() {
+        let g = cyclic_graph();
+        let dense = PreparedGraph::with_backend(
+            Arc::clone(&g),
+            ClosureBackend::Dense,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+        );
+        let hop = PreparedGraph::with_backend(
+            Arc::clone(&g),
+            ClosureBackend::TwoHop,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+        );
+        assert_eq!(hop.stats().closure_backend, "twohop");
+        assert_eq!(hop.stats().closure_edges, dense.stats().closure_edges);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    dense.closure().reaches(u, v),
+                    hop.closure().reaches(u, v),
+                    "{u:?}->{v:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1123,20 +1349,47 @@ mod tests {
     }
 
     #[test]
-    fn chain_backend_apply_falls_back_to_rebuild() {
+    fn chain_backend_apply_maintains_incrementally() {
         let old = chain_prepared(cyclic_graph());
         let outcome = old.apply(&[
-            GraphUpdate::InsertEdge(NodeId(3), NodeId(0)),
-            GraphUpdate::RemoveEdge(NodeId(1), NodeId(2)),
+            GraphUpdate::InsertEdge(NodeId(0), NodeId(3)), // a->d: already reached
+            GraphUpdate::RemoveEdge(NodeId(2), NodeId(3)), // cut c->d
+        ]);
+        assert_eq!(outcome.stats.applied, 2);
+        assert_eq!(outcome.stats.closure_unchanged, 1, "a reached d via b,c");
+        assert_eq!(outcome.stats.incremental, 1, "the cut is patched in place");
+        assert_eq!(outcome.stats.rebuilds, 0);
+        assert_eq!(
+            outcome.stats.backend_fallbacks, 0,
+            "no escape hatch taken: the batch was maintained, not rebuilt"
+        );
+        let new = &outcome.prepared;
+        assert_eq!(new.stats().closure_backend, "chain");
+        assert!(!new.closure().reaches(NodeId(2), NodeId(3)), "c->d cut");
+        assert!(new.closure().reaches(NodeId(0), NodeId(3)), "a->d direct");
+        // Old version untouched (copy-on-write holds under maintenance).
+        assert!(old.closure().reaches(NodeId(2), NodeId(3)));
+        assert_equivalent_to_fresh(new);
+    }
+
+    #[test]
+    fn chain_backend_scc_split_falls_back_with_unsupported_reason() {
+        let old = chain_prepared(cyclic_graph());
+        let outcome = old.apply(&[
+            GraphUpdate::InsertEdge(NodeId(3), NodeId(0)), // back edge: one big SCC
+            GraphUpdate::RemoveEdge(NodeId(1), NodeId(2)), // splits it again
             GraphUpdate::InsertEdge(NodeId(0), NodeId(99)), // out of range
         ]);
         assert_eq!(outcome.stats.applied, 2);
         assert_eq!(outcome.stats.rejected, 1);
+        assert_eq!(outcome.stats.incremental, 1, "the SCC merge is patched");
+        assert_eq!(outcome.stats.rebuilds, 1, "the SCC split is not");
+        assert_eq!(outcome.stats.backend_fallbacks, 1);
         assert_eq!(
-            outcome.stats.backend_fallbacks, 1,
-            "chain records the downgrade"
+            outcome.stats.fallback_unsupported, 1,
+            "SCC splits have no incremental chain rule"
         );
-        assert_eq!(outcome.stats.rebuilds, 1);
+        assert_eq!(outcome.stats.fallback_damage, 0);
         let new = &outcome.prepared;
         assert_eq!(
             new.stats().closure_backend,
@@ -1148,6 +1401,63 @@ mod tests {
         // Old version untouched (copy-on-write holds on the fallback too).
         assert!(old.closure().reaches(NodeId(0), NodeId(2)));
         assert_equivalent_to_fresh(new);
+    }
+
+    #[test]
+    fn chain_backend_damage_threshold_falls_back_with_damage_reason() {
+        let old = PreparedGraph::prepare(
+            cyclic_graph(),
+            PrepareOptions {
+                backend: ClosureBackend::Chain,
+                ..Default::default()
+            },
+        );
+        // A zero damage budget turns every reach-changing deletion into
+        // a damage-threshold rebuild.
+        let outcome = old.apply_with(
+            &[GraphUpdate::RemoveEdge(NodeId(2), NodeId(3))],
+            &DynamicConfig {
+                damage_threshold: 0.0,
+            },
+        );
+        assert_eq!(outcome.stats.applied, 1);
+        assert_eq!(outcome.stats.backend_fallbacks, 1);
+        assert_eq!(outcome.stats.fallback_damage, 1, "cone exceeded the budget");
+        assert_eq!(outcome.stats.fallback_unsupported, 0);
+        assert_equivalent_to_fresh(&outcome.prepared);
+    }
+
+    #[test]
+    fn twohop_backend_apply_falls_back_to_rebuild() {
+        let old = PreparedGraph::with_backend(
+            cyclic_graph(),
+            ClosureBackend::TwoHop,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+        );
+        let outcome = old.apply(&[
+            GraphUpdate::InsertEdge(NodeId(3), NodeId(0)),
+            GraphUpdate::RemoveEdge(NodeId(1), NodeId(2)),
+            GraphUpdate::InsertEdge(NodeId(0), NodeId(99)), // out of range
+        ]);
+        assert_eq!(outcome.stats.applied, 2);
+        assert_eq!(outcome.stats.rejected, 1);
+        assert_eq!(
+            outcome.stats.backend_fallbacks, 1,
+            "2-hop has no incremental rule: one rebuild per batch"
+        );
+        assert_eq!(outcome.stats.fallback_unsupported, 1);
+        assert_eq!(outcome.stats.fallback_damage, 0);
+        assert_eq!(outcome.stats.rebuilds, 1);
+        let new = &outcome.prepared;
+        assert_eq!(new.stats().closure_backend, "twohop");
+        assert!(!new.closure().reaches(NodeId(0), NodeId(2)), "b->c cut");
+        assert!(new.closure().reaches(NodeId(3), NodeId(1)), "d->a->b");
+        assert!(old.closure().reaches(NodeId(0), NodeId(2)));
+        assert_equivalent_to_fresh(new);
+        // A batch of pure no-ops keeps the index without a rebuild.
+        let noop = old.apply(&[GraphUpdate::InsertEdge(NodeId(0), NodeId(1))]);
+        assert_eq!(noop.stats.backend_fallbacks, 0);
+        assert_eq!(noop.prepared.stats().closure_backend, "twohop");
     }
 
     #[test]
@@ -1267,10 +1577,42 @@ mod tests {
                 );
             }
         }
-        // Updates on a restored chain graph keep the chain backend.
+        // Updates on a restored chain graph keep the chain backend and
+        // the incremental maintenance path (the back edge is a patched
+        // SCC merge, not a rebuild).
+        let outcome = restored.apply(&[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
+        assert_eq!(outcome.stats.incremental, 1);
+        assert_eq!(outcome.stats.backend_fallbacks, 0);
+        assert_eq!(outcome.prepared.stats().closure_backend, "chain");
+        assert!(outcome.prepared.closure().reaches(NodeId(3), NodeId(2)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_twohop_backend() {
+        let p = PreparedGraph::with_backend(
+            cyclic_graph(),
+            ClosureBackend::TwoHop,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+        );
+        let bytes = p.save_snapshot();
+        let restored = PreparedGraph::load_snapshot(bytes).expect("restore");
+        assert_eq!(restored.stats().closure_backend, "twohop");
+        assert_eq!(restored.stats().closure_edges, p.stats().closure_edges);
+        for u in p.graph().nodes() {
+            for v in p.graph().nodes() {
+                assert_eq!(
+                    restored.closure().reaches(u, v),
+                    p.closure().reaches(u, v),
+                    "{u:?}->{v:?}"
+                );
+            }
+        }
+        // Updates on a restored 2-hop graph rebuild (recorded) and keep
+        // the backend.
         let outcome = restored.apply(&[GraphUpdate::InsertEdge(NodeId(3), NodeId(0))]);
         assert_eq!(outcome.stats.backend_fallbacks, 1);
-        assert_eq!(outcome.prepared.stats().closure_backend, "chain");
+        assert_eq!(outcome.stats.fallback_unsupported, 1);
+        assert_eq!(outcome.prepared.stats().closure_backend, "twohop");
         assert!(outcome.prepared.closure().reaches(NodeId(3), NodeId(2)));
     }
 

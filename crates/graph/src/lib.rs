@@ -16,6 +16,9 @@
 //!   adjacency matrix of algorithm `compMaxCard`;
 //! * [`ChainIndex`]: the compressed chain-decomposition backend
 //!   (`O(n·w)` words instead of `O(n²)` bits);
+//! * [`TwoHopIndex`]: the pruned-landmark 2-hop-labeling backend for
+//!   dense-reach shapes (probe = label intersection, hub masks for the
+//!   top 64 landmarks);
 //! * [`compress_closure`]: the `G2*` compression of Appendix B;
 //! * [`weakly_connected_components`]: the `G1` partitioning of Appendix B;
 //! * traversal helpers, DOT export, and text/binary serialization.
@@ -46,5 +49,8 @@ pub use generators::{
     cycle, gnm_random, grid, path, preferential_attachment, random_dag, XorShift64,
 };
 pub use metrics::{degree_histogram, graph_metrics, top_degree_nodes, GraphMetrics};
-pub use reach::{ChainIndex, ChainIndexParts, ReachabilityIndex};
+pub use reach::{
+    reach_density_sample, ChainIndex, ChainIndexParts, ReachabilityIndex, TwoHopIndex,
+    TwoHopIndexParts,
+};
 pub use scc::{tarjan_scc, SccResult};

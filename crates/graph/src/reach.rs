@@ -17,8 +17,16 @@
 //!   on each chain** is stored, so space is `O(n·w)` words for chain
 //!   width `w` (and far less on shallow-reach graphs), with
 //!   `O(log w)` queries.
+//! * [`TwoHopIndex`] (the *twohop* backend): pruned-landmark 2-hop
+//!   labeling over the condensation — each component stores the sorted
+//!   sets of landmarks it reaches (out-labels) and that reach it
+//!   (in-labels); `u ⇝ v` iff the label sets intersect. The 64
+//!   highest-degree landmarks live in per-component bitmasks, so the
+//!   common probe is a single `AND`. Dense-reach DAGs (where the chain
+//!   cover degenerates into many short chains) compress far below the
+//!   dense rows because a handful of hubs covers most reachable pairs.
 //!
-//! Both backends answer **identical** `reaches` relations (property-tested
+//! All backends answer **identical** `reaches` relations (property-tested
 //! below); they differ only in space/time trade-offs.
 
 use crate::bitset::BitSet;
@@ -517,6 +525,585 @@ impl ReachabilityIndex for ChainIndex {
     }
 }
 
+/// True iff the strictly ascending slices share an element (merge scan).
+#[inline]
+fn intersects_sorted(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Pruned-landmark 2-hop reachability labeling over the SCC condensation.
+///
+/// Construction processes condensation components as landmarks in
+/// **descending degree order** (Akiba-style pruned labeling, reachability
+/// variant): landmark `h`'s forward BFS adds `h` to the in-label of every
+/// component it reaches whose pair is not already covered by an
+/// earlier-ranked landmark (pruned subtrees are never expanded), and its
+/// backward BFS symmetrically fills out-labels. The resulting labels form
+/// a 2-hop cover: `u ⇝ v` (for distinct components) iff
+/// `out(u) ∩ in(v) ≠ ∅`.
+///
+/// Labels store landmark **ranks**, so lists are naturally sorted and a
+/// probe is a sorted-list intersection. The 64 highest-ranked landmarks
+/// are additionally held in per-component `u64` masks (`out_mask` /
+/// `in_mask`), making the common probe — hub-covered pairs — one `AND`;
+/// only pairs not covered by the top hubs fall through to the merge scan
+/// of the tail lists.
+///
+/// The index also keeps the (deduplicated) condensation out-adjacency,
+/// which serves successor enumeration and the exact per-component
+/// reachable-node counts; it is O(condensation edges), negligible next to
+/// the labels.
+#[derive(Debug, Clone)]
+pub struct TwoHopIndex {
+    node_count: usize,
+    /// `comp[v]` = condensation component of node `v`.
+    comp: Vec<u32>,
+    /// CSR: nodes grouped by component (`members_off.len() == C + 1`).
+    members_off: Vec<u32>,
+    members: Vec<NodeId>,
+    /// Components lying on a cycle (size > 1 or a self-loop).
+    cyclic: BitSet,
+    /// Bit `r` set iff landmark rank `r < 64` is in the component's
+    /// out-label (reachable from the component).
+    out_mask: Vec<u64>,
+    /// Bit `r` set iff landmark rank `r < 64` is in the component's
+    /// in-label (reaches the component).
+    in_mask: Vec<u64>,
+    /// CSR of out-label tails (ranks ≥ 64, strictly ascending).
+    out_off: Vec<u32>,
+    out_lab: Vec<u32>,
+    /// CSR of in-label tails (ranks ≥ 64, strictly ascending).
+    in_off: Vec<u32>,
+    in_lab: Vec<u32>,
+    /// CSR of the deduplicated condensation out-adjacency.
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    /// Exact reachable-node count per component.
+    reach_nodes: Vec<u32>,
+    /// Cached `Σ members(c) · reach_nodes(c)`.
+    pairs: usize,
+}
+
+/// Borrowed views of a [`TwoHopIndex`]'s defining arrays — the
+/// serialization boundary. The member CSR, condensation adjacency, and
+/// reachable counts are derived and rebuilt by
+/// [`TwoHopIndex::from_parts`] (which takes the graph for exactly that
+/// purpose).
+#[derive(Debug, Clone, Copy)]
+pub struct TwoHopIndexParts<'a> {
+    /// Node-to-component assignment.
+    pub comp: &'a [u32],
+    /// Cyclic-component flags.
+    pub cyclic: &'a BitSet,
+    /// Hub-rank (< 64) out-label masks.
+    pub out_mask: &'a [u64],
+    /// Hub-rank (< 64) in-label masks.
+    pub in_mask: &'a [u64],
+    /// CSR offsets into `out_lab`.
+    pub out_off: &'a [u32],
+    /// Out-label tail ranks (≥ 64).
+    pub out_lab: &'a [u32],
+    /// CSR offsets into `in_lab`.
+    pub in_off: &'a [u32],
+    /// In-label tail ranks (≥ 64).
+    pub in_lab: &'a [u32],
+}
+
+/// A label set under construction: hub mask plus tail list.
+#[inline]
+fn add_label(rank: u32, mask: &mut u64, tail: &mut Vec<u32>) {
+    if rank < 64 {
+        *mask |= 1u64 << rank;
+    } else {
+        tail.push(rank);
+    }
+}
+
+/// Label-only covering query used during construction pruning.
+#[inline]
+fn labels_cover(
+    from: usize,
+    to: usize,
+    out_mask: &[u64],
+    in_mask: &[u64],
+    out_tail: &[Vec<u32>],
+    in_tail: &[Vec<u32>],
+) -> bool {
+    out_mask[from] & in_mask[to] != 0 || intersects_sorted(&out_tail[from], &in_tail[to])
+}
+
+impl TwoHopIndex {
+    /// Builds the 2-hop index of `g` (one Tarjan pass plus the pruned
+    /// labeling sweeps).
+    pub fn new<L>(g: &DiGraph<L>) -> Self {
+        let scc = tarjan_scc(g);
+        Self::from_scc(g, &scc)
+    }
+
+    /// Builds the 2-hop index reusing an existing SCC decomposition.
+    pub fn from_scc<L>(g: &DiGraph<L>, scc: &SccResult) -> Self {
+        let n = g.node_count();
+        let c_count = scc.count();
+        let comp: Vec<u32> = (0..n)
+            .map(|v| scc.component_of(NodeId(v as u32)) as u32)
+            .collect();
+
+        // Condensation adjacency (deduplicated, both directions) + cyclic.
+        let mut cyclic = BitSet::new(c_count);
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        for (cid, out_c) in out.iter_mut().enumerate() {
+            let mut self_cyclic = scc.members(cid).len() > 1;
+            for &v in scc.members(cid) {
+                for &w in g.post(v) {
+                    let d = scc.component_of(w);
+                    if d == cid {
+                        self_cyclic = true;
+                    } else {
+                        out_c.push(d as u32);
+                    }
+                }
+            }
+            out_c.sort_unstable();
+            out_c.dedup();
+            if self_cyclic {
+                cyclic.insert(cid);
+            }
+        }
+        let mut rin: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        for (c, outs) in out.iter().enumerate() {
+            for &d in outs {
+                rin[d as usize].push(c as u32);
+            }
+        }
+
+        // Landmark order: descending condensation degree, id tiebreak.
+        // High-degree components are the hubs most shortest "2-hop"
+        // certificates route through; ranking them first keeps labels
+        // short and concentrates coverage in the rank-<64 masks.
+        let mut order: Vec<u32> = (0..c_count as u32).collect();
+        order.sort_unstable_by_key(|&c| {
+            let deg = out[c as usize].len() + rin[c as usize].len();
+            (std::cmp::Reverse(deg), c)
+        });
+
+        let mut out_mask = vec![0u64; c_count];
+        let mut in_mask = vec![0u64; c_count];
+        let mut out_tail: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        let mut in_tail: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+
+        // Pruned BFS sweeps. `seen` is epoch-stamped so neither sweep
+        // clears it; `queue` doubles as the BFS frontier.
+        let mut seen = vec![u32::MAX; c_count];
+        let mut queue: Vec<u32> = Vec::new();
+        for (r, &v) in order.iter().enumerate() {
+            let rank = r as u32;
+            let v = v as usize;
+            // Self-labels first: they are the certificates later queries
+            // intersect on when `v` itself is the hub of a pair.
+            add_label(rank, &mut out_mask[v], &mut out_tail[v]);
+            add_label(rank, &mut in_mask[v], &mut in_tail[v]);
+            // Forward sweep: `rank` enters the in-label of everything `v`
+            // reaches whose pair is not already hub-covered. A pruned
+            // component's subtree is never expanded (the earlier hub
+            // covers its descendants through the same certificate).
+            let epoch = (2 * r) as u32;
+            seen[v] = epoch;
+            queue.clear();
+            queue.push(v as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &w in &out[u] {
+                    let w = w as usize;
+                    if seen[w] == epoch {
+                        continue;
+                    }
+                    seen[w] = epoch;
+                    if labels_cover(v, w, &out_mask, &in_mask, &out_tail, &in_tail) {
+                        continue;
+                    }
+                    add_label(rank, &mut in_mask[w], &mut in_tail[w]);
+                    queue.push(w as u32);
+                }
+            }
+            // Backward sweep: symmetric, filling out-labels of everything
+            // that reaches `v`.
+            let epoch = (2 * r + 1) as u32;
+            seen[v] = epoch;
+            queue.clear();
+            queue.push(v as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &w in &rin[u] {
+                    let w = w as usize;
+                    if seen[w] == epoch {
+                        continue;
+                    }
+                    seen[w] = epoch;
+                    if labels_cover(w, v, &out_mask, &in_mask, &out_tail, &in_tail) {
+                        continue;
+                    }
+                    add_label(rank, &mut out_mask[w], &mut out_tail[w]);
+                    queue.push(w as u32);
+                }
+            }
+        }
+
+        let (out_off, out_lab) = flatten_csr(&out_tail);
+        let (in_off, in_lab) = flatten_csr(&in_tail);
+        let (adj_off, adj) = flatten_csr(&out);
+        Self::finish(
+            n, comp, cyclic, out_mask, in_mask, out_off, out_lab, in_off, in_lab, adj_off, adj,
+        )
+    }
+
+    /// Reassembles a 2-hop index from its defining arrays (see
+    /// [`TwoHopIndex::parts`]), revalidating structural invariants and
+    /// rederiving the member CSR, condensation adjacency, and reachable
+    /// counts from `g` — the snapshot-restore constructor.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant (length
+    /// mismatches, out-of-range component or rank ids, unsorted label
+    /// tails).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts<L>(
+        g: &DiGraph<L>,
+        comp: Vec<u32>,
+        cyclic: BitSet,
+        out_mask: Vec<u64>,
+        in_mask: Vec<u64>,
+        out_off: Vec<u32>,
+        out_lab: Vec<u32>,
+        in_off: Vec<u32>,
+        in_lab: Vec<u32>,
+    ) -> Result<Self, String> {
+        let n = g.node_count();
+        let c_count = out_mask.len();
+        if comp.len() != n {
+            return Err(format!("comp covers {} of {n} nodes", comp.len()));
+        }
+        if in_mask.len() != c_count || cyclic.len() != c_count {
+            return Err("in_mask/cyclic length mismatch".into());
+        }
+        if comp.iter().any(|&c| c as usize >= c_count) {
+            return Err("component id out of range".into());
+        }
+        for (name, off, lab) in [("out", &out_off, &out_lab), ("in", &in_off, &in_lab)] {
+            if off.len() != c_count + 1 || off[0] != 0 || *off.last().unwrap() as usize != lab.len()
+            {
+                return Err(format!("{name}_off does not span {name}_lab"));
+            }
+            for c in 0..c_count {
+                let (s, e) = (off[c] as usize, off[c + 1] as usize);
+                if s > e || e > lab.len() {
+                    return Err(format!("{name}_off not monotone"));
+                }
+                let slice = &lab[s..e];
+                for w in slice.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(format!("{name} label tail not strictly sorted"));
+                    }
+                }
+                if slice
+                    .iter()
+                    .any(|&r| (r as usize) < 64 || (r as usize) >= c_count)
+                {
+                    return Err(format!("{name} label rank out of range"));
+                }
+            }
+        }
+        // Rederive the condensation adjacency from the graph under the
+        // given component assignment.
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        for (a, b) in g.edges() {
+            let (ca, cb) = (comp[a.index()], comp[b.index()]);
+            if ca != cb {
+                out[ca as usize].push(cb);
+            }
+        }
+        for out_c in &mut out {
+            out_c.sort_unstable();
+            out_c.dedup();
+        }
+        let (adj_off, adj) = flatten_csr(&out);
+        Ok(Self::finish(
+            n, comp, cyclic, out_mask, in_mask, out_off, out_lab, in_off, in_lab, adj_off, adj,
+        ))
+    }
+
+    /// Shared tail of the constructors: derives the member CSR and the
+    /// exact per-component reachable counts (one adjacency BFS per
+    /// component, epoch-stamped).
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        node_count: usize,
+        comp: Vec<u32>,
+        cyclic: BitSet,
+        out_mask: Vec<u64>,
+        in_mask: Vec<u64>,
+        out_off: Vec<u32>,
+        out_lab: Vec<u32>,
+        in_off: Vec<u32>,
+        in_lab: Vec<u32>,
+        adj_off: Vec<u32>,
+        adj: Vec<u32>,
+    ) -> Self {
+        let c_count = out_mask.len();
+        let mut members_off = vec![0u32; c_count + 1];
+        for &c in &comp {
+            members_off[c as usize + 1] += 1;
+        }
+        for i in 0..c_count {
+            members_off[i + 1] += members_off[i];
+        }
+        let mut cursor = members_off.clone();
+        let mut members = vec![NodeId(0); node_count];
+        for (v, &c) in comp.iter().enumerate() {
+            let slot = &mut cursor[c as usize];
+            members[*slot as usize] = NodeId(v as u32);
+            *slot += 1;
+        }
+        let member_len = |c: usize| (members_off[c + 1] - members_off[c]) as usize;
+        let mut reach_nodes = vec![0u32; c_count];
+        let mut seen = vec![u32::MAX; c_count];
+        let mut queue: Vec<u32> = Vec::new();
+        for c in 0..c_count {
+            let epoch = c as u32;
+            seen[c] = epoch;
+            queue.clear();
+            queue.push(c as u32);
+            let mut head = 0;
+            let mut count = if cyclic.contains(c) { member_len(c) } else { 0 };
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &w in &adj[adj_off[u] as usize..adj_off[u + 1] as usize] {
+                    let w = w as usize;
+                    if seen[w] == epoch {
+                        continue;
+                    }
+                    seen[w] = epoch;
+                    count += member_len(w);
+                    queue.push(w as u32);
+                }
+            }
+            reach_nodes[c] = count as u32;
+        }
+        let pairs = (0..c_count)
+            .map(|c| member_len(c) * reach_nodes[c] as usize)
+            .sum();
+        Self {
+            node_count,
+            comp,
+            members_off,
+            members,
+            cyclic,
+            out_mask,
+            in_mask,
+            out_off,
+            out_lab,
+            in_off,
+            in_lab,
+            adj_off,
+            adj,
+            reach_nodes,
+            pairs,
+        }
+    }
+
+    /// Number of condensation components.
+    pub fn component_count(&self) -> usize {
+        self.out_mask.len()
+    }
+
+    /// Total label entries (hub-mask bits plus tail-list entries) — the
+    /// quantity the pruning minimizes.
+    pub fn label_entries(&self) -> usize {
+        let mask_bits: u32 = self
+            .out_mask
+            .iter()
+            .chain(&self.in_mask)
+            .map(|m| m.count_ones())
+            .sum();
+        mask_bits as usize + self.out_lab.len() + self.in_lab.len()
+    }
+
+    /// The component node `v` belongs to.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.comp[v.index()] as usize
+    }
+
+    /// Borrowed views of the defining arrays for serialization.
+    pub fn parts(&self) -> TwoHopIndexParts<'_> {
+        TwoHopIndexParts {
+            comp: &self.comp,
+            cyclic: &self.cyclic,
+            out_mask: &self.out_mask,
+            in_mask: &self.in_mask,
+            out_off: &self.out_off,
+            out_lab: &self.out_lab,
+            in_off: &self.in_off,
+            in_lab: &self.in_lab,
+        }
+    }
+
+    fn out_tail(&self, c: usize) -> &[u32] {
+        &self.out_lab[self.out_off[c] as usize..self.out_off[c + 1] as usize]
+    }
+
+    fn in_tail(&self, c: usize) -> &[u32] {
+        &self.in_lab[self.in_off[c] as usize..self.in_off[c + 1] as usize]
+    }
+
+    fn members_of(&self, c: usize) -> &[NodeId] {
+        &self.members[self.members_off[c] as usize..self.members_off[c + 1] as usize]
+    }
+}
+
+/// Flattens per-component vectors into a CSR (offsets + values).
+fn flatten_csr(lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    off.push(0u32);
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut flat = Vec::with_capacity(total);
+    for list in lists {
+        flat.extend_from_slice(list);
+        off.push(flat.len() as u32);
+    }
+    (off, flat)
+}
+
+impl ReachabilityIndex for TwoHopIndex {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let cf = self.comp[from.index()] as usize;
+        let ct = self.comp[to.index()] as usize;
+        if cf == ct {
+            return self.cyclic.contains(cf);
+        }
+        self.out_mask[cf] & self.in_mask[ct] != 0
+            || intersects_sorted(self.out_tail(cf), self.in_tail(ct))
+    }
+
+    fn reachable_count(&self, from: NodeId) -> usize {
+        self.reach_nodes[self.comp[from.index()] as usize] as usize
+    }
+
+    fn successors_iter(&self, from: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        // Enumerate reached components by BFS over the stored condensation
+        // adjacency (the labels answer membership, not enumeration).
+        let c = self.comp[from.index()] as usize;
+        let mut seen = BitSet::new(self.component_count());
+        seen.insert(c);
+        let mut reached: Vec<u32> = Vec::new();
+        let mut queue = vec![c as u32];
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &w in &self.adj[self.adj_off[u] as usize..self.adj_off[u + 1] as usize] {
+                if seen.insert(w as usize) {
+                    reached.push(w);
+                    queue.push(w);
+                }
+            }
+        }
+        let own = self.cyclic.contains(c).then_some(c as u32);
+        Box::new(
+            reached
+                .into_iter()
+                .chain(own)
+                .flat_map(move |d| self.members_of(d as usize).iter().copied()),
+        )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.comp.len() * size_of::<u32>()
+            + self.members_off.len() * size_of::<u32>()
+            + self.members.len() * size_of::<NodeId>()
+            + self.cyclic.words().len() * 8
+            + (self.out_mask.len() + self.in_mask.len()) * size_of::<u64>()
+            + (self.out_off.len() + self.in_off.len()) * size_of::<u32>()
+            + (self.out_lab.len() + self.in_lab.len()) * size_of::<u32>()
+            + (self.adj_off.len() + self.adj.len()) * size_of::<u32>()
+            + self.reach_nodes.len() * size_of::<u32>()
+    }
+
+    fn pair_count(&self) -> usize {
+        self.pairs
+    }
+}
+
+/// Mean fraction of condensation components reachable from a
+/// deterministic sample of components — the *reach density* the `Auto`
+/// backend policy uses to tell dense-reach shapes (where 2-hop labels
+/// beat the chain cover) from shallow-reach ones (where chains win).
+///
+/// Samples up to `samples` components evenly spaced across the id range
+/// and BFS-walks the condensation from each; cost is
+/// `O(samples · (C + E_c))`, negligible next to any index build.
+pub fn reach_density_sample<L>(g: &DiGraph<L>, scc: &SccResult, samples: usize) -> f64 {
+    let c_count = scc.count();
+    if c_count == 0 {
+        return 0.0;
+    }
+    // Condensation out-adjacency (deduplicated per source on the fly).
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+    for (a, b) in g.edges() {
+        let (ca, cb) = (scc.component_of(a), scc.component_of(b));
+        if ca != cb {
+            out[ca].push(cb as u32);
+        }
+    }
+    for out_c in &mut out {
+        out_c.sort_unstable();
+        out_c.dedup();
+    }
+    let take = samples.clamp(1, c_count);
+    let mut seen = vec![u32::MAX; c_count];
+    let mut queue: Vec<u32> = Vec::new();
+    let mut total = 0usize;
+    for i in 0..take {
+        let start = i * c_count / take;
+        let epoch = i as u32;
+        seen[start] = epoch;
+        queue.clear();
+        queue.push(start as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &w in &out[u] {
+                let w = w as usize;
+                if seen[w] != epoch {
+                    seen[w] = epoch;
+                    total += 1;
+                    queue.push(w as u32);
+                }
+            }
+        }
+    }
+    total as f64 / (take as f64 * c_count as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,40 +1112,45 @@ mod tests {
 
     fn assert_equiv<L>(g: &DiGraph<L>, label: &str) {
         let dense = TransitiveClosure::new(g);
-        let chain = ChainIndex::new(g);
-        assert_eq!(
-            ReachabilityIndex::node_count(&dense),
-            chain.node_count(),
-            "{label}: node_count"
-        );
-        for u in g.nodes() {
-            for v in g.nodes() {
+        let others: [(&str, Box<dyn ReachabilityIndex>); 2] = [
+            ("chain", Box::new(ChainIndex::new(g))),
+            ("twohop", Box::new(TwoHopIndex::new(g))),
+        ];
+        for (name, other) in &others {
+            assert_eq!(
+                ReachabilityIndex::node_count(&dense),
+                other.node_count(),
+                "{label}/{name}: node_count"
+            );
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        ReachabilityIndex::reaches(&dense, u, v),
+                        other.reaches(u, v),
+                        "{label}/{name}: reaches {u:?}->{v:?}"
+                    );
+                }
                 assert_eq!(
-                    ReachabilityIndex::reaches(&dense, u, v),
-                    chain.reaches(u, v),
-                    "{label}: reaches {u:?}->{v:?}"
+                    ReachabilityIndex::reachable_count(&dense, u),
+                    other.reachable_count(u),
+                    "{label}/{name}: count from {u:?}"
                 );
+                let mut ds: Vec<u32> = dense.successors_iter(u).map(|n| n.0).collect();
+                let mut os: Vec<u32> = other.successors_iter(u).map(|n| n.0).collect();
+                ds.sort_unstable();
+                os.sort_unstable();
+                assert_eq!(ds, os, "{label}/{name}: successors of {u:?}");
             }
             assert_eq!(
-                ReachabilityIndex::reachable_count(&dense, u),
-                chain.reachable_count(u),
-                "{label}: count from {u:?}"
+                ReachabilityIndex::pair_count(&dense),
+                other.pair_count(),
+                "{label}/{name}: pair_count"
             );
-            let mut ds: Vec<u32> = dense.successors_iter(u).map(|n| n.0).collect();
-            let mut cs: Vec<u32> = chain.successors_iter(u).map(|n| n.0).collect();
-            ds.sort_unstable();
-            cs.sort_unstable();
-            assert_eq!(ds, cs, "{label}: successors of {u:?}");
         }
-        assert_eq!(
-            ReachabilityIndex::pair_count(&dense),
-            chain.pair_count(),
-            "{label}: pair_count"
-        );
     }
 
     #[test]
-    fn chain_matches_dense_on_fixed_shapes() {
+    fn backends_match_dense_on_fixed_shapes() {
         assert_equiv(
             &graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]),
             "path",
@@ -594,11 +1186,125 @@ mod tests {
     }
 
     #[test]
-    fn chain_matches_dense_on_generated_families() {
+    fn backends_match_dense_on_generated_families() {
         assert_equiv(&grid(5, 6), "grid 5x6");
         assert_equiv(&random_dag(60, 150, 11), "random dag");
         assert_equiv(&gnm_random(40, 120, 7), "gnm cyclic");
         assert_equiv(&preferential_attachment(80, 2, 3), "pref attach");
+    }
+
+    #[test]
+    fn twohop_parts_roundtrip_reconstructs_equal_index() {
+        let g = gnm_random(30, 90, 5);
+        let idx = TwoHopIndex::new(&g);
+        let p = idx.parts();
+        let back = TwoHopIndex::from_parts(
+            &g,
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            p.out_mask.to_vec(),
+            p.in_mask.to_vec(),
+            p.out_off.to_vec(),
+            p.out_lab.to_vec(),
+            p.in_off.to_vec(),
+            p.in_lab.to_vec(),
+        )
+        .expect("valid parts");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(idx.reaches(u, v), back.reaches(u, v), "{u:?}->{v:?}");
+            }
+            assert_eq!(back.reachable_count(u), idx.reachable_count(u));
+        }
+        assert_eq!(back.memory_bytes(), idx.memory_bytes());
+        assert_eq!(back.pair_count(), idx.pair_count());
+    }
+
+    #[test]
+    fn twohop_from_parts_rejects_malformed_input() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let idx = TwoHopIndex::new(&g);
+        let p = idx.parts();
+        // comp id out of range
+        assert!(TwoHopIndex::from_parts(
+            &g,
+            vec![0, 9],
+            p.cyclic.clone(),
+            p.out_mask.to_vec(),
+            p.in_mask.to_vec(),
+            p.out_off.to_vec(),
+            p.out_lab.to_vec(),
+            p.in_off.to_vec(),
+            p.in_lab.to_vec(),
+        )
+        .is_err());
+        // offsets not spanning the label array
+        assert!(TwoHopIndex::from_parts(
+            &g,
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            p.out_mask.to_vec(),
+            p.in_mask.to_vec(),
+            vec![0, 0, 7],
+            p.out_lab.to_vec(),
+            p.in_off.to_vec(),
+            p.in_lab.to_vec(),
+        )
+        .is_err());
+        // tail rank below the hub-mask range
+        assert!(TwoHopIndex::from_parts(
+            &g,
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            p.out_mask.to_vec(),
+            p.in_mask.to_vec(),
+            vec![0, 1, 1],
+            vec![3],
+            p.in_off.to_vec(),
+            p.in_lab.to_vec(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn twohop_compresses_dense_reach_dags() {
+        // A wide random DAG reaches a large fraction of the graph from
+        // every node — the family where ChainIndex *loses* to dense
+        // (entry lists grow with chain count) and 2-hop labels win: the
+        // hub masks cover most certificates in O(1) words per component.
+        let g = random_dag(3000, 12_000, 13);
+        let dense = TransitiveClosure::new(&g);
+        let twohop = TwoHopIndex::new(&g);
+        assert!(
+            twohop.memory_bytes() * 2 <= ReachabilityIndex::memory_bytes(&dense),
+            "twohop {} vs dense {}",
+            twohop.memory_bytes(),
+            ReachabilityIndex::memory_bytes(&dense)
+        );
+        for v in [0u32, 1, 57, 999, 2999] {
+            let v = NodeId(v);
+            for w in [0u32, 3, 500, 2998] {
+                let w = NodeId(w);
+                assert_eq!(
+                    ReachabilityIndex::reaches(&dense, v, w),
+                    twohop.reaches(v, w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_density_separates_shapes() {
+        // Dense-reach DAG: most pairs connected — density well above the
+        // Auto cutoff. Deep sparse tree: ancestors only — well below.
+        let dense_shape = random_dag(400, 1600, 13);
+        let scc = crate::scc::tarjan_scc(&dense_shape);
+        let hi = reach_density_sample(&dense_shape, &scc, 48);
+        let sparse_shape = preferential_attachment(400, 1, 9);
+        let scc = crate::scc::tarjan_scc(&sparse_shape);
+        let lo = reach_density_sample(&sparse_shape, &scc, 48);
+        assert!(hi > 0.10, "dense-reach density {hi}");
+        assert!(lo < 0.05, "sparse density {lo}");
     }
 
     #[test]
@@ -714,8 +1420,9 @@ mod tests {
         }
 
         proptest! {
-            /// The tentpole invariant: both backends answer the identical
-            /// `reaches` relation on arbitrary (cyclic) graphs.
+            /// The tentpole invariant: both compressed backends answer
+            /// the identical `reaches` relation on arbitrary (cyclic)
+            /// graphs.
             #[test]
             fn prop_chain_equals_dense(g in arb_graph()) {
                 let dense = TransitiveClosure::new(&g);
@@ -737,6 +1444,58 @@ mod tests {
                     ReachabilityIndex::pair_count(&dense),
                     chain.pair_count()
                 );
+            }
+
+            /// Same invariant for the 2-hop-label backend, on the same
+            /// grid of random cyclic graphs and DAGs.
+            #[test]
+            fn prop_twohop_equals_dense(g in arb_graph()) {
+                let dense = TransitiveClosure::new(&g);
+                let twohop = TwoHopIndex::new(&g);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(
+                            ReachabilityIndex::reaches(&dense, u, v),
+                            twohop.reaches(u, v),
+                            "mismatch {:?}->{:?}", u, v
+                        );
+                    }
+                    prop_assert_eq!(
+                        ReachabilityIndex::reachable_count(&dense, u),
+                        twohop.reachable_count(u)
+                    );
+                }
+                prop_assert_eq!(
+                    ReachabilityIndex::pair_count(&dense),
+                    twohop.pair_count()
+                );
+            }
+
+            /// 2-hop serialization parts round-trip losslessly.
+            #[test]
+            fn prop_twohop_parts_roundtrip(g in arb_graph()) {
+                let idx = TwoHopIndex::new(&g);
+                let p = idx.parts();
+                let back = TwoHopIndex::from_parts(
+                    &g,
+                    p.comp.to_vec(),
+                    p.cyclic.clone(),
+                    p.out_mask.to_vec(),
+                    p.in_mask.to_vec(),
+                    p.out_off.to_vec(),
+                    p.out_lab.to_vec(),
+                    p.in_off.to_vec(),
+                    p.in_lab.to_vec(),
+                ).expect("valid parts");
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(idx.reaches(u, v), back.reaches(u, v));
+                    }
+                    prop_assert_eq!(
+                        idx.reachable_count(u),
+                        back.reachable_count(u)
+                    );
+                }
             }
 
             /// Successor enumeration is exactly the set of reached nodes.

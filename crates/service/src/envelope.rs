@@ -165,7 +165,8 @@ pub struct GraphInfo {
     pub closure_edges: usize,
     /// Reachability-index heap bytes, summed across shards.
     pub closure_memory_bytes: usize,
-    /// Backend of the shards (`"dense"`, `"chain"`, or `"mixed"`).
+    /// Backend of the shards (`"dense"`, `"chain"`, `"twohop"`, or
+    /// `"mixed"` when shards disagree).
     pub closure_backend: String,
     /// Compressed node count summed across shards, when any shard kept
     /// Appendix-B compression.

@@ -110,11 +110,16 @@ pub enum EventKind {
         /// End-to-end query time.
         micros: u128,
     },
-    /// Closure maintenance fell back from the chain backend to a dense
-    /// rebuild.
+    /// Closure maintenance fell back from incremental patching to a
+    /// from-scratch index rebuild.
     BackendFallback {
         /// Fallbacks in the batch.
         fallbacks: usize,
+        /// Why the batch downgraded: `"damage-threshold"` (a deletion
+        /// cone past the tuned budget), `"unsupported-op"` (an update
+        /// shape with no incremental rule for the active backend), or
+        /// both joined with `+` when one batch hit both.
+        reason: String,
     },
     /// A snapshot was serialized.
     SnapshotSaved {
@@ -204,9 +209,10 @@ impl EventKind {
                 "{{\"plan\":\"{}\",\"micros\":{micros}}}",
                 crate::json_escape(plan)
             ),
-            EventKind::BackendFallback { fallbacks } => {
-                format!("{{\"fallbacks\":{fallbacks}}}")
-            }
+            EventKind::BackendFallback { fallbacks, reason } => format!(
+                "{{\"fallbacks\":{fallbacks},\"reason\":\"{}\"}}",
+                crate::json_escape(reason)
+            ),
             EventKind::SnapshotSaved { graph, bytes } => format!(
                 "{{\"graph\":\"{}\",\"bytes\":{bytes}}}",
                 crate::json_escape(graph)
@@ -514,10 +520,12 @@ mod tests {
         assert!(j.enabled());
         j.emit(Severity::Warn, || EventKind::BackendFallback {
             fallbacks: 1,
+            reason: "damage-threshold".to_owned(),
         });
         j.flush();
         let text = std::fs::read_to_string(&path).expect("read back");
         assert!(text.contains("BackendFallback"), "{text}");
+        assert!(text.contains("\"reason\":\"damage-threshold\""), "{text}");
         assert!(j.snapshot().is_empty(), "no ring at capacity 0");
         assert_eq!(j.events_emitted(), 1);
         let _ = std::fs::remove_file(&path);

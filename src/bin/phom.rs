@@ -8,17 +8,19 @@
 //! phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]
 //! phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]
 //!               [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]
-//!               [--closure-backend dense|chain|auto]
+//!               [--algorithm card|card11|sim|sim11]
+//!               [--closure-backend dense|chain|twohop|auto]
 //!               [--arrivals open:<rate>|poisson:<rate>] [--queue-depth D]
 //!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
 //!               [--trace-json PATH] [--slow-query-micros T]
 //! phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]
 //!               [--nodes M] [--noise P] [--seed S]
-//!               [--closure-backend dense|chain|auto]
+//!               [--closure-backend dense|chain|twohop|auto]
 //!               [--timeout-micros U] [--intra-workers W] [--stats-json PATH]
 //!               [--trace-json PATH] [--slow-query-micros T]
 //! phom serve-sim [--graphs G] [--parts K] [--nodes M] [--queries N]
 //!               [--update-ratio R] [--queue-depth D] [--threads T]
+//!               [--closure-backend dense|chain|twohop|auto]
 //!               [--arrivals open:<rate>|poisson:<rate>] [--seed S] [--xi F]
 //!               [--timeout-micros U] [--stats-json PATH]
 //!               [--trace-json PATH] [--slow-query-micros T]
@@ -72,19 +74,21 @@ fn main() -> ExitCode {
              phom generate <pattern.out> <data.out> [--nodes M] [--noise P] [--seed S]\n\
              phom engine-batch [--workload synthetic|websim] [--queries N] [--xi F]\n\
              \x20                           [--threads T] [--nodes M] [--noise P] [--seed S] [--cold]\n\
-             \x20                           [--closure-backend dense|chain|auto]\n\
+             \x20                           [--algorithm card|card11|sim|sim11]\n\
+             \x20                           [--closure-backend dense|chain|twohop|auto]\n\
              \x20                           [--arrivals open:<rate>|poisson:<rate>]\n\
              \x20                           [--queue-depth D] [--timeout-micros U]\n\
              \x20                           [--intra-workers W] [--stats-json PATH]\n\
              \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
              phom engine-live [--ops N] [--update-ratio R] [--xi F] [--threads T]\n\
              \x20                           [--nodes M] [--noise P] [--seed S]\n\
-             \x20                           [--closure-backend dense|chain|auto]\n\
+             \x20                           [--closure-backend dense|chain|twohop|auto]\n\
              \x20                           [--timeout-micros U] [--intra-workers W]\n\
              \x20                           [--stats-json PATH]\n\
              \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
              phom serve-sim [--graphs G] [--parts K] [--nodes M] [--queries N]\n\
              \x20                           [--update-ratio R] [--queue-depth D] [--threads T]\n\
+             \x20                           [--closure-backend dense|chain|twohop|auto]\n\
              \x20                           [--arrivals open:<rate>|poisson:<rate>] [--seed S]\n\
              \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]\n\
              \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
@@ -115,7 +119,7 @@ fn main() -> ExitCode {
 
 struct Flags {
     xi: f64,
-    algorithm: Algorithm,
+    algorithm: Option<Algorithm>,
     one_to_one: bool,
     text_sim: Option<usize>,
     exact: bool,
@@ -227,7 +231,7 @@ impl Arrivals {
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut f = Flags {
         xi: 0.75,
-        algorithm: Algorithm::MaxCard,
+        algorithm: None,
         one_to_one: false,
         text_sim: None,
         exact: false,
@@ -272,13 +276,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .ok_or("--xi needs a number in [0,1]")?;
             }
             "--algorithm" => {
-                f.algorithm = match it.next().map(String::as_str) {
+                f.algorithm = Some(match it.next().map(String::as_str) {
                     Some("card") => Algorithm::MaxCard,
                     Some("card11") => Algorithm::MaxCard1to1,
                     Some("sim") => Algorithm::MaxSim,
                     Some("sim11") => Algorithm::MaxSim1to1,
                     other => return Err(format!("unknown algorithm {other:?}")),
-                };
+                });
             }
             "--text-sim" => {
                 f.text_sim = Some(
@@ -413,7 +417,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.closure_backend = it
                     .next()
                     .and_then(|v| ClosureBackend::parse(v))
-                    .ok_or("--closure-backend needs dense|chain|auto")?;
+                    .ok_or("--closure-backend needs dense|chain|twohop|auto")?;
             }
             "--timeout-micros" => {
                 f.timeout_micros = Some(
@@ -506,12 +510,13 @@ fn cmd_match(args: &[String]) -> ExitCode {
     };
     let mat = build_matrix(&g1, &g2, &f);
     let weights = NodeWeights::uniform(g1.node_count());
+    let algorithm = f.algorithm.unwrap_or(Algorithm::MaxCard);
 
     let mapping = if f.exact {
         if f.max_stretch.is_some() || f.restarts.is_some() {
             return fail("--exact does not combine with --max-stretch / --restarts");
         }
-        let objective = if f.algorithm.similarity() {
+        let objective = if algorithm.similarity() {
             Objective::Similarity
         } else {
             Objective::Cardinality
@@ -521,7 +526,7 @@ fn cmd_match(args: &[String]) -> ExitCode {
             &g2,
             &mat,
             f.xi,
-            f.algorithm.injective(),
+            algorithm.injective(),
             objective,
             &weights,
         )
@@ -540,14 +545,14 @@ fn cmd_match(args: &[String]) -> ExitCode {
             restarts: f.restarts.unwrap_or(1).max(1),
             ..Default::default()
         };
-        if f.algorithm.similarity() {
+        if algorithm.similarity() {
             phom::core::comp_max_sim_restarts_with(
                 &g1,
                 &closure,
                 &mat,
                 &weights,
                 &cfg,
-                f.algorithm.injective(),
+                algorithm.injective(),
                 &rcfg,
             )
         } else {
@@ -556,7 +561,7 @@ fn cmd_match(args: &[String]) -> ExitCode {
                 &closure,
                 &mat,
                 &cfg,
-                f.algorithm.injective(),
+                algorithm.injective(),
                 &rcfg,
             )
         }
@@ -567,7 +572,7 @@ fn cmd_match(args: &[String]) -> ExitCode {
             &mat,
             &weights,
             &MatcherConfig {
-                algorithm: f.algorithm,
+                algorithm,
                 xi: f.xi,
                 ..Default::default()
             },
@@ -761,7 +766,7 @@ fn cmd_engine_batch(args: &[String]) -> ExitCode {
                 .map(|i| {
                     let pattern = std::sync::Arc::clone(&patterns[i % patterns.len()]);
                     let mat = shingle_matrix(&pattern, &data, 3);
-                    mixed_query(pattern, mat, f.xi, i)
+                    mixed_query(pattern, mat, f.xi, f.algorithm, i)
                 })
                 .collect();
             run_engine_batch(&data, queries, &f)
@@ -803,18 +808,20 @@ fn synthetic_batch(
             let mat = SimMatrix::from_fn(pattern.node_count(), data.node_count(), |v, u| {
                 inst.pool.similarity(*pattern.label(v), *data.label(u))
             });
-            mixed_query(pattern, mat, f.xi, i)
+            mixed_query(pattern, mat, f.xi, f.algorithm, i)
         })
         .collect();
     (data, queries)
 }
 
-/// Builds query `i` of a mixed batch: the four algorithms round-robin,
-/// every 5th query carries a stretch bound, every 9th pins restarts.
+/// Builds query `i` of a mixed batch: the four algorithms round-robin
+/// (unless `--algorithm` pins one for the whole batch), every 5th query
+/// carries a stretch bound, every 9th pins restarts.
 fn mixed_query<L>(
     pattern: std::sync::Arc<DiGraph<L>>,
     matrix: SimMatrix,
     xi: f64,
+    pin: Option<Algorithm>,
     i: usize,
 ) -> Query<L> {
     let algorithms = [
@@ -826,7 +833,7 @@ fn mixed_query<L>(
     let mut q = Query::new(pattern, matrix);
     q.config = QueryConfig {
         xi,
-        algorithm: algorithms[i % 4],
+        algorithm: pin.unwrap_or(algorithms[i % 4]),
         max_stretch: (i % 5 == 4).then_some(3),
         restarts: (i % 9 == 8).then_some(3),
         ..Default::default()
@@ -1399,7 +1406,7 @@ fn cmd_engine_live(args: &[String]) -> ExitCode {
             let mat = SimMatrix::from_fn(pattern.node_count(), n, |v, u| {
                 inst.pool.similarity(*pattern.label(v), *data.label(u))
             });
-            let q = mixed_query(pattern, mat, f.xi, i);
+            let q = mixed_query(pattern, mat, f.xi, f.algorithm, i);
             match service.query_traced("live", &q, trace_log.enabled()) {
                 Ok(r) => {
                     query_micros += r.micros;
