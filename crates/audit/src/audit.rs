@@ -1,0 +1,123 @@
+//! Snapshot auditing: load an engine prepared-graph snapshot and run
+//! the structural invariant validators over the restored index.
+//!
+//! Two tiers, matching the validators in `phom_graph`:
+//!
+//! * **cheap** — internal invariants of the index alone (shape, CSR
+//!   structure, composition closure / own-chain rule / 2-hop
+//!   self-certificates); always runs;
+//! * **deep** — the index against the graph it claims to describe
+//!   (fresh Tarjan partition comparison plus a sampled BFS ground-truth
+//!   sweep); opt-in, because it re-traverses the graph.
+
+use bytes::Bytes;
+use phom_engine::PreparedGraph;
+use std::fmt;
+
+/// Why an audit failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The snapshot bytes did not parse (truncated, bad magic, or a
+    /// payload the format-level checks already reject).
+    Parse(String),
+    /// The snapshot parsed, but the restored index violates a
+    /// structural invariant (the dangerous case: without validation it
+    /// would serve wrong reachability answers).
+    Invalid(String),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Parse(m) => write!(f, "snapshot does not parse: {m}"),
+            AuditError::Invalid(m) => write!(f, "restored index fails validation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// What a successful audit established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Reachability backend the snapshot carries
+    /// (`"dense"` / `"chain"` / `"twohop"`).
+    pub backend: String,
+    /// Data-graph node count.
+    pub nodes: usize,
+    /// Data-graph edge count.
+    pub edges: usize,
+    /// SCC count of the restored graph.
+    pub scc_count: usize,
+    /// Whether the deep (graph-checked) tier ran.
+    pub deep: bool,
+    /// BFS sample sources the deep tier used (0 when cheap-only).
+    pub samples: usize,
+}
+
+impl AuditReport {
+    /// One-paragraph human-readable summary.
+    pub fn render_text(&self) -> String {
+        let tier = if self.deep {
+            format!("cheap + deep ({} BFS samples)", self.samples)
+        } else {
+            "cheap".to_owned()
+        };
+        format!(
+            "snapshot OK: {} nodes, {} edges, {} SCCs, backend {}; tiers passed: {}\n",
+            self.nodes, self.edges, self.scc_count, self.backend, tier
+        )
+    }
+}
+
+/// Audits one engine snapshot: parse, run the cheap validator tier,
+/// and — when `deep` — the sampled graph-checked tier with `samples`
+/// BFS sources.
+pub fn audit_snapshot(bytes: Bytes, deep: bool, samples: usize) -> Result<AuditReport, AuditError> {
+    let prepared =
+        PreparedGraph::load_snapshot(bytes).map_err(|e| AuditError::Parse(e.to_string()))?;
+    prepared
+        .validate()
+        .map_err(|v| AuditError::Invalid(v.to_string()))?;
+    if deep {
+        prepared
+            .validate_deep(samples)
+            .map_err(|v| AuditError::Invalid(v.to_string()))?;
+    }
+    let stats = prepared.stats();
+    Ok(AuditReport {
+        backend: stats.closure_backend.clone(),
+        nodes: stats.nodes,
+        edges: stats.edges,
+        scc_count: stats.scc_count,
+        deep,
+        samples: if deep { samples } else { 0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::graph_from_labels;
+    use std::sync::Arc;
+
+    #[test]
+    fn valid_snapshots_pass_both_tiers() {
+        let g = Arc::new(graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
+        ));
+        let prepared = PreparedGraph::new(g);
+        let report = audit_snapshot(prepared.save_snapshot(), true, 8).expect("valid");
+        assert_eq!(report.nodes, 4);
+        assert_eq!(report.scc_count, 3);
+        assert!(report.deep);
+        assert!(report.render_text().contains("snapshot OK"));
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        let err = audit_snapshot(Bytes::from_static(b"not a snapshot"), false, 0).unwrap_err();
+        assert!(matches!(err, AuditError::Parse(_)), "{err}");
+    }
+}

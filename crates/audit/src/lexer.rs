@@ -1,0 +1,407 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! the project lint rules, with no crates.io dependencies (consistent
+//! with the workspace's offline-shims policy).
+//!
+//! The lexer's one job is to distinguish *code* from *non-code*: string
+//! literals, character literals, raw strings, and comments must never
+//! produce identifier tokens (a `"unwrap()"` inside a message string is
+//! not a call), and lifetimes must not be confused with unterminated
+//! char literals. Everything else is deliberately coarse — multi-char
+//! operators come out as single punctuation tokens, and numeric
+//! literals are not sub-classified — because the rules only pattern
+//! match short token sequences.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident` forms, with the
+    /// `r#` prefix stripped).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `#`, …). Multi-char
+    /// operators are emitted as consecutive single-char tokens.
+    Punct,
+    /// String, raw-string, byte-string, char, or numeric literal. The
+    /// text is not preserved verbatim (rules never need it).
+    Literal,
+    /// A lifetime (`'a`) — kept distinct so `'a` is never half a char
+    /// literal.
+    Lifetime,
+}
+
+/// One lexed token: kind, 1-based source line, and text (empty for
+/// [`TokKind::Literal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token text: the identifier itself, the single punctuation
+    /// character, or empty for literals.
+    pub text: String,
+}
+
+/// One comment, preserved for waiver parsing and doc detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for `//` forms).
+    pub end_line: u32,
+    /// Comment body without the `//` / `/*` markers.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source into tokens and comments. Unterminated constructs
+/// (a string running to end-of-file) are tolerated: the remainder is
+/// consumed as the open literal, which is the behavior that degrades
+/// most gracefully for a linter.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let doc = start < b.len() && (b[start] == b'/' || b[start] == b'!');
+                // `////…` dividers are plain comments, not docs.
+                let doc = doc && !(start + 1 < b.len() && b[start] == b'/' && b[start + 1] == b'/');
+                let mut j = i;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start.min(j)..j].to_owned(),
+                    doc,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let body_start = i + 2;
+                let doc = body_start < b.len() && (b[body_start] == b'*' || b[body_start] == b'!');
+                let mut depth = 1usize;
+                let mut j = body_start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = j.saturating_sub(2).max(body_start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[body_start..body_end].to_owned(),
+                    doc,
+                });
+                i = j;
+            }
+            b'"' => i = consume_string(b, i, &mut line),
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                i = consume_prefixed_string(b, i, &mut line)
+            }
+            b'\'' => {
+                if is_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        line,
+                        text: src[i + 1..j].to_owned(),
+                    });
+                    i = j;
+                } else {
+                    i = consume_char_literal(b, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        line,
+                        text: String::new(),
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    line,
+                    text: src[start..j].to_owned(),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // A fractional part: `1.5`, but not the range `1..5` or a
+                // method-ish `1.max(2)` (digits only after the dot).
+                if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line,
+                    text: String::new(),
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    line,
+                    text: (c as char).to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does position `i` (at `r` or `b`) start a raw/byte string
+/// (`r"`, `r#`, `b"`, `br"`, `br#`, `rb…` is not valid Rust)?
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Only treat as a string prefix when the r/b is not part of a longer
+    // identifier (e.g. `radius"x"` cannot occur, but `r2 = 1` must lex
+    // `r2` as an identifier).
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'r' {
+            j += 1;
+        }
+    } else {
+        // b[j] == b'r'
+        j += 1;
+        if j < b.len() && b[j] == b'#' {
+            // Either a raw string `r#"` / `r##"` or a raw identifier
+            // `r#ident`. Peek past the hashes.
+            let mut k = j;
+            while k < b.len() && b[k] == b'#' {
+                k += 1;
+            }
+            return k < b.len() && b[k] == b'"';
+        }
+    }
+    j < b.len() && (b[j] == b'"' || b[j] == b'#') && {
+        let mut k = j;
+        while k < b.len() && b[k] == b'#' {
+            k += 1;
+        }
+        k < b.len() && b[k] == b'"'
+    }
+}
+
+/// Consumes a plain `"…"` string starting at `i`; returns the index
+/// past the closing quote.
+fn consume_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a raw or byte string (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`)
+/// starting at `i`; returns the index past the closing delimiter.
+fn consume_prefixed_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    while j < b.len() {
+        match b[j] {
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && k < b.len() && b[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Is the `'` at `i` a lifetime (`'a`, `'static`) rather than a char
+/// literal (`'a'`, `'\n'`)? A lifetime is a letter/underscore run NOT
+/// followed by a closing quote.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= b.len() || !(b[j] == b'_' || b[j].is_ascii_alphabetic()) {
+        return false;
+    }
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+/// Consumes a char literal starting at the `'` at `i`; returns the
+/// index past the closing quote.
+fn consume_char_literal(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                // Malformed; don't swallow the rest of the file.
+                *line += 1;
+                return j + 1;
+            }
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_identifiers() {
+        let src = r##"
+            let a = "unwrap() inside a string";
+            // unwrap() inside a line comment
+            /* unwrap() inside /* a nested */ block comment */
+            let b = r#"raw "quoted" unwrap()"#;
+            let c = b"byte unwrap()";
+            call();
+        "##;
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c", "call"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        // The 'x' char literal did not swallow the closing brace.
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("}"));
+    }
+
+    #[test]
+    fn escaped_quote_chars_lex_cleanly() {
+        let src = r"let q = '\''; let n = '\n'; after();";
+        assert_eq!(idents(src), ["let", "q", "let", "n", "after"]);
+    }
+
+    #[test]
+    fn comments_record_lines_and_doc_flags() {
+        let src = "// plain\n/// doc\n//! inner doc\n//// divider\nfn f() {}\n";
+        let lexed = lex(src);
+        let flags: Vec<(u32, bool)> = lexed.comments.iter().map(|c| (c.line, c.doc)).collect();
+        assert_eq!(flags, [(1, false), (2, true), (3, true), (4, false)]);
+        assert_eq!(lexed.tokens[0].line, 5);
+    }
+
+    #[test]
+    fn raw_identifiers_and_numbers() {
+        let src = "let r#type = 1_000; let x = 2.5e3; let r2 = 0..10;";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.text == "type"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "r2"));
+        // `0..10` must stay a range (two dots), not a malformed float.
+        let dots = lexed.tokens.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let s = \"line\nline\nline\";\nfinal_ident();";
+        let lexed = lex(src);
+        let f = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "final_ident")
+            .expect("present");
+        assert_eq!(f.line, 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! The lint driver: walks the workspace sources, classifies each file,
+//! runs the [`crate::rules`] over it, and applies the committed
+//! baseline so the gate is ratchetable.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::lex;
+use crate::rules::{check_file, FileClass, Finding};
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by the baseline, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings that matched a baseline entry and were suppressed.
+    pub baselined: usize,
+}
+
+impl LintReport {
+    /// Renders the findings one-per-line for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding(s) in {} file(s) scanned ({} baselined)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.baselined
+        ));
+        out
+    }
+
+    /// Renders the findings as a JSON array (one object per finding).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints the whole workspace rooted at `root`: `src/` plus every
+/// `crates/<name>/src/` except `crates/shims` (vendored stand-ins are
+/// out of scope by policy).
+pub fn lint_workspace(root: &Path, baseline: Option<&Path>) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            if entry.file_name().is_some_and(|n| n == "shims") {
+                continue;
+            }
+            collect_rs(&entry.join("src"), &mut files)?;
+        }
+    }
+    lint_files(root, &files, baseline)
+}
+
+/// Lints an explicit set of files and/or directories (still applying
+/// the baseline, if any). Paths outside the workspace layout are
+/// treated as in scope for every rule.
+pub fn lint_paths(
+    root: &Path,
+    paths: &[PathBuf],
+    baseline: Option<&Path>,
+) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        if abs.is_dir() {
+            collect_rs(&abs, &mut files)?;
+        } else {
+            files.push(abs);
+        }
+    }
+    lint_files(root, &files, baseline)
+}
+
+fn lint_files(root: &Path, files: &[PathBuf], baseline: Option<&Path>) -> io::Result<LintReport> {
+    let baseline_keys: Vec<String> = match baseline {
+        Some(p) if p.is_file() => fs::read_to_string(p)?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut report = LintReport::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (crate_name, skip) = classify_crate(&rel);
+        if skip {
+            continue;
+        }
+        let src = fs::read_to_string(file)?;
+        report.files_scanned += 1;
+        let class = FileClass {
+            path: &rel,
+            crate_name: crate_name.as_deref(),
+            is_bin: rel.contains("/bin/"),
+        };
+        for f in check_file(class, &lex(&src)) {
+            if baseline_keys.iter().any(|k| *k == f.key()) {
+                report.baselined += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Maps a repo-relative path to its crate name. Returns `(None, true)`
+/// for files the lint skips entirely (the vendored shims).
+fn classify_crate(rel: &str) -> (Option<String>, bool) {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let name = rest.split('/').next().unwrap_or("");
+        if name == "shims" {
+            return (None, true);
+        }
+        return (Some(name.to_owned()), false);
+    }
+    if rel.starts_with("src/") {
+        // The facade crate.
+        return (Some("phom".to_owned()), false);
+    }
+    (None, false)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_workspace_layout() {
+        assert_eq!(
+            classify_crate("crates/graph/src/reach.rs"),
+            (Some("graph".to_owned()), false)
+        );
+        assert_eq!(classify_crate("crates/shims/rand/src/lib.rs"), (None, true));
+        assert_eq!(
+            classify_crate("src/bin/phom.rs"),
+            (Some("phom".to_owned()), false)
+        );
+        assert_eq!(classify_crate("tests/fixtures/x.rs"), (None, false));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

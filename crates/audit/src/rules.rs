@@ -1,0 +1,724 @@
+//! The project lint rules: short token-pattern matchers over
+//! [`crate::lexer::Lexed`] output, with `#[cfg(test)]`-region tracking
+//! and inline waivers.
+//!
+//! Each rule has a stable id (the waiver key and the baseline key):
+//!
+//! | id | enforces |
+//! |---|---|
+//! | `unwrap` | no `.unwrap()` / `.expect(…)` / `panic!` in library code |
+//! | `clock` | no raw `Instant::now` / `SystemTime::now` outside the clock seams |
+//! | `concrete-closure` | no concrete closure types in public matching signatures |
+//! | `journal-alloc` | journal events constructed only inside `emit(…)` closures |
+//! | `doc` | doc comments on public items in the API crates |
+//! | `waiver` | waivers themselves are well-formed and carry a reason |
+//!
+//! A finding on line `L` is suppressed by
+//! `// phom-lint: allow(<rule>, "<reason>")` on line `L` or `L-1`; the
+//! reason string is mandatory.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// All rule ids, in reporting order.
+pub const RULE_IDS: [&str; 6] = [
+    "unwrap",
+    "clock",
+    "concrete-closure",
+    "journal-alloc",
+    "doc",
+    "waiver",
+];
+
+/// Files that ARE the injected-time seams: the clock rule exempts them
+/// (everything else must route time through what they export).
+const CLOCK_SEAM_FILES: [&str; 2] = ["crates/trace/src/window.rs", "crates/core/src/budget.rs"];
+
+/// Crates whose whole purpose is wall-clock measurement (the benchmark
+/// harness): the clock rule does not apply inside them.
+const CLOCK_EXEMPT_CRATES: [&str; 1] = ["bench"];
+
+/// Crates whose public `fn` signatures must stay backend-agnostic
+/// (`&dyn ReachabilityIndex`, never a concrete closure type).
+const CONCRETE_CLOSURE_CRATES: [&str; 2] = ["core", "engine"];
+
+/// Crates where journal events must be built only inside the journal's
+/// closure-taking `emit` (the zero-alloc-when-disabled discipline).
+const JOURNAL_CRATES: [&str; 2] = ["service", "engine"];
+
+/// Crates whose public items the doc rule covers.
+const DOC_CRATES: [&str; 4] = ["graph", "core", "engine", "service"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (see [`RULE_IDS`]).
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// The stable baseline key for this finding (`rule path:line`).
+    pub fn key(&self) -> String {
+        format!("{} {}:{}", self.rule, self.path, self.line)
+    }
+}
+
+/// Everything the rules need to know about one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass<'a> {
+    /// Repo-relative path with forward slashes.
+    pub path: &'a str,
+    /// Crate the file belongs to (`"graph"`, `"service"`, …; `None`
+    /// for paths outside the workspace layout, which get every rule).
+    pub crate_name: Option<&'a str>,
+    /// Binary target (`src/bin/…`): exempt from the code-hygiene rules.
+    pub is_bin: bool,
+}
+
+/// A parsed inline waiver.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rule: String,
+    /// First line the waiver covers (the comment's own line).
+    line: u32,
+    /// Last line the waiver covers (line after the comment).
+    end_line: u32,
+    used: bool,
+}
+
+/// Runs every applicable rule over one lexed file and returns the
+/// unwaived findings.
+pub fn check_file(class: FileClass<'_>, lexed: &Lexed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (mut waivers, mut waiver_findings) = parse_waivers(class.path, &lexed.comments);
+    findings.append(&mut waiver_findings);
+    let test_ranges = test_regions(&lexed.tokens);
+    let in_test = |line: u32| test_ranges.iter().any(|&(s, e)| s <= line && line <= e);
+    let in_crate = |set: &[&str]| class.crate_name.is_none_or(|c| set.contains(&c));
+
+    if !class.is_bin {
+        rule_unwrap(&class, lexed, &in_test, &mut findings);
+        let seam = CLOCK_SEAM_FILES.contains(&class.path);
+        let bench = class
+            .crate_name
+            .is_some_and(|c| CLOCK_EXEMPT_CRATES.contains(&c));
+        if !seam && !bench {
+            rule_clock(&class, lexed, &in_test, &mut findings);
+        }
+        if in_crate(&CONCRETE_CLOSURE_CRATES[..]) {
+            rule_concrete_closure(&class, lexed, &in_test, &mut findings);
+        }
+        if in_crate(&JOURNAL_CRATES[..]) {
+            rule_journal_alloc(&class, lexed, &in_test, &mut findings);
+        }
+        if in_crate(&DOC_CRATES[..]) {
+            rule_doc(&class, lexed, &in_test, &mut findings);
+        }
+    }
+
+    // Apply waivers: a finding survives unless a same-rule waiver covers
+    // its line.
+    findings.retain(|f| {
+        if f.rule == "waiver" {
+            return true;
+        }
+        !waivers.iter_mut().any(|w| {
+            let hit = w.rule == f.rule && w.line <= f.line && f.line <= w.end_line;
+            if hit {
+                w.used = true;
+            }
+            hit
+        })
+    });
+    findings
+}
+
+/// `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+fn rule_unwrap(
+    class: &FileClass<'_>,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokKind::Ident || in_test(t[i].line) {
+            continue;
+        }
+        let name = t[i].text.as_str();
+        let flagged = match name {
+            "unwrap" | "expect" => {
+                i > 0 && t[i - 1].text == "." && t.get(i + 1).is_some_and(|n| n.text == "(")
+            }
+            "panic" => t.get(i + 1).is_some_and(|n| n.text == "!"),
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                rule: "unwrap",
+                path: class.path.to_owned(),
+                line: t[i].line,
+                message: format!(
+                    "`{name}` in library code; return a typed error, or waive with a \
+                     documented invariant"
+                ),
+            });
+        }
+    }
+}
+
+/// Raw `Instant::now` / `SystemTime::now` outside the clock seams.
+fn rule_clock(
+    class: &FileClass<'_>,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokKind::Ident || in_test(t[i].line) {
+            continue;
+        }
+        let name = t[i].text.as_str();
+        if (name == "Instant" || name == "SystemTime")
+            && matches!(t.get(i + 1), Some(a) if a.text == ":")
+            && matches!(t.get(i + 2), Some(b) if b.text == ":")
+            && matches!(t.get(i + 3), Some(c) if c.text == "now")
+        {
+            out.push(Finding {
+                rule: "clock",
+                path: class.path.to_owned(),
+                line: t[i].line,
+                message: format!(
+                    "raw `{name}::now` outside the Clock/MatchBudget seams; inject a \
+                     `phom_trace::Clock`, or waive with a reason"
+                ),
+            });
+        }
+    }
+}
+
+/// Concrete closure types (`TransitiveClosure` / `DenseClosure`) in
+/// `pub fn` signatures of the matching crates.
+fn rule_concrete_closure(
+    class: &FileClass<'_>,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let t = &lexed.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        let is_pub_fn = t[i].text == "pub"
+            && !in_test(t[i].line)
+            // `pub(crate)` / `pub(super)` are not public API.
+            && t.get(i + 1).is_some_and(|n| n.text == "fn");
+        if !is_pub_fn {
+            i += 1;
+            continue;
+        }
+        let fn_line = t[i].line;
+        // Scan the signature: everything up to the body `{` or a `;`.
+        let mut j = i + 2;
+        let mut offender: Option<&Token> = None;
+        while j < t.len() && t[j].text != "{" && t[j].text != ";" {
+            if t[j].kind == TokKind::Ident
+                && (t[j].text == "TransitiveClosure" || t[j].text == "DenseClosure")
+            {
+                offender.get_or_insert(&t[j]);
+            }
+            j += 1;
+        }
+        if let Some(o) = offender {
+            out.push(Finding {
+                rule: "concrete-closure",
+                path: class.path.to_owned(),
+                line: fn_line,
+                message: format!(
+                    "public fn signature names concrete `{}`; matching APIs take \
+                     `&dyn ReachabilityIndex`",
+                    o.text
+                ),
+            });
+        }
+        i = j;
+    }
+}
+
+/// `EventKind` constructed outside the journal's closure-taking
+/// `emit(…)` call (which is what keeps disabled journals zero-alloc).
+fn rule_journal_alloc(
+    class: &FileClass<'_>,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let t = &lexed.tokens;
+    // Stack of callee names, one per open paren.
+    let mut callees: Vec<String> = Vec::new();
+    let mut in_use = false;
+    for i in 0..t.len() {
+        match t[i].text.as_str() {
+            "use" if t[i].kind == TokKind::Ident => in_use = true,
+            ";" => in_use = false,
+            "(" => {
+                let callee = if i > 0 && t[i - 1].kind == TokKind::Ident {
+                    t[i - 1].text.clone()
+                } else {
+                    String::new()
+                };
+                callees.push(callee);
+            }
+            ")" => {
+                callees.pop();
+            }
+            "EventKind"
+                if t[i].kind == TokKind::Ident
+                    && !in_use
+                    && !in_test(t[i].line)
+                    && !callees.iter().any(|c| c == "emit") =>
+            {
+                out.push(Finding {
+                    rule: "journal-alloc",
+                    path: class.path.to_owned(),
+                    line: t[i].line,
+                    message: "journal event constructed outside `emit(…)`; use the \
+                              closure-taking form so disabled journals allocate nothing"
+                        .to_owned(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Item keywords the doc rule requires documentation on. `use`
+/// re-exports and `impl` blocks are exempt (matching `missing_docs`).
+const DOC_ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+];
+
+/// Missing doc comments on `pub` items (and `pub` fields) in the API
+/// crates. Rustdoc's `missing_docs` (denied in CI) stays authoritative;
+/// this rule makes the same discipline visible in `phom lint` output.
+fn rule_doc(
+    class: &FileClass<'_>,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokKind::Ident || t[i].text != "pub" || in_test(t[i].line) {
+            continue;
+        }
+        let Some(next) = t.get(i + 1) else { continue };
+        // `pub(crate)` / `pub(super)`: restricted visibility, exempt.
+        if next.text == "(" {
+            continue;
+        }
+        // `pub use` re-exports need no docs.
+        if next.text == "use" || next.text == "impl" {
+            continue;
+        }
+        let what = if DOC_ITEM_KEYWORDS.contains(&next.text.as_str()) {
+            next.text.as_str()
+        } else if next.kind == TokKind::Ident && t.get(i + 2).is_some_and(|c| c.text == ":") {
+            "field"
+        } else {
+            continue;
+        };
+        // `pub mod name;` — the docs live as `//!` inner comments in the
+        // module's own file, which a single-file token scan cannot see.
+        // Rustdoc's `missing_docs` still enforces them; skip here.
+        if what == "mod" && t.get(i + 3).is_some_and(|s| s.text == ";") {
+            continue;
+        }
+        // Walk backwards over any attribute groups (`#[…]`) to the
+        // item's anchor, then look for an adjacent doc comment.
+        let mut a = i;
+        let mut documented = false;
+        while a >= 2 && t[a - 1].text == "]" {
+            // Find the matching `[`.
+            let mut depth = 1usize;
+            let mut k = a - 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                match t[k].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => depth -= 1,
+                    _ => {}
+                }
+            }
+            if k == 0 || t[k - 1].text != "#" {
+                break;
+            }
+            // `#[doc = "…"]` counts as documentation.
+            if t[k..a - 1].iter().any(|x| x.text == "doc") {
+                documented = true;
+            }
+            a = k - 1;
+        }
+        let anchor_line = t[a].line;
+        // An adjacent doc comment counts only when the item starts its
+        // line — in `pub struct S { pub f: u32 }` the struct's doc
+        // comment must not satisfy the *field's* adjacency check. Plain
+        // comments (e.g. lint waivers) between the docs and the item are
+        // skipped over.
+        let first_on_line = a == 0 || t[a - 1].line != anchor_line;
+        if first_on_line && !documented {
+            let mut want = anchor_line;
+            loop {
+                if lexed
+                    .comments
+                    .iter()
+                    .any(|c| c.doc && c.end_line + 1 == want)
+                {
+                    documented = true;
+                    break;
+                }
+                let Some(plain) = lexed
+                    .comments
+                    .iter()
+                    .find(|c| !c.doc && c.end_line + 1 == want)
+                else {
+                    break;
+                };
+                want = plain.line;
+            }
+        }
+        if !documented {
+            out.push(Finding {
+                rule: "doc",
+                path: class.path.to_owned(),
+                line: t[i].line,
+                message: format!("public {what} without a doc comment"),
+            });
+        }
+    }
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+fn test_regions(t: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < t.len() {
+        let is_cfg_test = t[i].text == "#"
+            && t[i + 1].text == "["
+            && t[i + 2].text == "cfg"
+            && t[i + 3].text == "("
+            && {
+                // Accept `test` anywhere inside the cfg predicate
+                // (`cfg(test)`, `cfg(all(test, feature = "x"))`, …).
+                let mut j = i + 4;
+                let mut depth = 1usize;
+                let mut seen = false;
+                while j < t.len() && depth > 0 {
+                    match t[j].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => depth -= 1,
+                        "test" => seen = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                seen
+            };
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = t[i].line;
+        // Skip to the end of this attribute, then to the item's body.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        while j + 1 < t.len() && depth > 0 {
+            j += 1;
+            match t[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+        }
+        // The item ends at `;` (e.g. `#[cfg(test)] use …;`) or at the
+        // close of its first brace block.
+        let mut end_line = start_line;
+        let mut k = j + 1;
+        let mut braces = 0usize;
+        while k < t.len() {
+            match t[k].text.as_str() {
+                ";" if braces == 0 => {
+                    end_line = t[k].line;
+                    break;
+                }
+                "{" => braces += 1,
+                "}" => {
+                    braces = braces.saturating_sub(1);
+                    if braces == 0 {
+                        end_line = t[k].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= t.len() {
+            end_line = t.last().map_or(start_line, |x| x.line);
+        }
+        ranges.push((start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+/// Parses `phom-lint: allow(rule, "reason")` waivers out of the
+/// comments. Malformed waivers (bad syntax, unknown rule, or a missing
+/// / empty reason) become `waiver` findings so they can't silently
+/// suppress anything.
+fn parse_waivers(path: &str, comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Waivers are plain `//` comments; doc comments merely *describe*
+        // the syntax (as this crate's own docs do) and never waive.
+        if c.doc {
+            continue;
+        }
+        let Some(at) = c.text.find("phom-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "phom-lint:".len()..].trim_start();
+        let mut fail = |msg: String| {
+            findings.push(Finding {
+                rule: "waiver",
+                path: path.to_owned(),
+                line: c.line,
+                message: msg,
+            });
+        };
+        let Some(args) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+            .and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        else {
+            fail("malformed waiver; expected `phom-lint: allow(<rule>, \"<reason>\")`".to_owned());
+            continue;
+        };
+        let Some((rule, reason)) = args.split_once(',') else {
+            fail("waiver missing a reason string".to_owned());
+            continue;
+        };
+        let rule = rule.trim();
+        let reason = reason.trim();
+        if !RULE_IDS.contains(&rule) {
+            fail(format!("waiver names unknown rule `{rule}`"));
+            continue;
+        }
+        let unquoted = reason
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .unwrap_or("");
+        if unquoted.trim().is_empty() {
+            fail(format!(
+                "waiver for `{rule}` needs a non-empty quoted reason"
+            ));
+            continue;
+        }
+        waivers.push(Waiver {
+            rule: rule.to_owned(),
+            line: c.line,
+            end_line: c.end_line + 1,
+            used: false,
+        });
+    }
+    (waivers, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint(path: &str, crate_name: Option<&str>, src: &str) -> Vec<Finding> {
+        check_file(
+            FileClass {
+                path,
+                crate_name,
+                is_bin: false,
+            },
+            &lex(src),
+        )
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_rule_flags_only_real_calls() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();             // flagged
+                let b = x.expect("reason");     // flagged
+                let c = x.unwrap_or(0);         // distinct method, fine
+                let d = x.unwrap_or_else(|| 0); // fine
+                if a + b + c + d > 4 { panic!("boom") } // flagged
+                let s = "call .unwrap() later"; // string, fine
+                s.len() as u32
+            }
+        "#;
+        let f = lint("crates/core/src/x.rs", Some("core"), src);
+        assert_eq!(
+            rules_of(&f).iter().filter(|r| **r == "unwrap").count(),
+            3,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn unwrap_rule_skips_cfg_test_modules_and_bins() {
+        let src = r#"
+            fn lib() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        assert!(lint("crates/core/src/x.rs", Some("core"), src).is_empty());
+        let bin = check_file(
+            FileClass {
+                path: "src/bin/phom.rs",
+                crate_name: Some("phom"),
+                is_bin: true,
+            },
+            &lex("fn main() { Some(1).unwrap(); }"),
+        );
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_without_reason_fails() {
+        let ok = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // phom-lint: allow(unwrap, "invariant: caller checked is_some")
+                x.unwrap()
+            }
+        "#;
+        assert!(lint("crates/core/src/x.rs", Some("core"), ok).is_empty());
+        let same_line = r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap() // phom-lint: allow(unwrap, "checked above")
+            }
+        "#;
+        assert!(lint("crates/core/src/x.rs", Some("core"), same_line).is_empty());
+        let no_reason = r#"
+            fn f(x: Option<u32>) -> u32 {
+                // phom-lint: allow(unwrap)
+                x.unwrap()
+            }
+        "#;
+        let f = lint("crates/core/src/x.rs", Some("core"), no_reason);
+        assert_eq!(rules_of(&f), ["waiver", "unwrap"], "{f:?}");
+        let unknown = r#"
+            // phom-lint: allow(made-up-rule, "reason")
+            fn f() {}
+        "#;
+        let f = lint("crates/core/src/x.rs", Some("core"), unknown);
+        assert_eq!(rules_of(&f), ["waiver"]);
+    }
+
+    #[test]
+    fn clock_rule_respects_seams_and_scope() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_of(&lint("crates/engine/src/x.rs", Some("engine"), src)),
+            ["clock"]
+        );
+        // The seam files and the bench harness are exempt.
+        assert!(lint("crates/trace/src/window.rs", Some("trace"), src).is_empty());
+        assert!(lint("crates/core/src/budget.rs", Some("core"), src).is_empty());
+        assert!(lint("crates/bench/src/exp.rs", Some("bench"), src).is_empty());
+        let sys = "fn f() { let t = std::time::SystemTime::now(); }";
+        assert_eq!(
+            rules_of(&lint("crates/service/src/x.rs", Some("service"), sys)),
+            ["clock"]
+        );
+    }
+
+    #[test]
+    fn concrete_closure_rule_checks_public_signatures_only() {
+        let bad = "/// D.\npub fn match_it(c: &TransitiveClosure) {}";
+        assert_eq!(
+            rules_of(&lint("crates/core/src/x.rs", Some("core"), bad)),
+            ["concrete-closure"]
+        );
+        let dyn_ok = "/// D.\npub fn match_it(c: &dyn ReachabilityIndex) {}";
+        assert!(lint("crates/core/src/x.rs", Some("core"), dyn_ok).is_empty());
+        let body_ok = "/// D.\npub fn build() { let c = TransitiveClosure::new(&g); }";
+        assert!(lint("crates/core/src/x.rs", Some("core"), body_ok).is_empty());
+        let private_ok = "fn helper(c: &TransitiveClosure) {}";
+        assert!(lint("crates/core/src/x.rs", Some("core"), private_ok).is_empty());
+        // Out-of-scope crate: the graph crate defines the type.
+        assert!(lint("crates/graph/src/x.rs", Some("graph"), bad).is_empty());
+    }
+
+    #[test]
+    fn journal_rule_requires_emit_enclosure() {
+        let ok = r#"
+            fn f(j: &EventJournal) {
+                j.emit(Severity::Info, || EventKind::GraphEvicted { graph: g() });
+            }
+        "#;
+        assert!(lint("crates/service/src/x.rs", Some("service"), ok).is_empty());
+        let bad = r#"
+            fn f(j: &EventJournal) {
+                let e = EventKind::GraphEvicted { graph: g() };
+                j.push(e);
+            }
+        "#;
+        assert_eq!(
+            rules_of(&lint("crates/service/src/x.rs", Some("service"), bad)),
+            ["journal-alloc"]
+        );
+        let import_ok = "use phom_trace::{EventKind, Severity};";
+        assert!(lint("crates/service/src/x.rs", Some("service"), import_ok).is_empty());
+    }
+
+    #[test]
+    fn doc_rule_wants_docs_on_public_items() {
+        let bad = "pub fn undocumented() {}";
+        assert_eq!(
+            rules_of(&lint("crates/graph/src/x.rs", Some("graph"), bad)),
+            ["doc"]
+        );
+        let ok = "/// Documented.\npub fn documented() {}";
+        assert!(lint("crates/graph/src/x.rs", Some("graph"), ok).is_empty());
+        let attr_ok = "/// Documented.\n#[derive(Debug, Clone)]\npub struct S { \n    /// Field.\n    pub f: u32,\n}";
+        assert!(lint("crates/graph/src/x.rs", Some("graph"), attr_ok).is_empty());
+        let field_bad = "/// S.\npub struct S { pub f: u32 }";
+        assert_eq!(
+            rules_of(&lint("crates/graph/src/x.rs", Some("graph"), field_bad)),
+            ["doc"]
+        );
+        let crate_vis = "pub(crate) fn internal() {}";
+        assert!(lint("crates/graph/src/x.rs", Some("graph"), crate_vis).is_empty());
+        // Out-of-scope crate.
+        assert!(lint("crates/sim/src/x.rs", Some("sim"), bad).is_empty());
+    }
+
+    #[test]
+    fn fixture_paths_get_every_rule() {
+        let src = "fn f() { Some(1).unwrap(); let t = Instant::now(); }";
+        let f = lint("tests/fixtures/lint_negative.rs", None, src);
+        assert!(rules_of(&f).contains(&"unwrap"));
+        assert!(rules_of(&f).contains(&"clock"));
+    }
+}

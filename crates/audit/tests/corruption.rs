@@ -1,0 +1,207 @@
+//! Corruption-injection tests for the snapshot audit surface.
+//!
+//! Each case flips one byte of a serialized [`PreparedGraph`] snapshot's
+//! *index region* (everything after the embedded graph bytes) and
+//! demands the mutation is **caught** — rejected by snapshot parsing,
+//! `validate()`, or `validate_against()` — or provably **neutral**
+//! (the loaded index still answers the exact same `reaches` relation,
+//! e.g. a flipped padding bit that `BitSet::from_words` clears). A
+//! mutation that survives all tiers *and* changes an answer is a
+//! harmful miss: the audit pipeline let corrupt data through.
+//!
+//! Aggregate bar (per backend, 256 deterministic cases): zero harmful
+//! misses, and ≥ 95% of mutations caught outright. A separate test
+//! checks zero false positives: pristine snapshots across seeds and
+//! backends pass both audit tiers.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use phom_audit::audit_snapshot;
+use phom_engine::{ClosureBackend, PreparedGraph, DEFAULT_CHAIN_NODE_THRESHOLD};
+use phom_graph::{DiGraph, NodeId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+const CASES: usize = 256;
+const DEEP_SAMPLES: usize = 16;
+
+/// A random digraph with enough cycles to exercise nontrivial SCCs,
+/// chains, and 2-hop certificates.
+fn random_graph(n: usize, seed: u64) -> DiGraph<String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(format!("L{}", i % 7));
+    }
+    let edges = n * 3;
+    for _ in 0..edges {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    // A few short back-edges to force multi-node SCCs.
+    for i in (0..n.saturating_sub(4)).step_by(9) {
+        g.add_edge(NodeId((i + 3) as u32), NodeId(i as u32));
+        g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32));
+        g.add_edge(NodeId((i + 1) as u32), NodeId((i + 3) as u32));
+    }
+    g
+}
+
+fn snapshot_for(backend: ClosureBackend, n: usize, seed: u64) -> (PreparedGraph<String>, Vec<u8>) {
+    let g = Arc::new(random_graph(n, seed));
+    let prepared = PreparedGraph::with_backend(g, backend, DEFAULT_CHAIN_NODE_THRESHOLD);
+    let bytes = prepared.save_snapshot().to_vec();
+    (prepared, bytes)
+}
+
+/// First byte of the index region: magic(4) + version(1) + tag(1) +
+/// graph_len(4) + graph bytes. Mutations before this offset corrupt the
+/// embedded *graph*, which is out of scope for the index validators.
+fn index_region_start(snapshot: &[u8]) -> usize {
+    let graph_len = u32::from_be_bytes([snapshot[6], snapshot[7], snapshot[8], snapshot[9]]);
+    10 + graph_len as usize
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Some audit tier rejected the mutated snapshot.
+    Caught,
+    /// All tiers passed and the index answers are bit-identical.
+    Neutral,
+    /// All tiers passed but an answer changed — the bad case.
+    HarmfulMiss,
+}
+
+fn classify(original: &PreparedGraph<String>, mutated: Vec<u8>) -> Outcome {
+    let loaded = match PreparedGraph::load_snapshot(Bytes::from(mutated)) {
+        Ok(p) => p,
+        Err(_) => return Outcome::Caught,
+    };
+    // Deep tier at full sampling: every node is a BFS source, so the
+    // audit pipeline is judged at its maximum-assurance setting.
+    let full = original.graph().node_count();
+    if loaded.validate().is_err() || loaded.validate_deep(full).is_err() {
+        return Outcome::Caught;
+    }
+    let n = original.graph().node_count();
+    let a = original.backend().as_dyn();
+    let b = loaded.backend().as_dyn();
+    for u in 0..n {
+        for v in 0..n {
+            let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+            if a.reaches(u, v) != b.reaches(u, v) {
+                return Outcome::HarmfulMiss;
+            }
+        }
+    }
+    Outcome::Neutral
+}
+
+/// 256 single-byte index-region mutations per backend: every one is
+/// caught or neutral, and at least 95% are caught outright.
+fn corruption_sweep(backend: ClosureBackend, seed: u64) {
+    let (original, snapshot) = snapshot_for(backend, 72, seed);
+    let start = index_region_start(&snapshot);
+    assert!(start < snapshot.len(), "snapshot has an index region");
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_c0de);
+    let mut caught = 0usize;
+    let mut neutral = Vec::new();
+    let mut harmful = Vec::new();
+    for _ in 0..CASES {
+        let off = rng.random_range(start..snapshot.len());
+        let xor = rng.random_range(1..=255u8);
+        let mut mutated = snapshot.clone();
+        mutated[off] ^= xor;
+        match classify(&original, mutated) {
+            Outcome::Caught => caught += 1,
+            Outcome::Neutral => neutral.push((off, xor)),
+            Outcome::HarmfulMiss => harmful.push((off, xor)),
+        }
+    }
+
+    assert!(
+        harmful.is_empty(),
+        "{backend:?}: {} mutation(s) passed every audit tier but changed answers: {harmful:?}",
+        harmful.len()
+    );
+    assert!(
+        caught * 100 >= CASES * 95,
+        "{backend:?}: only {caught}/{CASES} mutations caught (neutral: {neutral:?})"
+    );
+}
+
+#[test]
+fn dense_snapshot_mutations_are_caught() {
+    corruption_sweep(ClosureBackend::Dense, 11);
+}
+
+#[test]
+fn chain_snapshot_mutations_are_caught() {
+    corruption_sweep(ClosureBackend::Chain, 12);
+}
+
+#[test]
+fn twohop_snapshot_mutations_are_caught() {
+    corruption_sweep(ClosureBackend::TwoHop, 13);
+}
+
+/// Zero false positives: pristine snapshots pass both audit tiers for
+/// every backend across a spread of graph seeds and sizes.
+#[test]
+fn pristine_snapshots_always_pass() {
+    for backend in [
+        ClosureBackend::Dense,
+        ClosureBackend::Chain,
+        ClosureBackend::TwoHop,
+    ] {
+        for (seed, n) in [(1u64, 8usize), (2, 40), (3, 72), (4, 110)] {
+            let (_, snapshot) = snapshot_for(backend, n, seed);
+            let report =
+                audit_snapshot(Bytes::from(snapshot), true, DEEP_SAMPLES).unwrap_or_else(|e| {
+                    panic!("{backend:?} seed {seed}: pristine snapshot rejected: {e}")
+                });
+            assert_eq!(report.nodes, n);
+            assert!(report.deep);
+        }
+    }
+}
+
+mod proptest_harness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Property form of the sweep: an arbitrary single-byte
+        /// index-region mutation is never a harmful miss, for whichever
+        /// backend the offset seed picks.
+        #[test]
+        fn single_byte_mutations_never_slip_through(
+            seed in 0u64..1u64 << 16,
+            which in 0usize..3,
+            offset_sel in any::<u32>(),
+            xor in 1..=255u8,
+        ) {
+            let backend = [
+                ClosureBackend::Dense,
+                ClosureBackend::Chain,
+                ClosureBackend::TwoHop,
+            ][which];
+            let (original, snapshot) = snapshot_for(backend, 48, seed);
+            let start = index_region_start(&snapshot);
+            let span = snapshot.len() - start;
+            let off = start + (offset_sel as usize % span);
+            let mut mutated = snapshot;
+            mutated[off] ^= xor;
+            prop_assert!(
+                classify(&original, mutated) != Outcome::HarmfulMiss,
+                "{backend:?} seed {seed}: mutation at {off} (xor {xor:#x}) changed answers undetected"
+            );
+        }
+    }
+}

@@ -179,6 +179,7 @@ pub fn graph_edit_distance<L>(
 ) -> EditResult {
     let n1 = g1.node_count();
     let n2 = g2.node_count();
+    // phom-lint: allow(clock, "monotonic deadline for the A* time budget; no wall-clock semantics")
     let deadline = Instant::now() + budget;
     let worst = n1 + n2 + g1.edge_count() + g2.edge_count();
 
@@ -193,6 +194,7 @@ pub fn graph_edit_distance<L>(
         if f >= upper {
             break; // everything left is no better than the incumbent
         }
+        // phom-lint: allow(clock, "monotonic deadline check for the A* time budget; no wall-clock semantics")
         if Instant::now() >= deadline {
             timed_out = true;
             break;

@@ -131,7 +131,7 @@ pub fn extract_matching(scores: &SimMatrix, threshold: f64) -> Vec<(NodeId, Node
             ranked.push((v, u, scores.score(v, u)));
         }
     }
-    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
     let mut used_v = vec![false; scores.n1()];
     let mut used_u = vec![false; scores.n2()];
     let mut out = Vec::new();

@@ -35,6 +35,7 @@ pub fn maximum_common_subgraph<L>(
     budget: Duration,
 ) -> McsResult {
     let n1 = g1.node_count();
+    // phom-lint: allow(clock, "monotonic deadline for the branch-and-bound time budget; no wall-clock semantics")
     let deadline = Instant::now() + budget;
     let cands: Vec<Vec<NodeId>> = g1
         .nodes()
@@ -69,6 +70,7 @@ pub fn maximum_common_subgraph<L>(
     }
 
     fn go<L>(s: &mut State<'_, L>, v_idx: usize, assign: &mut Vec<Option<NodeId>>, size: usize) {
+        // phom-lint: allow(clock, "monotonic deadline check for the branch-and-bound time budget; no wall-clock semantics")
         if s.timed_out || Instant::now() >= s.deadline {
             s.timed_out = true;
             return;

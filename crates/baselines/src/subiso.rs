@@ -109,6 +109,7 @@ pub fn subgraph_isomorphism<L>(
             assign
                 .iter()
                 .enumerate()
+                // phom-lint: allow(unwrap, "backtrack returning true means every pattern node received an assignment")
                 .map(|(v, u)| (NodeId(v as u32), u.expect("full embedding")))
                 .collect(),
         )

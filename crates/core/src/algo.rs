@@ -145,10 +145,10 @@ fn select_pivot(ctx: &Ctx<'_>, h: &MatchList) -> Option<(usize, NodeId)> {
         .max_by(|&&a, &&b| {
             ctx.mat
                 .score(e.v, a)
-                .partial_cmp(&ctx.mat.score(e.v, b))
-                .expect("similarities are finite")
+                .total_cmp(&ctx.mat.score(e.v, b))
                 .then(b.cmp(&a))
         })
+        // phom-lint: allow(unwrap, "the selection loop skips entries with empty good sets, so the picked entry has a candidate")
         .expect("good is nonempty");
     Some((i, u))
 }
@@ -260,7 +260,9 @@ fn greedy_match(ctx: &Ctx<'_>, h: MatchList) -> (Pairs, Pairs) {
                 work.push(State::Enter(h_minus));
             }
             State::Combine { v, u } => {
+                // phom-lint: allow(unwrap, "explicit-stack recursion: Combine is pushed under the H+ and H- Enter states, each of which pushes one result first")
                 let (sigma2, i2) = results.pop().expect("H- result");
+                // phom-lint: allow(unwrap, "explicit-stack recursion: Combine is pushed under the H+ and H- Enter states, each of which pushes one result first")
                 let (mut sigma1, i1) = results.pop().expect("H+ result");
 
                 // Line 12: σ := max(σ1 ∪ {(v,u)}, σ2).
@@ -283,6 +285,7 @@ fn greedy_match(ctx: &Ctx<'_>, h: MatchList) -> (Pairs, Pairs) {
         }
     }
 
+    // phom-lint: allow(unwrap, "the work loop leaves exactly the root's result on the stack")
     let out = results.pop().expect("root result");
     debug_assert!(results.is_empty());
     out

@@ -38,6 +38,7 @@ pub enum Stretch {
 
 impl Stretch {
     /// Builds the reachability index realizing this stretch policy.
+    // phom-lint: allow(concrete-closure, "constructor for the bounded-closure policy: bounded closures are deliberately concrete (not composition-closed, excluded from the ReachabilityIndex seam)")
     pub fn closure_of<L>(self, g: &DiGraph<L>) -> TransitiveClosure {
         match self {
             Stretch::Unbounded => TransitiveClosure::new(g),
@@ -179,6 +180,7 @@ pub fn minimal_stretch<L>(
         for &v2 in g1.post(v) {
             let Some(u2) = mapping.get(v2) else { continue };
             let d =
+                // phom-lint: allow(unwrap, "verify_phom succeeded above, so every mapped edge has a nonempty witness path")
                 shortest_nonempty_distance(g2, u, u2).expect("verified mapping has witness paths");
             k = k.max(d);
         }

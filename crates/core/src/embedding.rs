@@ -73,7 +73,11 @@ fn has_perfect_matching(cands: &[Vec<usize>], right_size: usize) -> bool {
                 continue;
             }
             visited[r] = true;
-            if owner[r].is_none() || augment(owner[r].expect("checked"), cands, owner, visited) {
+            let free = match owner[r] {
+                None => true,
+                Some(o) => augment(o, cands, owner, visited),
+            };
+            if free {
                 owner[r] = Some(left);
                 return true;
             }
@@ -107,6 +111,7 @@ pub fn check_schema_embedding<L>(
             v: g1
                 .nodes()
                 .find(|&v| mapping.get(v).is_none())
+                // phom-lint: allow(unwrap, "mapping.len() < g1.node_count() on this path, so an unmapped node exists")
                 .expect("some node unmapped"),
         });
     }
@@ -116,13 +121,16 @@ pub fn check_schema_embedding<L>(
         if children.len() < 2 {
             continue; // single out-edge cannot collide
         }
+        // phom-lint: allow(unwrap, "totality was established above (mapping.len() == g1.node_count())")
         let sigma_v = mapping.get(v).expect("total");
         // Right side: successors of σ(v), indexed densely.
         let succ: Vec<NodeId> = g2.post(sigma_v).to_vec();
+        // phom-lint: allow(unwrap, "first_hops only yields direct successors of sigma_v, all of which are in succ")
         let index_of = |w: NodeId| succ.iter().position(|&x| x == w).expect("is successor");
         let cands: Vec<Vec<usize>> = children
             .iter()
             .map(|&c| {
+                // phom-lint: allow(unwrap, "totality was established above (mapping.len() == g1.node_count())")
                 first_hops(g2, &closure, sigma_v, mapping.get(c).expect("total"))
                     .into_iter()
                     .map(index_of)

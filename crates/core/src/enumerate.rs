@@ -115,6 +115,7 @@ pub fn enumerate_phom_mappings_with<L>(
                 assign
                     .iter()
                     .enumerate()
+                    // phom-lint: allow(unwrap, "depth == order.len() means every pattern node received an assignment")
                     .map(|(i, u)| (NodeId(i as u32), u.expect("total assignment"))),
             ));
             return;

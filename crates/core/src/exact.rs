@@ -155,6 +155,7 @@ pub fn decide_phom_with<L>(
             assign
                 .iter()
                 .enumerate()
+                // phom-lint: allow(unwrap, "backtrack returning true means every pattern node received an assignment")
                 .map(|(v, u)| (NodeId(v as u32), u.expect("full assignment"))),
         ))
     } else {

@@ -380,6 +380,7 @@ fn match_graphs_inner<L: Clone + Sync>(
     let data = data.unwrap_or_else(|| {
         let closure: ReachView<'_> = match (cfg.max_stretch, &prep) {
             (Some(k), Some(p)) if p.bounded.is_some_and(|(pk, _)| pk == k) => {
+                // phom-lint: allow(unwrap, "the match guard established p.bounded is Some with the matching stretch")
                 ReachView::Borrowed(p.bounded.expect("checked above").1)
             }
             (Some(k), _) => ReachView::Owned(TransitiveClosure::bounded(g2, k)),
@@ -530,8 +531,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                         let best = support.iter().copied().max_by(|&a, &b| {
                             data.mat
                                 .score(v_old, a)
-                                .partial_cmp(&data.mat.score(v_old, b))
-                                .expect("finite")
+                                .total_cmp(&data.mat.score(v_old, b))
                                 .then(b.cmp(&a))
                         });
                         return Spec::Singleton(v_old, best, support);
@@ -573,6 +573,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                     .into_inner()
                     .unwrap_or_else(|e| e.into_inner())
                     .into_iter()
+                    // phom-lint: allow(unwrap, "the scope joins all workers and the claim loop covers every index, so each slot was filled")
                     .map(|r| r.expect("every component index was claimed"))
                     .collect();
                 stats.parallel_components =
@@ -600,8 +601,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                                         .max_by(|&a, &b| {
                                             data.mat
                                                 .score(v_old, a)
-                                                .partial_cmp(&data.mat.score(v_old, b))
-                                                .expect("finite")
+                                                .total_cmp(&data.mat.score(v_old, b))
                                                 .then(b.cmp(&a))
                                         })
                                 } else {
@@ -667,8 +667,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                                 .max_by(|&a, &b| {
                                     data.mat
                                         .score(v_old, a)
-                                        .partial_cmp(&data.mat.score(v_old, b))
-                                        .expect("finite")
+                                        .total_cmp(&data.mat.score(v_old, b))
                                         .then(b.cmp(&a))
                                 });
                             if let Some(u) = best {
@@ -732,8 +731,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                         .max_by(|&a, &b| {
                             data.mat
                                 .score(v_old, a)
-                                .partial_cmp(&data.mat.score(v_old, b))
-                                .expect("finite")
+                                .total_cmp(&data.mat.score(v_old, b))
                                 .then(b.cmp(&a))
                         });
                     return Solved::Singleton(best.map(|u| (v_old, u)));
@@ -774,6 +772,7 @@ fn match_graphs_inner<L: Clone + Sync>(
                     .into_inner()
                     .unwrap_or_else(|e| e.into_inner())
                     .into_iter()
+                    // phom-lint: allow(unwrap, "the scope joins all workers and the claim loop covers every index, so each slot was filled")
                     .map(|r| r.expect("every component index was claimed"))
                     .collect();
                 stats.parallel_components = solved
@@ -889,7 +888,7 @@ fn greedy_extend<L>(
             candidates.push((v, u, mat.score(v, u)));
         }
     }
-    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     let mut added = 0;
     for (v, u, _) in candidates {

@@ -105,12 +105,14 @@ impl PhomSatInstance {
             .iter()
             .enumerate()
             .map(|(i, &xv)| {
+                // phom-lint: allow(unwrap, "decoder contract: the mapping is a valid solution of the reduction instance (Theorem 4.1 proof direction)")
                 let img = mapping.get(xv).expect("variable node mapped");
                 if img == self.xt_nodes[i] {
                     true
                 } else if img == self.xf_nodes[i] {
                     false
                 } else {
+                    // phom-lint: allow(unwrap, "decoder contract: a valid solution maps variable gadgets onto assignment nodes only")
                     panic!("variable {i} mapped to a non-assignment node {img:?}")
                 }
             })
@@ -282,10 +284,12 @@ impl OneOnePhomX3cInstance {
         self.slot_nodes
             .iter()
             .map(|&slot| {
+                // phom-lint: allow(unwrap, "decoder contract: the mapping is a valid solution of the reduction instance (Theorem 4.1 proof direction)")
                 let img = mapping.get(slot).expect("slot mapped");
                 self.set_nodes
                     .iter()
                     .position(|&s| s == img)
+                    // phom-lint: allow(unwrap, "decoder contract: a valid solution maps slot gadgets onto subset nodes only")
                     .expect("slot mapped to a subset node")
             })
             .collect()

@@ -147,6 +147,7 @@ fn best_of<L: Sync>(
             budget: rcfg.budget,
             ..*cfg
         };
+        // phom-lint: allow(clock, "monotonic elapsed-time telemetry per restart; no wall-clock semantics")
         let started = std::time::Instant::now();
         let mapping = if i == 0 {
             match weights {
@@ -194,6 +195,7 @@ fn best_of<L: Sync>(
                 }
             });
             out.into_iter()
+                // phom-lint: allow(unwrap, "the scope joined all workers and the chunks partition out, so every slot was filled")
                 .map(|m| m.expect("all restarts ran"))
                 .collect()
         };
@@ -213,6 +215,7 @@ fn best_of<L: Sync>(
                 best
             }
         })
+        // phom-lint: allow(unwrap, "restarts >= 1 is asserted on entry, so candidates is nonempty")
         .expect("restarts >= 1");
     (best, telemetry)
 }

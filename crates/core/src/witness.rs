@@ -68,6 +68,7 @@ pub struct StretchStats {
 /// validate with `verify_phom` first.
 pub fn stretch_stats<L>(g1: &DiGraph<L>, g2: &DiGraph<L>, mapping: &PHomMapping) -> StretchStats {
     let witnesses =
+        // phom-lint: allow(unwrap, "doc contract: `# Panics` on invalid mappings; callers validate with verify_phom first")
         edge_witnesses(g1, g2, mapping).expect("stretch_stats requires a valid p-hom mapping");
     let edges = witnesses.len();
     if edges == 0 {

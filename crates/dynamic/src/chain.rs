@@ -39,6 +39,7 @@
 //! an expected escape hatch distinctly from a maintenance gap.
 
 use crate::update::{DynamicConfig, DynamicStats};
+use phom_graph::validate::{proper_reach_set, sample_indices, Violation};
 use phom_graph::{tarjan_scc, BitSet, ChainIndex, DiGraph, NodeId, UpdateEffect};
 
 /// A [`ChainIndex`] kept consistent under edge insertions and deletions.
@@ -190,6 +191,90 @@ impl<L> SemiDynamicChain<L> {
         self.comp_probe(cf, ct)
     }
 
+    /// Checks the maintained state against a from-scratch recomputation
+    /// — the maintenance contract `maintained ≡ ChainIndex::new(graph)`
+    /// at the `reaches` level. Slot bookkeeping is verified first
+    /// (assignments in range, liveness/membership agreement, sorted
+    /// entry lists), then the maintained relation is compared against
+    /// brute-force proper-path BFS from up to `samples` evenly-spaced
+    /// source nodes (pass `samples >= node_count` for an exhaustive
+    /// comparison). Returns the first violated invariant.
+    pub fn validate(&self, samples: usize) -> Result<(), Violation> {
+        let n = self.graph.node_count();
+        let slots = self.chain_of.len();
+        if self.comp.len() != n {
+            return Err(Violation::new(
+                "dynchain-shape",
+                format!("comp covers {} of {n} nodes", self.comp.len()),
+            ));
+        }
+        if self.members.len() != slots
+            || self.cyclic.len() != slots
+            || self.pos_of.len() != slots
+            || self.entries.len() != slots
+            || self.alive.len() != slots
+        {
+            return Err(Violation::new(
+                "dynchain-shape",
+                "slot vectors have diverging lengths",
+            ));
+        }
+        if self.live != self.alive.iter().filter(|&&a| a).count() {
+            return Err(Violation::new(
+                "dynchain-slots",
+                "live counter disagrees with slot liveness",
+            ));
+        }
+        for (v, &c) in self.comp.iter().enumerate() {
+            let c = c as usize;
+            if c >= slots || !self.alive[c] {
+                return Err(Violation::new(
+                    "dynchain-slots",
+                    format!("node {v} assigned to dead or out-of-range slot {c}"),
+                ));
+            }
+            if !self.members[c].contains(&NodeId(v as u32)) {
+                return Err(Violation::new(
+                    "dynchain-slots",
+                    format!("node {v} missing from the member list of slot {c}"),
+                ));
+            }
+        }
+        for c in 0..slots {
+            if !self.alive[c] && !self.members[c].is_empty() {
+                return Err(Violation::new(
+                    "dynchain-slots",
+                    format!("dead slot {c} still holds members"),
+                ));
+            }
+            if self.entries[c].windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(Violation::new(
+                    "dynchain-entries",
+                    format!("entry list of slot {c} not strictly sorted by chain"),
+                ));
+            }
+        }
+        for v in sample_indices(n, samples) {
+            let v = NodeId(v as u32);
+            let truth = proper_reach_set(&self.graph, v);
+            for w in self.graph.nodes() {
+                if self.reaches(v, w) != truth.contains(w.index()) {
+                    return Err(Violation::new(
+                        "dynchain-reaches",
+                        format!(
+                            "reaches({}, {}) = {}, BFS says {}",
+                            v.0,
+                            w.0,
+                            self.reaches(v, w),
+                            truth.contains(w.index())
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Consumes the maintainer into the (mutated) graph plus the
     /// refreshed immutable index — what the engine assembles the next
     /// prepared version from.
@@ -217,6 +302,7 @@ impl<L> SemiDynamicChain<L> {
             entry_off,
             entries,
         )
+        // phom-lint: allow(unwrap, "from_parts re-checks the invariants the maintainer preserves; a failure here is a maintainer bug, not caller input")
         .expect("chain maintainer produced a malformed index (maintainer bug)");
         (self.graph, idx)
     }
@@ -654,6 +740,7 @@ impl<L> SemiDynamicChain<L> {
     /// Inserts edge `(u, v)`, patching the index. Mirrors
     /// [`phom_graph::DynamicClosure::insert_edge`] semantics.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        // phom-lint: allow(clock, "monotonic elapsed-time maintenance stats; no wall-clock semantics")
         let started = std::time::Instant::now();
         let effect = self.insert_edge_untimed(u, v);
         self.stats.maintain_micros += started.elapsed().as_micros();
@@ -663,6 +750,7 @@ impl<L> SemiDynamicChain<L> {
     /// Removes edge `(u, v)`, patching the index. Mirrors
     /// [`phom_graph::DynamicClosure::remove_edge`] semantics.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        // phom-lint: allow(clock, "monotonic elapsed-time maintenance stats; no wall-clock semantics")
         let started = std::time::Instant::now();
         let effect = self.remove_edge_untimed(u, v);
         self.stats.maintain_micros += started.elapsed().as_micros();
@@ -900,6 +988,9 @@ mod tests {
                     }
                 }
             }
+            // The maintainer's own validator (the audit surface) must
+            // accept the maintained state after the full sequence.
+            prop_assert_eq!(dyc.validate(g.node_count()).err(), None);
             // Finalization must produce a structurally valid index that
             // still answers identically (this is what the engine
             // snapshots and queries).
@@ -910,6 +1001,10 @@ mod tests {
                     prop_assert_eq!(idx.reaches(x, y), scratch.reaches(x, y));
                 }
             }
+            prop_assert_eq!(
+                idx.validate_against(&g_back, g_back.node_count()).err(),
+                None
+            );
             Ok(())
         }
 

@@ -11,6 +11,7 @@
 //! cone recompute does an explicit post-order walk of the condensation).
 
 use crate::update::{DynamicConfig, DynamicStats};
+use phom_graph::validate::{sample_indices, Violation};
 use phom_graph::{
     tarjan_scc, BitSet, DiGraph, DynamicClosure, NodeId, TransitiveClosure, UpdateEffect,
 };
@@ -140,6 +141,85 @@ impl<L> SemiDynamicClosure<L> {
     /// Counters of the work done so far.
     pub fn stats(&self) -> &DynamicStats {
         &self.stats
+    }
+
+    /// Checks the maintained state against a from-scratch recomputation
+    /// — the maintenance contract `maintained ≡
+    /// TransitiveClosure::new(graph)`. Slot bookkeeping is verified
+    /// first (assignments in range, liveness/membership agreement,
+    /// cyclic flags consistent with rows), then the maintained rows are
+    /// compared bit-for-bit against a fresh closure for up to `samples`
+    /// evenly-spaced source nodes (pass `samples >= node_count` for an
+    /// exhaustive comparison). Returns the first violated invariant.
+    pub fn validate(&self, samples: usize) -> Result<(), Violation> {
+        let n = self.graph.node_count();
+        let slots = self.members.len();
+        if self.comp.len() != n {
+            return Err(Violation::new(
+                "dynclosure-shape",
+                format!("comp covers {} of {n} nodes", self.comp.len()),
+            ));
+        }
+        if self.rows.len() != slots || self.cyclic.len() != slots || self.alive.len() != slots {
+            return Err(Violation::new(
+                "dynclosure-shape",
+                "slot vectors have diverging lengths",
+            ));
+        }
+        if self.live != self.alive.iter().filter(|&&a| a).count() {
+            return Err(Violation::new(
+                "dynclosure-slots",
+                "live counter disagrees with slot liveness",
+            ));
+        }
+        for (v, &c) in self.comp.iter().enumerate() {
+            let c = c as usize;
+            if c >= slots || !self.alive[c] {
+                return Err(Violation::new(
+                    "dynclosure-slots",
+                    format!("node {v} assigned to dead or out-of-range slot {c}"),
+                ));
+            }
+            if !self.members[c].contains(&NodeId(v as u32)) {
+                return Err(Violation::new(
+                    "dynclosure-slots",
+                    format!("node {v} missing from the member list of slot {c}"),
+                ));
+            }
+        }
+        for c in 0..slots {
+            if !self.alive[c] && !self.members[c].is_empty() {
+                return Err(Violation::new(
+                    "dynclosure-slots",
+                    format!("dead slot {c} still holds members"),
+                ));
+            }
+            if let Some(&m) = self.members[c].first() {
+                if self.cyclic[c] != self.rows[c].contains(m.index()) {
+                    return Err(Violation::new(
+                        "dynclosure-cyclic",
+                        format!("slot {c} cyclic flag disagrees with its row"),
+                    ));
+                }
+            }
+        }
+        let fresh = TransitiveClosure::new(&self.graph);
+        for v in sample_indices(n, samples) {
+            let maintained = &self.rows[self.comp[v] as usize];
+            let truth = fresh.reachable_set(NodeId(v as u32));
+            if **maintained != *truth {
+                return Err(Violation::new(
+                    "dynclosure-reaches",
+                    format!(
+                        "row of node {v} disagrees with a from-scratch closure \
+                         ({} vs {} reachable)",
+                        maintained.count(),
+                        truth.count()
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Consumes the maintainer into an immutable closure of its current
@@ -551,6 +631,7 @@ impl<L> DynamicClosure for SemiDynamicClosure<L> {
     }
 
     fn insert_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        // phom-lint: allow(clock, "monotonic elapsed-time maintenance stats; no wall-clock semantics")
         let started = std::time::Instant::now();
         let effect = self.insert_edge_untimed(u, v);
         self.stats.maintain_micros += started.elapsed().as_micros();
@@ -558,6 +639,7 @@ impl<L> DynamicClosure for SemiDynamicClosure<L> {
     }
 
     fn remove_edge(&mut self, u: NodeId, v: NodeId) -> UpdateEffect {
+        // phom-lint: allow(clock, "monotonic elapsed-time maintenance stats; no wall-clock semantics")
         let started = std::time::Instant::now();
         let effect = self.remove_edge_untimed(u, v);
         self.stats.maintain_micros += started.elapsed().as_micros();
@@ -855,6 +937,9 @@ mod tests {
                     }
                 }
             }
+            // The maintainer's own validator (the audit surface) must
+            // accept the maintained state after the full sequence.
+            prop_assert_eq!(dyc.validate(g.node_count()).err(), None);
             Ok(())
         }
 

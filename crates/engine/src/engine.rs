@@ -622,6 +622,7 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
         if updates.iter().any(changes_graph) {
             return None;
         }
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let mut stats = UpdateStats::default();
         for update in updates {
@@ -647,6 +648,7 @@ impl<L: Clone + Hash + PartialEq> Engine<L> {
         updates: &[GraphUpdate],
         options: PrepareOptions,
     ) -> UpdateOutcome<L> {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let mut stats = UpdateStats::default();
         let mut g = (**graph).clone();
@@ -726,6 +728,7 @@ impl<L: Clone + Sync> Engine<L> {
         // prepared state: no bounded closure was built during execution.
         let closures_before = tr.as_ref().map(|_| prepared.bounded_closures_computed());
         let match_open = tr.as_ref().map(|t| t.begin());
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let budget = query
             .config
@@ -954,6 +957,7 @@ impl<L: Clone + Send + Sync> Engine<L> {
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())
             .into_iter()
+            // phom-lint: allow(unwrap, "the scope joins all workers and the claim loop covers every index, so each slot was filled")
             .map(|r| r.expect("every query index was claimed by a worker"))
             .collect();
         let mut latencies: Vec<u128> = results.iter().map(|r| r.micros).collect();

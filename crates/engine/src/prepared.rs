@@ -30,6 +30,7 @@ use phom_dynamic::{
     refresh_bounded_closure, DynamicConfig, GraphUpdate, SemiDynamicChain, SemiDynamicClosure,
 };
 use phom_graph::serialize::ParseError;
+use phom_graph::validate::Violation;
 use phom_graph::{
     compress_closure_with, reach_density_sample, tarjan_scc, BitSet, ChainIndex, DiGraph,
     DynamicClosure, NodeId, ReachabilityIndex, SccResult, TransitiveClosure, TwoHopIndex,
@@ -91,10 +92,33 @@ impl ReachIndex {
     /// The dense closure, when that is the active backend (the
     /// semi-dynamic dense maintenance path needs concrete rows to seed
     /// from).
+    // phom-lint: allow(concrete-closure, "backend downcast accessor: the dense maintenance path seeds from concrete rows; not a matching API")
     pub fn dense(&self) -> Option<&Arc<TransitiveClosure>> {
         match self {
             ReachIndex::Dense(c) => Some(c),
             _ => None,
+        }
+    }
+
+    /// Cheap structural self-check of the active backend: dispatches to
+    /// the per-backend `validate` in `phom_graph` (shape, CSR structure,
+    /// composition/label invariants). Does not need the graph.
+    pub fn validate(&self) -> Result<(), Violation> {
+        match self {
+            ReachIndex::Dense(c) => c.validate(),
+            ReachIndex::Chain(c) => c.validate(),
+            ReachIndex::TwoHop(c) => c.validate(),
+        }
+    }
+
+    /// Deep check of the active backend against the graph it claims to
+    /// index: fresh Tarjan partition comparison plus a sampled BFS
+    /// ground-truth sweep (`samples` source nodes, evenly spaced).
+    pub fn validate_against<L>(&self, g: &DiGraph<L>, samples: usize) -> Result<(), Violation> {
+        match self {
+            ReachIndex::Dense(c) => c.validate_against(g, samples),
+            ReachIndex::Chain(c) => c.validate_against(g, samples),
+            ReachIndex::TwoHop(c) => c.validate_against(g, samples),
         }
     }
 
@@ -362,6 +386,7 @@ impl<L: Clone> PreparedGraph<L> {
     /// Prepares `graph` under explicit [`PrepareOptions`] (the engine and
     /// the service registry pass their config-derived options here).
     pub fn prepare(graph: Arc<DiGraph<L>>, options: PrepareOptions) -> Self {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let scc = tarjan_scc(&*graph);
         let index = ReachIndex::build(&graph, &scc, options.backend, options.chain_node_threshold);
@@ -485,6 +510,7 @@ impl<L: Clone> PreparedGraph<L> {
         config: &DynamicConfig,
         dense: &Arc<TransitiveClosure>,
     ) -> UpdateOutcome<L> {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let n = self.graph.node_count();
         let mut stats = UpdateStats::default();
@@ -555,6 +581,7 @@ impl<L: Clone> PreparedGraph<L> {
         config: &DynamicConfig,
         chain: &Arc<ChainIndex>,
     ) -> UpdateOutcome<L> {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let n = self.graph.node_count();
         let mut stats = UpdateStats::default();
@@ -623,6 +650,7 @@ impl<L: Clone> PreparedGraph<L> {
     /// worse than a re-prepare, and the downgrade is visible in the
     /// stats as an unsupported-op backend fallback).
     fn apply_twohop_rebuild(&self, updates: &[GraphUpdate]) -> UpdateOutcome<L> {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let n = self.graph.node_count();
         let mut stats = UpdateStats::default();
@@ -646,6 +674,7 @@ impl<L: Clone> PreparedGraph<L> {
             stats.backend_fallbacks = 1;
             stats.fallback_unsupported = 1;
             stats.rebuilds += 1;
+            // phom-lint: allow(clock, "monotonic elapsed-time stats for closure rebuilds; no wall-clock semantics")
             let rebuild_started = Instant::now();
             let scc = tarjan_scc(&new_graph);
             let scc_count = scc.count();
@@ -678,6 +707,7 @@ impl<L: Clone> PreparedGraph<L> {
         touched: &[NodeId],
         stats: &mut UpdateStats,
     ) -> HashMap<usize, Arc<TransitiveClosure>> {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for SCC refresh; no wall-clock semantics")
         let refresh_started = Instant::now();
         let old_memo: Vec<(usize, Arc<TransitiveClosure>)> = {
             let memo = self.bounded.lock().unwrap_or_else(|e| e.into_inner());
@@ -741,6 +771,22 @@ impl<L: Clone> PreparedGraph<L> {
         &self.stats
     }
 
+    /// Cheap structural tier of the backend validators: checks the
+    /// active reachability index's internal invariants without touching
+    /// the graph (see [`ReachIndex::validate`]). This is the check the
+    /// snapshot-restore gate and `phom audit` run first.
+    pub fn validate(&self) -> Result<(), Violation> {
+        self.index.validate()
+    }
+
+    /// Deep tier: validates the active index *against* the data graph —
+    /// fresh SCC partition comparison plus a sampled BFS ground-truth
+    /// sweep over `samples` evenly spaced source nodes (see
+    /// [`ReachIndex::validate_against`]).
+    pub fn validate_deep(&self, samples: usize) -> Result<(), Violation> {
+        self.index.validate_against(&self.graph, samples)
+    }
+
     /// The hop-bounded closure for stretch bound `k`, building and
     /// memoizing it on first use. Bounds at or above the node count
     /// coincide with the full closure, so the active full index is
@@ -790,6 +836,23 @@ fn need(data: &Bytes, bytes: usize) -> Result<(), ParseError> {
     } else {
         Ok(())
     }
+}
+
+/// Rejects serialized bitset words with bits set at or beyond `len`.
+/// `BitSet::from_words` silently clears such bits, so accepting them
+/// would let a corrupted snapshot round-trip into a valid-looking index.
+fn check_padding(len: usize, words: &[u64]) -> Result<(), ParseError> {
+    let tail = len % 64;
+    if tail != 0 && words.len() == len.div_ceil(64) {
+        if let Some(&last) = words.last() {
+            if last >> tail != 0 {
+                return Err(ParseError::Corrupt(format!(
+                    "bitset has bits set beyond its {len}-bit length"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Magic prefix of the prepared-graph snapshot format ("pHPG").
@@ -920,6 +983,7 @@ impl PreparedGraph<String> {
         mut data: Bytes,
         compression: CompressionPolicy,
     ) -> Result<Self, ParseError> {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         need(&data, 10)?;
         let magic = data.get_u32();
@@ -986,6 +1050,14 @@ impl PreparedGraph<String> {
         let comp: Vec<u32> = (0..n).map(|_| data.get_u32()).collect();
         need(data, 4)?;
         let row_count = data.get_u32() as usize;
+        // Each serialized row costs at least its 4-byte word count, so a
+        // claimed row count past that bound cannot be satisfied; reject
+        // before sizing any allocation off the header value.
+        if row_count > n || row_count > data.remaining() / 4 {
+            return Err(ParseError::Corrupt(format!(
+                "{row_count} rows exceed what the snapshot can hold"
+            )));
+        }
         if let Some(&c) = comp.iter().find(|&&c| c as usize >= row_count) {
             return Err(ParseError::Corrupt(format!(
                 "component {c} out of range {row_count}"
@@ -1006,6 +1078,7 @@ impl PreparedGraph<String> {
             for _ in 0..word_count {
                 words.push(data.get_u64());
             }
+            check_padding(n, &words)?;
             rows.push(BitSet::from_words(n, &words));
         }
         Ok(TransitiveClosure::from_parts(comp, rows, n))
@@ -1031,6 +1104,7 @@ impl PreparedGraph<String> {
         }
         need(data, 8 * word_count)?;
         let cyclic_words: Vec<u64> = (0..word_count).map(|_| data.get_u64()).collect();
+        check_padding(c_count, &cyclic_words)?;
         let cyclic = BitSet::from_words(c_count, &cyclic_words);
         need(data, 4 * c_count)?;
         let chain_of: Vec<u32> = (0..c_count).map(|_| data.get_u32()).collect();
@@ -1068,23 +1142,26 @@ impl PreparedGraph<String> {
         }
         need(data, 8 * word_count)?;
         let cyclic_words: Vec<u64> = (0..word_count).map(|_| data.get_u64()).collect();
+        check_padding(c_count, &cyclic_words)?;
         let cyclic = BitSet::from_words(c_count, &cyclic_words);
         need(data, 8 * c_count)?;
         let out_mask: Vec<u64> = (0..c_count).map(|_| data.get_u64()).collect();
         need(data, 8 * c_count)?;
         let in_mask: Vec<u64> = (0..c_count).map(|_| data.get_u64()).collect();
-        let mut tails: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(2);
-        for _ in 0..2 {
+        fn tail_section(
+            data: &mut Bytes,
+            c_count: usize,
+        ) -> Result<(Vec<u32>, Vec<u32>), ParseError> {
             need(data, 4 * (c_count + 1))?;
             let off: Vec<u32> = (0..=c_count).map(|_| data.get_u32()).collect();
             need(data, 4)?;
             let lab_count = data.get_u32() as usize;
             need(data, 4 * lab_count)?;
             let lab: Vec<u32> = (0..lab_count).map(|_| data.get_u32()).collect();
-            tails.push((off, lab));
+            Ok((off, lab))
         }
-        let (in_off, in_lab) = tails.pop().expect("two tail sections");
-        let (out_off, out_lab) = tails.pop().expect("two tail sections");
+        let (out_off, out_lab) = tail_section(data, c_count)?;
+        let (in_off, in_lab) = tail_section(data, c_count)?;
         TwoHopIndex::from_parts(
             graph, comp, cyclic, out_mask, in_mask, out_off, out_lab, in_off, in_lab,
         )

@@ -10,6 +10,7 @@
 use crate::bitset::BitSet;
 use crate::digraph::{DiGraph, NodeId};
 use crate::scc::{tarjan_scc, SccResult};
+use crate::validate::{proper_reach_set, sample_indices, Violation};
 use std::sync::Arc;
 
 /// The dense closure under its backend-family name: the
@@ -134,7 +135,8 @@ impl TransitiveClosure {
     /// (see [`DynamicClosure`]) that keep `comp`/`rows` consistent
     /// themselves rather than recomputing from a graph.
     ///
-    /// Requirements (checked only by `debug_assert`): `comp.len() ==
+    /// Requirements (checked by [`TransitiveClosure::validate`], which
+    /// maintainers should run in their own tests): `comp.len() ==
     /// node_count`, every `comp[v] < rows.len()`, and every row has
     /// `node_count` bits. Unlike [`TransitiveClosure::from_scc`], the
     /// component numbering need **not** be topological — nothing in the
@@ -148,9 +150,6 @@ impl TransitiveClosure {
     /// where untouched rows keep pointing at the previous version's
     /// storage.
     pub fn from_shared_parts(comp: Vec<u32>, rows: Vec<Arc<BitSet>>, node_count: usize) -> Self {
-        debug_assert_eq!(comp.len(), node_count);
-        debug_assert!(comp.iter().all(|&c| (c as usize) < rows.len()));
-        debug_assert!(rows.iter().all(|r| r.len() == node_count));
         Self {
             comp,
             rows,
@@ -207,6 +206,112 @@ impl TransitiveClosure {
                 *row_counts[c].get_or_insert_with(|| self.rows[c].count())
             })
             .sum()
+    }
+
+    /// Cheap structural self-check (no graph needed): component
+    /// assignments in range, rows sized to the node count, and every
+    /// referenced row **closed under composition** — if `v ∈ row(c)`
+    /// then `row(comp(v)) ⊆ row(c)`, the defining property of a
+    /// transitive relation stored row-per-component. Returns the first
+    /// violated invariant.
+    ///
+    /// Applies to full closures only; hop-bounded closures from
+    /// [`TransitiveClosure::bounded`] are intentionally not
+    /// composition-closed.
+    pub fn validate(&self) -> Result<(), Violation> {
+        if self.comp.len() != self.node_count {
+            return Err(Violation::new(
+                "closure-shape",
+                format!(
+                    "comp covers {} of {} nodes",
+                    self.comp.len(),
+                    self.node_count
+                ),
+            ));
+        }
+        if let Some((v, &c)) = self
+            .comp
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| c as usize >= self.rows.len())
+        {
+            return Err(Violation::new(
+                "closure-shape",
+                format!("node {v} assigned out-of-range component {c}"),
+            ));
+        }
+        if let Some((c, row)) = self
+            .rows
+            .iter()
+            .enumerate()
+            .find(|(_, row)| row.len() != self.node_count)
+        {
+            return Err(Violation::new(
+                "closure-shape",
+                format!(
+                    "row {c} holds {} bits for {} nodes",
+                    row.len(),
+                    self.node_count
+                ),
+            ));
+        }
+        // Composition closure over the rows actually referenced by comp.
+        let mut used = BitSet::new(self.rows.len());
+        for &c in &self.comp {
+            used.insert(c as usize);
+        }
+        let mut checked = BitSet::new(self.rows.len());
+        for c in used.iter() {
+            checked.clear();
+            for v in self.rows[c].iter() {
+                let d = self.comp[v] as usize;
+                if checked.insert(d) && !self.rows[d].is_subset(&self.rows[c]) {
+                    return Err(Violation::new(
+                        "closure-composition",
+                        format!(
+                            "row {c} reaches node {v} (component {d}) but not all of \
+                             component {d}'s reachable set"
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deep check against the graph the closure claims to index: runs
+    /// [`TransitiveClosure::validate`], then compares the reachable set
+    /// of up to `samples` evenly-spaced source nodes against brute-force
+    /// proper-path BFS on `g` (pass `samples >= n` for an exhaustive
+    /// comparison).
+    pub fn validate_against<L>(&self, g: &DiGraph<L>, samples: usize) -> Result<(), Violation> {
+        self.validate()?;
+        if g.node_count() != self.node_count {
+            return Err(Violation::new(
+                "closure-shape",
+                format!(
+                    "closure indexes {} nodes, graph has {}",
+                    self.node_count,
+                    g.node_count()
+                ),
+            ));
+        }
+        for v in sample_indices(self.node_count, samples) {
+            let v = NodeId(v as u32);
+            let truth = proper_reach_set(g, v);
+            if *self.reachable_set(v) != truth {
+                return Err(Violation::new(
+                    "closure-reaches",
+                    format!(
+                        "row of node {} disagrees with BFS ({} vs {} reachable)",
+                        v.0,
+                        self.reachable_set(v).count(),
+                        truth.count()
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Materializes the closure graph `G+` (same nodes/labels, one edge per
@@ -473,6 +578,74 @@ mod tests {
         }
     }
 
+    #[test]
+    fn validate_accepts_fresh_closures() {
+        let g = graph_from_labels(
+            &["a", "b", "c", "d"],
+            &[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")],
+        );
+        let tc = TransitiveClosure::new(&g);
+        tc.validate().expect("fresh closure is valid");
+        tc.validate_against(&g, g.node_count())
+            .expect("fresh closure matches BFS");
+    }
+
+    #[test]
+    fn validate_rejects_tampered_rows() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let tc = TransitiveClosure::new(&g);
+        let comp: Vec<u32> = g.nodes().map(|v| tc.component_of(v) as u32).collect();
+        let mut rows: Vec<BitSet> = (0..tc.component_count())
+            .map(|c| tc.component_row(c).clone())
+            .collect();
+        // Claim c reaches a without granting it a's reachable set: breaks
+        // composition (a reaches b and c; the tampered row lacks b).
+        let c_comp = tc.component_of(NodeId(2));
+        rows[c_comp].insert(0);
+        let bad = TransitiveClosure::from_parts(comp.clone(), rows, g.node_count());
+        let err = bad.validate().expect_err("composition break detected");
+        assert_eq!(err.check, "closure-composition");
+
+        // A composition-consistent but wrong relation (an extra edge's
+        // worth of reachability) passes the cheap tier and is caught by
+        // the deep tier.
+        let mut rows: Vec<BitSet> = (0..tc.component_count())
+            .map(|c| tc.component_row(c).clone())
+            .collect();
+        let b_comp = tc.component_of(NodeId(1));
+        let a_comp = tc.component_of(NodeId(0));
+        rows[c_comp] = rows[b_comp].clone();
+        rows[b_comp] = rows[a_comp].clone();
+        let plausible = TransitiveClosure::from_parts(comp, rows, g.node_count());
+        plausible
+            .validate()
+            .expect("cheap tier cannot see the shift");
+        let err = plausible
+            .validate_against(&g, g.node_count())
+            .expect_err("deep tier compares against BFS");
+        assert_eq!(err.check, "closure-reaches");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_shapes() {
+        let g = graph_from_labels(&["a", "b"], &[("a", "b")]);
+        let tc = TransitiveClosure::new(&g);
+        let rows: Vec<BitSet> = (0..tc.component_count())
+            .map(|c| tc.component_row(c).clone())
+            .collect();
+        let bad_comp = TransitiveClosure::from_parts(vec![0, 99], rows.clone(), 2);
+        assert_eq!(
+            bad_comp.validate().expect_err("comp range").check,
+            "closure-shape"
+        );
+        let comp: Vec<u32> = g.nodes().map(|v| tc.component_of(v) as u32).collect();
+        let bad_rows = TransitiveClosure::from_parts(comp, vec![BitSet::new(5); rows.len()], 2);
+        assert_eq!(
+            bad_rows.validate().expect_err("row width").check,
+            "closure-shape"
+        );
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -545,6 +718,13 @@ mod tests {
                         prop_assert_eq!(full.reaches(u, v), bounded.reaches(u, v));
                     }
                 }
+            }
+
+            #[test]
+            fn prop_fresh_closures_validate(g in arb_graph()) {
+                let tc = TransitiveClosure::new(&g);
+                prop_assert!(tc.validate().is_ok());
+                prop_assert!(tc.validate_against(&g, g.node_count()).is_ok());
             }
 
             #[test]

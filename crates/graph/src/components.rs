@@ -77,6 +77,7 @@ pub fn component_groups<L>(g: &DiGraph<L>, max_groups: usize) -> Vec<Vec<NodeId>
     for i in order {
         let lightest = (0..groups)
             .min_by_key(|&b| (load[b], b))
+            // phom-lint: allow(unwrap, "groups = comps.len().min(max_groups) with both > 1 on this path")
             .expect("groups > 0");
         load[lightest] += comps[i].len();
         bins[lightest].push(i);

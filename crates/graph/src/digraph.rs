@@ -80,6 +80,7 @@ impl<L> DiGraph<L> {
 
     /// Adds a node with `label`, returning its id.
     pub fn add_node(&mut self, label: L) -> NodeId {
+        // phom-lint: allow(unwrap, "node ids are u32 by design; > 4 billion nodes is a documented capacity limit")
         let id = NodeId(u32::try_from(self.labels.len()).expect("more than u32::MAX nodes"));
         self.labels.push(label);
         self.out.push(Vec::new());
@@ -120,6 +121,7 @@ impl<L> DiGraph<L> {
         let rpos = self.inc[to.index()]
             .iter()
             .position(|&w| w == from)
+            // phom-lint: allow(unwrap, "out/inc adjacency lists are mutated in lockstep; the forward entry was found above")
             .expect("reverse adjacency out of sync");
         self.inc[to.index()].remove(rpos);
         self.edge_count -= 1;
@@ -250,6 +252,7 @@ impl<L> DiGraph<L> {
             old_of_new.push(v);
         }
         for &v in keep {
+            // phom-lint: allow(unwrap, "new_of_old[v] was populated for every v in keep by the loop above")
             let nv = new_of_old[v.index()].expect("just inserted");
             for &w in self.post(v) {
                 if let Some(nw) = new_of_old[w.index()] {
@@ -305,7 +308,9 @@ pub fn graph_from_labels(labels: &[&str], edges: &[(&str, &str)]) -> DiGraph<Str
         assert!(dup.is_none(), "duplicate label {l:?}");
     }
     for &(a, b) in edges {
+        // phom-lint: allow(unwrap, "test/example helper whose doc contract is `# Panics` on unknown labels")
         let &ia = ids.get(a).unwrap_or_else(|| panic!("unknown label {a:?}"));
+        // phom-lint: allow(unwrap, "test/example helper whose doc contract is `# Panics` on unknown labels")
         let &ib = ids.get(b).unwrap_or_else(|| panic!("unknown label {b:?}"));
         g.add_edge(ia, ib);
     }

@@ -19,6 +19,10 @@
 //! * [`TwoHopIndex`]: the pruned-landmark 2-hop-labeling backend for
 //!   dense-reach shapes (probe = label intersection, hub masks for the
 //!   top 64 landmarks);
+//! * structural invariant validators on every backend
+//!   (`validate()` / `validate_against()`, see [`validate`]) — the
+//!   machine-checkable form of the invariants above, used by the
+//!   `phom-audit` crate and the snapshot-restore gate;
 //! * [`compress_closure`]: the `G2*` compression of Appendix B;
 //! * [`weakly_connected_components`]: the `G1` partitioning of Appendix B;
 //! * traversal helpers, DOT export, and text/binary serialization.
@@ -38,6 +42,7 @@ pub mod reach;
 pub mod scc;
 pub mod serialize;
 pub mod traversal;
+pub mod validate;
 
 pub use bitset::BitSet;
 pub use closure::{DenseClosure, DynamicClosure, TransitiveClosure, UpdateEffect};
@@ -54,3 +59,4 @@ pub use reach::{
     TwoHopIndexParts,
 };
 pub use scc::{tarjan_scc, SccResult};
+pub use validate::{proper_reach_set, sample_indices, Violation};

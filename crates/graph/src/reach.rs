@@ -33,6 +33,7 @@ use crate::bitset::BitSet;
 use crate::closure::TransitiveClosure;
 use crate::digraph::{DiGraph, NodeId};
 use crate::scc::{tarjan_scc, SccResult};
+use crate::validate::{proper_reach_set, sample_indices, Violation};
 use std::fmt;
 
 /// The reachability question the matching kernels ask of a data graph,
@@ -295,61 +296,23 @@ impl ChainIndex {
         node_count: usize,
         comp: Vec<u32>,
         cyclic: BitSet,
-        chain_of: Vec<u32>,
+        mut chain_of: Vec<u32>,
         pos_of: Vec<u32>,
         entry_off: Vec<u32>,
-        entries: Vec<(u32, u32)>,
+        mut entries: Vec<(u32, u32)>,
     ) -> Result<Self, String> {
-        let c_count = chain_of.len();
-        if comp.len() != node_count {
-            return Err(format!("comp covers {} of {node_count} nodes", comp.len()));
-        }
-        if pos_of.len() != c_count || cyclic.len() != c_count {
-            return Err("pos_of/cyclic length mismatch".into());
-        }
-        if entry_off.len() != c_count + 1
-            || entry_off[0] != 0
-            || *entry_off.last().unwrap() as usize != entries.len()
-        {
-            return Err("entry_off does not span entries".into());
-        }
-        if comp.iter().any(|&c| c as usize >= c_count) {
-            return Err("component id out of range".into());
-        }
-        // Rebuild chains from (chain_of, pos_of) and verify bijectivity.
-        let width = chain_of.iter().map(|&j| j as usize + 1).max().unwrap_or(0);
-        let mut lens = vec![0usize; width];
-        for (&j, &p) in chain_of.iter().zip(&pos_of) {
-            lens[j as usize] = lens[j as usize].max(p as usize + 1);
-        }
-        let mut chains: Vec<Vec<u32>> = lens.iter().map(|&l| vec![u32::MAX; l]).collect();
-        for c in 0..c_count {
-            let slot = &mut chains[chain_of[c] as usize][pos_of[c] as usize];
-            if *slot != u32::MAX {
-                return Err(format!("chain position claimed twice by {} and {c}", *slot));
-            }
-            *slot = c as u32;
-        }
-        if chains.iter().flatten().any(|&c| c == u32::MAX) {
-            return Err("chain has an unassigned position".into());
-        }
-        for c in 0..c_count {
-            let (s, e) = (entry_off[c] as usize, entry_off[c + 1] as usize);
-            if s > e || e > entries.len() {
-                return Err("entry_off not monotone".into());
-            }
-            let slice = &entries[s..e];
-            for w in slice.windows(2) {
-                if w[0].0 >= w[1].0 {
-                    return Err("entry chains not strictly sorted".into());
-                }
-            }
-            for &(j, p) in slice {
-                if (j as usize) >= width || (p as usize) >= chains[j as usize].len() {
-                    return Err(format!("entry ({j}, {p}) out of range"));
-                }
-            }
-        }
+        compact_chain_ids(&mut chain_of, &mut entries);
+        let chains = check_chain_parts(
+            node_count,
+            ChainIndexParts {
+                comp: &comp,
+                cyclic: &cyclic,
+                chain_of: &chain_of,
+                pos_of: &pos_of,
+                entry_off: &entry_off,
+                entries: &entries,
+            },
+        )?;
         Ok(Self::finish(
             node_count, comp, cyclic, chain_of, pos_of, chains, entry_off, entries,
         ))
@@ -446,6 +409,96 @@ impl ChainIndex {
         &self.members[self.members_off[c] as usize..self.members_off[c + 1] as usize]
     }
 
+    /// Cheap structural self-check (no graph needed): the
+    /// [`ChainIndex::from_parts`] invariants over the defining arrays,
+    /// plus consistency of every derived table (stored chains vs
+    /// `(chain_of, pos_of)`, member CSR vs `comp`, suffix node counts).
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), Violation> {
+        let chains = check_chain_parts(self.node_count, self.parts())
+            .map_err(|e| Violation::new("chain-structure", e))?;
+        if chains != self.chains {
+            return Err(Violation::new(
+                "chain-derived",
+                "stored chains disagree with (chain_of, pos_of)",
+            ));
+        }
+        let c_count = self.component_count();
+        check_member_csr(
+            self.node_count,
+            c_count,
+            &self.comp,
+            &self.members_off,
+            &self.members,
+        )
+        .map_err(|e| Violation::new("chain-derived", e))?;
+        let member_len = |c: usize| self.members_off[c + 1] - self.members_off[c];
+        for (j, chain) in self.chains.iter().enumerate() {
+            let suffix = &self.suffix_nodes[j];
+            if suffix.len() != chain.len() + 1 || suffix.last() != Some(&0) {
+                return Err(Violation::new(
+                    "chain-derived",
+                    format!("suffix table of chain {j} has the wrong shape"),
+                ));
+            }
+            for p in (0..chain.len()).rev() {
+                if suffix[p] != suffix[p + 1] + member_len(chain[p] as usize) {
+                    return Err(Violation::new(
+                        "chain-derived",
+                        format!("suffix count of chain {j} position {p} is stale"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deep check against the graph the index claims to cover: runs
+    /// [`ChainIndex::validate`], compares the component partition and
+    /// cyclic flags against a fresh Tarjan pass, verifies that
+    /// consecutive chain elements are genuine condensation edges (the
+    /// property that makes chain reachability suffix-closed), and
+    /// compares `reaches` from up to `samples` evenly-spaced source
+    /// nodes against brute-force proper-path BFS.
+    pub fn validate_against<L>(&self, g: &DiGraph<L>, samples: usize) -> Result<(), Violation> {
+        self.validate()?;
+        if g.node_count() != self.node_count {
+            return Err(Violation::new(
+                "chain-structure",
+                format!(
+                    "index covers {} nodes, graph has {}",
+                    self.node_count,
+                    g.node_count()
+                ),
+            ));
+        }
+        check_condensation(g, &self.comp, &self.cyclic)?;
+        // Condensation out-adjacency under the index's own numbering.
+        let mut cond_edges: Vec<(u32, u32)> = g
+            .edges()
+            .filter_map(|(a, b)| {
+                let (ca, cb) = (self.comp[a.index()], self.comp[b.index()]);
+                (ca != cb).then_some((ca, cb))
+            })
+            .collect();
+        cond_edges.sort_unstable();
+        cond_edges.dedup();
+        for (j, chain) in self.chains.iter().enumerate() {
+            for w in chain.windows(2) {
+                if cond_edges.binary_search(&(w[0], w[1])).is_err() {
+                    return Err(Violation::new(
+                        "chain-edges",
+                        format!(
+                            "chain {j} links components {} -> {} with no condensation edge",
+                            w[0], w[1]
+                        ),
+                    ));
+                }
+            }
+        }
+        check_sampled_reaches(g, self, samples, "chain-reaches")
+    }
+
     /// Reachable nodes of component `c` (shared by every member).
     fn component_reachable_count(&self, c: usize) -> usize {
         let via_chains: usize = self
@@ -523,6 +576,289 @@ impl ReachabilityIndex for ChainIndex {
             .map(|c| self.members_of(c).len() * self.component_reachable_count(c))
             .sum()
     }
+}
+
+/// Renumbers chain ids onto the dense range `0..k`, preserving order.
+///
+/// The semi-dynamic maintainer parks absorbed slots on fresh tombstone
+/// chains and splits suffixes onto fresh ids, so round-tripped indexes
+/// carry sparse, ever-growing chain ids. Compacting at restore keeps
+/// every id-indexed table proportional to the component count — and
+/// keeps a corrupted id from inflating the rebuild allocations in
+/// [`check_chain_parts`]. The remap is order-preserving, so strictly
+/// sorted entry lists stay sorted; an entry naming an id that no slot
+/// occupies maps to `k` (out of range), which the structural check then
+/// rejects as a dangling chain reference.
+fn compact_chain_ids(chain_of: &mut [u32], entries: &mut [(u32, u32)]) {
+    let mut ids: Vec<u32> = chain_of.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let rank = |j: u32| ids.binary_search(&j).map_or(ids.len(), |i| i) as u32;
+    for j in chain_of.iter_mut() {
+        *j = rank(*j);
+    }
+    for e in entries.iter_mut() {
+        e.0 = rank(e.0);
+    }
+}
+
+/// Structural well-formedness of the chain-index defining arrays —
+/// shared by [`ChainIndex::from_parts`] (the snapshot-restore gate) and
+/// [`ChainIndex::validate`]. On success returns the chains rebuilt from
+/// `(chain_of, pos_of)`.
+///
+/// Expects compact chain ids: fresh builds number chains densely and
+/// [`ChainIndex::from_parts`] renumbers via [`compact_chain_ids`], so
+/// any id at or beyond the component count is corruption.
+fn check_chain_parts(node_count: usize, p: ChainIndexParts<'_>) -> Result<Vec<Vec<u32>>, String> {
+    let c_count = p.chain_of.len();
+    if p.comp.len() != node_count {
+        return Err(format!(
+            "comp covers {} of {node_count} nodes",
+            p.comp.len()
+        ));
+    }
+    if p.pos_of.len() != c_count || p.cyclic.len() != c_count {
+        return Err("pos_of/cyclic length mismatch".into());
+    }
+    if p.entry_off.len() != c_count + 1
+        || p.entry_off.first() != Some(&0)
+        || p.entry_off
+            .last()
+            .is_none_or(|&e| e as usize != p.entries.len())
+    {
+        return Err("entry_off does not span entries".into());
+    }
+    if p.comp.iter().any(|&c| c as usize >= c_count) {
+        return Err("component id out of range".into());
+    }
+    // With compact ids, chains partition the components, so no chain id
+    // or position can reach c_count. Checking *before* sizing any
+    // allocation off these values keeps a corrupt snapshot from
+    // requesting gigabytes here.
+    if p.chain_of.iter().any(|&j| j as usize >= c_count) {
+        return Err("chain id out of range".into());
+    }
+    if p.pos_of.iter().any(|&pos| pos as usize >= c_count) {
+        return Err("chain position out of range".into());
+    }
+    // Rebuild chains from (chain_of, pos_of) and verify bijectivity.
+    let width = p
+        .chain_of
+        .iter()
+        .map(|&j| j as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut lens = vec![0usize; width];
+    for (&j, &pos) in p.chain_of.iter().zip(p.pos_of) {
+        lens[j as usize] = lens[j as usize].max(pos as usize + 1);
+    }
+    // A bijective assignment needs exactly one slot per component; sum
+    // first so the per-chain buffers are never over-allocated.
+    if lens.iter().sum::<usize>() != c_count {
+        return Err("chain slots do not partition the components".into());
+    }
+    let mut chains: Vec<Vec<u32>> = lens.iter().map(|&l| vec![u32::MAX; l]).collect();
+    for c in 0..c_count {
+        let slot = &mut chains[p.chain_of[c] as usize][p.pos_of[c] as usize];
+        if *slot != u32::MAX {
+            return Err(format!("chain position claimed twice by {} and {c}", *slot));
+        }
+        *slot = c as u32;
+    }
+    if chains.iter().flatten().any(|&c| c == u32::MAX) {
+        return Err("chain has an unassigned position".into());
+    }
+    for c in 0..c_count {
+        let (s, e) = (p.entry_off[c] as usize, p.entry_off[c + 1] as usize);
+        if s > e || e > p.entries.len() {
+            return Err("entry_off not monotone".into());
+        }
+        let slice = &p.entries[s..e];
+        for w in slice.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err("entry chains not strictly sorted".into());
+            }
+        }
+        for &(j, pos) in slice {
+            if (j as usize) >= width || (pos as usize) >= chains[j as usize].len() {
+                return Err(format!("entry ({j}, {pos}) out of range"));
+            }
+            // Chain positions follow topological order and the
+            // condensation is acyclic, so a component can never reach a
+            // position at or before its own slot on its own chain (its
+            // self-reachability is carried by the cyclic flag alone).
+            if j == p.chain_of[c] && pos <= p.pos_of[c] {
+                return Err(format!(
+                    "component {c} claims its own chain at position {pos} \
+                     (its slot is {})",
+                    p.pos_of[c]
+                ));
+            }
+        }
+    }
+    Ok(chains)
+}
+
+/// Structural well-formedness of the 2-hop defining arrays — shared by
+/// [`TwoHopIndex::from_parts`] (the snapshot-restore gate) and
+/// [`TwoHopIndex::validate`].
+fn check_twohop_parts(node_count: usize, p: TwoHopIndexParts<'_>) -> Result<(), String> {
+    let c_count = p.out_mask.len();
+    if p.comp.len() != node_count {
+        return Err(format!(
+            "comp covers {} of {node_count} nodes",
+            p.comp.len()
+        ));
+    }
+    if p.in_mask.len() != c_count || p.cyclic.len() != c_count {
+        return Err("in_mask/cyclic length mismatch".into());
+    }
+    if p.comp.iter().any(|&c| c as usize >= c_count) {
+        return Err("component id out of range".into());
+    }
+    for (name, off, lab) in [("out", p.out_off, p.out_lab), ("in", p.in_off, p.in_lab)] {
+        if off.len() != c_count + 1
+            || off.first() != Some(&0)
+            || off.last().is_none_or(|&e| e as usize != lab.len())
+        {
+            return Err(format!("{name}_off does not span {name}_lab"));
+        }
+        for c in 0..c_count {
+            let (s, e) = (off[c] as usize, off[c + 1] as usize);
+            if s > e || e > lab.len() {
+                return Err(format!("{name}_off not monotone"));
+            }
+            let slice = &lab[s..e];
+            for w in slice.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("{name} label tail not strictly sorted"));
+                }
+            }
+            if slice
+                .iter()
+                .any(|&r| (r as usize) < 64 || (r as usize) >= c_count)
+            {
+                return Err(format!("{name} label rank out of range"));
+            }
+        }
+    }
+    // Every component carries its own landmark rank in both label sets
+    // (the self-labels added first during construction), so its out/in
+    // labels must intersect.
+    for c in 0..c_count {
+        let out_tail = &p.out_lab[p.out_off[c] as usize..p.out_off[c + 1] as usize];
+        let in_tail = &p.in_lab[p.in_off[c] as usize..p.in_off[c + 1] as usize];
+        if p.out_mask[c] & p.in_mask[c] == 0 && !intersects_sorted(out_tail, in_tail) {
+            return Err(format!("component {c} lacks its self-certificate label"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a member CSR groups exactly the nodes of each component
+/// (shared by the chain and 2-hop validators).
+fn check_member_csr(
+    node_count: usize,
+    c_count: usize,
+    comp: &[u32],
+    members_off: &[u32],
+    members: &[NodeId],
+) -> Result<(), String> {
+    if members_off.len() != c_count + 1
+        || members_off.first() != Some(&0)
+        || members_off.last().is_none_or(|&e| e as usize != node_count)
+        || members.len() != node_count
+    {
+        return Err("member CSR has the wrong shape".into());
+    }
+    let mut seen = BitSet::new(node_count);
+    for c in 0..c_count {
+        let (s, e) = (members_off[c] as usize, members_off[c + 1] as usize);
+        if s > e {
+            return Err("member offsets not monotone".into());
+        }
+        for &v in &members[s..e] {
+            if v.index() >= node_count || comp[v.index()] as usize != c {
+                return Err(format!("node {} filed under component {c}", v.0));
+            }
+            if !seen.insert(v.index()) {
+                return Err(format!("node {} listed twice", v.0));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compares an index's component partition and cyclic flags against a
+/// fresh Tarjan pass over `g` (numbering-agnostic: the two partitions
+/// must induce the same equivalence relation).
+fn check_condensation<L>(g: &DiGraph<L>, comp: &[u32], cyclic: &BitSet) -> Result<(), Violation> {
+    let scc = tarjan_scc(g);
+    let c_count = cyclic.len();
+    let mut fwd = vec![u32::MAX; c_count];
+    let mut bwd = vec![u32::MAX; scc.count()];
+    for v in g.nodes() {
+        let a = comp[v.index()] as usize;
+        let b = scc.component_of(v);
+        if fwd[a] == u32::MAX {
+            fwd[a] = b as u32;
+        } else if fwd[a] != b as u32 {
+            return Err(Violation::new(
+                "condensation-partition",
+                format!("component {a} spans multiple SCCs (node {})", v.0),
+            ));
+        }
+        if bwd[b] == u32::MAX {
+            bwd[b] = a as u32;
+        } else if bwd[b] != a as u32 {
+            return Err(Violation::new(
+                "condensation-partition",
+                format!("SCC {b} split across components (node {})", v.0),
+            ));
+        }
+    }
+    for (b, &mapped) in bwd.iter().enumerate() {
+        let is_cyclic =
+            scc.members(b).len() > 1 || scc.members(b).iter().any(|&v| g.has_edge(v, v));
+        let a = mapped as usize;
+        if cyclic.contains(a) != is_cyclic {
+            return Err(Violation::new(
+                "condensation-cyclic",
+                format!("component {a} cyclic flag is {}", cyclic.contains(a)),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compares `reaches` from up to `samples` evenly-spaced source nodes
+/// against brute-force proper-path BFS over `g`.
+fn check_sampled_reaches<L, I: ReachabilityIndex>(
+    g: &DiGraph<L>,
+    index: &I,
+    samples: usize,
+    check: &'static str,
+) -> Result<(), Violation> {
+    for v in sample_indices(g.node_count(), samples) {
+        let v = NodeId(v as u32);
+        let truth = proper_reach_set(g, v);
+        for w in g.nodes() {
+            if index.reaches(v, w) != truth.contains(w.index()) {
+                return Err(Violation::new(
+                    check,
+                    format!(
+                        "reaches({}, {}) = {}, BFS says {}",
+                        v.0,
+                        w.0,
+                        index.reaches(v, w),
+                        truth.contains(w.index())
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// True iff the strictly ascending slices share an element (merge scan).
@@ -791,39 +1127,19 @@ impl TwoHopIndex {
     ) -> Result<Self, String> {
         let n = g.node_count();
         let c_count = out_mask.len();
-        if comp.len() != n {
-            return Err(format!("comp covers {} of {n} nodes", comp.len()));
-        }
-        if in_mask.len() != c_count || cyclic.len() != c_count {
-            return Err("in_mask/cyclic length mismatch".into());
-        }
-        if comp.iter().any(|&c| c as usize >= c_count) {
-            return Err("component id out of range".into());
-        }
-        for (name, off, lab) in [("out", &out_off, &out_lab), ("in", &in_off, &in_lab)] {
-            if off.len() != c_count + 1 || off[0] != 0 || *off.last().unwrap() as usize != lab.len()
-            {
-                return Err(format!("{name}_off does not span {name}_lab"));
-            }
-            for c in 0..c_count {
-                let (s, e) = (off[c] as usize, off[c + 1] as usize);
-                if s > e || e > lab.len() {
-                    return Err(format!("{name}_off not monotone"));
-                }
-                let slice = &lab[s..e];
-                for w in slice.windows(2) {
-                    if w[0] >= w[1] {
-                        return Err(format!("{name} label tail not strictly sorted"));
-                    }
-                }
-                if slice
-                    .iter()
-                    .any(|&r| (r as usize) < 64 || (r as usize) >= c_count)
-                {
-                    return Err(format!("{name} label rank out of range"));
-                }
-            }
-        }
+        check_twohop_parts(
+            n,
+            TwoHopIndexParts {
+                comp: &comp,
+                cyclic: &cyclic,
+                out_mask: &out_mask,
+                in_mask: &in_mask,
+                out_off: &out_off,
+                out_lab: &out_lab,
+                in_off: &in_off,
+                in_lab: &in_lab,
+            },
+        )?;
         // Rederive the condensation adjacency from the graph under the
         // given component assignment.
         let mut out: Vec<Vec<u32>> = vec![Vec::new(); c_count];
@@ -960,8 +1276,182 @@ impl TwoHopIndex {
         }
     }
 
+    /// Cheap structural self-check (no graph needed): the
+    /// [`TwoHopIndex::from_parts`] invariants over the defining arrays,
+    /// member-CSR and adjacency-CSR consistency, and — on a
+    /// deterministic sample of components — soundness *and* completeness
+    /// of the 2-hop labels against BFS over the stored condensation
+    /// adjacency, including the cached reachable-node counts. Returns
+    /// the first violated invariant.
+    pub fn validate(&self) -> Result<(), Violation> {
+        check_twohop_parts(self.node_count, self.parts())
+            .map_err(|e| Violation::new("twohop-structure", e))?;
+        let c_count = self.component_count();
+        check_member_csr(
+            self.node_count,
+            c_count,
+            &self.comp,
+            &self.members_off,
+            &self.members,
+        )
+        .map_err(|e| Violation::new("twohop-derived", e))?;
+        if self.adj_off.len() != c_count + 1
+            || self.adj_off.first() != Some(&0)
+            || self
+                .adj_off
+                .last()
+                .is_none_or(|&e| e as usize != self.adj.len())
+        {
+            return Err(Violation::new(
+                "twohop-derived",
+                "adjacency CSR has the wrong shape",
+            ));
+        }
+        for c in 0..c_count {
+            let (s, e) = (self.adj_off[c] as usize, self.adj_off[c + 1] as usize);
+            if s > e {
+                return Err(Violation::new(
+                    "twohop-derived",
+                    "adjacency offsets not monotone",
+                ));
+            }
+            if self.adj[s..e].iter().any(|&d| d as usize >= c_count) {
+                return Err(Violation::new(
+                    "twohop-derived",
+                    format!("adjacency of component {c} points out of range"),
+                ));
+            }
+        }
+        let member_len = |c: usize| (self.members_off[c + 1] - self.members_off[c]) as usize;
+        // Label soundness + completeness vs BFS over the stored
+        // condensation adjacency, on a deterministic component sample.
+        let mut reached = BitSet::new(c_count);
+        for c in sample_indices(c_count, 16) {
+            reached.clear();
+            let mut queue = vec![c as u32];
+            let mut head = 0;
+            let mut nodes = if self.cyclic.contains(c) {
+                member_len(c)
+            } else {
+                0
+            };
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &w in &self.adj[self.adj_off[u] as usize..self.adj_off[u + 1] as usize] {
+                    if w as usize != c && reached.insert(w as usize) {
+                        nodes += member_len(w as usize);
+                        queue.push(w);
+                    }
+                }
+            }
+            for d in 0..c_count {
+                if d == c {
+                    continue;
+                }
+                let covered = self.comp_covered(c, d);
+                if covered != reached.contains(d) {
+                    return Err(Violation::new(
+                        "twohop-labels",
+                        format!(
+                            "labels say {c} -> {d} is {covered}, adjacency BFS says {}",
+                            reached.contains(d)
+                        ),
+                    ));
+                }
+            }
+            if self.reach_nodes[c] as usize != nodes {
+                return Err(Violation::new(
+                    "twohop-derived",
+                    format!(
+                        "component {c} caches {} reachable nodes, BFS counts {nodes}",
+                        self.reach_nodes[c]
+                    ),
+                ));
+            }
+        }
+        let pairs: usize = (0..c_count)
+            .map(|c| member_len(c) * self.reach_nodes[c] as usize)
+            .sum();
+        if pairs != self.pairs {
+            return Err(Violation::new(
+                "twohop-derived",
+                format!("cached pair count {} disagrees with {pairs}", self.pairs),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deep check against the graph the index claims to cover: runs
+    /// [`TwoHopIndex::validate`], compares the component partition and
+    /// cyclic flags against a fresh Tarjan pass, verifies the stored
+    /// condensation adjacency against one rederived from `g`, compares
+    /// `reaches` from up to `samples` evenly-spaced source nodes against
+    /// brute-force proper-path BFS, and finally compares the labeling
+    /// against a fresh deterministic rebuild. The last step makes the
+    /// deep tier reject *non-canonical* labelings — e.g. a corrupted
+    /// mask bit that injects a redundant-but-true hub certificate, which
+    /// no purely semantic check can distinguish from the pruned optimum.
+    pub fn validate_against<L>(&self, g: &DiGraph<L>, samples: usize) -> Result<(), Violation> {
+        self.validate()?;
+        if g.node_count() != self.node_count {
+            return Err(Violation::new(
+                "twohop-structure",
+                format!(
+                    "index covers {} nodes, graph has {}",
+                    self.node_count,
+                    g.node_count()
+                ),
+            ));
+        }
+        check_condensation(g, &self.comp, &self.cyclic)?;
+        let c_count = self.component_count();
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); c_count];
+        for (a, b) in g.edges() {
+            let (ca, cb) = (self.comp[a.index()], self.comp[b.index()]);
+            if ca != cb {
+                out[ca as usize].push(cb);
+            }
+        }
+        for (c, out_c) in out.iter_mut().enumerate() {
+            out_c.sort_unstable();
+            out_c.dedup();
+            let stored = &self.adj[self.adj_off[c] as usize..self.adj_off[c + 1] as usize];
+            if stored != out_c.as_slice() {
+                return Err(Violation::new(
+                    "twohop-adjacency",
+                    format!("stored adjacency of component {c} disagrees with the graph"),
+                ));
+            }
+        }
+        check_sampled_reaches(g, self, samples, "twohop-reaches")?;
+        // The pruned-landmark construction is deterministic (degree
+        // order with id tiebreaks), so a loaded index must match a
+        // rebuild bit for bit.
+        let fresh = Self::new(g);
+        if self.out_mask != fresh.out_mask
+            || self.in_mask != fresh.in_mask
+            || self.out_off != fresh.out_off
+            || self.out_lab != fresh.out_lab
+            || self.in_off != fresh.in_off
+            || self.in_lab != fresh.in_lab
+        {
+            return Err(Violation::new(
+                "twohop-canonical",
+                "labeling differs from a fresh deterministic rebuild",
+            ));
+        }
+        Ok(())
+    }
+
     fn out_tail(&self, c: usize) -> &[u32] {
         &self.out_lab[self.out_off[c] as usize..self.out_off[c + 1] as usize]
+    }
+
+    /// Component-level label probe (`reaches` without the node lookup).
+    fn comp_covered(&self, cf: usize, ct: usize) -> bool {
+        self.out_mask[cf] & self.in_mask[ct] != 0
+            || intersects_sorted(self.out_tail(cf), self.in_tail(ct))
     }
 
     fn in_tail(&self, c: usize) -> &[u32] {
@@ -1398,6 +1888,109 @@ mod tests {
         }
     }
 
+    #[test]
+    fn validators_accept_fresh_indexes() {
+        for g in [
+            gnm_random(40, 120, 7),
+            random_dag(60, 150, 11),
+            preferential_attachment(80, 2, 3),
+        ] {
+            let chain = ChainIndex::new(&g);
+            chain.validate().expect("fresh chain index is valid");
+            chain
+                .validate_against(&g, g.node_count())
+                .expect("fresh chain index matches BFS");
+            let twohop = TwoHopIndex::new(&g);
+            twohop.validate().expect("fresh 2-hop index is valid");
+            twohop
+                .validate_against(&g, g.node_count())
+                .expect("fresh 2-hop index matches BFS");
+        }
+    }
+
+    #[test]
+    fn chain_validator_rejects_own_chain_claims_and_wrong_partitions() {
+        let g = gnm_random(30, 90, 5);
+        let chain = ChainIndex::new(&g);
+        let p = chain.parts();
+        // Seed an entry claiming the component's own chain slot: rejected
+        // by the structural tier (and by from_parts at load time).
+        let mut entries = p.entries.to_vec();
+        let mut entry_off = p.entry_off.to_vec();
+        // Give component 0 an entry for its own (chain, position).
+        let own = (p.chain_of[0], p.pos_of[0]);
+        entries.insert(entry_off[0] as usize, own);
+        for off in &mut entry_off[1..] {
+            *off += 1;
+        }
+        assert!(ChainIndex::from_parts(
+            g.node_count(),
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            p.chain_of.to_vec(),
+            p.pos_of.to_vec(),
+            entry_off,
+            entries,
+        )
+        .is_err());
+        // A comp permutation that keeps ids in range passes the cheap
+        // structural tier's range checks but fails the deep partition
+        // comparison (two nodes of different SCCs swapped).
+        let mut comp = p.comp.to_vec();
+        if let Some((i, j)) = (0..comp.len())
+            .flat_map(|i| ((i + 1)..comp.len()).map(move |j| (i, j)))
+            .find(|&(i, j)| comp[i] != comp[j])
+        {
+            comp.swap(i, j);
+            let tampered = ChainIndex::from_parts(
+                g.node_count(),
+                comp,
+                p.cyclic.clone(),
+                p.chain_of.to_vec(),
+                p.pos_of.to_vec(),
+                p.entry_off.to_vec(),
+                p.entries.to_vec(),
+            )
+            .expect("swap keeps ids in range");
+            assert!(tampered.validate_against(&g, g.node_count()).is_err());
+        }
+    }
+
+    #[test]
+    fn twohop_validator_rejects_dropped_and_stray_labels() {
+        let g = gnm_random(30, 90, 5);
+        let idx = TwoHopIndex::new(&g);
+        let p = idx.parts();
+        // Clearing a component's hub mask drops its self-certificate (or
+        // a covering label): the structural tier or the label-vs-BFS
+        // sample must notice.
+        let mut out_mask = p.out_mask.to_vec();
+        let victim = (0..out_mask.len())
+            .find(|&c| out_mask[c] != 0)
+            .expect("some component has hub labels");
+        out_mask[victim] = 0;
+        let tampered = TwoHopIndex::from_parts(
+            &g,
+            p.comp.to_vec(),
+            p.cyclic.clone(),
+            out_mask,
+            p.in_mask.to_vec(),
+            p.out_off.to_vec(),
+            p.out_lab.to_vec(),
+            p.in_off.to_vec(),
+            p.in_lab.to_vec(),
+        );
+        match tampered {
+            Err(_) => {}
+            Ok(t) => {
+                assert!(
+                    t.validate().is_err() || t.validate_against(&g, g.node_count()).is_err(),
+                    "dropped labels must not validate"
+                );
+            }
+        }
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -1516,6 +2109,18 @@ mod tests {
                         .collect();
                     prop_assert_eq!(listed, expected, "from {:?}", u);
                 }
+            }
+
+            /// Freshly built indexes always pass both validation tiers
+            /// (the zero-false-positive half of the audit contract).
+            #[test]
+            fn prop_fresh_indexes_validate(g in arb_graph()) {
+                let chain = ChainIndex::new(&g);
+                prop_assert!(chain.validate().is_ok());
+                prop_assert!(chain.validate_against(&g, g.node_count()).is_ok());
+                let twohop = TwoHopIndex::new(&g);
+                prop_assert!(twohop.validate().is_ok());
+                prop_assert!(twohop.validate_against(&g, g.node_count()).is_ok());
             }
 
             /// Serialization parts round-trip losslessly.

@@ -112,6 +112,7 @@ pub fn tarjan_scc<L>(g: &DiGraph<L>) -> SccResult {
                     let cid = members.len() as u32;
                     let mut group = Vec::new();
                     loop {
+                        // phom-lint: allow(unwrap, "Tarjan invariant: a root's component members are on the stack above it")
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w.index()] = false;
                         comp[w.index()] = cid;

@@ -1,0 +1,107 @@
+//! Shared vocabulary for the structural invariant validators: the
+//! [`Violation`] error type plus the brute-force reachability and
+//! sampling helpers the per-backend `validate()` / `validate_against()`
+//! methods build on.
+//!
+//! Every reachability backend ([`crate::closure::TransitiveClosure`],
+//! [`crate::reach::ChainIndex`], [`crate::reach::TwoHopIndex`]) exposes
+//! two validation tiers:
+//!
+//! * **`validate()`** — cheap, self-contained: structural well-formedness
+//!   of the index's own arrays (the same checks its `from_parts`
+//!   constructor runs) plus internal cross-table consistency. No graph
+//!   needed; suitable for snapshot-restore gating.
+//! * **`validate_against(g, samples)`** — deep: the index's `reaches`
+//!   relation is compared against brute-force proper-path BFS from a
+//!   deterministic sample of source nodes, and condensation-level
+//!   structure (component partition, cyclic flags) is compared against a
+//!   fresh Tarjan pass.
+//!
+//! Both tiers apply to **full** (unbounded) closures; hop-bounded
+//! closures from [`crate::closure::TransitiveClosure::bounded`] are not
+//! composition-closed and are out of scope.
+
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, NodeId};
+use std::fmt;
+
+/// A violated structural invariant: which check failed, and the first
+/// offending detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the failed check (e.g. `"closure-composition"`).
+    pub check: &'static str,
+    /// Human-readable description of the first violation found.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation for `check` with the given detail.
+    pub fn new(check: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            check,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Brute-force **proper** reachability: the set of nodes reachable from
+/// `from` via a nonempty path (so `from` itself only if it lies on a
+/// cycle). The ground truth the deep validators compare against.
+pub fn proper_reach_set<L>(g: &DiGraph<L>, from: NodeId) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack: Vec<NodeId> = g.post(from).to_vec();
+    while let Some(v) = stack.pop() {
+        if seen.insert(v.index()) {
+            stack.extend_from_slice(g.post(v));
+        }
+    }
+    seen
+}
+
+/// Up to `samples` indices evenly spaced over `0..n`, deduplicated —
+/// the deterministic source-node sample the deep validators BFS from
+/// (no RNG, so audits are reproducible byte-for-byte).
+pub fn sample_indices(n: usize, samples: usize) -> Vec<usize> {
+    if n == 0 || samples == 0 {
+        return Vec::new();
+    }
+    let take = samples.min(n);
+    let mut out: Vec<usize> = (0..take).map(|i| i * n / take).collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::graph_from_labels;
+
+    #[test]
+    fn proper_reach_excludes_self_off_cycle() {
+        let g = graph_from_labels(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        let r = proper_reach_set(&g, NodeId(0));
+        assert!(!r.contains(0));
+        assert!(r.contains(1) && r.contains(2));
+        let cyc = graph_from_labels(&["a", "b"], &[("a", "b"), ("b", "a")]);
+        assert!(proper_reach_set(&cyc, NodeId(0)).contains(0));
+    }
+
+    #[test]
+    fn sample_indices_are_unique_and_bounded() {
+        assert_eq!(sample_indices(0, 8), Vec::<usize>::new());
+        assert_eq!(sample_indices(3, 8), vec![0, 1, 2]);
+        let s = sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&i| i < 100));
+    }
+}

@@ -37,7 +37,9 @@ use phom_engine::{
     plan_query_with, CompressionPolicy, Engine, Plan, PlannerConfig, PrepareOptions, PreparedGraph,
     Query, UpdateStats,
 };
-use phom_graph::{component_groups, tarjan_scc, weakly_connected_components, DiGraph, NodeId};
+use phom_graph::{
+    component_groups, tarjan_scc, weakly_connected_components, DiGraph, NodeId, Violation,
+};
 use phom_sim::SimMatrix;
 use phom_trace::{QueryTrace, SpanKind};
 use std::collections::{BTreeSet, HashMap};
@@ -233,6 +235,119 @@ impl<L: ServiceLabel> GraphEntry<L> {
         info
     }
 
+    /// Structural invariants of the sharded entry, cheap tier: the shard
+    /// layout partitions the full graph's nodes (locator and node lists
+    /// agree in both directions, lists ascend in global id order — the
+    /// monotone-ids soundness condition above), every shard was prepared
+    /// under the entry's pinned options (the pinned-decisions condition),
+    /// and every shard's reachability backend passes its own
+    /// [`PreparedGraph::validate`]. Does not recompute any closure.
+    pub fn validate(&self) -> Result<(), Violation> {
+        let n = self.graph.node_count();
+        if self.locator.len() != n {
+            return Err(Violation::new(
+                "registry-shape",
+                format!("locator covers {} of {n} nodes", self.locator.len()),
+            ));
+        }
+        let mut covered = 0usize;
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.graph.node_count() != shard.nodes.len()
+                || shard.prepared.graph().node_count() != shard.nodes.len()
+            {
+                return Err(Violation::new(
+                    "registry-shape",
+                    format!(
+                        "shard {si}: {} listed nodes, graph has {}, prepared has {}",
+                        shard.nodes.len(),
+                        shard.graph.node_count(),
+                        shard.prepared.graph().node_count()
+                    ),
+                ));
+            }
+            covered += shard.nodes.len();
+            let mut prev: Option<u32> = None;
+            for (local, &g) in shard.nodes.iter().enumerate() {
+                if prev.is_some_and(|p| p >= g.0) {
+                    return Err(Violation::new(
+                        "registry-order",
+                        format!("shard {si}: node list not strictly ascending at {}", g.0),
+                    ));
+                }
+                prev = Some(g.0);
+                if self.locator.get(g.index()).copied() != Some((si as u32, local as u32)) {
+                    return Err(Violation::new(
+                        "registry-locator",
+                        format!("node {} not located at shard {si} slot {local}", g.0),
+                    ));
+                }
+            }
+            if shard.prepared.options() != self.options {
+                return Err(Violation::new(
+                    "registry-pin",
+                    format!("shard {si} prepared under different options than the entry's pin"),
+                ));
+            }
+            shard
+                .prepared
+                .validate()
+                .map_err(|v| Violation::new(v.check, format!("shard {si}: {}", v.detail)))?;
+        }
+        if covered != n {
+            return Err(Violation::new(
+                "registry-partition",
+                format!("shards cover {covered} of {n} nodes"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deep tier of [`GraphEntry::validate`]: additionally validates
+    /// every shard's backend against its shard graph (fresh Tarjan
+    /// partition + sampled BFS ground truth, `samples` sources per
+    /// shard), and checks each shard graph is the full graph's induced
+    /// subgraph on its node list (labels and edges).
+    pub fn validate_deep(&self, samples: usize) -> Result<(), Violation> {
+        self.validate()?;
+        for (si, shard) in self.shards.iter().enumerate() {
+            for (local, &global) in shard.nodes.iter().enumerate() {
+                if shard.graph.label(NodeId(local as u32)) != self.graph.label(global) {
+                    return Err(Violation::new(
+                        "registry-labels",
+                        format!(
+                            "shard {si}: node {} label disagrees with full graph",
+                            global.0
+                        ),
+                    ));
+                }
+            }
+            for (a, b) in shard.graph.edges() {
+                if !self
+                    .graph
+                    .has_edge(shard.nodes[a.index()], shard.nodes[b.index()])
+                {
+                    return Err(Violation::new(
+                        "registry-edges",
+                        format!("shard {si}: edge {a:?}->{b:?} missing from full graph"),
+                    ));
+                }
+            }
+            shard
+                .prepared
+                .validate_deep(samples)
+                .map_err(|v| Violation::new(v.check, format!("shard {si}: {}", v.detail)))?;
+        }
+        let full_edges = self.graph.edge_count();
+        let shard_edges: usize = self.shards.iter().map(|s| s.graph.edge_count()).sum();
+        if full_edges != shard_edges {
+            return Err(Violation::new(
+                "registry-edges",
+                format!("shards hold {shard_edges} edges, full graph has {full_edges}"),
+            ));
+        }
+        Ok(())
+    }
+
     /// Plans `query` once against the full graph, routes it to the shards
     /// that can contain a match, and merges per pattern component. With
     /// `trace`, the response carries a [`QueryTrace`] of `plan` / `route`
@@ -286,6 +401,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
                 trace: tr,
             });
         }
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let mut tr = trace.then(|| Box::new(QueryTrace::new()));
         let plan_open = tr.as_ref().map(|t| t.begin());
@@ -301,6 +417,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
             .config
             .timeout
             .or(planner.timeout)
+            // phom-lint: allow(clock, "monotonic deadline for the per-request time budget; no wall-clock semantics")
             .map(|t| Instant::now() + t);
         Ok(self.execute_sharded(engine, query, plan, deadline, started, tr))
     }
@@ -368,6 +485,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
             // stay unmapped — the same semantics as an in-kernel expiry).
             let mut remaining = None;
             if let Some(d) = deadline {
+                // phom-lint: allow(clock, "monotonic deadline check for the per-request time budget; no wall-clock semantics")
                 let left = d.saturating_duration_since(Instant::now());
                 if left.is_zero() {
                     timed_out = true;
@@ -474,7 +592,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
             t.counters.cache_hit = consulted > 0 && all_cache_hits;
             t.counters.closure_backend = match backends.len() {
                 0 => "none".to_owned(),
-                1 => backends.pop().expect("checked len"),
+                1 => backends.swap_remove(0),
                 _ => "mixed".to_owned(),
             };
         }
@@ -503,6 +621,7 @@ impl<L: ServiceLabel> GraphEntry<L> {
         base_options: PrepareOptions,
         updates: &[GraphUpdate],
     ) -> (GraphEntry<L>, UpdateSummary) {
+        // phom-lint: allow(clock, "monotonic elapsed-time stats for prepare/query/update timings; no wall-clock semantics")
         let started = Instant::now();
         let n = self.graph.node_count();
         let sharded = self.shards.len() > 1;
@@ -727,6 +846,16 @@ impl<L: ServiceLabel> GraphEntry<L> {
         };
         let n = data.get_u32() as usize;
         let shard_count = data.get_u32() as usize;
+        // Every node appears in exactly one shard's node list at 4 bytes
+        // apiece, so a header claiming more nodes than the remaining
+        // bytes could hold is corrupt — and must be rejected *before*
+        // the locator allocation sizes itself off the bogus count.
+        if n > data.remaining() / 4 {
+            return Err(ServiceError::SnapshotCorrupt(format!(
+                "{n} nodes exceed what {} snapshot bytes can hold",
+                data.remaining()
+            )));
+        }
         if shard_count > n.max(1) {
             return Err(ServiceError::SnapshotCorrupt(format!(
                 "{shard_count} shards exceed {n} nodes"
@@ -783,8 +912,13 @@ impl<L: ServiceLabel> GraphEntry<L> {
                 }
             }
             let mut full: DiGraph<L> = DiGraph::with_capacity(n);
-            for label in labels {
-                full.add_node(label.expect("coverage checked above"));
+            for (i, label) in labels.into_iter().enumerate() {
+                // Unreachable after the no-shard scan above, but corrupt
+                // input should never panic the restore path.
+                let label = label.ok_or_else(|| {
+                    ServiceError::SnapshotCorrupt(format!("node {i} belongs to no shard"))
+                })?;
+                full.add_node(label);
             }
             for shard in &shards {
                 for (a, b) in shard.graph.edges() {

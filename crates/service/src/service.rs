@@ -56,6 +56,16 @@ pub struct ServiceConfig {
     /// [`Service::slo_status`] (and [`Service::stats`]) read. Empty (the
     /// default) disables the monitor.
     pub slo: SloConfig,
+    /// When true, [`Service::restore`] runs the cheap structural tier of
+    /// the invariant validators over the restored entry (shard layout,
+    /// pinned options, per-shard reachability-index invariants) before
+    /// registering it. A snapshot that *parses* but carries a corrupted
+    /// index is rejected with [`ServiceError::SnapshotCorrupt`] and
+    /// journaled as a `SnapshotRejected` event instead of silently
+    /// serving wrong reachability answers. Off by default: the deep
+    /// per-row checks stay in `phom audit`, and restores of trusted
+    /// snapshots skip the extra pass.
+    pub validate_on_restore: bool,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +79,7 @@ impl Default for ServiceConfig {
             journal_capacity: 0,
             flight_capacity: FLIGHT_DEFAULT_CAPACITY,
             slo: SloConfig::disabled(),
+            validate_on_restore: false,
         }
     }
 }
@@ -134,6 +145,12 @@ impl ServiceConfigBuilder {
     /// Sets [`ServiceConfig::slo`].
     pub fn slo(mut self, slo: SloConfig) -> Self {
         self.config.slo = slo;
+        self
+    }
+
+    /// Sets [`ServiceConfig::validate_on_restore`].
+    pub fn validate_on_restore(mut self, validate: bool) -> Self {
+        self.config.validate_on_restore = validate;
         self
     }
 
@@ -415,9 +432,21 @@ impl<L: ServiceLabel> Service<L> {
         }
         let entry = crate::registry::GraphEntry::restore(
             self.config.engine.prepare_options(),
-            name,
+            name.clone(),
             snapshot,
         )?;
+        if self.config.validate_on_restore {
+            if let Err(v) = entry.validate() {
+                self.journal
+                    .emit(Severity::Error, || EventKind::SnapshotRejected {
+                        graph: name.clone(),
+                        reason: v.to_string(),
+                    });
+                return Err(ServiceError::SnapshotCorrupt(format!(
+                    "restored index failed validation: {v}"
+                )));
+            }
+        }
         let info = self.registry.insert(entry).map(|e| e.info())?;
         self.journal
             .emit(Severity::Info, || EventKind::GraphRegistered {
@@ -447,6 +476,7 @@ impl<L: ServiceLabel> Service<L> {
         trace: bool,
     ) -> Result<QueryResponse, ServiceError> {
         let entry = self.registry.get(graph)?;
+        // phom-lint: allow(clock, "monotonic elapsed-time admission span for traces; no wall-clock semantics")
         let admission_started = if trace { Some(Instant::now()) } else { None };
         let permit = self.gate.try_acquire(1).inspect_err(|e| {
             self.counters.queries_shed.fetch_add(1, Ordering::Relaxed);
@@ -1075,6 +1105,82 @@ mod tests {
             restored.restore("bad".into(), Bytes::from_static(b"garbage")),
             Err(ServiceError::SnapshotCorrupt(_))
         ));
+    }
+
+    #[test]
+    fn validate_on_restore_gates_corrupted_snapshots() {
+        let strict_service = || -> Service<String> {
+            Service::new(
+                ServiceConfig::builder()
+                    .sharding(ShardingConfig::disabled())
+                    .validate_on_restore(true)
+                    .journal_capacity(16)
+                    .build(),
+            )
+        };
+        let service: Service<String> = Service::new(
+            ServiceConfig::builder()
+                .sharding(ShardingConfig::disabled())
+                .build(),
+        );
+        service.register("web".into(), two_part_graph()).unwrap();
+        let bytes = service.snapshot("web").expect("snapshot");
+
+        // A healthy snapshot passes the gate unchanged.
+        let strict = strict_service();
+        strict
+            .restore("ok".into(), bytes.clone())
+            .expect("valid snapshot passes the restore gate");
+        assert!(strict
+            .journal()
+            .snapshot()
+            .iter()
+            .all(|e| e.kind.name() != "SnapshotRejected"));
+
+        // Sweep single-byte corruptions. Some break the parse (already a
+        // typed error without the gate), some are semantically neutral —
+        // but at least one must parse cleanly yet carry a wrong index,
+        // which only the validation gate catches. The full-byte flip is
+        // mostly parse-caught (range and padding checks); the single-bit
+        // flip is the parse-clean wrong-answer case the gate exists for.
+        let mut gate_catches = 0usize;
+        for (i, xor) in (0..bytes.len()).flat_map(|i| [(i, 0xFFu8), (i, 0x01)]) {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= xor;
+            let bad = Bytes::from(bad);
+            let lax: Service<String> = Service::new(
+                ServiceConfig::builder()
+                    .sharding(ShardingConfig::disabled())
+                    .build(),
+            );
+            if lax.restore("g".into(), bad.clone()).is_err() {
+                continue; // the parser already rejects this one
+            }
+            let strict = strict_service();
+            if matches!(
+                strict.restore("g".into(), bad),
+                Err(ServiceError::SnapshotCorrupt(_))
+            ) {
+                gate_catches += 1;
+                assert!(
+                    strict
+                        .journal()
+                        .snapshot()
+                        .iter()
+                        .any(|e| e.kind.name() == "SnapshotRejected"),
+                    "rejection must journal a SnapshotRejected event"
+                );
+                assert_eq!(
+                    strict.registry().names(),
+                    Vec::<String>::new(),
+                    "rejected snapshot must not register"
+                );
+            }
+        }
+        assert!(
+            gate_catches > 0,
+            "no parse-clean corruption was caught by the restore gate"
+        );
     }
 
     #[test]

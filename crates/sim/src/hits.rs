@@ -66,7 +66,7 @@ pub fn top_hits_nodes<L>(g: &DiGraph<L>, iterations: usize, k: usize) -> Vec<Nod
     nodes.sort_by(|&a, &b| {
         let sa = s.hub[a.index()] + s.authority[a.index()];
         let sb = s.hub[b.index()] + s.authority[b.index()];
-        sb.partial_cmp(&sa).expect("finite").then(a.cmp(&b))
+        sb.total_cmp(&sa).then(a.cmp(&b))
     });
     nodes.truncate(k);
     nodes

@@ -95,8 +95,7 @@ pub fn top_pagerank_nodes<L>(g: &DiGraph<L>, cfg: &PageRankConfig, k: usize) -> 
     let mut order: Vec<NodeId> = g.nodes().collect();
     order.sort_by(|a, b| {
         scores[b.index()]
-            .partial_cmp(&scores[a.index()])
-            .expect("pagerank scores are finite")
+            .total_cmp(&scores[a.index()])
             .then(a.cmp(b))
     });
     order.truncate(k);

@@ -128,6 +128,14 @@ pub enum EventKind {
         /// Serialized size.
         bytes: usize,
     },
+    /// A snapshot restore parsed but failed the structural invariant
+    /// validators and was rejected instead of registered.
+    SnapshotRejected {
+        /// The name the restore targeted.
+        graph: String,
+        /// The violated invariant (check id plus detail).
+        reason: String,
+    },
     /// An SLO objective crossed both burn-rate thresholds.
     SloBreached {
         /// Objective name (see `SloConfig`).
@@ -159,6 +167,7 @@ impl EventKind {
             EventKind::QueryTimedOut { .. } => "QueryTimedOut",
             EventKind::BackendFallback { .. } => "BackendFallback",
             EventKind::SnapshotSaved { .. } => "SnapshotSaved",
+            EventKind::SnapshotRejected { .. } => "SnapshotRejected",
             EventKind::SloBreached { .. } => "SloBreached",
             EventKind::FlightDump { .. } => "FlightDump",
         }
@@ -216,6 +225,11 @@ impl EventKind {
             EventKind::SnapshotSaved { graph, bytes } => format!(
                 "{{\"graph\":\"{}\",\"bytes\":{bytes}}}",
                 crate::json_escape(graph)
+            ),
+            EventKind::SnapshotRejected { graph, reason } => format!(
+                "{{\"graph\":\"{}\",\"reason\":\"{}\"}}",
+                crate::json_escape(graph),
+                crate::json_escape(reason)
             ),
             EventKind::SloBreached {
                 objective,

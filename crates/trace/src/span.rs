@@ -181,6 +181,7 @@ impl QueryTrace {
     pub fn new() -> Self {
         CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         QueryTrace {
+            // phom-lint: allow(clock, "trace origin: span offsets are monotonic durations from this instant; no wall-clock semantics")
             origin: Instant::now(),
             spans: Vec::new(),
             counters: TraceCounters::default(),
@@ -189,6 +190,7 @@ impl QueryTrace {
 
     /// Opens a span (records nothing yet).
     pub fn begin(&self) -> SpanStart {
+        // phom-lint: allow(clock, "span open timestamp: recorded only as a monotonic offset from the trace origin")
         SpanStart(Instant::now())
     }
 

@@ -68,7 +68,9 @@ pub fn ramsey(g: &UGraph, subset: &BitSet) -> RamseyResult {
                 work.push(State::Enter(non_neighbors));
             }
             State::Combine { pivot } => {
+                // phom-lint: allow(unwrap, "explicit-stack recursion: every Combine is pushed under two Enter states, each of which pushes one result first")
                 let r2 = results.pop().expect("second child result");
+                // phom-lint: allow(unwrap, "explicit-stack recursion: every Combine is pushed under two Enter states, each of which pushes one result first")
                 let r1 = results.pop().expect("first child result");
 
                 let mut clique1 = r1.clique;
@@ -95,6 +97,7 @@ pub fn ramsey(g: &UGraph, subset: &BitSet) -> RamseyResult {
         }
     }
 
+    // phom-lint: allow(unwrap, "the work loop leaves exactly the root's result on the stack")
     let mut r = results.pop().expect("root result");
     debug_assert!(results.is_empty());
     r.clique.sort_unstable();

@@ -85,15 +85,17 @@ pub fn weighted_independent_set(g: &UGraph, weights: &[f64]) -> WeightedIsResult
 
     if best.weight == f64::NEG_INFINITY {
         // Everything fell below the cutoff (possible only for tiny n with
-        // extreme weight skew): fall back to the single heaviest vertex.
-        let (v, &w) = weights
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .expect("n > 0");
+        // extreme weight skew): fall back to the single heaviest vertex
+        // (n > 0 was established above, so index 0 exists).
+        let mut v = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > weights[v] {
+                v = i;
+            }
+        }
         return WeightedIsResult {
             set: vec![v],
-            weight: w,
+            weight: weights[v],
         };
     }
     best.set.sort_unstable();

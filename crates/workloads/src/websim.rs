@@ -230,6 +230,7 @@ pub fn generate_archive(spec: &SiteSpec) -> SiteArchive {
     let mut versions = Vec::with_capacity(spec.versions);
     versions.push(v0);
     for _ in 1..spec.versions {
+        // phom-lint: allow(unwrap, "versions holds v0 before the loop starts and grows each iteration")
         let next = evolve(versions.last().expect("nonempty"), &churn, &mut g);
         versions.push(next);
     }

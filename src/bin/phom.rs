@@ -25,6 +25,9 @@
 //!               [--timeout-micros U] [--stats-json PATH]
 //!               [--trace-json PATH] [--slow-query-micros T]
 //! phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]
+//! phom lint     [paths..] [--deny] [--json] [--baseline PATH]
+//! phom audit    --graph <snapshot> [--deep] [--samples N]
+//! phom audit    --generate <snapshot.out> [--nodes M] [--seed S]
 //! ```
 //!
 //! `engine-batch` and `engine-live` run through the service layer
@@ -33,6 +36,13 @@
 //! replays an open-loop request mix against it; `flight-dump` replays a
 //! short synthetic batch and prints the always-on flight recorder's
 //! retained per-query summaries.
+//!
+//! `lint` runs the project's own rule set (`phom_audit`) over the
+//! workspace (or the given paths) and, with `--deny`, exits nonzero on
+//! any finding not covered by `lint-baseline.txt`; `audit` validates a
+//! serialized engine snapshot with the structural tier and, with
+//! `--deep`, the graph-backed tier (`--generate` writes a synthetic
+//! snapshot to audit, which CI corrupts to exercise the negative path).
 //!
 //! The four service-backed subcommands additionally accept the
 //! **operations flags**: `--journal PATH` (structured JSON-lines event
@@ -92,7 +102,11 @@ fn main() -> ExitCode {
              \x20                           [--arrivals open:<rate>|poisson:<rate>] [--seed S]\n\
              \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]\n\
              \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
-             phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]\n\n\
+             phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]\n\
+             phom lint     [paths..] [--deny] [--json] [--baseline PATH]\n\
+             phom audit    --graph <snapshot> [--deep] [--samples N]\n\
+             phom audit    --generate <snapshot.out> [--nodes M] [--seed S]\n\
+             \x20                           [--closure-backend dense|chain|twohop|auto]\n\n\
              operations flags (engine-batch, engine-live, serve-sim, flight-dump):\n\
              \x20  --journal PATH         JSON-lines event journal sink\n\
              \x20  --metrics-text PATH    Prometheus text exposition (serve-sim: periodic)\n\
@@ -113,6 +127,8 @@ fn main() -> ExitCode {
         "engine-live" => cmd_engine_live(&args[1..]),
         "serve-sim" => cmd_serve_sim(&args[1..]),
         "flight-dump" => cmd_flight_dump(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
         other => fail(&format!("unknown command {other:?}")),
     }
 }
@@ -1831,4 +1847,151 @@ fn cmd_flight_dump(args: &[String]) -> ExitCode {
         return fail(&e);
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(std::path::PathBuf::from(p)),
+                None => return fail("--baseline needs a path"),
+            },
+            p if !p.starts_with("--") => paths.push(std::path::PathBuf::from(p)),
+            other => return fail(&format!("unknown lint flag {other:?}")),
+        }
+    }
+    let root = match std::env::current_dir() {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cannot resolve working directory: {e}")),
+    };
+    // The committed baseline applies by default; --baseline overrides.
+    let default_baseline = root.join("lint-baseline.txt");
+    let baseline = baseline.or_else(|| default_baseline.is_file().then_some(default_baseline));
+    let report = if paths.is_empty() {
+        phom::audit::lint_workspace(&root, baseline.as_deref())
+    } else {
+        phom::audit::lint_paths(&root, &paths, baseline.as_deref())
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("lint failed: {e}")),
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let mut graph: Option<String> = None;
+    let mut generate: Option<String> = None;
+    let mut deep = false;
+    let mut samples = 16usize;
+    let mut nodes = 400usize;
+    let mut seed = 7u64;
+    let mut backend = ClosureBackend::Auto;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--graph" => match take("--graph") {
+                Ok(v) => graph = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--generate" => match take("--generate") {
+                Ok(v) => generate = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--deep" => deep = true,
+            "--samples" => match take("--samples")
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--samples: {e}")))
+            {
+                Ok(v) => samples = v,
+                Err(e) => return fail(&e),
+            },
+            "--nodes" => match take("--nodes")
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("--nodes: {e}")))
+            {
+                Ok(v) => nodes = v,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match take("--seed")
+                .and_then(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+            {
+                Ok(v) => seed = v,
+                Err(e) => return fail(&e),
+            },
+            "--closure-backend" => match take("--closure-backend") {
+                Ok(v) => match ClosureBackend::parse(&v) {
+                    Some(b) => backend = b,
+                    None => return fail(&format!("unknown closure backend {v:?}")),
+                },
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown audit flag {other:?}")),
+        }
+    }
+    if let Some(path) = generate {
+        // Build a synthetic data graph, prepare it under the requested
+        // backend, and write the engine snapshot — the positive fixture
+        // for the CI audit smoke (corrupt a byte to get the negative).
+        let cfg = SyntheticConfig {
+            m: nodes,
+            noise: 0.1,
+            seed,
+        };
+        let inst = generate_instance(&cfg, 1);
+        let data: DiGraph<String> = inst.g2.map_labels(|_, l| format!("L{l}"));
+        let prepared = PreparedGraph::with_backend(
+            std::sync::Arc::new(data),
+            backend,
+            DEFAULT_CHAIN_NODE_THRESHOLD,
+        );
+        let bytes = prepared.save_snapshot();
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "wrote snapshot: {} nodes, {} edges, backend {} ({} bytes) -> {path}",
+            prepared.stats().nodes,
+            prepared.stats().edges,
+            prepared.stats().closure_backend,
+            bytes.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = graph else {
+        return fail("audit needs --graph <snapshot> or --generate <snapshot.out>");
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    match audit_snapshot(bytes::Bytes::from(bytes), deep, samples) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("audit FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

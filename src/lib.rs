@@ -27,6 +27,7 @@
 //! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching, live updates |
 //! | [`trace`] | per-query traces (typed spans + sampled counters), windowed metrics registry, slow-trace retention |
 //! | [`service`] | request/response service layer: multi-graph registry with WCC sharding, admission control, typed errors |
+//! | [`audit`] | correctness tooling: project lint pass (`phom lint`) and structural invariant validators over snapshots (`phom audit`) |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use phom_audit as audit;
 pub use phom_baselines as baselines;
 pub use phom_core as core;
 pub use phom_dynamic as dynamic;
@@ -72,6 +74,7 @@ pub use phom_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use phom_audit::{audit_snapshot, lint_workspace, AuditError, AuditReport, LintReport};
     pub use phom_baselines::{
         blondel_similarity, extract_matching, feature_similarity, flooding_match_quality,
         graph_simulation, is_subgraph_isomorphic, maximum_common_subgraph, similarity_flooding,

@@ -1,0 +1,16 @@
+//! Seeded lint violations — the CI negative control.
+//!
+//! This file is **not** compiled (only top-level `tests/*.rs` files are
+//! integration-test roots) and sits outside the workspace lint sweep;
+//! CI lints it explicitly and asserts `phom lint --deny` exits nonzero,
+//! proving the gate still fires before it is trusted to pass the tree.
+
+pub struct Undocumented;
+
+/// Unwraps in library position and reads the wall clock directly.
+pub fn seeded_violations(v: Option<u32>) -> u32 {
+    let _started = std::time::Instant::now();
+    // phom-lint: allow(clock)
+    let _reasonless_waiver_above_is_itself_a_finding = ();
+    v.unwrap()
+}
