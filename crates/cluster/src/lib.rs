@@ -1,0 +1,40 @@
+//! # phom-cluster
+//!
+//! Cross-process scale-out for the `phom-service` layer: the repo's
+//! answer to "one process will never be the endgame".
+//!
+//! * [`codec`] — a length-prefixed, versioned binary codec for the full
+//!   [`phom_service::Request`] / [`phom_service::Response`] /
+//!   [`phom_service::ServiceError`] envelope over the `bytes` seam, with
+//!   a configurable frame cap and budget-checked decoding (a corrupt or
+//!   hostile frame yields a typed [`codec::CodecError`], never a panic).
+//! * [`transport`] — one [`transport::Transport`] trait with two
+//!   implementations: real TCP with per-connection read/write timeouts,
+//!   and an in-process channel hub so every router/worker test runs
+//!   hermetically (and can inject disconnects deterministically).
+//! * [`worker`] — the worker process mode behind `phom worker --listen`:
+//!   a [`phom_service::Service`] hosted behind a socket accept loop, one
+//!   framed request/response exchange at a time per connection.
+//! * [`router`] — the front-end: owns the shard map (component-group
+//!   assignment reusing [`phom_graph::component_groups`]), fans queries
+//!   out to the candidate-holding workers, merges per pattern component
+//!   **exactly** as the in-process sharded path does (routed answers are
+//!   bit-identical to a single-process `Service` run), routes updates to
+//!   the owning workers, and keeps read replicas hydrated from service
+//!   snapshots — with heartbeat failure detection, retry/backoff, and
+//!   replica promotion on primary death.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod router;
+pub mod transport;
+pub mod worker;
+
+pub use codec::{CodecError, FrameConfig, WireMessage, WIRE_MAGIC, WIRE_VERSION};
+pub use router::{Router, RouterConfig, RouterError, RouterStats};
+pub use transport::{
+    ChannelHub, ChannelTransport, Connection, Listener, TcpTransport, Transport, TransportTimeouts,
+};
+pub use worker::{WorkerOptions, WorkerServer};

@@ -1,0 +1,386 @@
+//! One [`Transport`] seam, two implementations: real TCP sockets with
+//! per-connection read/write timeouts, and an in-process channel hub for
+//! hermetic tests (same framing, deterministic disconnects, no ports).
+//!
+//! Framing: a connection carries whole frames as produced by
+//! [`crate::codec::encode`] (4-byte big-endian length prefix + payload).
+//! [`Connection::send_frame`] takes the full frame;
+//! [`Connection::recv_frame`] returns the payload with the prefix
+//! stripped and the declared length validated against the frame cap
+//! *before* any allocation.
+
+use crate::codec::FrameConfig;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Per-connection deadlines. A read that sees no data within `read`
+/// fails with `TimedOut`/`WouldBlock` (callers poll-loop on idle
+/// connections and treat it as peer death when awaiting a response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportTimeouts {
+    /// Deadline for receiving a frame.
+    pub read: Duration,
+    /// Deadline for writing a frame.
+    pub write: Duration,
+}
+
+impl Default for TransportTimeouts {
+    fn default() -> Self {
+        TransportTimeouts {
+            read: Duration::from_secs(5),
+            write: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One bidirectional framed byte stream.
+pub trait Connection: Send {
+    /// Writes one full frame (length prefix included).
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()>;
+
+    /// Reads one frame and returns its payload (prefix stripped). The
+    /// declared length is checked against the frame cap before
+    /// allocating. `TimedOut`/`WouldBlock` means "no frame yet".
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// Dials worker addresses into [`Connection`]s.
+pub trait Transport: Send + Sync {
+    /// Opens a connection to `addr`.
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Connection>>;
+}
+
+/// Accepts inbound [`Connection`]s on a worker.
+pub trait Listener: Send {
+    /// Accepts one connection; `Ok(None)` means "none pending yet"
+    /// (poll again), errors are fatal to the listener.
+    fn accept(&self) -> io::Result<Option<Box<dyn Connection>>>;
+
+    /// The address peers dial to reach this listener.
+    fn local_addr(&self) -> String;
+}
+
+fn payload_of(frame: Vec<u8>, cap: usize) -> io::Result<Vec<u8>> {
+    if frame.len() < 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "frame shorter than its length prefix",
+        ));
+    }
+    let declared = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+    if declared > cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {declared} bytes exceeds the {cap}-byte cap"),
+        ));
+    }
+    if frame.len() != 4 + declared {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix disagrees with frame size",
+        ));
+    }
+    Ok(frame[4..].to_vec())
+}
+
+// ---------------------------------------------------------------------
+// TCP.
+// ---------------------------------------------------------------------
+
+/// The real-socket transport.
+#[derive(Debug, Clone, Default)]
+pub struct TcpTransport {
+    /// Per-connection deadlines applied to every dialed stream.
+    pub timeouts: TransportTimeouts,
+    /// Frame cap enforced on receive.
+    pub frame: FrameConfig,
+}
+
+impl TcpTransport {
+    /// Binds a listener on `addr` (port `0` picks a free port; see
+    /// [`Listener::local_addr`] for the bound address).
+    pub fn bind(&self, addr: &str) -> io::Result<TcpServerListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?.to_string();
+        Ok(TcpServerListener {
+            listener,
+            local,
+            timeouts: self.timeouts,
+            frame: self.frame,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Connection>> {
+        let mut last = io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing");
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, self.timeouts.read) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.timeouts.read))?;
+                    stream.set_write_timeout(Some(self.timeouts.write))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(Box::new(TcpConnection {
+                        stream,
+                        cap: self.frame.max_frame_bytes,
+                    }));
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+}
+
+/// A bound TCP accept socket (non-blocking; poll via [`Listener::accept`]).
+#[derive(Debug)]
+pub struct TcpServerListener {
+    listener: TcpListener,
+    local: String,
+    timeouts: TransportTimeouts,
+    frame: FrameConfig,
+}
+
+impl Listener for TcpServerListener {
+    fn accept(&self) -> io::Result<Option<Box<dyn Connection>>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_read_timeout(Some(self.timeouts.read))?;
+                stream.set_write_timeout(Some(self.timeouts.write))?;
+                stream.set_nodelay(true)?;
+                Ok(Some(Box::new(TcpConnection {
+                    stream,
+                    cap: self.frame.max_frame_bytes,
+                })))
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.local.clone()
+    }
+}
+
+struct TcpConnection {
+    stream: TcpStream,
+    cap: usize,
+}
+
+impl Connection for TcpConnection {
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)?;
+        self.stream.flush()
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        let mut prefix = [0u8; 4];
+        self.stream.read_exact(&mut prefix)?;
+        let declared = u32::from_be_bytes(prefix) as usize;
+        if declared > self.cap {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame of {declared} bytes exceeds the {}-byte cap",
+                    self.cap
+                ),
+            ));
+        }
+        let mut payload = vec![0u8; declared];
+        self.stream.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process channels.
+// ---------------------------------------------------------------------
+
+type ConnPair = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+
+/// The hermetic in-process "network": named listeners, mpsc-backed
+/// connections, deterministic disconnects (dropping either end fails the
+/// peer's next send/recv like a closed socket).
+#[derive(Default)]
+pub struct ChannelHub {
+    listeners: Mutex<HashMap<String, Sender<ConnPair>>>,
+}
+
+impl ChannelHub {
+    /// A fresh, empty hub.
+    pub fn new() -> Arc<ChannelHub> {
+        Arc::new(ChannelHub::default())
+    }
+
+    /// Binds a listener under `addr` (any non-empty string works as an
+    /// address), replacing a previous binding of the same name.
+    pub fn bind(
+        self: &Arc<Self>,
+        addr: &str,
+        timeouts: TransportTimeouts,
+        frame: FrameConfig,
+    ) -> ChannelListener {
+        let (tx, rx) = channel();
+        self.listeners
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(addr.to_owned(), tx);
+        ChannelListener {
+            rx,
+            addr: addr.to_owned(),
+            timeouts,
+            frame,
+        }
+    }
+
+    /// Removes a listener binding, so future dials to `addr` fail like a
+    /// connection refusal (used by tests to simulate worker death).
+    pub fn unbind(self: &Arc<Self>, addr: &str) {
+        self.listeners
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(addr);
+    }
+
+    /// A [`Transport`] handle dialing into this hub.
+    pub fn transport(
+        self: &Arc<Self>,
+        timeouts: TransportTimeouts,
+        frame: FrameConfig,
+    ) -> ChannelTransport {
+        ChannelTransport {
+            hub: Arc::clone(self),
+            timeouts,
+            frame,
+        }
+    }
+}
+
+impl std::fmt::Debug for ChannelHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelHub").finish_non_exhaustive()
+    }
+}
+
+/// [`Transport`] over a [`ChannelHub`].
+#[derive(Clone)]
+pub struct ChannelTransport {
+    hub: Arc<ChannelHub>,
+    timeouts: TransportTimeouts,
+    frame: FrameConfig,
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport").finish_non_exhaustive()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Connection>> {
+        let accept_tx = {
+            let listeners = self.hub.listeners.lock().unwrap_or_else(|e| e.into_inner());
+            listeners.get(addr).cloned()
+        };
+        let Some(accept_tx) = accept_tx else {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("no listener bound at {addr:?}"),
+            ));
+        };
+        let (client_tx, server_rx) = channel();
+        let (server_tx, client_rx) = channel();
+        accept_tx.send((server_tx, server_rx)).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("listener at {addr:?} is gone"),
+            )
+        })?;
+        Ok(Box::new(ChannelConnection {
+            tx: client_tx,
+            rx: client_rx,
+            read_timeout: self.timeouts.read,
+            cap: self.frame.max_frame_bytes,
+        }))
+    }
+}
+
+/// Accept side of a hub binding.
+pub struct ChannelListener {
+    rx: Receiver<ConnPair>,
+    addr: String,
+    timeouts: TransportTimeouts,
+    frame: FrameConfig,
+}
+
+impl std::fmt::Debug for ChannelListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelListener")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Listener for ChannelListener {
+    fn accept(&self) -> io::Result<Option<Box<dyn Connection>>> {
+        match self.rx.recv_timeout(Duration::from_millis(10)) {
+            Ok((tx, rx)) => Ok(Some(Box::new(ChannelConnection {
+                tx,
+                rx,
+                read_timeout: self.timeouts.read,
+                cap: self.frame.max_frame_bytes,
+            }))),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "channel listener closed",
+            )),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+struct ChannelConnection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    read_timeout: Duration,
+    cap: usize,
+}
+
+impl Connection for ChannelConnection {
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed the connection"))
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        match self.rx.recv_timeout(self.read_timeout) {
+            Ok(frame) => payload_of(frame, self.cap),
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no frame within the read timeout",
+            )),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed the connection",
+            )),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The worker process mode: a [`Service`] hosted behind a framed socket
+//! accept loop. One thread per connection; each connection is a strict
+//! request/response exchange (the router multiplexes by holding one
+//! connection per worker and serializing calls over it).
+//!
+//! Workers are registered by the router with sharding *disabled* (each
+//! worker-held graph is exactly one shard of the routed graph), so the
+//! worker-side `GraphEntry` keeps whatever compression policy the
+//! router pinned at registration — the key to bit-identical routed
+//! answers.
+
+use crate::codec::{self, FrameConfig, WireMessage};
+use crate::transport::{Connection, Listener};
+use phom_service::{Response, Service, ServiceError};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tunables for one worker server.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerOptions {
+    /// Frame cap shared with the codec.
+    pub frame: FrameConfig,
+    /// Idle sleep between accept polls.
+    pub poll_interval: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            frame: FrameConfig::default(),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A running worker: the accept loop plus its per-connection handler
+/// threads. Dropping (or [`WorkerServer::stop`]) shuts it down.
+#[derive(Debug)]
+pub struct WorkerServer {
+    stop: Arc<AtomicBool>,
+    addr: String,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Starts serving `service` on `listener` in background threads and
+    /// returns immediately.
+    pub fn spawn(
+        service: Arc<Service<String>>,
+        listener: Box<dyn Listener>,
+        options: WorkerOptions,
+    ) -> WorkerServer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = listener.local_addr();
+        let stop_in = Arc::clone(&stop);
+        let accept_thread = thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop_in.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok(Some(conn)) => {
+                        let service = Arc::clone(&service);
+                        let stop = Arc::clone(&stop_in);
+                        let frame = options.frame;
+                        handlers.push(thread::spawn(move || {
+                            serve_connection(service, conn, stop, frame);
+                        }));
+                    }
+                    Ok(None) => thread::sleep(options.poll_interval),
+                    Err(_) => break,
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        WorkerServer {
+            stop,
+            addr,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// The address peers dial to reach this worker.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Signals shutdown and joins the accept loop (connection handlers
+    /// drain on their next read-timeout tick).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    service: Arc<Service<String>>,
+    mut conn: Box<dyn Connection>,
+    stop: Arc<AtomicBool>,
+    frame: FrameConfig,
+) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let payload = match conn.recv_frame() {
+            Ok(p) => p,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // Idle connection: poll the stop flag and wait again.
+                continue;
+            }
+            Err(_) => return,
+        };
+        let reply = match codec::decode(&payload, &frame) {
+            Ok(msg) => handle_message(&service, msg),
+            Err(e) => WireMessage::Err(ServiceError::InvalidRequest(format!("codec: {e}"))),
+        };
+        let encoded = match codec::encode(&reply, &frame) {
+            Ok(f) => f,
+            Err(e) => {
+                // A response too large for the frame cap degrades into a
+                // (small) typed error instead of a dropped connection.
+                let fallback =
+                    WireMessage::Err(ServiceError::InvalidRequest(format!("response: {e}")));
+                match codec::encode(&fallback, &frame) {
+                    Ok(f) => f,
+                    Err(_) => return,
+                }
+            }
+        };
+        if conn.send_frame(&encoded).is_err() {
+            return;
+        }
+    }
+}
+
+/// Dispatches one decoded message against the worker's service.
+fn handle_message(service: &Service<String>, msg: WireMessage) -> WireMessage {
+    match msg {
+        WireMessage::Request(req) => match service.handle(req) {
+            Ok(resp) => WireMessage::Ok(resp),
+            Err(e) => WireMessage::Err(e),
+        },
+        WireMessage::Ping { seq } => WireMessage::Pong { seq },
+        WireMessage::RegisterPinned {
+            name,
+            graph,
+            compression,
+        } => {
+            let parsed = phom_graph::serialize::from_snapshot(graph)
+                .map_err(|e| ServiceError::SnapshotCorrupt(format!("pinned register: {e}")));
+            match parsed {
+                Ok(g) => match service.register_pinned(name, Arc::new(g), compression) {
+                    Ok(info) => WireMessage::Ok(Response::Registered(info)),
+                    Err(e) => WireMessage::Err(e),
+                },
+                Err(e) => WireMessage::Err(e),
+            }
+        }
+        WireMessage::Ok(_) | WireMessage::Err(_) | WireMessage::Pong { .. } => WireMessage::Err(
+            ServiceError::InvalidRequest("response message sent to a worker".into()),
+        ),
+    }
+}
+
+// Re-exported for the CLI's worker mode.
+pub use phom_service::ServiceConfig;
+
+/// Convenience: a service + worker pair for tests and the CLI — builds
+/// the `Service<String>` from `config` and serves it on `listener`.
+pub fn spawn_service(
+    config: ServiceConfig,
+    listener: Box<dyn Listener>,
+    options: WorkerOptions,
+) -> (Arc<Service<String>>, WorkerServer) {
+    let service = Arc::new(Service::new(config));
+    let server = WorkerServer::spawn(Arc::clone(&service), listener, options);
+    (service, server)
+}

@@ -423,6 +423,50 @@ impl<L: ServiceLabel> Service<L> {
         Ok(info)
     }
 
+    /// Registers `graph` under `name` with an explicit compression
+    /// policy overriding the engine default. A cluster router uses this
+    /// to force the *graph-wide* pinned compression decision onto each
+    /// worker-held shard, exactly as the in-process sharded path pins
+    /// its shards — so routed answers stay bit-identical to a
+    /// single-process run. `None` behaves like [`Service::register`].
+    pub fn register_pinned(
+        &self,
+        name: String,
+        graph: Arc<DiGraph<L>>,
+        compression: Option<phom_engine::CompressionPolicy>,
+    ) -> Result<GraphInfo, ServiceError> {
+        let Some(compression) = compression else {
+            return self.register(name, graph);
+        };
+        if name.is_empty() {
+            return Err(ServiceError::InvalidRequest(
+                "graph name must be non-empty".into(),
+            ));
+        }
+        if self.registry.get(&name).is_ok() {
+            return Err(ServiceError::AlreadyRegistered { graph: name });
+        }
+        let options = phom_engine::PrepareOptions {
+            compression,
+            ..self.config.engine.prepare_options()
+        };
+        let entry = crate::registry::GraphEntry::build(
+            &self.engine,
+            &self.config.sharding,
+            options,
+            name,
+            graph,
+        );
+        let info = self.registry.insert(entry).map(|e| e.info())?;
+        self.journal
+            .emit(Severity::Info, || EventKind::GraphRegistered {
+                graph: info.name.clone(),
+                nodes: info.nodes,
+                shards: info.shards,
+            });
+        Ok(info)
+    }
+
     /// Restores a graph from snapshot bytes (see `Request::RestoreGraph`).
     pub fn restore(&self, name: String, snapshot: Bytes) -> Result<GraphInfo, ServiceError> {
         if name.is_empty() {
@@ -880,6 +924,9 @@ impl<L: ServiceLabel> Service<L> {
             slo: self.slo_status(),
             flight_recorded: self.flight.total(),
             journal_events: self.journal.events_emitted(),
+            workers_connected: 0,
+            workers_lost: 0,
+            replicas_promoted: 0,
             engine,
         }
     }

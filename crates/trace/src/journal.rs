@@ -153,6 +153,32 @@ pub enum EventKind {
         /// Pre-rendered JSON array of the most recent flight records.
         summaries: String,
     },
+    /// A cluster router established (or re-established) a connection to
+    /// a worker process.
+    WorkerConnected {
+        /// Worker id within the router's membership.
+        worker: usize,
+        /// Transport address the worker answers on.
+        addr: String,
+    },
+    /// A worker failed its heartbeat or dropped a connection and was
+    /// removed from the serving rotation.
+    WorkerLost {
+        /// Worker id within the router's membership.
+        worker: usize,
+        /// What failed (`"heartbeat-timeout"`, `"io: …"`, …).
+        reason: String,
+    },
+    /// A read replica was promoted to primary after its shard's primary
+    /// worker died.
+    ReplicaPromoted {
+        /// Graph whose shard failed over.
+        graph: String,
+        /// Shard index within that graph.
+        shard: usize,
+        /// Worker id of the promoted replica.
+        worker: usize,
+    },
 }
 
 impl EventKind {
@@ -170,6 +196,9 @@ impl EventKind {
             EventKind::SnapshotRejected { .. } => "SnapshotRejected",
             EventKind::SloBreached { .. } => "SloBreached",
             EventKind::FlightDump { .. } => "FlightDump",
+            EventKind::WorkerConnected { .. } => "WorkerConnected",
+            EventKind::WorkerLost { .. } => "WorkerLost",
+            EventKind::ReplicaPromoted { .. } => "ReplicaPromoted",
         }
     }
 
@@ -245,6 +274,22 @@ impl EventKind {
                 recorded,
                 summaries,
             } => format!("{{\"recorded\":{recorded},\"summaries\":{summaries}}}"),
+            EventKind::WorkerConnected { worker, addr } => format!(
+                "{{\"worker\":{worker},\"addr\":\"{}\"}}",
+                crate::json_escape(addr)
+            ),
+            EventKind::WorkerLost { worker, reason } => format!(
+                "{{\"worker\":{worker},\"reason\":\"{}\"}}",
+                crate::json_escape(reason)
+            ),
+            EventKind::ReplicaPromoted {
+                graph,
+                shard,
+                worker,
+            } => format!(
+                "{{\"graph\":\"{}\",\"shard\":{shard},\"worker\":{worker}}}",
+                crate::json_escape(graph)
+            ),
         }
     }
 }

@@ -38,6 +38,14 @@ pub enum SpanKind {
     Restart(u32),
     /// Applying one update batch (the write path's single span).
     UpdateApply,
+    /// One shard's match executed on a remote cluster worker: which
+    /// shard, and which worker process answered it.
+    WorkerMatch {
+        /// Shard index within the routed graph.
+        shard: u32,
+        /// Worker id the sub-query ran on.
+        worker: u32,
+    },
 }
 
 impl SpanKind {
@@ -52,6 +60,7 @@ impl SpanKind {
             SpanKind::Merge => "merge",
             SpanKind::Restart(_) => "restart",
             SpanKind::UpdateApply => "update_apply",
+            SpanKind::WorkerMatch { .. } => "worker_match",
         }
     }
 
@@ -59,6 +68,15 @@ impl SpanKind {
     pub fn index(&self) -> Option<u32> {
         match self {
             SpanKind::ShardMatch(i) | SpanKind::Restart(i) => Some(*i),
+            SpanKind::WorkerMatch { shard, .. } => Some(*shard),
+            _ => None,
+        }
+    }
+
+    /// The worker id of a [`SpanKind::WorkerMatch`] span.
+    pub fn worker(&self) -> Option<u32> {
+        match self {
+            SpanKind::WorkerMatch { worker, .. } => Some(*worker),
             _ => None,
         }
     }
@@ -82,17 +100,27 @@ pub struct Span {
 }
 
 impl Span {
-    /// Compact JSON rendering (`index` only for indexed kinds).
+    /// Compact JSON rendering (`index` only for indexed kinds, `worker`
+    /// only for cross-process spans).
     pub fn to_json(&self) -> String {
-        match self.kind.index() {
-            Some(i) => format!(
+        match (self.kind.index(), self.kind.worker()) {
+            (Some(i), Some(w)) => format!(
+                "{{\"name\":\"{}\",\"index\":{},\"worker\":{},\"start_micros\":{},\
+                 \"duration_micros\":{}}}",
+                self.kind.name(),
+                i,
+                w,
+                self.start_micros,
+                self.duration_micros
+            ),
+            (Some(i), None) => format!(
                 "{{\"name\":\"{}\",\"index\":{},\"start_micros\":{},\"duration_micros\":{}}}",
                 self.kind.name(),
                 i,
                 self.start_micros,
                 self.duration_micros
             ),
-            None => format!(
+            _ => format!(
                 "{{\"name\":\"{}\",\"start_micros\":{},\"duration_micros\":{}}}",
                 self.kind.name(),
                 self.start_micros,

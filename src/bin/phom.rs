@@ -24,6 +24,11 @@
 //!               [--arrivals open:<rate>|poisson:<rate>] [--seed S] [--xi F]
 //!               [--timeout-micros U] [--stats-json PATH]
 //!               [--trace-json PATH] [--slow-query-micros T]
+//!               [--processes N] [--replicas R] [--kill-worker]
+//! phom worker   --listen <host:port> [--max-seconds S]
+//!               [--closure-backend dense|chain|twohop|auto]
+//!               [--threads T] [--intra-workers W] [--timeout-micros U]
+//!               [--journal PATH] [--metrics-text PATH]
 //! phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]
 //! phom lint     [paths..] [--deny] [--json] [--baseline PATH]
 //! phom audit    --graph <snapshot> [--deep] [--samples N]
@@ -36,6 +41,15 @@
 //! replays an open-loop request mix against it; `flight-dump` replays a
 //! short synthetic batch and prints the always-on flight recorder's
 //! retained per-query summaries.
+//!
+//! `worker` hosts one single-process `Service` over TCP speaking the
+//! `phom_cluster` wire protocol; `serve-sim --processes N` spawns `N`
+//! such workers as child processes, shards every registered graph
+//! across them behind a `phom_cluster::Router` front-end (with
+//! `--replicas R` read replicas per shard), and replays the same
+//! open-loop mix through the router. `--kill-worker` kills one worker
+//! process mid-replay to exercise heartbeat failure detection and
+//! replica promotion.
 //!
 //! `lint` runs the project's own rule set (`phom_audit`) over the
 //! workspace (or the given paths) and, with `--deny`, exits nonzero on
@@ -102,6 +116,11 @@ fn main() -> ExitCode {
              \x20                           [--arrivals open:<rate>|poisson:<rate>] [--seed S]\n\
              \x20                           [--xi F] [--timeout-micros U] [--stats-json PATH]\n\
              \x20                           [--trace-json PATH] [--slow-query-micros T]\n\
+             \x20                           [--processes N] [--replicas R] [--kill-worker]\n\
+             phom worker   --listen <host:port> [--max-seconds S]\n\
+             \x20                           [--closure-backend dense|chain|twohop|auto]\n\
+             \x20                           [--threads T] [--intra-workers W]\n\
+             \x20                           [--timeout-micros U] [--journal PATH]\n\
              phom flight-dump [--queries N] [--nodes M] [--noise P] [--seed S] [--xi F]\n\
              phom lint     [paths..] [--deny] [--json] [--baseline PATH]\n\
              phom audit    --graph <snapshot> [--deep] [--samples N]\n\
@@ -126,6 +145,7 @@ fn main() -> ExitCode {
         "engine-batch" => cmd_engine_batch(&args[1..]),
         "engine-live" => cmd_engine_live(&args[1..]),
         "serve-sim" => cmd_serve_sim(&args[1..]),
+        "worker" => cmd_worker(&args[1..]),
         "flight-dump" => cmd_flight_dump(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
@@ -191,6 +211,20 @@ struct Flags {
     /// Timeout-rate ceiling over admitted queries
     /// (`--slo-timeout-rate`).
     slo_timeout_rate: Option<f64>,
+    /// Worker processes for `serve-sim` cluster mode (`--processes`;
+    /// 0 = in-process registry, the historical behavior).
+    processes: usize,
+    /// Read replicas per shard in cluster mode (`--replicas`).
+    replicas: usize,
+    /// Kill one worker process mid-replay (`--kill-worker`; cluster
+    /// mode only) to exercise failure detection and replica promotion.
+    kill_worker: bool,
+    /// Listen address for `phom worker` (`--listen`; port 0 picks a
+    /// free port, reported on stdout as `listening <addr>`).
+    listen: Option<String>,
+    /// Worker lifetime ceiling in seconds (`--max-seconds`; 0 = run
+    /// until killed). A leak guard when spawned as a child process.
+    max_seconds: u64,
     files: Vec<String>,
 }
 
@@ -280,6 +314,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         slo_p99_micros: None,
         slo_shed_rate: None,
         slo_timeout_rate: None,
+        processes: 0,
+        replicas: 1,
+        kill_worker: false,
+        listen: None,
+        max_seconds: 0,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -484,6 +523,32 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .filter(|&p: &usize| p > 0)
                     .ok_or("--parts needs a positive count")?;
             }
+            "--processes" => {
+                f.processes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--processes needs a worker count (0 = in-process)")?;
+            }
+            "--replicas" => {
+                f.replicas = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--replicas needs a per-shard replica count")?;
+            }
+            "--listen" => {
+                f.listen = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--listen needs host:port (port 0 picks a free port)")?,
+                );
+            }
+            "--max-seconds" => {
+                f.max_seconds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-seconds needs a second count (0 = run until killed)")?;
+            }
+            "--kill-worker" => f.kill_worker = true,
             "--cold" => f.cold = true,
             "--one-to-one" => f.one_to_one = true,
             "--exact" => f.exact = true,
@@ -1524,6 +1589,12 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     if !(0.0..=1.0).contains(&f.update_ratio) {
         return fail("--update-ratio must be in [0,1]");
     }
+    if f.kill_worker && f.processes == 0 {
+        return fail("--kill-worker needs --processes N (cluster mode)");
+    }
+    if f.processes > 0 {
+        return serve_sim_cluster(&f);
+    }
     let arrivals = f.arrivals.unwrap_or(Arrivals::Poisson(400.0));
     let service: Service<phom::workloads::synthetic::Label> = Service::new(service_config(
         &f,
@@ -1802,6 +1873,435 @@ fn cmd_serve_sim(args: &[String]) -> ExitCode {
     }
     if let Err(e) = finish_metrics_text(&service, &f) {
         return fail(&e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `phom worker`: hosts one single-process [`Service`] over TCP
+/// speaking the `phom_cluster` wire protocol. Prints `listening <addr>`
+/// once the socket is bound (`--listen host:0` picks a free port) so a
+/// parent process can scrape the resolved address off stdout, then
+/// serves until killed or until the `--max-seconds` leak guard expires.
+fn cmd_worker(args: &[String]) -> ExitCode {
+    let f = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if !f.files.is_empty() {
+        return fail("worker takes no file arguments");
+    }
+    let Some(listen) = f.listen.clone() else {
+        return fail("worker needs --listen host:port (port 0 picks a free port)");
+    };
+    // Short read timeout so connection handlers poll the stop flag and
+    // the process drains promptly on shutdown.
+    let transport = TcpTransport {
+        timeouts: TransportTimeouts {
+            read: std::time::Duration::from_millis(100),
+            write: std::time::Duration::from_secs(5),
+        },
+        frame: FrameConfig::default(),
+    };
+    let listener = match transport.bind(&listen) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("cannot bind {listen}: {e}")),
+    };
+    let (service, mut server) = phom::cluster::worker::spawn_service(
+        service_config(&f, ShardingConfig::disabled()),
+        Box::new(listener),
+        WorkerOptions::default(),
+    );
+    if let Err(e) = attach_journal(&service, &f) {
+        return fail(&e);
+    }
+    println!("listening {}", server.addr());
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if f.max_seconds > 0 && started.elapsed().as_secs() >= f.max_seconds {
+            break;
+        }
+    }
+    server.stop();
+    if let Err(e) = finish_metrics_text(&service, &f) {
+        return fail(&e);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `serve-sim --processes N`: the cluster-mode replay. Spawns `N`
+/// `phom worker` child processes on loopback, shards every synthetic
+/// graph across them behind a [`Router`] front-end (with `--replicas`
+/// read replicas per shard hydrated from primary snapshots), and
+/// replays the open-loop query/update mix through the router. With
+/// `--kill-worker`, one worker process is killed halfway through the
+/// replay: the router detects the loss, promotes a replica for every
+/// shard the dead worker led, and the replay completes against the
+/// survivors.
+fn serve_sim_cluster(f: &Flags) -> ExitCode {
+    let arrivals = f.arrivals.unwrap_or(Arrivals::Poisson(400.0));
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("cannot locate the phom binary: {e}")),
+    };
+    let mut spawned: Vec<std::process::Child> = Vec::new();
+    let kill_all = |spawned: &mut Vec<std::process::Child>| {
+        for c in spawned.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    };
+    let mut readers = Vec::new();
+    let mut addrs = Vec::new();
+    for w in 0..f.processes {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .arg("--max-seconds")
+            .arg("600")
+            .arg("--closure-backend")
+            .arg(f.closure_backend.name())
+            .arg("--threads")
+            .arg(f.threads.to_string())
+            .arg("--intra-workers")
+            .arg(f.intra_workers.to_string());
+        if let Some(t) = f.timeout_micros {
+            cmd.arg("--timeout-micros").arg(t.to_string());
+        }
+        cmd.stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                kill_all(&mut spawned);
+                return fail(&format!("cannot spawn worker {w}: {e}"));
+            }
+        };
+        // Scrape the resolved listen address off the child's stdout
+        // (`--listen 127.0.0.1:0` binds a free port; a journal banner
+        // may print first). The reader stays alive for the run so the
+        // child's stdout pipe never breaks.
+        use std::io::BufRead;
+        let mut reader = std::io::BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut addr = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if let Some(a) = line.trim().strip_prefix("listening ") {
+                        addr = Some(a.to_owned());
+                        break;
+                    }
+                }
+            }
+        }
+        println!("worker {w}: pid {}", child.id());
+        spawned.push(child);
+        readers.push(reader);
+        let Some(addr) = addr else {
+            kill_all(&mut spawned);
+            return fail(&format!("worker {w} never reported a listen address"));
+        };
+        addrs.push(addr);
+    }
+
+    let transport = std::sync::Arc::new(TcpTransport {
+        timeouts: TransportTimeouts {
+            read: std::time::Duration::from_secs(10),
+            write: std::time::Duration::from_secs(10),
+        },
+        frame: FrameConfig::default(),
+    });
+    let router = Router::connect(
+        transport,
+        &addrs,
+        RouterConfig {
+            planner: planner_config(f),
+            sharding: ShardingConfig {
+                max_shards: f.parts,
+                min_shard_nodes: 2,
+            },
+            replicas: f.replicas,
+            frame: FrameConfig::default(),
+            redials: 2,
+            retry_backoff: std::time::Duration::from_millis(20),
+            journal_capacity: 256,
+        },
+    );
+    if router.heartbeat() == 0 {
+        kill_all(&mut spawned);
+        return fail("no workers reachable after spawn");
+    }
+
+    // Each graph: `--parts` disjoint string-labeled parts over a shared
+    // 8-label pool (each part a spanning path plus random intra-part
+    // edges), so every part is a WCC and a query's candidates appear in
+    // every shard — multi-worker fan-out and merging on each query.
+    let part_nodes = f.nodes.max(4);
+    let mut queries: Vec<(String, Query<String>)> = Vec::new();
+    for g in 0..f.graphs {
+        let mut rng = phom::graph::XorShift64::new(f.seed.wrapping_add(g as u64) ^ 0x636c_7573); // "clus"
+        let mut union: DiGraph<String> = DiGraph::with_capacity(part_nodes * f.parts);
+        for _ in 0..f.parts {
+            let base = union.node_count() as u32;
+            for i in 0..part_nodes {
+                union.add_node(format!("l{}", i % 8));
+            }
+            for i in 0..part_nodes as u32 - 1 {
+                union.add_edge(NodeId(base + i), NodeId(base + i + 1));
+            }
+            for _ in 0..part_nodes {
+                let a = rng.below(part_nodes) as u32;
+                let b = rng.below(part_nodes) as u32;
+                if a != b {
+                    union.add_edge(NodeId(base + a), NodeId(base + b));
+                }
+            }
+        }
+        let name = format!("g{g}");
+        let data = std::sync::Arc::new(union);
+        match router.register(name.clone(), std::sync::Arc::clone(&data)) {
+            Ok(info) => println!(
+                "registered {name}: {} nodes, {} edges, {} shards x {} member(s) over {} workers",
+                info.nodes,
+                info.edges,
+                info.shards,
+                1 + f.replicas,
+                f.processes,
+            ),
+            Err(e) => {
+                kill_all(&mut spawned);
+                return fail(&format!("register {name}: {e:?}"));
+            }
+        }
+        // Three-node path patterns sliding over the label pool, matched
+        // by label equality — precomputed once, label-stable under the
+        // edge-insert update mix.
+        for w in 0..4u32 {
+            let mut pattern: DiGraph<String> = DiGraph::new();
+            for k in 0..3u32 {
+                pattern.add_node(format!("l{}", (w + k) % 8));
+            }
+            pattern.add_edge(NodeId(0), NodeId(1));
+            pattern.add_edge(NodeId(1), NodeId(2));
+            let pattern = std::sync::Arc::new(pattern);
+            let matrix = SimMatrix::label_equality(&pattern, &data);
+            let mut q = Query::new(pattern, matrix);
+            q.config = QueryConfig::builder().xi(f.xi).restarts(1).build();
+            queries.push((name.clone(), q));
+        }
+    }
+
+    let ops = f.queries;
+    let schedule = arrivals.schedule(ops, f.seed);
+    let workers = if f.threads > 0 {
+        f.threads
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+    .min(ops)
+    .max(1);
+    let update_every = if f.update_ratio > 0.0 {
+        (1.0 / f.update_ratio).round().max(1.0) as usize
+    } else {
+        usize::MAX
+    };
+    let trace_log = TraceLog::new(f);
+    let children = std::sync::Mutex::new(spawned);
+    let start = std::time::Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let latencies: std::sync::Mutex<Vec<(u128, u128)>> =
+        std::sync::Mutex::new(Vec::with_capacity(ops));
+    let errors = std::sync::atomic::AtomicUsize::new(0);
+    let elapsed = std::thread::scope(|s| {
+        if f.kill_worker {
+            let (next, children) = (&next, &children);
+            s.spawn(move || loop {
+                if next.load(std::sync::atomic::Ordering::SeqCst) >= ops / 2 {
+                    let mut kids = children.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(c) = kids.first_mut() {
+                        let pid = c.id();
+                        let _ = c.kill();
+                        let _ = c.wait();
+                        println!("killed worker 0 (pid {pid}) mid-replay");
+                    }
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        }
+        std::thread::scope(|s| {
+            for worker in 0..workers {
+                let queries = &queries;
+                let schedule = &schedule;
+                let trace_log = &trace_log;
+                let router = &router;
+                let latencies = &latencies;
+                let errors = &errors;
+                let next = &next;
+                s.spawn(move || {
+                    let mut rng =
+                        phom::graph::XorShift64::new(f.seed ^ ((worker as u64 + 1) * 0x9e37));
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if i >= ops {
+                            break;
+                        }
+                        let sched = schedule[i];
+                        let now = start.elapsed();
+                        if now < sched {
+                            std::thread::sleep(sched - now);
+                        }
+                        let graph_name = format!("g{}", i % f.graphs);
+                        if update_every != usize::MAX && i % update_every == update_every - 1 {
+                            // Random intra-part edge insert — idempotent
+                            // (re-inserting an existing edge is a no-op),
+                            // so a failover retry never corrupts a shard.
+                            let part = rng.below(f.parts) * part_nodes;
+                            let a = NodeId((part + rng.below(part_nodes)) as u32);
+                            let b = NodeId((part + rng.below(part_nodes)) as u32);
+                            if a == b {
+                                continue;
+                            }
+                            if let Err(e) = router.apply_updates(
+                                &graph_name,
+                                &[phom::dynamic::GraphUpdate::InsertEdge(a, b)],
+                            ) {
+                                errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                eprintln!("update {i}: {e:?}");
+                            }
+                        } else {
+                            let (name, q) = &queries[i % queries.len()];
+                            match router.query(name, q, trace_log.enabled()) {
+                                Ok(r) => {
+                                    let response =
+                                        start.elapsed().saturating_sub(sched).as_micros();
+                                    latencies
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push((r.micros, response));
+                                    trace_log.record(i, name, &r);
+                                }
+                                Err(e) => {
+                                    errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    eprintln!("query {i}: {e:?}");
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    });
+    // The fleet is no longer needed — stats, journal, and metrics below
+    // are all router-local. Tear the children down before any output
+    // path can early-return.
+    let mut kids = children.into_inner().unwrap_or_else(|e| e.into_inner());
+    kill_all(&mut kids);
+
+    if let Err(e) = trace_log.flush() {
+        return fail(&e);
+    }
+    let stats = router.stats();
+    let err_count = errors.load(std::sync::atomic::Ordering::Relaxed);
+    let pairs = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut service_lat: Vec<u128> = pairs.iter().map(|&(s, _)| s).collect();
+    let mut response: Vec<u128> = pairs.iter().map(|&(_, r)| r).collect();
+    service_lat.sort_unstable();
+    response.sort_unstable();
+    let throughput = pairs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    println!(
+        "serve-sim (cluster): {} ops at {:.1} op/s ({} arrivals) over {:.2} ms, \
+         {workers} submitters, {} worker processes",
+        ops,
+        arrivals.rate(),
+        arrivals.name(),
+        elapsed.as_secs_f64() * 1e3,
+        f.processes,
+    );
+    println!(
+        "routing: {} queries routed, {} update batches routed, {} ok responses \
+         ({throughput:.1} op/s), {err_count} errors",
+        stats.queries_routed,
+        stats.updates_routed,
+        pairs.len(),
+    );
+    println!(
+        "fleet: {}/{} workers alive, {} connected, {} lost, {} replicas promoted, {} reconnects",
+        stats.workers_alive,
+        stats.workers,
+        stats.workers_connected,
+        stats.workers_lost,
+        stats.replicas_promoted,
+        stats.reconnects,
+    );
+    println!(
+        "transport: {} bytes sent, {} bytes received",
+        stats.bytes_sent, stats.bytes_received,
+    );
+    println!(
+        "response latency: p50 = {} us, p95 = {} us, p99 = {} us",
+        percentile_micros(&response, 50),
+        percentile_micros(&response, 95),
+        percentile_micros(&response, 99),
+    );
+    println!(
+        "service latency:  p50 = {} us, p95 = {} us, p99 = {} us",
+        percentile_micros(&service_lat, 50),
+        percentile_micros(&service_lat, 95),
+        percentile_micros(&service_lat, 99),
+    );
+    if let Some(path) = &f.stats_json {
+        let json = format!(
+            "{{\"router\":{},\"ops\":{},\"errors\":{},\"throughput_ops_per_sec\":{:.3},\
+             \"response_p50_micros\":{},\"response_p95_micros\":{},\"response_p99_micros\":{},\
+             \"service_p50_micros\":{},\"service_p95_micros\":{},\"service_p99_micros\":{}}}\n",
+            stats.to_json(),
+            ops,
+            err_count,
+            throughput,
+            percentile_micros(&response, 50),
+            percentile_micros(&response, 95),
+            percentile_micros(&response, 99),
+            percentile_micros(&service_lat, 50),
+            percentile_micros(&service_lat, 95),
+            percentile_micros(&service_lat, 99),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("stats JSON written to {path}");
+    }
+    if let Some(path) = &f.journal {
+        let lines: Vec<String> = router
+            .journal()
+            .snapshot()
+            .iter()
+            .map(|e| e.to_json())
+            .collect();
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "event journal (JSON lines) -> {path} ({} events)",
+            lines.len()
+        );
+    }
+    if let Some(path) = &f.metrics_text {
+        let text = phom::trace::render_prometheus(&router.metrics().export(), &[]);
+        if let Err(e) = std::fs::write(path, text) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("metrics text written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -27,6 +27,7 @@
 //! | [`engine`] | prepared-graph matching engine: query planner, parallel batch execution, closure caching, live updates |
 //! | [`trace`] | per-query traces (typed spans + sampled counters), windowed metrics registry, slow-trace retention |
 //! | [`service`] | request/response service layer: multi-graph registry with WCC sharding, admission control, typed errors |
+//! | [`cluster`] | cross-process scale-out: versioned wire codec, TCP/channel transports, worker process mode, routing front-end with read replicas and failover |
 //! | [`audit`] | correctness tooling: project lint pass (`phom lint`) and structural invariant validators over snapshots (`phom audit`) |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@
 
 pub use phom_audit as audit;
 pub use phom_baselines as baselines;
+pub use phom_cluster as cluster;
 pub use phom_core as core;
 pub use phom_dynamic as dynamic;
 pub use phom_engine as engine;
@@ -81,6 +83,10 @@ pub mod prelude {
         subgraph_isomorphism, FloodingConfig,
     };
     pub use phom_baselines::{ged_similarity, graph_edit_distance, EditResult};
+    pub use phom_cluster::{
+        ChannelHub, CodecError, FrameConfig, Router, RouterConfig, RouterError, RouterStats,
+        TcpTransport, Transport, TransportTimeouts, WireMessage, WorkerOptions, WorkerServer,
+    };
     pub use phom_core::{ac_prefilter_matrix, edge_witnesses, stretch_stats, StretchStats};
     pub use phom_core::{
         check_schema_embedding, comp_max_card_bounded, comp_max_card_restarts,
